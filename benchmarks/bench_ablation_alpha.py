@@ -1,0 +1,69 @@
+"""Ablation: the accuracy/throughput trade-off as a function of α.
+
+The paper fixes α = 5 % for its headline results; this ablation sweeps the
+budget and verifies the trade-off the formulation in Section 4 predicts:
+quality (BLEU) rises monotonically (weakly) with α while simulated throughput
+falls, with diminishing quality returns past a small α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FT_VARIANT_CONFIG
+from repro.core.engine import AdaParseFT
+from repro.evaluation.harness import EvaluationHarness, HarnessConfig
+from repro.hpc.campaign import CampaignConfig, ParsingCampaign
+from repro.utils.tables import Table
+
+ALPHAS = (0.0, 0.05, 0.15, 0.5)
+
+
+def test_ablation_alpha(benchmark, experiment_context, registry, measured_store):
+    context = experiment_context
+    test_split = context.splits["test"]
+    harness = EvaluationHarness(HarnessConfig(car_max_chars=1200))
+    campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+
+    def sweep() -> list[dict[str, float]]:
+        rows: list[dict[str, float]] = []
+        for alpha in ALPHAS:
+            engine = AdaParseFT(
+                registry=context.registry,
+                selector=context.engine_ft.selector,
+                config=FT_VARIANT_CONFIG.with_alpha(alpha),
+                validator=context.engine_ft.validator,
+                improvement_classifier=context.engine_ft.improvement_classifier,
+            )
+            report = harness.evaluate(test_split, [engine], compute_win_rate=False)
+            aggregate = report.aggregates[engine.name]
+            throughput = campaign.run_adaparse(
+                context.registry, FT_VARIANT_CONFIG.with_alpha(alpha), 300
+            ).throughput_docs_per_s
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "bleu": aggregate.bleu * 100,
+                    "coverage": aggregate.coverage * 100,
+                    "routed_fraction": engine.last_summary.fraction_routed(),
+                    "docs_per_s_1node": throughput,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(title="Ablation: α sweep", columns=["alpha", "bleu", "coverage", "routed_fraction", "docs_per_s_1node"])
+    for row in rows:
+        table.add_row(row)
+    print()
+    print(table.to_text(precision=3))
+    measured_store.record_table("ABLATION_ALPHA", table, precision=3)
+
+    bleu = [r["bleu"] for r in rows]
+    throughput = [r["docs_per_s_1node"] for r in rows]
+    # Quality is (weakly) monotone in α; throughput strictly falls.
+    assert bleu[1] >= bleu[0] - 0.5
+    assert bleu[-1] >= bleu[0] - 0.5
+    assert throughput[0] > throughput[-1]
+    # The budget is always respected.
+    assert all(r["routed_fraction"] <= r["alpha"] + 1e-9 for r in rows)

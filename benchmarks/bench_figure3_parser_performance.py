@@ -1,0 +1,45 @@
+"""Figure 3: per-parser BLEU by document difficulty + single-node throughputs.
+
+Paper reference: on 23 398 PDFs, every parser's BLEU falls with estimated
+parsing difficulty (the across-parser mean); extraction parsers dominate the
+easy region while recognition parsers hold up better on the hard tail.  The
+legend reports single-node throughputs spanning roughly two orders of
+magnitude between PyMuPDF and the ViT parsers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import figure3_parser_performance
+from repro.evaluation.reporting import print_table
+
+
+def test_figure3_parser_performance(
+    benchmark, experiment_context, registry, harness_config, measured_store
+):
+    corpus = experiment_context.splits["test"]
+    series = benchmark.pedantic(
+        lambda: figure3_parser_performance(
+            corpus, registry, harness_config=harness_config, throughput_documents=200
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(series.to_table())
+    print_table(series.legend_table(), precision=3)
+    measured_store.record_table("FIGURE3", series.to_table())
+    measured_store.record_table("FIGURE3", series.legend_table(), precision=3, append=True)
+
+    # BLEU decays with difficulty rank for the across-parser mean.
+    matrix = np.stack([series.bleu_by_parser[p] for p in series.parser_names])
+    mean_by_rank = matrix.mean(axis=0)
+    first_quartile = mean_by_rank[: len(mean_by_rank) // 4].mean()
+    last_quartile = mean_by_rank[-len(mean_by_rank) // 4 :].mean()
+    assert first_quartile > last_quartile
+
+    # Throughput legend: extraction ≫ OCR ≫ ViT (PyMuPDF ≈ 135× Nougat in the paper).
+    legend = series.throughput_legend
+    assert legend["pymupdf"] / legend["nougat"] > 50
+    assert legend["pymupdf"] / legend["pypdf"] > 5
+    assert legend["marker"] < legend["nougat"]

@@ -1,0 +1,50 @@
+"""Figure 4: per-GPU utilisation of the ViT-parser workload (Nsys stand-in).
+
+Paper reference: profiling shows the GPU-resident parser keeping all four
+A100s busy once the model is persisted across tasks (the warm-start
+modification of Parsl), with utilisation collapsing when weights are reloaded
+per task.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.figures import figure4_gpu_utilization
+from repro.evaluation.reporting import print_table
+from repro.hpc.campaign import CampaignConfig
+
+
+def test_figure4_gpu_utilization(benchmark, registry, measured_store):
+    profile = benchmark.pedantic(
+        lambda: figure4_gpu_utilization(registry, parser_name="nougat", n_documents=150),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(profile.to_table(), precision=3)
+    means = profile.profile.per_gpu_means()
+    assert len(means) == 4
+    assert all(v > 0.5 for v in means.values())
+
+    cold = figure4_gpu_utilization(
+        registry,
+        parser_name="nougat",
+        n_documents=150,
+        campaign_config=CampaignConfig(n_nodes=1, warm_start=False),
+    )
+    print(
+        f"warm-start mean GPU util = {profile.profile.mean_utilization():.3f}, "
+        f"cold-start = {cold.profile.mean_utilization():.3f}, "
+        f"model loads: {profile.campaign.model_loads} vs {cold.campaign.model_loads}"
+    )
+    measured_store.record_table("FIGURE4", profile.to_table(), precision=3)
+    measured_store.record_mapping(
+        "FIGURE4",
+        {
+            "warm-start mean GPU utilisation": round(profile.profile.mean_utilization(), 3),
+            "cold-start mean GPU utilisation": round(cold.profile.mean_utilization(), 3),
+            "warm-start model loads": profile.campaign.model_loads,
+            "cold-start model loads": cold.campaign.model_loads,
+        },
+        append=True,
+    )
+    assert profile.campaign.model_loads < cold.campaign.model_loads
+    assert profile.campaign.throughput_docs_per_s > cold.campaign.throughput_docs_per_s

@@ -1,0 +1,52 @@
+"""Goodput of assembled datasets: accepted tokens per resource unit (extension).
+
+The introduction of the paper argues that the right metric for a parsing
+campaign is goodput — accepted textual tokens generated per resource unit —
+rather than raw documents per second.  This benchmark assembles an LLM-training
+dataset (filter → dedup → shard accounting) from the test corpus with three
+strategies and compares their goodput:
+
+* PyMuPDF on every document (cheap, some documents unusable),
+* Nougat on every document (expensive, high quality),
+* AdaParse routing (cheap parse everywhere, ViT re-parse on an α-budgeted
+  subset).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
+from repro.datasets.tokens import goodput_table
+from repro.evaluation.reporting import print_table
+
+
+def test_goodput_of_assembled_datasets(benchmark, experiment_context, measured_store):
+    context = experiment_context
+    corpus = context.splits["test"]
+    config = DatasetBuildConfig(min_tokens=20, quality_threshold=0.35)
+
+    def build_all():
+        builders = {
+            "pymupdf": DatasetBuilder(context.registry.get("pymupdf"), config),
+            "nougat": DatasetBuilder(context.registry.get("nougat"), config),
+            "adaparse_llm": DatasetBuilder(context.engine_llm, config),
+        }
+        return {name: builder.build(corpus) for name, builder in builders.items()}
+
+    reports = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    accounts = {name: report.token_account for name, report in reports.items()}
+    table = goodput_table(accounts)
+    print_table(table, precision=1)
+    measured_store.record_table("GOODPUT", table)
+
+    adaparse = accounts["adaparse_llm"]
+    pymupdf = accounts["pymupdf"]
+    nougat = accounts["nougat"]
+
+    # AdaParse accepts at least as many tokens as extraction alone...
+    assert adaparse.n_accepted_tokens >= pymupdf.n_accepted_tokens
+    # ...while spending far less GPU time than parsing everything with the ViT.
+    assert adaparse.gpu_seconds < 0.5 * nougat.gpu_seconds
+    # Goodput per node-hour: AdaParse beats the all-ViT strategy.
+    assert adaparse.goodput_per_node_hour() > nougat.goodput_per_node_hour()
+    # Every strategy accepts a meaningful share of its tokens.
+    assert all(account.acceptance_rate > 0.3 for account in accounts.values())

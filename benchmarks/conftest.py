@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+The quality-table benchmarks (Tables 1–4) share one expensive
+:class:`repro.evaluation.tables.ExperimentContext` (corpus generation,
+preference study, selector training); building it once per session keeps the
+full suite tractable.  Scale knobs can be overridden through environment
+variables so a larger, closer-to-paper run is a one-liner:
+
+``REPRO_BENCH_DOCS=1000 pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.harness import HarnessConfig
+from repro.evaluation.measured import MeasuredStore
+from repro.evaluation.tables import ExperimentScale, build_experiment_context
+from repro.parsers.registry import default_registry
+
+#: Where benchmarks record their measured tables/series; ``adaparse-repro
+#: fill-experiments`` splices these fragments into EXPERIMENTS.md.
+MEASURED_DIR = Path(__file__).resolve().parent.parent / "results" / "measured"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_SCALE = ExperimentScale(
+    n_documents=_env_int("REPRO_BENCH_DOCS", 240),
+    study_pages=_env_int("REPRO_BENCH_STUDY_PAGES", 60),
+    pretrain_sentences=_env_int("REPRO_BENCH_PRETRAIN_SENTENCES", 400),
+    finetune_epochs=_env_int("REPRO_BENCH_FINETUNE_EPOCHS", 4),
+    seed=_env_int("REPRO_BENCH_SEED", 2025),
+)
+
+BENCH_HARNESS = HarnessConfig(car_max_chars=1600)
+
+
+@pytest.fixture(scope="session")
+def experiment_context():
+    """Corpus, splits, preference study, and both trained engines."""
+    return build_experiment_context(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def harness_config() -> HarnessConfig:
+    return BENCH_HARNESS
+
+
+@pytest.fixture(scope="session")
+def measured_store() -> MeasuredStore:
+    """Durable store of measured results (consumed by ``fill-experiments``)."""
+    return MeasuredStore(MEASURED_DIR)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can be installed in editable mode on minimal offline
+environments that lack the ``wheel`` package (legacy ``setup.py develop``
+path via ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

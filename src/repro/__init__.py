@@ -1,0 +1,73 @@
+"""AdaParse reproduction package.
+
+This package is a from-scratch reproduction of *AdaParse: An Adaptive Parallel
+PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
+
+* :mod:`repro.documents` — a generative substrate of synthetic scientific
+  documents with ground-truth text, embedded text layers and rasterised image
+  layers (standing in for the paper's 25k-PDF benchmark corpus).
+* :mod:`repro.parsers` — simulated PDF parsers (PyMuPDF, pypdf, Tesseract,
+  GROBID, Nougat, Marker) with the paper's failure modes and cost models.
+* :mod:`repro.metrics` — text quality metrics (BLEU, ROUGE, CAR, coverage,
+  accepted tokens, win rate).
+* :mod:`repro.ml` — a numpy ML stack (fastText-style embeddings, Transformer
+  encoder, LoRA, DPO) used by the parser-selection models.
+* :mod:`repro.core` — the AdaParse engine itself: hierarchical classification
+  (CLS I/II/III), the α-constrained budget optimiser, and the two engine
+  variants AdaParse (FT) and AdaParse (LLM).
+* :mod:`repro.preferences` — a simulated human-preference study and the DPO
+  preference dataset.
+* :mod:`repro.hpc` — a discrete-event simulator of a Polaris-like cluster with
+  a Parsl-like executor (plus fault injection and resource-scaling policies),
+  used for the throughput and scalability experiments.
+* :mod:`repro.datasets` — dataset assembly from parsed documents: quality
+  filtering, deduplication, sharded JSONL output, and goodput accounting.
+* :mod:`repro.evaluation` — the experiment harness that regenerates every
+  table and figure of the paper's evaluation section.
+
+Top-level names are resolved lazily (PEP 562) so that importing :mod:`repro`
+stays cheap and does not pull in the full ML/HPC stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Public name → "module:attribute" map resolved on first access.
+_LAZY_EXPORTS: dict[str, str] = {
+    "AdaParseConfig": "repro.core.config:AdaParseConfig",
+    "AdaParseFT": "repro.core.engine:AdaParseFT",
+    "AdaParseLLM": "repro.core.engine:AdaParseLLM",
+    "build_default_engine": "repro.core.engine:build_default_engine",
+    "CorpusConfig": "repro.documents.corpus:CorpusConfig",
+    "build_corpus": "repro.documents.corpus:build_corpus",
+    "Corpus": "repro.documents.corpus:Corpus",
+    "SciDocument": "repro.documents.document:SciDocument",
+    "DatasetBuildConfig": "repro.datasets.assembly:DatasetBuildConfig",
+    "DatasetBuilder": "repro.datasets.assembly:DatasetBuilder",
+    "EvaluationHarness": "repro.evaluation.harness:EvaluationHarness",
+    "ParserRegistry": "repro.parsers.registry:ParserRegistry",
+    "default_registry": "repro.parsers.registry:default_registry",
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve lazily exported public names."""
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, _, attribute = target.partition(":")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

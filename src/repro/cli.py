@@ -1,0 +1,224 @@
+"""Command-line interface of the reproduction.
+
+Examples
+--------
+Build a corpus and write it to disk as SimPDF archives::
+
+    adaparse-repro corpus --documents 200 --output /tmp/corpus
+
+Regenerate the quality tables at a reduced scale::
+
+    adaparse-repro tables --documents 240 --output results.md
+
+Run the scalability sweep (Figure 5)::
+
+    adaparse-repro scaling --nodes 1 2 4 8 16 --docs-per-node 100
+
+Run the preference-alignment analysis (Section 7.1)::
+
+    adaparse-repro alignment --documents 120
+
+Assemble an LLM-training dataset (parse → filter → dedup → shard)::
+
+    adaparse-repro dataset --documents 200 --parser pymupdf --output /tmp/dataset
+
+Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
+
+    adaparse-repro fill-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.documents.corpus import CorpusConfig, build_corpus
+    from repro.documents.simpdf import SimPdfArchive
+
+    corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
+    print(f"built corpus: {corpus.described()}")
+    if args.output:
+        output = Path(args.output)
+        output.mkdir(parents=True, exist_ok=True)
+        archive_path = output / "corpus.simpdfarch"
+        SimPdfArchive.write(archive_path, corpus.documents)
+        print(f"wrote {len(corpus)} documents to {archive_path}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.evaluation.reporting import ExperimentRecord, print_table
+    from repro.evaluation.tables import (
+        ExperimentScale,
+        build_experiment_context,
+        table1_born_digital,
+        table2_scanned,
+        table3_degraded_text,
+        table4_selector_models,
+    )
+
+    scale = ExperimentScale(n_documents=args.documents, seed=args.seed)
+    print(f"building experiment context ({args.documents} documents)...", flush=True)
+    context = build_experiment_context(scale)
+    record = ExperimentRecord()
+    tables = {
+        "table1": table1_born_digital(context),
+        "table2": table2_scanned(context),
+        "table3": table3_degraded_text(context),
+    }
+    if not args.skip_table4:
+        tables["table4"] = table4_selector_models(context)
+    for key, table in tables.items():
+        print_table(table)
+        record.add_table(key, table)
+    if args.output:
+        path = record.save(args.output)
+        print(f"wrote report to {path}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.evaluation.figures import figure5_scalability, throughput_ratio_summary
+    from repro.evaluation.reporting import print_table
+    from repro.parsers.registry import default_registry
+
+    registry = default_registry()
+    series = figure5_scalability(
+        registry, node_counts=args.nodes, docs_per_node=args.docs_per_node
+    )
+    print_table(series.to_table(), precision=2)
+    print("single-node throughput relative to Nougat:", throughput_ratio_summary(series))
+    return 0
+
+
+def _cmd_alignment(args: argparse.Namespace) -> int:
+    from repro.documents.corpus import CorpusConfig, build_corpus
+    from repro.evaluation.alignment import preference_alignment_statistics
+    from repro.parsers.registry import default_registry
+    from repro.preferences.study import StudyConfig
+
+    corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
+    stats = preference_alignment_statistics(
+        corpus, default_registry(), StudyConfig(n_pages=args.pages, seed=args.seed)
+    )
+    for key, value in stats.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.core.engine import build_default_engine
+    from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
+    from repro.documents.corpus import CorpusConfig, build_corpus
+    from repro.parsers.registry import default_registry
+
+    registry = default_registry()
+    corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
+    if args.parser in ("adaparse_ft", "adaparse_llm"):
+        print("training the AdaParse engine on a small corpus...", flush=True)
+        parser = build_default_engine(variant=args.parser.split("_")[1], registry=registry)
+    else:
+        parser = registry.get(args.parser)
+    builder = DatasetBuilder(
+        parser,
+        DatasetBuildConfig(
+            output_dir=args.output or None,
+            quality_threshold=args.quality_threshold,
+            min_tokens=args.min_tokens,
+        ),
+    )
+    print(f"assembling dataset from {len(corpus)} documents with {parser.name}...", flush=True)
+    report = builder.build(corpus)
+    print(json.dumps(report.summary(), indent=2, default=str))
+    return 0
+
+
+def _cmd_fill_experiments(args: argparse.Namespace) -> int:
+    from repro.evaluation.measured import MeasuredStore, fill_experiments_file
+
+    store = MeasuredStore(args.measured_dir)
+    if not store.available():
+        print(
+            f"no measured fragments in {args.measured_dir}; "
+            "run `pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    result = fill_experiments_file(args.experiments_file, store)
+    print(f"filled {result.n_filled} section(s): {', '.join(sorted(set(result.filled))) or '-'}")
+    if result.missing:
+        print(f"still missing: {', '.join(sorted(set(result.missing)))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="adaparse-repro",
+        description="AdaParse (MLSys 2025) reproduction: corpora, tables, figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="build a synthetic corpus (optionally write SimPDF archive)")
+    corpus.add_argument("--documents", type=int, default=200)
+    corpus.add_argument("--seed", type=int, default=2025)
+    corpus.add_argument("--output", type=str, default="")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    tables = sub.add_parser("tables", help="regenerate Tables 1-4")
+    tables.add_argument("--documents", type=int, default=240)
+    tables.add_argument("--seed", type=int, default=2025)
+    tables.add_argument("--output", type=str, default="")
+    tables.add_argument("--skip-table4", action="store_true")
+    tables.set_defaults(func=_cmd_tables)
+
+    scaling = sub.add_parser("scaling", help="run the Figure 5 scalability sweep")
+    scaling.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64, 128])
+    scaling.add_argument("--docs-per-node", type=int, default=100)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    alignment = sub.add_parser("alignment", help="preference-alignment statistics (Section 7.1)")
+    alignment.add_argument("--documents", type=int, default=120)
+    alignment.add_argument("--pages", type=int, default=80)
+    alignment.add_argument("--seed", type=int, default=2025)
+    alignment.set_defaults(func=_cmd_alignment)
+
+    dataset = sub.add_parser(
+        "dataset", help="assemble an LLM-training dataset (parse, filter, dedup, shard)"
+    )
+    dataset.add_argument("--documents", type=int, default=200)
+    dataset.add_argument("--seed", type=int, default=2025)
+    dataset.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    dataset.add_argument("--output", type=str, default="", help="shard output directory")
+    dataset.add_argument("--quality-threshold", type=float, default=0.35)
+    dataset.add_argument("--min-tokens", type=int, default=50)
+    dataset.set_defaults(func=_cmd_dataset)
+
+    fill = sub.add_parser(
+        "fill-experiments",
+        help="splice measured benchmark results into EXPERIMENTS.md",
+    )
+    fill.add_argument("--experiments-file", type=str, default="EXPERIMENTS.md")
+    fill.add_argument("--measured-dir", type=str, default="results/measured")
+    fill.set_defaults(func=_cmd_fill_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

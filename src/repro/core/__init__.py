@@ -1,0 +1,41 @@
+"""AdaParse core: hierarchical parser selection under a compute budget.
+
+This package implements the paper's primary contribution (Sections 4–5):
+
+* :mod:`repro.core.cls1` — CLS I, the rule-based validity check on cheap
+  aggregate features of the extracted text.
+* :mod:`repro.core.cls2` — CLS II, the metadata-driven classifier that decides
+  whether another parser is likely to improve on the extracted text.
+* :mod:`repro.core.cls3` — CLS III, the LLM-based selector that predicts which
+  parser yields the most accurate output.
+* :mod:`repro.core.budget` — the α-constrained optimisation of Appendix C
+  (which documents get the expensive parser, per batch).
+* :mod:`repro.core.engine` — the two engine variants, AdaParse (FT) and
+  AdaParse (LLM), exposed with the same interface as ordinary parsers.
+* :mod:`repro.core.training` — end-to-end training of an engine from a corpus
+  (labels, supervised fine-tuning, DPO post-training).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AdaParseConfig
+from repro.core.budget import BudgetPlan, alpha_for_budget, select_within_budget
+from repro.core.cls1 import ValidationClassifier, ValidationConfig
+from repro.core.cls2 import ImprovementClassifier
+from repro.core.cls3 import ParserSelector
+from repro.core.engine import AdaParseEngine, AdaParseFT, AdaParseLLM, build_default_engine
+
+__all__ = [
+    "AdaParseConfig",
+    "BudgetPlan",
+    "alpha_for_budget",
+    "select_within_budget",
+    "ValidationClassifier",
+    "ValidationConfig",
+    "ImprovementClassifier",
+    "ParserSelector",
+    "AdaParseEngine",
+    "AdaParseFT",
+    "AdaParseLLM",
+    "build_default_engine",
+]

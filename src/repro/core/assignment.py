@@ -1,0 +1,372 @@
+"""Budget-constrained assignment over the *full* parser set.
+
+Section 4 of the paper states the general problem — pick one of ``m`` parsers
+per document to maximise total expected accuracy subject to a total compute
+budget — but the deployed system restricts itself to two parsers (Appendix C)
+for scalability.  This module implements the general problem as a library
+extension, so that campaigns with several mid-cost parsers (GROBID, Tesseract,
+Marker) can be planned optimally as well:
+
+* :func:`greedy_assignment` — marginal gain-per-cost upgrades starting from the
+  cheapest parser (the natural generalisation of Appendix C's sort-and-take-α).
+* :func:`lagrangian_assignment` — bisection on the budget multiplier λ, where
+  each document independently maximises ``accuracy − λ·cost``.
+* :func:`exhaustive_assignment` — brute force over all ``m^n`` assignments,
+  usable only for tiny instances; the test-suite oracle.
+
+All solvers consume an accuracy matrix (e.g. CLS III predictions) and a cost
+matrix (expected compute seconds from the parser cost models) of shape
+``[n_documents, n_parsers]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from repro.documents.document import SciDocument
+from repro.parsers.registry import ParserRegistry
+
+
+@dataclass
+class AssignmentPlan:
+    """Result of one assignment optimisation.
+
+    Attributes
+    ----------
+    assignment:
+        Parser index per document (column of the accuracy/cost matrices).
+    parser_names:
+        Names of the columns; ``assignment`` indexes into this list.
+    total_accuracy:
+        Sum of predicted accuracies of the chosen (document, parser) pairs.
+    total_cost:
+        Sum of costs of the chosen pairs (same unit as the budget).
+    budget:
+        The budget the plan was computed for.
+    feasible:
+        Whether ``total_cost`` respects the budget.  The only infeasible case
+        is a budget below the cost of the cheapest possible assignment, in
+        which case the cheapest assignment is returned.
+    """
+
+    assignment: np.ndarray
+    parser_names: list[str]
+    total_accuracy: float
+    total_cost: float
+    budget: float
+    feasible: bool
+
+    @property
+    def n_documents(self) -> int:
+        return int(self.assignment.shape[0])
+
+    def chosen_parsers(self) -> list[str]:
+        """Parser name per document."""
+        return [self.parser_names[int(j)] for j in self.assignment]
+
+    def fraction_by_parser(self) -> dict[str, float]:
+        """Fraction of documents assigned to each parser."""
+        if self.n_documents == 0:
+            return {name: 0.0 for name in self.parser_names}
+        counts = np.bincount(self.assignment, minlength=len(self.parser_names))
+        return {
+            name: float(count) / self.n_documents
+            for name, count in zip(self.parser_names, counts)
+        }
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "n_documents": self.n_documents,
+            "total_accuracy": round(self.total_accuracy, 4),
+            "total_cost": round(self.total_cost, 4),
+            "budget": self.budget,
+            "feasible": self.feasible,
+            "fraction_by_parser": {
+                k: round(v, 4) for k, v in self.fraction_by_parser().items()
+            },
+        }
+
+
+def _validate_matrices(accuracy: np.ndarray, costs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    accuracy = np.asarray(accuracy, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if accuracy.ndim != 2 or costs.ndim != 2:
+        raise ValueError("accuracy and costs must be 2-D [n_documents, n_parsers]")
+    if accuracy.shape != costs.shape:
+        raise ValueError(f"shape mismatch: accuracy {accuracy.shape} vs costs {costs.shape}")
+    if accuracy.shape[1] == 0:
+        raise ValueError("at least one parser column is required")
+    if np.any(costs < 0):
+        raise ValueError("costs must be non-negative")
+    return accuracy, costs
+
+
+def _plan_from_assignment(
+    assignment: np.ndarray,
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    parser_names: Sequence[str],
+) -> AssignmentPlan:
+    rows = np.arange(assignment.shape[0])
+    total_accuracy = float(accuracy[rows, assignment].sum())
+    total_cost = float(costs[rows, assignment].sum())
+    return AssignmentPlan(
+        assignment=assignment.astype(np.int64),
+        parser_names=list(parser_names),
+        total_accuracy=total_accuracy,
+        total_cost=total_cost,
+        budget=float(budget),
+        feasible=total_cost <= budget + 1e-9,
+    )
+
+
+def _default_names(n_parsers: int, parser_names: Sequence[str] | None) -> list[str]:
+    if parser_names is None:
+        return [f"parser-{j}" for j in range(n_parsers)]
+    names = list(parser_names)
+    if len(names) != n_parsers:
+        raise ValueError("parser_names length must match the number of columns")
+    return names
+
+
+# --------------------------------------------------------------------------- #
+# Solvers
+# --------------------------------------------------------------------------- #
+
+
+def _apply_greedy_upgrades(
+    assignment: np.ndarray,
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+) -> np.ndarray:
+    """Greedily upgrade documents (best gain per extra cost first) within budget.
+
+    Starts from ``assignment``; first takes any strictly better parser at
+    equal-or-lower cost, then repeatedly applies the feasible upgrade with the
+    highest accuracy gain per additional compute second.
+    """
+    assignment = assignment.astype(np.int64).copy()
+    n_docs = assignment.shape[0]
+    spent = float(costs[np.arange(n_docs), assignment].sum())
+
+    # Free improvements: a better parser at no extra cost is always taken.
+    for doc in range(n_docs):
+        current = assignment[doc]
+        for j in range(accuracy.shape[1]):
+            if (
+                costs[doc, j] <= costs[doc, current] + 1e-12
+                and accuracy[doc, j] > accuracy[doc, current]
+            ):
+                current = j
+        spent += float(costs[doc, current] - costs[doc, assignment[doc]])
+        assignment[doc] = current
+
+    def best_upgrade(doc: int) -> tuple[float, float, float, int] | None:
+        """Best (ratio, gain, extra_cost, parser) upgrade of one document."""
+        current = assignment[doc]
+        base_acc = accuracy[doc, current]
+        base_cost = costs[doc, current]
+        best: tuple[float, float, float, int] | None = None
+        for j in range(accuracy.shape[1]):
+            extra_cost = costs[doc, j] - base_cost
+            gain = accuracy[doc, j] - base_acc
+            if extra_cost <= 0 or gain <= 0:
+                continue
+            ratio = gain / extra_cost
+            if best is None or ratio > best[0]:
+                best = (ratio, gain, extra_cost, j)
+        return best
+
+    candidates = {doc: best_upgrade(doc) for doc in range(n_docs)}
+    while True:
+        best_doc = -1
+        best_candidate: tuple[float, float, float, int] | None = None
+        for doc, candidate in candidates.items():
+            if candidate is None:
+                continue
+            if candidate[2] > budget - spent + 1e-12:
+                continue
+            if best_candidate is None or candidate[0] > best_candidate[0]:
+                best_candidate = candidate
+                best_doc = doc
+        if best_candidate is None:
+            break
+        _, _, extra_cost, target = best_candidate
+        assignment[best_doc] = target
+        spent += extra_cost
+        candidates[best_doc] = best_upgrade(best_doc)
+    return assignment
+
+
+def greedy_assignment(
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    parser_names: Sequence[str] | None = None,
+) -> AssignmentPlan:
+    """Greedy marginal-gain-per-cost assignment.
+
+    Every document starts on its cheapest parser.  Candidate *upgrades* (switch
+    one document to a more accurate but costlier parser) are applied in order
+    of accuracy gain per additional cost until the budget is exhausted.  This
+    is the textbook greedy for the LP relaxation of the multiple-choice
+    knapsack; with two parsers of uniform cost it reduces exactly to the
+    paper's sort-by-improvement rule.
+    """
+    accuracy, costs = _validate_matrices(accuracy, costs)
+    names = _default_names(accuracy.shape[1], parser_names)
+    n_docs = accuracy.shape[0]
+    if n_docs == 0:
+        return _plan_from_assignment(np.zeros(0, dtype=np.int64), accuracy, costs, budget, names)
+    assignment = _apply_greedy_upgrades(np.argmin(costs, axis=1), accuracy, costs, budget)
+    return _plan_from_assignment(assignment, accuracy, costs, budget, names)
+
+
+def lagrangian_assignment(
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    parser_names: Sequence[str] | None = None,
+    max_iterations: int = 60,
+) -> AssignmentPlan:
+    """Lagrangian-relaxation assignment via bisection on the price of compute.
+
+    For a multiplier λ ≥ 0 every document independently picks
+    ``argmax_j accuracy[i, j] − λ·costs[i, j]``; the budget constraint is
+    enforced by bisecting λ until the induced total cost fits.  Because the
+    dual can leave part of the budget unused (the per-document argmax jumps
+    discontinuously in λ), the best feasible assignment found is refined with
+    greedy upgrades before being returned.
+    """
+    accuracy, costs = _validate_matrices(accuracy, costs)
+    names = _default_names(accuracy.shape[1], parser_names)
+    n_docs = accuracy.shape[0]
+    if n_docs == 0:
+        return _plan_from_assignment(np.zeros(0, dtype=np.int64), accuracy, costs, budget, names)
+
+    def assign_for(lam: float) -> np.ndarray:
+        scores = accuracy - lam * costs
+        # Break score ties towards the cheaper parser so high λ converges to
+        # the cheapest assignment.
+        tie_break = -costs * 1e-9
+        return np.argmax(scores + tie_break, axis=1)
+
+    cheapest = np.argmin(costs, axis=1)
+    best_plan = _plan_from_assignment(cheapest, accuracy, costs, budget, names)
+
+    lo, hi = 0.0, 1.0
+    # Grow the bracket until λ = hi yields a feasible assignment (or give up
+    # and fall back to the cheapest plan).
+    for _ in range(60):
+        plan = _plan_from_assignment(assign_for(hi), accuracy, costs, budget, names)
+        if plan.feasible:
+            if plan.total_accuracy >= best_plan.total_accuracy or not best_plan.feasible:
+                best_plan = plan
+            break
+        hi *= 2.0
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        plan = _plan_from_assignment(assign_for(mid), accuracy, costs, budget, names)
+        if plan.feasible:
+            hi = mid
+            if not best_plan.feasible or plan.total_accuracy > best_plan.total_accuracy:
+                best_plan = plan
+        else:
+            lo = mid
+    zero_plan = _plan_from_assignment(assign_for(0.0), accuracy, costs, budget, names)
+    if zero_plan.feasible and zero_plan.total_accuracy > best_plan.total_accuracy:
+        best_plan = zero_plan
+    if best_plan.feasible:
+        refined = _apply_greedy_upgrades(best_plan.assignment, accuracy, costs, budget)
+        refined_plan = _plan_from_assignment(refined, accuracy, costs, budget, names)
+        if refined_plan.feasible and refined_plan.total_accuracy >= best_plan.total_accuracy:
+            best_plan = refined_plan
+    return best_plan
+
+
+def exhaustive_assignment(
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    parser_names: Sequence[str] | None = None,
+    max_documents: int = 10,
+) -> AssignmentPlan:
+    """Exact optimum by enumeration (test oracle; exponential in ``n``)."""
+    accuracy, costs = _validate_matrices(accuracy, costs)
+    names = _default_names(accuracy.shape[1], parser_names)
+    n_docs, n_parsers = accuracy.shape
+    if n_docs > max_documents:
+        raise ValueError(
+            f"exhaustive search limited to {max_documents} documents, got {n_docs}"
+        )
+    if n_docs == 0:
+        return _plan_from_assignment(np.zeros(0, dtype=np.int64), accuracy, costs, budget, names)
+    cheapest = np.argmin(costs, axis=1)
+    best_plan = _plan_from_assignment(cheapest, accuracy, costs, budget, names)
+    for combo in product(range(n_parsers), repeat=n_docs):
+        assignment = np.asarray(combo, dtype=np.int64)
+        plan = _plan_from_assignment(assignment, accuracy, costs, budget, names)
+        if not plan.feasible:
+            continue
+        if not best_plan.feasible or plan.total_accuracy > best_plan.total_accuracy:
+            best_plan = plan
+    return best_plan
+
+
+# --------------------------------------------------------------------------- #
+# Problem construction from library objects
+# --------------------------------------------------------------------------- #
+
+
+def cost_matrix_for_documents(
+    documents: Sequence[SciDocument],
+    registry: ParserRegistry,
+    parser_names: Sequence[str] | None = None,
+) -> tuple[np.ndarray, list[str]]:
+    """Expected compute cost (CPU + GPU seconds) per (document, parser)."""
+    names = list(parser_names) if parser_names is not None else registry.names
+    matrix = np.zeros((len(documents), len(names)), dtype=np.float64)
+    for j, name in enumerate(names):
+        parser = registry.get(name)
+        for i, document in enumerate(documents):
+            usage = parser.estimate_usage(document)
+            matrix[i, j] = usage.total_compute_seconds
+    return matrix, names
+
+
+def plan_campaign_assignment(
+    documents: Sequence[SciDocument],
+    predicted_accuracy: np.ndarray,
+    registry: ParserRegistry,
+    budget_seconds: float,
+    parser_names: Sequence[str] | None = None,
+    method: str = "greedy",
+) -> AssignmentPlan:
+    """Plan a full-campaign assignment from CLS III predictions and cost models.
+
+    Parameters
+    ----------
+    documents:
+        The documents to be parsed.
+    predicted_accuracy:
+        Matrix ``[n_documents, n_parsers]`` of predicted accuracies, with
+        columns ordered like ``parser_names`` (or the registry order).
+    registry:
+        Registry providing the per-parser cost models.
+    budget_seconds:
+        Total compute budget (CPU + GPU seconds).
+    method:
+        ``"greedy"`` or ``"lagrangian"``.
+    """
+    costs, names = cost_matrix_for_documents(documents, registry, parser_names)
+    if method == "greedy":
+        return greedy_assignment(predicted_accuracy, costs, budget_seconds, names)
+    if method == "lagrangian":
+        return lagrangian_assignment(predicted_accuracy, costs, budget_seconds, names)
+    raise ValueError(f"unknown assignment method {method!r}")

@@ -1,0 +1,127 @@
+"""CLS I: rule-based validation of the extracted text.
+
+The first classification stage judges, from cheap aggregate statistics of the
+PyMuPDF-extracted text (character counts, whitespace and alphabetic ratios,
+scrambled-word indicators, ...), whether the extraction is *valid* at all.
+Invalid documents bypass the rest of the cascade and go straight to the
+high-quality parser.  The paper stresses that this stage must be interpretable
+and fast — hence explicit thresholds rather than a learned model, with an
+optional calibration helper that tunes the thresholds from labelled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.features import TEXT_FEATURE_NAMES, TextStatisticsExtractor
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Thresholds of the rule-based validity check."""
+
+    min_characters: int = 200
+    min_words_per_page: float = 40.0
+    min_alpha_ratio: float = 0.55
+    max_whitespace_ratio: float = 0.35
+    max_vowel_free_word_ratio: float = 0.25
+    max_single_char_word_ratio: float = 0.20
+    max_non_ascii_ratio: float = 0.20
+    min_lexicon_hit_ratio: float = 0.02
+
+
+@dataclass(frozen=True)
+class ValidationVerdict:
+    """Outcome of CLS I for one document."""
+
+    is_valid: bool
+    reasons: tuple[str, ...] = ()
+    features: np.ndarray | None = None
+
+
+class ValidationClassifier:
+    """Rule-based validity classifier over extracted-text statistics."""
+
+    def __init__(self, config: ValidationConfig | None = None) -> None:
+        self.config = config or ValidationConfig()
+        self.extractor = TextStatisticsExtractor()
+        self._index = {name: i for i, name in enumerate(TEXT_FEATURE_NAMES)}
+
+    def _feature(self, features: np.ndarray, name: str) -> float:
+        return float(features[self._index[name]])
+
+    def validate(self, text: str, n_pages: int = 1) -> ValidationVerdict:
+        """Judge one extracted text (optionally normalised per page)."""
+        cfg = self.config
+        reasons: list[str] = []
+        if len(text.strip()) < cfg.min_characters:
+            reasons.append(f"text too short ({len(text.strip())} chars)")
+            return ValidationVerdict(is_valid=False, reasons=tuple(reasons))
+        features = self.extractor.extract(text)
+        n_words = float(np.expm1(self._feature(features, "n_words_log")))
+        words_per_page = n_words / max(1, n_pages)
+        if words_per_page < cfg.min_words_per_page:
+            reasons.append(f"too few words per page ({words_per_page:.0f})")
+        if self._feature(features, "alpha_ratio") < cfg.min_alpha_ratio:
+            reasons.append("low alphabetic ratio")
+        if self._feature(features, "whitespace_ratio") > cfg.max_whitespace_ratio:
+            reasons.append("excessive whitespace")
+        if self._feature(features, "vowel_free_word_ratio") > cfg.max_vowel_free_word_ratio:
+            reasons.append("many unpronounceable (scrambled) words")
+        if self._feature(features, "single_char_word_ratio") > cfg.max_single_char_word_ratio:
+            reasons.append("many single-character words (whitespace injection)")
+        if self._feature(features, "non_ascii_ratio") > cfg.max_non_ascii_ratio:
+            reasons.append("high non-ASCII ratio")
+        if self._feature(features, "lexicon_hit_ratio") < cfg.min_lexicon_hit_ratio:
+            reasons.append("no recognisable vocabulary")
+        return ValidationVerdict(is_valid=not reasons, reasons=tuple(reasons), features=features)
+
+    def is_valid(self, text: str, n_pages: int = 1) -> bool:
+        """Boolean shortcut for :meth:`validate`."""
+        return self.validate(text, n_pages=n_pages).is_valid
+
+    def validate_batch(self, texts: list[str], n_pages: list[int] | None = None) -> list[ValidationVerdict]:
+        """Validate a batch of extracted texts."""
+        if n_pages is None:
+            n_pages = [1] * len(texts)
+        return [self.validate(t, n) for t, n in zip(texts, n_pages)]
+
+
+def calibrate_validation_threshold(
+    texts: list[str],
+    accuracies: np.ndarray,
+    accuracy_floor: float = 0.25,
+    quantile: float = 0.05,
+) -> ValidationConfig:
+    """Tune CLS I thresholds from labelled data.
+
+    Documents whose extraction accuracy falls below ``accuracy_floor`` are
+    treated as "should have been flagged invalid"; thresholds are set at the
+    requested quantile of the *good* documents' feature distributions so that
+    valid documents are rarely rejected.
+    """
+    extractor = TextStatisticsExtractor()
+    features = extractor.extract_batch(texts)
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    good = accuracies >= accuracy_floor
+    if good.sum() < 5:
+        return ValidationConfig()
+    index = {name: i for i, name in enumerate(TEXT_FEATURE_NAMES)}
+    good_features = features[good]
+    return ValidationConfig(
+        min_alpha_ratio=float(np.quantile(good_features[:, index["alpha_ratio"]], quantile)),
+        max_whitespace_ratio=float(
+            np.quantile(good_features[:, index["whitespace_ratio"]], 1 - quantile)
+        ),
+        max_vowel_free_word_ratio=float(
+            np.quantile(good_features[:, index["vowel_free_word_ratio"]], 1 - quantile)
+        ),
+        max_single_char_word_ratio=float(
+            np.quantile(good_features[:, index["single_char_word_ratio"]], 1 - quantile)
+        ),
+        max_non_ascii_ratio=float(
+            np.quantile(good_features[:, index["non_ascii_ratio"]], 1 - quantile)
+        ),
+    )

@@ -1,0 +1,92 @@
+"""CLS III: text-driven parser selection.
+
+The final stage of the cascade predicts, from the extracted text itself, the
+accuracy each parser would achieve on the document, and therefore which parser
+to run.  The heavy lifting is done by
+:class:`repro.ml.quality_model.ParserQualityPredictor` (a fine-tuned encoder
+or a fastText model); this module adds the decision layer used by the engine:
+ranking, improvement estimation relative to the default parser, and the
+restriction to the configured candidate set (the deployed AdaParse restricts
+itself to PyMuPDF vs Nougat for scalability, Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.quality_model import ParserQualityPredictor
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """CLS III output for one document."""
+
+    best_parser: str
+    predicted_accuracies: dict[str, float]
+    improvement_over_default: float
+
+
+class ParserSelector:
+    """Decision layer on top of the per-parser accuracy predictor."""
+
+    def __init__(
+        self,
+        predictor: ParserQualityPredictor,
+        default_parser: str = "pymupdf",
+        candidate_parsers: list[str] | None = None,
+    ) -> None:
+        if default_parser not in predictor.parser_names:
+            raise KeyError(f"default parser {default_parser!r} unknown to the predictor")
+        self.predictor = predictor
+        self.default_parser = default_parser
+        if candidate_parsers is None:
+            candidate_parsers = list(predictor.parser_names)
+        unknown = [p for p in candidate_parsers if p not in predictor.parser_names]
+        if unknown:
+            raise KeyError(f"candidate parsers unknown to the predictor: {unknown}")
+        if default_parser not in candidate_parsers:
+            candidate_parsers = [default_parser] + candidate_parsers
+        self.candidate_parsers = list(candidate_parsers)
+
+    @property
+    def parser_names(self) -> list[str]:
+        return list(self.predictor.parser_names)
+
+    def predicted_accuracies(self, texts: list[str]) -> np.ndarray:
+        """Predicted accuracy matrix restricted to the candidate parsers."""
+        predictions = self.predictor.predict(texts)
+        indices = [self.predictor.parser_names.index(p) for p in self.candidate_parsers]
+        return predictions[:, indices]
+
+    def decide(self, texts: list[str]) -> list[SelectionDecision]:
+        """Per-document selection decisions for a batch of extracted texts."""
+        if not texts:
+            return []
+        restricted = self.predicted_accuracies(texts)
+        default_column = self.candidate_parsers.index(self.default_parser)
+        decisions: list[SelectionDecision] = []
+        for row in restricted:
+            best_index = int(np.argmax(row))
+            best_parser = self.candidate_parsers[best_index]
+            improvement = float(row[best_index] - row[default_column])
+            decisions.append(
+                SelectionDecision(
+                    best_parser=best_parser,
+                    predicted_accuracies={
+                        p: float(v) for p, v in zip(self.candidate_parsers, row)
+                    },
+                    improvement_over_default=improvement,
+                )
+            )
+        return decisions
+
+    def improvement_scores(self, texts: list[str], target_parser: str) -> np.ndarray:
+        """Predicted accuracy gain of ``target_parser`` over the default parser."""
+        if target_parser not in self.candidate_parsers:
+            raise KeyError(f"{target_parser!r} is not a candidate parser")
+        restricted = self.predicted_accuracies(texts)
+        default_column = self.candidate_parsers.index(self.default_parser)
+        target_column = self.candidate_parsers.index(target_parser)
+        return restricted[:, target_column] - restricted[:, default_column]

@@ -1,0 +1,77 @@
+"""Configuration of the AdaParse engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AdaParseConfig:
+    """Engine-level knobs shared by both AdaParse variants.
+
+    Attributes
+    ----------
+    alpha:
+        Maximum fraction of documents (per batch) routed to the high-quality
+        parser — the paper's main operating point is 5 %.
+    batch_size:
+        Documents per scheduling batch (the paper uses 256); the α constraint
+        is enforced within each batch.
+    default_parser:
+        The lightweight extraction parser run on every document.
+    high_quality_parser:
+        The expensive recognition parser reserved for the α-budgeted subset.
+    improvement_margin:
+        Minimum predicted accuracy improvement (high-quality minus default)
+        for a document to be *eligible* for re-parsing; documents below the
+        margin keep the extracted text even if budget remains.
+    selection_cpu_seconds / selection_gpu_seconds:
+        Per-document inference cost of the selection model itself (fastText is
+        CPU-only and nearly free; the SciBERT-sized LLM adds a small GPU cost),
+        charged on top of the default parse in the engine's resource usage.
+    """
+
+    alpha: float = 0.05
+    batch_size: int = 256
+    default_parser: str = "pymupdf"
+    high_quality_parser: str = "nougat"
+    improvement_margin: float = 0.02
+    selection_cpu_seconds: float = 0.002
+    selection_gpu_seconds: float = 0.0
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.improvement_margin < 0:
+            raise ValueError("improvement_margin must be non-negative")
+
+    def with_alpha(self, alpha: float) -> "AdaParseConfig":
+        """Copy of the configuration with a different α (used by ablations)."""
+        return AdaParseConfig(
+            alpha=alpha,
+            batch_size=self.batch_size,
+            default_parser=self.default_parser,
+            high_quality_parser=self.high_quality_parser,
+            improvement_margin=self.improvement_margin,
+            selection_cpu_seconds=self.selection_cpu_seconds,
+            selection_gpu_seconds=self.selection_gpu_seconds,
+            seed=self.seed,
+        )
+
+
+#: Configuration used by the AdaParse (LLM) variant: the SciBERT-sized
+#: selector adds a small per-document GPU inference cost.
+LLM_VARIANT_CONFIG = AdaParseConfig(
+    selection_cpu_seconds=0.01,
+    selection_gpu_seconds=0.22,
+)
+
+#: Configuration used by the AdaParse (FT) variant: fastText inference is a
+#: sub-millisecond CPU lookup.
+FT_VARIANT_CONFIG = AdaParseConfig(
+    selection_cpu_seconds=0.004,
+    selection_gpu_seconds=0.0,
+)

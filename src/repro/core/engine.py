@@ -1,0 +1,352 @@
+"""The AdaParse engine: adaptive routing of documents across parsers.
+
+Both engine variants follow the architecture of Figure 2:
+
+1. every document is parsed with the cheap default extractor (PyMuPDF);
+2. **CLS I** checks the extracted text's validity from aggregate statistics —
+   invalid documents are (budget permitting) sent to the high-quality parser;
+3. **CLS II / CLS III** estimate, for valid documents, how much a re-parse
+   with the high-quality parser would improve the text;
+4. the **budget optimiser** routes the top-improvement documents to the
+   high-quality parser, capped at an α fraction per batch; everyone else keeps
+   the extracted text.
+
+``AdaParseFT`` scores improvements with the fastText model (and optionally a
+metadata classifier), skipping LLM inference entirely; ``AdaParseLLM`` uses
+the fine-tuned (and DPO post-trained) Transformer selector.  Both expose the
+standard :class:`repro.parsers.base.Parser` interface so the evaluation
+harness and the HPC simulator treat them like any other parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.budget import BudgetPlan, select_within_budget
+from repro.core.cls1 import ValidationClassifier
+from repro.core.cls2 import ImprovementClassifier
+from repro.core.cls3 import ParserSelector
+from repro.core.config import AdaParseConfig
+from repro.documents.document import SciDocument
+from repro.parsers.base import Parser, ParseResult, ParserCost, ResourceUsage
+from repro.parsers.registry import ParserRegistry
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Why one document was routed the way it was."""
+
+    doc_id: str
+    chosen_parser: str
+    stage: str  # "cls1_invalid", "accepted_default", "routed_high_quality", "budget_exhausted"
+    predicted_improvement: float = 0.0
+
+
+@dataclass
+class RoutingSummary:
+    """Aggregate routing statistics of one engine run."""
+
+    decisions: list[RoutingDecision] = field(default_factory=list)
+
+    def fraction_routed(self) -> float:
+        """Fraction of documents routed to the high-quality parser."""
+        if not self.decisions:
+            return 0.0
+        routed = sum(1 for d in self.decisions if d.stage in ("cls1_invalid", "routed_high_quality"))
+        return routed / len(self.decisions)
+
+    def counts_by_stage(self) -> dict[str, int]:
+        """Number of documents per routing stage."""
+        counts: dict[str, int] = {}
+        for decision in self.decisions:
+            counts[decision.stage] = counts.get(decision.stage, 0) + 1
+        return counts
+
+
+class AdaParseEngine(Parser):
+    """Shared routing logic of the two AdaParse variants."""
+
+    name = "adaparse"
+
+    def __init__(
+        self,
+        registry: ParserRegistry,
+        config: AdaParseConfig | None = None,
+        validator: ValidationClassifier | None = None,
+        improvement_classifier: ImprovementClassifier | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or AdaParseConfig()
+        self.validator = validator or ValidationClassifier()
+        self.improvement_classifier = improvement_classifier
+        if self.config.default_parser not in registry:
+            raise KeyError(f"default parser {self.config.default_parser!r} not registered")
+        if self.config.high_quality_parser not in registry:
+            raise KeyError(f"high-quality parser {self.config.high_quality_parser!r} not registered")
+        self.last_summary = RoutingSummary()
+        # The engine's *static* cost profile approximates the expected mix:
+        # default parse + selection on every document, high-quality parse on an
+        # α fraction.  Used by schedulers that need a cost estimate up front.
+        default_cost = registry.get(self.config.default_parser).cost
+        expensive_cost = registry.get(self.config.high_quality_parser).cost
+        alpha = self.config.alpha
+        self.cost = ParserCost(
+            cpu_seconds_per_page=default_cost.cpu_seconds_per_page
+            + alpha * expensive_cost.cpu_seconds_per_page,
+            gpu_seconds_per_page=alpha * expensive_cost.gpu_seconds_per_page
+            + self.config.selection_gpu_seconds / 10.0,
+            cpu_memory_mb=max(default_cost.cpu_memory_mb, expensive_cost.cpu_memory_mb),
+            gpu_memory_mb=expensive_cost.gpu_memory_mb,
+            model_load_seconds=expensive_cost.model_load_seconds,
+            per_document_overhead_seconds=default_cost.per_document_overhead_seconds
+            + self.config.selection_cpu_seconds,
+            variability=default_cost.variability,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hooks implemented by the variants
+    # ------------------------------------------------------------------ #
+    def improvement_scores(
+        self, documents: list[SciDocument], extracted_texts: list[str]
+    ) -> np.ndarray:
+        """Predicted accuracy gain of the high-quality parser per document."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _selection_usage(self) -> ResourceUsage:
+        return ResourceUsage(
+            cpu_seconds=self.config.selection_cpu_seconds,
+            gpu_seconds=self.config.selection_gpu_seconds,
+        )
+
+    def _route_batch(
+        self, documents: list[SciDocument]
+    ) -> tuple[list[ParseResult], list[RoutingDecision]]:
+        cfg = self.config
+        default_parser = self.registry.get(cfg.default_parser)
+        expensive_parser = self.registry.get(cfg.high_quality_parser)
+        default_results = [default_parser.parse(doc) for doc in documents]
+        extracted_texts = [r.text for r in default_results]
+        first_pages = [r.page_texts[0] if r.page_texts else "" for r in default_results]
+
+        verdicts = [
+            self.validator.validate(text, n_pages=doc.n_pages)
+            for text, doc in zip(extracted_texts, documents)
+        ]
+        scores = self.improvement_scores(documents, first_pages)
+        if self.improvement_classifier is not None:
+            likely = self.improvement_classifier.improvement_probability(
+                [doc.metadata for doc in documents]
+            )
+            scores = scores * likely
+        # Invalid extractions take priority for the budgeted slots.
+        forced = np.asarray([not v.is_valid for v in verdicts], dtype=bool)
+        effective = np.where(forced, np.inf, scores)
+        plan: BudgetPlan = select_within_budget(
+            effective, cfg.alpha, batch_size=None, margin=cfg.improvement_margin
+        )
+
+        results: list[ParseResult] = []
+        decisions: list[RoutingDecision] = []
+        for i, doc in enumerate(documents):
+            selection_usage = default_results[i].usage + self._selection_usage()
+            if plan.route_expensive[i]:
+                expensive_result = expensive_parser.parse(doc)
+                usage = selection_usage + expensive_result.usage
+                results.append(
+                    ParseResult(
+                        parser_name=self.name,
+                        doc_id=doc.doc_id,
+                        page_texts=expensive_result.page_texts,
+                        usage=usage,
+                        succeeded=expensive_result.succeeded,
+                        error=expensive_result.error,
+                    )
+                )
+                stage = "cls1_invalid" if forced[i] else "routed_high_quality"
+                decisions.append(
+                    RoutingDecision(
+                        doc_id=doc.doc_id,
+                        chosen_parser=cfg.high_quality_parser,
+                        stage=stage,
+                        predicted_improvement=float(scores[i]),
+                    )
+                )
+            else:
+                stage = "budget_exhausted" if forced[i] else "accepted_default"
+                results.append(
+                    ParseResult(
+                        parser_name=self.name,
+                        doc_id=doc.doc_id,
+                        page_texts=default_results[i].page_texts,
+                        usage=selection_usage,
+                        succeeded=default_results[i].succeeded,
+                        error=default_results[i].error,
+                    )
+                )
+                decisions.append(
+                    RoutingDecision(
+                        doc_id=doc.doc_id,
+                        chosen_parser=cfg.default_parser,
+                        stage=stage,
+                        predicted_improvement=float(scores[i]),
+                    )
+                )
+        return results, decisions
+
+    def parse_many(self, documents: list[SciDocument]) -> list[ParseResult]:
+        """Parse a document collection, enforcing the α budget per batch."""
+        self.last_summary = RoutingSummary()
+        results: list[ParseResult] = []
+        for start in range(0, len(documents), self.config.batch_size):
+            batch = documents[start : start + self.config.batch_size]
+            batch_results, batch_decisions = self._route_batch(batch)
+            results.extend(batch_results)
+            self.last_summary.decisions.extend(batch_decisions)
+        return results
+
+    def _parse_pages(self, document: SciDocument, rng: np.random.Generator) -> list[str]:
+        # Unused: the engine overrides parse()/parse_many() directly.
+        raise NotImplementedError
+
+    def parse(self, document: SciDocument) -> ParseResult:
+        """Parse a single document.
+
+        Without a batch there is no meaningful α constraint; the document is
+        routed to the high-quality parser when its extraction is invalid or
+        the predicted improvement clears the margin.  Large campaigns should
+        use :meth:`parse_many`, which enforces the budget.
+        """
+        results, decisions = self._route_single(document)
+        self.last_summary = RoutingSummary(decisions=decisions)
+        return results
+
+    def _route_single(self, document: SciDocument) -> tuple[ParseResult, list[RoutingDecision]]:
+        cfg = self.config
+        default_result = self.registry.get(cfg.default_parser).parse(document)
+        text = default_result.text
+        first_page = default_result.page_texts[0] if default_result.page_texts else ""
+        verdict = self.validator.validate(text, n_pages=document.n_pages)
+        score = float(self.improvement_scores([document], [first_page])[0])
+        route = (not verdict.is_valid) or score > cfg.improvement_margin
+        selection_usage = default_result.usage + self._selection_usage()
+        if route:
+            expensive = self.registry.get(cfg.high_quality_parser).parse(document)
+            result = ParseResult(
+                parser_name=self.name,
+                doc_id=document.doc_id,
+                page_texts=expensive.page_texts,
+                usage=selection_usage + expensive.usage,
+                succeeded=expensive.succeeded,
+                error=expensive.error,
+            )
+            stage = "cls1_invalid" if not verdict.is_valid else "routed_high_quality"
+            chosen = cfg.high_quality_parser
+        else:
+            result = ParseResult(
+                parser_name=self.name,
+                doc_id=document.doc_id,
+                page_texts=default_result.page_texts,
+                usage=selection_usage,
+                succeeded=default_result.succeeded,
+                error=default_result.error,
+            )
+            stage = "accepted_default"
+            chosen = cfg.default_parser
+        decision = RoutingDecision(
+            doc_id=document.doc_id,
+            chosen_parser=chosen,
+            stage=stage,
+            predicted_improvement=score,
+        )
+        return result, [decision]
+
+
+class AdaParseFT(AdaParseEngine):
+    """AdaParse (FT): fastText-scored routing, no LLM inference.
+
+    Implements CLS I and CLS II "within a single routine": the rule-based
+    validity check plus a fastText improvement score (optionally gated by the
+    metadata classifier) decide directly whether Nougat is triggered.
+    """
+
+    name = "adaparse_ft"
+
+    def __init__(
+        self,
+        registry: ParserRegistry,
+        selector: ParserSelector,
+        config: AdaParseConfig | None = None,
+        validator: ValidationClassifier | None = None,
+        improvement_classifier: ImprovementClassifier | None = None,
+    ) -> None:
+        super().__init__(registry, config, validator, improvement_classifier)
+        self.selector = selector
+
+    def improvement_scores(
+        self, documents: list[SciDocument], extracted_texts: list[str]
+    ) -> np.ndarray:
+        return self.selector.improvement_scores(
+            extracted_texts, self.config.high_quality_parser
+        )
+
+
+class AdaParseLLM(AdaParseEngine):
+    """AdaParse (LLM): Transformer-scored routing (SciBERT stand-in + DPO)."""
+
+    name = "adaparse_llm"
+
+    def __init__(
+        self,
+        registry: ParserRegistry,
+        selector: ParserSelector,
+        config: AdaParseConfig | None = None,
+        validator: ValidationClassifier | None = None,
+        improvement_classifier: ImprovementClassifier | None = None,
+    ) -> None:
+        super().__init__(registry, config, validator, improvement_classifier)
+        self.selector = selector
+
+    def improvement_scores(
+        self, documents: list[SciDocument], extracted_texts: list[str]
+    ) -> np.ndarray:
+        return self.selector.improvement_scores(
+            extracted_texts, self.config.high_quality_parser
+        )
+
+
+def build_default_engine(
+    train_corpus=None,
+    variant: str = "ft",
+    registry: ParserRegistry | None = None,
+    config: AdaParseConfig | None = None,
+):
+    """Convenience constructor: train a small AdaParse engine end to end.
+
+    Parameters
+    ----------
+    train_corpus:
+        Corpus used to label and train the selector.  When ``None`` a small
+        synthetic corpus is generated (quickstart-sized; a real campaign should
+        pass its own training split).
+    variant:
+        ``"ft"`` or ``"llm"``.
+    registry, config:
+        Optional parser registry and engine configuration.
+    """
+    from repro.core.training import AdaParseTrainer, TrainerSettings
+    from repro.documents.corpus import CorpusConfig, build_corpus
+
+    if train_corpus is None:
+        train_corpus = build_corpus(CorpusConfig(n_documents=80, seed=5, name="default-train"))
+    registry = registry or __import__("repro.parsers.registry", fromlist=["default_registry"]).default_registry()
+    trainer = AdaParseTrainer(registry=registry, settings=TrainerSettings())
+    if variant == "ft":
+        return trainer.train_ft(train_corpus, config=config)
+    if variant == "llm":
+        return trainer.train_llm(train_corpus, config=config)
+    raise ValueError(f"unknown AdaParse variant {variant!r}")

@@ -1,0 +1,199 @@
+"""End-to-end training of AdaParse engines from a corpus.
+
+Reproduces the paper's training recipe (Section 4.2, Appendix A):
+
+1. label a training corpus by running every parser and scoring its output
+   (the regression dataset);
+2. supervised fine-tuning of the selector — fastText for AdaParse (FT), a
+   (optionally pre-trained, LoRA-adapted) Transformer for AdaParse (LLM) —
+   to predict per-parser BLEU from the default parser's first-page text;
+3. optional DPO post-training of the Transformer on human preference pairs;
+4. a final supervised pass at a lowered learning rate;
+5. fitting the CLS II metadata classifier on the same labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cls1 import ValidationClassifier, ValidationConfig
+from repro.core.cls2 import ImprovementClassifier
+from repro.core.cls3 import ParserSelector
+from repro.core.config import AdaParseConfig, FT_VARIANT_CONFIG, LLM_VARIANT_CONFIG
+from repro.core.engine import AdaParseFT, AdaParseLLM
+from repro.documents.corpus import Corpus
+from repro.ml.datasets import QualityDataset, build_quality_dataset
+from repro.ml.dpo import DPOConfig, DPOTrainer, PreferencePair
+from repro.ml.fasttext import FastTextConfig
+from repro.ml.pretrain import PretrainConfig, pretrain_encoder_variant
+from repro.ml.quality_model import FineTuneConfig, ParserQualityPredictor
+from repro.ml.transformer import TransformerConfig, TransformerEncoder
+from repro.parsers.registry import ParserRegistry
+
+
+@dataclass(frozen=True)
+class TrainerSettings:
+    """Hyper-parameters of the end-to-end training pipeline.
+
+    The defaults are sized for the scaled-down reproduction corpora used by
+    the tests and benchmarks (hundreds of documents); a larger campaign can
+    raise the encoder size and epoch counts.
+    """
+
+    label_pages: int | None = 3
+    encoder_config: TransformerConfig = field(
+        default_factory=lambda: TransformerConfig(
+            vocab_size=2048,
+            max_length=96,
+            d_model=48,
+            n_heads=4,
+            n_layers=2,
+            d_ff=96,
+            lora_rank=4,
+        )
+    )
+    finetune_config: FineTuneConfig = field(
+        default_factory=lambda: FineTuneConfig(n_epochs=6, lora_only=False)
+    )
+    refinement_config: FineTuneConfig = field(
+        default_factory=lambda: FineTuneConfig(n_epochs=2, learning_rate=5e-4, lora_only=True)
+    )
+    fasttext_config: FastTextConfig = field(default_factory=FastTextConfig)
+    pretrain: bool = True
+    pretrain_corpus: str = "scientific"
+    pretrain_config: PretrainConfig = field(default_factory=lambda: PretrainConfig(n_sentences=800, n_epochs=1))
+    dpo_config: DPOConfig = field(default_factory=lambda: DPOConfig(n_epochs=2))
+    calibrate_cls1: bool = False
+    candidate_parsers: tuple[str, ...] = ("pymupdf", "nougat")
+
+
+@dataclass
+class TrainingArtifacts:
+    """Everything produced while training an engine (useful for analysis)."""
+
+    dataset: QualityDataset
+    predictor: ParserQualityPredictor
+    improvement_classifier: ImprovementClassifier
+    validator: ValidationClassifier
+    dpo_trainer: DPOTrainer | None = None
+
+
+class AdaParseTrainer:
+    """Trains AdaParse (FT) and AdaParse (LLM) engines from a corpus."""
+
+    def __init__(self, registry: ParserRegistry, settings: TrainerSettings | None = None) -> None:
+        self.registry = registry
+        self.settings = settings or TrainerSettings()
+        self.artifacts: TrainingArtifacts | None = None
+
+    # ------------------------------------------------------------------ #
+    # Shared pieces
+    # ------------------------------------------------------------------ #
+    def build_dataset(self, corpus: Corpus) -> QualityDataset:
+        """Label a corpus with per-parser BLEU (the supervised signal)."""
+        return build_quality_dataset(
+            corpus, self.registry, default_parser="pymupdf", label_pages=self.settings.label_pages
+        )
+
+    def _fit_support_models(
+        self, dataset: QualityDataset
+    ) -> tuple[ValidationClassifier, ImprovementClassifier]:
+        validator = ValidationClassifier(ValidationConfig())
+        if self.settings.calibrate_cls1:
+            from repro.core.cls1 import calibrate_validation_threshold
+
+            default_index = dataset.parser_names.index("pymupdf")
+            config = calibrate_validation_threshold(
+                dataset.texts, dataset.targets[:, default_index]
+            )
+            validator = ValidationClassifier(config)
+        improvement = ImprovementClassifier()
+        improvement.fit(dataset.metadatas, dataset.parser_names, dataset.targets)
+        return validator, improvement
+
+    # ------------------------------------------------------------------ #
+    # Variant training
+    # ------------------------------------------------------------------ #
+    def train_ft(
+        self,
+        corpus: Corpus,
+        config: AdaParseConfig | None = None,
+        dataset: QualityDataset | None = None,
+    ) -> AdaParseFT:
+        """Train the fastText-based engine variant."""
+        settings = self.settings
+        dataset = dataset or self.build_dataset(corpus)
+        predictor = ParserQualityPredictor(
+            dataset.parser_names, backend="fasttext", fasttext_config=settings.fasttext_config
+        )
+        predictor.fit(dataset.texts, dataset.targets)
+        validator, improvement = self._fit_support_models(dataset)
+        selector = ParserSelector(
+            predictor, default_parser="pymupdf", candidate_parsers=list(settings.candidate_parsers)
+        )
+        self.artifacts = TrainingArtifacts(
+            dataset=dataset,
+            predictor=predictor,
+            improvement_classifier=improvement,
+            validator=validator,
+        )
+        return AdaParseFT(
+            registry=self.registry,
+            selector=selector,
+            config=config or FT_VARIANT_CONFIG,
+            validator=validator,
+            improvement_classifier=improvement,
+        )
+
+    def train_llm(
+        self,
+        corpus: Corpus,
+        config: AdaParseConfig | None = None,
+        dataset: QualityDataset | None = None,
+        preference_pairs: Sequence[PreferencePair] | None = None,
+    ) -> AdaParseLLM:
+        """Train the Transformer-based engine variant (optionally with DPO)."""
+        settings = self.settings
+        dataset = dataset or self.build_dataset(corpus)
+        encoder = TransformerEncoder(settings.encoder_config, name="adaparse-llm")
+        if settings.pretrain:
+            pretrain_encoder_variant(encoder, settings.pretrain_corpus, settings.pretrain_config)
+        predictor = ParserQualityPredictor(
+            dataset.parser_names,
+            backend="transformer",
+            encoder=encoder,
+            finetune_config=settings.finetune_config,
+        )
+        predictor.fit(dataset.texts, dataset.targets)
+        dpo_trainer: DPOTrainer | None = None
+        if preference_pairs:
+            dpo_trainer = DPOTrainer(encoder, settings.dpo_config)
+            dpo_trainer.train(list(preference_pairs))
+            # Stage 3: re-fine-tune the regression head (and adapters) at a
+            # lowered learning rate on the supervised data.
+            predictor.finetune_config = settings.refinement_config
+            predictor.fit(
+                dataset.texts,
+                dataset.targets,
+                learning_rate=settings.refinement_config.learning_rate,
+                n_epochs=settings.refinement_config.n_epochs,
+            )
+        validator, improvement = self._fit_support_models(dataset)
+        selector = ParserSelector(
+            predictor, default_parser="pymupdf", candidate_parsers=list(settings.candidate_parsers)
+        )
+        self.artifacts = TrainingArtifacts(
+            dataset=dataset,
+            predictor=predictor,
+            improvement_classifier=improvement,
+            validator=validator,
+            dpo_trainer=dpo_trainer,
+        )
+        return AdaParseLLM(
+            registry=self.registry,
+            selector=selector,
+            config=config or LLM_VARIANT_CONFIG,
+            validator=validator,
+            improvement_classifier=improvement,
+        )

@@ -1,0 +1,53 @@
+"""Synthetic scientific-document substrate.
+
+The paper benchmarks parsers on 25 000 real scientific PDFs spanning eight
+domains and six publishers.  Real PDFs (and the parsers' native rendering
+stacks) are unavailable offline, so this package provides a *generative model*
+of scientific documents that preserves the attributes the AdaParse routing
+problem actually depends on:
+
+* ground-truth text per page (prose, LaTeX equations, SMILES strings, tables,
+  citations, references) with domain-dependent composition,
+* an embedded **text layer** whose fidelity varies with the producing tool
+  (clean born-digital, noisy, OCR-derived, scrambled, or missing),
+* a rasterised **image layer** whose quality varies with scan degradation
+  (rotation, blur, contrast, compression),
+* publisher/producer/year/category metadata used by the CLS II classifier.
+"""
+
+from __future__ import annotations
+
+from repro.documents.document import (
+    ImageLayer,
+    PageContent,
+    PageElement,
+    SciDocument,
+    TextLayer,
+    TextLayerQuality,
+)
+from repro.documents.metadata import DocumentMetadata
+from repro.documents.corpus import Corpus, CorpusConfig, build_corpus
+from repro.documents.augment import (
+    AugmentationConfig,
+    degrade_image_layers,
+    replace_text_layers_with_ocr,
+)
+from repro.documents.simpdf import SimPdfReader, SimPdfWriter
+
+__all__ = [
+    "ImageLayer",
+    "PageContent",
+    "PageElement",
+    "SciDocument",
+    "TextLayer",
+    "TextLayerQuality",
+    "DocumentMetadata",
+    "Corpus",
+    "CorpusConfig",
+    "build_corpus",
+    "AugmentationConfig",
+    "degrade_image_layers",
+    "replace_text_layers_with_ocr",
+    "SimPdfReader",
+    "SimPdfWriter",
+]

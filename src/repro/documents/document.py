@@ -1,0 +1,281 @@
+"""Core document data model: pages, elements, text layer, image layer.
+
+A :class:`SciDocument` carries three views of the same content:
+
+* ``pages`` — the *ground-truth* structured content (what the paper obtains
+  from publisher HTML): a list of :class:`PageContent`, each a sequence of
+  typed :class:`PageElement` blocks (paragraphs, equations, tables, SMILES,
+  captions, references).
+* ``text_layer`` — the text *embedded in the PDF*, which is what extraction
+  parsers (PyMuPDF, pypdf) read.  Its fidelity ranges from clean born-digital
+  text to OCR-derived, scrambled, or entirely missing layers.
+* ``image_layer`` — the rendering/scan quality of the page images, which is
+  what recognition parsers (Tesseract, Nougat, Marker) read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.documents.metadata import DocumentMetadata
+
+
+class TextLayerQuality(str, enum.Enum):
+    """Fidelity class of the text embedded in a document.
+
+    The classes mirror the situations described in the paper's background
+    section: born-digital documents with a faithful layer, layers attached by
+    sub-par OCR software, deliberately scrambled text, and scanned documents
+    with no layer at all.
+    """
+
+    CLEAN = "clean"
+    NOISY = "noisy"
+    OCR_DERIVED = "ocr_derived"
+    SCRAMBLED = "scrambled"
+    MISSING = "missing"
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether extraction-based parsing can produce acceptable text."""
+        return self in (TextLayerQuality.CLEAN, TextLayerQuality.NOISY)
+
+
+#: Element kinds produced by the text generator, in the order they typically
+#: appear on a page.
+ELEMENT_KINDS: tuple[str, ...] = (
+    "heading",
+    "boilerplate",
+    "paragraph",
+    "equation",
+    "table",
+    "figure_caption",
+    "smiles",
+    "citation_block",
+    "reference_entry",
+)
+
+
+@dataclass(frozen=True)
+class PageElement:
+    """One typed content block of a page.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ELEMENT_KINDS`.
+    text:
+        Ground-truth plain-text rendering of the block.
+    latex:
+        For ``equation`` elements, the LaTeX source (recognition parsers that
+        understand math, e.g. Nougat, reproduce this; extraction parsers leak
+        a garbled plaintext version instead).
+    """
+
+    kind: str
+    text: str
+    latex: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ELEMENT_KINDS:
+            raise ValueError(f"unknown element kind: {self.kind!r}")
+
+    @property
+    def n_words(self) -> int:
+        """Number of whitespace-delimited words in the ground-truth text."""
+        return len(self.text.split())
+
+
+@dataclass(frozen=True)
+class PageContent:
+    """Ground-truth content of a single page."""
+
+    index: int
+    elements: tuple[PageElement, ...]
+
+    def ground_truth_text(self) -> str:
+        """Plain-text rendering of the page (blocks joined by blank lines)."""
+        return "\n".join(el.text for el in self.elements)
+
+    def elements_of_kind(self, kind: str) -> tuple[PageElement, ...]:
+        """All elements of one kind on this page."""
+        return tuple(el for el in self.elements if el.kind == kind)
+
+    @property
+    def n_words(self) -> int:
+        """Total ground-truth word count of the page."""
+        return sum(el.n_words for el in self.elements)
+
+    @property
+    def equation_fraction(self) -> float:
+        """Fraction of blocks that are equations (a difficulty proxy)."""
+        if not self.elements:
+            return 0.0
+        return len(self.elements_of_kind("equation")) / len(self.elements)
+
+
+@dataclass
+class TextLayer:
+    """The text embedded in the document, page by page.
+
+    ``page_texts`` may deviate from the ground truth: it is whatever the
+    producing tool (or a later OCR pass) attached to the PDF.  Extraction
+    parsers read this layer verbatim, so its quality bounds their accuracy.
+    """
+
+    quality: TextLayerQuality
+    page_texts: list[str]
+    producer: str
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_texts)
+
+    @property
+    def n_characters(self) -> int:
+        """Total number of embedded characters (zero for a missing layer)."""
+        return sum(len(t) for t in self.page_texts)
+
+    def text(self) -> str:
+        """Concatenated embedded text of the whole document."""
+        return "\n".join(self.page_texts)
+
+    def first_page_text(self) -> str:
+        """Embedded text of the first page (the signal CLS I–III operate on)."""
+        return self.page_texts[0] if self.page_texts else ""
+
+
+@dataclass
+class ImageLayer:
+    """Rendering/scan quality of the page images.
+
+    A born-digital document renders crisply (``is_scanned=False``); a scanned
+    document carries the degradations the paper simulates (random rotations,
+    contrast changes, Gaussian blur, compression).  Recognition parsers'
+    character error rates are driven by :meth:`degradation_score`.
+    """
+
+    dpi: int = 300
+    rotation_deg: float = 0.0
+    blur_sigma: float = 0.0
+    contrast: float = 1.0
+    noise_level: float = 0.0
+    jpeg_quality: int = 95
+    is_scanned: bool = False
+
+    def degradation_score(self) -> float:
+        """Scalar in ``[0, 1]``: 0 = pristine render, 1 = barely legible scan.
+
+        The score combines the individual degradations with weights chosen so
+        that typical "low-quality scan" parameters (150 dpi, a few degrees of
+        rotation, mild blur, strong compression) land around 0.4–0.7.
+        """
+        dpi_term = max(0.0, min(1.0, (300.0 - self.dpi) / 250.0))
+        rot_term = min(1.0, abs(self.rotation_deg) / 10.0)
+        blur_term = min(1.0, self.blur_sigma / 3.0)
+        contrast_term = min(1.0, abs(1.0 - self.contrast) / 0.8)
+        noise_term = min(1.0, self.noise_level / 0.5)
+        jpeg_term = max(0.0, min(1.0, (95.0 - self.jpeg_quality) / 80.0))
+        score = (
+            0.22 * dpi_term
+            + 0.18 * rot_term
+            + 0.22 * blur_term
+            + 0.12 * contrast_term
+            + 0.16 * noise_term
+            + 0.10 * jpeg_term
+        )
+        return float(max(0.0, min(1.0, score)))
+
+
+@dataclass
+class SciDocument:
+    """A synthetic scientific document with ground truth and derived layers.
+
+    Attributes
+    ----------
+    doc_id:
+        Stable identifier (also used to derive per-document random streams).
+    metadata:
+        Publisher/producer/year/category metadata (CLS II features).
+    pages:
+        Ground-truth page contents.
+    text_layer:
+        Embedded text layer read by extraction parsers.
+    image_layer:
+        Rendering quality read by recognition parsers.
+    seed:
+        Root seed the document was generated from (kept for provenance).
+    """
+
+    doc_id: str
+    metadata: DocumentMetadata
+    pages: list[PageContent]
+    text_layer: TextLayer
+    image_layer: ImageLayer
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise ValueError("a document must have at least one page")
+        if self.text_layer.n_pages != len(self.pages):
+            raise ValueError(
+                "text layer must cover every page: "
+                f"{self.text_layer.n_pages} layer pages vs {len(self.pages)} pages"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Ground-truth accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def n_words(self) -> int:
+        """Total ground-truth word count of the document."""
+        return sum(page.n_words for page in self.pages)
+
+    def ground_truth_text(self) -> str:
+        """Full ground-truth plain text (ψ in the paper's notation)."""
+        return "\n".join(page.ground_truth_text() for page in self.pages)
+
+    def ground_truth_pages(self) -> list[str]:
+        """Per-page ground-truth plain text."""
+        return [page.ground_truth_text() for page in self.pages]
+
+    def iter_elements(self) -> Iterator[PageElement]:
+        """Iterate over all elements across pages in reading order."""
+        for page in self.pages:
+            yield from page.elements
+
+    # ------------------------------------------------------------------ #
+    # Difficulty proxies
+    # ------------------------------------------------------------------ #
+    @property
+    def equation_fraction(self) -> float:
+        """Document-level fraction of equation blocks."""
+        n_elements = sum(len(p.elements) for p in self.pages)
+        if n_elements == 0:
+            return 0.0
+        n_eq = sum(len(p.elements_of_kind("equation")) for p in self.pages)
+        return n_eq / n_elements
+
+    @property
+    def is_born_digital(self) -> bool:
+        """True when the document was not produced by a scanning pipeline."""
+        return not self.image_layer.is_scanned
+
+    def with_text_layer(self, text_layer: TextLayer) -> "SciDocument":
+        """Return a copy of the document with a replaced text layer."""
+        return replace(self, text_layer=text_layer)
+
+    def with_image_layer(self, image_layer: ImageLayer) -> "SciDocument":
+        """Return a copy of the document with a replaced image layer."""
+        return replace(self, image_layer=image_layer)
+
+
+def total_pages(documents: Iterable[SciDocument]) -> int:
+    """Sum of page counts over a collection of documents."""
+    return sum(doc.n_pages for doc in documents)

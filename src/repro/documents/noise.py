@@ -1,0 +1,272 @@
+"""Low-level text corruption channels.
+
+These primitives model the character- and word-level damage that real parsing
+pipelines introduce (Figure 1 of the paper).  They are used in two places:
+
+* by the corpus builder, to attach *imperfect embedded text layers* to
+  documents (e.g. a layer produced by legacy OCR software), and
+* by :mod:`repro.parsers.failure_modes`, which composes them into the named
+  parser failure modes (whitespace injection, character scrambling, SMILES
+  corruption, ...).
+
+All functions are pure given the supplied :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Common OCR confusion pairs (symmetrised at call time where appropriate).
+OCR_CONFUSIONS: dict[str, str] = {
+    "l": "1",
+    "1": "l",
+    "I": "l",
+    "O": "0",
+    "0": "O",
+    "o": "c",
+    "e": "c",
+    "c": "e",
+    "a": "o",
+    "s": "5",
+    "5": "S",
+    "B": "8",
+    "g": "q",
+    "h": "b",
+    "n": "r",
+    "u": "v",
+    "v": "u",
+    "t": "f",
+    "f": "t",
+    "Z": "2",
+    "m": "rn",
+    "w": "vv",
+}
+
+#: Characters that commonly survive as mojibake when ligatures/encodings break.
+LIGATURE_BREAKS: dict[str, str] = {
+    "fi": "ﬁ",
+    "fl": "ﬂ",
+    "ff": "ﬀ",
+    "--": "–",
+}
+
+
+def _split_preserving(text: str) -> list[str]:
+    """Split into whitespace-delimited tokens (words), dropping empty tokens."""
+    return [w for w in text.split(" ") if w != ""]
+
+
+def inject_whitespace(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Insert spurious spaces inside words with probability ``rate`` per word.
+
+    Models failure mode (a) of Figure 1: extraction tools emitting a space for
+    every kerning adjustment.
+    """
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    mask = rng.random(len(words)) < rate
+    out: list[str] = []
+    for word, hit in zip(words, mask):
+        if hit and len(word) >= 4:
+            pos = int(rng.integers(1, len(word)))
+            word = word[:pos] + " " + word[pos:]
+        out.append(word)
+    return " ".join(out)
+
+
+def substitute_words(
+    text: str,
+    rate: float,
+    rng: np.random.Generator,
+    vocabulary: tuple[str, ...] | None = None,
+) -> str:
+    """Replace words with unrelated vocabulary words (failure mode (b))."""
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    vocab = vocabulary if vocabulary else ("data", "value", "figure", "item", "entry")
+    mask = rng.random(len(words)) < rate
+    if mask.any():
+        replacements = rng.choice(vocab, size=int(mask.sum()))
+        it = iter(replacements)
+        words = [str(next(it)) if hit and w else w for w, hit in zip(words, mask)]
+    return " ".join(words)
+
+
+def scramble_characters(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Shuffle the interior characters of words with probability ``rate``.
+
+    Models failure mode (c): character scrambling from bad glyph-to-unicode
+    maps or deliberate anti-extraction obfuscation.
+    """
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    mask = rng.random(len(words)) < rate
+    out: list[str] = []
+    for word, hit in zip(words, mask):
+        if hit and len(word) > 3:
+            interior = list(word[1:-1])
+            rng.shuffle(interior)
+            word = word[0] + "".join(interior) + word[-1]
+        out.append(word)
+    return " ".join(out)
+
+
+def substitute_characters(
+    text: str,
+    rate: float,
+    rng: np.random.Generator,
+    confusions: dict[str, str] | None = None,
+) -> str:
+    """Apply OCR-style character confusions with probability ``rate`` per char.
+
+    Models failure mode (d) and the generic OCR noise channel.
+    """
+    if rate <= 0 or not text:
+        return text
+    table = confusions if confusions is not None else OCR_CONFUSIONS
+    chars = list(text)
+    mask = rng.random(len(chars)) < rate
+    for i in np.flatnonzero(mask):
+        c = chars[i]
+        if c in table:
+            chars[i] = table[c]
+        elif c.isalpha():
+            # Fall back to a nearby letter swap to keep the channel active on
+            # characters without a canonical confusion.
+            offset = 1 if rng.random() < 0.5 else -1
+            chars[i] = chr(max(97, min(122, ord(c.lower()) + offset)))
+    return "".join(chars)
+
+
+def corrupt_case(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Flip the case of characters (pH → ph, Ph → pH, ...)."""
+    if rate <= 0 or not text:
+        return text
+    chars = list(text)
+    mask = rng.random(len(chars)) < rate
+    for i in np.flatnonzero(mask):
+        c = chars[i]
+        if c.isalpha():
+            chars[i] = c.lower() if c.isupper() else c.upper()
+    return "".join(chars)
+
+
+def drop_words(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Silently drop words with probability ``rate``."""
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    keep = rng.random(len(words)) >= rate
+    kept = [w for w, k in zip(words, keep) if k]
+    if not kept and words:
+        kept = [words[0]]
+    return " ".join(kept)
+
+
+def merge_words(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Delete inter-word spaces with probability ``rate`` (lost whitespace)."""
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    if len(words) < 2:
+        return text
+    out: list[str] = [words[0]]
+    merges = rng.random(len(words) - 1) < rate
+    for word, merge in zip(words[1:], merges):
+        if merge:
+            out[-1] = out[-1] + word
+        else:
+            out.append(word)
+    return " ".join(out)
+
+
+def swap_adjacent_words(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Swap adjacent words with probability ``rate`` (reading-order errors)."""
+    if rate <= 0 or not text:
+        return text
+    words = text.split(" ")
+    i = 0
+    while i < len(words) - 1:
+        if rng.random() < rate:
+            words[i], words[i + 1] = words[i + 1], words[i]
+            i += 2
+        else:
+            i += 1
+    return " ".join(words)
+
+
+def break_ligatures(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Replace ligature-prone digraphs with their glyph forms."""
+    if rate <= 0 or not text:
+        return text
+    out = text
+    for plain, glyph in LIGATURE_BREAKS.items():
+        if plain in out and rng.random() < rate:
+            out = out.replace(plain, glyph)
+    return out
+
+
+def hard_wrap_lines(text: str, width: int, rng: np.random.Generator, hyphenate_rate: float = 0.15) -> str:
+    """Re-wrap text at a fixed column width, occasionally hyphenating words.
+
+    Extraction tools frequently return the PDF's visual line breaks rather
+    than logical paragraphs; this channel reproduces that artefact.
+    """
+    if width <= 0 or not text:
+        return text
+    words = text.split(" ")
+    lines: list[str] = []
+    current = ""
+    for word in words:
+        if not current:
+            current = word
+        elif len(current) + 1 + len(word) <= width:
+            current = current + " " + word
+        else:
+            if len(word) > 6 and rng.random() < hyphenate_rate:
+                split = len(word) // 2
+                current = current + " " + word[:split] + "-"
+                lines.append(current)
+                current = word[split:]
+            else:
+                lines.append(current)
+                current = word
+    if current:
+        lines.append(current)
+    return "\n".join(lines)
+
+
+def ocr_channel(
+    text: str,
+    severity: float,
+    rng: np.random.Generator,
+    vocabulary: tuple[str, ...] | None = None,
+) -> str:
+    """Composite OCR noise channel parameterised by a severity in ``[0, 1]``.
+
+    Severity 0 leaves the text nearly untouched; severity 1 corresponds to a
+    barely legible scan.  The per-channel rates are calibrated so that the
+    resulting character accuracy degrades smoothly from ≈0.99 to ≈0.6.
+    """
+    severity = float(max(0.0, min(1.0, severity)))
+    out = substitute_characters(text, rate=0.002 + 0.06 * severity, rng=rng)
+    out = merge_words(out, rate=0.002 + 0.03 * severity, rng=rng)
+    out = inject_whitespace(out, rate=0.002 + 0.05 * severity, rng=rng)
+    out = drop_words(out, rate=0.001 + 0.03 * severity, rng=rng)
+    out = corrupt_case(out, rate=0.001 + 0.02 * severity, rng=rng)
+    if severity > 0.5:
+        out = scramble_characters(out, rate=0.04 * (severity - 0.5), rng=rng)
+    if vocabulary:
+        out = substitute_words(out, rate=0.01 * severity, rng=rng, vocabulary=vocabulary)
+    return out
+
+
+def scramble_layer(text: str, rng: np.random.Generator) -> str:
+    """Aggressively scramble an embedded text layer (anti-extraction)."""
+    out = scramble_characters(text, rate=0.8, rng=rng)
+    out = substitute_characters(out, rate=0.15, rng=rng)
+    out = merge_words(out, rate=0.2, rng=rng)
+    return out

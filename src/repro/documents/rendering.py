@@ -1,0 +1,155 @@
+"""Rendering transforms between ground-truth content and derived layers.
+
+Real PDFs do not embed LaTeX: an equation's embedded text is whatever glyph
+sequence the typesetter emitted, and OCR engines see only the rasterised
+symbols.  These helpers translate ground-truth elements (notably equations and
+tables) into the forms the different channels observe:
+
+* :func:`latex_to_embedded_glyphs` — what an *extraction* parser recovers from
+  the text layer of a typeset equation (commands dropped, odd spacing).
+* :func:`latex_to_prose` — Marker's "LaTeX to plaintext" conversion (failure
+  mode (f) of Figure 1).
+* :func:`latex_ocr_garble` — what a line-based OCR engine makes of rendered
+  math.
+* :func:`table_reading_order` — a table as recovered in raw reading order
+  (column separators lost).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+_COMMAND_WORDS: dict[str, str] = {
+    "\\frac": "",
+    "\\partial": "∂",
+    "\\nabla": "∇",
+    "\\sum": "Σ",
+    "\\int": "∫",
+    "\\infty": "∞",
+    "\\alpha": "α",
+    "\\beta": "β",
+    "\\gamma": "γ",
+    "\\lambda": "λ",
+    "\\mu": "μ",
+    "\\sigma": "σ",
+    "\\theta": "θ",
+    "\\phi": "φ",
+    "\\omega": "ω",
+    "\\epsilon": "ε",
+    "\\cdot": "·",
+    "\\times": "×",
+    "\\exp": "exp",
+    "\\log": "log",
+    "\\sin": "sin",
+    "\\cos": "cos",
+    "\\tanh": "tanh",
+    "\\sqrt": "√",
+    "\\mathbb{E}": "E",
+    "\\,": " ",
+}
+
+_PROSE_WORDS: dict[str, str] = {
+    "\\frac": "fraction of",
+    "\\partial": "partial",
+    "\\nabla": "nabla",
+    "\\sum": "sum over",
+    "\\int": "integral of",
+    "\\infty": "infinity",
+    "\\alpha": "alpha",
+    "\\beta": "beta",
+    "\\gamma": "gamma",
+    "\\lambda": "lambda",
+    "\\mu": "mu",
+    "\\sigma": "sigma",
+    "\\theta": "theta",
+    "\\phi": "phi",
+    "\\omega": "omega",
+    "\\epsilon": "epsilon",
+    "\\cdot": "times",
+    "\\times": "times",
+    "\\exp": "exp",
+    "\\log": "log",
+    "\\sin": "sin",
+    "\\cos": "cos",
+    "\\tanh": "tanh",
+    "\\sqrt": "square root of",
+    "\\mathbb{E}": "expectation",
+    "\\,": " ",
+}
+
+
+def _apply_command_map(latex: str, table: dict[str, str]) -> str:
+    out = latex
+    # Replace longer commands first so e.g. ``\\exp`` is not clobbered by ``\\e``.
+    for cmd in sorted(table, key=len, reverse=True):
+        out = out.replace(cmd, table[cmd])
+    return out
+
+
+def latex_to_embedded_glyphs(latex: str, rng: np.random.Generator | None = None) -> str:
+    """Approximate the text layer a typeset equation leaves behind.
+
+    Commands collapse to unicode glyphs, braces/backslashes disappear, and the
+    glyph order roughly follows visual layout, with occasional spurious spaces
+    where kerning boxes break the run.
+    """
+    out = _apply_command_map(latex, _COMMAND_WORDS)
+    out = out.replace("{", " ").replace("}", " ")
+    out = out.replace("\\", " ")
+    out = re.sub(r"[ \t]+", " ", out).strip()
+    if rng is not None and out:
+        # Subscript/superscript markers frequently detach in extraction output.
+        out = out.replace("_", " _ ") if rng.random() < 0.5 else out.replace("_", "")
+        out = out.replace("^", " ^ ") if rng.random() < 0.5 else out.replace("^", "")
+        out = re.sub(r"[ \t]+", " ", out).strip()
+    return out
+
+
+def latex_to_prose(latex: str) -> str:
+    """Marker-style conversion of an equation into plain English-ish text."""
+    out = _apply_command_map(latex, _PROSE_WORDS)
+    out = out.replace("{", " ").replace("}", " ")
+    out = out.replace("\\", " ")
+    out = out.replace("=", " equals ")
+    out = out.replace("+", " plus ")
+    out = out.replace("-", " minus ")
+    out = re.sub(r"[_^]", " ", out)
+    out = re.sub(r"[ \t]+", " ", out).strip()
+    return out
+
+
+def latex_ocr_garble(latex: str, severity: float, rng: np.random.Generator) -> str:
+    """What a line-oriented OCR engine reads off a rendered equation.
+
+    OCR engines were not trained on math: fraction bars become dashes, Greek
+    letters are mis-read as Latin look-alikes, and sub/superscripts collapse
+    into the baseline.
+    """
+    glyphs = latex_to_embedded_glyphs(latex, rng)
+    lookalikes = {"α": "a", "β": "B", "γ": "y", "λ": "A", "μ": "u", "σ": "o",
+                  "θ": "0", "φ": "o", "ω": "w", "ε": "e", "∂": "d", "∇": "V",
+                  "Σ": "E", "∫": "J", "∞": "oo", "·": ".", "×": "x", "√": "v"}
+    out_chars = []
+    for ch in glyphs:
+        if ch in lookalikes and rng.random() < 0.4 + 0.5 * severity:
+            out_chars.append(lookalikes[ch])
+        else:
+            out_chars.append(ch)
+    out = "".join(out_chars)
+    if rng.random() < 0.3 + 0.4 * severity:
+        out = out.replace("_", "").replace("^", "")
+    return out
+
+
+def table_reading_order(table_text: str, drop_separator_prob: float, rng: np.random.Generator) -> str:
+    """Recover a table in raw reading order, possibly losing column separators."""
+    lines = table_text.split("\n")
+    out_lines = []
+    for line in lines:
+        if "|" in line and rng.random() < drop_separator_prob:
+            out_lines.append(line.replace(" | ", " "))
+        else:
+            out_lines.append(line)
+    return "\n".join(out_lines)

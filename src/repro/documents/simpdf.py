@@ -1,0 +1,234 @@
+"""SimPDF: a serialisable container format for synthetic documents.
+
+The paper's pipeline reads PDFs from a Lustre filesystem, aggregates them into
+compressed ZIP archives, and stages those archives to node-local RAM storage.
+SimPDF is the reproduction's on-disk stand-in: a zlib-compressed JSON container
+holding a document's ground truth, text layer, image layer and metadata.  The
+archive variant packs many documents into one file so the HPC simulator and
+the examples exercise the same aggregation/staging pattern with realistic
+byte sizes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.documents.document import (
+    ImageLayer,
+    PageContent,
+    PageElement,
+    SciDocument,
+    TextLayer,
+    TextLayerQuality,
+)
+from repro.documents.metadata import DocumentMetadata
+
+#: Magic prefix identifying a SimPDF payload.
+MAGIC = b"SIMPDF1\n"
+
+
+def document_to_dict(doc: SciDocument) -> dict[str, object]:
+    """Convert a document to a JSON-serialisable dictionary."""
+    return {
+        "doc_id": doc.doc_id,
+        "seed": doc.seed,
+        "metadata": doc.metadata.to_dict(),
+        "pages": [
+            {
+                "index": page.index,
+                "elements": [
+                    {"kind": el.kind, "text": el.text, "latex": el.latex}
+                    for el in page.elements
+                ],
+            }
+            for page in doc.pages
+        ],
+        "text_layer": {
+            "quality": doc.text_layer.quality.value,
+            "producer": doc.text_layer.producer,
+            "page_texts": list(doc.text_layer.page_texts),
+        },
+        "image_layer": {
+            "dpi": doc.image_layer.dpi,
+            "rotation_deg": doc.image_layer.rotation_deg,
+            "blur_sigma": doc.image_layer.blur_sigma,
+            "contrast": doc.image_layer.contrast,
+            "noise_level": doc.image_layer.noise_level,
+            "jpeg_quality": doc.image_layer.jpeg_quality,
+            "is_scanned": doc.image_layer.is_scanned,
+        },
+    }
+
+
+def document_from_dict(data: dict[str, object]) -> SciDocument:
+    """Inverse of :func:`document_to_dict`."""
+    pages = [
+        PageContent(
+            index=int(p["index"]),  # type: ignore[index,arg-type]
+            elements=tuple(
+                PageElement(kind=e["kind"], text=e["text"], latex=e.get("latex"))
+                for e in p["elements"]  # type: ignore[index]
+            ),
+        )
+        for p in data["pages"]  # type: ignore[union-attr]
+    ]
+    tl = data["text_layer"]  # type: ignore[index]
+    il = data["image_layer"]  # type: ignore[index]
+    return SciDocument(
+        doc_id=str(data["doc_id"]),
+        seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+        metadata=DocumentMetadata.from_dict(dict(data["metadata"])),  # type: ignore[arg-type]
+        pages=pages,
+        text_layer=TextLayer(
+            quality=TextLayerQuality(tl["quality"]),
+            page_texts=list(tl["page_texts"]),
+            producer=str(tl["producer"]),
+        ),
+        image_layer=ImageLayer(
+            dpi=int(il["dpi"]),
+            rotation_deg=float(il["rotation_deg"]),
+            blur_sigma=float(il["blur_sigma"]),
+            contrast=float(il["contrast"]),
+            noise_level=float(il["noise_level"]),
+            jpeg_quality=int(il["jpeg_quality"]),
+            is_scanned=bool(il["is_scanned"]),
+        ),
+    )
+
+
+def serialize_document(doc: SciDocument, compress_level: int = 6) -> bytes:
+    """Serialise one document to SimPDF bytes."""
+    payload = json.dumps(document_to_dict(doc), ensure_ascii=False).encode("utf-8")
+    return MAGIC + zlib.compress(payload, compress_level)
+
+
+def deserialize_document(blob: bytes) -> SciDocument:
+    """Parse SimPDF bytes back into a document."""
+    if not blob.startswith(MAGIC):
+        raise ValueError("not a SimPDF payload (bad magic)")
+    payload = zlib.decompress(blob[len(MAGIC):])
+    return document_from_dict(json.loads(payload.decode("utf-8")))
+
+
+class SimPdfWriter:
+    """Write individual SimPDF files under a directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def write(self, doc: SciDocument) -> Path:
+        """Write one document; returns the file path."""
+        path = self.directory / f"{doc.doc_id}.simpdf"
+        path.write_bytes(serialize_document(doc))
+        return path
+
+    def write_all(self, documents: Iterable[SciDocument]) -> list[Path]:
+        """Write many documents; returns the file paths."""
+        return [self.write(doc) for doc in documents]
+
+
+class SimPdfReader:
+    """Read SimPDF files from a directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def paths(self) -> list[Path]:
+        """All SimPDF file paths in the directory (sorted)."""
+        return sorted(self.directory.glob("*.simpdf"))
+
+    def read(self, path: str | Path) -> SciDocument:
+        """Read one document from a path."""
+        return deserialize_document(Path(path).read_bytes())
+
+    def read_all(self) -> list[SciDocument]:
+        """Read every document in the directory."""
+        return [self.read(p) for p in self.paths()]
+
+
+@dataclass
+class ArchiveEntry:
+    """Directory entry of a :class:`SimPdfArchive`: id, offset, length."""
+
+    doc_id: str
+    offset: int
+    length: int
+
+
+class SimPdfArchive:
+    """A single-file archive packing many SimPDF documents.
+
+    Mirrors the paper's ZIP aggregation: a header with a JSON directory of
+    entries, followed by the concatenated compressed documents.  Supports
+    random access by document id without decompressing the whole archive.
+    """
+
+    MAGIC = b"SIMPDFARCH1\n"
+
+    @classmethod
+    def write(cls, path: str | Path, documents: Iterable[SciDocument]) -> "SimPdfArchive":
+        """Create an archive file from documents and return a reader for it."""
+        body = io.BytesIO()
+        entries: list[ArchiveEntry] = []
+        for doc in documents:
+            blob = serialize_document(doc)
+            entries.append(ArchiveEntry(doc_id=doc.doc_id, offset=body.tell(), length=len(blob)))
+            body.write(blob)
+        directory = json.dumps(
+            [{"doc_id": e.doc_id, "offset": e.offset, "length": e.length} for e in entries]
+        ).encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(cls.MAGIC)
+            fh.write(len(directory).to_bytes(8, "little"))
+            fh.write(directory)
+            fh.write(body.getvalue())
+        return cls(path)
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(self.MAGIC))
+            if magic != self.MAGIC:
+                raise ValueError("not a SimPDF archive (bad magic)")
+            dir_len = int.from_bytes(fh.read(8), "little")
+            directory = json.loads(fh.read(dir_len).decode("utf-8"))
+            self._body_offset = fh.tell()
+        self.entries = [
+            ArchiveEntry(doc_id=e["doc_id"], offset=e["offset"], length=e["length"])
+            for e in directory
+        ]
+        self._index = {e.doc_id: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def doc_ids(self) -> list[str]:
+        """All document ids in archive order."""
+        return [e.doc_id for e in self.entries]
+
+    def read(self, doc_id: str) -> SciDocument:
+        """Random-access read of one document by id."""
+        entry = self._index.get(doc_id)
+        if entry is None:
+            raise KeyError(f"no document {doc_id!r} in archive")
+        with open(self.path, "rb") as fh:
+            fh.seek(self._body_offset + entry.offset)
+            blob = fh.read(entry.length)
+        return deserialize_document(blob)
+
+    def __iter__(self) -> Iterator[SciDocument]:
+        with open(self.path, "rb") as fh:
+            for entry in self.entries:
+                fh.seek(self._body_offset + entry.offset)
+                yield deserialize_document(fh.read(entry.length))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total archive size on disk."""
+        return self.path.stat().st_size

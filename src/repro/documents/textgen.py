@@ -1,0 +1,337 @@
+"""Scientific text generation.
+
+Generates the ground-truth content of synthetic scientific documents: prose
+paragraphs with domain vocabulary, LaTeX equations, SMILES strings, tables,
+figure captions, citation blocks and reference entries.  The generator is the
+stand-in for the paper's HTML-derived ground truth: every document's true text
+is known exactly, which is what makes the accuracy metrics computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.documents import lexicon
+from repro.documents.document import PageContent, PageElement
+
+
+@dataclass(frozen=True)
+class TextGenConfig:
+    """Knobs of the text generator.
+
+    Attributes
+    ----------
+    min_sentences_per_paragraph, max_sentences_per_paragraph:
+        Range of paragraph lengths.
+    min_words_per_sentence, max_words_per_sentence:
+        Range of sentence lengths (whitespace tokens).
+    min_elements_per_page, max_elements_per_page:
+        Range of content blocks per page (headings and boilerplate excluded).
+    """
+
+    min_sentences_per_paragraph: int = 3
+    max_sentences_per_paragraph: int = 6
+    min_words_per_sentence: int = 9
+    max_words_per_sentence: int = 22
+    min_elements_per_page: int = 4
+    max_elements_per_page: int = 8
+
+
+_GREEK = ("\\alpha", "\\beta", "\\gamma", "\\lambda", "\\mu", "\\sigma", "\\theta", "\\phi", "\\omega", "\\epsilon")
+_OPERATORS = ("+", "-", "\\cdot", "\\times")
+_FUNCTIONS = ("\\exp", "\\log", "\\sin", "\\cos", "\\tanh", "\\sqrt")
+_VARIABLES = ("x", "y", "z", "t", "u", "v", "n", "k", "p", "q")
+_SMILES_FRAGMENTS = ("C", "CC", "C(=O)", "O", "N", "c1ccccc1", "C(N)", "S(=O)(=O)", "Cl", "F", "[Na+]", "C#N", "OC")
+
+
+class ScientificTextGenerator:
+    """Domain-conditioned generator of scientific page content.
+
+    Parameters
+    ----------
+    domain:
+        One of :data:`repro.documents.lexicon.DOMAINS`.
+    rng:
+        Random generator driving all sampling (pass a per-document stream for
+        reproducibility).
+    config:
+        Optional :class:`TextGenConfig`.
+    """
+
+    def __init__(
+        self,
+        domain: str,
+        rng: np.random.Generator,
+        config: TextGenConfig | None = None,
+    ) -> None:
+        if domain not in lexicon.DOMAINS:
+            raise KeyError(f"unknown domain: {domain!r}")
+        self.domain = domain
+        self.rng = rng
+        self.config = config or TextGenConfig()
+        self._terms = np.asarray(lexicon.DOMAIN_TERMS[domain])
+        self._nouns = np.asarray(lexicon.ACADEMIC_NOUNS)
+        self._verbs = np.asarray(lexicon.ACADEMIC_VERBS)
+        self._adjectives = np.asarray(lexicon.ACADEMIC_ADJECTIVES)
+        self._connectives = np.asarray(lexicon.CONNECTIVES)
+        self._fragile = np.asarray(lexicon.FRAGILE_ENTITIES.get(domain, ("unit",)))
+        self._surnames = np.asarray(lexicon.AUTHOR_SURNAMES)
+
+    # ------------------------------------------------------------------ #
+    # Sentence / paragraph generation
+    # ------------------------------------------------------------------ #
+    def sentence(self) -> str:
+        """Generate one scientific-sounding sentence."""
+        rng = self.rng
+        cfg = self.config
+        n_words = int(rng.integers(cfg.min_words_per_sentence, cfg.max_words_per_sentence + 1))
+        adj = rng.choice(self._adjectives, size=3)
+        noun = rng.choice(self._nouns, size=4)
+        term = rng.choice(self._terms, size=4)
+        verb = rng.choice(self._verbs, size=2)
+        parts: list[str] = []
+        if rng.random() < 0.25:
+            parts.append(str(rng.choice(self._connectives)).capitalize() + ",")
+            parts.append("the")
+        else:
+            parts.append("The")
+        parts.extend([str(adj[0]), str(noun[0]), "of", "the", str(term[0])])
+        parts.append(str(verb[0]) + "s")
+        parts.extend(["a", str(adj[1]), str(noun[1]), "in", "the", str(term[1]), str(noun[2])])
+        if rng.random() < 0.35:
+            parts.extend(["with", "respect", "to", "the", str(term[2]), str(noun[3])])
+        if rng.random() < 0.25:
+            value = rng.random() * 100
+            parts.extend(["at", f"{value:.1f}", "percent"])
+        if rng.random() < 0.18:
+            parts.extend(["for", str(self._fragile[int(rng.integers(0, len(self._fragile)))])])
+        # Pad or trim to the target length with additional qualifier words.
+        fillers = rng.choice(self._terms, size=max(1, n_words))
+        i = 0
+        while len(parts) < n_words and i < len(fillers):
+            parts.extend(["and", "the", str(fillers[i])])
+            i += 1
+        sentence = " ".join(parts[:n_words]).rstrip(",")
+        return sentence + "."
+
+    def paragraph(self, n_sentences: int | None = None) -> str:
+        """Generate a paragraph of several sentences, possibly with a citation."""
+        rng = self.rng
+        cfg = self.config
+        if n_sentences is None:
+            n_sentences = int(
+                rng.integers(cfg.min_sentences_per_paragraph, cfg.max_sentences_per_paragraph + 1)
+            )
+        sentences = [self.sentence() for _ in range(n_sentences)]
+        if rng.random() < 0.5:
+            cite_at = int(rng.integers(0, n_sentences))
+            sentences[cite_at] = sentences[cite_at][:-1] + " " + self.inline_citation() + "."
+        return " ".join(sentences)
+
+    def inline_citation(self) -> str:
+        """Generate an inline citation marker."""
+        rng = self.rng
+        if rng.random() < 0.5:
+            return f"[{int(rng.integers(1, 60))}]"
+        name = str(rng.choice(self._surnames))
+        year = int(rng.integers(1998, 2025))
+        return f"({name} et al., {year})"
+
+    # ------------------------------------------------------------------ #
+    # Structured elements
+    # ------------------------------------------------------------------ #
+    def equation_latex(self) -> str:
+        """Generate a LaTeX equation string."""
+        rng = self.rng
+        lhs_var = str(rng.choice(_VARIABLES))
+        greek = rng.choice(_GREEK, size=2)
+        op = rng.choice(_OPERATORS, size=2)
+        fn = str(rng.choice(_FUNCTIONS))
+        rhs_var = rng.choice(_VARIABLES, size=2)
+        style = int(rng.integers(0, 4))
+        if style == 0:
+            body = f"{fn}({greek[0]} {op[0]} {rhs_var[0]}^{int(rng.integers(2, 5))})"
+            return f"{lhs_var} = \\frac{{{body}}}{{{greek[1]} {op[1]} {rhs_var[1]}}}"
+        if style == 1:
+            return (
+                f"\\frac{{\\partial {lhs_var}}}{{\\partial t}} = "
+                f"\\nabla^2 {lhs_var} {op[0]} {greek[0]} {rhs_var[0]}"
+            )
+        if style == 2:
+            return (
+                f"{lhs_var}_{{n+1}} = {lhs_var}_n {op[0]} {greek[0]} "
+                f"\\sum_{{i=1}}^{{N}} {fn}({rhs_var[0]}_i)"
+            )
+        return (
+            f"\\mathbb{{E}}[{lhs_var}] = \\int_0^\\infty {fn}({rhs_var[0]}) "
+            f"\\, d{rhs_var[0]} {op[1]} {greek[1]}"
+        )
+
+    def equation_element(self) -> PageElement:
+        """Equation block (ground truth is the LaTeX source, as in HTML/MathML)."""
+        latex = self.equation_latex()
+        return PageElement(kind="equation", text=latex, latex=latex)
+
+    def smiles_string(self) -> str:
+        """Generate a SMILES-like molecular identifier."""
+        rng = self.rng
+        n = int(rng.integers(3, 8))
+        frags = rng.choice(np.asarray(_SMILES_FRAGMENTS), size=n)
+        return "".join(str(f) for f in frags)
+
+    def smiles_element(self) -> PageElement:
+        """A compound description sentence carrying a SMILES identifier."""
+        smiles = self.smiles_string()
+        sentence = (
+            f"The candidate compound ({smiles}) was synthesized and characterized "
+            f"by {self.rng.choice(self._terms)} analysis."
+        )
+        return PageElement(kind="smiles", text=sentence)
+
+    def table_element(self) -> PageElement:
+        """A small numeric results table rendered as aligned plain text."""
+        rng = self.rng
+        n_rows = int(rng.integers(3, 7))
+        n_cols = int(rng.integers(3, 6))
+        headers = ["condition"] + [str(rng.choice(self._nouns)) for _ in range(n_cols - 1)]
+        lines = ["Table: " + " | ".join(headers)]
+        values = rng.random((n_rows, n_cols - 1)) * rng.integers(1, 100)
+        for r in range(n_rows):
+            label = str(rng.choice(self._terms))
+            cells = [f"{values[r, c]:.2f}" for c in range(n_cols - 1)]
+            lines.append(" | ".join([label] + cells))
+        return PageElement(kind="table", text="\n".join(lines))
+
+    def figure_caption_element(self, figure_number: int) -> PageElement:
+        """A figure caption block."""
+        caption = (
+            f"Figure {figure_number}: {self.sentence()} Error bars denote one "
+            f"standard deviation across {int(self.rng.integers(3, 12))} replicates."
+        )
+        return PageElement(kind="figure_caption", text=caption)
+
+    def citation_block_element(self) -> PageElement:
+        """A short related-work passage dense with citations."""
+        rng = self.rng
+        sentences = []
+        for _ in range(int(rng.integers(2, 4))):
+            s = self.sentence()
+            sentences.append(s[:-1] + " " + self.inline_citation() + ".")
+        return PageElement(kind="citation_block", text=" ".join(sentences))
+
+    def reference_entry_element(self, index: int) -> PageElement:
+        """A bibliography entry."""
+        rng = self.rng
+        authors = ", ".join(str(s) for s in rng.choice(self._surnames, size=int(rng.integers(2, 4)), replace=False))
+        title = " ".join(str(w) for w in rng.choice(self._terms, size=int(rng.integers(4, 7))))
+        journal = f"Journal of {str(rng.choice(self._terms)).capitalize()}"
+        year = int(rng.integers(1995, 2025))
+        pages = f"{int(rng.integers(1, 900))}--{int(rng.integers(900, 1800))}"
+        text = f"[{index}] {authors}. {title.capitalize()}. {journal}, {year}, pp. {pages}."
+        return PageElement(kind="reference_entry", text=text)
+
+    def heading_element(self, title: str | None = None) -> PageElement:
+        """A section heading block."""
+        if title is None:
+            title = str(self.rng.choice(np.asarray(lexicon.SECTION_TITLES)))
+        return PageElement(kind="heading", text=title)
+
+    def boilerplate_element(self) -> PageElement:
+        """First-page boilerplate (license lines, submission notes, ...)."""
+        line = str(self.rng.choice(np.asarray(lexicon.FIRST_PAGE_BOILERPLATE)))
+        return PageElement(kind="boilerplate", text=line)
+
+    # ------------------------------------------------------------------ #
+    # Page assembly
+    # ------------------------------------------------------------------ #
+    def _body_element(self, figure_counter: int) -> tuple[PageElement, int]:
+        """Sample one body element according to the domain element mix."""
+        rng = self.rng
+        mix = lexicon.ELEMENT_MIX[self.domain]
+        kinds = list(mix.keys())
+        weights = np.asarray([mix[k] for k in kinds], dtype=float)
+        weights = weights / weights.sum()
+        kind = str(rng.choice(kinds, p=weights))
+        if kind == "paragraph":
+            return PageElement(kind="paragraph", text=self.paragraph()), figure_counter
+        if kind == "equation":
+            return self.equation_element(), figure_counter
+        if kind == "table":
+            return self.table_element(), figure_counter
+        if kind == "figure_caption":
+            figure_counter += 1
+            return self.figure_caption_element(figure_counter), figure_counter
+        if kind == "smiles":
+            return self.smiles_element(), figure_counter
+        return self.citation_block_element(), figure_counter
+
+    def first_page(self, title: str, abstract_sentences: int = 5) -> PageContent:
+        """Generate the title/abstract page."""
+        elements: list[PageElement] = [
+            PageElement(kind="heading", text=title),
+            self.boilerplate_element(),
+            PageElement(kind="heading", text="Abstract"),
+            PageElement(kind="paragraph", text=self.paragraph(abstract_sentences)),
+            self.heading_element("Introduction"),
+            PageElement(kind="paragraph", text=self.paragraph()),
+            PageElement(kind="paragraph", text=self.paragraph()),
+        ]
+        return PageContent(index=0, elements=tuple(elements))
+
+    def body_page(self, index: int, figure_counter: int = 0) -> tuple[PageContent, int]:
+        """Generate a body page; returns the page and the updated figure count."""
+        rng = self.rng
+        cfg = self.config
+        n_elements = int(rng.integers(cfg.min_elements_per_page, cfg.max_elements_per_page + 1))
+        elements: list[PageElement] = []
+        if rng.random() < 0.4:
+            elements.append(self.heading_element())
+        for _ in range(n_elements):
+            element, figure_counter = self._body_element(figure_counter)
+            elements.append(element)
+        return PageContent(index=index, elements=tuple(elements)), figure_counter
+
+    def references_page(self, index: int, n_entries: int | None = None) -> PageContent:
+        """Generate the bibliography page."""
+        rng = self.rng
+        if n_entries is None:
+            n_entries = int(rng.integers(10, 25))
+        elements: list[PageElement] = [self.heading_element("References")]
+        for i in range(1, n_entries + 1):
+            elements.append(self.reference_entry_element(i))
+        return PageContent(index=index, elements=tuple(elements))
+
+    def document_pages(self, title: str, n_pages: int) -> list[PageContent]:
+        """Generate all pages of a document (first page, body, references)."""
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        pages: list[PageContent] = [self.first_page(title)]
+        figure_counter = 0
+        for idx in range(1, max(1, n_pages - 1)):
+            page, figure_counter = self.body_page(idx, figure_counter)
+            pages.append(page)
+        if n_pages >= 2:
+            pages.append(self.references_page(n_pages - 1))
+        return pages[:n_pages]
+
+
+def generate_generic_sentences(rng: np.random.Generator, n_sentences: int) -> list[str]:
+    """Generate non-scientific filler sentences (web-style text).
+
+    Used to pre-train the "generic" encoder baselines (BERT / MiniLM stand-ins)
+    so that Table 4 can contrast scientific vs web-scale pre-training.
+    """
+    vocab = np.asarray(
+        lexicon.GENERIC_TERMS
+        + lexicon.ACADEMIC_ADJECTIVES[:6]
+        + ("is", "was", "the", "a", "of", "for", "with", "and", "new", "best", "near", "local")
+    )
+    sentences = []
+    for _ in range(n_sentences):
+        n = int(rng.integers(7, 16))
+        words = rng.choice(vocab, size=n)
+        sentence = " ".join(str(w) for w in words)
+        sentences.append(sentence.capitalize() + ".")
+    return sentences

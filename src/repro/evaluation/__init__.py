@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the evaluation.
+
+* :mod:`repro.evaluation.harness` — runs parsers/engines over a corpus and
+  aggregates the quality metrics (Coverage, BLEU, ROUGE, CAR, WR, AT).
+* :mod:`repro.evaluation.tables` — Tables 1–4.
+* :mod:`repro.evaluation.figures` — Figures 3–5.
+* :mod:`repro.evaluation.alignment` — the Section 7.1 preference-study
+  statistics.
+* :mod:`repro.evaluation.reporting` — rendering/saving of experiment outputs.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import EvaluationHarness, EvaluationReport, HarnessConfig
+from repro.evaluation.tables import (
+    table1_born_digital,
+    table2_scanned,
+    table3_degraded_text,
+    table4_selector_models,
+)
+from repro.evaluation.figures import (
+    figure3_parser_performance,
+    figure4_gpu_utilization,
+    figure5_scalability,
+)
+from repro.evaluation.alignment import preference_alignment_statistics
+
+__all__ = [
+    "EvaluationHarness",
+    "EvaluationReport",
+    "HarnessConfig",
+    "table1_born_digital",
+    "table2_scanned",
+    "table3_degraded_text",
+    "table4_selector_models",
+    "figure3_parser_performance",
+    "figure4_gpu_utilization",
+    "figure5_scalability",
+    "preference_alignment_statistics",
+]

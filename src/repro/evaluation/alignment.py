@@ -1,0 +1,77 @@
+"""Section 7.1 statistics: alignment of accuracy metrics with user preferences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.documents.corpus import Corpus
+from repro.parsers.registry import ParserRegistry
+from repro.preferences.study import PreferenceStudy, StudyConfig, StudyResult
+
+
+@dataclass
+class AlignmentStatistics:
+    """The headline numbers of the user-preference analysis."""
+
+    win_rates: dict[str, float]
+    decisiveness: float
+    consensus: float
+    bleu_win_rate_correlation: float
+    correlation_p_value: float
+    n_judgements: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "win_rates": {k: round(v, 3) for k, v in self.win_rates.items()},
+            "decisiveness": round(self.decisiveness, 3),
+            "consensus": round(self.consensus, 3),
+            "bleu_win_rate_correlation": round(self.bleu_win_rate_correlation, 3),
+            "correlation_p_value": float(self.correlation_p_value),
+            "n_judgements": self.n_judgements,
+        }
+
+
+def _page_level_correlation(result: StudyResult) -> tuple[float, float]:
+    """Correlation between page-level BLEU difference and the user's choice.
+
+    The paper's ρ ≈ 0.47 is computed over individual comparisons; the analogue
+    here correlates (BLEU_A − BLEU_B) with the choice outcome (+1 A, −1 B)
+    over all decided judgements.
+    """
+    diffs: list[float] = []
+    outcomes: list[float] = []
+    for j in result.judgements:
+        if j.winner is None:
+            continue
+        key_a = (j.doc_id, j.page_index, j.parser_a)
+        key_b = (j.doc_id, j.page_index, j.parser_b)
+        if key_a not in result.page_bleu or key_b not in result.page_bleu:
+            continue
+        diffs.append(result.page_bleu[key_a] - result.page_bleu[key_b])
+        outcomes.append(1.0 if j.winner == j.parser_a else -1.0)
+    if len(diffs) < 3 or np.std(diffs) == 0 or np.std(outcomes) == 0:
+        return 0.0, 1.0
+    correlation, p_value = stats.pearsonr(diffs, outcomes)
+    return float(correlation), float(p_value)
+
+
+def preference_alignment_statistics(
+    corpus: Corpus,
+    registry: ParserRegistry,
+    config: StudyConfig | None = None,
+) -> AlignmentStatistics:
+    """Run the simulated study and compute the Section 7.1 statistics."""
+    study = PreferenceStudy(registry, config=config)
+    result = study.run(corpus)
+    correlation, p_value = _page_level_correlation(result)
+    return AlignmentStatistics(
+        win_rates=result.win_rates(),
+        decisiveness=result.decisiveness(),
+        consensus=result.consensus(),
+        bleu_win_rate_correlation=correlation,
+        correlation_p_value=p_value,
+        n_judgements=len(result.judgements),
+    )

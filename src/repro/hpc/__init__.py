@@ -1,0 +1,44 @@
+"""Discrete-event simulation of a Polaris-like HPC system.
+
+The paper's throughput results (Figures 3–5) come from running parsers with a
+Parsl-based executor on up to 128 nodes of the Polaris supercomputer (32 CPU
+cores + 4 A100 GPUs per node, a Lustre shared filesystem, node-local RAM
+staging).  That hardware is simulated here:
+
+* :mod:`repro.hpc.events` — a minimal discrete-event engine.
+* :mod:`repro.hpc.resources` — capacity-limited resources (CPU pools, GPUs)
+  with utilisation accounting.
+* :mod:`repro.hpc.storage` — the shared parallel filesystem with bandwidth
+  contention, and node-local staging.
+* :mod:`repro.hpc.workload` — parse-task and archive models derived from the
+  parsers' cost profiles (or from real parse results).
+* :mod:`repro.hpc.executor` — the Parsl-like per-node executor: archive
+  prefetching, CPU/GPU worker pools, warm-started model workers.
+* :mod:`repro.hpc.campaign` — end-to-end parsing campaigns across many nodes,
+  producing the throughput and utilisation numbers of the figures.
+* :mod:`repro.hpc.profiler` — Nsight-style GPU utilisation traces (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.hpc.campaign import CampaignConfig, CampaignResult, ParsingCampaign
+from repro.hpc.events import DiscreteEventSimulator
+from repro.hpc.resources import CapacityResource, GpuDevice, NodeResources
+from repro.hpc.storage import NodeLocalStore, SharedFilesystem, SharedFilesystemConfig
+from repro.hpc.workload import ParseTask, WorkArchive, WorkloadModel
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "ParsingCampaign",
+    "DiscreteEventSimulator",
+    "CapacityResource",
+    "GpuDevice",
+    "NodeResources",
+    "NodeLocalStore",
+    "SharedFilesystem",
+    "SharedFilesystemConfig",
+    "ParseTask",
+    "WorkArchive",
+    "WorkloadModel",
+]

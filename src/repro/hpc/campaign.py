@@ -1,0 +1,270 @@
+"""End-to-end parsing campaigns across many simulated nodes.
+
+A :class:`ParsingCampaign` assigns archives of documents round-robin to a set
+of simulated nodes, runs every node's executor to completion, and reports
+aggregate throughput, per-resource utilisation, and GPU profiles.  The
+node-count sweeps of Figure 5 and the single-node throughput legend of
+Figure 3 are thin wrappers around this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import AdaParseConfig
+from repro.hpc.events import DiscreteEventSimulator
+from repro.hpc.executor import ExecutorConfig, ExecutorStats, NodeExecutor
+from repro.hpc.faults import FaultInjector, FaultModel, RetryPolicy
+from repro.hpc.profiler import UtilizationProfile, profile_gpus
+from repro.hpc.resources import CapacityResource, NodeResources
+from repro.hpc.storage import SharedFilesystem, SharedFilesystemConfig
+from repro.hpc.workload import ParseTask, WorkArchive, WorkloadModel, make_archives
+from repro.parsers.base import Parser
+from repro.parsers.registry import ParserRegistry
+
+#: Parsers whose per-document pipeline requires a globally coordinated stage
+#: (layout detection service); the value is the serialized seconds per
+#: document.  This is what prevents Marker from scaling past a handful of
+#: nodes in the paper's Figure 5.
+COORDINATED_PARSERS: dict[str, float] = {"marker": 1.6}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Cluster and policy configuration of a campaign."""
+
+    n_nodes: int = 4
+    cpu_cores_per_node: int = 32
+    gpus_per_node: int = 4
+    docs_per_archive: int = 64
+    prefetch_depth: int = 2
+    warm_start: bool = True
+    write_outputs: bool = True
+    coordination_capacity: int = 4
+    fs_config: SharedFilesystemConfig = field(default_factory=SharedFilesystemConfig)
+    #: Fault injection model (``None`` runs a fault-free campaign).
+    fault_model: FaultModel | None = None
+    #: Retry policy applied when faults are injected.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    seed: int = 73
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+        if self.docs_per_archive < 1:
+            raise ValueError("docs_per_archive must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    parser_name: str
+    n_documents: int
+    n_nodes: int
+    total_time_s: float
+    throughput_docs_per_s: float
+    cpu_utilization: float
+    gpu_utilization: float
+    fs_read_mb: float
+    fs_write_mb: float
+    model_loads: int
+    documents_completed: int = 0
+    documents_failed: int = 0
+    attempts_retried: int = 0
+    wasted_compute_seconds: float = 0.0
+    node_stats: list[ExecutorStats] = field(default_factory=list)
+    gpu_profile: UtilizationProfile | None = None
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted documents parsed successfully."""
+        if self.n_documents == 0:
+            return 0.0
+        return self.documents_completed / self.n_documents
+
+    def as_row(self) -> dict[str, object]:
+        """Row form for tables/figures."""
+        return {
+            "parser": self.parser_name,
+            "nodes": self.n_nodes,
+            "documents": self.n_documents,
+            "time_s": round(self.total_time_s, 2),
+            "docs_per_s": round(self.throughput_docs_per_s, 3),
+            "cpu_util": round(self.cpu_utilization, 3),
+            "gpu_util": round(self.gpu_utilization, 3),
+            "completed": self.documents_completed,
+            "failed": self.documents_failed,
+        }
+
+
+class ParsingCampaign:
+    """Runs a document-parsing campaign on the simulated cluster."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+
+    # ------------------------------------------------------------------ #
+    # Core run
+    # ------------------------------------------------------------------ #
+    def run_tasks(self, parser_name: str, tasks: Sequence[ParseTask]) -> CampaignResult:
+        """Execute a list of tasks on the configured cluster."""
+        cfg = self.config
+        sim = DiscreteEventSimulator()
+        shared_fs = SharedFilesystem(sim, cfg.fs_config)
+        coordination = CapacityResource(sim, capacity=cfg.coordination_capacity, name="layout-coordination")
+        nodes = [
+            NodeResources(
+                sim, node_id=f"node{idx:03d}", cpu_cores=cfg.cpu_cores_per_node, n_gpus=cfg.gpus_per_node
+            )
+            for idx in range(cfg.n_nodes)
+        ]
+        injector = FaultInjector(cfg.fault_model) if cfg.fault_model is not None else None
+        executors = [
+            NodeExecutor(
+                sim,
+                node,
+                shared_fs,
+                ExecutorConfig(
+                    prefetch_depth=cfg.prefetch_depth,
+                    warm_start=cfg.warm_start,
+                    write_outputs=cfg.write_outputs,
+                    fault_injector=injector,
+                    retry=cfg.retry,
+                ),
+                coordination=coordination,
+            )
+            for node in nodes
+        ]
+        archives = make_archives(tasks, cfg.docs_per_archive, prefix=parser_name)
+        per_node_archives: list[list[WorkArchive]] = [[] for _ in range(cfg.n_nodes)]
+        for i, archive in enumerate(archives):
+            per_node_archives[i % cfg.n_nodes].append(archive)
+        remaining = {"count": len(executors)}
+        for executor, node_archives in zip(executors, per_node_archives):
+            executor.process_archives(node_archives, lambda: remaining.__setitem__("count", remaining["count"] - 1))
+        sim.run()
+        if remaining["count"] != 0:
+            raise RuntimeError("campaign finished with unprocessed work (simulation deadlock)")
+        total_time = max((e.stats.finish_time for e in executors), default=sim.now)
+        total_time = max(total_time, 1e-9)
+        n_documents = len(tasks)
+        all_gpus = [gpu for node in nodes for gpu in node.gpus]
+        gpu_util = float(np.mean([gpu.utilization(total_time) for gpu in all_gpus])) if all_gpus else 0.0
+        cpu_util = float(np.mean([node.cpu.utilization(total_time) for node in nodes]))
+        profile = profile_gpus(all_gpus, horizon=total_time) if all_gpus else None
+        documents_completed = sum(e.stats.documents_completed for e in executors)
+        documents_failed = sum(e.stats.documents_failed for e in executors)
+        return CampaignResult(
+            parser_name=parser_name,
+            n_documents=n_documents,
+            n_nodes=cfg.n_nodes,
+            total_time_s=total_time,
+            throughput_docs_per_s=documents_completed / total_time,
+            cpu_utilization=cpu_util,
+            gpu_utilization=gpu_util,
+            fs_read_mb=shared_fs.bytes_read,
+            fs_write_mb=shared_fs.bytes_written,
+            model_loads=sum(e.stats.model_loads for e in executors),
+            documents_completed=documents_completed,
+            documents_failed=documents_failed,
+            attempts_retried=sum(e.stats.attempts_retried for e in executors),
+            wasted_compute_seconds=sum(e.stats.wasted_compute_seconds for e in executors),
+            node_stats=[e.stats for e in executors],
+            gpu_profile=profile,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience entry points
+    # ------------------------------------------------------------------ #
+    def run_parser(
+        self,
+        parser: Parser,
+        n_documents: int,
+        workload: WorkloadModel | None = None,
+    ) -> CampaignResult:
+        """Run a synthetic campaign for one parser."""
+        workload = workload or WorkloadModel()
+        coordination_seconds = COORDINATED_PARSERS.get(parser.name, 0.0)
+        tasks = workload.tasks_for_parser(parser, n_documents, coordination_seconds=coordination_seconds)
+        return self.run_tasks(parser.name, tasks)
+
+    def run_adaparse(
+        self,
+        registry: ParserRegistry,
+        config: AdaParseConfig,
+        n_documents: int,
+        engine_name: str = "adaparse_ft",
+        workload: WorkloadModel | None = None,
+    ) -> CampaignResult:
+        """Run a synthetic campaign for the AdaParse mix."""
+        workload = workload or WorkloadModel()
+        tasks = workload.tasks_for_adaparse(
+            registry.get(config.default_parser),
+            registry.get(config.high_quality_parser),
+            config,
+            n_documents,
+            engine_name=engine_name,
+        )
+        return self.run_tasks(engine_name, tasks)
+
+    def with_nodes(self, n_nodes: int) -> "ParsingCampaign":
+        """A copy of this campaign configured for a different node count."""
+        cfg = self.config
+        return ParsingCampaign(
+            CampaignConfig(
+                n_nodes=n_nodes,
+                cpu_cores_per_node=cfg.cpu_cores_per_node,
+                gpus_per_node=cfg.gpus_per_node,
+                docs_per_archive=cfg.docs_per_archive,
+                prefetch_depth=cfg.prefetch_depth,
+                warm_start=cfg.warm_start,
+                write_outputs=cfg.write_outputs,
+                coordination_capacity=cfg.coordination_capacity,
+                fs_config=cfg.fs_config,
+                fault_model=cfg.fault_model,
+                retry=cfg.retry,
+                seed=cfg.seed,
+            )
+        )
+
+
+def node_sweep(
+    parser: Parser,
+    node_counts: Sequence[int],
+    docs_per_node: int = 200,
+    base_config: CampaignConfig | None = None,
+    workload: WorkloadModel | None = None,
+) -> list[CampaignResult]:
+    """Throughput of one parser across node counts (one Figure 5 series)."""
+    base = ParsingCampaign(base_config or CampaignConfig())
+    results: list[CampaignResult] = []
+    for n_nodes in node_counts:
+        campaign = base.with_nodes(int(n_nodes))
+        results.append(campaign.run_parser(parser, n_documents=docs_per_node * int(n_nodes), workload=workload))
+    return results
+
+
+def adaparse_node_sweep(
+    registry: ParserRegistry,
+    config: AdaParseConfig,
+    node_counts: Sequence[int],
+    docs_per_node: int = 200,
+    engine_name: str = "adaparse_ft",
+    base_config: CampaignConfig | None = None,
+    workload: WorkloadModel | None = None,
+) -> list[CampaignResult]:
+    """Throughput of the AdaParse mix across node counts."""
+    base = ParsingCampaign(base_config or CampaignConfig())
+    results: list[CampaignResult] = []
+    for n_nodes in node_counts:
+        campaign = base.with_nodes(int(n_nodes))
+        results.append(
+            campaign.run_adaparse(
+                registry, config, n_documents=docs_per_node * int(n_nodes), engine_name=engine_name, workload=workload
+            )
+        )
+    return results

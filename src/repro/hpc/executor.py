@@ -1,0 +1,264 @@
+"""The Parsl-like per-node executor.
+
+Each node runs one :class:`NodeExecutor`.  The executor
+
+* fetches its assigned archives from the shared filesystem, keeping up to
+  ``prefetch_depth`` archives in flight ahead of processing (the paper's
+  prefetching/staging optimisation),
+* stages archive contents in node-local RAM and evicts them when their
+  documents finish,
+* dispatches each document task to the CPU-core pool and, when the task has a
+  GPU phase, to one of the node's GPUs,
+* keeps ML models resident on their GPU across tasks when warm starting is
+  enabled (the paper's modification of Parsl), otherwise pays the model-load
+  time for every task,
+* retries transiently failed tasks and quarantines permanently corrupted
+  documents (resilience, Section 2.4), when a fault injector is configured,
+* optionally writes parsed output back to the shared filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hpc.events import DiscreteEventSimulator
+from repro.hpc.faults import FaultInjector, RetryPolicy
+from repro.hpc.resources import CapacityResource, GpuDevice, NodeResources
+from repro.hpc.storage import NodeLocalStore, SharedFilesystem
+from repro.hpc.workload import ParseTask, WorkArchive
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Per-node executor policy."""
+
+    prefetch_depth: int = 2
+    warm_start: bool = True
+    write_outputs: bool = True
+    local_store_capacity_mb: float = 200_000.0
+    #: Fault injection (``None`` disables faults entirely).
+    fault_injector: FaultInjector | None = None
+    #: Retry behaviour for failed attempts.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+
+@dataclass
+class ExecutorStats:
+    """Counters reported by a node executor at the end of a campaign."""
+
+    node_id: str = ""
+    documents_completed: int = 0
+    documents_failed: int = 0
+    archives_fetched: int = 0
+    model_loads: int = 0
+    attempts_retried: int = 0
+    cpu_seconds_executed: float = 0.0
+    gpu_seconds_executed: float = 0.0
+    wasted_compute_seconds: float = 0.0
+    finish_time: float = 0.0
+
+
+class NodeExecutor:
+    """Drives one node's workers through its assigned archives."""
+
+    def __init__(
+        self,
+        sim: DiscreteEventSimulator,
+        node: NodeResources,
+        shared_fs: SharedFilesystem,
+        config: ExecutorConfig | None = None,
+        coordination: CapacityResource | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.shared_fs = shared_fs
+        self.config = config or ExecutorConfig()
+        self.coordination = coordination
+        self.local_store = NodeLocalStore(self.config.local_store_capacity_mb)
+        self.stats = ExecutorStats(node_id=node.node_id)
+        self._archives: list[WorkArchive] = []
+        self._next_fetch = 0
+        self._outstanding_tasks = 0
+        self._all_submitted = False
+        self._on_done: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Campaign interface
+    # ------------------------------------------------------------------ #
+    def process_archives(self, archives: list[WorkArchive], on_done: Callable[[], None]) -> None:
+        """Process the node's archive list; ``on_done`` fires when all finish."""
+        self._archives = list(archives)
+        self._on_done = on_done
+        self._all_submitted = False
+        if not self._archives:
+            self._all_submitted = True
+            self.sim.schedule(0.0, self._maybe_finish)
+            return
+        for _ in range(max(1, self.config.prefetch_depth)):
+            self._fetch_next_archive()
+
+    # ------------------------------------------------------------------ #
+    # Archive fetching
+    # ------------------------------------------------------------------ #
+    def _fetch_next_archive(self) -> None:
+        if self._next_fetch >= len(self._archives):
+            self._all_submitted = True
+            return
+        archive = self._archives[self._next_fetch]
+        self._next_fetch += 1
+
+        def fetched() -> None:
+            self.stats.archives_fetched += 1
+            self.local_store.stage(archive.size_mb)
+            self._dispatch_archive(archive)
+            # Keep the prefetch pipeline full.
+            self._fetch_next_archive()
+
+        self.shared_fs.read(archive.size_mb, fetched)
+
+    def _dispatch_archive(self, archive: WorkArchive) -> None:
+        remaining = {"count": len(archive.tasks)}
+        if not archive.tasks:
+            self.local_store.evict(archive.size_mb)
+            return
+        for task in archive.tasks:
+            self._outstanding_tasks += 1
+
+            def task_done(task: ParseTask = task) -> None:
+                self._outstanding_tasks -= 1
+                self.stats.finish_time = self.sim.now
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    self.local_store.evict(archive.size_mb)
+                self._maybe_finish()
+
+            self._run_task(task, task_done)
+
+    def _maybe_finish(self) -> None:
+        if self._all_submitted and self._outstanding_tasks == 0 and self._next_fetch >= len(self._archives):
+            if self._on_done is not None:
+                callback, self._on_done = self._on_done, None
+                callback()
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+    def _run_task(self, task: ParseTask, on_done: Callable[[], None]) -> None:
+        """Run a task through coordination → CPU → GPU → output, with retries.
+
+        Without a fault injector every task succeeds on its first attempt (the
+        historical behaviour).  With one, transiently failed attempts are
+        retried up to the retry policy's limit and permanently corrupted
+        documents are quarantined after a single attempt.
+        """
+        attempt_counter = {"n": 0}
+
+        def start_attempt() -> None:
+            attempt_counter["n"] += 1
+            attempt = attempt_counter["n"]
+            if self.config.fault_injector is None:
+                outcome_succeeded, multiplier, permanent = True, 1.0, False
+            else:
+                decision = self.config.fault_injector.attempt_outcome(task, attempt)
+                outcome_succeeded = decision.succeeded
+                multiplier = decision.runtime_multiplier
+                permanent = decision.is_permanent
+
+            def after_coordination() -> None:
+                self._run_cpu_phase(task, after_cpu, multiplier=multiplier)
+
+            def after_cpu() -> None:
+                if task.needs_gpu:
+                    self._run_gpu_phase(task, after_gpu, multiplier=multiplier)
+                else:
+                    after_gpu()
+
+            def after_gpu() -> None:
+                if outcome_succeeded:
+                    self.stats.documents_completed += 1
+                    if self.config.write_outputs and task.output_mb > 0:
+                        self.shared_fs.write(task.output_mb, on_done)
+                    else:
+                        on_done()
+                    return
+                # The attempt's compute was spent for nothing.
+                self.stats.wasted_compute_seconds += multiplier * (
+                    task.cpu_seconds + task.gpu_seconds
+                )
+                can_retry = (
+                    not permanent and attempt < self.config.retry.max_attempts
+                )
+                if can_retry:
+                    self.stats.attempts_retried += 1
+                    start_attempt()
+                else:
+                    self.stats.documents_failed += 1
+                    on_done()
+
+            if task.coordination_seconds > 0 and self.coordination is not None:
+                self._run_coordination_phase(task, after_coordination)
+            else:
+                after_coordination()
+
+        start_attempt()
+
+    def _run_coordination_phase(self, task: ParseTask, on_done: Callable[[], None]) -> None:
+        assert self.coordination is not None
+
+        def granted() -> None:
+            def finish() -> None:
+                self.coordination.release()
+                on_done()
+
+            self.sim.schedule(task.coordination_seconds, finish)
+
+        self.coordination.acquire(granted)
+
+    def _run_cpu_phase(
+        self, task: ParseTask, on_done: Callable[[], None], multiplier: float = 1.0
+    ) -> None:
+        if task.cpu_seconds <= 0:
+            on_done()
+            return
+        duration = task.cpu_seconds * multiplier
+
+        def granted() -> None:
+            def finish() -> None:
+                self.node.cpu.release()
+                self.stats.cpu_seconds_executed += duration
+                on_done()
+
+            self.sim.schedule(duration, finish)
+
+        self.node.cpu.acquire(granted)
+
+    def _run_gpu_phase(
+        self, task: ParseTask, on_done: Callable[[], None], multiplier: float = 1.0
+    ) -> None:
+        gpu: GpuDevice = self.node.any_gpu()
+        duration = task.gpu_seconds * multiplier
+
+        def granted() -> None:
+            start = self.sim.now
+            load_time = 0.0
+            model_key = task.gpu_model or task.parser_name
+            needs_load = model_key not in gpu.loaded_models or not self.config.warm_start
+            if needs_load and task.model_load_seconds > 0:
+                load_time = task.model_load_seconds
+                self.stats.model_loads += 1
+                gpu.record_busy(start, start + load_time, label=f"load:{model_key}")
+            if self.config.warm_start:
+                gpu.loaded_models.add(model_key)
+            else:
+                gpu.loaded_models.clear()
+
+            def finish() -> None:
+                gpu.record_busy(start + load_time, self.sim.now, label=f"compute:{task.parser_name}")
+                gpu.release()
+                self.stats.gpu_seconds_executed += duration
+                on_done()
+
+            self.sim.schedule(load_time + duration, finish)
+
+        gpu.acquire(granted)

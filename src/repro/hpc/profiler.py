@@ -1,0 +1,92 @@
+"""Nsight-style GPU utilisation profiling (Figure 4).
+
+The paper profiles the GPU-accelerated parsers with NVIDIA Nsight Systems and
+reports per-GPU utilisation of the workload.  The simulator records every busy
+interval of every GPU device; this module turns those interval lists into
+utilisation timelines (busy fraction per time bin, per GPU) and summary
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hpc.resources import BusyInterval, GpuDevice
+
+
+@dataclass
+class GpuTimeline:
+    """Utilisation of one GPU over time."""
+
+    gpu_id: str
+    bin_edges: np.ndarray
+    utilization: np.ndarray
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization.mean()) if self.utilization.size else 0.0
+
+
+@dataclass
+class UtilizationProfile:
+    """Per-GPU timelines plus summary statistics."""
+
+    timelines: list[GpuTimeline] = field(default_factory=list)
+
+    def mean_utilization(self) -> float:
+        """Mean utilisation across all GPUs and bins."""
+        if not self.timelines:
+            return 0.0
+        return float(np.mean([t.mean_utilization for t in self.timelines]))
+
+    def per_gpu_means(self) -> dict[str, float]:
+        """Mean utilisation per GPU id."""
+        return {t.gpu_id: t.mean_utilization for t in self.timelines}
+
+    def series(self) -> list[dict[str, object]]:
+        """Rows of (gpu, bin start, utilisation) — the Figure 4 series."""
+        rows: list[dict[str, object]] = []
+        for timeline in self.timelines:
+            for i, util in enumerate(timeline.utilization):
+                rows.append(
+                    {
+                        "gpu": timeline.gpu_id,
+                        "t_start": float(timeline.bin_edges[i]),
+                        "t_end": float(timeline.bin_edges[i + 1]),
+                        "utilization": float(util),
+                    }
+                )
+        return rows
+
+
+def _binned_utilization(
+    intervals: Sequence[BusyInterval], horizon: float, n_bins: int
+) -> tuple[np.ndarray, np.ndarray]:
+    edges = np.linspace(0.0, max(horizon, 1e-9), n_bins + 1)
+    busy = np.zeros(n_bins, dtype=np.float64)
+    widths = np.diff(edges)
+    for interval in intervals:
+        lo = np.searchsorted(edges, interval.start, side="right") - 1
+        hi = np.searchsorted(edges, interval.end, side="left")
+        for b in range(max(0, lo), min(n_bins, hi)):
+            overlap = min(interval.end, edges[b + 1]) - max(interval.start, edges[b])
+            if overlap > 0:
+                busy[b] += overlap
+    utilization = np.clip(busy / np.maximum(widths, 1e-12), 0.0, 1.0)
+    return edges, utilization
+
+
+def profile_gpus(
+    gpus: Sequence[GpuDevice], horizon: float, n_bins: int = 50
+) -> UtilizationProfile:
+    """Build a utilisation profile from GPU devices after a simulation run."""
+    profile = UtilizationProfile()
+    for gpu in gpus:
+        edges, utilization = _binned_utilization(gpu.intervals, horizon, n_bins)
+        profile.timelines.append(
+            GpuTimeline(gpu_id=gpu.gpu_id, bin_edges=edges, utilization=utilization)
+        )
+    return profile

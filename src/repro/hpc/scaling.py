@@ -1,0 +1,218 @@
+"""Resource-scaling policies for parsing campaigns.
+
+The "Resource Scaling Engine" half of the paper's title is about running
+campaigns at the right scale: enough nodes to meet a deadline, not so many
+that shared-filesystem contention or serialized stages waste allocations
+(Figure 5 shows both failure modes).  This module provides the planning
+pieces:
+
+* :func:`estimate_single_node_rate` — documents/second one node sustains for a
+  parser (or an AdaParse mix) from the cost models.
+* :func:`nodes_for_deadline` — the smallest node count that finishes a
+  campaign of ``n`` documents within a wall-clock deadline, under a measured
+  or assumed scaling-efficiency curve.
+* :func:`scaling_efficiency` / :func:`recommended_nodes` — analyse a measured
+  node-count sweep (e.g. the Figure 5 series) and pick the largest node count
+  whose marginal efficiency still clears a floor — the "knee" beyond which
+  additional nodes are wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import AdaParseConfig
+from repro.parsers.base import Parser, single_node_throughput
+
+
+@dataclass(frozen=True)
+class ScalingEstimate:
+    """Result of a deadline-driven scaling decision.
+
+    Attributes
+    ----------
+    n_nodes:
+        Recommended node count.
+    expected_hours:
+        Expected campaign wall-clock time at that node count.
+    expected_node_hours:
+        Allocation cost (nodes × hours).
+    throughput_docs_per_s:
+        Expected aggregate throughput at that node count.
+    meets_deadline:
+        Whether the deadline can be met at all within ``max_nodes``.
+    """
+
+    n_nodes: int
+    expected_hours: float
+    expected_node_hours: float
+    throughput_docs_per_s: float
+    meets_deadline: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_nodes": self.n_nodes,
+            "expected_hours": round(self.expected_hours, 3),
+            "expected_node_hours": round(self.expected_node_hours, 3),
+            "throughput_docs_per_s": round(self.throughput_docs_per_s, 3),
+            "meets_deadline": self.meets_deadline,
+        }
+
+
+def estimate_single_node_rate(
+    parser: Parser,
+    pages_per_document: float = 10.0,
+    cpu_cores: int = 32,
+    gpus: int = 4,
+) -> float:
+    """Ideal single-node throughput (documents/second) of one parser."""
+    return single_node_throughput(
+        parser.cost, pages_per_document=pages_per_document, cpu_cores=cpu_cores, gpus=gpus
+    )
+
+
+def adaparse_single_node_rate(
+    default_parser: Parser,
+    high_quality_parser: Parser,
+    config: AdaParseConfig,
+    pages_per_document: float = 10.0,
+    cpu_cores: int = 32,
+    gpus: int = 4,
+) -> float:
+    """Ideal single-node throughput of the AdaParse mix.
+
+    Every document pays the default parse plus selection; an α fraction also
+    pays the high-quality parse.  CPU and GPU pools are balanced separately and
+    the slower side is the bottleneck (the same reasoning as
+    :func:`repro.parsers.base.single_node_throughput`).
+    """
+    default_cost = default_parser.cost
+    expensive_cost = high_quality_parser.cost
+    cpu_per_doc = (
+        default_cost.per_document_overhead_seconds
+        + default_cost.cpu_seconds_per_page * pages_per_document
+        + config.selection_cpu_seconds
+        + config.alpha
+        * (
+            expensive_cost.per_document_overhead_seconds
+            + expensive_cost.cpu_seconds_per_page * pages_per_document
+        )
+    )
+    gpu_per_doc = (
+        config.selection_gpu_seconds
+        + config.alpha * expensive_cost.gpu_seconds_per_page * pages_per_document
+    )
+    rates = []
+    if cpu_per_doc > 0:
+        rates.append(cpu_cores / cpu_per_doc)
+    if gpu_per_doc > 0:
+        rates.append(gpus / gpu_per_doc)
+    return min(rates) if rates else float("inf")
+
+
+def _efficiency_at(n_nodes: int, efficiency_curve: Mapping[int, float] | None) -> float:
+    """Parallel efficiency (0, 1] at a node count, interpolated from a curve."""
+    if not efficiency_curve:
+        return 1.0
+    points = sorted(efficiency_curve.items())
+    nodes = np.asarray([p[0] for p in points], dtype=np.float64)
+    values = np.asarray([p[1] for p in points], dtype=np.float64)
+    return float(np.clip(np.interp(float(n_nodes), nodes, values), 1e-6, 1.0))
+
+
+def nodes_for_deadline(
+    n_documents: int,
+    single_node_rate: float,
+    deadline_hours: float,
+    max_nodes: int = 512,
+    efficiency_curve: Mapping[int, float] | None = None,
+) -> ScalingEstimate:
+    """Smallest node count that parses ``n_documents`` within the deadline.
+
+    Parameters
+    ----------
+    n_documents:
+        Campaign size.
+    single_node_rate:
+        Documents/second one node sustains (measured or estimated).
+    deadline_hours:
+        Wall-clock budget.
+    max_nodes:
+        Allocation cap; if even this cannot meet the deadline the estimate for
+        ``max_nodes`` is returned with ``meets_deadline=False``.
+    efficiency_curve:
+        Optional mapping node count → parallel efficiency in ``(0, 1]`` (from a
+        measured sweep); node counts in between are interpolated.
+    """
+    if n_documents <= 0:
+        raise ValueError("n_documents must be positive")
+    if single_node_rate <= 0:
+        raise ValueError("single_node_rate must be positive")
+    if deadline_hours <= 0:
+        raise ValueError("deadline_hours must be positive")
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be positive")
+
+    def estimate(n_nodes: int) -> ScalingEstimate:
+        efficiency = _efficiency_at(n_nodes, efficiency_curve)
+        rate = single_node_rate * n_nodes * efficiency
+        hours = n_documents / rate / 3600.0
+        return ScalingEstimate(
+            n_nodes=n_nodes,
+            expected_hours=hours,
+            expected_node_hours=hours * n_nodes,
+            throughput_docs_per_s=rate,
+            meets_deadline=hours <= deadline_hours,
+        )
+
+    for n_nodes in range(1, max_nodes + 1):
+        candidate = estimate(n_nodes)
+        if candidate.meets_deadline:
+            return candidate
+    return estimate(max_nodes)
+
+
+def scaling_efficiency(
+    node_counts: Sequence[int], throughputs: Sequence[float]
+) -> dict[int, float]:
+    """Parallel efficiency relative to the smallest node count of a sweep.
+
+    ``efficiency(n) = (throughput(n) / n) / (throughput(n0) / n0)``, clipped to
+    ``[0, 1]`` — 1 means perfect linear scaling from the first measured point.
+    """
+    if len(node_counts) != len(throughputs):
+        raise ValueError("node_counts and throughputs must have equal length")
+    if not node_counts:
+        return {}
+    pairs = sorted(zip((int(n) for n in node_counts), throughputs))
+    base_nodes, base_throughput = pairs[0]
+    if base_nodes <= 0 or base_throughput <= 0:
+        raise ValueError("the base point must have positive nodes and throughput")
+    per_node_base = base_throughput / base_nodes
+    return {
+        n: float(np.clip((t / n) / per_node_base, 0.0, 1.0)) if n > 0 else 0.0
+        for n, t in pairs
+    }
+
+
+def recommended_nodes(
+    node_counts: Sequence[int],
+    throughputs: Sequence[float],
+    efficiency_floor: float = 0.5,
+) -> int:
+    """Largest measured node count whose parallel efficiency clears the floor.
+
+    This is the "knee" rule used to avoid wasting allocation on the flat part
+    of Figure 5: beyond the returned node count, each additional node delivers
+    less than ``efficiency_floor`` of its ideal contribution.
+    """
+    if not 0.0 < efficiency_floor <= 1.0:
+        raise ValueError("efficiency_floor must lie in (0, 1]")
+    efficiency = scaling_efficiency(node_counts, throughputs)
+    eligible = [n for n, e in efficiency.items() if e >= efficiency_floor]
+    if not eligible:
+        return min(efficiency)
+    return max(eligible)

@@ -1,0 +1,193 @@
+"""Workload models: parse tasks and aggregated archives.
+
+A :class:`ParseTask` is the unit of work the executor schedules: the CPU and
+GPU seconds one document costs under one parser (or under the AdaParse mix),
+plus the bytes it contributes to input archives and output files.  Tasks can
+be synthesised from the parsers' cost models (fast, used for the large
+scalability sweeps) or derived from real :class:`repro.parsers.base.ParseResult`
+usage (used when a campaign replays an actual corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import AdaParseConfig
+from repro.parsers.base import Parser, ParseResult
+from repro.utils.rng import rng_from
+
+#: Load time of the SciBERT-sized selector LLM (seconds).  Small compared to a
+#: ViT parser checkpoint, but non-zero: warm starting must amortise it too.
+SELECTOR_MODEL_LOAD_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class ParseTask:
+    """One document's worth of parsing work."""
+
+    doc_id: str
+    parser_name: str
+    cpu_seconds: float
+    gpu_seconds: float
+    model_load_seconds: float = 0.0
+    coordination_seconds: float = 0.0
+    input_mb: float = 1.2
+    output_mb: float = 0.05
+    #: Identity of the ML model the GPU phase needs resident.  Meta-parsers
+    #: (AdaParse) submit tasks under one engine name but may need different
+    #: models on the GPU (the selector LLM vs. the ViT parser); warm starting
+    #: must be keyed on the model, not the submitting engine.  ``None`` means
+    #: "the model is the parser itself".
+    gpu_model: str | None = None
+
+    @property
+    def needs_gpu(self) -> bool:
+        return self.gpu_seconds > 0.0
+
+
+@dataclass
+class WorkArchive:
+    """A compressed bundle of documents staged to a node in one read."""
+
+    archive_id: str
+    tasks: list[ParseTask] = field(default_factory=list)
+
+    @property
+    def size_mb(self) -> float:
+        """Archive size (sum of member document sizes)."""
+        return sum(t.input_mb for t in self.tasks)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Synthesises parse tasks from parser cost models.
+
+    Attributes
+    ----------
+    mean_pages, std_pages:
+        Page-count distribution of the document population.
+    pdf_mb_per_page:
+        Input size per page (compressed, as staged in archives).
+    output_mb_per_page:
+        Parsed-text output size per page.
+    seed:
+        Seed of the per-task sampling.
+    """
+
+    mean_pages: float = 10.0
+    std_pages: float = 4.0
+    pdf_mb_per_page: float = 0.12
+    output_mb_per_page: float = 0.004
+    seed: int = 51
+
+    def _sample_pages(self, rng: np.random.Generator) -> int:
+        pages = int(round(rng.normal(self.mean_pages, self.std_pages)))
+        return max(1, pages)
+
+    def tasks_for_parser(
+        self,
+        parser: Parser,
+        n_documents: int,
+        coordination_seconds: float = 0.0,
+    ) -> list[ParseTask]:
+        """Synthesise tasks for running ``parser`` over ``n_documents`` documents."""
+        rng = rng_from(self.seed, "workload", parser.name, n_documents)
+        tasks: list[ParseTask] = []
+        for i in range(n_documents):
+            pages = self._sample_pages(rng)
+            usage = parser.cost.sample_document_usage(pages, rng)
+            tasks.append(
+                ParseTask(
+                    doc_id=f"{parser.name}-doc-{i:06d}",
+                    parser_name=parser.name,
+                    cpu_seconds=usage.cpu_seconds,
+                    gpu_seconds=usage.gpu_seconds,
+                    model_load_seconds=parser.cost.model_load_seconds,
+                    coordination_seconds=coordination_seconds,
+                    input_mb=pages * self.pdf_mb_per_page,
+                    output_mb=pages * self.output_mb_per_page,
+                )
+            )
+        return tasks
+
+    def tasks_for_adaparse(
+        self,
+        default_parser: Parser,
+        high_quality_parser: Parser,
+        config: AdaParseConfig,
+        n_documents: int,
+        engine_name: str = "adaparse",
+    ) -> list[ParseTask]:
+        """Synthesise the AdaParse mix: default parse + selection everywhere,
+        high-quality parse on an α fraction of documents."""
+        rng = rng_from(self.seed, "workload", engine_name, n_documents, config.alpha)
+        tasks: list[ParseTask] = []
+        n_routed = int(np.floor(config.alpha * n_documents))
+        routed = set(rng.choice(n_documents, size=n_routed, replace=False).tolist()) if n_routed else set()
+        for i in range(n_documents):
+            pages = self._sample_pages(rng)
+            usage = default_parser.cost.sample_document_usage(pages, rng)
+            cpu = usage.cpu_seconds + config.selection_cpu_seconds
+            gpu = usage.gpu_seconds + config.selection_gpu_seconds
+            model_load = 0.0
+            gpu_model: str | None = None
+            if i in routed:
+                hq_usage = high_quality_parser.cost.sample_document_usage(pages, rng)
+                cpu += hq_usage.cpu_seconds
+                gpu += hq_usage.gpu_seconds
+                model_load = high_quality_parser.cost.model_load_seconds
+                gpu_model = high_quality_parser.name
+            elif config.selection_gpu_seconds > 0:
+                # The selector LLM itself must be resident on the GPU.
+                model_load = SELECTOR_MODEL_LOAD_SECONDS
+                gpu_model = f"{engine_name}-selector"
+            tasks.append(
+                ParseTask(
+                    doc_id=f"{engine_name}-doc-{i:06d}",
+                    parser_name=engine_name,
+                    cpu_seconds=cpu,
+                    gpu_seconds=gpu,
+                    model_load_seconds=model_load,
+                    input_mb=pages * self.pdf_mb_per_page,
+                    output_mb=pages * self.output_mb_per_page,
+                    gpu_model=gpu_model,
+                )
+            )
+        return tasks
+
+    def tasks_from_results(
+        self, results: Sequence[ParseResult], pages_per_document: Sequence[int] | None = None
+    ) -> list[ParseTask]:
+        """Build tasks from measured parse results (usage-accurate replay)."""
+        tasks: list[ParseTask] = []
+        for i, result in enumerate(results):
+            pages = pages_per_document[i] if pages_per_document is not None else max(1, result.n_pages)
+            tasks.append(
+                ParseTask(
+                    doc_id=result.doc_id,
+                    parser_name=result.parser_name,
+                    cpu_seconds=result.usage.cpu_seconds,
+                    gpu_seconds=result.usage.gpu_seconds,
+                    input_mb=pages * self.pdf_mb_per_page,
+                    output_mb=pages * self.output_mb_per_page,
+                )
+            )
+        return tasks
+
+
+def make_archives(tasks: Sequence[ParseTask], docs_per_archive: int, prefix: str = "archive") -> list[WorkArchive]:
+    """Bundle tasks into fixed-size archives (the paper's ZIP aggregation)."""
+    if docs_per_archive < 1:
+        raise ValueError("docs_per_archive must be positive")
+    archives: list[WorkArchive] = []
+    for start in range(0, len(tasks), docs_per_archive):
+        chunk = list(tasks[start : start + docs_per_archive])
+        archives.append(WorkArchive(archive_id=f"{prefix}-{len(archives):05d}", tasks=chunk))
+    return archives

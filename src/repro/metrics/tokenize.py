@@ -1,0 +1,64 @@
+"""Tokenisation and normalisation shared by the word-level metrics."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+_WORD_RE = re.compile(r"[^\s]+")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str, lowercase: bool = True, collapse_whitespace: bool = True) -> str:
+    """Normalise text before metric computation.
+
+    Parser outputs differ in incidental formatting (line breaks, casing of
+    headings, runs of spaces); normalisation keeps the metrics focused on
+    content rather than layout.
+    """
+    out = text
+    if collapse_whitespace:
+        out = _WHITESPACE_RE.sub(" ", out).strip()
+    if lowercase:
+        out = out.lower()
+    return out
+
+
+def word_tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split text into word tokens (whitespace-delimited, optional lowercase)."""
+    if not text:
+        return []
+    norm = normalize_text(text, lowercase=lowercase)
+    return _WORD_RE.findall(norm)
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Counter:
+    """Multiset of n-grams of a token sequence."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return Counter()
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def clipped_ngram_matches(candidate: Sequence[str], reference: Sequence[str], n: int) -> tuple[int, int]:
+    """Clipped n-gram matches and total candidate n-grams (BLEU's core count)."""
+    cand = ngrams(candidate, n)
+    ref = ngrams(reference, n)
+    matches = sum(min(count, ref[gram]) for gram, count in cand.items())
+    total = max(0, len(candidate) - n + 1)
+    return matches, total
+
+
+def character_tokens(text: str, lowercase: bool = False) -> str:
+    """Normalise text for character-level metrics (collapse whitespace runs)."""
+    return normalize_text(text, lowercase=lowercase, collapse_whitespace=True)
+
+
+def unique_tokens(texts: Iterable[str]) -> list[str]:
+    """Sorted vocabulary of all word tokens appearing in ``texts``."""
+    vocab: set[str] = set()
+    for text in texts:
+        vocab.update(word_tokenize(text))
+    return sorted(vocab)

@@ -1,0 +1,178 @@
+"""Direct preference optimisation (DPO) post-training.
+
+Following the paper's Appendix A, the selector encoder is post-trained on
+human preference pairs: for a document page, the text produced by the
+preferred parser should receive a higher scalar quality score than the text
+produced by the rejected parser.  The loss is the Bradley–Terry / DPO
+objective
+
+    L = −E log σ( β · [(s_θ(x⁺) − s_ref(x⁺)) − (s_θ(x⁻) − s_ref(x⁻))] )
+
+where ``s_θ`` is the trainable scorer (shared encoder + scalar head) and
+``s_ref`` is a frozen copy of the scorer taken before post-training.  By
+default only the LoRA adapters and the scalar head are updated, matching the
+paper's parameter-efficient recipe; the adapted encoder is then re-used by the
+per-parser regression head (stage 3 re-fine-tuning with a lowered learning
+rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.trainer import AdamOptimizer, TrainingHistory, clip_gradients, minibatch_indices
+from repro.ml.transformer import TransformerEncoder
+from repro.utils.rng import rng_from
+
+
+@dataclass(frozen=True)
+class PreferencePair:
+    """One human judgement: ``preferred_text`` beat ``rejected_text``."""
+
+    doc_id: str
+    preferred_text: str
+    rejected_text: str
+    preferred_parser: str = ""
+    rejected_parser: str = ""
+
+
+@dataclass(frozen=True)
+class DPOConfig:
+    """DPO post-training hyper-parameters."""
+
+    beta: float = 1.0
+    learning_rate: float = 1e-3
+    n_epochs: int = 3
+    batch_size: int = 8
+    lora_only: bool = True
+    max_grad_norm: float = 5.0
+    max_text_chars: int = 1500
+    seed: int = 41
+
+
+class DPOTrainer:
+    """Post-trains an encoder-backed scorer on preference pairs."""
+
+    def __init__(self, encoder: TransformerEncoder, config: DPOConfig | None = None) -> None:
+        self.encoder = encoder
+        self.config = config or DPOConfig()
+        d = encoder.config.d_model
+        rng = rng_from(self.config.seed, "dpo-head", d)
+        self.score_weight = rng.normal(0.0, 0.05, size=d)
+        self.score_bias = 0.0
+        # Frozen reference scorer: a full parameter snapshot plus head copy.
+        self._reference_params = encoder.clone_parameters()
+        self._reference_weight = self.score_weight.copy()
+        self._reference_bias = float(self.score_bias)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def _pooled(self, texts: Sequence[str]) -> tuple[np.ndarray, dict, np.ndarray]:
+        truncated = [t[: self.config.max_text_chars] for t in texts]
+        ids, mask = self.encoder.encode_texts(truncated)
+        hidden, cache = self.encoder.forward(ids, mask)
+        pooled = self.encoder.pool(hidden, mask)
+        cache["__hidden_shape"] = hidden.shape
+        cache["__mask"] = mask
+        return pooled, cache, mask
+
+    def score(self, texts: Sequence[str]) -> np.ndarray:
+        """Scalar quality score of each text under the current policy."""
+        if not texts:
+            return np.zeros(0)
+        pooled, _, _ = self._pooled(texts)
+        return pooled @ self.score_weight + self.score_bias
+
+    def reference_score(self, texts: Sequence[str]) -> np.ndarray:
+        """Scalar score of each text under the frozen reference scorer."""
+        if not texts:
+            return np.zeros(0)
+        live_params = self.encoder.clone_parameters()
+        self.encoder.load_parameters(self._reference_params)
+        try:
+            pooled, _, _ = self._pooled(texts)
+            scores = pooled @ self._reference_weight + self._reference_bias
+        finally:
+            self.encoder.load_parameters(live_params)
+        return scores
+
+    def preference_accuracy(self, pairs: Sequence[PreferencePair]) -> float:
+        """Fraction of pairs where the preferred text scores higher."""
+        if not pairs:
+            return 0.0
+        preferred = self.score([p.preferred_text for p in pairs])
+        rejected = self.score([p.rejected_text for p in pairs])
+        return float(np.mean(preferred > rejected))
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train(self, pairs: Sequence[PreferencePair]) -> TrainingHistory:
+        """Run DPO post-training on a set of preference pairs."""
+        cfg = self.config
+        if not pairs:
+            return self.history
+        trainable = (
+            self.encoder.lora_parameter_names()
+            if cfg.lora_only and self.encoder.config.lora_rank > 0
+            else self.encoder.parameter_names()
+        )
+        encoder_optimizer = AdamOptimizer(learning_rate=cfg.learning_rate)
+        head_optimizer = AdamOptimizer(learning_rate=cfg.learning_rate)
+        head_params = {"weight": self.score_weight.reshape(-1)}
+        preferred_texts = [p.preferred_text[: cfg.max_text_chars] for p in pairs]
+        rejected_texts = [p.rejected_text[: cfg.max_text_chars] for p in pairs]
+        ref_preferred = self.reference_score(preferred_texts)
+        ref_rejected = self.reference_score(rejected_texts)
+        for epoch in range(cfg.n_epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for batch in minibatch_indices(len(pairs), cfg.batch_size, cfg.seed, epoch):
+                batch = np.asarray(batch)
+                pooled_pos, cache_pos, _ = self._pooled([preferred_texts[i] for i in batch])
+                pooled_neg, cache_neg, _ = self._pooled([rejected_texts[i] for i in batch])
+                score_pos = pooled_pos @ self.score_weight + self.score_bias
+                score_neg = pooled_neg @ self.score_weight + self.score_bias
+                margin = cfg.beta * (
+                    (score_pos - ref_preferred[batch]) - (score_neg - ref_rejected[batch])
+                )
+                sigma = 1.0 / (1.0 + np.exp(-margin))
+                loss = float(np.mean(-np.log(sigma + 1e-12)))
+                epoch_loss += loss
+                n_batches += 1
+                # dL/dmargin = −(1 − σ); distribute to the two scores.
+                grad_margin = -(1.0 - sigma) / batch.shape[0]
+                grad_score_pos = cfg.beta * grad_margin
+                grad_score_neg = -cfg.beta * grad_margin
+                grad_weight = pooled_pos.T @ grad_score_pos + pooled_neg.T @ grad_score_neg
+                self.score_bias -= cfg.learning_rate * float(
+                    grad_score_pos.sum() + grad_score_neg.sum()
+                )
+                grad_pooled_pos = np.outer(grad_score_pos, self.score_weight)
+                grad_pooled_neg = np.outer(grad_score_neg, self.score_weight)
+                grads_pos = self.encoder.backward(
+                    self.encoder.pool_backward(
+                        grad_pooled_pos, cache_pos["__hidden_shape"], cache_pos["__mask"]
+                    ),
+                    cache_pos,
+                )
+                grads_neg = self.encoder.backward(
+                    self.encoder.pool_backward(
+                        grad_pooled_neg, cache_neg["__hidden_shape"], cache_neg["__mask"]
+                    ),
+                    cache_neg,
+                )
+                encoder_grads = {
+                    name: grads_pos[name] + grads_neg[name] for name in trainable
+                }
+                clip_gradients(encoder_grads, cfg.max_grad_norm)
+                encoder_optimizer.step(self.encoder.params, encoder_grads)
+                head_optimizer.step(head_params, {"weight": grad_weight})
+                self.score_weight = head_params["weight"]
+            self.history.record(epoch_loss / max(1, n_batches))
+        return self.history

@@ -1,0 +1,228 @@
+"""Feature extraction for the CLS I / CLS II stages and the SVC baselines.
+
+* :class:`TextStatisticsExtractor` computes the cheap aggregate statistics of
+  the PyMuPDF-extracted text that CLS I uses to judge validity (character
+  counts, whitespace ratios, non-alphabetic ratios, scrambled-word indicators,
+  math-glyph density, ...).  The features are deliberately interpretable and
+  fast to compute, as the paper stresses.
+* :class:`MetadataFeaturizer` turns document metadata (publisher, category,
+  year, PDF format, producer) into a fixed-width vector via one-hot encoding
+  of known categories plus hashing for unseen values — the input of CLS II and
+  of the Table 4 SVC baselines.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.documents import lexicon
+from repro.documents.metadata import DocumentMetadata
+from repro.utils.hashing import stable_hash
+
+_VOWELS = set("aeiou")
+_MATH_GLYPHS = set("∂∇Σ∫∞αβγλμσθφωε·×√^_{}\\=+")
+_WORD_RE = re.compile(r"[A-Za-z]+")
+
+#: Names of the features produced by :class:`TextStatisticsExtractor`, in order.
+TEXT_FEATURE_NAMES: tuple[str, ...] = (
+    "n_characters_log",
+    "n_words_log",
+    "mean_word_length",
+    "whitespace_ratio",
+    "alpha_ratio",
+    "digit_ratio",
+    "punctuation_ratio",
+    "uppercase_ratio",
+    "non_ascii_ratio",
+    "math_glyph_ratio",
+    "vowel_free_word_ratio",
+    "long_word_ratio",
+    "single_char_word_ratio",
+    "repeated_char_run_ratio",
+    "line_length_mean",
+    "lexicon_hit_ratio",
+    "unique_word_ratio",
+    "hyphen_linebreak_ratio",
+)
+
+
+@dataclass(frozen=True)
+class TextStatisticsExtractor:
+    """Aggregate statistics of extracted text (the CLS I feature map)."""
+
+    max_chars: int = 6000
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return TEXT_FEATURE_NAMES
+
+    @property
+    def n_features(self) -> int:
+        return len(TEXT_FEATURE_NAMES)
+
+    def __call__(self, text: str) -> np.ndarray:
+        return self.extract(text)
+
+    def extract(self, text: str) -> np.ndarray:
+        """Feature vector of one text (all features finite, roughly unit scale)."""
+        text = text[: self.max_chars]
+        n_chars = len(text)
+        if n_chars == 0:
+            return np.zeros(self.n_features, dtype=np.float64)
+        chars = np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32)
+        whitespace = np.isin(chars, np.asarray([ord(c) for c in " \t\n\r"], dtype=np.uint32))
+        is_alpha = np.asarray([c.isalpha() for c in text], dtype=bool)
+        is_digit = np.asarray([c.isdigit() for c in text], dtype=bool)
+        is_upper = np.asarray([c.isupper() for c in text], dtype=bool)
+        non_ascii = chars > 127
+        math_glyphs = np.asarray([c in _MATH_GLYPHS for c in text], dtype=bool)
+        punctuation = ~(is_alpha | is_digit | whitespace)
+
+        words = text.split()
+        n_words = max(1, len(words))
+        word_lengths = np.asarray([len(w) for w in words], dtype=np.float64) if words else np.zeros(1)
+        alpha_words = [w for w in words if _WORD_RE.fullmatch(w)]
+        vowel_free = sum(1 for w in alpha_words if len(w) >= 4 and not (set(w.lower()) & _VOWELS))
+        long_words = sum(1 for w in words if len(w) > 18)
+        single_char_words = sum(1 for w in words if len(w) == 1)
+        repeated_runs = len(re.findall(r"(.)\1{3,}", text))
+        lines = [ln for ln in text.split("\n") if ln.strip()]
+        line_length_mean = float(np.mean([len(ln) for ln in lines])) if lines else 0.0
+        hyphen_breaks = text.count("-\n")
+
+        lowercase_words = {w.lower().strip(".,;:()") for w in words}
+        scientific_terms = set(lexicon.all_scientific_terms()) | set(lexicon.ACADEMIC_NOUNS)
+        lexicon_hits = len(lowercase_words & scientific_terms)
+
+        features = np.asarray(
+            [
+                math.log1p(n_chars),
+                math.log1p(len(words)),
+                float(np.mean(word_lengths)),
+                float(np.mean(whitespace)),
+                float(np.mean(is_alpha)),
+                float(np.mean(is_digit)),
+                float(np.mean(punctuation)),
+                float(np.mean(is_upper)),
+                float(np.mean(non_ascii)),
+                float(np.mean(math_glyphs)),
+                vowel_free / n_words,
+                long_words / n_words,
+                single_char_words / n_words,
+                repeated_runs / max(1, len(lines)),
+                line_length_mean / 100.0,
+                lexicon_hits / n_words,
+                len(lowercase_words) / n_words,
+                hyphen_breaks / max(1, len(lines)),
+            ],
+            dtype=np.float64,
+        )
+        return features
+
+    def extract_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Feature matrix ``[n_texts, n_features]``."""
+        if not texts:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.stack([self.extract(t) for t in texts], axis=0)
+
+
+@dataclass
+class MetadataFeaturizer:
+    """One-hot (plus hashed fallback) featurisation of document metadata.
+
+    Parameters
+    ----------
+    fields:
+        Which metadata fields to include.  Table 4 evaluates several subsets
+        (format, producer, year, publisher, (sub-)category), so the featurizer
+        is field-configurable.
+    hash_buckets:
+        Number of hashed buckets used for values outside the known
+        vocabularies (e.g. unseen producers).
+    """
+
+    fields: tuple[str, ...] = ("publisher", "domain", "subcategory", "year", "pdf_format", "producer")
+    hash_buckets: int = 16
+    _vocab: dict[str, tuple[str, ...]] = field(default_factory=dict, init=False, repr=False)
+
+    _KNOWN_VOCABULARIES: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "publisher": lexicon.PUBLISHERS,
+            "domain": lexicon.DOMAINS,
+            "subcategory": tuple(s for subs in lexicon.SUBCATEGORIES.values() for s in subs),
+            "pdf_format": lexicon.PDF_FORMATS,
+            "producer": lexicon.PRODUCERS,
+        },
+        init=False,
+        repr=False,
+    )
+
+    def __post_init__(self) -> None:
+        valid = set(self._KNOWN_VOCABULARIES) | {"year", "n_pages", "title"}
+        unknown = [f for f in self.fields if f not in valid]
+        if unknown:
+            raise ValueError(f"unknown metadata fields: {unknown}")
+        self._vocab = {f: self._KNOWN_VOCABULARIES[f] for f in self.fields if f in self._KNOWN_VOCABULARIES}
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Names of the output features, in order."""
+        names: list[str] = []
+        for field_name in self.fields:
+            if field_name == "year":
+                names.extend(["year_normalized", "year_pre2005", "year_pre2015"])
+            elif field_name == "n_pages":
+                names.append("n_pages_log")
+            elif field_name == "title":
+                names.extend([f"title_hash_{i}" for i in range(self.hash_buckets)])
+            else:
+                names.extend([f"{field_name}={v}" for v in self._vocab[field_name]])
+                names.append(f"{field_name}=<other>")
+        return names
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def extract(self, metadata: DocumentMetadata) -> np.ndarray:
+        """Feature vector of one metadata record."""
+        parts: list[np.ndarray] = []
+        data = metadata.to_dict()
+        for field_name in self.fields:
+            if field_name == "year":
+                year = float(data["year"])
+                parts.append(
+                    np.asarray(
+                        [(year - 2010.0) / 15.0, float(year < 2005), float(year < 2015)],
+                        dtype=np.float64,
+                    )
+                )
+            elif field_name == "n_pages":
+                parts.append(np.asarray([math.log1p(float(data["n_pages"]))], dtype=np.float64))
+            elif field_name == "title":
+                buckets = np.zeros(self.hash_buckets, dtype=np.float64)
+                for word in str(data["title"]).lower().split():
+                    buckets[stable_hash("title", word) % self.hash_buckets] += 1.0
+                total = buckets.sum()
+                parts.append(buckets / total if total > 0 else buckets)
+            else:
+                vocab = self._vocab[field_name]
+                onehot = np.zeros(len(vocab) + 1, dtype=np.float64)
+                value = str(data[field_name])
+                if value in vocab:
+                    onehot[vocab.index(value)] = 1.0
+                else:
+                    onehot[-1] = 1.0
+                parts.append(onehot)
+        return np.concatenate(parts)
+
+    def extract_batch(self, metadatas: Sequence[DocumentMetadata]) -> np.ndarray:
+        """Feature matrix ``[n_documents, n_features]``."""
+        if not metadatas:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.stack([self.extract(m) for m in metadatas], axis=0)

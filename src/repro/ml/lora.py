@@ -1,0 +1,89 @@
+"""Low-rank adaptation (LoRA) helpers for the Transformer encoder.
+
+The paper fine-tunes its selector LLM with parameter-efficient low-rank
+adaptation (Hu et al., 2021) before DPO post-training.  The adapters
+themselves live inside :class:`repro.ml.transformer.TransformerEncoder`
+(``lora_rank > 0`` adds ``A``/``B`` matrices to the query and value
+projections); this module provides the configuration object and the
+bookkeeping used by trainers: selecting the trainable parameter subset,
+counting trainable parameters, and merging adapters into the base weights for
+inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.transformer import TransformerConfig, TransformerEncoder
+
+
+@dataclass(frozen=True)
+class LoraConfig:
+    """LoRA hyper-parameters.
+
+    Attributes
+    ----------
+    rank:
+        Rank of the update ``ΔW = (alpha / rank) · A @ B``.
+    alpha:
+        Scaling numerator.
+    train_head_only_baseline:
+        Convenience flag used by ablations: when true, trainers freeze the
+        adapters as well and only fit the task head.
+    """
+
+    rank: int = 4
+    alpha: float = 8.0
+    train_head_only_baseline: bool = False
+
+
+def with_lora(config: TransformerConfig, lora: LoraConfig) -> TransformerConfig:
+    """Return a copy of a transformer config with LoRA enabled."""
+    return TransformerConfig(
+        vocab_size=config.vocab_size,
+        max_length=config.max_length,
+        d_model=config.d_model,
+        n_heads=config.n_heads,
+        n_layers=config.n_layers,
+        d_ff=config.d_ff,
+        pooling=config.pooling,
+        layer_norm_epsilon=config.layer_norm_epsilon,
+        seed=config.seed,
+        lora_rank=lora.rank,
+        lora_alpha=lora.alpha,
+    )
+
+
+def trainable_parameter_names(encoder: TransformerEncoder, lora_only: bool) -> list[str]:
+    """Parameter names a fine-tuning run should update."""
+    if lora_only and encoder.config.lora_rank > 0:
+        return encoder.lora_parameter_names()
+    return encoder.parameter_names()
+
+
+def n_trainable_parameters(encoder: TransformerEncoder, lora_only: bool) -> int:
+    """Number of scalars a fine-tuning run updates."""
+    names = trainable_parameter_names(encoder, lora_only)
+    return int(sum(encoder.params[name].size for name in names))
+
+
+def merge_lora(encoder: TransformerEncoder) -> None:
+    """Fold LoRA updates into the base projections and zero the adapters.
+
+    After merging, inference no longer pays the (tiny) adapter matmul and the
+    adapters can be re-trained from zero for a further adaptation round.
+    """
+    cfg = encoder.config
+    if cfg.lora_rank == 0:
+        return
+    scale = cfg.lora_alpha / cfg.lora_rank
+    for layer in range(cfg.n_layers):
+        prefix = f"layer{layer}."
+        for proj in ("q", "v"):
+            a = encoder.params[prefix + f"lora_A{proj}"]
+            b = encoder.params[prefix + f"lora_B{proj}"]
+            encoder.params[prefix + f"W{proj}"] = encoder.params[prefix + f"W{proj}"] + scale * (a @ b)
+            encoder.params[prefix + f"lora_A{proj}"] = np.zeros_like(a)
+            encoder.params[prefix + f"lora_B{proj}"] = np.zeros_like(b)

@@ -1,0 +1,34 @@
+"""Simulated PDF parsers.
+
+The paper benchmarks seven parsers spanning three families: text extraction
+(PyMuPDF, pypdf), optical character recognition (Tesseract, GROBID), and
+Vision-Transformer document models (Nougat, Marker).  The real tools are not
+available offline, so each is re-implemented as a *behavioural simulator*:
+it reads the same channel the real tool reads (the embedded text layer for
+extraction, the rendered image layer for recognition), exhibits the same
+characteristic failure modes (Figure 1), and consumes resources according to a
+cost model calibrated to the paper's relative throughputs.
+"""
+
+from __future__ import annotations
+
+from repro.parsers.base import Parser, ParseResult, ParserCost, ResourceUsage
+from repro.parsers.extraction import PyMuPDFSim, PyPDFSim
+from repro.parsers.ocr import GrobidSim, TesseractSim
+from repro.parsers.vit import MarkerSim, NougatSim
+from repro.parsers.registry import ParserRegistry, default_registry
+
+__all__ = [
+    "Parser",
+    "ParseResult",
+    "ParserCost",
+    "ResourceUsage",
+    "PyMuPDFSim",
+    "PyPDFSim",
+    "TesseractSim",
+    "GrobidSim",
+    "NougatSim",
+    "MarkerSim",
+    "ParserRegistry",
+    "default_registry",
+]

@@ -1,0 +1,223 @@
+"""Parser abstraction, parse results, and the resource-cost model.
+
+The cost model is what couples parsing quality to the systems side of the
+paper: the AdaParse budget optimiser (Appendix C) reasons about average
+per-parser costs, and the HPC simulator charges each task the document's
+simulated CPU/GPU seconds.  Costs are calibrated against the paper's relative
+throughputs: PyMuPDF ≈ 135× Nougat and ≈ 13× pypdf on a single node, with
+Nougat processing roughly 1–2 PDF/s on a 4-GPU node.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.documents.document import SciDocument
+from repro.utils.rng import rng_from
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resources consumed by one parse task.
+
+    ``cpu_seconds`` are single-core seconds; ``gpu_seconds`` are single-GPU
+    seconds.  Memory figures are peak working-set sizes.
+    """
+
+    cpu_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+    cpu_memory_mb: float = 0.0
+    gpu_memory_mb: float = 0.0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
+            gpu_seconds=self.gpu_seconds + other.gpu_seconds,
+            cpu_memory_mb=max(self.cpu_memory_mb, other.cpu_memory_mb),
+            gpu_memory_mb=max(self.gpu_memory_mb, other.gpu_memory_mb),
+        )
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """CPU plus GPU seconds (the scalar the budget constraint uses)."""
+        return self.cpu_seconds + self.gpu_seconds
+
+
+@dataclass(frozen=True)
+class ParserCost:
+    """Static cost profile of a parser.
+
+    Attributes
+    ----------
+    cpu_seconds_per_page, gpu_seconds_per_page:
+        Mean per-page processing cost on the reference node.
+    cpu_memory_mb, gpu_memory_mb:
+        Peak memory per worker.
+    model_load_seconds:
+        One-time model initialisation cost (amortised by warm-started
+        workers; paid per task by cold-started ones).
+    per_document_overhead_seconds:
+        Fixed per-document cost (file open, layout pass, serialisation).
+    variability:
+        Log-normal sigma of per-document cost noise (content heterogeneity).
+    """
+
+    cpu_seconds_per_page: float = 0.0
+    gpu_seconds_per_page: float = 0.0
+    cpu_memory_mb: float = 256.0
+    gpu_memory_mb: float = 0.0
+    model_load_seconds: float = 0.0
+    per_document_overhead_seconds: float = 0.0
+    variability: float = 0.15
+
+    @property
+    def uses_gpu(self) -> bool:
+        """Whether the parser needs a GPU worker."""
+        return self.gpu_seconds_per_page > 0.0 or self.gpu_memory_mb > 0.0
+
+    def expected_document_usage(self, n_pages: int) -> ResourceUsage:
+        """Expected resource usage for a document of ``n_pages`` pages."""
+        return ResourceUsage(
+            cpu_seconds=self.per_document_overhead_seconds + self.cpu_seconds_per_page * n_pages,
+            gpu_seconds=self.gpu_seconds_per_page * n_pages,
+            cpu_memory_mb=self.cpu_memory_mb,
+            gpu_memory_mb=self.gpu_memory_mb,
+        )
+
+    def sample_document_usage(
+        self, n_pages: int, rng: np.random.Generator, difficulty: float = 0.0
+    ) -> ResourceUsage:
+        """Sample a document's resource usage.
+
+        ``difficulty`` in ``[0, 1]`` inflates costs for content-heavy documents
+        (dense layouts and degraded scans take longer to process).
+        """
+        expected = self.expected_document_usage(n_pages)
+        scale = float(np.exp(rng.normal(0.0, self.variability))) * (1.0 + 0.5 * difficulty)
+        return ResourceUsage(
+            cpu_seconds=expected.cpu_seconds * scale,
+            gpu_seconds=expected.gpu_seconds * scale,
+            cpu_memory_mb=expected.cpu_memory_mb,
+            gpu_memory_mb=expected.gpu_memory_mb,
+        )
+
+
+@dataclass
+class ParseResult:
+    """Output of parsing one document with one parser."""
+
+    parser_name: str
+    doc_id: str
+    page_texts: list[str]
+    usage: ResourceUsage = field(default_factory=ResourceUsage)
+    succeeded: bool = True
+    error: str | None = None
+
+    @property
+    def text(self) -> str:
+        """Concatenated document text."""
+        return "\n".join(self.page_texts)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_texts)
+
+    @property
+    def n_characters(self) -> int:
+        return sum(len(t) for t in self.page_texts)
+
+
+class Parser(abc.ABC):
+    """Abstract base class of all simulated parsers.
+
+    Subclasses implement :meth:`_parse_pages`, producing per-page text from
+    the channel they consume; the base class handles per-document random
+    streams, resource accounting, and failure wrapping.
+    """
+
+    #: Unique parser name (used by the registry, tables, and seeds).
+    name: str = "abstract"
+    #: Static cost profile.
+    cost: ParserCost = ParserCost()
+
+    def document_rng(self, document: SciDocument, salt: str = "") -> np.random.Generator:
+        """Deterministic random stream for (parser, document)."""
+        return rng_from(document.seed, "parser", self.name, document.doc_id, salt)
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _parse_pages(self, document: SciDocument, rng: np.random.Generator) -> list[str]:
+        """Produce the per-page text output for a document."""
+
+    def content_difficulty(self, document: SciDocument) -> float:
+        """Difficulty proxy in ``[0, 1]`` used to modulate cost (not quality)."""
+        difficulty = 0.5 * document.equation_fraction
+        difficulty += 0.5 * document.image_layer.degradation_score()
+        return float(min(1.0, difficulty))
+
+    def estimate_usage(self, document: SciDocument) -> ResourceUsage:
+        """Expected resource usage (used by the budget optimiser and scheduler)."""
+        return self.cost.expected_document_usage(document.n_pages)
+
+    def parse(self, document: SciDocument) -> ParseResult:
+        """Parse a document, returning text output and simulated resource usage."""
+        rng = self.document_rng(document)
+        usage = self.cost.sample_document_usage(
+            document.n_pages, rng, difficulty=self.content_difficulty(document)
+        )
+        try:
+            pages = self._parse_pages(document, rng)
+        except Exception as exc:  # noqa: BLE001 - resilience is part of the design
+            return ParseResult(
+                parser_name=self.name,
+                doc_id=document.doc_id,
+                page_texts=["" for _ in range(document.n_pages)],
+                usage=usage,
+                succeeded=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return ParseResult(
+            parser_name=self.name,
+            doc_id=document.doc_id,
+            page_texts=pages,
+            usage=usage,
+            succeeded=True,
+        )
+
+    def parse_many(self, documents: list[SciDocument]) -> list[ParseResult]:
+        """Parse a batch of documents sequentially (library-level convenience)."""
+        return [self.parse(doc) for doc in documents]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def single_node_throughput(
+    cost: ParserCost,
+    pages_per_document: float = 10.0,
+    cpu_cores: int = 32,
+    gpus: int = 4,
+) -> float:
+    """Ideal single-node throughput (documents/second) implied by a cost model.
+
+    This mirrors the legend of Figure 3: it ignores I/O and scheduling overhead
+    and assumes perfect intra-node parallelism over CPU cores or GPUs.
+    """
+    per_doc_cpu = cost.per_document_overhead_seconds + cost.cpu_seconds_per_page * pages_per_document
+    per_doc_gpu = cost.gpu_seconds_per_page * pages_per_document
+    rates = []
+    if per_doc_cpu > 0:
+        rates.append(cpu_cores / per_doc_cpu)
+    if per_doc_gpu > 0:
+        rates.append(gpus / per_doc_gpu)
+    if not rates:
+        return float("inf")
+    return min(rates)

@@ -1,0 +1,88 @@
+"""Text-extraction parsers: PyMuPDF and pypdf simulators.
+
+Extraction tools read the text embedded in the PDF.  They are extremely fast
+and language-agnostic, but they can only be as good as the embedded layer:
+missing, scrambled, or OCR-derived layers pass straight through to the output
+(Section 3.1.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.documents import noise
+from repro.documents.document import SciDocument, TextLayerQuality
+from repro.parsers.base import Parser, ParserCost
+
+
+class PyMuPDFSim(Parser):
+    """Simulated PyMuPDF (MuPDF binding): the fast, high-quality extractor.
+
+    The paper uses PyMuPDF both as the default parser (its output feeds the
+    selection models) and as the lightweight arm of AdaParse.  Its cost model
+    is calibrated to be roughly 135× faster than Nougat and 13× faster than
+    pypdf on a single node.
+    """
+
+    name = "pymupdf"
+    cost = ParserCost(
+        cpu_seconds_per_page=0.020,
+        cpu_memory_mb=180.0,
+        per_document_overhead_seconds=0.012,
+        variability=0.20,
+    )
+
+    def _parse_pages(self, document: SciDocument, rng: np.random.Generator) -> list[str]:
+        pages: list[str] = []
+        for page_text in document.text_layer.page_texts:
+            if not page_text:
+                pages.append("")
+                continue
+            out = page_text
+            # Extraction emits visual reading order; the only artefacts PyMuPDF
+            # adds itself are occasional kerning-induced spaces and rare
+            # reading-order swaps in dense two-column layouts.
+            out = noise.inject_whitespace(out, rate=0.006, rng=rng)
+            if rng.random() < 0.05:
+                out = noise.swap_adjacent_words(out, rate=0.02, rng=rng)
+            pages.append(out)
+        return pages
+
+
+class PyPDFSim(Parser):
+    """Simulated pypdf: the pure-Python extractor.
+
+    pypdf is slower than MuPDF and considerably less careful about whitespace
+    and ligatures, which is why the paper reports a dramatically lower
+    character accuracy rate (CAR) for it despite a similar word-level BLEU.
+    """
+
+    name = "pypdf"
+    cost = ParserCost(
+        cpu_seconds_per_page=0.26,
+        cpu_memory_mb=300.0,
+        per_document_overhead_seconds=0.05,
+        variability=0.25,
+    )
+
+    def _parse_pages(self, document: SciDocument, rng: np.random.Generator) -> list[str]:
+        pages: list[str] = []
+        for page_text in document.text_layer.page_texts:
+            if not page_text:
+                pages.append("")
+                continue
+            out = page_text
+            # Moderate whitespace damage (spurious spaces inside words and
+            # dropped spaces between words), broken ligatures, and pervasive
+            # glyph-case/encoding slips.  Word-level metrics survive this far
+            # better than character-level ones, which is why the paper reports
+            # a respectable BLEU but a collapsed CAR for pypdf.
+            out = noise.inject_whitespace(out, rate=0.05, rng=rng)
+            out = noise.merge_words(out, rate=0.05, rng=rng)
+            out = noise.break_ligatures(out, rate=0.8, rng=rng)
+            out = noise.substitute_characters(out, rate=0.005, rng=rng)
+            out = noise.corrupt_case(out, rate=0.30, rng=rng)
+            if document.text_layer.quality is TextLayerQuality.NOISY:
+                out = noise.scramble_characters(out, rate=0.02, rng=rng)
+            pages.append(out)
+        return pages

@@ -1,0 +1,153 @@
+"""Named parser failure modes (Figure 1 of the paper).
+
+Each function applies one failure mode to parser output text; the simulated
+parsers compose them according to their characteristic error profiles, and the
+``examples/failure_modes.py`` script demonstrates all of them on a single
+document, mirroring Figure 1:
+
+(a) whitespace injection, (b) word substitution, (c) character scrambling,
+(d) character substitution, (e) corrupted SMILES, (f) LaTeX-to-plaintext
+conversion, (g) dropped document page.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.documents import noise
+from repro.documents.rendering import latex_to_prose
+
+#: A SMILES-looking token: runs of organic-chemistry SMILES characters.
+_SMILES_TOKEN_RE = re.compile(r"\(?[A-Za-z0-9@+\-\[\]\(\)=#$]{6,}\)?")
+_SMILES_CHARS = set("CNOSPFIclnos0123456789()[]=#+-@")
+
+
+def whitespace_injection(text: str, rng: np.random.Generator, severity: float = 0.5) -> str:
+    """(a) Insert spurious spaces inside words."""
+    return noise.inject_whitespace(text, rate=0.02 + 0.2 * severity, rng=rng)
+
+
+def word_substitution(
+    text: str,
+    rng: np.random.Generator,
+    severity: float = 0.5,
+    vocabulary: tuple[str, ...] | None = None,
+) -> str:
+    """(b) Replace words with unrelated vocabulary items."""
+    return noise.substitute_words(text, rate=0.01 + 0.08 * severity, rng=rng, vocabulary=vocabulary)
+
+
+def character_scrambling(text: str, rng: np.random.Generator, severity: float = 0.5) -> str:
+    """(c) Shuffle the interior characters of words."""
+    return noise.scramble_characters(text, rate=0.05 + 0.5 * severity, rng=rng)
+
+
+def character_substitution(text: str, rng: np.random.Generator, severity: float = 0.5) -> str:
+    """(d) Replace characters with OCR-confusable look-alikes."""
+    return noise.substitute_characters(text, rate=0.005 + 0.05 * severity, rng=rng)
+
+
+def _looks_like_smiles(token: str) -> bool:
+    stripped = token.strip("().,;")
+    if len(stripped) < 6:
+        return False
+    specials = sum(1 for c in stripped if c in "()[]=#@")
+    upper = sum(1 for c in stripped if c.isupper())
+    return all(c in _SMILES_CHARS for c in stripped) and (specials >= 1 or upper >= len(stripped) / 2)
+
+
+def smiles_corruption(text: str, rng: np.random.Generator, severity: float = 0.5) -> str:
+    """(e) Corrupt SMILES-like identifiers (dropped ring closures, case flips)."""
+    words = text.split(" ")
+    out: list[str] = []
+    for word in words:
+        if _looks_like_smiles(word) and rng.random() < 0.3 + 0.6 * severity:
+            corrupted = noise.corrupt_case(word, rate=0.3, rng=rng)
+            corrupted = corrupted.replace("(", "", 1) if rng.random() < 0.5 else corrupted
+            corrupted = noise.substitute_characters(corrupted, rate=0.2, rng=rng)
+            out.append(corrupted)
+        else:
+            out.append(word)
+    return " ".join(out)
+
+
+def latex_plaintext_conversion(latex: str) -> str:
+    """(f) Convert a LaTeX equation to plain prose (Marker-style)."""
+    return latex_to_prose(latex)
+
+
+def page_drop(
+    page_texts: Sequence[str],
+    rng: np.random.Generator,
+    drop_probability: float = 0.05,
+) -> list[str]:
+    """(g) Drop whole pages (the most severe failure mode).
+
+    Dropped pages are returned as empty strings so that page alignment (and
+    therefore coverage accounting) is preserved.
+    """
+    out: list[str] = []
+    for text in page_texts:
+        if rng.random() < drop_probability:
+            out.append("")
+        else:
+            out.append(text)
+    # Never drop every page of a document: real parsers emit at least a
+    # fragment, and an all-empty parse would be indistinguishable from a crash.
+    if page_texts and all(t == "" for t in out):
+        keep = int(rng.integers(0, len(page_texts)))
+        out[keep] = page_texts[keep]
+    return out
+
+
+@dataclass(frozen=True)
+class FailureMode:
+    """Catalog entry pairing a Figure 1 label with its transformation."""
+
+    label: str
+    description: str
+    apply: Callable[[str, np.random.Generator], str]
+
+
+def catalog() -> list[FailureMode]:
+    """The Figure 1 failure-mode catalog (text-level modes only).
+
+    Page dropping operates on page lists rather than a single string and is
+    therefore exposed separately via :func:`page_drop`.
+    """
+    return [
+        FailureMode(
+            label="(a) whitespace injection",
+            description="spurious spaces inserted inside words",
+            apply=lambda text, rng: whitespace_injection(text, rng, severity=0.8),
+        ),
+        FailureMode(
+            label="(b) word substitution",
+            description="words replaced with unrelated vocabulary",
+            apply=lambda text, rng: word_substitution(text, rng, severity=0.8),
+        ),
+        FailureMode(
+            label="(c) character scrambling",
+            description="interior characters of words shuffled",
+            apply=lambda text, rng: character_scrambling(text, rng, severity=0.8),
+        ),
+        FailureMode(
+            label="(d) character substitution",
+            description="characters replaced with OCR look-alikes",
+            apply=lambda text, rng: character_substitution(text, rng, severity=0.8),
+        ),
+        FailureMode(
+            label="(e) corrupted SMILES",
+            description="molecular identifiers corrupted",
+            apply=lambda text, rng: smiles_corruption(text, rng, severity=0.9),
+        ),
+        FailureMode(
+            label="(f) LaTeX to plaintext conversion",
+            description="equations verbalised into prose",
+            apply=lambda text, rng: latex_plaintext_conversion(text),
+        ),
+    ]

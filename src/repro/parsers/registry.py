@@ -1,0 +1,80 @@
+"""Parser registry: the set of parsers available to AdaParse and the harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.parsers.base import Parser
+from repro.parsers.extraction import PyMuPDFSim, PyPDFSim
+from repro.parsers.ocr import GrobidSim, TesseractSim
+from repro.parsers.vit import MarkerSim, NougatSim
+
+#: Canonical parser ordering used by tables and the selector's output head.
+DEFAULT_PARSER_ORDER: tuple[str, ...] = (
+    "marker",
+    "nougat",
+    "pymupdf",
+    "pypdf",
+    "grobid",
+    "tesseract",
+)
+
+
+class ParserRegistry:
+    """A named collection of parser instances.
+
+    The registry fixes a stable ordering (needed because the selector model's
+    regression head predicts one accuracy per parser, by position) and offers
+    lookup by name.
+    """
+
+    def __init__(self, parsers: Iterable[Parser] = ()) -> None:
+        self._parsers: dict[str, Parser] = {}
+        for parser in parsers:
+            self.register(parser)
+
+    def register(self, parser: Parser) -> None:
+        """Add a parser; names must be unique."""
+        if parser.name in self._parsers:
+            raise ValueError(f"parser {parser.name!r} is already registered")
+        self._parsers[parser.name] = parser
+
+    def get(self, name: str) -> Parser:
+        """Look up a parser by name."""
+        try:
+            return self._parsers[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown parser {name!r}; registered: {sorted(self._parsers)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parsers
+
+    def __len__(self) -> int:
+        return len(self._parsers)
+
+    def __iter__(self) -> Iterator[Parser]:
+        return iter(self._parsers.values())
+
+    @property
+    def names(self) -> list[str]:
+        """Registered parser names in registration order."""
+        return list(self._parsers)
+
+    def subset(self, names: Iterable[str]) -> "ParserRegistry":
+        """A new registry restricted to the given parser names."""
+        return ParserRegistry(self.get(n) for n in names)
+
+
+def default_registry() -> ParserRegistry:
+    """The paper's six base parsers in canonical order."""
+    instances: dict[str, Parser] = {
+        "marker": MarkerSim(),
+        "nougat": NougatSim(),
+        "pymupdf": PyMuPDFSim(),
+        "pypdf": PyPDFSim(),
+        "grobid": GrobidSim(),
+        "tesseract": TesseractSim(),
+    }
+    return ParserRegistry(instances[name] for name in DEFAULT_PARSER_ORDER)

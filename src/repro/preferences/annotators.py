@@ -1,0 +1,169 @@
+"""Behavioural model of the human annotators.
+
+Each :class:`SimulatedAnnotator` judges a parsed page by a personal utility
+
+    u = w_fidelity · BLEU(page parse, page ground truth)
+      + w_clean    · cleanliness(parse)
+      + w_complete · completeness(parse vs ground truth)
+      + w_math     · math fidelity (LaTeX preserved where the page has math)
+      − formatting fatigue (markdown artifacts)            + noise
+
+The weights are drawn per annotator around panel-level means, so different
+scientists disagree occasionally (the paper measures 82 % consensus) but agree
+on clear-cut cases.  Because cleanliness and math fidelity matter to readers
+more than n-gram overlap alone, the resulting tournament prefers Nougat/Marker
+slightly over raw extraction even where BLEU does not — reproducing the
+paper's observation that BLEU correlates with, but does not determine, human
+preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.documents.document import PageContent
+from repro.metrics.bleu import bleu_score
+from repro.ml.features import TEXT_FEATURE_NAMES, TextStatisticsExtractor
+from repro.utils.hashing import stable_hash
+from repro.utils.rng import rng_from
+
+_FEATURE_INDEX = {name: i for i, name in enumerate(TEXT_FEATURE_NAMES)}
+_EXTRACTOR = TextStatisticsExtractor(max_chars=4000)
+
+
+def cleanliness_score(text: str) -> float:
+    """1 for clean readable text, 0 for junk (whitespace/scramble artefacts)."""
+    if not text.strip():
+        return 0.0
+    features = _EXTRACTOR.extract(text)
+    penalty = (
+        2.5 * features[_FEATURE_INDEX["vowel_free_word_ratio"]]
+        + 2.0 * features[_FEATURE_INDEX["single_char_word_ratio"]]
+        + 1.5 * features[_FEATURE_INDEX["non_ascii_ratio"]]
+        + 1.0 * max(0.0, features[_FEATURE_INDEX["whitespace_ratio"]] - 0.22)
+        + 1.0 * features[_FEATURE_INDEX["repeated_char_run_ratio"]]
+    )
+    return float(np.clip(1.0 - penalty, 0.0, 1.0))
+
+
+def completeness_score(parsed: str, ground_truth: str) -> float:
+    """Rough recall of the ground-truth page length, clipped to [0, 1]."""
+    if not ground_truth:
+        return 1.0
+    if not parsed.strip():
+        return 0.0
+    return float(np.clip(len(parsed) / max(1, len(ground_truth)), 0.0, 1.0))
+
+
+def math_fidelity_score(parsed: str, page: PageContent) -> float:
+    """Whether LaTeX-ish structure survived on pages that contain equations."""
+    equations = page.elements_of_kind("equation")
+    if not equations:
+        return 0.5  # neutral on math-free pages
+    latex_markers = parsed.count("\\") + parsed.count("frac") + parsed.count("^")
+    return float(np.clip(latex_markers / (2.0 * len(equations)), 0.0, 1.0))
+
+
+def formatting_fatigue(parsed: str) -> float:
+    """Small penalty for markdown artefacts (hashtags, pipes) in the parse."""
+    if not parsed:
+        return 0.0
+    markers = parsed.count("#") + parsed.count(" | ")
+    return float(np.clip(markers / 80.0, 0.0, 0.15))
+
+
+@dataclass(frozen=True)
+class AnnotatorProfile:
+    """Utility weights of one simulated scientist."""
+
+    fidelity_weight: float
+    cleanliness_weight: float
+    completeness_weight: float
+    math_weight: float
+    noise_scale: float
+    tie_threshold: float
+
+
+class SimulatedAnnotator:
+    """One simulated scientist."""
+
+    def __init__(self, annotator_id: str, profile: AnnotatorProfile, seed: int) -> None:
+        self.annotator_id = annotator_id
+        self.profile = profile
+        self._seed = seed
+
+    def utility(self, parsed: str, page: PageContent, salt: str = "") -> float:
+        """Perceived quality of a parsed page (higher is better)."""
+        ground_truth = page.ground_truth_text()
+        fidelity = bleu_score(parsed, ground_truth, max_n=2)
+        profile = self.profile
+        noise_rng = rng_from(
+            self._seed, "utility-noise", self.annotator_id, salt, stable_hash(parsed)
+        )
+        value = (
+            profile.fidelity_weight * fidelity
+            + profile.cleanliness_weight * cleanliness_score(parsed)
+            + profile.completeness_weight * completeness_score(parsed, ground_truth)
+            + profile.math_weight * math_fidelity_score(parsed, page)
+            - formatting_fatigue(parsed)
+        )
+        return float(value + noise_rng.normal(0.0, profile.noise_scale))
+
+    def compare(
+        self, parsed_a: str, parsed_b: str, page: PageContent, salt: str = ""
+    ) -> int:
+        """Preference: 1 if A preferred, -1 if B preferred, 0 for indifference."""
+        utility_a = self.utility(parsed_a, page, salt=salt + ":a")
+        utility_b = self.utility(parsed_b, page, salt=salt + ":b")
+        if abs(utility_a - utility_b) < self.profile.tie_threshold:
+            return 0
+        return 1 if utility_a > utility_b else -1
+
+
+class AnnotatorPanel:
+    """The panel of simulated scientists taking part in the study."""
+
+    #: Panel-level mean utility weights; individual annotators jitter around
+    #: these.  Cleanliness and completeness weigh as much as n-gram fidelity,
+    #: which is what decouples win rate from BLEU.
+    MEAN_PROFILE = AnnotatorProfile(
+        fidelity_weight=0.9,
+        cleanliness_weight=0.65,
+        completeness_weight=0.55,
+        math_weight=0.30,
+        noise_scale=0.045,
+        tie_threshold=0.04,
+    )
+
+    def __init__(self, n_annotators: int = 23, seed: int = 202) -> None:
+        if n_annotators < 1:
+            raise ValueError("n_annotators must be positive")
+        self.seed = seed
+        self.annotators: list[SimulatedAnnotator] = []
+        mean = self.MEAN_PROFILE
+        for i in range(n_annotators):
+            rng = rng_from(seed, "annotator-profile", i)
+            # Scientists differ in what they value (the paper's panel spans
+            # eight disciplines) but the jitter is kept modest so that
+            # clear-cut comparisons still produce the high consensus the
+            # paper measures (82.2 % agreement on repeated triplets).
+            profile = AnnotatorProfile(
+                fidelity_weight=float(max(0.1, rng.normal(mean.fidelity_weight, 0.10))),
+                cleanliness_weight=float(max(0.05, rng.normal(mean.cleanliness_weight, 0.10))),
+                completeness_weight=float(max(0.05, rng.normal(mean.completeness_weight, 0.08))),
+                math_weight=float(max(0.0, rng.normal(mean.math_weight, 0.08))),
+                noise_scale=float(abs(rng.normal(mean.noise_scale, 0.012))),
+                tie_threshold=float(abs(rng.normal(mean.tie_threshold, 0.01))),
+            )
+            self.annotators.append(SimulatedAnnotator(f"annotator-{i:02d}", profile, seed=seed + i))
+
+    def __len__(self) -> int:
+        return len(self.annotators)
+
+    def sample(self, rng: np.random.Generator, k: int = 1) -> list[SimulatedAnnotator]:
+        """Draw ``k`` distinct annotators."""
+        k = min(k, len(self.annotators))
+        indices = rng.choice(len(self.annotators), size=k, replace=False)
+        return [self.annotators[int(i)] for i in indices]

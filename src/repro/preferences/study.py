@@ -1,0 +1,233 @@
+"""The pairwise preference study: sampling, judging, and aggregate statistics.
+
+A :class:`PreferenceStudy` reproduces the paper's data-collection protocol:
+document pages are sampled, two parsers' outputs for the same page are shown
+to one or more (simulated) scientists, and the choices are recorded.  The
+result object exposes the statistics Section 7.1 reports — normalised win
+rates, decisiveness, consensus among repeated judgements, and the correlation
+between BLEU and win rate — plus the preference pairs used for DPO.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.documents.corpus import Corpus
+from repro.documents.document import SciDocument
+from repro.metrics.bleu import bleu_score
+from repro.metrics.winrate import PairwiseOutcome, WinRateTally, consensus_rate
+from repro.ml.dpo import PreferencePair
+from repro.parsers.base import ParseResult
+from repro.parsers.registry import ParserRegistry
+from repro.preferences.annotators import AnnotatorPanel
+from repro.utils.rng import rng_from
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration of the preference study.
+
+    Attributes
+    ----------
+    n_pages:
+        Number of distinct document pages sampled (the paper used 642).
+    comparisons_per_page:
+        How many parser pairs are judged per page.
+    repeat_fraction:
+        Fraction of (page, pair) triplets shown to a second annotator, used to
+        measure consensus.
+    n_annotators:
+        Size of the simulated panel (the paper recruited 23 scientists).
+    seed:
+        Seed of all sampling in the study.
+    """
+
+    n_pages: int = 120
+    comparisons_per_page: int = 4
+    repeat_fraction: float = 0.35
+    n_annotators: int = 23
+    seed: int = 404
+
+
+@dataclass
+class JudgedComparison:
+    """One judgement of one (page, parser A, parser B) triplet."""
+
+    doc_id: str
+    page_index: int
+    parser_a: str
+    parser_b: str
+    text_a: str
+    text_b: str
+    annotator_id: str
+    winner: str | None
+
+
+@dataclass
+class StudyResult:
+    """All judgements of a study plus derived statistics."""
+
+    judgements: list[JudgedComparison] = field(default_factory=list)
+    page_bleu: dict[tuple[str, int, str], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def outcomes(self) -> list[PairwiseOutcome]:
+        """Judgements as metric-layer outcomes."""
+        return [
+            PairwiseOutcome(
+                doc_id=f"{j.doc_id}#p{j.page_index}",
+                parser_a=j.parser_a,
+                parser_b=j.parser_b,
+                winner=j.winner,
+            )
+            for j in self.judgements
+        ]
+
+    def win_rates(self) -> dict[str, float]:
+        """Normalised win rate per parser."""
+        tally = WinRateTally()
+        for outcome in self.outcomes():
+            tally.add(outcome)
+        return {p: tally.win_rate(p) for p in sorted(tally.appearances)}
+
+    def decisiveness(self) -> float:
+        """Fraction of judgements where a preference was expressed."""
+        tally = WinRateTally()
+        for outcome in self.outcomes():
+            tally.add(outcome)
+        return tally.decisiveness()
+
+    def consensus(self) -> float:
+        """Agreement rate among triplets judged by multiple annotators."""
+        by_triplet: dict[tuple[str, str, str], list[str | None]] = defaultdict(list)
+        for j in self.judgements:
+            key = (f"{j.doc_id}#p{j.page_index}", j.parser_a, j.parser_b)
+            by_triplet[key].append(j.winner)
+        return consensus_rate(by_triplet)
+
+    def bleu_win_rate_correlation(self) -> float:
+        """Pearson correlation between per-parser mean BLEU and win rate."""
+        win_rates = self.win_rates()
+        parsers = sorted(win_rates)
+        mean_bleu: list[float] = []
+        for parser in parsers:
+            values = [v for (doc, page, p), v in self.page_bleu.items() if p == parser]
+            mean_bleu.append(float(np.mean(values)) if values else 0.0)
+        rates = [win_rates[p] for p in parsers]
+        if len(parsers) < 3 or np.std(mean_bleu) == 0 or np.std(rates) == 0:
+            return 0.0
+        return float(np.corrcoef(mean_bleu, rates)[0, 1])
+
+    def preference_pairs(self) -> list[PreferencePair]:
+        """Decided judgements as DPO training pairs."""
+        pairs: list[PreferencePair] = []
+        for j in self.judgements:
+            if j.winner is None:
+                continue
+            if j.winner == j.parser_a:
+                preferred, rejected = j.text_a, j.text_b
+                preferred_parser, rejected_parser = j.parser_a, j.parser_b
+            else:
+                preferred, rejected = j.text_b, j.text_a
+                preferred_parser, rejected_parser = j.parser_b, j.parser_a
+            pairs.append(
+                PreferencePair(
+                    doc_id=f"{j.doc_id}#p{j.page_index}",
+                    preferred_text=preferred,
+                    rejected_text=rejected,
+                    preferred_parser=preferred_parser,
+                    rejected_parser=rejected_parser,
+                )
+            )
+        return pairs
+
+    def summary(self) -> dict[str, object]:
+        """Headline statistics (the numbers quoted in Section 7.1)."""
+        return {
+            "n_judgements": len(self.judgements),
+            "win_rates": {k: round(v, 3) for k, v in self.win_rates().items()},
+            "decisiveness": round(self.decisiveness(), 3),
+            "consensus": round(self.consensus(), 3),
+            "bleu_win_rate_correlation": round(self.bleu_win_rate_correlation(), 3),
+        }
+
+
+class PreferenceStudy:
+    """Runs the simulated pairwise preference study."""
+
+    def __init__(
+        self,
+        registry: ParserRegistry,
+        config: StudyConfig | None = None,
+        panel: AnnotatorPanel | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or StudyConfig()
+        self.panel = panel or AnnotatorPanel(self.config.n_annotators, seed=self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def _page_parse(self, result: ParseResult, page_index: int) -> str:
+        if page_index < len(result.page_texts):
+            return result.page_texts[page_index]
+        return ""
+
+    def run(self, corpus: Corpus) -> StudyResult:
+        """Execute the study over a corpus and return all judgements."""
+        cfg = self.config
+        rng = rng_from(cfg.seed, "preference-study", len(corpus))
+        result = StudyResult()
+        parser_names = self.registry.names
+        documents: list[SciDocument] = list(corpus)
+        if not documents:
+            return result
+        # Cache parses per document to avoid re-parsing for every comparison.
+        for _ in range(cfg.n_pages):
+            doc = documents[int(rng.integers(0, len(documents)))]
+            page_index = int(rng.integers(0, doc.n_pages))
+            parses: dict[str, str] = {}
+            for name in parser_names:
+                parse = self.registry.get(name).parse(doc)
+                page_text = self._page_parse(parse, page_index)
+                parses[name] = page_text
+                key = (doc.doc_id, page_index, name)
+                if key not in result.page_bleu:
+                    gt = doc.pages[page_index].ground_truth_text()
+                    result.page_bleu[key] = bleu_score(page_text, gt)
+            for _ in range(cfg.comparisons_per_page):
+                a, b = rng.choice(len(parser_names), size=2, replace=False)
+                parser_a, parser_b = parser_names[int(a)], parser_names[int(b)]
+                n_judges = 2 if rng.random() < cfg.repeat_fraction else 1
+                judges = self.panel.sample(rng, k=n_judges)
+                for judge in judges:
+                    verdict = judge.compare(
+                        parses[parser_a],
+                        parses[parser_b],
+                        doc.pages[page_index],
+                        salt=f"{doc.doc_id}:{page_index}:{parser_a}:{parser_b}",
+                    )
+                    winner: str | None
+                    if verdict > 0:
+                        winner = parser_a
+                    elif verdict < 0:
+                        winner = parser_b
+                    else:
+                        winner = None
+                    result.judgements.append(
+                        JudgedComparison(
+                            doc_id=doc.doc_id,
+                            page_index=page_index,
+                            parser_a=parser_a,
+                            parser_b=parser_b,
+                            text_a=parses[parser_a],
+                            text_b=parses[parser_b],
+                            annotator_id=judge.annotator_id,
+                            winner=winner,
+                        )
+                    )
+        return result

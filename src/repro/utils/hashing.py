@@ -1,0 +1,69 @@
+"""Stable, process-independent hashing helpers.
+
+Python's built-in :func:`hash` is salted per process (``PYTHONHASHSEED``), so it
+cannot be used to derive reproducible random seeds or sharding decisions.  The
+helpers here are based on BLAKE2b and are stable across processes, platforms,
+and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def stable_hash_bytes(*parts: bytes, digest_size: int = 8) -> int:
+    """Hash byte strings into a non-negative integer.
+
+    Parameters
+    ----------
+    parts:
+        Byte strings combined (order-sensitive) into a single digest.
+    digest_size:
+        Number of digest bytes (8 gives a 64-bit value).
+    """
+    h = hashlib.blake2b(digest_size=digest_size)
+    for part in parts:
+        # Length-prefix each part so ("ab","c") and ("a","bc") differ.
+        h.update(len(part).to_bytes(8, "little"))
+        h.update(part)
+    return int.from_bytes(h.digest(), "little")
+
+
+def stable_hash(*parts: object, digest_size: int = 8) -> int:
+    """Hash arbitrary (stringifiable) objects into a non-negative integer.
+
+    Each part is converted with ``str()`` and encoded as UTF-8.  Intended for
+    seeds and bucketing, not cryptography.
+    """
+    encoded = [str(p).encode("utf-8") for p in parts]
+    return stable_hash_bytes(*encoded, digest_size=digest_size)
+
+
+def bucket(key: object, n_buckets: int, salt: str = "") -> int:
+    """Deterministically map ``key`` to a bucket in ``[0, n_buckets)``."""
+    if n_buckets <= 0:
+        raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+    return stable_hash(salt, key) % n_buckets
+
+
+def stable_choice_index(key: object, weights: Iterable[float], salt: str = "") -> int:
+    """Pick an index proportionally to ``weights`` using a stable hash of ``key``.
+
+    The same key and salt always select the same index; different salts act as
+    independent draws.
+    """
+    ws = list(weights)
+    if not ws:
+        raise ValueError("weights must be non-empty")
+    total = float(sum(ws))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    # 53 bits of hash → uniform float in [0, 1).
+    u = (stable_hash(salt, key) % (1 << 53)) / float(1 << 53)
+    acc = 0.0
+    for i, w in enumerate(ws):
+        acc += w / total
+        if u < acc:
+            return i
+    return len(ws) - 1

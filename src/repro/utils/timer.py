@@ -1,0 +1,44 @@
+"""Small wall-clock timing helper used by examples and the CLI."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WallTimer:
+    """Accumulates elapsed wall-clock time across named sections.
+
+    Example
+    -------
+    >>> timer = WallTimer()
+    >>> with timer.section("parse"):
+    ...     pass
+    >>> "parse" in timer.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    class _Section:
+        def __init__(self, timer: "WallTimer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "WallTimer._Section":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._timer.totals[self._name] = self._timer.totals.get(self._name, 0.0) + elapsed
+
+    def section(self, name: str) -> "WallTimer._Section":
+        """Context manager accumulating elapsed time under ``name``."""
+        return WallTimer._Section(self, name)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-section summary."""
+        return "\n".join(f"{name}: {secs:.3f}s" for name, secs in sorted(self.totals.items()))

@@ -1,0 +1,229 @@
+"""Tests of the generalized multi-parser budget assignment solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import (
+    AssignmentPlan,
+    cost_matrix_for_documents,
+    exhaustive_assignment,
+    greedy_assignment,
+    lagrangian_assignment,
+    plan_campaign_assignment,
+)
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.registry import default_registry
+
+
+def small_problem():
+    """Three documents, three parsers: cheap/medium/expensive columns."""
+    accuracy = np.array(
+        [
+            [0.40, 0.55, 0.90],
+            [0.80, 0.82, 0.85],
+            [0.10, 0.60, 0.65],
+        ]
+    )
+    costs = np.array(
+        [
+            [1.0, 3.0, 10.0],
+            [1.0, 3.0, 10.0],
+            [1.0, 3.0, 10.0],
+        ]
+    )
+    return accuracy, costs
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            greedy_assignment(np.zeros((2, 2)), np.zeros((2, 3)), budget=10.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            greedy_assignment(np.zeros((1, 2)), np.array([[-1.0, 1.0]]), budget=10.0)
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            greedy_assignment(np.zeros(3), np.zeros(3), budget=1.0)
+
+    def test_parser_name_length_checked(self):
+        accuracy, costs = small_problem()
+        with pytest.raises(ValueError, match="parser_names"):
+            greedy_assignment(accuracy, costs, budget=10.0, parser_names=["a", "b"])
+
+    def test_empty_problem(self):
+        plan = greedy_assignment(np.zeros((0, 2)), np.zeros((0, 2)), budget=5.0)
+        assert plan.n_documents == 0
+        assert plan.feasible
+
+
+class TestGreedyAssignment:
+    def test_everything_cheap_when_budget_is_tight(self):
+        accuracy, costs = small_problem()
+        plan = greedy_assignment(accuracy, costs, budget=3.0)
+        assert plan.total_cost <= 3.0
+        assert plan.chosen_parsers() == ["parser-0"] * 3
+
+    def test_upgrades_highest_gain_per_cost_first(self):
+        accuracy, costs = small_problem()
+        # Budget 14 allows one expensive upgrade (doc 0, +0.5 gain for +9 cost)
+        # or two medium upgrades; greedy prefers doc 2's medium upgrade
+        # (+0.5 for +2) and then doc 0's medium upgrade (+0.15 for +2).
+        plan = greedy_assignment(accuracy, costs, budget=14.0)
+        assert plan.feasible
+        chosen = plan.chosen_parsers()
+        assert chosen[2] != "parser-0"  # the obviously valuable upgrade happened
+        assert plan.total_cost <= 14.0
+
+    def test_unlimited_budget_takes_best_parser_everywhere(self):
+        accuracy, costs = small_problem()
+        plan = greedy_assignment(accuracy, costs, budget=1e9)
+        rows = np.arange(3)
+        assert np.allclose(
+            accuracy[rows, plan.assignment], accuracy.max(axis=1)
+        )
+
+    def test_infeasible_budget_falls_back_to_cheapest(self):
+        accuracy, costs = small_problem()
+        plan = greedy_assignment(accuracy, costs, budget=1.0)
+        assert not plan.feasible
+        assert plan.chosen_parsers() == ["parser-0"] * 3
+
+    def test_free_upgrade_taken(self):
+        # Second parser is both better and no more expensive.
+        accuracy = np.array([[0.2, 0.9]])
+        costs = np.array([[1.0, 1.0]])
+        plan = greedy_assignment(accuracy, costs, budget=1.0)
+        assert plan.chosen_parsers() == ["parser-1"]
+
+    def test_two_parser_uniform_cost_reduces_to_alpha_rule(self):
+        """With uniform costs the greedy picks the top-k improvement documents,
+        exactly like the Appendix C two-parser rule."""
+        rng = np.random.default_rng(7)
+        n = 40
+        default_acc = rng.uniform(0.3, 0.7, size=n)
+        improvement = rng.uniform(-0.1, 0.3, size=n)
+        accuracy = np.stack([default_acc, default_acc + improvement], axis=1)
+        costs = np.stack([np.full(n, 1.0), np.full(n, 21.0)], axis=1)
+        alpha = 0.1
+        budget = n * 1.0 + alpha * n * 20.0  # room for exactly 10% upgrades
+        plan = greedy_assignment(accuracy, costs, budget)
+        upgraded = np.flatnonzero(plan.assignment == 1)
+        k = int(np.floor(alpha * n))
+        expected = set(np.argsort(improvement)[::-1][:k][improvement[np.argsort(improvement)[::-1][:k]] > 0])
+        assert set(upgraded.tolist()) == expected
+
+
+class TestLagrangianAssignment:
+    def test_feasible_and_reasonable(self):
+        accuracy, costs = small_problem()
+        plan = lagrangian_assignment(accuracy, costs, budget=14.0)
+        assert plan.feasible
+        cheapest_accuracy = accuracy[:, 0].sum()
+        assert plan.total_accuracy >= cheapest_accuracy
+
+    def test_unlimited_budget_matches_best(self):
+        accuracy, costs = small_problem()
+        plan = lagrangian_assignment(accuracy, costs, budget=1e9)
+        assert plan.total_accuracy == pytest.approx(accuracy.max(axis=1).sum())
+
+    def test_infeasible_budget_returns_cheapest(self):
+        accuracy, costs = small_problem()
+        plan = lagrangian_assignment(accuracy, costs, budget=0.5)
+        assert not plan.feasible
+        assert plan.total_cost == pytest.approx(3.0)
+
+
+class TestAgainstExhaustiveOracle:
+    @given(
+        n_docs=st.integers(min_value=1, max_value=5),
+        n_parsers=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget_scale=st.floats(min_value=0.1, max_value=1.2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solvers_are_feasible_and_close_to_optimal(self, n_docs, n_parsers, seed, budget_scale):
+        rng = np.random.default_rng(seed)
+        accuracy = rng.uniform(0.0, 1.0, size=(n_docs, n_parsers))
+        costs = rng.uniform(0.1, 5.0, size=(n_docs, n_parsers))
+        min_cost = costs.min(axis=1).sum()
+        max_cost = costs.max(axis=1).sum()
+        budget = min_cost + budget_scale * (max_cost - min_cost)
+        optimum = exhaustive_assignment(accuracy, costs, budget)
+        greedy = greedy_assignment(accuracy, costs, budget)
+        lagrangian = lagrangian_assignment(accuracy, costs, budget)
+        assert greedy.feasible and lagrangian.feasible
+        assert greedy.total_cost <= budget + 1e-9
+        assert lagrangian.total_cost <= budget + 1e-9
+        # Both heuristics must stay within a modest gap of the true optimum.
+        assert greedy.total_accuracy >= optimum.total_accuracy - 0.35
+        assert lagrangian.total_accuracy >= optimum.total_accuracy - 0.35
+        # And never beat it (sanity of the oracle).
+        assert greedy.total_accuracy <= optimum.total_accuracy + 1e-9
+        assert lagrangian.total_accuracy <= optimum.total_accuracy + 1e-9
+
+    def test_exhaustive_guard_on_problem_size(self):
+        with pytest.raises(ValueError, match="limited"):
+            exhaustive_assignment(np.zeros((11, 2)), np.ones((11, 2)), budget=1.0)
+
+
+class TestAssignmentPlan:
+    def test_fraction_by_parser(self):
+        plan = AssignmentPlan(
+            assignment=np.array([0, 0, 1, 2]),
+            parser_names=["a", "b", "c"],
+            total_accuracy=1.0,
+            total_cost=1.0,
+            budget=2.0,
+            feasible=True,
+        )
+        fractions = plan.fraction_by_parser()
+        assert fractions == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_summary_shape(self):
+        accuracy, costs = small_problem()
+        plan = greedy_assignment(accuracy, costs, budget=5.0)
+        summary = plan.summary()
+        assert {"n_documents", "total_accuracy", "total_cost", "budget", "feasible"} <= set(summary)
+
+
+class TestCampaignPlanning:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(CorpusConfig(n_documents=12, seed=91, min_pages=2, max_pages=6))
+
+    def test_cost_matrix_shape_and_ordering(self, corpus):
+        registry = default_registry()
+        matrix, names = cost_matrix_for_documents(list(corpus), registry)
+        assert matrix.shape == (len(corpus), len(registry))
+        assert names == registry.names
+        # ViT parsers cost more than extraction on every document.
+        nougat = names.index("nougat")
+        pymupdf = names.index("pymupdf")
+        assert np.all(matrix[:, nougat] > matrix[:, pymupdf])
+
+    def test_plan_campaign_assignment_respects_budget(self, corpus):
+        registry = default_registry()
+        documents = list(corpus)
+        rng = np.random.default_rng(3)
+        predicted = rng.uniform(0.2, 0.9, size=(len(documents), len(registry)))
+        costs, _ = cost_matrix_for_documents(documents, registry)
+        budget = costs.min(axis=1).sum() * 3.0
+        for method in ("greedy", "lagrangian"):
+            plan = plan_campaign_assignment(
+                documents, predicted, registry, budget_seconds=budget, method=method
+            )
+            assert plan.feasible
+            assert plan.total_cost <= budget + 1e-6
+
+    def test_unknown_method_rejected(self, corpus):
+        registry = default_registry()
+        documents = list(corpus)
+        predicted = np.zeros((len(documents), len(registry)))
+        with pytest.raises(ValueError, match="unknown assignment method"):
+            plan_campaign_assignment(documents, predicted, registry, 10.0, method="simplex")

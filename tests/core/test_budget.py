@@ -1,0 +1,125 @@
+"""Tests for the α-constrained budget optimiser (Appendix C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budget import (
+    alpha_for_budget,
+    budget_for_alpha,
+    optimality_gap,
+    select_within_budget,
+)
+
+improvement_lists = st.lists(
+    st.floats(min_value=-0.5, max_value=0.8, allow_nan=False), min_size=0, max_size=200
+)
+
+
+class TestAlphaForBudget:
+    def test_closed_form(self):
+        # 100 documents, default costs 1 s, expensive costs 11 s, budget 150 s:
+        # α ≤ (150 − 100) / (100 · 10) = 0.05
+        assert alpha_for_budget(150, 100, 1.0, 11.0) == pytest.approx(0.05)
+
+    def test_budget_below_default_cost_gives_zero(self):
+        assert alpha_for_budget(50, 100, 1.0, 11.0) == 0.0
+
+    def test_budget_above_all_expensive_gives_one(self):
+        assert alpha_for_budget(10_000, 100, 1.0, 11.0) == 1.0
+
+    def test_round_trip_with_budget_for_alpha(self):
+        total = budget_for_alpha(0.05, 100, 1.0, 11.0)
+        assert alpha_for_budget(total, 100, 1.0, 11.0) == pytest.approx(0.05)
+
+    def test_cheap_expensive_parser(self):
+        assert alpha_for_budget(10, 100, 1.0, 0.5) == 1.0
+
+    def test_invalid_document_count(self):
+        with pytest.raises(ValueError):
+            alpha_for_budget(10, 0, 1.0, 2.0)
+
+
+class TestSelectWithinBudget:
+    def test_selects_top_improvements(self):
+        improvements = [0.1, 0.5, 0.0, 0.4, 0.2]
+        plan = select_within_budget(improvements, alpha=0.4)
+        assert plan.n_expensive == 2
+        assert plan.route_expensive[1] and plan.route_expensive[3]
+
+    def test_alpha_zero_routes_nothing(self):
+        plan = select_within_budget([0.5, 0.9], alpha=0.0)
+        assert plan.n_expensive == 0
+
+    def test_margin_excludes_small_gains(self):
+        plan = select_within_budget([0.01, 0.02, 0.9], alpha=1.0, margin=0.05)
+        assert plan.n_expensive == 1
+
+    def test_per_batch_cap(self):
+        improvements = [0.9] * 10 + [0.0] * 10
+        plan = select_within_budget(improvements, alpha=0.2, batch_size=10)
+        # 20 % per batch of 10 → 2 in the first batch, 0 in the second (no gain).
+        assert plan.route_expensive[:10].sum() == 2
+        assert plan.route_expensive[10:].sum() == 0
+
+    def test_empty_input(self):
+        plan = select_within_budget([], alpha=0.5)
+        assert plan.n_expensive == 0
+        assert plan.expensive_fraction == 0.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            select_within_budget([0.1], alpha=1.5)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            select_within_budget([0.1], alpha=0.5, batch_size=0)
+
+    def test_infinite_scores_prioritised(self):
+        improvements = np.array([0.3, np.inf, 0.5, 0.1])
+        plan = select_within_budget(improvements, alpha=0.25)
+        assert plan.route_expensive[1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(improvement_lists, st.floats(min_value=0, max_value=1))
+    def test_fraction_never_exceeds_alpha(self, improvements, alpha):
+        plan = select_within_budget(improvements, alpha=alpha)
+        assert plan.n_expensive <= int(np.floor(alpha * len(improvements)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(improvement_lists, st.floats(min_value=0, max_value=1), st.integers(min_value=1, max_value=32))
+    def test_batched_fraction_never_exceeds_alpha_per_batch(self, improvements, alpha, batch_size):
+        plan = select_within_budget(improvements, alpha=alpha, batch_size=batch_size)
+        routed = plan.route_expensive
+        for start in range(0, len(improvements), batch_size):
+            chunk = routed[start : start + batch_size]
+            assert chunk.sum() <= int(np.floor(alpha * len(chunk)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(improvement_lists, st.floats(min_value=0, max_value=1))
+    def test_never_routes_non_positive_improvements(self, improvements, alpha):
+        plan = select_within_budget(improvements, alpha=alpha, margin=0.0)
+        scores = np.asarray(improvements)
+        if plan.n_expensive:
+            assert scores[plan.route_expensive].min() > 0
+
+
+class TestOptimalityGap:
+    def test_gap_zero_for_global_batch(self):
+        improvements = np.linspace(0, 1, 100)
+        assert optimality_gap(improvements, alpha=0.1, batch_size=100) == pytest.approx(0.0)
+
+    def test_gap_small_for_large_batches(self):
+        rng = np.random.default_rng(0)
+        improvements = rng.random(1024)
+        gap = optimality_gap(improvements, alpha=0.05, batch_size=256)
+        assert 0.0 <= gap < 0.15
+
+    def test_gap_larger_for_tiny_batches(self):
+        rng = np.random.default_rng(1)
+        improvements = rng.random(1024)
+        tiny = optimality_gap(improvements, alpha=0.05, batch_size=8)
+        large = optimality_gap(improvements, alpha=0.05, batch_size=512)
+        assert tiny >= large

@@ -1,0 +1,138 @@
+"""Integration tests of the AdaParse engines and the training pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaParseConfig
+from repro.core.training import AdaParseTrainer, TrainerSettings
+from repro.documents.augment import strip_text_layers
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.metrics.bleu import bleu_score
+from repro.ml.pretrain import PretrainConfig
+from repro.ml.quality_model import FineTuneConfig
+from repro.ml.transformer import TransformerConfig
+from repro.parsers.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def training_corpus():
+    return build_corpus(CorpusConfig(n_documents=24, seed=314, min_pages=3, max_pages=7))
+
+
+@pytest.fixture(scope="module")
+def fast_settings() -> TrainerSettings:
+    return TrainerSettings(
+        label_pages=2,
+        encoder_config=TransformerConfig(
+            vocab_size=512, max_length=48, d_model=24, n_heads=2, n_layers=1, d_ff=32, lora_rank=2
+        ),
+        finetune_config=FineTuneConfig(n_epochs=2, lora_only=False),
+        pretrain=False,
+        pretrain_config=PretrainConfig(n_sentences=50, n_epochs=1),
+        fasttext_config=__import__("repro.ml.fasttext", fromlist=["FastTextConfig"]).FastTextConfig(
+            embedding_dim=24, n_buckets=1 << 11, n_epochs=8
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_ft(training_corpus, fast_settings):
+    trainer = AdaParseTrainer(default_registry(), fast_settings)
+    return trainer.train_ft(training_corpus)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaParseConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            AdaParseConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            AdaParseConfig(improvement_margin=-0.1)
+
+    def test_with_alpha(self):
+        config = AdaParseConfig().with_alpha(0.2)
+        assert config.alpha == 0.2
+        assert config.default_parser == "pymupdf"
+
+
+class TestEngineRouting:
+    def test_budget_respected(self, trained_ft, training_corpus):
+        documents = list(training_corpus)
+        results = trained_ft.parse_many(documents)
+        assert len(results) == len(documents)
+        assert trained_ft.last_summary.fraction_routed() <= trained_ft.config.alpha + 1e-9
+
+    def test_alpha_zero_never_routes(self, trained_ft, training_corpus):
+        engine = type(trained_ft)(
+            registry=trained_ft.registry,
+            selector=trained_ft.selector,
+            config=trained_ft.config.with_alpha(0.0),
+            validator=trained_ft.validator,
+            improvement_classifier=trained_ft.improvement_classifier,
+        )
+        engine.parse_many(list(training_corpus))
+        assert engine.last_summary.fraction_routed() == 0.0
+
+    def test_results_follow_document_order(self, trained_ft, training_corpus):
+        documents = list(training_corpus)
+        results = trained_ft.parse_many(documents)
+        assert [r.doc_id for r in results] == [d.doc_id for d in documents]
+        assert all(r.parser_name == trained_ft.name for r in results)
+
+    def test_missing_text_layer_routes_to_nougat(self, trained_ft, training_corpus):
+        stripped = strip_text_layers(training_corpus, fraction=1.0)
+        doc = stripped[0]
+        result = trained_ft.parse(doc)
+        assert trained_ft.last_summary.decisions[0].stage == "cls1_invalid"
+        assert trained_ft.last_summary.decisions[0].chosen_parser == "nougat"
+        assert result.text.strip()  # Nougat recovers text despite the missing layer
+
+    def test_usage_includes_selection_overhead(self, trained_ft, training_corpus):
+        doc = training_corpus[0]
+        engine_result = trained_ft.parse(doc)
+        default_result = trained_ft.registry.get("pymupdf").parse(doc)
+        assert engine_result.usage.cpu_seconds >= default_result.usage.cpu_seconds
+
+    def test_quality_not_worse_than_default_on_average(self, trained_ft, training_corpus):
+        documents = list(training_corpus)
+        engine_results = trained_ft.parse_many(documents)
+        default = trained_ft.registry.get("pymupdf")
+        engine_bleu, default_bleu = [], []
+        for doc, result in zip(documents, engine_results):
+            gt = doc.ground_truth_text()
+            engine_bleu.append(bleu_score(result.text, gt))
+            default_bleu.append(bleu_score(default.parse(doc).text, gt))
+        assert np.mean(engine_bleu) >= np.mean(default_bleu) - 0.01
+
+    def test_counts_by_stage_consistent(self, trained_ft, training_corpus):
+        trained_ft.parse_many(list(training_corpus))
+        counts = trained_ft.last_summary.counts_by_stage()
+        assert sum(counts.values()) == len(training_corpus)
+
+
+class TestTrainerLLM:
+    def test_train_llm_with_dpo(self, training_corpus, fast_settings):
+        from repro.ml.dpo import PreferencePair
+
+        trainer = AdaParseTrainer(default_registry(), fast_settings)
+        pairs = [
+            PreferencePair("d1", "clean robust catalyst analysis text", "c l e a n rbsout ctaalyst"),
+            PreferencePair("d2", "the framework demonstrates results", "teh frmaework dmonstrtes"),
+        ]
+        engine = trainer.train_llm(training_corpus, preference_pairs=pairs)
+        assert trainer.artifacts is not None
+        assert trainer.artifacts.dpo_trainer is not None
+        results = engine.parse_many(list(training_corpus)[:6])
+        assert len(results) == 6
+        assert engine.last_summary.fraction_routed() <= engine.config.alpha + 1e-9
+
+    def test_unknown_parser_names_rejected(self, trained_ft):
+        with pytest.raises(KeyError):
+            type(trained_ft)(
+                registry=trained_ft.registry.subset(["pymupdf"]),
+                selector=trained_ft.selector,
+                config=trained_ft.config,
+            )

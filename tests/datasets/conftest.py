@@ -1,0 +1,47 @@
+"""Shared fixtures for the dataset-assembly tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.records import ParsedRecord
+
+
+def make_record(
+    doc_id: str = "doc-0",
+    text: str = "The gravitational force between two masses follows an inverse square law.",
+    parser_name: str = "pymupdf",
+    quality: float | None = 0.8,
+    n_pages: int = 2,
+    cpu_seconds: float = 0.4,
+    gpu_seconds: float = 0.0,
+    succeeded: bool = True,
+    **metadata: object,
+) -> ParsedRecord:
+    """Construct a record with sensible defaults for tests."""
+    tokens = len(text.split())
+    return ParsedRecord(
+        doc_id=doc_id,
+        text=text,
+        parser_name=parser_name,
+        n_pages=n_pages,
+        n_tokens=tokens,
+        quality=quality,
+        quality_source="reference" if quality is not None else "unknown",
+        cpu_seconds=cpu_seconds,
+        gpu_seconds=gpu_seconds,
+        succeeded=succeeded,
+        metadata=dict(metadata),
+    )
+
+
+@pytest.fixture()
+def sample_record() -> ParsedRecord:
+    return make_record()
+
+
+@pytest.fixture()
+def small_corpus():
+    from repro.documents.corpus import CorpusConfig, build_corpus
+
+    return build_corpus(CorpusConfig(n_documents=10, seed=31, min_pages=2, max_pages=5))

@@ -1,0 +1,96 @@
+"""Tests for the benchmark augmentations (Tables 2 and 3 setups)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documents.augment import (
+    AugmentationConfig,
+    degrade_image_layers,
+    replace_text_layers_with_ocr,
+    strip_text_layers,
+)
+from repro.documents.document import TextLayerQuality
+
+
+class TestConfigValidation:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(affected_fraction=1.2)
+
+    def test_invalid_tool(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(ocr_tool="abbyy")
+
+
+class TestImageDegradation:
+    def test_affects_requested_fraction(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=0.5, seed=9)
+        augmented = degrade_image_layers(small_corpus, config)
+        n_scanned_before = sum(d.image_layer.is_scanned for d in small_corpus)
+        n_scanned_after = sum(d.image_layer.is_scanned for d in augmented)
+        assert n_scanned_after >= n_scanned_before
+        assert n_scanned_after >= len(small_corpus) // 2
+
+    def test_text_layer_untouched(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=1.0, seed=9)
+        augmented = degrade_image_layers(small_corpus, config)
+        for before, after in zip(small_corpus, augmented):
+            assert before.text_layer.page_texts == after.text_layer.page_texts
+
+    def test_ground_truth_untouched(self, small_corpus):
+        augmented = degrade_image_layers(small_corpus, AugmentationConfig(affected_fraction=1.0))
+        for before, after in zip(small_corpus, augmented):
+            assert before.ground_truth_text() == after.ground_truth_text()
+
+    def test_deterministic(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=0.3, seed=5)
+        a = degrade_image_layers(small_corpus, config)
+        b = degrade_image_layers(small_corpus, config)
+        assert [d.image_layer.is_scanned for d in a] == [d.image_layer.is_scanned for d in b]
+
+    def test_zero_fraction_is_identity(self, small_corpus):
+        augmented = degrade_image_layers(small_corpus, AugmentationConfig(affected_fraction=0.0))
+        assert [d.image_layer for d in augmented] == [d.image_layer for d in small_corpus]
+
+
+class TestTextLayerReplacement:
+    def test_affected_layers_marked_ocr_derived(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=1.0, seed=2)
+        augmented = replace_text_layers_with_ocr(small_corpus, config)
+        assert all(d.text_layer.quality is TextLayerQuality.OCR_DERIVED for d in augmented)
+        assert all(d.text_layer.producer.startswith("replaced-") for d in augmented)
+
+    def test_partial_replacement_count(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=0.25, seed=2)
+        augmented = replace_text_layers_with_ocr(small_corpus, config)
+        replaced = sum(d.text_layer.producer.startswith("replaced-") for d in augmented)
+        assert replaced == round(0.25 * len(small_corpus))
+
+    def test_replacement_degrades_layer_fidelity(self, small_corpus):
+        config = AugmentationConfig(affected_fraction=1.0, seed=2, ocr_tool="grobid")
+        augmented = replace_text_layers_with_ocr(small_corpus, config)
+        for before, after in zip(small_corpus, augmented):
+            if before.text_layer.quality is TextLayerQuality.CLEAN:
+                assert after.text_layer.n_characters <= before.text_layer.n_characters * 1.1
+
+    def test_page_alignment_preserved(self, small_corpus):
+        augmented = replace_text_layers_with_ocr(
+            small_corpus, AugmentationConfig(affected_fraction=1.0)
+        )
+        for doc in augmented:
+            assert doc.text_layer.n_pages == doc.n_pages
+
+
+class TestStripTextLayers:
+    def test_stripped_layers_empty(self, small_corpus):
+        stripped = strip_text_layers(small_corpus, fraction=1.0)
+        assert all(d.text_layer.quality is TextLayerQuality.MISSING for d in stripped)
+        assert all(d.text_layer.n_characters == 0 for d in stripped)
+
+    def test_fraction_zero_identity(self, small_corpus):
+        stripped = strip_text_layers(small_corpus, fraction=0.0)
+        assert all(
+            a.text_layer.quality == b.text_layer.quality
+            for a, b in zip(small_corpus, stripped)
+        )

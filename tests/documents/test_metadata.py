@@ -1,0 +1,68 @@
+"""Tests for metadata sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.documents import lexicon
+from repro.documents.metadata import (
+    DocumentMetadata,
+    make_title,
+    sample_domain,
+    sample_metadata,
+    sample_producer,
+    sample_publisher,
+    sample_year,
+)
+
+
+class TestSampling:
+    def test_metadata_fields_valid(self):
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            meta = sample_metadata(rng, n_pages=8)
+            assert meta.publisher in lexicon.PUBLISHERS
+            assert meta.domain in lexicon.DOMAINS
+            assert meta.subcategory in lexicon.SUBCATEGORIES[meta.domain]
+            assert meta.producer in lexicon.PRODUCERS
+            assert meta.pdf_format in lexicon.PDF_FORMATS
+            assert 1990 <= meta.year <= 2026
+            assert meta.n_pages == 8
+            assert 3 <= len(meta.keywords) <= 6
+
+    def test_publisher_domain_affinity(self):
+        rng = np.random.default_rng(2)
+        domains = [sample_domain(rng, "biorxiv") for _ in range(300)]
+        assert domains.count("biology") > 100
+
+    def test_old_documents_more_likely_scanner_produced(self):
+        rng = np.random.default_rng(3)
+        old = [sample_producer(rng, 1998) for _ in range(400)]
+        new = [sample_producer(rng, 2023) for _ in range(400)]
+        assert old.count("scanner_firmware") > new.count("scanner_firmware")
+
+    def test_year_mostly_recent(self):
+        rng = np.random.default_rng(4)
+        years = [sample_year(rng) for _ in range(500)]
+        recent = sum(1 for y in years if y >= 2019)
+        assert recent > 250
+
+    def test_title_nonempty_and_capitalised(self):
+        rng = np.random.default_rng(5)
+        title = make_title(rng, "physics")
+        assert title[0].isupper()
+        assert len(title.split()) >= 4
+
+    def test_publisher_distribution_uses_all(self):
+        rng = np.random.default_rng(6)
+        publishers = {sample_publisher(rng) for _ in range(500)}
+        assert publishers == set(lexicon.PUBLISHERS)
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        rng = np.random.default_rng(8)
+        meta = sample_metadata(rng, n_pages=5)
+        restored = DocumentMetadata.from_dict(meta.to_dict())
+        assert restored == meta

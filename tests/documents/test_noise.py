@@ -1,0 +1,109 @@
+"""Tests for the text corruption channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.documents import noise
+
+SAMPLE = (
+    "The gravitational force between two masses is directly proportional to the "
+    "product of their masses and inversely proportional to the square of the distance."
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = noise.ocr_channel(SAMPLE, 0.5, np.random.default_rng(3))
+        b = noise.ocr_channel(SAMPLE, 0.5, np.random.default_rng(3))
+        assert a == b
+
+
+class TestIndividualChannels:
+    def test_zero_rate_is_identity(self, rng):
+        assert noise.inject_whitespace(SAMPLE, 0.0, rng) == SAMPLE
+        assert noise.substitute_characters(SAMPLE, 0.0, rng) == SAMPLE
+        assert noise.drop_words(SAMPLE, 0.0, rng) == SAMPLE
+        assert noise.merge_words(SAMPLE, 0.0, rng) == SAMPLE
+
+    def test_whitespace_injection_adds_spaces(self, rng):
+        out = noise.inject_whitespace(SAMPLE, 1.0, rng)
+        assert out.count(" ") > SAMPLE.count(" ")
+
+    def test_scramble_preserves_word_boundaries(self, rng):
+        out = noise.scramble_characters(SAMPLE, 1.0, rng)
+        assert len(out.split(" ")) == len(SAMPLE.split(" "))
+
+    def test_scramble_preserves_first_last_letters(self, rng):
+        out = noise.scramble_characters("gravitational", 1.0, rng)
+        assert out[0] == "g" and out[-1] == "l"
+        assert sorted(out) == sorted("gravitational")
+
+    def test_substitution_changes_characters(self, rng):
+        out = noise.substitute_characters(SAMPLE, 0.5, rng)
+        assert out != SAMPLE
+        assert len(out) >= len(SAMPLE)  # confusions may expand (m -> rn)
+
+    def test_case_corruption_changes_case_only(self, rng):
+        out = noise.corrupt_case(SAMPLE, 1.0, rng)
+        assert out.lower() == SAMPLE.lower()
+        assert out != SAMPLE
+
+    def test_drop_words_reduces_word_count(self, rng):
+        out = noise.drop_words(SAMPLE, 0.5, rng)
+        assert len(out.split()) < len(SAMPLE.split())
+
+    def test_drop_words_never_empties_text(self, rng):
+        out = noise.drop_words("single", 1.0, rng)
+        assert out
+
+    def test_merge_words_reduces_spaces(self, rng):
+        out = noise.merge_words(SAMPLE, 1.0, rng)
+        assert out.count(" ") < SAMPLE.count(" ")
+
+    def test_swap_adjacent_words_preserves_multiset(self, rng):
+        out = noise.swap_adjacent_words(SAMPLE, 0.8, rng)
+        assert sorted(out.split()) == sorted(SAMPLE.split())
+
+    def test_ligature_breaks(self, rng):
+        out = noise.break_ligatures("the fine flow difference", 1.0, rng)
+        assert "ﬁ" in out or "ﬂ" in out
+
+    def test_hard_wrap_produces_bounded_lines(self, rng):
+        out = noise.hard_wrap_lines(SAMPLE, width=30, rng=rng, hyphenate_rate=0.0)
+        assert all(len(line) <= 31 for line in out.split("\n"))
+
+    def test_scramble_layer_is_heavily_damaged(self, rng):
+        out = noise.scramble_layer(SAMPLE, rng)
+        matching = sum(1 for a, b in zip(SAMPLE.split(), out.split()) if a == b)
+        assert matching < len(SAMPLE.split()) * 0.6
+
+
+class TestOcrChannel:
+    def test_severity_zero_is_nearly_clean(self, rng):
+        out = noise.ocr_channel(SAMPLE, 0.0, rng)
+        same = sum(1 for a, b in zip(SAMPLE.split(), out.split()) if a == b)
+        assert same >= 0.85 * len(SAMPLE.split())
+
+    def test_high_severity_degrades_more_than_low(self):
+        low = noise.ocr_channel(SAMPLE, 0.1, np.random.default_rng(5))
+        high = noise.ocr_channel(SAMPLE, 0.95, np.random.default_rng(5))
+        low_same = sum(1 for a, b in zip(SAMPLE.split(), low.split()) if a == b)
+        high_same = sum(1 for a, b in zip(SAMPLE.split(), high.split()) if a == b)
+        assert high_same <= low_same
+
+    def test_empty_text_passthrough(self, rng):
+        assert noise.ocr_channel("", 0.5, rng) == ""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=10**6))
+    def test_output_never_empty_for_nonempty_input(self, severity, seed):
+        out = noise.ocr_channel(SAMPLE, severity, np.random.default_rng(seed))
+        assert out.strip()

@@ -1,0 +1,66 @@
+"""Tests for the LaTeX/table rendering transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.documents.rendering import (
+    latex_ocr_garble,
+    latex_to_embedded_glyphs,
+    latex_to_prose,
+    table_reading_order,
+)
+
+LATEX = "\\frac{\\partial u}{\\partial t} = \\nabla^2 u + \\lambda u"
+
+
+class TestEmbeddedGlyphs:
+    def test_commands_removed(self):
+        out = latex_to_embedded_glyphs(LATEX)
+        assert "\\" not in out
+        assert "{" not in out and "}" not in out
+
+    def test_glyphs_preserved(self):
+        out = latex_to_embedded_glyphs(LATEX)
+        assert "∂" in out and "∇" in out and "λ" in out
+
+    def test_with_rng_still_deterministic(self):
+        a = latex_to_embedded_glyphs(LATEX, np.random.default_rng(1))
+        b = latex_to_embedded_glyphs(LATEX, np.random.default_rng(1))
+        assert a == b
+
+
+class TestProse:
+    def test_no_latex_syntax_remains(self):
+        out = latex_to_prose(LATEX)
+        assert "\\" not in out
+        assert "=" not in out
+
+    def test_words_substituted(self):
+        out = latex_to_prose(LATEX)
+        assert "partial" in out and "lambda" in out and "equals" in out
+
+
+class TestOcrGarble:
+    def test_greek_becomes_latin_at_high_severity(self):
+        rng = np.random.default_rng(0)
+        out = latex_ocr_garble("\\lambda + \\sigma", severity=1.0, rng=rng)
+        assert "λ" not in out or "σ" not in out
+
+    def test_deterministic(self):
+        a = latex_ocr_garble(LATEX, 0.5, np.random.default_rng(4))
+        b = latex_ocr_garble(LATEX, 0.5, np.random.default_rng(4))
+        assert a == b
+
+
+class TestTableReadingOrder:
+    def test_separators_dropped_with_probability_one(self):
+        table = "a | b | c\n1 | 2 | 3"
+        out = table_reading_order(table, drop_separator_prob=1.0, rng=np.random.default_rng(0))
+        assert " | " not in out
+        assert "a b c" in out
+
+    def test_separators_kept_with_probability_zero(self):
+        table = "a | b | c"
+        out = table_reading_order(table, drop_separator_prob=0.0, rng=np.random.default_rng(0))
+        assert out == table

@@ -1,0 +1,83 @@
+"""Tests for the SimPDF container format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documents.simpdf import (
+    SimPdfArchive,
+    SimPdfReader,
+    SimPdfWriter,
+    deserialize_document,
+    document_from_dict,
+    document_to_dict,
+    serialize_document,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample_document):
+        restored = document_from_dict(document_to_dict(sample_document))
+        assert restored.doc_id == sample_document.doc_id
+        assert restored.ground_truth_text() == sample_document.ground_truth_text()
+        assert restored.metadata == sample_document.metadata
+        assert restored.text_layer.quality == sample_document.text_layer.quality
+        assert restored.image_layer == sample_document.image_layer
+
+    def test_bytes_round_trip(self, sample_document):
+        blob = serialize_document(sample_document)
+        assert blob.startswith(b"SIMPDF1")
+        restored = deserialize_document(blob)
+        assert restored.text_layer.page_texts == sample_document.text_layer.page_texts
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_document(b"NOTAPDF" + b"x" * 10)
+
+    def test_compression_reduces_size(self, sample_document):
+        import json
+
+        raw = len(json.dumps(document_to_dict(sample_document)).encode("utf-8"))
+        compressed = len(serialize_document(sample_document))
+        assert compressed < raw
+
+
+class TestReaderWriter:
+    def test_write_and_read_directory(self, tmp_path, small_corpus):
+        writer = SimPdfWriter(tmp_path / "docs")
+        paths = writer.write_all(list(small_corpus)[:4])
+        assert len(paths) == 4
+        reader = SimPdfReader(tmp_path / "docs")
+        docs = reader.read_all()
+        assert {d.doc_id for d in docs} == {d.doc_id for d in list(small_corpus)[:4]}
+
+
+class TestArchive:
+    def test_archive_round_trip(self, tmp_path, small_corpus):
+        docs = list(small_corpus)[:5]
+        path = tmp_path / "corpus.simpdfarch"
+        archive = SimPdfArchive.write(path, docs)
+        assert len(archive) == 5
+        assert archive.doc_ids() == [d.doc_id for d in docs]
+        restored = archive.read(docs[2].doc_id)
+        assert restored.ground_truth_text() == docs[2].ground_truth_text()
+
+    def test_archive_iteration_order(self, tmp_path, small_corpus):
+        docs = list(small_corpus)[:3]
+        archive = SimPdfArchive.write(tmp_path / "a.arch", docs)
+        assert [d.doc_id for d in archive] == [d.doc_id for d in docs]
+
+    def test_archive_missing_document(self, tmp_path, small_corpus):
+        archive = SimPdfArchive.write(tmp_path / "a.arch", list(small_corpus)[:2])
+        with pytest.raises(KeyError):
+            archive.read("does-not-exist")
+
+    def test_archive_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.arch"
+        path.write_bytes(b"garbage")
+        with pytest.raises(ValueError):
+            SimPdfArchive(path)
+
+    def test_archive_size_reported(self, tmp_path, small_corpus):
+        archive = SimPdfArchive.write(tmp_path / "a.arch", list(small_corpus)[:2])
+        assert archive.size_bytes == (tmp_path / "a.arch").stat().st_size

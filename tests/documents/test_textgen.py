@@ -1,0 +1,119 @@
+"""Tests for the scientific text generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.documents import lexicon
+from repro.documents.textgen import (
+    ScientificTextGenerator,
+    TextGenConfig,
+    generate_generic_sentences,
+)
+
+
+@pytest.fixture()
+def generator() -> ScientificTextGenerator:
+    return ScientificTextGenerator("chemistry", np.random.default_rng(5))
+
+
+class TestSentences:
+    def test_sentence_is_nonempty_and_terminated(self, generator):
+        sentence = generator.sentence()
+        assert sentence.endswith(".")
+        assert len(sentence.split()) >= 5
+
+    def test_sentence_length_respects_config(self):
+        config = TextGenConfig(min_words_per_sentence=8, max_words_per_sentence=12)
+        gen = ScientificTextGenerator("physics", np.random.default_rng(0), config)
+        for _ in range(20):
+            words = gen.sentence().split()
+            assert len(words) <= 12
+
+    def test_paragraph_has_multiple_sentences(self, generator):
+        paragraph = generator.paragraph(4)
+        assert paragraph.count(".") >= 4
+
+    def test_determinism_given_seed(self):
+        a = ScientificTextGenerator("biology", np.random.default_rng(9)).paragraph(3)
+        b = ScientificTextGenerator("biology", np.random.default_rng(9)).paragraph(3)
+        assert a == b
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(KeyError):
+            ScientificTextGenerator("astrology", np.random.default_rng(0))
+
+
+class TestStructuredElements:
+    def test_equation_contains_latex_commands(self, generator):
+        latex = generator.equation_latex()
+        assert "\\" in latex
+
+    def test_equation_element_kind_and_latex(self, generator):
+        element = generator.equation_element()
+        assert element.kind == "equation"
+        assert element.latex == element.text
+
+    def test_smiles_string_characters(self, generator):
+        smiles = generator.smiles_string()
+        assert len(smiles) >= 3
+        assert all(c in "CNOSPFIclnos0123456789()[]=#+-@Na" for c in smiles)
+
+    def test_table_element_has_rows(self, generator):
+        table = generator.table_element()
+        assert table.kind == "table"
+        assert table.text.count("\n") >= 3
+        assert "|" in table.text
+
+    def test_reference_entry_format(self, generator):
+        ref = generator.reference_entry_element(4)
+        assert ref.kind == "reference_entry"
+        assert ref.text.startswith("[4]")
+
+    def test_citation_block_contains_citation(self, generator):
+        block = generator.citation_block_element()
+        assert "[" in block.text or "et al." in block.text
+
+
+class TestPages:
+    def test_first_page_structure(self, generator):
+        page = generator.first_page("A Title")
+        kinds = [el.kind for el in page.elements]
+        assert kinds[0] == "heading"
+        assert "paragraph" in kinds
+
+    def test_document_pages_count(self, generator):
+        pages = generator.document_pages("Title", 6)
+        assert len(pages) == 6
+        assert pages[0].index == 0
+        assert pages[-1].elements[0].text == "References"
+
+    def test_document_pages_single_page(self, generator):
+        pages = generator.document_pages("Title", 1)
+        assert len(pages) == 1
+
+    def test_invalid_page_count(self, generator):
+        with pytest.raises(ValueError):
+            generator.document_pages("Title", 0)
+
+    def test_domain_element_mix_differs(self):
+        math_gen = ScientificTextGenerator("mathematics", np.random.default_rng(3))
+        med_gen = ScientificTextGenerator("medicine", np.random.default_rng(3))
+        math_pages = math_gen.document_pages("T", 10)
+        med_pages = med_gen.document_pages("T", 10)
+        math_eq = sum(len(p.elements_of_kind("equation")) for p in math_pages)
+        med_eq = sum(len(p.elements_of_kind("equation")) for p in med_pages)
+        assert math_eq > med_eq
+
+
+class TestGenericSentences:
+    def test_count_and_shape(self):
+        sentences = generate_generic_sentences(np.random.default_rng(1), 10)
+        assert len(sentences) == 10
+        assert all(s.endswith(".") for s in sentences)
+
+    def test_vocabulary_is_non_scientific(self):
+        sentences = " ".join(generate_generic_sentences(np.random.default_rng(1), 50)).lower()
+        scientific_hits = sum(1 for term in lexicon.DOMAIN_TERMS["chemistry"] if term in sentences)
+        assert scientific_hits <= 3

@@ -1,0 +1,124 @@
+"""Integration tests of the executor, campaigns, and the profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FT_VARIANT_CONFIG, LLM_VARIANT_CONFIG
+from repro.hpc.campaign import CampaignConfig, ParsingCampaign, node_sweep
+from repro.hpc.profiler import profile_gpus
+from repro.hpc.resources import GpuDevice
+from repro.hpc.events import DiscreteEventSimulator
+from repro.hpc.workload import WorkloadModel
+from repro.parsers.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestCampaignBasics:
+    def test_all_documents_processed(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=2, docs_per_archive=16))
+        result = campaign.run_parser(registry.get("pymupdf"), n_documents=100)
+        assert result.n_documents == 100
+        assert sum(s.documents_completed for s in result.node_stats) == 100
+        assert result.total_time_s > 0
+        assert result.throughput_docs_per_s > 0
+
+    def test_gpu_parser_uses_gpus(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        result = campaign.run_parser(registry.get("nougat"), n_documents=40)
+        assert result.gpu_utilization > 0.3
+        assert result.cpu_utilization < 0.3
+
+    def test_cpu_parser_does_not_touch_gpus(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        result = campaign.run_parser(registry.get("pymupdf"), n_documents=100)
+        assert result.gpu_utilization == 0.0
+
+    def test_deterministic(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=2))
+        a = campaign.run_parser(registry.get("tesseract"), n_documents=60)
+        b = campaign.run_parser(registry.get("tesseract"), n_documents=60)
+        assert a.total_time_s == pytest.approx(b.total_time_s)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(docs_per_archive=0)
+
+
+class TestCalibration:
+    def test_single_node_throughput_ordering(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        throughput = {
+            name: campaign.run_parser(registry.get(name), n_documents=150).throughput_docs_per_s
+            for name in ("pymupdf", "pypdf", "tesseract", "nougat", "marker")
+        }
+        assert throughput["pymupdf"] > throughput["pypdf"] > throughput["tesseract"]
+        assert throughput["tesseract"] > throughput["nougat"] > throughput["marker"]
+        # Paper: extraction is roughly two orders of magnitude faster than ViT parsing.
+        assert throughput["pymupdf"] / throughput["nougat"] > 50
+
+    def test_warm_start_reduces_model_loads_and_time(self, registry):
+        warm = ParsingCampaign(CampaignConfig(n_nodes=1, warm_start=True))
+        cold = ParsingCampaign(CampaignConfig(n_nodes=1, warm_start=False))
+        warm_result = warm.run_parser(registry.get("nougat"), n_documents=30)
+        cold_result = cold.run_parser(registry.get("nougat"), n_documents=30)
+        assert warm_result.model_loads < cold_result.model_loads
+        assert warm_result.total_time_s < cold_result.total_time_s
+
+    def test_adaparse_between_extraction_and_vit(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        adaparse = campaign.run_adaparse(registry, FT_VARIANT_CONFIG, 150, engine_name="adaparse_ft")
+        nougat = campaign.run_parser(registry.get("nougat"), n_documents=150)
+        pymupdf = campaign.run_parser(registry.get("pymupdf"), n_documents=150)
+        assert nougat.throughput_docs_per_s < adaparse.throughput_docs_per_s < pymupdf.throughput_docs_per_s
+        # Paper: AdaParse ≈ an order of magnitude faster than the ViT parser alone.
+        assert adaparse.throughput_docs_per_s / nougat.throughput_docs_per_s > 5
+
+    def test_adaparse_ft_faster_than_llm(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        ft = campaign.run_adaparse(registry, FT_VARIANT_CONFIG, 200, engine_name="adaparse_ft")
+        llm = campaign.run_adaparse(registry, LLM_VARIANT_CONFIG, 200, engine_name="adaparse_llm")
+        assert ft.throughput_docs_per_s >= llm.throughput_docs_per_s
+
+
+class TestScalingShapes:
+    def test_nougat_scales_with_nodes(self, registry):
+        results = node_sweep(registry.get("nougat"), [1, 4], docs_per_node=40)
+        assert results[1].throughput_docs_per_s > 2.5 * results[0].throughput_docs_per_s
+
+    def test_marker_scaling_saturates(self, registry):
+        results = node_sweep(registry.get("marker"), [1, 16], docs_per_node=20)
+        speedup = results[1].throughput_docs_per_s / results[0].throughput_docs_per_s
+        assert speedup < 8  # far below the 16× ideal: the coordination stage binds
+
+    def test_extraction_hits_filesystem_plateau(self, registry):
+        results = node_sweep(registry.get("pymupdf"), [8, 64], docs_per_node=150)
+        speedup = results[1].throughput_docs_per_s / results[0].throughput_docs_per_s
+        assert speedup < 6  # far below the 8× ideal: shared-FS delivery binds
+
+
+class TestProfiler:
+    def test_profile_from_campaign(self, registry):
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        result = campaign.run_parser(registry.get("nougat"), n_documents=30)
+        assert result.gpu_profile is not None
+        means = result.gpu_profile.per_gpu_means()
+        assert len(means) == 4
+        assert all(0.0 <= v <= 1.0 for v in means.values())
+        rows = result.gpu_profile.series()
+        assert rows and {"gpu", "t_start", "t_end", "utilization"} <= set(rows[0])
+
+    def test_binned_utilization_bounds(self):
+        sim = DiscreteEventSimulator()
+        gpu = GpuDevice(sim, "g")
+        gpu.record_busy(0.0, 10.0)
+        profile = profile_gpus([gpu], horizon=10.0, n_bins=5)
+        np.testing.assert_allclose(profile.timelines[0].utilization, 1.0)
+        assert profile.mean_utilization() == pytest.approx(1.0)

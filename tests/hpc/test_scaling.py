@@ -1,0 +1,142 @@
+"""Tests of the resource-scaling policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FT_VARIANT_CONFIG, LLM_VARIANT_CONFIG, AdaParseConfig
+from repro.hpc.scaling import (
+    adaparse_single_node_rate,
+    estimate_single_node_rate,
+    nodes_for_deadline,
+    recommended_nodes,
+    scaling_efficiency,
+)
+from repro.parsers.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestSingleNodeRates:
+    def test_extraction_much_faster_than_vit(self, registry):
+        pymupdf = estimate_single_node_rate(registry.get("pymupdf"))
+        nougat = estimate_single_node_rate(registry.get("nougat"))
+        assert pymupdf > 50 * nougat
+
+    def test_adaparse_rate_between_extraction_and_vit(self, registry):
+        pymupdf = registry.get("pymupdf")
+        nougat = registry.get("nougat")
+        rate = adaparse_single_node_rate(pymupdf, nougat, FT_VARIANT_CONFIG)
+        assert estimate_single_node_rate(nougat) < rate < estimate_single_node_rate(pymupdf)
+
+    def test_adaparse_rate_close_to_paper_ratio(self, registry):
+        """At α = 5 % the AdaParse mix should sit an order of magnitude above Nougat
+        (the paper reports ≈17×)."""
+        rate = adaparse_single_node_rate(
+            registry.get("pymupdf"), registry.get("nougat"), LLM_VARIANT_CONFIG
+        )
+        nougat = estimate_single_node_rate(registry.get("nougat"))
+        assert 5 < rate / nougat < 60
+
+    def test_rate_decreases_with_alpha(self, registry):
+        pymupdf, nougat = registry.get("pymupdf"), registry.get("nougat")
+        low = adaparse_single_node_rate(pymupdf, nougat, AdaParseConfig(alpha=0.02))
+        high = adaparse_single_node_rate(pymupdf, nougat, AdaParseConfig(alpha=0.5))
+        assert low > high
+
+
+class TestNodesForDeadline:
+    def test_single_node_suffices_for_small_campaign(self):
+        estimate = nodes_for_deadline(n_documents=1000, single_node_rate=10.0, deadline_hours=1.0)
+        assert estimate.n_nodes == 1
+        assert estimate.meets_deadline
+
+    def test_more_nodes_needed_for_tight_deadline(self):
+        loose = nodes_for_deadline(n_documents=1_000_000, single_node_rate=10.0, deadline_hours=48.0)
+        tight = nodes_for_deadline(n_documents=1_000_000, single_node_rate=10.0, deadline_hours=4.0)
+        assert tight.n_nodes > loose.n_nodes
+        assert tight.meets_deadline
+
+    def test_infeasible_deadline_reports_not_met(self):
+        estimate = nodes_for_deadline(
+            n_documents=10_000_000, single_node_rate=1.0, deadline_hours=0.1, max_nodes=16
+        )
+        assert estimate.n_nodes == 16
+        assert not estimate.meets_deadline
+
+    def test_efficiency_curve_inflates_node_count(self):
+        perfect = nodes_for_deadline(
+            n_documents=500_000, single_node_rate=10.0, deadline_hours=2.0
+        )
+        degraded = nodes_for_deadline(
+            n_documents=500_000,
+            single_node_rate=10.0,
+            deadline_hours=2.0,
+            efficiency_curve={1: 1.0, 8: 0.8, 64: 0.4},
+        )
+        assert degraded.n_nodes >= perfect.n_nodes
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            nodes_for_deadline(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            nodes_for_deadline(10, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            nodes_for_deadline(10, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            nodes_for_deadline(10, 1.0, 1.0, max_nodes=0)
+
+    @given(
+        n_documents=st.integers(min_value=100, max_value=10_000_000),
+        rate=st.floats(min_value=0.1, max_value=500.0),
+        deadline=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_is_consistent(self, n_documents, rate, deadline):
+        estimate = nodes_for_deadline(n_documents, rate, deadline, max_nodes=256)
+        assert 1 <= estimate.n_nodes <= 256
+        assert estimate.expected_hours > 0
+        assert estimate.expected_node_hours == pytest.approx(
+            estimate.expected_hours * estimate.n_nodes
+        )
+        if estimate.meets_deadline:
+            assert estimate.expected_hours <= deadline + 1e-9
+
+
+class TestScalingEfficiency:
+    def test_perfect_linear_scaling(self):
+        efficiency = scaling_efficiency([1, 2, 4], [10.0, 20.0, 40.0])
+        assert efficiency == {1: 1.0, 2: 1.0, 4: 1.0}
+
+    def test_saturation_reduces_efficiency(self):
+        efficiency = scaling_efficiency([1, 16, 128], [10.0, 150.0, 300.0])
+        assert efficiency[1] == pytest.approx(1.0)
+        assert efficiency[16] == pytest.approx(150.0 / 160.0)
+        assert efficiency[128] < 0.3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_efficiency([1, 2], [10.0])
+
+    def test_recommended_nodes_picks_knee(self):
+        node_counts = [1, 2, 4, 8, 16, 32]
+        throughputs = [10.0, 19.0, 38.0, 70.0, 90.0, 95.0]
+        assert recommended_nodes(node_counts, throughputs, efficiency_floor=0.8) == 8
+        assert recommended_nodes(node_counts, throughputs, efficiency_floor=0.5) == 16
+
+    def test_recommended_nodes_falls_back_to_smallest(self):
+        # Nothing clears a floor of 1.0 except the base point itself; a curve
+        # that degrades immediately recommends the smallest measured count.
+        assert recommended_nodes([2, 4], [10.0, 11.0], efficiency_floor=0.99) == 2
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ValueError):
+            recommended_nodes([1, 2], [1.0, 2.0], efficiency_floor=0.0)
+
+    def test_empty_sweep(self):
+        assert scaling_efficiency([], []) == {}

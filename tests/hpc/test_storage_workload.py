@@ -1,0 +1,102 @@
+"""Tests for the shared-filesystem model and the workload builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FT_VARIANT_CONFIG
+from repro.hpc.events import DiscreteEventSimulator
+from repro.hpc.storage import NodeLocalStore, SharedFilesystem, SharedFilesystemConfig
+from repro.hpc.workload import WorkloadModel, make_archives
+from repro.parsers.registry import default_registry
+
+
+class TestSharedFilesystem:
+    def test_read_completes_after_transfer_time(self):
+        sim = DiscreteEventSimulator()
+        fs = SharedFilesystem(sim, SharedFilesystemConfig(per_stream_bandwidth_mb_s=100, request_latency_s=0.0))
+        done = []
+        fs.read(200.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(2.0)
+        assert fs.bytes_read == 200.0
+
+    def test_contention_queues_beyond_stream_capacity(self):
+        config = SharedFilesystemConfig(
+            per_stream_bandwidth_mb_s=100, max_concurrent_streams=2, request_latency_s=0.0
+        )
+        sim = DiscreteEventSimulator()
+        fs = SharedFilesystem(sim, config)
+        completion_times = []
+        for _ in range(4):
+            fs.read(100.0, lambda: completion_times.append(sim.now))
+        sim.run()
+        assert completion_times[:2] == [pytest.approx(1.0)] * 2
+        assert completion_times[2:] == [pytest.approx(2.0)] * 2
+
+    def test_write_accounting(self):
+        sim = DiscreteEventSimulator()
+        fs = SharedFilesystem(sim)
+        fs.write(10.0, lambda: None)
+        sim.run()
+        assert fs.bytes_written == 10.0
+
+    def test_negative_size_rejected(self):
+        fs = SharedFilesystem(DiscreteEventSimulator())
+        with pytest.raises(ValueError):
+            fs.read(-1.0, lambda: None)
+
+
+class TestNodeLocalStore:
+    def test_stage_and_evict(self):
+        store = NodeLocalStore(capacity_mb=100)
+        assert store.stage(60)
+        assert not store.stage(60)
+        store.evict(30)
+        assert store.stage(60)
+        assert store.peak_mb == pytest.approx(90)
+
+
+class TestWorkloadModel:
+    def test_tasks_for_parser(self, registry):
+        model = WorkloadModel(seed=3)
+        tasks = model.tasks_for_parser(registry.get("nougat"), 50)
+        assert len(tasks) == 50
+        assert all(t.needs_gpu for t in tasks)
+        assert all(t.cpu_seconds >= 0 and t.gpu_seconds > 0 for t in tasks)
+        assert all(t.input_mb > 0 for t in tasks)
+
+    def test_tasks_deterministic(self, registry):
+        model = WorkloadModel(seed=3)
+        a = model.tasks_for_parser(registry.get("pymupdf"), 10)
+        b = model.tasks_for_parser(registry.get("pymupdf"), 10)
+        assert [t.cpu_seconds for t in a] == [t.cpu_seconds for t in b]
+
+    def test_adaparse_mix_respects_alpha(self, registry):
+        model = WorkloadModel(seed=5)
+        tasks = model.tasks_for_adaparse(
+            registry.get("pymupdf"), registry.get("nougat"), FT_VARIANT_CONFIG, 200
+        )
+        routed = sum(1 for t in tasks if t.gpu_seconds > FT_VARIANT_CONFIG.selection_gpu_seconds)
+        assert routed == int(np.floor(FT_VARIANT_CONFIG.alpha * 200))
+
+    def test_tasks_from_results(self, registry, tiny_corpus):
+        parser = registry.get("pymupdf")
+        results = parser.parse_many(list(tiny_corpus))
+        model = WorkloadModel()
+        tasks = model.tasks_from_results(results, [d.n_pages for d in tiny_corpus])
+        assert len(tasks) == len(tiny_corpus)
+        assert all(t.cpu_seconds > 0 for t in tasks)
+
+
+class TestArchives:
+    def test_make_archives_chunks(self, registry):
+        tasks = WorkloadModel().tasks_for_parser(registry.get("pymupdf"), 25)
+        archives = make_archives(tasks, docs_per_archive=10)
+        assert [a.n_documents for a in archives] == [10, 10, 5]
+        assert sum(a.size_mb for a in archives) == pytest.approx(sum(t.input_mb for t in tasks))
+
+    def test_invalid_archive_size(self):
+        with pytest.raises(ValueError):
+            make_archives([], docs_per_archive=0)

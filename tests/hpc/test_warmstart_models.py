@@ -1,0 +1,105 @@
+"""Tests of model-identity-aware warm starting and the AdaParse task mix.
+
+Warm starting must be keyed on the *model* a GPU phase needs, not on the name
+of the engine submitting the task: the AdaParse (LLM) variant keeps both the
+selector LLM and the ViT parser resident, and neither may silently skip the
+other's load time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FT_VARIANT_CONFIG, LLM_VARIANT_CONFIG
+from repro.hpc.campaign import CampaignConfig, ParsingCampaign
+from repro.hpc.workload import SELECTOR_MODEL_LOAD_SECONDS, ParseTask, WorkloadModel
+from repro.parsers.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def gpu_task(doc_id: str, gpu_model: str | None, load_seconds: float = 5.0) -> ParseTask:
+    return ParseTask(
+        doc_id=doc_id,
+        parser_name="engine",
+        cpu_seconds=0.05,
+        gpu_seconds=0.5,
+        model_load_seconds=load_seconds,
+        gpu_model=gpu_model,
+        input_mb=0.5,
+        output_mb=0.01,
+    )
+
+
+class TestWarmStartModelIdentity:
+    def _campaign(self, warm: bool) -> ParsingCampaign:
+        return ParsingCampaign(CampaignConfig(n_nodes=1, gpus_per_node=1, warm_start=warm))
+
+    def test_same_model_loaded_once_when_warm(self):
+        tasks = [gpu_task(f"d{i}", gpu_model="vit") for i in range(6)]
+        result = self._campaign(warm=True).run_tasks("engine", tasks)
+        assert result.model_loads == 1
+
+    def test_same_model_reloaded_every_task_when_cold(self):
+        tasks = [gpu_task(f"d{i}", gpu_model="vit") for i in range(6)]
+        result = self._campaign(warm=False).run_tasks("engine", tasks)
+        assert result.model_loads == 6
+
+    def test_distinct_models_each_pay_their_load_once(self):
+        # Alternating selector/ViT tasks under one engine name: two loads total,
+        # not one (engine-name keying) and not six (per-task reloads).
+        tasks = [
+            gpu_task(f"d{i}", gpu_model="selector" if i % 2 == 0 else "vit") for i in range(6)
+        ]
+        result = self._campaign(warm=True).run_tasks("engine", tasks)
+        assert result.model_loads == 2
+
+    def test_gpu_model_defaults_to_parser_name(self):
+        tasks = [gpu_task(f"d{i}", gpu_model=None) for i in range(4)]
+        result = self._campaign(warm=True).run_tasks("engine", tasks)
+        assert result.model_loads == 1
+
+
+class TestAdaParseTaskMix:
+    def test_ft_variant_routes_alpha_fraction_to_gpu(self, registry):
+        workload = WorkloadModel(seed=3)
+        tasks = workload.tasks_for_adaparse(
+            registry.get("pymupdf"), registry.get("nougat"), FT_VARIANT_CONFIG, 200,
+            engine_name="adaparse_ft",
+        )
+        gpu_tasks = [t for t in tasks if t.needs_gpu]
+        assert len(gpu_tasks) == int(FT_VARIANT_CONFIG.alpha * 200)
+        assert all(t.gpu_model == "nougat" for t in gpu_tasks)
+        assert all(t.gpu_model is None for t in tasks if not t.needs_gpu)
+
+    def test_llm_variant_charges_selector_inference_everywhere(self, registry):
+        workload = WorkloadModel(seed=3)
+        tasks = workload.tasks_for_adaparse(
+            registry.get("pymupdf"), registry.get("nougat"), LLM_VARIANT_CONFIG, 200,
+            engine_name="adaparse_llm",
+        )
+        assert all(t.needs_gpu for t in tasks)
+        routed = [t for t in tasks if t.gpu_model == "nougat"]
+        selector_only = [t for t in tasks if t.gpu_model == "adaparse_llm-selector"]
+        assert len(routed) == int(LLM_VARIANT_CONFIG.alpha * 200)
+        assert len(routed) + len(selector_only) == 200
+        assert all(
+            t.model_load_seconds == pytest.approx(SELECTOR_MODEL_LOAD_SECONDS)
+            for t in selector_only
+        )
+        # Routed documents still pay the ViT model load, never the selector's.
+        assert all(t.model_load_seconds > SELECTOR_MODEL_LOAD_SECONDS for t in routed)
+
+    def test_ft_variant_is_at_least_as_fast_as_llm_variant(self, registry):
+        """Regression test for the Figure 5 ordering: skipping LLM inference
+        (the FT variant) must not simulate slower than running it."""
+        campaign = ParsingCampaign(CampaignConfig(n_nodes=1))
+        ft = campaign.run_adaparse(registry, FT_VARIANT_CONFIG, 200, engine_name="adaparse_ft")
+        llm = campaign.run_adaparse(registry, LLM_VARIANT_CONFIG, 200, engine_name="adaparse_llm")
+        assert ft.throughput_docs_per_s >= llm.throughput_docs_per_s
+        # Both sit well above an all-Nougat campaign.
+        nougat = campaign.run_parser(registry.get("nougat"), n_documents=200)
+        assert llm.throughput_docs_per_s > 2 * nougat.throughput_docs_per_s

@@ -1,0 +1,95 @@
+"""Tests for BLEU."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.bleu import BleuStatistics, bleu_score, bleu_statistics, corpus_bleu
+
+REFERENCE = (
+    "the gravitational force between two masses is directly proportional to the product "
+    "of their masses and inversely proportional to the square of the distance between them"
+)
+SCRAMBLED = (
+    "the gravitational force inversely masses the proportional distance between two products "
+    "and is directly proportional to the square of objects"
+)
+
+words = st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"]), min_size=1, max_size=40)
+
+
+class TestBasicProperties:
+    def test_identity_is_one(self):
+        assert bleu_score(REFERENCE, REFERENCE) == pytest.approx(1.0)
+
+    def test_empty_candidate_is_zero(self):
+        assert bleu_score("", REFERENCE) == 0.0
+
+    def test_empty_reference_is_zero(self):
+        assert bleu_score(REFERENCE, "") == 0.0
+
+    def test_range(self):
+        assert 0.0 <= bleu_score(SCRAMBLED, REFERENCE) <= 1.0
+
+    def test_scrambled_text_scores_lower_than_identity(self):
+        assert bleu_score(SCRAMBLED, REFERENCE) < 0.6
+
+    def test_paper_example_scores_moderately(self):
+        # The paper quotes BLEU ≈ 0.32 for this pair; the exact value depends
+        # on smoothing/normalisation choices, but it must be mid-range: clearly
+        # above garbage, clearly below a faithful parse.
+        score = bleu_score(SCRAMBLED, REFERENCE)
+        assert 0.1 < score < 0.6
+
+    def test_case_insensitive(self):
+        assert bleu_score(REFERENCE.upper(), REFERENCE) == pytest.approx(1.0)
+
+    def test_word_dropping_reduces_score(self):
+        words_list = REFERENCE.split()
+        truncated = " ".join(words_list[: len(words_list) // 2])
+        assert bleu_score(truncated, REFERENCE) < bleu_score(REFERENCE, REFERENCE)
+
+    @settings(max_examples=50, deadline=None)
+    @given(words, words)
+    def test_always_in_unit_interval(self, cand, ref):
+        assert 0.0 <= bleu_score(" ".join(cand), " ".join(ref)) <= 1.0
+
+
+class TestStatistics:
+    def test_statistics_addition(self):
+        s1 = bleu_statistics("a b c", "a b c")
+        s2 = bleu_statistics("d e f", "d e f g")
+        combined = s1 + s2
+        assert combined.candidate_length == s1.candidate_length + s2.candidate_length
+        assert combined.matches[0] == s1.matches[0] + s2.matches[0]
+
+    def test_mismatched_orders_rejected(self):
+        s1 = bleu_statistics("a b", "a b", max_n=2)
+        s2 = bleu_statistics("a b", "a b", max_n=4)
+        with pytest.raises(ValueError):
+            _ = s1 + s2
+
+    def test_brevity_penalty_applied(self):
+        stats = BleuStatistics(matches=(5, 4, 3, 2), totals=(5, 4, 3, 2), candidate_length=5, reference_length=10)
+        assert stats.score() < 1.0
+
+
+class TestCorpusBleu:
+    def test_matches_single_segment(self):
+        single = bleu_score(SCRAMBLED, REFERENCE)
+        corpus = corpus_bleu([SCRAMBLED], [REFERENCE])
+        assert corpus == pytest.approx(single)
+
+    def test_pooling_differs_from_mean(self):
+        candidates = [REFERENCE, "completely unrelated words here"]
+        references = [REFERENCE, REFERENCE]
+        pooled = corpus_bleu(candidates, references)
+        assert 0.0 < pooled < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_bleu(["a"], ["a", "b"])
+
+    def test_empty_corpus(self):
+        assert corpus_bleu([], []) == 0.0

@@ -1,0 +1,130 @@
+"""Tests for tokenisation, accepted tokens, win-rate bookkeeping and bundles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.accepted_tokens import accepted_token_rate, accepted_tokens
+from repro.metrics.bundle import evaluate_parse
+from repro.metrics.tokenize import clipped_ngram_matches, ngrams, normalize_text, word_tokenize
+from repro.metrics.winrate import (
+    PairwiseOutcome,
+    WinRateTally,
+    consensus_rate,
+    normalized_win_rates,
+)
+
+
+class TestTokenize:
+    def test_normalisation_collapses_whitespace(self):
+        assert normalize_text("a  b\n\nc") == "a b c"
+
+    def test_lowercasing_optional(self):
+        assert normalize_text("AbC", lowercase=False) == "AbC"
+
+    def test_word_tokenize(self):
+        assert word_tokenize("Hello, World!  twice") == ["hello,", "world!", "twice"]
+
+    def test_empty(self):
+        assert word_tokenize("") == []
+
+    def test_ngrams_counts(self):
+        grams = ngrams(["a", "b", "a", "b"], 2)
+        assert grams[("a", "b")] == 2
+        assert grams[("b", "a")] == 1
+
+    def test_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_clipping(self):
+        matches, total = clipped_ngram_matches(["a", "a", "a"], ["a"], 1)
+        assert matches == 1 and total == 3
+
+
+class TestAcceptedTokens:
+    def test_all_above_threshold(self):
+        assert accepted_token_rate([0.9, 0.8], [100, 200], threshold=0.5) == 1.0
+
+    def test_none_above_threshold(self):
+        assert accepted_token_rate([0.1, 0.2], [100, 200], threshold=0.5) == 0.0
+
+    def test_token_weighting(self):
+        rate = accepted_token_rate([0.9, 0.1], [100, 300], threshold=0.5)
+        assert rate == pytest.approx(0.25)
+
+    def test_absolute_count(self):
+        assert accepted_tokens([0.9, 0.1], [100, 300], threshold=0.5) == 100
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accepted_token_rate([0.9], [100, 200])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=20))
+    def test_rate_in_unit_interval(self, scores):
+        counts = [10] * len(scores)
+        assert 0.0 <= accepted_token_rate(scores, counts) <= 1.0
+
+
+class TestWinRate:
+    def test_winner_must_be_participant(self):
+        with pytest.raises(ValueError):
+            PairwiseOutcome("d", "a", "b", winner="c")
+
+    def test_tally_basic(self):
+        tally = WinRateTally()
+        tally.add(PairwiseOutcome("d1", "a", "b", "a"))
+        tally.add(PairwiseOutcome("d2", "a", "b", "b"))
+        tally.add(PairwiseOutcome("d3", "a", "b", None))
+        assert tally.win_rate("a") == pytest.approx(0.5)
+        assert tally.win_rate("b") == pytest.approx(0.5)
+        assert tally.decisiveness() == pytest.approx(2 / 3)
+
+    def test_normalized_win_rates_cover_all_parsers(self):
+        outcomes = [
+            PairwiseOutcome("d1", "a", "b", "a"),
+            PairwiseOutcome("d2", "b", "c", "c"),
+        ]
+        rates = normalized_win_rates(outcomes)
+        assert set(rates) == {"a", "b", "c"}
+        assert rates["b"] == 0.0
+
+    def test_unseen_parser_zero(self):
+        tally = WinRateTally()
+        assert tally.win_rate("nobody") == 0.0
+
+    def test_consensus(self):
+        judgements = {
+            ("p1", "a", "b"): ["a", "a"],
+            ("p2", "a", "b"): ["a", "b"],
+            ("p3", "a", "b"): ["b"],  # single judgement: excluded
+        }
+        assert consensus_rate(judgements) == pytest.approx(0.5)
+
+    def test_consensus_no_repeats(self):
+        assert consensus_rate({("p", "a", "b"): ["a"]}) == 1.0
+
+
+class TestBundle:
+    def test_perfect_parse(self):
+        pages = ["the robust framework demonstrates a significant result " * 5] * 2
+        bundle = evaluate_parse(pages, pages)
+        assert bundle.coverage == 1.0
+        assert bundle.bleu == pytest.approx(1.0)
+        assert bundle.rouge == pytest.approx(1.0)
+        assert bundle.car == pytest.approx(1.0)
+        assert bundle.n_ground_truth_tokens > 0
+
+    def test_dropped_page_lowers_coverage_and_bleu(self):
+        pages = ["the robust framework demonstrates a significant result " * 5] * 2
+        parsed = [pages[0], ""]
+        bundle = evaluate_parse(pages, parsed)
+        assert bundle.coverage == pytest.approx(0.5)
+        assert bundle.bleu < 1.0
+
+    def test_as_dict_keys(self):
+        pages = ["some text here"]
+        bundle = evaluate_parse(pages, pages)
+        assert set(bundle.as_dict()) == {"coverage", "bleu", "rouge", "car", "n_ground_truth_tokens"}

@@ -1,0 +1,111 @@
+"""Tests for the parser abstraction and cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parsers.base import Parser, ParserCost, ResourceUsage, single_node_throughput
+
+
+class FailingParser(Parser):
+    name = "failing"
+    cost = ParserCost(cpu_seconds_per_page=0.01)
+
+    def _parse_pages(self, document, rng):
+        raise RuntimeError("corrupted document stream")
+
+
+class EchoParser(Parser):
+    name = "echo"
+    cost = ParserCost(cpu_seconds_per_page=0.01)
+
+    def _parse_pages(self, document, rng):
+        return list(document.text_layer.page_texts)
+
+
+class TestResourceUsage:
+    def test_addition_sums_time_and_maxes_memory(self):
+        a = ResourceUsage(cpu_seconds=1.0, gpu_seconds=0.5, cpu_memory_mb=100, gpu_memory_mb=0)
+        b = ResourceUsage(cpu_seconds=2.0, gpu_seconds=1.0, cpu_memory_mb=50, gpu_memory_mb=900)
+        c = a + b
+        assert c.cpu_seconds == 3.0
+        assert c.gpu_seconds == 1.5
+        assert c.cpu_memory_mb == 100
+        assert c.gpu_memory_mb == 900
+        assert c.total_compute_seconds == pytest.approx(4.5)
+
+
+class TestParserCost:
+    def test_expected_usage_scales_with_pages(self):
+        cost = ParserCost(cpu_seconds_per_page=0.1, per_document_overhead_seconds=0.5)
+        u10 = cost.expected_document_usage(10)
+        u20 = cost.expected_document_usage(20)
+        assert u10.cpu_seconds == pytest.approx(1.5)
+        assert u20.cpu_seconds == pytest.approx(2.5)
+
+    def test_uses_gpu_flag(self):
+        assert ParserCost(gpu_seconds_per_page=0.1).uses_gpu
+        assert not ParserCost(cpu_seconds_per_page=0.1).uses_gpu
+
+    def test_sampled_usage_positive_and_varies(self):
+        cost = ParserCost(cpu_seconds_per_page=0.1, variability=0.3)
+        rng = np.random.default_rng(0)
+        samples = [cost.sample_document_usage(10, rng).cpu_seconds for _ in range(20)]
+        assert all(s > 0 for s in samples)
+        assert len({round(s, 6) for s in samples}) > 1
+
+    def test_difficulty_inflates_cost(self):
+        cost = ParserCost(cpu_seconds_per_page=0.1, variability=0.0)
+        rng = np.random.default_rng(0)
+        easy = cost.sample_document_usage(10, rng, difficulty=0.0).cpu_seconds
+        hard = cost.sample_document_usage(10, rng, difficulty=1.0).cpu_seconds
+        assert hard > easy
+
+
+class TestParserBehaviour:
+    def test_parse_failure_is_captured(self, sample_document):
+        result = FailingParser().parse(sample_document)
+        assert not result.succeeded
+        assert "corrupted" in (result.error or "")
+        assert result.n_pages == sample_document.n_pages
+        assert result.text == "\n" * (sample_document.n_pages - 1)
+
+    def test_parse_result_fields(self, sample_document):
+        result = EchoParser().parse(sample_document)
+        assert result.succeeded
+        assert result.parser_name == "echo"
+        assert result.doc_id == sample_document.doc_id
+        assert result.n_characters > 0
+        assert result.usage.cpu_seconds > 0
+
+    def test_parse_many_matches_parse(self, sample_document):
+        parser = EchoParser()
+        single = parser.parse(sample_document)
+        batch = parser.parse_many([sample_document, sample_document])
+        assert batch[0].text == single.text
+        assert len(batch) == 2
+
+    def test_document_rng_is_deterministic(self, sample_document):
+        parser = EchoParser()
+        a = parser.document_rng(sample_document).random(3)
+        b = parser.document_rng(sample_document).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSingleNodeThroughput:
+    def test_cpu_bound(self):
+        cost = ParserCost(cpu_seconds_per_page=0.1)
+        assert single_node_throughput(cost, pages_per_document=10, cpu_cores=32) == pytest.approx(32.0)
+
+    def test_gpu_bound(self):
+        cost = ParserCost(cpu_seconds_per_page=0.001, gpu_seconds_per_page=0.5)
+        throughput = single_node_throughput(cost, pages_per_document=10, gpus=4)
+        assert throughput == pytest.approx(0.8)
+
+    def test_ratio_calibration_pymupdf_vs_nougat(self, registry):
+        pymupdf = single_node_throughput(registry.get("pymupdf").cost)
+        nougat = single_node_throughput(registry.get("nougat").cost)
+        pypdf = single_node_throughput(registry.get("pypdf").cost)
+        assert 80 <= pymupdf / nougat <= 220      # paper: ≈135×
+        assert 8 <= pymupdf / pypdf <= 20         # paper: ≈13×

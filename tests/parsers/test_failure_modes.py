@@ -1,0 +1,83 @@
+"""Tests for the Figure 1 failure modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parsers import failure_modes
+
+TEXT = (
+    "The candidate compound CC(=O)OC1=CC=CC=C1C(=O)O was synthesized and the treatment "
+    "of hyperthyroidism requires careful monitoring of the pH values"
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestTextModes:
+    def test_whitespace_injection(self, rng):
+        out = failure_modes.whitespace_injection(TEXT, rng, severity=1.0)
+        assert len(out.split()) > len(TEXT.split())
+
+    def test_word_substitution(self, rng):
+        out = failure_modes.word_substitution(TEXT, rng, severity=1.0)
+        changed = sum(1 for a, b in zip(TEXT.split(), out.split()) if a != b)
+        assert changed > 0
+
+    def test_character_scrambling(self, rng):
+        out = failure_modes.character_scrambling(TEXT, rng, severity=1.0)
+        assert out != TEXT
+        assert len(out.split()) == len(TEXT.split())
+
+    def test_character_substitution(self, rng):
+        out = failure_modes.character_substitution(TEXT, rng, severity=1.0)
+        assert out != TEXT
+
+    def test_smiles_corruption_targets_smiles(self, rng):
+        out = failure_modes.smiles_corruption(TEXT, rng, severity=1.0)
+        # The SMILES token changes, ordinary words survive.
+        assert "hyperthyroidism" in out
+        assert "CC(=O)OC1=CC=CC=C1C(=O)O" not in out
+
+    def test_latex_conversion(self):
+        out = failure_modes.latex_plaintext_conversion("\\frac{\\alpha}{\\beta} = 1")
+        assert "\\" not in out
+        assert "alpha" in out
+
+
+class TestPageDrop:
+    def test_drop_probability_one_keeps_at_least_one_page(self, rng):
+        pages = ["page one content", "page two content", "page three content"]
+        out = failure_modes.page_drop(pages, rng, drop_probability=1.0)
+        assert len(out) == 3
+        assert sum(1 for p in out if p) == 1
+
+    def test_drop_probability_zero_is_identity(self, rng):
+        pages = ["a", "b"]
+        assert failure_modes.page_drop(pages, rng, drop_probability=0.0) == pages
+
+    def test_alignment_preserved(self, rng):
+        pages = [f"page {i}" for i in range(10)]
+        out = failure_modes.page_drop(pages, rng, drop_probability=0.5)
+        assert len(out) == len(pages)
+        for original, kept in zip(pages, out):
+            assert kept in ("", original)
+
+
+class TestCatalog:
+    def test_catalog_covers_six_text_modes(self):
+        catalog = failure_modes.catalog()
+        assert len(catalog) == 6
+        labels = " ".join(m.label for m in catalog)
+        for tag in ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"]:
+            assert tag in labels
+
+    def test_catalog_modes_apply(self, rng):
+        for mode in failure_modes.catalog():
+            out = mode.apply(TEXT, rng)
+            assert isinstance(out, str)
+            assert out.strip()

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("corpus", "tables", "scaling", "alignment", "dataset", "fill-experiments"):
+            args = parser.parse_args([command] if command != "scaling" else ["scaling"])
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_corpus_command_writes_archive(self, tmp_path, capsys):
+        exit_code = main(["corpus", "--documents", "4", "--seed", "3", "--output", str(tmp_path)])
+        assert exit_code == 0
+        assert (tmp_path / "corpus.simpdfarch").exists()
+        assert "built corpus" in capsys.readouterr().out
+
+    def test_corpus_command_without_output(self, capsys):
+        assert main(["corpus", "--documents", "3"]) == 0
+        assert "n_documents" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        exit_code = main(["scaling", "--nodes", "1", "2", "--docs-per-node", "20"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "adaparse_ft" in out
+
+    def test_alignment_command(self, capsys):
+        exit_code = main(["alignment", "--documents", "4", "--pages", "6", "--seed", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "win_rates" in out
+        assert "consensus" in out
+
+    def test_dataset_command_writes_shards(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "dataset",
+                "--documents",
+                "6",
+                "--seed",
+                "5",
+                "--parser",
+                "pymupdf",
+                "--min-tokens",
+                "10",
+                "--output",
+                str(tmp_path / "dataset"),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert '"retention_rate"' in out
+        assert (tmp_path / "dataset" / "manifest.json").exists()
+
+    def test_fill_experiments_command(self, tmp_path, capsys):
+        from repro.evaluation.measured import MeasuredStore
+
+        experiments = tmp_path / "EXPERIMENTS.md"
+        experiments.write_text("# E\n\n<!-- MEASURED:TABLE1 -->\n", encoding="utf-8")
+        store = MeasuredStore(tmp_path / "measured")
+        store.record("TABLE1", "| measured |")
+        exit_code = main(
+            [
+                "fill-experiments",
+                "--experiments-file",
+                str(experiments),
+                "--measured-dir",
+                str(tmp_path / "measured"),
+            ]
+        )
+        assert exit_code == 0
+        assert "filled 1" in capsys.readouterr().out
+        assert "| measured |" in experiments.read_text(encoding="utf-8")
+
+    def test_fill_experiments_without_measurements_fails(self, tmp_path, capsys):
+        experiments = tmp_path / "EXPERIMENTS.md"
+        experiments.write_text("<!-- MEASURED:TABLE1 -->\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "fill-experiments",
+                "--experiments-file",
+                str(experiments),
+                "--measured-dir",
+                str(tmp_path / "empty"),
+            ]
+        )
+        assert exit_code == 1
+        assert "no measured fragments" in capsys.readouterr().out

@@ -1,0 +1,32 @@
+"""Tests for the wall-clock timer helper."""
+
+from __future__ import annotations
+
+from repro.utils.timer import WallTimer
+
+
+class TestWallTimer:
+    def test_section_records_elapsed(self):
+        timer = WallTimer()
+        with timer.section("work"):
+            sum(range(1000))
+        assert "work" in timer.totals
+        assert timer.totals["work"] >= 0.0
+
+    def test_sections_accumulate(self):
+        timer = WallTimer()
+        with timer.section("work"):
+            pass
+        first = timer.totals["work"]
+        with timer.section("work"):
+            pass
+        assert timer.totals["work"] >= first
+
+    def test_summary_lists_all_sections(self):
+        timer = WallTimer()
+        with timer.section("a"):
+            pass
+        with timer.section("b"):
+            pass
+        summary = timer.summary()
+        assert "a:" in summary and "b:" in summary
