@@ -37,6 +37,7 @@ def test_ablation_alpha(benchmark, experiment_context, registry, measured_store)
             )
             report = harness.evaluate(test_split, [engine], compute_win_rate=False)
             aggregate = report.aggregates[engine.name]
+            routing = report.routing_summary(engine.name)
             throughput = campaign.run_adaparse(
                 context.registry, FT_VARIANT_CONFIG.with_alpha(alpha), 300
             ).throughput_docs_per_s
@@ -45,7 +46,7 @@ def test_ablation_alpha(benchmark, experiment_context, registry, measured_store)
                     "alpha": alpha,
                     "bleu": aggregate.bleu * 100,
                     "coverage": aggregate.coverage * 100,
-                    "routed_fraction": engine.last_summary.fraction_routed(),
+                    "routed_fraction": routing.fraction_routed(),
                     "docs_per_s_1node": throughput,
                 }
             )

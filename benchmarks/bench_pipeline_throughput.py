@@ -1,0 +1,95 @@
+"""Micro-benchmark: documents/second through the unified parsing pipeline.
+
+Measures the facade's overhead and its thread-pool scaling:
+
+* legacy ``Parser.parse_many`` (the pre-pipeline baseline),
+* ``ParsePipeline`` with ``n_jobs=1`` (same work, request/report framing),
+* ``ParsePipeline`` with ``n_jobs=4`` (batches fanned out over threads).
+
+Both a cheap CPU parser (PyMuPDF) and an AdaParse engine double are
+measured; the engine path exercises per-batch α routing under the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AdaParseConfig
+from repro.core.engine import AdaParseEngine
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.pipeline import ParsePipeline, request_for_documents
+from repro.utils.tables import Table
+
+N_DOCUMENTS = 200
+BATCH_SIZE = 25
+
+
+class _ScriptedEngine(AdaParseEngine):
+    """Training-free engine double: deterministic improvement scores."""
+
+    name = "scripted"
+
+    def improvement_scores(self, documents, extracted_texts) -> np.ndarray:
+        return np.linspace(0.1, 1.0, len(documents))
+
+
+def _throughput(elapsed_seconds: float, n_documents: int) -> float:
+    return n_documents / elapsed_seconds if elapsed_seconds > 0 else float("inf")
+
+
+def test_pipeline_throughput(benchmark, registry, measured_store):
+    corpus = build_corpus(
+        CorpusConfig(n_documents=N_DOCUMENTS, seed=77, min_pages=2, max_pages=5)
+    )
+    documents = list(corpus)
+    engine = _ScriptedEngine(registry, AdaParseConfig(alpha=0.05, batch_size=BATCH_SIZE))
+    pipeline = ParsePipeline(registry, engines={engine.name: engine})
+
+    import time
+
+    def measure(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    def sweep() -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        for parser_name, parser in (("pymupdf", registry.get("pymupdf")), (engine.name, engine)):
+            legacy = measure(lambda p=parser: p.parse_many(documents))
+            serial = measure(
+                lambda n=parser_name: pipeline.run(
+                    request_for_documents(n, documents, batch_size=BATCH_SIZE, n_jobs=1)
+                )
+            )
+            threaded = measure(
+                lambda n=parser_name: pipeline.run(
+                    request_for_documents(n, documents, batch_size=BATCH_SIZE, n_jobs=4)
+                )
+            )
+            rows.append(
+                {
+                    "parser": parser_name,
+                    "legacy parse_many docs/s": _throughput(legacy, N_DOCUMENTS),
+                    "pipeline n_jobs=1 docs/s": _throughput(serial, N_DOCUMENTS),
+                    "pipeline n_jobs=4 docs/s": _throughput(threaded, N_DOCUMENTS),
+                    "n_jobs=4 speedup": serial / threaded if threaded > 0 else float("inf"),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        title=f"Pipeline throughput ({N_DOCUMENTS} documents, batch={BATCH_SIZE})",
+        columns=[
+            "parser",
+            "legacy parse_many docs/s",
+            "pipeline n_jobs=1 docs/s",
+            "pipeline n_jobs=4 docs/s",
+            "n_jobs=4 speedup",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    print()
+    print(table.to_text(precision=1))
+    measured_store.record_table("PIPELINE_THROUGHPUT", table, precision=1)

@@ -1,11 +1,13 @@
-"""Quickstart: build a corpus, train AdaParse, and compare it to its parsers.
+"""Quickstart: build a corpus, train AdaParse, and run the parsing pipeline.
 
 This is the 5-minute tour of the library:
 
 1. generate a synthetic scientific corpus (the stand-in for a PDF collection),
 2. train the AdaParse (FT) engine on a training split,
-3. parse the held-out split with AdaParse and with the individual parsers,
-4. print the paper-style quality table and the routing statistics.
+3. run the held-out split through the unified :class:`repro.pipeline.ParsePipeline`
+   — a frozen ``ParseRequest`` in, a ``ParseReport`` (results + routing
+   telemetry + throughput) out,
+4. print the paper-style quality table next to the routing statistics.
 
 Run with::
 
@@ -17,7 +19,7 @@ from __future__ import annotations
 from repro.core.training import AdaParseTrainer, TrainerSettings
 from repro.documents.corpus import CorpusConfig, benchmark_splits, build_corpus
 from repro.evaluation.harness import EvaluationHarness, HarnessConfig
-from repro.parsers.registry import default_registry
+from repro.pipeline import ParsePipeline, request_for_documents
 from repro.utils.timer import WallTimer
 
 
@@ -34,24 +36,41 @@ def main() -> None:
 
     # 2. Train the fastText-based engine variant on the training split.  The
     #    trainer labels the split by running every parser once and scoring it.
-    registry = default_registry()
+    pipeline = ParsePipeline()
     with timer.section("train AdaParse (FT)"):
-        trainer = AdaParseTrainer(registry, TrainerSettings(pretrain=False))
+        trainer = AdaParseTrainer(pipeline.registry, TrainerSettings(pretrain=False))
         engine = trainer.train_ft(splits["train"])
+        pipeline.engines[engine.name] = engine
 
-    # 3. Evaluate the engine next to its constituent parsers on the test split.
+    # 3. Evaluate the engine next to its constituent parsers on the test
+    #    split.  The harness runs every parser through the shared pipeline
+    #    and collects the engine's routing telemetry as a return value.
     with timer.section("evaluate"):
-        harness = EvaluationHarness(HarnessConfig())
-        parsers = list(registry) + [engine]
+        harness = EvaluationHarness(HarnessConfig(), pipeline=pipeline)
+        parsers = list(pipeline.registry) + [engine]
         report = harness.evaluate(splits["test"], parsers)
 
-    # 4. Report.
+    # 4. The pipeline facade directly: replay the split at a doubled routing
+    #    budget without retraining or mutating the engine (α is a per-request
+    #    override).
+    with timer.section("parse via pipeline (2α)"):
+        request = request_for_documents(
+            engine.name, list(splits["test"]),
+            alpha=2 * engine.config.alpha, batch_size=64, n_jobs=2,
+        )
+        doubled = pipeline.run(request)
+
+    # 5. Report.
+    routing = report.routing_summary(engine.name)
     print()
     print(report.to_table("Quickstart: accuracy on the held-out split (all values %)").to_text())
     print()
-    print("routing decisions:", engine.last_summary.counts_by_stage())
+    print("routing decisions:", routing.counts_by_stage())
     print(f"fraction routed to {engine.config.high_quality_parser}: "
-          f"{engine.last_summary.fraction_routed():.3f} (budget α = {engine.config.alpha})")
+          f"{routing.fraction_routed():.3f} (budget α = {engine.config.alpha})")
+    print(f"at a doubled budget (α = {request.alpha}): "
+          f"{doubled.fraction_routed():.3f} routed, "
+          f"{doubled.throughput_docs_per_second:.0f} docs/s")
     print()
     print(timer.summary())
 

@@ -24,6 +24,16 @@ PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
   filtering, deduplication, sharded JSONL output, and goodput accounting.
 * :mod:`repro.evaluation` — the experiment harness that regenerates every
   table and figure of the paper's evaluation section.
+* :mod:`repro.pipeline` — the unified parsing pipeline: a frozen
+  :class:`~repro.pipeline.ParseRequest` in, a
+  :class:`~repro.pipeline.ParseReport` (results, routing telemetry,
+  resource usage, throughput) out.  The CLI, dataset builder, and
+  evaluation harness are all built on this facade.
+
+The two-line tour::
+
+    import repro
+    report = repro.ParsePipeline().run(repro.ParseRequest(parser="pymupdf", n_documents=50))
 
 Top-level names are resolved lazily (PEP 562) so that importing :mod:`repro`
 stays cheap and does not pull in the full ML/HPC stacks.
@@ -50,6 +60,11 @@ _LAZY_EXPORTS: dict[str, str] = {
     "EvaluationHarness": "repro.evaluation.harness:EvaluationHarness",
     "ParserRegistry": "repro.parsers.registry:ParserRegistry",
     "default_registry": "repro.parsers.registry:default_registry",
+    "ParsePipeline": "repro.pipeline.pipeline:ParsePipeline",
+    "ParseReport": "repro.pipeline.report:ParseReport",
+    "ParseRequest": "repro.pipeline.request:ParseRequest",
+    "RoutingDecision": "repro.core.engine:RoutingDecision",
+    "RoutingSummary": "repro.core.engine:RoutingSummary",
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -22,9 +22,17 @@ Assemble an LLM-training dataset (parse → filter → dedup → shard)::
 
     adaparse-repro dataset --documents 200 --parser pymupdf --output /tmp/dataset
 
+Run the unified parsing pipeline and dump the ``ParseReport`` as JSON::
+
+    adaparse-repro pipeline --documents 100 --parser pymupdf --jobs 4
+
 Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
 
     adaparse-repro fill-experiments
+
+All parsing subcommands are built on :class:`repro.pipeline.ParsePipeline`:
+one facade resolves parser/engine names, batches documents, enforces the α
+routing budget, and returns results plus routing telemetry.
 """
 
 from __future__ import annotations
@@ -84,9 +92,9 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import figure5_scalability, throughput_ratio_summary
     from repro.evaluation.reporting import print_table
-    from repro.parsers.registry import default_registry
+    from repro.pipeline import ParsePipeline
 
-    registry = default_registry()
+    registry = ParsePipeline().registry
     series = figure5_scalability(
         registry, node_counts=args.nodes, docs_per_node=args.docs_per_node
     )
@@ -111,29 +119,54 @@ def _cmd_alignment(args: argparse.Namespace) -> int:
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
-    from repro.core.engine import build_default_engine
     from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
     from repro.documents.corpus import CorpusConfig, build_corpus
-    from repro.parsers.registry import default_registry
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline
 
-    registry = default_registry()
+    pipeline = ParsePipeline()
     corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
-    if args.parser in ("adaparse_ft", "adaparse_llm"):
+    if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-        parser = build_default_engine(variant=args.parser.split("_")[1], registry=registry)
-    else:
-        parser = registry.get(args.parser)
+    parser = pipeline.resolve_parser(args.parser)
     builder = DatasetBuilder(
         parser,
         DatasetBuildConfig(
             output_dir=args.output or None,
             quality_threshold=args.quality_threshold,
             min_tokens=args.min_tokens,
+            n_jobs=args.jobs,
         ),
+        pipeline=pipeline,
     )
     print(f"assembling dataset from {len(corpus)} documents with {parser.name}...", flush=True)
     report = builder.build(corpus)
     print(json.dumps(report.summary(), indent=2, default=str))
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
+
+    request = ParseRequest(
+        parser=args.parser,
+        n_documents=args.documents,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        alpha=args.alpha,
+        n_jobs=args.jobs,
+    )
+    if args.parser in ENGINE_VARIANTS:
+        print("training the AdaParse engine on a small corpus...", flush=True)
+    report = ParsePipeline().run(request)
+    payload = report.to_json_dict(include_text=args.include_text)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote ParseReport to {path}")
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -201,7 +234,28 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--output", type=str, default="", help="shard output directory")
     dataset.add_argument("--quality-threshold", type=float, default=0.35)
     dataset.add_argument("--min-tokens", type=int, default=50)
+    dataset.add_argument("--jobs", type=int, default=1, help="parse worker threads")
     dataset.set_defaults(func=_cmd_dataset)
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="run the unified parsing pipeline and dump the ParseReport as JSON",
+    )
+    pipe.add_argument("--documents", type=int, default=100)
+    pipe.add_argument("--seed", type=int, default=2025)
+    pipe.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    pipe.add_argument("--batch-size", type=int, default=None)
+    pipe.add_argument("--alpha", type=float, default=None, help="engine α-budget override")
+    pipe.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    pipe.add_argument("--include-text", action="store_true", help="embed page texts in the JSON")
+    pipe.add_argument("--output", type=str, default="", help="write the report JSON here")
+    pipe.set_defaults(func=_cmd_pipeline)
 
     fill = sub.add_parser(
         "fill-experiments",

@@ -23,7 +23,14 @@ from repro.core.budget import BudgetPlan, alpha_for_budget, select_within_budget
 from repro.core.cls1 import ValidationClassifier, ValidationConfig
 from repro.core.cls2 import ImprovementClassifier
 from repro.core.cls3 import ParserSelector
-from repro.core.engine import AdaParseEngine, AdaParseFT, AdaParseLLM, build_default_engine
+from repro.core.engine import (
+    AdaParseEngine,
+    AdaParseFT,
+    AdaParseLLM,
+    RoutingDecision,
+    RoutingSummary,
+    build_default_engine,
+)
 
 __all__ = [
     "AdaParseConfig",
@@ -37,5 +44,7 @@ __all__ = [
     "AdaParseEngine",
     "AdaParseFT",
     "AdaParseLLM",
+    "RoutingDecision",
+    "RoutingSummary",
     "build_default_engine",
 ]

@@ -16,11 +16,22 @@ metadata classifier), skipping LLM inference entirely; ``AdaParseLLM`` uses
 the fine-tuned (and DPO post-trained) Transformer selector.  Both expose the
 standard :class:`repro.parsers.base.Parser` interface so the evaluation
 harness and the HPC simulator treat them like any other parser.
+
+Routing telemetry is a *return value*: :meth:`AdaParseEngine.parse_batches`
+streams ``(results, decisions)`` per α-budgeted batch and
+:meth:`AdaParseEngine.parse_with_telemetry` aggregates them, so engines hold
+no mutable routing state on the hot path and are safe to share between
+concurrent callers.  The legacy ``last_summary`` attribute survives as a
+deprecated shim; new code should consume telemetry through
+:class:`repro.pipeline.ParsePipeline`, whose ``ParseReport`` carries the
+decisions, aggregate resource usage, and throughput.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -32,6 +43,7 @@ from repro.core.config import AdaParseConfig
 from repro.documents.document import SciDocument
 from repro.parsers.base import Parser, ParseResult, ParserCost, ResourceUsage
 from repro.parsers.registry import ParserRegistry
+from repro.utils.batching import chunked
 
 
 @dataclass(frozen=True)
@@ -85,7 +97,7 @@ class AdaParseEngine(Parser):
             raise KeyError(f"default parser {self.config.default_parser!r} not registered")
         if self.config.high_quality_parser not in registry:
             raise KeyError(f"high-quality parser {self.config.high_quality_parser!r} not registered")
-        self.last_summary = RoutingSummary()
+        self._last_summary = RoutingSummary()
         # The engine's *static* cost profile approximates the expected mix:
         # default parse + selection on every document, high-quality parse on an
         # α fraction.  Used by schedulers that need a cost estimate up front.
@@ -123,9 +135,16 @@ class AdaParseEngine(Parser):
             gpu_seconds=self.config.selection_gpu_seconds,
         )
 
-    def _route_batch(
+    def route_batch(
         self, documents: list[SciDocument]
     ) -> tuple[list[ParseResult], list[RoutingDecision]]:
+        """Route one batch under the α budget — the engine's stateless core.
+
+        Touches no instance state, so concurrent callers (and the pipeline's
+        thread pool) can invoke it on a shared engine; it is also the
+        override point subclasses use to customise routing, honoured by both
+        the serial and the thread-pooled execution paths.
+        """
         cfg = self.config
         default_parser = self.registry.get(cfg.default_parser)
         expensive_parser = self.registry.get(cfg.high_quality_parser)
@@ -198,16 +217,113 @@ class AdaParseEngine(Parser):
                 )
         return results, decisions
 
+    # ------------------------------------------------------------------ #
+    # Telemetry: returned by the new API, mirrored by a deprecated shim
+    # ------------------------------------------------------------------ #
+    @property
+    def last_summary(self) -> RoutingSummary:
+        """Deprecated: routing summary of the most recent ``parse``/``parse_many``.
+
+        The attribute is kept as a thin shim over the telemetry the new API
+        *returns*: prefer :meth:`parse_with_telemetry`,
+        :meth:`parse_batches`, or :meth:`repro.pipeline.ParsePipeline.run`
+        (whose :class:`~repro.pipeline.ParseReport` carries the decisions).
+        The shim reflects only the most recent non-streaming call on this
+        instance and is not meaningful under concurrent use.
+        """
+        warnings.warn(
+            "AdaParseEngine.last_summary is deprecated; use the telemetry returned "
+            "by parse_with_telemetry()/parse_batches() or the ParseReport produced "
+            "by repro.pipeline.ParsePipeline instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_summary
+
+    @last_summary.setter
+    def last_summary(self, summary: RoutingSummary) -> None:
+        warnings.warn(
+            "assigning AdaParseEngine.last_summary is deprecated; routing telemetry "
+            "is now a return value of the parse APIs",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._last_summary = summary
+
+    def _record_last_summary(self, decisions: Iterable[RoutingDecision]) -> None:
+        # Atomic replace: the shim never exposes a half-populated summary,
+        # and single-document and batch calls record through the same path.
+        self._last_summary = RoutingSummary(decisions=list(decisions))
+
+    # ------------------------------------------------------------------ #
+    # Batch parsing
+    # ------------------------------------------------------------------ #
+    def parse_batches(
+        self, documents: Iterable[SciDocument], batch_size: int | None = None
+    ) -> Iterator[tuple[list[ParseResult], list[RoutingDecision]]]:
+        """Stream ``(results, decisions)`` per α-budgeted batch.
+
+        This is the stateless core of the engine: it touches no instance
+        state, so concurrent callers (and the thread-pooled
+        :class:`repro.pipeline.ParsePipeline`) can share one engine.  The α
+        cap is enforced independently within every batch, exactly as in the
+        deployed system; memory stays O(batch).
+        """
+        size = batch_size or self.config.batch_size
+        for batch in chunked(documents, size):
+            yield self.route_batch(batch)
+
+    def iter_parse(self, documents: Iterable[SciDocument]) -> Iterator[ParseResult]:
+        """Stream parse results with per-batch α budgeting, O(batch) memory."""
+        for batch_results, _ in self.parse_batches(documents):
+            yield from batch_results
+
+    def parse_with_telemetry(
+        self, documents: Sequence[SciDocument], batch_size: int | None = None
+    ) -> tuple[list[ParseResult], list[RoutingDecision]]:
+        """Parse a collection, returning results *and* routing decisions.
+
+        Telemetry is a return value rather than instance state; the
+        deprecated ``last_summary`` shim is updated once, atomically, after
+        the run completes.
+        """
+        results: list[ParseResult] = []
+        decisions: list[RoutingDecision] = []
+        for batch_results, batch_decisions in self.parse_batches(documents, batch_size):
+            results.extend(batch_results)
+            decisions.extend(batch_decisions)
+        self._record_last_summary(decisions)
+        return results, decisions
+
     def parse_many(self, documents: list[SciDocument]) -> list[ParseResult]:
         """Parse a document collection, enforcing the α budget per batch."""
-        self.last_summary = RoutingSummary()
-        results: list[ParseResult] = []
-        for start in range(0, len(documents), self.config.batch_size):
-            batch = documents[start : start + self.config.batch_size]
-            batch_results, batch_decisions = self._route_batch(batch)
-            results.extend(batch_results)
-            self.last_summary.decisions.extend(batch_decisions)
+        results, _ = self.parse_with_telemetry(documents)
         return results
+
+    def with_overrides(
+        self, alpha: float | None = None, batch_size: int | None = None
+    ) -> "AdaParseEngine":
+        """A sibling engine sharing all trained components, with config tweaks.
+
+        Used by the pipeline to honour per-request α/batch-size overrides
+        without retraining or mutating the shared engine.
+        """
+        if alpha is None and batch_size is None:
+            return self
+        config = replace(
+            self.config,
+            alpha=self.config.alpha if alpha is None else alpha,
+            batch_size=self.config.batch_size if batch_size is None else batch_size,
+        )
+        kwargs: dict[str, object] = {
+            "registry": self.registry,
+            "config": config,
+            "validator": self.validator,
+            "improvement_classifier": self.improvement_classifier,
+        }
+        if hasattr(self, "selector"):
+            kwargs["selector"] = self.selector
+        return type(self)(**kwargs)
 
     def _parse_pages(self, document: SciDocument, rng: np.random.Generator) -> list[str]:
         # Unused: the engine overrides parse()/parse_many() directly.
@@ -219,11 +335,12 @@ class AdaParseEngine(Parser):
         Without a batch there is no meaningful α constraint; the document is
         routed to the high-quality parser when its extraction is invalid or
         the predicted improvement clears the margin.  Large campaigns should
-        use :meth:`parse_many`, which enforces the budget.
+        use :meth:`parse_with_telemetry` (or the pipeline), which enforces
+        the budget.
         """
-        results, decisions = self._route_single(document)
-        self.last_summary = RoutingSummary(decisions=decisions)
-        return results
+        result, decisions = self._route_single(document)
+        self._record_last_summary(decisions)
+        return result
 
     def _route_single(self, document: SciDocument) -> tuple[ParseResult, list[RoutingDecision]]:
         cfg = self.config
@@ -340,10 +457,11 @@ def build_default_engine(
     """
     from repro.core.training import AdaParseTrainer, TrainerSettings
     from repro.documents.corpus import CorpusConfig, build_corpus
+    from repro.parsers.registry import default_registry
 
     if train_corpus is None:
         train_corpus = build_corpus(CorpusConfig(n_documents=80, seed=5, name="default-train"))
-    registry = registry or __import__("repro.parsers.registry", fromlist=["default_registry"]).default_registry()
+    registry = registry or default_registry()
     trainer = AdaParseTrainer(registry=registry, settings=TrainerSettings())
     if variant == "ft":
         return trainer.train_ft(train_corpus, config=config)

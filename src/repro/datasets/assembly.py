@@ -6,6 +6,11 @@ produces parsed records, pushes them through the quality-filter pipeline and
 the near-duplicate detector, writes the survivors as sharded JSONL with a
 manifest, and reports what happened at every stage (counts, token accounting,
 goodput).
+
+Parsing runs through :class:`repro.pipeline.ParsePipeline`: results stream
+in α-budgeted batches (records are built incrementally rather than from a
+fully materialised result list) and ``n_jobs`` parses batches on a thread
+pool.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.documents.corpus import Corpus
 from repro.metrics.accepted_tokens import DEFAULT_BLEU_THRESHOLD
 from repro.metrics.bundle import evaluate_parse
 from repro.parsers.base import Parser, ParseResult
+from repro.pipeline.pipeline import ParsePipeline
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,8 @@ class DatasetBuildConfig:
         When true, each record's quality is the document BLEU against the
         corpus ground truth ("reference"); otherwise records carry no quality
         estimate unless the caller provides predictions.
+    n_jobs:
+        Worker threads the parse stage fans batches out over.
     """
 
     output_dir: str | None = None
@@ -57,6 +65,7 @@ class DatasetBuildConfig:
     max_records_per_shard: int = 50_000
     max_mb_per_shard: float = 64.0
     evaluate_against_ground_truth: bool = True
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.quality_threshold <= 1.0:
@@ -65,6 +74,8 @@ class DatasetBuildConfig:
             raise ValueError("min_tokens must be non-negative")
         if not 0.0 < self.dedup_similarity <= 1.0:
             raise ValueError("dedup_similarity must lie in (0, 1]")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be positive")
 
 
 @dataclass
@@ -116,9 +127,11 @@ class DatasetBuilder:
         config: DatasetBuildConfig | None = None,
         filter_pipeline: FilterPipeline | None = None,
         deduplicator: NearDuplicateDetector | None = None,
+        pipeline: ParsePipeline | None = None,
     ) -> None:
         self.parser = parser
         self.config = config or DatasetBuildConfig()
+        self.pipeline = pipeline or ParsePipeline()
         self.filter_pipeline = filter_pipeline or FilterPipeline.default(
             quality_threshold=self.config.quality_threshold,
             min_tokens=self.config.min_tokens,
@@ -131,10 +144,16 @@ class DatasetBuilder:
     # Record construction
     # ------------------------------------------------------------------ #
     def _records_from_corpus(self, corpus: Corpus) -> list[ParsedRecord]:
+        # Streamed: results arrive one α-budgeted batch at a time, so the
+        # full ParseResult list is never materialised alongside the records.
+        # The documents are materialised once so one-shot iterables cannot be
+        # consumed by the parse stream and the pairing loop interleaved.
         documents = list(corpus)
-        results = self.parser.parse_many(documents)
+        stream = self.pipeline.iter_parse(
+            self.parser, iter(documents), n_jobs=self.config.n_jobs
+        )
         records: list[ParsedRecord] = []
-        for document, result in zip(documents, results):
+        for document, result in zip(documents, stream):
             bundle = None
             if self.config.evaluate_against_ground_truth:
                 bundle = evaluate_parse(document.ground_truth_pages(), result.page_texts)

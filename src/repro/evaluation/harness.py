@@ -4,6 +4,10 @@ Runs a set of parsers (including AdaParse engines) over a corpus, computes the
 per-document metric bundle for each, simulates the preference tournament for
 win rates, and aggregates everything into the row format of the paper's
 Tables 1–3.
+
+Parsing runs through :class:`repro.pipeline.ParsePipeline`, so engine routing
+telemetry lands in :attr:`EvaluationReport.routing` (one decision list per
+engine) instead of being read back off mutable engine attributes.
 """
 
 from __future__ import annotations
@@ -12,12 +16,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import RoutingDecision, RoutingSummary
 from repro.documents.corpus import Corpus
 from repro.documents.document import SciDocument
 from repro.metrics.accepted_tokens import accepted_token_rate
 from repro.metrics.bundle import MetricBundle, evaluate_parse
 from repro.metrics.winrate import PairwiseOutcome, WinRateTally
 from repro.parsers.base import Parser, ParseResult
+from repro.pipeline.pipeline import ParsePipeline
 from repro.preferences.annotators import AnnotatorPanel
 from repro.utils.rng import rng_from
 from repro.utils.tables import Table
@@ -40,6 +46,8 @@ class HarnessConfig:
         Per-page character cap of the CAR computation (cost control).
     seed:
         Seed of the tournament sampling.
+    n_jobs:
+        Worker threads the parse stage fans batches out over.
     """
 
     accepted_token_threshold: float = 0.70
@@ -47,6 +55,7 @@ class HarnessConfig:
     win_rate_annotators_per_page: int = 1
     car_max_chars: int = 1600
     seed: int = 1234
+    n_jobs: int = 1
 
 
 @dataclass
@@ -86,6 +95,12 @@ class EvaluationReport:
     results: dict[tuple[str, str], ParseResult] = field(default_factory=dict)
     win_rates: dict[str, float] = field(default_factory=dict)
     aggregates: dict[str, ParserAggregate] = field(default_factory=dict)
+    #: Routing telemetry per parser (empty list for non-engine parsers).
+    routing: dict[str, list[RoutingDecision]] = field(default_factory=dict)
+
+    def routing_summary(self, parser_name: str) -> RoutingSummary:
+        """One parser's routing telemetry with the aggregate-statistics helpers."""
+        return RoutingSummary(decisions=list(self.routing.get(parser_name, [])))
 
     def bundle(self, parser_name: str, doc_id: str) -> MetricBundle:
         """Metric bundle of one (parser, document) pair."""
@@ -119,9 +134,15 @@ class EvaluationReport:
 class EvaluationHarness:
     """Evaluates parsers and AdaParse engines over a corpus."""
 
-    def __init__(self, config: HarnessConfig | None = None, panel: AnnotatorPanel | None = None) -> None:
+    def __init__(
+        self,
+        config: HarnessConfig | None = None,
+        panel: AnnotatorPanel | None = None,
+        pipeline: ParsePipeline | None = None,
+    ) -> None:
         self.config = config or HarnessConfig()
         self.panel = panel or AnnotatorPanel()
+        self.pipeline = pipeline or ParsePipeline()
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -136,7 +157,10 @@ class EvaluationHarness:
         report = EvaluationReport(parser_names=parser_names, doc_ids=[d.doc_id for d in documents])
         gt_pages_by_doc = {d.doc_id: d.ground_truth_pages() for d in documents}
         for parser in parsers:
-            results = parser.parse_many(documents)
+            results, decisions = self.pipeline.parse_with_telemetry(
+                parser, documents, n_jobs=self.config.n_jobs
+            )
+            report.routing[parser.name] = decisions
             for doc, result in zip(documents, results):
                 report.results[(parser.name, doc.doc_id)] = result
                 report.bundles[(parser.name, doc.doc_id)] = evaluate_parse(

@@ -38,6 +38,7 @@ from repro.ml.svc import LinearSVC
 from repro.ml.features import MetadataFeaturizer
 from repro.ml.transformer import TransformerConfig, TransformerEncoder
 from repro.parsers.registry import ParserRegistry, default_registry
+from repro.pipeline.pipeline import ParsePipeline
 from repro.preferences.dataset import PreferenceDataset, build_preference_dataset
 from repro.preferences.study import StudyConfig
 from repro.utils.rng import rng_from
@@ -80,12 +81,18 @@ class ExperimentContext:
     engine_llm: AdaParseLLM
     test_dataset: QualityDataset | None = None
     _reports: dict[str, EvaluationReport] = field(default_factory=dict)
+    #: Shared parsing facade; every table's harness runs through it.
+    pipeline: ParsePipeline = field(default_factory=ParsePipeline)
 
     def cache_report(self, key: str, report: EvaluationReport) -> None:
         self._reports[key] = report
 
     def cached_report(self, key: str) -> EvaluationReport | None:
         return self._reports.get(key)
+
+    def harness(self, harness_config: HarnessConfig | None = None) -> EvaluationHarness:
+        """An evaluation harness wired to the context's shared pipeline."""
+        return EvaluationHarness(harness_config, pipeline=self.pipeline)
 
 
 def trainer_settings_for_scale(scale: ExperimentScale) -> TrainerSettings:
@@ -111,6 +118,10 @@ def build_experiment_context(scale: ExperimentScale | None = None) -> Experiment
     engine_llm = trainer.train_llm(
         splits["train"], dataset=quality_dataset, preference_pairs=preference_dataset.train
     )
+    pipeline = ParsePipeline(
+        registry=registry,
+        engines={engine_ft.name: engine_ft, engine_llm.name: engine_llm},
+    )
     return ExperimentContext(
         scale=scale,
         corpus=corpus,
@@ -121,6 +132,7 @@ def build_experiment_context(scale: ExperimentScale | None = None) -> Experiment
         preference_dataset=preference_dataset,
         engine_ft=engine_ft,
         engine_llm=engine_llm,
+        pipeline=pipeline,
     )
 
 
@@ -145,7 +157,7 @@ def table1_born_digital(
     context: ExperimentContext, harness_config: HarnessConfig | None = None
 ) -> Table:
     """Table 1: accuracy on the unmodified (born-digital) held-out test set."""
-    harness = EvaluationHarness(harness_config)
+    harness = context.harness(harness_config)
     parsers = _evaluation_parsers(context, TABLE1_ORDER)
     report = harness.evaluate(context.splits["test"], parsers)
     context.cache_report("table1", report)
@@ -163,7 +175,7 @@ def table2_scanned(
     """Table 2: accuracy after degrading the image layer of 15 % of documents."""
     augmentation = augmentation or AugmentationConfig()
     augmented = degrade_image_layers(context.splits["test"], augmentation)
-    harness = EvaluationHarness(harness_config)
+    harness = context.harness(harness_config)
     parsers = _evaluation_parsers(context, TABLE2_ORDER)
     report = harness.evaluate(augmented, parsers)
     context.cache_report("table2", report)
@@ -180,7 +192,7 @@ def table3_degraded_text(
     """Table 3: accuracy after replacing 15 % of text layers with OCR output."""
     augmentation = augmentation or AugmentationConfig()
     augmented = replace_text_layers_with_ocr(context.splits["test"], augmentation)
-    harness = EvaluationHarness(harness_config)
+    harness = context.harness(harness_config)
     parsers = _evaluation_parsers(context, TABLE3_ORDER)
     report = harness.evaluate(augmented, parsers)
     context.cache_report("table3", report)
@@ -292,7 +304,7 @@ def table4_selector_models(
     # Table 1 when available, restricted to the six base parsers).
     report = context.cached_report("table4_base")
     if report is None:
-        harness = EvaluationHarness(harness_config)
+        harness = context.harness(harness_config)
         report = harness.evaluate(test_split, list(registry))
         context.cache_report("table4_base", report)
     # Model inputs for the test split (default-parser text, metadata, labels).

@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.documents.document import SciDocument
 from repro.utils.rng import rng_from
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports base)
+    from repro.core.engine import RoutingDecision
 
 
 @dataclass(frozen=True)
@@ -192,6 +196,32 @@ class Parser(abc.ABC):
     def parse_many(self, documents: list[SciDocument]) -> list[ParseResult]:
         """Parse a batch of documents sequentially (library-level convenience)."""
         return [self.parse(doc) for doc in documents]
+
+    def iter_parse(self, documents: Iterable[SciDocument]) -> Iterator[ParseResult]:
+        """Stream parse results one document at a time.
+
+        Unlike :meth:`parse_many` this never materialises the full result
+        list: memory stays bounded by one document (engines override this
+        with a bounded per-batch window).  Results are yielded in document
+        order.
+        """
+        for document in documents:
+            yield self.parse(document)
+
+    def parse_with_telemetry(
+        self, documents: Sequence[SciDocument]
+    ) -> tuple[list[ParseResult], list["RoutingDecision"]]:
+        """Parse a batch, returning results plus routing telemetry.
+
+        Base parsers make no routing decisions, so the telemetry list is
+        empty; AdaParse engines return one
+        :class:`~repro.core.engine.RoutingDecision` per document.  This is
+        the stateless counterpart of the deprecated ``last_summary``
+        attribute; :class:`repro.pipeline.ParsePipeline` calls it per batch
+        for non-engine parsers, so subclasses that override ``parse_many``
+        (or this method) keep their behaviour under the pipeline.
+        """
+        return self.parse_many(list(documents)), []
 
     # ------------------------------------------------------------------ #
     # Introspection

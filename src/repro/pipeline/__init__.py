@@ -1,0 +1,38 @@
+"""Unified parsing pipeline: ``ParseRequest`` in, ``ParseReport`` out.
+
+This package is THE way to run parsing.  A frozen
+:class:`~repro.pipeline.request.ParseRequest` (documents or corpus spec,
+parser-or-engine name, batch size, α override, worker count, seed) goes
+into :meth:`~repro.pipeline.pipeline.ParsePipeline.run`; a
+:class:`~repro.pipeline.report.ParseReport` (results, per-document routing
+decisions, aggregate resource usage, wall time, throughput) comes out.
+
+Example
+-------
+>>> from repro.pipeline import ParsePipeline, ParseRequest
+>>> report = ParsePipeline().run(ParseRequest(parser="pymupdf", n_documents=20, seed=7))
+>>> report.n_documents
+20
+>>> report.summary()["parser"]
+'pymupdf'
+
+The CLI subcommands, :class:`repro.datasets.assembly.DatasetBuilder`, and
+:class:`repro.evaluation.harness.EvaluationHarness` are all built on this
+facade, so improvements to the pipeline (sharding, caching, alternative
+backends) reach every consumer at once.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, ENGINE_VARIANTS, ParsePipeline
+from repro.pipeline.report import ParseReport
+from repro.pipeline.request import ParseRequest, request_for_documents
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ENGINE_VARIANTS",
+    "ParsePipeline",
+    "ParseReport",
+    "ParseRequest",
+    "request_for_documents",
+]

@@ -1,0 +1,255 @@
+"""The :class:`ParsePipeline` facade: one way to run parsing.
+
+Every entry point of the library — the CLI subcommands, the dataset
+builder, the evaluation harness, and user code — funnels through this
+facade: a frozen :class:`~repro.pipeline.request.ParseRequest` goes in, a
+:class:`~repro.pipeline.report.ParseReport` comes out.  The pipeline
+
+* resolves the parser name against the registry (training an AdaParse
+  engine on demand for ``adaparse_ft``/``adaparse_llm``),
+* applies per-request α/batch-size overrides without mutating shared
+  engines,
+* streams documents through the parser in α-budgeted batches with a
+  bounded in-flight window (``iter_parse`` keeps memory O(batch)), and
+* fans batches out over a thread pool (``n_jobs``) while preserving
+  document order, which is safe because routing telemetry is a return
+  value and engines hold no mutable routing state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.core.engine import AdaParseEngine, RoutingDecision, build_default_engine
+from repro.documents.corpus import build_corpus
+from repro.documents.document import SciDocument
+from repro.parsers.base import Parser, ParseResult, ResourceUsage
+from repro.parsers.registry import ParserRegistry, default_registry
+from repro.pipeline.report import ParseReport
+from repro.pipeline.request import ParseRequest
+from repro.utils.batching import chunked
+
+#: Batch size used for base parsers when neither the request nor the parser
+#: specifies one (engines default to their configured batch size).
+DEFAULT_BATCH_SIZE = 64
+
+#: Names the pipeline will train an engine for on first use.
+ENGINE_VARIANTS = {"adaparse_ft": "ft", "adaparse_llm": "llm"}
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: One unit of pipeline work: a batch's results plus its routing decisions.
+BatchOutput = tuple[list[ParseResult], list[RoutingDecision]]
+
+
+def _ordered_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], n_jobs: int
+) -> Iterator[_R]:
+    """Apply ``fn`` over ``items`` with ``n_jobs`` threads, yielding in order.
+
+    Keeps at most ``2 * n_jobs`` work items in flight, so streaming callers
+    retain bounded memory even over very long inputs.
+    """
+    if n_jobs <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    iterator = iter(items)
+    pool = ThreadPoolExecutor(max_workers=n_jobs)
+    try:
+        pending = deque(
+            pool.submit(fn, item) for item in itertools.islice(iterator, 2 * n_jobs)
+        )
+        for item in iterator:
+            yield pending.popleft().result()
+            pending.append(pool.submit(fn, item))
+        while pending:
+            yield pending.popleft().result()
+    finally:
+        # An abandoned generator or a worker error must not stall the caller
+        # on up to 2*n_jobs queued batches: drop what hasn't started and let
+        # already-running batches drain in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ParsePipeline:
+    """Facade that turns :class:`ParseRequest` objects into :class:`ParseReport` objects.
+
+    Parameters
+    ----------
+    registry:
+        Parser registry to resolve names against; built lazily from
+        :func:`~repro.parsers.registry.default_registry` when omitted.
+    engines:
+        Pre-built engines by name (e.g. ``{"adaparse_ft": engine}``).
+        Unknown ``adaparse_*`` names are trained on demand via
+        :func:`~repro.core.engine.build_default_engine` and cached here.
+    """
+
+    def __init__(
+        self,
+        registry: ParserRegistry | None = None,
+        engines: dict[str, Parser] | None = None,
+    ) -> None:
+        self._registry = registry
+        self.engines: dict[str, Parser] = dict(engines or {})
+
+    @property
+    def registry(self) -> ParserRegistry:
+        """The parser registry (constructed on first use)."""
+        if self._registry is None:
+            self._registry = default_registry()
+        return self._registry
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolve_parser(self, parser: str | Parser, alpha: float | None = None) -> Parser:
+        """Resolve a parser name (or pass through an instance).
+
+        Engine names not present in ``engines`` are trained on demand and
+        cached.  An α override produces a sibling engine sharing the trained
+        components, leaving the cached engine untouched; batch size is an
+        execution argument, not an engine property, so no sibling is needed
+        for it.
+        """
+        if isinstance(parser, Parser):
+            resolved = parser
+        elif parser in self.engines:
+            resolved = self.engines[parser]
+        elif parser in self.registry:
+            resolved = self.registry.get(parser)
+        elif parser in ENGINE_VARIANTS:
+            resolved = build_default_engine(
+                variant=ENGINE_VARIANTS[parser], registry=self.registry
+            )
+            self.engines[parser] = resolved
+        else:
+            known = sorted(set(self.registry.names) | set(self.engines) | set(ENGINE_VARIANTS))
+            raise KeyError(f"unknown parser {parser!r}; known: {known}")
+        if alpha is not None and isinstance(resolved, AdaParseEngine):
+            resolved = resolved.with_overrides(alpha=alpha)
+        return resolved
+
+    def resolve_documents(self, request: ParseRequest) -> list[SciDocument]:
+        """Materialise the request's document source."""
+        if request.documents is not None:
+            return list(request.documents)
+        config = request.corpus_config()
+        assert config is not None  # corpus_config() only returns None for explicit docs
+        return list(build_corpus(config))
+
+    # ------------------------------------------------------------------ #
+    # Streaming execution
+    # ------------------------------------------------------------------ #
+    def _execute_batches(
+        self,
+        resolved: Parser,
+        documents: Iterable[SciDocument],
+        batch_size: int | None,
+        n_jobs: int,
+    ) -> Iterator[BatchOutput]:
+        """Run an already-resolved parser over batched documents."""
+        if isinstance(resolved, AdaParseEngine):
+            if n_jobs <= 1:
+                yield from resolved.parse_batches(documents, batch_size)
+                return
+            size = batch_size or resolved.config.batch_size
+            worker: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
+        else:
+            size = batch_size or DEFAULT_BATCH_SIZE
+
+            def worker(batch: list[SciDocument], _parser: Parser = resolved) -> BatchOutput:
+                return _parser.parse_with_telemetry(batch)
+
+        yield from _ordered_map(worker, chunked(documents, size), n_jobs)
+
+    def parse_batches(
+        self,
+        parser: str | Parser,
+        documents: Iterable[SciDocument],
+        batch_size: int | None = None,
+        n_jobs: int = 1,
+    ) -> Iterator[BatchOutput]:
+        """Stream ``(results, decisions)`` per batch, optionally thread-pooled.
+
+        Batches are routed independently (the α cap applies within each) and
+        yielded in document order; with ``n_jobs > 1`` up to ``2 * n_jobs``
+        batches are in flight at once.
+        """
+        yield from self._execute_batches(
+            self.resolve_parser(parser), documents, batch_size, n_jobs
+        )
+
+    def iter_parse(
+        self,
+        parser: str | Parser,
+        documents: Iterable[SciDocument],
+        batch_size: int | None = None,
+        n_jobs: int = 1,
+    ) -> Iterator[ParseResult]:
+        """Stream parse results in document order with O(batch) memory."""
+        for results, _ in self.parse_batches(parser, documents, batch_size, n_jobs):
+            yield from results
+
+    def parse_with_telemetry(
+        self,
+        parser: str | Parser,
+        documents: Sequence[SciDocument],
+        batch_size: int | None = None,
+        n_jobs: int = 1,
+    ) -> tuple[list[ParseResult], list[RoutingDecision]]:
+        """Parse a collection, returning results plus routing telemetry.
+
+        The deprecated ``last_summary`` shim of the engine that ran is
+        refreshed once, atomically, after the run completes (legacy readers
+        keep working); the authoritative telemetry is the returned decision
+        list.
+        """
+        resolved = self.resolve_parser(parser)
+        results: list[ParseResult] = []
+        decisions: list[RoutingDecision] = []
+        for batch_results, batch_decisions in self._execute_batches(
+            resolved, documents, batch_size, n_jobs
+        ):
+            results.extend(batch_results)
+            decisions.extend(batch_decisions)
+        if isinstance(resolved, AdaParseEngine):
+            resolved._record_last_summary(decisions)
+        return results, decisions
+
+    # ------------------------------------------------------------------ #
+    # The request → report entry point
+    # ------------------------------------------------------------------ #
+    def run(self, request: ParseRequest) -> ParseReport:
+        """Execute a request end to end and report what happened."""
+        parser = self.resolve_parser(request.parser, alpha=request.alpha)
+        documents = self.resolve_documents(request)
+        started = perf_counter()
+        results, decisions = self.parse_with_telemetry(
+            parser, documents, batch_size=request.batch_size, n_jobs=request.n_jobs
+        )
+        wall_time = perf_counter() - started
+        if request.alpha is not None:
+            # The α override ran on a throwaway sibling; legacy readers hold
+            # the cached engine, so mirror the run's telemetry onto it too.
+            base = self.resolve_parser(request.parser)
+            if isinstance(base, AdaParseEngine) and base is not parser:
+                base._record_last_summary(decisions)
+        usage = ResourceUsage()
+        for result in results:
+            usage = usage + result.usage
+        return ParseReport(
+            request=request,
+            parser_name=parser.name,
+            n_documents=len(documents),
+            results=results,
+            decisions=decisions,
+            usage=usage,
+            wall_time_seconds=wall_time,
+        )

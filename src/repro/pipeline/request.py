@@ -1,0 +1,180 @@
+"""The typed request object of the parsing pipeline.
+
+A :class:`ParseRequest` is a frozen, self-contained description of one
+parsing run: which documents, which parser (or AdaParse engine), and the
+execution knobs (batch size, α override, worker count).  Because it is
+immutable and JSON-serialisable it can be logged, queued, replayed, and
+compared — the building block a parsing *service* schedules on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Sequence
+
+from repro.documents.corpus import CorpusConfig
+from repro.documents.document import SciDocument
+from repro.documents.textgen import TextGenConfig
+
+
+@dataclass(frozen=True)
+class ParseRequest:
+    """Immutable description of one parsing run.
+
+    Exactly one document source applies, in order of precedence:
+
+    1. ``documents`` — an explicit document collection (stored as a tuple);
+    2. ``corpus`` — a :class:`~repro.documents.corpus.CorpusConfig` built
+       lazily by the pipeline;
+    3. the ``n_documents``/``seed`` shortcut, which builds a synthetic
+       corpus with default knobs.
+
+    Attributes
+    ----------
+    parser:
+        Registry parser name (``pymupdf``, ``nougat``, …) or an engine name
+        (``adaparse_ft``, ``adaparse_llm``).
+    batch_size:
+        Documents per scheduling batch; ``None`` uses the parser's own
+        default (the engine's configured batch size, or the pipeline
+        default for base parsers).
+    alpha:
+        Per-request override of the engine's α routing budget; ignored for
+        base parsers.
+    n_jobs:
+        Number of worker threads parsing batches concurrently.
+    seed:
+        Corpus seed used by the ``n_documents`` shortcut (and recorded for
+        provenance either way).
+    """
+
+    parser: str = "pymupdf"
+    documents: tuple[SciDocument, ...] | None = None
+    corpus: CorpusConfig | None = None
+    n_documents: int = 100
+    seed: int = 2025
+    batch_size: int | None = None
+    alpha: float | None = None
+    n_jobs: int = 1
+    #: Provenance of an explicit document collection.  Derived from
+    #: ``documents`` when present; carried alone after a JSON round trip, in
+    #: which case the request is inspectable but refuses to replay (the
+    #: documents themselves were not serialised).
+    doc_ids: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.documents is not None:
+            if not isinstance(self.documents, tuple):
+                object.__setattr__(self, "documents", tuple(self.documents))
+            if not self.documents:
+                raise ValueError("documents must not be empty")
+            # Keep the provenance truthful for explicit collections.
+            object.__setattr__(self, "n_documents", len(self.documents))
+            object.__setattr__(self, "doc_ids", tuple(d.doc_id for d in self.documents))
+        elif self.doc_ids is not None:
+            if not isinstance(self.doc_ids, tuple):
+                object.__setattr__(self, "doc_ids", tuple(self.doc_ids))
+            object.__setattr__(self, "n_documents", max(1, len(self.doc_ids)))
+        elif self.corpus is not None:
+            # Keep the headline provenance in sync with the corpus spec.
+            object.__setattr__(self, "n_documents", self.corpus.n_documents)
+            object.__setattr__(self, "seed", self.corpus.seed)
+        if self.n_documents < 1:
+            raise ValueError("n_documents must be positive")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be positive")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    # Document source resolution
+    # ------------------------------------------------------------------ #
+    def corpus_config(self) -> CorpusConfig | None:
+        """The corpus configuration to build, or ``None`` for explicit docs.
+
+        A request rehydrated from JSON that referenced explicit documents
+        refuses to fall back to a synthetic corpus: replaying it against
+        freshly generated documents would produce a same-shaped report over
+        the wrong data.
+        """
+        if self.documents is not None:
+            return None
+        if self.doc_ids is not None:
+            raise ValueError(
+                "request references explicit documents that were not serialised; "
+                "supply the documents to a fresh request to replay it"
+            )
+        if self.corpus is not None:
+            return self.corpus
+        return CorpusConfig(n_documents=self.n_documents, seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-compatible view of the request.
+
+        Explicit documents are recorded by id only (for provenance); a
+        request built from a corpus spec round-trips losslessly through
+        :meth:`from_json_dict`.
+        """
+        payload: dict[str, Any] = {
+            "parser": self.parser,
+            "n_documents": self.n_documents,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "alpha": self.alpha,
+            "n_jobs": self.n_jobs,
+            "corpus": None,
+            "doc_ids": None,
+        }
+        if self.corpus is not None:
+            # asdict recurses into the nested textgen knobs, so the corpus
+            # spec is lossless and a rehydrated request replays over
+            # identical documents.
+            payload["corpus"] = asdict(self.corpus)
+        if self.doc_ids is not None:
+            payload["doc_ids"] = list(self.doc_ids)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "ParseRequest":
+        """Rebuild a request from :meth:`to_json_dict` output.
+
+        A request that carried explicit documents rebuilds with its
+        ``doc_ids`` provenance only — it can be inspected and compared, but
+        :meth:`corpus_config` (and therefore the pipeline) refuses to replay
+        it, because the documents themselves were not serialised.
+        """
+        corpus = None
+        if payload.get("corpus") is not None:
+            corpus_payload = dict(payload["corpus"])
+            textgen_payload = corpus_payload.pop("textgen", None)
+            known = {f.name for f in fields(CorpusConfig)}
+            kwargs = {k: v for k, v in corpus_payload.items() if k in known}
+            if textgen_payload is not None:
+                textgen_known = {f.name for f in fields(TextGenConfig)}
+                kwargs["textgen"] = TextGenConfig(
+                    **{k: v for k, v in textgen_payload.items() if k in textgen_known}
+                )
+            corpus = CorpusConfig(**kwargs)
+        doc_ids = payload.get("doc_ids")
+        return cls(
+            parser=payload.get("parser", "pymupdf"),
+            corpus=corpus,
+            n_documents=payload.get("n_documents", 100),
+            seed=payload.get("seed", 2025),
+            batch_size=payload.get("batch_size"),
+            alpha=payload.get("alpha"),
+            n_jobs=payload.get("n_jobs", 1),
+            doc_ids=None if doc_ids is None else tuple(doc_ids),
+        )
+
+
+def request_for_documents(
+    parser: str, documents: Sequence[SciDocument], **overrides: Any
+) -> ParseRequest:
+    """Convenience constructor for a request over an explicit collection."""
+    return ParseRequest(parser=parser, documents=tuple(documents), **overrides)

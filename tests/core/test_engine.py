@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import AdaParseConfig
+from repro.core.engine import RoutingSummary
 from repro.core.training import AdaParseTrainer, TrainerSettings
 from repro.documents.augment import strip_text_layers
 from repro.documents.corpus import CorpusConfig, build_corpus
@@ -61,9 +62,10 @@ class TestConfig:
 class TestEngineRouting:
     def test_budget_respected(self, trained_ft, training_corpus):
         documents = list(training_corpus)
-        results = trained_ft.parse_many(documents)
+        results, decisions = trained_ft.parse_with_telemetry(documents)
         assert len(results) == len(documents)
-        assert trained_ft.last_summary.fraction_routed() <= trained_ft.config.alpha + 1e-9
+        summary = RoutingSummary(decisions=decisions)
+        assert summary.fraction_routed() <= trained_ft.config.alpha + 1e-9
 
     def test_alpha_zero_never_routes(self, trained_ft, training_corpus):
         engine = type(trained_ft)(
@@ -73,8 +75,8 @@ class TestEngineRouting:
             validator=trained_ft.validator,
             improvement_classifier=trained_ft.improvement_classifier,
         )
-        engine.parse_many(list(training_corpus))
-        assert engine.last_summary.fraction_routed() == 0.0
+        _, decisions = engine.parse_with_telemetry(list(training_corpus))
+        assert RoutingSummary(decisions=decisions).fraction_routed() == 0.0
 
     def test_results_follow_document_order(self, trained_ft, training_corpus):
         documents = list(training_corpus)
@@ -83,11 +85,15 @@ class TestEngineRouting:
         assert all(r.parser_name == trained_ft.name for r in results)
 
     def test_missing_text_layer_routes_to_nougat(self, trained_ft, training_corpus):
+        # Single-document parse() routes without a batch α constraint, unlike
+        # parse_with_telemetry, whose per-batch cap floor(α·1) would be 0.
         stripped = strip_text_layers(training_corpus, fraction=1.0)
         doc = stripped[0]
         result = trained_ft.parse(doc)
-        assert trained_ft.last_summary.decisions[0].stage == "cls1_invalid"
-        assert trained_ft.last_summary.decisions[0].chosen_parser == "nougat"
+        with pytest.warns(DeprecationWarning):
+            summary = trained_ft.last_summary
+        assert summary.decisions[0].stage == "cls1_invalid"
+        assert summary.decisions[0].chosen_parser == "nougat"
         assert result.text.strip()  # Nougat recovers text despite the missing layer
 
     def test_usage_includes_selection_overhead(self, trained_ft, training_corpus):
@@ -108,8 +114,8 @@ class TestEngineRouting:
         assert np.mean(engine_bleu) >= np.mean(default_bleu) - 0.01
 
     def test_counts_by_stage_consistent(self, trained_ft, training_corpus):
-        trained_ft.parse_many(list(training_corpus))
-        counts = trained_ft.last_summary.counts_by_stage()
+        _, decisions = trained_ft.parse_with_telemetry(list(training_corpus))
+        counts = RoutingSummary(decisions=decisions).counts_by_stage()
         assert sum(counts.values()) == len(training_corpus)
 
 
@@ -125,9 +131,10 @@ class TestTrainerLLM:
         engine = trainer.train_llm(training_corpus, preference_pairs=pairs)
         assert trainer.artifacts is not None
         assert trainer.artifacts.dpo_trainer is not None
-        results = engine.parse_many(list(training_corpus)[:6])
+        results, decisions = engine.parse_with_telemetry(list(training_corpus)[:6])
         assert len(results) == 6
-        assert engine.last_summary.fraction_routed() <= engine.config.alpha + 1e-9
+        summary = RoutingSummary(decisions=decisions)
+        assert summary.fraction_routed() <= engine.config.alpha + 1e-9
 
     def test_unknown_parser_names_rejected(self, trained_ft):
         with pytest.raises(KeyError):

@@ -79,7 +79,11 @@ class TestTable1(object):
         assert car["pypdf"] < car["pymupdf"]
 
     def test_budget_respected(self, context, table):
-        assert context.engine_llm.last_summary.fraction_routed() <= context.engine_llm.config.alpha + 1e-9
+        report = context.cached_report("table1")
+        assert report is not None
+        summary = report.routing_summary("adaparse_llm")
+        assert summary.decisions
+        assert summary.fraction_routed() <= context.engine_llm.config.alpha + 1e-9
 
 
 class TestTables2and3:

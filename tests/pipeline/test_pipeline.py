@@ -1,0 +1,374 @@
+"""Tests of the unified ParseRequest/ParseReport pipeline API."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaParseConfig
+from repro.core.engine import AdaParseEngine
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.registry import default_registry
+from repro.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    ParsePipeline,
+    ParseReport,
+    ParseRequest,
+    request_for_documents,
+)
+
+
+class ScriptedEngine(AdaParseEngine):
+    """Engine double with deterministic improvement scores (no training)."""
+
+    name = "scripted"
+
+    def improvement_scores(self, documents, extracted_texts) -> np.ndarray:
+        # Strictly increasing, all above the improvement margin: under a
+        # per-batch α cap the top-k of every batch must be routed.
+        return np.linspace(0.1, 1.0, len(documents))
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def corpus_250():
+    return build_corpus(CorpusConfig(n_documents=250, seed=11, min_pages=2, max_pages=4))
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return build_corpus(CorpusConfig(n_documents=20, seed=13, min_pages=2, max_pages=4))
+
+
+@pytest.fixture()
+def engine(registry):
+    return ScriptedEngine(registry, AdaParseConfig(alpha=0.05, batch_size=100))
+
+
+class TestParseRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParseRequest(n_documents=0)
+        with pytest.raises(ValueError):
+            ParseRequest(n_jobs=0)
+        with pytest.raises(ValueError):
+            ParseRequest(batch_size=0)
+        with pytest.raises(ValueError):
+            ParseRequest(alpha=1.5)
+
+    def test_documents_coerced_to_tuple(self, small_corpus):
+        request = ParseRequest(documents=list(small_corpus))
+        assert isinstance(request.documents, tuple)
+        assert request.corpus_config() is None
+        # Provenance count follows the explicit collection, not the default.
+        assert request.n_documents == len(small_corpus)
+        assert request.to_json_dict()["n_documents"] == len(small_corpus)
+
+    def test_empty_documents_rejected(self):
+        with pytest.raises(ValueError):
+            ParseRequest(documents=())
+
+    def test_corpus_shortcut(self):
+        request = ParseRequest(n_documents=7, seed=3)
+        config = request.corpus_config()
+        assert config is not None
+        assert (config.n_documents, config.seed) == (7, 3)
+
+    def test_json_round_trip(self):
+        from repro.documents.textgen import TextGenConfig
+
+        request = ParseRequest(
+            parser="nougat",
+            corpus=CorpusConfig(
+                n_documents=9,
+                seed=4,
+                min_pages=2,
+                max_pages=5,
+                textgen=TextGenConfig(min_words_per_sentence=30, max_words_per_sentence=40),
+            ),
+            batch_size=3,
+            alpha=0.2,
+            n_jobs=2,
+        )
+        rebuilt = ParseRequest.from_json_dict(request.to_json_dict())
+        assert rebuilt.parser == "nougat"
+        assert rebuilt.batch_size == 3
+        assert rebuilt.alpha == 0.2
+        assert rebuilt.n_jobs == 2
+        # The full corpus spec (including nested textgen knobs) is lossless,
+        # so a rehydrated request replays over identical documents.
+        assert rebuilt.corpus == request.corpus
+        # Headline provenance mirrors the corpus spec.
+        assert (rebuilt.n_documents, rebuilt.seed) == (9, 4)
+
+    def test_explicit_documents_rebuild_but_refuse_replay(self, registry, small_corpus):
+        request = request_for_documents("pymupdf", list(small_corpus))
+        payload = request.to_json_dict()
+        assert payload["doc_ids"] == [d.doc_id for d in small_corpus]
+        rebuilt = ParseRequest.from_json_dict(payload)
+        # Inspectable provenance survives...
+        assert rebuilt.doc_ids == tuple(d.doc_id for d in small_corpus)
+        assert rebuilt.n_documents == len(small_corpus)
+        # ...but replaying against a freshly generated corpus is refused.
+        with pytest.raises(ValueError, match="not serialised"):
+            rebuilt.corpus_config()
+        with pytest.raises(ValueError, match="not serialised"):
+            ParsePipeline(registry).run(rebuilt)
+
+
+class TestPipelineRun:
+    def test_run_matches_legacy_parse_many(self, registry, small_corpus):
+        parser = registry.get("pymupdf")
+        legacy = parser.parse_many(list(small_corpus))
+        report = ParsePipeline(registry).run(
+            request_for_documents("pymupdf", list(small_corpus))
+        )
+        assert [r.text for r in report.results] == [r.text for r in legacy]
+        assert [r.doc_id for r in report.results] == [d.doc_id for d in small_corpus]
+        assert report.decisions == []
+        assert report.n_succeeded == len(small_corpus)
+        assert report.throughput_docs_per_second > 0
+        assert report.usage.cpu_seconds == pytest.approx(
+            sum(r.usage.cpu_seconds for r in legacy)
+        )
+
+    def test_engine_run_matches_legacy(self, registry, engine, small_corpus):
+        documents = list(small_corpus)
+        legacy = engine.parse_many(documents)
+        report = ParsePipeline(registry, engines={engine.name: engine}).run(
+            request_for_documents(engine.name, documents)
+        )
+        assert [r.text for r in report.results] == [r.text for r in legacy]
+        assert len(report.decisions) == len(documents)
+        assert report.fraction_routed() <= engine.config.alpha + 1e-9
+
+    def test_n_jobs_parity(self, registry, engine, corpus_250):
+        documents = list(corpus_250)
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        serial = pipeline.run(request_for_documents(engine.name, documents, n_jobs=1))
+        threaded = pipeline.run(request_for_documents(engine.name, documents, n_jobs=4))
+        assert [r.text for r in serial.results] == [r.text for r in threaded.results]
+        assert serial.decisions == threaded.decisions
+
+    def test_alpha_override_produces_sibling_engine(self, registry, engine, small_corpus):
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        report = pipeline.run(
+            request_for_documents(engine.name, list(small_corpus), alpha=0.0)
+        )
+        assert report.fraction_routed() == 0.0
+        # The cached engine keeps its original budget...
+        assert engine.config.alpha == 0.05
+        # ...but its deprecated shim still mirrors the run that just happened.
+        with pytest.warns(DeprecationWarning):
+            summary = engine.last_summary
+        assert summary.decisions == report.decisions
+
+    def test_unknown_parser_lists_known_names(self, registry):
+        with pytest.raises(KeyError, match="adaparse_ft"):
+            ParsePipeline(registry).run(ParseRequest(parser="nope", n_documents=2))
+
+    def test_run_from_corpus_spec_is_deterministic(self, registry):
+        request = ParseRequest(
+            parser="pypdf",
+            corpus=CorpusConfig(n_documents=6, seed=21, min_pages=2, max_pages=3),
+        )
+        first = ParsePipeline(registry).run(request)
+        second = ParsePipeline(registry).run(request)
+        assert [r.text for r in first.results] == [r.text for r in second.results]
+
+
+class TestAlphaBudgetAtBatchBoundaries:
+    def test_each_batch_independently_capped(self, registry, engine, corpus_250):
+        documents = list(corpus_250)
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        batch_sizes: list[int] = []
+        for results, decisions in pipeline.parse_batches(engine, documents, batch_size=100):
+            assert len(results) == len(decisions)
+            batch_sizes.append(len(results))
+            routed = [
+                d for d in decisions if d.stage in ("cls1_invalid", "routed_high_quality")
+            ]
+            forced = [d for d in decisions if d.stage == "cls1_invalid"]
+            cap = math.floor(engine.config.alpha * len(results))
+            assert len(routed) <= cap + len(forced)
+            # Within one batch the α cap itself is never exceeded.
+            assert len(routed) <= cap
+        assert batch_sizes == [100, 100, 50]
+
+    def test_fraction_routed_respects_alpha_overall(self, registry, engine, corpus_250):
+        documents = list(corpus_250)
+        report = ParsePipeline(registry, engines={engine.name: engine}).run(
+            request_for_documents(engine.name, documents, batch_size=100)
+        )
+        assert len(report.decisions) == 250
+        assert report.fraction_routed() <= engine.config.alpha + 1e-9
+        assert sum(report.counts_by_stage().values()) == 250
+
+
+class TestStreaming:
+    def test_iter_parse_is_lazy(self, registry, corpus_250):
+        pipeline = ParsePipeline(registry)
+        consumed = 0
+
+        def feed():
+            nonlocal consumed
+            for document in corpus_250:
+                consumed += 1
+                yield document
+
+        stream = pipeline.iter_parse("pymupdf", feed(), batch_size=10)
+        first = next(stream)
+        assert first.doc_id == corpus_250[0].doc_id
+        # Only the first batch was pulled from the source — the full corpus's
+        # results were never materialised.
+        assert consumed == 10
+        rest = list(stream)
+        assert consumed == len(corpus_250)
+        assert len(rest) == len(corpus_250) - 1
+
+    def test_base_parser_iter_parse_streams(self, registry, small_corpus):
+        parser = registry.get("pymupdf")
+        consumed = 0
+
+        def feed():
+            nonlocal consumed
+            for document in small_corpus:
+                consumed += 1
+                yield document
+
+        stream = parser.iter_parse(feed())
+        first = next(stream)
+        assert first.doc_id == small_corpus[0].doc_id
+        assert consumed == 1  # one document parsed per pull, nothing buffered
+        assert len(list(stream)) == len(small_corpus) - 1
+
+    def test_engine_iter_parse_streams_batches(self, registry, engine, corpus_250):
+        stream = engine.iter_parse(iter(corpus_250))
+        first = next(stream)
+        assert first.doc_id == corpus_250[0].doc_id
+        assert first.parser_name == engine.name
+
+    def test_threaded_streaming_preserves_order(self, registry, corpus_250):
+        pipeline = ParsePipeline(registry)
+        streamed = list(
+            pipeline.iter_parse("pymupdf", iter(corpus_250), batch_size=16, n_jobs=4)
+        )
+        assert [r.doc_id for r in streamed] == [d.doc_id for d in corpus_250]
+
+    def test_default_batch_size_used_for_base_parsers(self, registry, small_corpus):
+        pipeline = ParsePipeline(registry)
+        batches = list(pipeline.parse_batches("pymupdf", list(small_corpus)))
+        assert len(batches) == math.ceil(len(small_corpus) / DEFAULT_BATCH_SIZE)
+
+
+class TestTelemetryShim:
+    def test_last_summary_is_deprecated(self, engine, small_corpus):
+        engine.parse_many(list(small_corpus))
+        with pytest.warns(DeprecationWarning):
+            summary = engine.last_summary
+        assert len(summary.decisions) == len(small_corpus)
+
+    def test_parse_and_parse_many_record_consistently(self, engine, small_corpus):
+        documents = list(small_corpus)
+        engine.parse_many(documents)
+        # A follow-up single-document parse atomically replaces the shim with
+        # telemetry describing exactly that call — no partial mixtures.
+        engine.parse(documents[0])
+        with pytest.warns(DeprecationWarning):
+            summary = engine.last_summary
+        assert len(summary.decisions) == 1
+        assert summary.decisions[0].doc_id == documents[0].doc_id
+
+    def test_pipeline_refreshes_shim_atomically(self, registry, engine, small_corpus):
+        documents = list(small_corpus)
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        _, decisions = pipeline.parse_with_telemetry(engine, documents)
+        with pytest.warns(DeprecationWarning):
+            summary = engine.last_summary
+        assert summary.decisions == decisions
+
+    def test_batch_size_override_still_refreshes_callers_engine(
+        self, registry, engine, small_corpus
+    ):
+        # A batch-size override is an execution argument, not a sibling
+        # engine: legacy readers of the registered engine must still see the
+        # run's telemetry.
+        documents = list(small_corpus)
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        report = pipeline.run(
+            request_for_documents(engine.name, documents, batch_size=8)
+        )
+        with pytest.warns(DeprecationWarning):
+            summary = engine.last_summary
+        assert summary.decisions == report.decisions
+        assert len(summary.decisions) == len(documents)
+
+    def test_streaming_paths_touch_no_state(self, registry, engine, small_corpus):
+        documents = list(small_corpus)
+        engine.parse(documents[0])
+        with pytest.warns(DeprecationWarning):
+            before = engine.last_summary.decisions
+        list(engine.iter_parse(documents))
+        list(engine.parse_batches(documents))
+        with pytest.warns(DeprecationWarning):
+            after = engine.last_summary.decisions
+        assert before == after
+
+
+class TestReportRoundTrip:
+    def test_report_round_trips_with_text(self, registry, engine, small_corpus):
+        report = ParsePipeline(registry, engines={engine.name: engine}).run(
+            request_for_documents(engine.name, list(small_corpus), batch_size=8)
+        )
+        rebuilt = ParseReport.from_json_dict(report.to_json_dict(include_text=True))
+        assert [r.text for r in rebuilt.results] == [r.text for r in report.results]
+        assert rebuilt.decisions == report.decisions
+        assert rebuilt.usage == report.usage
+        assert rebuilt.parser_name == report.parser_name
+        assert rebuilt.summary() == report.summary()
+
+    def test_report_without_text_keeps_telemetry(self, registry, small_corpus):
+        report = ParsePipeline(registry).run(
+            ParseRequest(
+                parser="pymupdf",
+                corpus=CorpusConfig(n_documents=5, seed=2, min_pages=2, max_pages=3),
+            )
+        )
+        rebuilt = ParseReport.from_json_dict(report.to_json_dict(include_text=False))
+        assert [r.doc_id for r in rebuilt.results] == [r.doc_id for r in report.results]
+        assert all(r.page_texts == [] for r in rebuilt.results)
+        # Page/character counts survive even though the texts were dropped.
+        assert [r.n_pages for r in rebuilt.results] == [r.n_pages for r in report.results]
+        assert [r.n_characters for r in rebuilt.results] == [
+            r.n_characters for r in report.results
+        ]
+        assert rebuilt.request == report.request
+
+
+class TestConsumers:
+    def test_dataset_builder_streams_through_pipeline(self, registry, small_corpus):
+        from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
+
+        parser = registry.get("pymupdf")
+        config = DatasetBuildConfig(min_tokens=10, n_jobs=2)
+        built = DatasetBuilder(parser, config).build(small_corpus)
+        legacy = DatasetBuilder(parser, config).build_from_results(
+            small_corpus, parser.parse_many(list(small_corpus))
+        )
+        assert built.summary() == legacy.summary()
+
+    def test_harness_collects_routing_telemetry(self, registry, engine, small_corpus):
+        from repro.evaluation.harness import EvaluationHarness, HarnessConfig
+
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        harness = EvaluationHarness(HarnessConfig(n_jobs=2), pipeline=pipeline)
+        report = harness.evaluate(small_corpus, [registry.get("pymupdf"), engine])
+        assert len(report.routing[engine.name]) == len(small_corpus)
+        assert report.routing["pymupdf"] == []
+        assert engine.name in report.aggregates

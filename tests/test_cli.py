@@ -10,8 +10,16 @@ from repro.cli import build_parser, main
 class TestArgumentParsing:
     def test_subcommands_registered(self):
         parser = build_parser()
-        for command in ("corpus", "tables", "scaling", "alignment", "dataset", "fill-experiments"):
-            args = parser.parse_args([command] if command != "scaling" else ["scaling"])
+        for command in (
+            "corpus",
+            "tables",
+            "scaling",
+            "alignment",
+            "dataset",
+            "pipeline",
+            "fill-experiments",
+        ):
+            args = parser.parse_args([command])
             assert args.command == command
 
     def test_missing_command_errors(self):
@@ -64,6 +72,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert '"retention_rate"' in out
         assert (tmp_path / "dataset" / "manifest.json").exists()
+
+    def test_pipeline_command_prints_report(self, capsys):
+        exit_code = main(
+            ["pipeline", "--documents", "6", "--seed", "4", "--parser", "pymupdf", "--jobs", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert '"throughput_docs_per_second"' in out
+        assert '"n_documents": 6' in out
+
+    def test_pipeline_command_writes_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "pipeline",
+                "--documents",
+                "5",
+                "--seed",
+                "9",
+                "--parser",
+                "pypdf",
+                "--batch-size",
+                "2",
+                "--include-text",
+                "--output",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["parser"] == "pypdf"
+        assert len(payload["results"]) == 5
+        assert all(entry["page_texts"] for entry in payload["results"])
+        assert "wrote ParseReport" in capsys.readouterr().out
 
     def test_fill_experiments_command(self, tmp_path, capsys):
         from repro.evaluation.measured import MeasuredStore
