@@ -1,0 +1,83 @@
+"""Micro-benchmark: warm-cache throughput of the parsing pipeline.
+
+Runs the same corpus through :class:`repro.pipeline.ParsePipeline` three
+times against a persistent :class:`repro.cache.ParseCache`:
+
+* **uncached** — the baseline with the cache policy off,
+* **cold** — ``readwrite`` against an empty cache (pays the stores),
+* **warm** — ``readwrite`` again (every document served from the cache).
+
+Asserts the tentpole acceptance criteria: the warm pass is ≥ 5× faster
+than the cold pass, every document is a cache hit, and the warm results
+are byte-identical to the uncached run.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.cache import ParseCache
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.pipeline import ParsePipeline, request_for_documents
+from repro.utils.tables import Table
+
+N_DOCUMENTS = 200
+BATCH_SIZE = 25
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_cache_hit_throughput(benchmark, registry, measured_store, tmp_path):
+    corpus = build_corpus(
+        CorpusConfig(n_documents=N_DOCUMENTS, seed=91, min_pages=2, max_pages=5)
+    )
+    documents = list(corpus)
+    pipeline = ParsePipeline(registry, cache=ParseCache(tmp_path / "parse-cache"))
+
+    def run(policy: str):
+        request = request_for_documents(
+            "pymupdf", documents, batch_size=BATCH_SIZE, cache=policy
+        )
+        started = perf_counter()
+        report = pipeline.run(request)
+        return report, perf_counter() - started
+
+    def sweep() -> dict[str, object]:
+        uncached, uncached_s = run("off")
+        cold, cold_s = run("readwrite")
+        warm, warm_s = run("readwrite")
+
+        # Acceptance criteria of the caching tentpole.
+        assert warm.cache.hits == len(documents)
+        assert warm.cache.misses == 0
+        for a, b in zip(warm.results, uncached.results):
+            assert a.page_texts == b.page_texts
+            assert a.usage == b.usage
+            assert (a.doc_id, a.parser_name, a.succeeded, a.error) == (
+                b.doc_id,
+                b.parser_name,
+                b.succeeded,
+                b.error,
+            )
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm pass only {speedup:.1f}x faster than cold "
+            f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+        )
+        return {
+            "uncached docs/s": N_DOCUMENTS / uncached_s,
+            "cold (readwrite) docs/s": N_DOCUMENTS / cold_s,
+            "warm (readwrite) docs/s": N_DOCUMENTS / warm_s,
+            "warm speedup vs cold": speedup,
+            "cache hits": warm.cache.hits,
+            "time saved s": warm.cache.time_saved_seconds,
+        }
+
+    row = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        title=f"Cache hit throughput ({N_DOCUMENTS} documents, batch={BATCH_SIZE})",
+        columns=list(row),
+    )
+    table.add_row(row)
+    print()
+    print(table.to_text(precision=1))
+    measured_store.record_table("CACHE_HIT_THROUGHPUT", table, precision=1)

@@ -51,6 +51,9 @@ _LAZY_EXPORTS: dict[str, str] = {
     "AdaParseFT": "repro.core.engine:AdaParseFT",
     "AdaParseLLM": "repro.core.engine:AdaParseLLM",
     "build_default_engine": "repro.core.engine:build_default_engine",
+    "CachePolicy": "repro.cache:CachePolicy",
+    "CacheStats": "repro.cache:CacheStats",
+    "ParseCache": "repro.cache:ParseCache",
     "CorpusConfig": "repro.documents.corpus:CorpusConfig",
     "build_corpus": "repro.documents.corpus:build_corpus",
     "Corpus": "repro.documents.corpus:Corpus",

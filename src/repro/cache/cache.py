@@ -1,0 +1,509 @@
+"""The content-addressed parse-result cache.
+
+:class:`ParseCache` combines three mechanisms:
+
+1. a bounded in-memory LRU tier (:class:`repro.cache.memory.LruTier`) for
+   the hot working set,
+2. an optional sharded on-disk backend
+   (:class:`repro.cache.disk.ShardedDiskStore`) that persists entries
+   across processes with atomic write-then-rename and corruption-tolerant
+   reads, and
+3. a single-flight guard (:class:`repro.cache.singleflight.SingleFlight`)
+   so concurrent workers that miss on the same key do the parse exactly
+   once.
+
+Entries are addressed by :class:`repro.cache.keys.CacheKey` — the
+document's content hash plus the parser's configuration fingerprint — so a
+change to α, model weights, or parser version keys to fresh slots and the
+stale entries age out of the LRU (or are dropped with ``purge``).
+
+:func:`cached_batch_worker` adapts the cache to the pipeline's batch
+execution: hits are filled from the cache, misses are parsed as one
+sub-batch (preserving the engine's per-batch α semantics for the documents
+that actually run), and results are merged back in document order.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from repro.cache.disk import ShardedDiskStore
+from repro.cache.keys import CacheKey, parse_cache_key
+from repro.cache.memory import LruTier
+from repro.cache.singleflight import Flight, SingleFlight
+from repro.cache.stats import CacheStatsRecorder
+from repro.core.engine import RoutingDecision
+from repro.documents.document import SciDocument
+from repro.parsers.base import ParseResult, ResourceUsage
+
+
+class CachePolicy(str, enum.Enum):
+    """What a request allows the cache to do.
+
+    ========== ===== ======
+    policy     reads writes
+    ========== ===== ======
+    off        no    no
+    read       yes   no
+    write      no    yes
+    readwrite  yes   yes
+    ========== ===== ======
+
+    ``read`` serves warm traffic without growing the cache (e.g. replaying
+    against a frozen snapshot); ``write`` repopulates without trusting
+    existing entries (e.g. after a parser upgrade you want measured fresh).
+    """
+
+    OFF = "off"
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"
+
+    @property
+    def reads(self) -> bool:
+        return self in (CachePolicy.READ, CachePolicy.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (CachePolicy.WRITE, CachePolicy.READWRITE)
+
+    @classmethod
+    def coerce(cls, value: "CachePolicy | str") -> "CachePolicy":
+        if isinstance(value, CachePolicy):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown cache policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}"
+            ) from exc
+
+
+@dataclass
+class CacheEntry:
+    """One cached parse: the result, its routing decision, and provenance."""
+
+    key: str
+    result: ParseResult
+    decision: RoutingDecision | None = None
+    compute_seconds: float = 0.0
+    stored_at: float = 0.0
+
+    def fresh_result(self) -> ParseResult:
+        """An independent copy of the result (callers may mutate theirs)."""
+        return ParseResult(
+            parser_name=self.result.parser_name,
+            doc_id=self.result.doc_id,
+            page_texts=list(self.result.page_texts),
+            usage=self.result.usage,
+            succeeded=self.result.succeeded,
+            error=self.result.error,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (the on-disk JSONL line)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "key": self.key,
+            "compute_seconds": self.compute_seconds,
+            "stored_at": self.stored_at,
+            "result": self.result.to_json_dict(),
+            "decision": None,
+        }
+        if self.decision is not None:
+            payload["decision"] = {
+                "doc_id": self.decision.doc_id,
+                "chosen_parser": self.decision.chosen_parser,
+                "stage": self.decision.stage,
+                "predicted_improvement": self.decision.predicted_improvement,
+            }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "CacheEntry":
+        result = ParseResult.from_json_dict(payload["result"])
+        decision = None
+        decision_payload = payload.get("decision")
+        if decision_payload is not None:
+            decision = RoutingDecision(
+                doc_id=decision_payload["doc_id"],
+                chosen_parser=decision_payload["chosen_parser"],
+                stage=decision_payload["stage"],
+                predicted_improvement=float(
+                    decision_payload.get("predicted_improvement", 0.0)
+                ),
+            )
+        return cls(
+            key=payload["key"],
+            result=result,
+            decision=decision,
+            compute_seconds=float(payload.get("compute_seconds", 0.0)),
+            stored_at=float(payload.get("stored_at", 0.0)),
+        )
+
+
+#: What a compute callable returns: the parse result and (for engines) the
+#: routing decision that produced it.
+ComputeOutput = tuple[ParseResult, RoutingDecision | None]
+
+_NULL_RECORDER = CacheStatsRecorder()
+
+
+class ParseCache:
+    """Two-tier content-addressed cache with single-flight deduplication.
+
+    Parameters
+    ----------
+    directory:
+        Root of the sharded on-disk backend; ``None`` keeps the cache
+        memory-only (still bounded, still single-flighted).
+    n_shards:
+        Number of hash-prefix shard files of the disk backend.
+    max_memory_entries:
+        Capacity of the in-memory LRU tier.
+    flush_every:
+        Auto-flush threshold of the disk backend (puts between flushes).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        n_shards: int = 16,
+        max_memory_entries: int = 4096,
+        flush_every: int = 256,
+    ) -> None:
+        self.memory: LruTier[CacheEntry] = LruTier(max_entries=max_memory_entries)
+        self.disk = (
+            ShardedDiskStore(directory, n_shards=n_shards, flush_every=flush_every)
+            if directory is not None
+            else None
+        )
+        self.flights = SingleFlight()
+
+    # ------------------------------------------------------------------ #
+    # Tiered lookup / store
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self, key: CacheKey | str, recorder: CacheStatsRecorder | None = None
+    ) -> CacheEntry | None:
+        """Check memory then disk; promote disk hits into the memory tier."""
+        raw = str(key)
+        recorder = recorder or _NULL_RECORDER
+        entry = self.memory.get(raw)
+        if entry is not None:
+            recorder.record_hit(time_saved_seconds=entry.compute_seconds)
+            return entry
+        if self.disk is not None:
+            found = self.disk.get_with_size(raw)
+            if found is not None:
+                payload, nbytes = found
+                try:
+                    entry = CacheEntry.from_json_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    # A structurally valid JSON line with a broken schema:
+                    # treat like a torn line and drop it.
+                    self.disk.delete(raw)
+                    return None
+                self.memory.put(raw, entry)
+                recorder.record_hit(
+                    time_saved_seconds=entry.compute_seconds, bytes_read=nbytes
+                )
+                return entry
+        return None
+
+    def store(
+        self,
+        key: CacheKey | str,
+        result: ParseResult,
+        decision: RoutingDecision | None = None,
+        compute_seconds: float = 0.0,
+        recorder: CacheStatsRecorder | None = None,
+    ) -> CacheEntry:
+        """Insert a parse into both tiers (disk durable after ``flush``)."""
+        raw = str(key)
+        recorder = recorder or _NULL_RECORDER
+        entry = CacheEntry(
+            key=raw,
+            result=result,
+            decision=decision,
+            compute_seconds=compute_seconds,
+            stored_at=time.time(),
+        )
+        self.memory.put(raw, entry)
+        bytes_written = 0
+        if self.disk is not None:
+            bytes_written = self.disk.put(raw, entry.to_json_dict())
+        recorder.record_store(bytes_written=bytes_written)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Single-flight compute
+    # ------------------------------------------------------------------ #
+    def get_or_compute(
+        self,
+        key: CacheKey | str,
+        compute: Callable[[], ComputeOutput],
+        policy: CachePolicy | str = CachePolicy.READWRITE,
+        recorder: CacheStatsRecorder | None = None,
+    ) -> CacheEntry:
+        """Serve ``key`` from the cache or compute it exactly once.
+
+        Concurrent callers for the same key coalesce onto one computation
+        regardless of policy; the policy only controls whether the cache is
+        consulted before computing (``reads``) and whether the fresh entry
+        is persisted (``writes``).
+        """
+        policy = CachePolicy.coerce(policy)
+        recorder = recorder or _NULL_RECORDER
+        if policy.reads:
+            entry = self.lookup(key, recorder)
+            if entry is not None:
+                return entry
+        raw = str(key)
+        owner, flight = self.flights.begin(raw)
+        if not owner:
+            entry = flight.wait()
+            recorder.record_coalesced(time_saved_seconds=entry.compute_seconds)
+            return entry
+        try:
+            if policy.reads:
+                # Double-check: a previous owner may have completed (and
+                # stored) between our miss and our taking ownership.
+                entry = self.lookup(key, recorder)
+                if entry is not None:
+                    self.flights.complete(raw, flight, entry)
+                    return entry
+            recorder.record_miss()
+            started = perf_counter()
+            result, decision = compute()
+            elapsed = perf_counter() - started
+            if policy.writes:
+                entry = self.store(
+                    raw, result, decision, compute_seconds=elapsed, recorder=recorder
+                )
+            else:
+                entry = CacheEntry(
+                    key=raw,
+                    result=result,
+                    decision=decision,
+                    compute_seconds=elapsed,
+                    stored_at=time.time(),
+                )
+            self.flights.complete(raw, flight, entry)
+            return entry
+        except BaseException as exc:
+            self.flights.fail(raw, flight, exc)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Persist buffered disk writes; returns bytes written."""
+        if self.disk is None:
+            return 0
+        return self.disk.flush()
+
+    def purge(self, config_fingerprint: str | None = None) -> int:
+        """Drop entries (all, or only one parser configuration's); returns count."""
+        if config_fingerprint is None:
+            removed = len(self.memory)
+            self.memory.clear()
+            if self.disk is not None:
+                removed = max(removed, self.disk.purge())
+            return removed
+
+        def key_matches(raw: str) -> bool:
+            try:
+                return CacheKey.parse(raw).config_fingerprint == config_fingerprint
+            except ValueError:
+                return True  # malformed entries are purged too
+
+        memory_removed = self.memory.purge(key_matches)
+        if self.disk is not None:
+            # The disk tier is a superset of the memory tier, so its count
+            # is the authoritative one.
+            return self.disk.purge(
+                lambda payload: key_matches(str(payload.get("key", "")))
+            )
+        return memory_removed
+
+    def describe(self) -> dict[str, Any]:
+        """Inventory of the cache (the ``repro cache stats`` payload)."""
+        description: dict[str, Any] = {
+            "memory_entries": len(self.memory),
+            "memory_capacity": self.memory.max_entries,
+            "directory": None,
+            "entries": len(self.memory),
+            "shards": 0,
+            "bytes_on_disk": 0,
+            "corrupt_lines_skipped": 0,
+            "parsers": {},
+        }
+        if self.disk is None:
+            return description
+        parsers: dict[str, int] = {}
+        total = 0
+        for payload in self.disk.iter_entries():
+            total += 1
+            name = str(payload.get("result", {}).get("parser_name", "?"))
+            parsers[name] = parsers.get(name, 0) + 1
+        description.update(
+            {
+                "directory": str(self.disk.directory),
+                "entries": total,
+                "shards": len(self.disk.shard_paths()),
+                "bytes_on_disk": self.disk.bytes_on_disk(),
+                "corrupt_lines_skipped": self.disk.corrupt_lines_skipped,
+                "parsers": dict(sorted(parsers.items())),
+            }
+        )
+        return description
+
+
+# ---------------------------------------------------------------------- #
+# Pipeline adapter
+# ---------------------------------------------------------------------- #
+#: A pipeline batch worker: documents in, (results, decisions) out.
+BatchWorker = Callable[
+    [list[SciDocument]], tuple[list[ParseResult], list[RoutingDecision]]
+]
+
+
+def cached_batch_worker(
+    cache: ParseCache,
+    policy: CachePolicy | str,
+    config_fingerprint: str,
+    inner: BatchWorker,
+    recorder: CacheStatsRecorder | None = None,
+) -> BatchWorker:
+    """Wrap a batch worker with cache lookups and single-flight leases.
+
+    Per batch: documents whose key is cached are filled from the cache;
+    keys another worker is currently parsing are awaited (coalesced); the
+    remaining documents are parsed as **one** sub-batch through ``inner``
+    (so the engine's per-batch α budget applies to the documents that
+    actually run) and, policy permitting, stored.  Results are merged back
+    in the original document order, with per-document routing decisions
+    replayed from the cache for hits.
+    """
+    policy = CachePolicy.coerce(policy)
+    recorder = recorder or _NULL_RECORDER
+
+    def run_batch(
+        documents: list[SciDocument],
+    ) -> tuple[list[ParseResult], list[RoutingDecision]]:
+        n = len(documents)
+        entries: list[CacheEntry | None] = [None] * n
+        waits: list[tuple[int, Flight]] = []
+        owned: deque[tuple[int, str, Flight]] = deque()  # begun, not yet settled
+        owned_by_key: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []  # (slot, slot of owning occurrence)
+
+        # Any exception while we hold unsettled flights must fail them, or
+        # every other worker coalescing on those keys blocks forever.
+        try:
+            for i, document in enumerate(documents):
+                raw = str(parse_cache_key(document, config_fingerprint))
+                if policy.reads:
+                    entry = cache.lookup(raw, recorder)
+                    if entry is not None:
+                        entries[i] = entry
+                        continue
+                if raw in owned_by_key:
+                    # Same key twice in one batch: the first occurrence
+                    # parses, this one reuses its entry (waiting on our own
+                    # flight would deadlock).
+                    duplicates.append((i, owned_by_key[raw]))
+                    continue
+                owner, flight = cache.flights.begin(raw)
+                if not owner:
+                    waits.append((i, flight))
+                    continue
+                owned.append((i, raw, flight))
+                owned_by_key[raw] = i
+                if policy.reads:
+                    # Double-check: a previous owner may have completed (and
+                    # stored) between our miss and our taking ownership.
+                    entry = cache.lookup(raw, recorder)
+                    if entry is not None:
+                        owned.pop()
+                        del owned_by_key[raw]
+                        cache.flights.complete(raw, flight, entry)
+                        entries[i] = entry
+
+            # Parse everything this worker owns as a single sub-batch.
+            if owned:
+                sub_batch = [documents[i] for i, _, _ in owned]
+                started = perf_counter()
+                results, decisions = inner(sub_batch)
+                elapsed = perf_counter() - started
+                if len(results) != len(sub_batch):
+                    raise RuntimeError(
+                        f"batch worker returned {len(results)} results "
+                        f"for {len(sub_batch)} documents"
+                    )
+                per_doc_seconds = elapsed / len(sub_batch)
+                decision_by_doc = {d.doc_id: d for d in decisions}
+                for result in results:
+                    # Peek, settle, then pop: if store() raises (full disk,
+                    # I/O error) the flight is still in `owned` and the
+                    # handler below fails it for the waiters.
+                    i, raw, flight = owned[0]
+                    recorder.record_miss()
+                    decision = decision_by_doc.get(result.doc_id)
+                    if policy.writes:
+                        entry = cache.store(
+                            raw,
+                            result,
+                            decision,
+                            compute_seconds=per_doc_seconds,
+                            recorder=recorder,
+                        )
+                    else:
+                        entry = CacheEntry(
+                            key=raw,
+                            result=result,
+                            decision=decision,
+                            compute_seconds=per_doc_seconds,
+                            stored_at=time.time(),
+                        )
+                    entries[i] = entry
+                    owned.popleft()
+                    cache.flights.complete(raw, flight, entry)
+        except BaseException as exc:
+            while owned:
+                _, raw, flight = owned.popleft()
+                cache.flights.fail(raw, flight, exc)
+            raise
+
+        # Only after our own flights are settled do we wait on other
+        # workers' flights (settle-before-wait makes deadlock impossible).
+        for i, flight in waits:
+            entry = flight.wait()
+            recorder.record_coalesced(time_saved_seconds=entry.compute_seconds)
+            entries[i] = entry
+        for i, source in duplicates:
+            entry = entries[source]
+            assert entry is not None
+            recorder.record_coalesced(time_saved_seconds=entry.compute_seconds)
+            entries[i] = entry
+
+        results_out: list[ParseResult] = []
+        decisions_out: list[RoutingDecision] = []
+        for entry in entries:
+            assert entry is not None
+            results_out.append(entry.fresh_result())
+            if entry.decision is not None:
+                decisions_out.append(entry.decision)
+        return results_out, decisions_out
+
+    return run_batch

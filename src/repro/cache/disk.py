@@ -1,0 +1,263 @@
+"""The persistent tier: hash-prefix-sharded JSONL files.
+
+Layout: ``<directory>/shard-NNN.jsonl``, one JSON object per line, each
+carrying its full cache key.  The design choices are the ones that matter at
+scale:
+
+* **Sharding** — entries are distributed over ``n_shards`` files by the
+  content hash's prefix, so concurrent writers contend on different files
+  and a purge or compaction never rewrites more than one shard at a time.
+* **Atomic write-then-rename** — a shard is always rewritten to a
+  ``*.tmp-*`` sibling and moved into place with :func:`os.replace`; readers
+  never observe a half-written shard file.
+* **Corruption-tolerant reads** — a torn line (crash mid-write, truncated
+  copy) is skipped and counted, never fatal; the surviving entries remain
+  usable.  Leftover temporary files from a crashed writer are ignored and
+  cleaned up on the next flush.
+* **Merge-on-flush** — flushing re-reads the shard file and overlays this
+  store's writes (and tombstones) on top, so concurrent *processes*
+  sharing a directory are additive: each flush preserves entries the other
+  process landed since this store loaded the shard.  Races on the *same*
+  key remain last-writer-wins, which is harmless for a content-addressed
+  cache (both writers computed the same parse).
+
+Entries are kept as their serialised JSONL lines (bytes), so each entry is
+encoded exactly once per put and a flush is a plain join; reads parse on
+demand and the parsed objects are promoted into the memory tier above.
+
+Writes are buffered per shard and flushed either explicitly (the pipeline
+flushes once per run) or automatically every ``flush_every`` puts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".jsonl"
+
+
+class ShardedDiskStore:
+    """Durable key → JSON-payload map sharded over JSONL files."""
+
+    def __init__(
+        self, directory: str | Path, n_shards: int = 16, flush_every: int = 256
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if flush_every < 1:
+            raise ValueError("flush_every must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
+        self.flush_every = flush_every
+        self.corrupt_lines_skipped = 0
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+        # Per shard: loaded serialised lines by key (None until first touch),
+        # keys deleted since load (tombstones for merge-on-flush), dirty flag.
+        self._entries: list[dict[str, bytes] | None] = [None] * n_shards
+        self._deleted: list[set[str]] = [set() for _ in range(n_shards)]
+        self._dirty = [False] * n_shards
+        self._pending_puts = 0
+
+    # ------------------------------------------------------------------ #
+    # Shard files
+    # ------------------------------------------------------------------ #
+    def shard_path(self, index: int) -> Path:
+        return self.directory / f"{_SHARD_PREFIX}{index:03d}{_SHARD_SUFFIX}"
+
+    def shard_paths(self) -> list[Path]:
+        """Existing shard files (sorted; temporary files excluded)."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}")
+            if p.is_file()
+        )
+
+    def _parse_shard_file(self, index: int, count_corrupt: bool) -> dict[str, bytes]:
+        """Read one shard file, skipping torn or malformed lines."""
+        entries: dict[str, bytes] = {}
+        path = self.shard_path(index)
+        if not path.exists():
+            return entries
+        for line in path.read_bytes().split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                key = payload["key"]
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+                if count_corrupt:
+                    self.corrupt_lines_skipped += 1
+                continue
+            if not isinstance(payload, dict) or not isinstance(key, str):
+                if count_corrupt:
+                    self.corrupt_lines_skipped += 1
+                continue
+            # Later lines win: an append-style writer may have superseded
+            # an entry.
+            entries[key] = line
+        return entries
+
+    def _load_shard(self, index: int) -> dict[str, bytes]:
+        loaded = self._entries[index]
+        if loaded is None:
+            loaded = self._parse_shard_file(index, count_corrupt=True)
+            self._entries[index] = loaded
+        return loaded
+
+    def _write_shard(self, index: int) -> int:
+        """Atomically rewrite one shard (merge-on-flush); returns bytes written."""
+        entries = self._entries[index]
+        assert entries is not None
+        # Overlay our writes and tombstones on the *current* file contents,
+        # so entries another process flushed since our load survive.
+        merged = {
+            key: line
+            for key, line in self._parse_shard_file(index, count_corrupt=False).items()
+            if key not in self._deleted[index]
+        }
+        merged.update(entries)
+        self._entries[index] = merged
+        self._deleted[index].clear()
+        self._dirty[index] = False
+        path = self.shard_path(index)
+        if not merged:
+            path.unlink(missing_ok=True)
+            return 0
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        data = b"\n".join(merged.values()) + b"\n"
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return len(data)
+
+    def _sweep_temporaries(self) -> None:
+        # Only this process's own temporaries: another live process sharing
+        # the directory may be between fsync and rename on its tmp file.
+        # (A crashed process's stragglers are harmless — never read as
+        # shards — and reclaimed when a store with the same pid reuses the
+        # name or the operator purges.)
+        marker = f".tmp-{os.getpid()}-"
+        for stray in self.directory.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}.tmp-*"):
+            if marker in stray.name:
+                stray.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Key-value interface
+    # ------------------------------------------------------------------ #
+    def shard_index_for(self, key: str) -> int:
+        """Shard of a key string (first 8 hex chars of its content hash)."""
+        prefix = key[:8]
+        try:
+            value = int(prefix, 16)
+        except ValueError:
+            value = sum(ord(c) for c in prefix)
+        return value % self.n_shards
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        found = self.get_with_size(key)
+        return None if found is None else found[0]
+
+    def get_with_size(self, key: str) -> tuple[dict[str, Any], int] | None:
+        """The payload for ``key`` plus its serialised size in bytes."""
+        index = self.shard_index_for(key)
+        with self._locks[index]:
+            line = self._load_shard(index).get(key)
+        if line is None:
+            return None
+        return json.loads(line), len(line)
+
+    def put(self, key: str, payload: dict[str, Any]) -> int:
+        """Stage an entry; durable after the next :meth:`flush` (or auto-flush).
+
+        Returns the entry's serialised size in bytes (the line is encoded
+        exactly once, here).
+        """
+        line = json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        index = self.shard_index_for(key)
+        with self._locks[index]:
+            self._load_shard(index)[key] = line
+            self._deleted[index].discard(key)
+            self._dirty[index] = True
+            self._pending_puts += 1
+        if self._pending_puts >= self.flush_every:
+            self.flush()
+        return len(line)
+
+    def delete(self, key: str) -> bool:
+        index = self.shard_index_for(key)
+        with self._locks[index]:
+            removed = self._load_shard(index).pop(key, None) is not None
+            if removed:
+                self._deleted[index].add(key)
+                self._dirty[index] = True
+        return removed
+
+    def flush(self) -> int:
+        """Persist every dirty shard (write-then-rename); returns bytes written."""
+        written = 0
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                if self._dirty[index]:
+                    written += self._write_shard(index)
+        self._pending_puts = 0
+        self._sweep_temporaries()
+        return written
+
+    def purge(self, predicate: Callable[[dict[str, Any]], bool] | None = None) -> int:
+        """Drop entries matching ``predicate`` (all when ``None``); returns count.
+
+        Only shards that actually change are rewritten; a full purge removes
+        the shard files outright.
+        """
+        removed = 0
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                entries = self._load_shard(index)
+                if predicate is None:
+                    removed += len(entries)
+                    entries.clear()
+                    self._deleted[index].clear()
+                    self._dirty[index] = False
+                    self.shard_path(index).unlink(missing_ok=True)
+                    continue
+                doomed = [
+                    key for key, line in entries.items() if predicate(json.loads(line))
+                ]
+                for key in doomed:
+                    del entries[key]
+                    self._deleted[index].add(key)
+                removed += len(doomed)
+                if doomed or self._dirty[index]:
+                    self._dirty[index] = True
+                    self._write_shard(index)
+        self._sweep_temporaries()
+        return removed
+
+    def iter_entries(self) -> Iterator[dict[str, Any]]:
+        """Every persisted (and staged) entry across all shards."""
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                lines = list(self._load_shard(index).values())
+            for line in lines:
+                yield json.loads(line)
+
+    def __len__(self) -> int:
+        total = 0
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                total += len(self._load_shard(index))
+        return total
+
+    def bytes_on_disk(self) -> int:
+        return sum(p.stat().st_size for p in self.shard_paths())

@@ -1,0 +1,116 @@
+"""Content-addressed cache keys for parse results.
+
+A cache key answers one question: *would this parse produce byte-identical
+output to a parse we already paid for?*  In this reproduction a parse is a
+deterministic function of
+
+* the document's **content channels** — the embedded text layer (what
+  extraction parsers read), the image-layer degradations (what recognition
+  parsers read), and the ground-truth pages they are derived from;
+* the document's **identity** — ``doc_id`` and generation ``seed``, because
+  the simulated parsers draw their per-document noise from
+  ``rng_from(seed, "parser", name, doc_id)``; and
+* the parser's **configuration fingerprint** — name, version, cost model,
+  and for AdaParse engines the α budget, batch size, and trained model
+  weights (see :meth:`repro.parsers.base.Parser.config_fingerprint`).
+
+The content hash reuses the dataset-dedup hashing scheme
+(:func:`repro.datasets.dedup.content_fingerprint` over the normalised text,
+:func:`repro.utils.hashing.stable_hash` for the exact channels) rather than
+introducing a second one, so a document hashes consistently whether it is
+being deduplicated or cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.documents.document import SciDocument
+from repro.utils.hashing import stable_hash, stable_hash_hex
+
+
+#: Attribute the computed hash is memoised under on the document object.
+#: Hashing a document's full text dominates a warm cache pass, and document
+#: copies go through ``dataclasses.replace`` (fresh objects without the
+#: attribute), so per-object memoisation is safe for the library's idioms.
+_MEMO_ATTR = "_repro_cache_content_hash"
+
+
+def document_content_hash(document: SciDocument) -> str:
+    """Stable hex hash of everything a parse of ``document`` depends on.
+
+    Combines the dedup-normalised content fingerprint (so the cache and the
+    near-duplicate detector agree on what "same content" means) with the
+    exact per-page texts, layer qualities, image-layer degradations, and the
+    identity fields that seed the simulated parsers' noise channels.
+
+    The hash is memoised on the document instance; callers that mutate a
+    document's layers in place (rather than using ``with_text_layer`` /
+    ``with_image_layer``) should delete the ``_repro_cache_content_hash``
+    attribute to force a re-hash.
+    """
+    memoised = getattr(document, _MEMO_ATTR, None)
+    if memoised is not None:
+        return memoised
+    value = _compute_content_hash(document)
+    try:
+        setattr(document, _MEMO_ATTR, value)
+    except (AttributeError, TypeError):  # slotted/frozen document doubles
+        pass
+    return value
+
+
+def _compute_content_hash(document: SciDocument) -> str:
+    # Imported lazily: repro.datasets pulls in the assembly module (which
+    # builds on the pipeline, which builds on this cache); deferring the
+    # import keeps the module graph acyclic.
+    from repro.datasets.dedup import content_fingerprint
+
+    text = document.text_layer
+    image = document.image_layer
+    return stable_hash_hex(
+        "parse-content",
+        document.doc_id,
+        document.seed,
+        # Normalised fingerprint: ties the cache to the dedup hashing scheme.
+        content_fingerprint(text.text()),
+        # Exact channels: two texts that normalise alike still key apart.
+        stable_hash(*text.page_texts),
+        stable_hash(*(page.ground_truth_text() for page in document.pages)),
+        text.quality.value,
+        text.producer,
+        image.dpi,
+        image.rotation_deg,
+        image.blur_sigma,
+        image.contrast,
+        image.noise_level,
+        image.jpeg_quality,
+        image.is_scanned,
+    )
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One cache slot: (document content hash, parser config fingerprint)."""
+
+    content_hash: str
+    config_fingerprint: str
+
+    def __str__(self) -> str:
+        return f"{self.content_hash}:{self.config_fingerprint}"
+
+    @classmethod
+    def parse(cls, raw: str) -> "CacheKey":
+        """Rebuild a key from its ``str()`` form."""
+        content_hash, _, fingerprint = raw.partition(":")
+        if not content_hash or not fingerprint:
+            raise ValueError(f"malformed cache key {raw!r}")
+        return cls(content_hash=content_hash, config_fingerprint=fingerprint)
+
+
+def parse_cache_key(document: SciDocument, config_fingerprint: str) -> CacheKey:
+    """The cache key for parsing ``document`` under one parser configuration."""
+    return CacheKey(
+        content_hash=document_content_hash(document),
+        config_fingerprint=config_fingerprint,
+    )

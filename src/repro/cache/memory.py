@@ -1,0 +1,67 @@
+"""The in-memory tier: a bounded, thread-safe LRU map of cache entries."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+_V = TypeVar("_V")
+
+
+class LruTier(Generic[_V]):
+    """Bounded LRU mapping from cache-key strings to entries.
+
+    All operations take a single internal lock; the values themselves are
+    treated as immutable (the cache hands out copies, never the stored
+    object), so no further synchronisation is needed.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _V] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str) -> _V | None:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: str, value: _V) -> None:
+        """Insert or refresh ``key``, evicting the least recently used entry."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def purge(self, predicate) -> int:
+        """Drop entries whose *key* matches ``predicate``; returns the count."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

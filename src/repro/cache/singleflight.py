@@ -1,0 +1,79 @@
+"""Single-flight guard: concurrent requests for one key do the work once.
+
+When ``n_jobs`` pipeline workers miss the cache on the same key at the same
+time, only the first becomes the *owner* and computes; the rest block on the
+flight and receive the owner's result (or its exception).  This is the
+classic ``singleflight`` pattern from Go's groupcache, adapted to threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Flight:
+    """One in-progress computation that late arrivals can wait on."""
+
+    __slots__ = ("_event", "value", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+    def complete(self, value: Any) -> None:
+        self.value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until the owner finishes; re-raise its exception on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("single-flight wait timed out")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class SingleFlight:
+    """Registry of in-progress flights keyed by cache-key string."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, Flight] = {}
+
+    def begin(self, key: str) -> tuple[bool, Flight]:
+        """Join the flight for ``key``.
+
+        Returns ``(True, flight)`` when the caller became the owner and must
+        eventually call :meth:`complete` or :meth:`fail`, or ``(False,
+        flight)`` when another thread owns the computation and the caller
+        should :meth:`Flight.wait` on it.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return False, flight
+            flight = Flight()
+            self._flights[key] = flight
+            return True, flight
+
+    def complete(self, key: str, flight: Flight, value: Any) -> None:
+        """Publish the owner's result and retire the flight."""
+        with self._lock:
+            self._flights.pop(key, None)
+        flight.complete(value)
+
+    def fail(self, key: str, flight: Flight, error: BaseException) -> None:
+        """Propagate the owner's failure to all waiters and retire the flight."""
+        with self._lock:
+            self._flights.pop(key, None)
+        flight.fail(error)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)

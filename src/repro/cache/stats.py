@@ -1,0 +1,128 @@
+"""Cache telemetry: the ``CacheStats`` block carried by ``ParseReport``.
+
+Counters are accumulated through a thread-safe :class:`CacheStatsRecorder`
+(the pipeline's worker threads all report into one recorder per run) and
+snapshotted into an immutable-ish :class:`CacheStats` value for the report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """What the cache did during one pipeline run.
+
+    Attributes
+    ----------
+    hits:
+        Documents served from the cache (memory or disk tier).
+    misses:
+        Documents that had to be parsed.
+    coalesced:
+        Documents whose parse was deduplicated by the single-flight guard
+        (another worker was already parsing the same key).
+    stores:
+        Entries written to the cache.
+    bytes_read, bytes_written:
+        Serialised entry bytes moved from/to the disk tier.
+    time_saved_seconds:
+        Sum of the original wall-clock parse cost of every hit — the work
+        the cache avoided repeating.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    time_saved_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups the run issued against the cache."""
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without parsing (hits + coalesces)."""
+        if self.requests == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / self.requests
+
+    @property
+    def any_activity(self) -> bool:
+        """Whether the cache saw any traffic at all (False for policy off)."""
+        return self.requests > 0 or self.stores > 0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            coalesced=self.coalesced + other.coalesced,
+            stores=self.stores + other.stores,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            time_saved_seconds=self.time_saved_seconds + other.time_saved_seconds,
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "stores": self.stores,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "time_saved_seconds": self.time_saved_seconds,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "CacheStats":
+        return cls(
+            hits=int(payload.get("hits", 0)),
+            misses=int(payload.get("misses", 0)),
+            coalesced=int(payload.get("coalesced", 0)),
+            stores=int(payload.get("stores", 0)),
+            bytes_read=int(payload.get("bytes_read", 0)),
+            bytes_written=int(payload.get("bytes_written", 0)),
+            time_saved_seconds=float(payload.get("time_saved_seconds", 0.0)),
+        )
+
+
+class CacheStatsRecorder:
+    """Thread-safe accumulator the cache reports into during a run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def record_hit(self, time_saved_seconds: float = 0.0, bytes_read: int = 0) -> None:
+        with self._lock:
+            self._stats.hits += 1
+            self._stats.time_saved_seconds += time_saved_seconds
+            self._stats.bytes_read += bytes_read
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._stats.misses += 1
+
+    def record_coalesced(self, time_saved_seconds: float = 0.0) -> None:
+        with self._lock:
+            self._stats.coalesced += 1
+            self._stats.time_saved_seconds += time_saved_seconds
+
+    def record_store(self, bytes_written: int = 0) -> None:
+        with self._lock:
+            self._stats.stores += 1
+            self._stats.bytes_written += bytes_written
+
+    def snapshot(self) -> CacheStats:
+        """An independent copy of the counters so far."""
+        with self._lock:
+            return CacheStats(**vars(self._stats))

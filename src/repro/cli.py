@@ -26,6 +26,13 @@ Run the unified parsing pipeline and dump the ``ParseReport`` as JSON::
 
     adaparse-repro pipeline --documents 100 --parser pymupdf --jobs 4
 
+Warm the persistent parse cache, inspect it, and run against it::
+
+    adaparse-repro cache warm --dir /tmp/parse-cache --documents 200
+    adaparse-repro cache stats --dir /tmp/parse-cache
+    adaparse-repro pipeline --documents 200 --cache readwrite --cache-dir /tmp/parse-cache
+    adaparse-repro cache purge --dir /tmp/parse-cache
+
 Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
 
     adaparse-repro fill-experiments
@@ -118,12 +125,21 @@ def _cmd_alignment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cache(args: argparse.Namespace):
+    """A ParseCache over ``--cache-dir`` (or None for the pipeline default)."""
+    if getattr(args, "cache_dir", ""):
+        from repro.cache import ParseCache
+
+        return ParseCache(args.cache_dir)
+    return None
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
     from repro.documents.corpus import CorpusConfig, build_corpus
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline
 
-    pipeline = ParsePipeline()
+    pipeline = ParsePipeline(cache=_build_cache(args))
     corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
@@ -135,6 +151,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             quality_threshold=args.quality_threshold,
             min_tokens=args.min_tokens,
             n_jobs=args.jobs,
+            cache=args.cache,
         ),
         pipeline=pipeline,
     )
@@ -154,10 +171,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         alpha=args.alpha,
         n_jobs=args.jobs,
+        cache=args.cache,
     )
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-    report = ParsePipeline().run(request)
+    report = ParsePipeline(cache=_build_cache(args)).run(request)
     payload = report.to_json_dict(include_text=args.include_text)
     if args.output:
         path = Path(args.output)
@@ -167,6 +185,45 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print(json.dumps(report.summary(), indent=2))
     else:
         print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.cache import ParseCache
+
+    cache = ParseCache(args.dir)
+    print(json.dumps(cache.describe(), indent=2))
+    return 0
+
+
+def _cmd_cache_purge(args: argparse.Namespace) -> int:
+    from repro.cache import ParseCache
+
+    cache = ParseCache(args.dir)
+    removed = cache.purge(config_fingerprint=args.fingerprint or None)
+    scope = f"fingerprint {args.fingerprint}" if args.fingerprint else "all entries"
+    print(f"purged {removed} cache entr{'y' if removed == 1 else 'ies'} ({scope})")
+    return 0
+
+
+def _cmd_cache_warm(args: argparse.Namespace) -> int:
+    from repro.cache import ParseCache
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
+
+    if args.parser in ENGINE_VARIANTS:
+        print("training the AdaParse engine on a small corpus...", flush=True)
+    pipeline = ParsePipeline(cache=ParseCache(args.dir))
+    report = pipeline.run(
+        ParseRequest(
+            parser=args.parser,
+            n_documents=args.documents,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            cache="readwrite",
+        )
+    )
+    print(json.dumps(report.summary(), indent=2))
+    print(json.dumps(pipeline.cache.describe(), indent=2))
     return 0
 
 
@@ -235,6 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--quality-threshold", type=float, default=0.35)
     dataset.add_argument("--min-tokens", type=int, default=50)
     dataset.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    dataset.add_argument(
+        "--cache",
+        type=str,
+        default="off",
+        choices=["off", "read", "write", "readwrite"],
+        help="parse-result cache policy for the parse stage",
+    )
+    dataset.add_argument(
+        "--cache-dir", type=str, default="", help="persistent cache directory"
+    )
     dataset.set_defaults(func=_cmd_dataset)
 
     pipe = sub.add_parser(
@@ -255,7 +322,52 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--jobs", type=int, default=1, help="parse worker threads")
     pipe.add_argument("--include-text", action="store_true", help="embed page texts in the JSON")
     pipe.add_argument("--output", type=str, default="", help="write the report JSON here")
+    pipe.add_argument(
+        "--cache",
+        type=str,
+        default="off",
+        choices=["off", "read", "write", "readwrite"],
+        help="parse-result cache policy",
+    )
+    pipe.add_argument(
+        "--cache-dir", type=str, default="", help="persistent cache directory"
+    )
     pipe.set_defaults(func=_cmd_pipeline)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, purge, or warm the content-addressed parse cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser("stats", help="inventory of a cache directory")
+    cache_stats.add_argument("--dir", type=str, default=".parse-cache", help="cache directory")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+
+    cache_purge = cache_sub.add_parser("purge", help="drop cache entries")
+    cache_purge.add_argument("--dir", type=str, default=".parse-cache", help="cache directory")
+    cache_purge.add_argument(
+        "--fingerprint",
+        type=str,
+        default="",
+        help="only purge entries of one parser config fingerprint",
+    )
+    cache_purge.set_defaults(func=_cmd_cache_purge)
+
+    cache_warm = cache_sub.add_parser(
+        "warm", help="pre-populate a cache directory by parsing a corpus"
+    )
+    cache_warm.add_argument("--dir", type=str, default=".parse-cache", help="cache directory")
+    cache_warm.add_argument("--documents", type=int, default=100)
+    cache_warm.add_argument("--seed", type=int, default=2025)
+    cache_warm.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    cache_warm.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    cache_warm.set_defaults(func=_cmd_cache_warm)
 
     fill = sub.add_parser(
         "fill-experiments",

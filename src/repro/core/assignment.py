@@ -138,6 +138,26 @@ def _default_names(n_parsers: int, parser_names: Sequence[str] | None) -> list[s
 # Solvers
 # --------------------------------------------------------------------------- #
 
+#: Instances with at most this many candidate assignments are solved exactly
+#: by enumeration instead of heuristically: for tiny campaigns the optimum is
+#: cheaper than any clever approximation, and the heuristics' additive gap on
+#: adversarial tiny instances can otherwise be arbitrarily large.
+_EXACT_ENUMERATION_LIMIT = 4096
+
+
+def _exact_if_tiny(
+    accuracy: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    names: Sequence[str],
+) -> AssignmentPlan | None:
+    n_docs, n_parsers = accuracy.shape
+    if n_parsers**n_docs <= _EXACT_ENUMERATION_LIMIT:
+        return exhaustive_assignment(
+            accuracy, costs, budget, names, max_documents=max(n_docs, 1)
+        )
+    return None
+
 
 def _apply_greedy_upgrades(
     assignment: np.ndarray,
@@ -217,13 +237,17 @@ def greedy_assignment(
     of accuracy gain per additional cost until the budget is exhausted.  This
     is the textbook greedy for the LP relaxation of the multiple-choice
     knapsack; with two parsers of uniform cost it reduces exactly to the
-    paper's sort-by-improvement rule.
+    paper's sort-by-improvement rule.  Tiny instances (at most
+    ``_EXACT_ENUMERATION_LIMIT`` candidate assignments) are solved exactly.
     """
     accuracy, costs = _validate_matrices(accuracy, costs)
     names = _default_names(accuracy.shape[1], parser_names)
     n_docs = accuracy.shape[0]
     if n_docs == 0:
         return _plan_from_assignment(np.zeros(0, dtype=np.int64), accuracy, costs, budget, names)
+    exact = _exact_if_tiny(accuracy, costs, budget, names)
+    if exact is not None:
+        return exact
     assignment = _apply_greedy_upgrades(np.argmin(costs, axis=1), accuracy, costs, budget)
     return _plan_from_assignment(assignment, accuracy, costs, budget, names)
 
@@ -249,6 +273,9 @@ def lagrangian_assignment(
     n_docs = accuracy.shape[0]
     if n_docs == 0:
         return _plan_from_assignment(np.zeros(0, dtype=np.int64), accuracy, costs, budget, names)
+    exact = _exact_if_tiny(accuracy, costs, budget, names)
+    if exact is not None:
+        return exact
 
     def assign_for(lam: float) -> np.ndarray:
         scores = accuracy - lam * costs
@@ -314,7 +341,17 @@ def exhaustive_assignment(
         plan = _plan_from_assignment(assignment, accuracy, costs, budget, names)
         if not plan.feasible:
             continue
-        if not best_plan.feasible or plan.total_accuracy > best_plan.total_accuracy:
+        # Ties in accuracy break towards the cheaper plan, so the optimum
+        # never spends budget that buys nothing.
+        better = (
+            not best_plan.feasible
+            or plan.total_accuracy > best_plan.total_accuracy + 1e-12
+            or (
+                abs(plan.total_accuracy - best_plan.total_accuracy) <= 1e-12
+                and plan.total_cost < best_plan.total_cost - 1e-12
+            )
+        )
+        if better:
             best_plan = plan
     return best_plan
 

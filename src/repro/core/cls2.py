@@ -62,6 +62,31 @@ class ImprovementClassifier:
         self._fitted = True
         return self
 
+    def weights_fingerprint(self) -> str:
+        """Stable hex digest of the trained logistic-regression weights.
+
+        Part of the engine's cache fingerprint: retraining CLS II must
+        invalidate cached routing decisions.
+        """
+        from repro.utils.hashing import hash_buffers
+
+        buffers: list[bytes] = [b"improvement-classifier", str(self._fitted).encode()]
+        for name in ("weights", "bias"):
+            value = getattr(self.model, name, None)
+            if value is None:
+                buffers.append(f"{name}:none".encode("utf-8"))
+                continue
+            array = np.ascontiguousarray(value)
+            buffers.extend(
+                [
+                    name.encode("utf-8"),
+                    str(array.dtype).encode("utf-8"),
+                    str(array.shape).encode("utf-8"),
+                    array.tobytes(),
+                ]
+            )
+        return hash_buffers(*buffers)
+
     def improvement_probability(self, metadatas: list[DocumentMetadata]) -> np.ndarray:
         """Probability that another parser improves on the default, per document."""
         if not self._fitted:

@@ -54,6 +54,17 @@ class ParserSelector:
     def parser_names(self) -> list[str]:
         return list(self.predictor.parser_names)
 
+    def config_fingerprint(self) -> str:
+        """Stable fingerprint of the selection configuration and weights."""
+        from repro.utils.hashing import stable_hash_hex
+
+        return stable_hash_hex(
+            "parser-selector",
+            self.default_parser,
+            ",".join(self.candidate_parsers),
+            self.predictor.weights_fingerprint(),
+        )
+
     def predicted_accuracies(self, texts: list[str]) -> np.ndarray:
         """Predicted accuracy matrix restricted to the candidate parsers."""
         predictions = self.predictor.predict(texts)

@@ -218,6 +218,57 @@ class AdaParseEngine(Parser):
         return results, decisions
 
     # ------------------------------------------------------------------ #
+    # Fingerprinting
+    # ------------------------------------------------------------------ #
+    def config_fingerprint(self) -> str:
+        """Stable fingerprint of everything that shapes this engine's output.
+
+        Extends the base-parser fingerprint with the routing configuration
+        (α, batch size, margin, selection costs), the fingerprints of both
+        constituent parsers, the validator thresholds, and — when present —
+        the trained selector's model weights.  Cached entries therefore
+        invalidate when α changes, when either parser is upgraded, or when
+        the selector is retrained.
+        """
+        from dataclasses import astuple
+
+        from repro.utils.hashing import stable_hash_hex
+
+        cfg = self.config
+        selector = getattr(self, "selector", None)
+        selector_fp = (
+            selector.config_fingerprint()
+            if selector is not None and hasattr(selector, "config_fingerprint")
+            else type(self).__name__
+        )
+        improvement = self.improvement_classifier
+        if improvement is None:
+            improvement_fp = "none"
+        elif hasattr(improvement, "weights_fingerprint"):
+            improvement_fp = improvement.weights_fingerprint()
+        else:  # duck-typed doubles without trained weights
+            improvement_fp = type(improvement).__name__
+        return stable_hash_hex(
+            "adaparse-config",
+            type(self).__name__,
+            self.name,
+            self.version,
+            cfg.alpha,
+            cfg.batch_size,
+            cfg.default_parser,
+            cfg.high_quality_parser,
+            cfg.improvement_margin,
+            cfg.selection_cpu_seconds,
+            cfg.selection_gpu_seconds,
+            cfg.seed,
+            self.registry.get(cfg.default_parser).config_fingerprint(),
+            self.registry.get(cfg.high_quality_parser).config_fingerprint(),
+            *astuple(self.validator.config),
+            selector_fp,
+            improvement_fp,
+        )
+
+    # ------------------------------------------------------------------ #
     # Telemetry: returned by the new API, mirrored by a deprecated shim
     # ------------------------------------------------------------------ #
     @property

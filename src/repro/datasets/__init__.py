@@ -19,7 +19,13 @@ subpackage implements that final stage of the pipeline:
 """
 
 from repro.datasets.assembly import DatasetBuilder, DatasetBuildConfig, DatasetReport
-from repro.datasets.dedup import DedupReport, NearDuplicateDetector, exact_duplicate_groups
+from repro.datasets.dedup import (
+    DedupReport,
+    NearDuplicateDetector,
+    content_fingerprint,
+    exact_duplicate_groups,
+    normalize_for_dedup,
+)
 from repro.datasets.jsonl import JsonlShardManifest, ShardedJsonlWriter, read_jsonl, write_jsonl
 from repro.datasets.quality import (
     FilterDecision,
@@ -51,8 +57,10 @@ __all__ = [
     "ShardedJsonlWriter",
     "TokenAccount",
     "account_records",
+    "content_fingerprint",
     "exact_duplicate_groups",
     "goodput_table",
+    "normalize_for_dedup",
     "read_jsonl",
     "record_from_parse",
     "write_jsonl",

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cache import CachePolicy
+from repro.cache.stats import CacheStats, CacheStatsRecorder
 from repro.datasets.dedup import DedupReport, NearDuplicateDetector
 from repro.datasets.jsonl import JsonlShardManifest, ShardedJsonlWriter
 from repro.datasets.quality import FilterPipeline, FilterReport
@@ -55,6 +57,11 @@ class DatasetBuildConfig:
         estimate unless the caller provides predictions.
     n_jobs:
         Worker threads the parse stage fans batches out over.
+    cache:
+        Cache policy of the parse stage (``off``/``read``/``write``/
+        ``readwrite``).  With ``readwrite`` a rebuild over the same corpus
+        reuses every cached parse instead of re-running the parsers — the
+        cache lives on the builder's :class:`~repro.pipeline.ParsePipeline`.
     """
 
     output_dir: str | None = None
@@ -66,6 +73,7 @@ class DatasetBuildConfig:
     max_mb_per_shard: float = 64.0
     evaluate_against_ground_truth: bool = True
     n_jobs: int = 1
+    cache: str = "off"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.quality_threshold <= 1.0:
@@ -76,6 +84,7 @@ class DatasetBuildConfig:
             raise ValueError("dedup_similarity must lie in (0, 1]")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be positive")
+        CachePolicy.coerce(self.cache)  # raises on unknown policies
 
 
 @dataclass
@@ -90,6 +99,7 @@ class DatasetReport:
     final_records: list[ParsedRecord] = field(default_factory=list)
     token_account: TokenAccount = field(default_factory=TokenAccount)
     manifest: JsonlShardManifest | None = None
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     @property
     def n_final(self) -> int:
@@ -115,6 +125,7 @@ class DatasetReport:
             "duplicate_rate": round(self.dedup_report.duplicate_rate, 4),
             "tokens": self.token_account.as_dict(),
             "manifest": None if self.manifest is None else self.manifest.to_json_dict(),
+            "cache": self.cache_stats.to_json_dict() if self.cache_stats.any_activity else None,
         }
 
 
@@ -143,14 +154,20 @@ class DatasetBuilder:
     # ------------------------------------------------------------------ #
     # Record construction
     # ------------------------------------------------------------------ #
-    def _records_from_corpus(self, corpus: Corpus) -> list[ParsedRecord]:
+    def _records_from_corpus(
+        self, corpus: Corpus, cache_recorder: CacheStatsRecorder
+    ) -> list[ParsedRecord]:
         # Streamed: results arrive one α-budgeted batch at a time, so the
         # full ParseResult list is never materialised alongside the records.
         # The documents are materialised once so one-shot iterables cannot be
         # consumed by the parse stream and the pairing loop interleaved.
         documents = list(corpus)
         stream = self.pipeline.iter_parse(
-            self.parser, iter(documents), n_jobs=self.config.n_jobs
+            self.parser,
+            iter(documents),
+            n_jobs=self.config.n_jobs,
+            cache_policy=self.config.cache,
+            cache_recorder=cache_recorder,
         )
         records: list[ParsedRecord] = []
         for document, result in zip(documents, stream):
@@ -179,9 +196,20 @@ class DatasetBuilder:
     # Assembly
     # ------------------------------------------------------------------ #
     def build(self, corpus: Corpus) -> DatasetReport:
-        """Parse the corpus and assemble the dataset."""
-        records = self._records_from_corpus(corpus)
-        return self._assemble(records)
+        """Parse the corpus and assemble the dataset.
+
+        With ``config.cache != "off"`` the parse stage runs through the
+        pipeline's content-addressed cache, so rebuilding over an unchanged
+        corpus (tweaked filters, different shard sizes, …) skips parsing
+        entirely; the report's ``cache_stats`` records the reuse.
+        """
+        cache_recorder = CacheStatsRecorder()
+        records = self._records_from_corpus(corpus, cache_recorder)
+        if CachePolicy.coerce(self.config.cache).writes:
+            self.pipeline.cache.flush()
+        report = self._assemble(records)
+        report.cache_stats = cache_recorder.snapshot()
+        return report
 
     def _assemble(self, records: list[ParsedRecord]) -> DatasetReport:
         config = self.config

@@ -110,17 +110,21 @@ class NodeExecutor:
 
         def fetched() -> None:
             self.stats.archives_fetched += 1
-            self.local_store.stage(archive.size_mb)
-            self._dispatch_archive(archive)
+            # A refused staging (store full) must not be evicted later —
+            # that would release another archive's space and corrupt the
+            # capacity accounting the evict() over-eviction warning guards.
+            staged = self.local_store.stage(archive.size_mb)
+            self._dispatch_archive(archive, staged=staged)
             # Keep the prefetch pipeline full.
             self._fetch_next_archive()
 
         self.shared_fs.read(archive.size_mb, fetched)
 
-    def _dispatch_archive(self, archive: WorkArchive) -> None:
+    def _dispatch_archive(self, archive: WorkArchive, staged: bool = True) -> None:
         remaining = {"count": len(archive.tasks)}
         if not archive.tasks:
-            self.local_store.evict(archive.size_mb)
+            if staged:
+                self.local_store.evict(archive.size_mb)
             return
         for task in archive.tasks:
             self._outstanding_tasks += 1
@@ -129,7 +133,7 @@ class NodeExecutor:
                 self._outstanding_tasks -= 1
                 self.stats.finish_time = self.sim.now
                 remaining["count"] -= 1
-                if remaining["count"] == 0:
+                if remaining["count"] == 0 and staged:
                     self.local_store.evict(archive.size_mb)
                 self._maybe_finish()
 

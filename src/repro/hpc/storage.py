@@ -12,6 +12,7 @@ filesystem delivery, not compute, is the bottleneck.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -93,6 +94,11 @@ class SharedFilesystem:
         return self.bytes_read / self.sim.now
 
 
+#: Accounting slack (MB) below which an eviction overshoot is treated as
+#: floating-point drift from accumulated stage/evict arithmetic, not a bug.
+_EVICTION_TOLERANCE_MB = 1e-6
+
+
 class NodeLocalStore:
     """Node-local RAM staging area (bounded capacity, effectively instant I/O)."""
 
@@ -100,6 +106,7 @@ class NodeLocalStore:
         self.capacity_mb = capacity_mb
         self.used_mb = 0.0
         self.peak_mb = 0.0
+        self.evictions = 0
 
     def stage(self, size_mb: float) -> bool:
         """Reserve staging space; returns False when the store is full."""
@@ -109,6 +116,25 @@ class NodeLocalStore:
         self.peak_mb = max(self.peak_mb, self.used_mb)
         return True
 
-    def evict(self, size_mb: float) -> None:
-        """Release staged data once its documents are processed."""
-        self.used_mb = max(0.0, self.used_mb - size_mb)
+    def evict(self, size_mb: float) -> float:
+        """Release staged data once its documents are processed.
+
+        Returns the MB actually freed.  Asking to evict more than is staged
+        indicates an accounting bug upstream (e.g. evicting an archive whose
+        ``stage`` call was refused): the request is clamped to what is
+        staged, but loudly — a :class:`RuntimeWarning` is emitted instead of
+        silently zeroing the counter.
+        """
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        freed = min(size_mb, self.used_mb)
+        if size_mb > self.used_mb + _EVICTION_TOLERANCE_MB:
+            warnings.warn(
+                f"over-eviction: asked to evict {size_mb:.1f} MB with only "
+                f"{self.used_mb:.1f} MB staged (clamped to {freed:.1f} MB)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.used_mb -= freed
+        self.evictions += 1
+        return freed

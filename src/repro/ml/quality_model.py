@@ -74,6 +74,44 @@ class ParserQualityPredictor:
         self.history = TrainingHistory()
 
     # ------------------------------------------------------------------ #
+    # Fingerprinting
+    # ------------------------------------------------------------------ #
+    def weights_fingerprint(self) -> str:
+        """Stable hex digest of the model's trained weights.
+
+        Part of the engine's cache fingerprint: any change to the weights
+        (more training, a different seed, a loaded checkpoint) must
+        invalidate cached routing decisions.
+        """
+        from repro.utils.hashing import hash_buffers
+
+        arrays: list[tuple[str, np.ndarray]] = []
+        if self.backend == "fasttext":
+            assert self.fasttext is not None
+            arrays.extend(
+                [
+                    ("embeddings", self.fasttext.embeddings),
+                    ("head_weight", self.fasttext.head_weight),
+                    ("head_bias", self.fasttext.head_bias),
+                ]
+            )
+        else:
+            assert self.encoder is not None
+            for name, value in sorted(self.encoder.clone_parameters().items()):
+                arrays.append((name, value))
+            arrays.append(("head_weight", self.head_weight))
+            arrays.append(("head_bias", self.head_bias))
+        buffers: list[bytes] = [self.backend.encode("utf-8")]
+        buffers.append(",".join(self.parser_names).encode("utf-8"))
+        for name, value in arrays:
+            array = np.ascontiguousarray(value)
+            buffers.append(name.encode("utf-8"))
+            buffers.append(str(array.dtype).encode("utf-8"))
+            buffers.append(str(array.shape).encode("utf-8"))
+            buffers.append(array.tobytes())
+        return hash_buffers(*buffers)
+
+    # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
     def predict(self, texts: list[str]) -> np.ndarray:

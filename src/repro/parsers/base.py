@@ -44,6 +44,24 @@ class ResourceUsage:
             gpu_memory_mb=max(self.gpu_memory_mb, other.gpu_memory_mb),
         )
 
+    def to_json_dict(self) -> dict[str, float]:
+        """JSON view; the one serialisation shared by reports and the cache."""
+        return {
+            "cpu_seconds": self.cpu_seconds,
+            "gpu_seconds": self.gpu_seconds,
+            "cpu_memory_mb": self.cpu_memory_mb,
+            "gpu_memory_mb": self.gpu_memory_mb,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ResourceUsage":
+        return cls(
+            cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+            gpu_seconds=float(payload.get("gpu_seconds", 0.0)),
+            cpu_memory_mb=float(payload.get("cpu_memory_mb", 0.0)),
+            gpu_memory_mb=float(payload.get("gpu_memory_mb", 0.0)),
+        )
+
     @property
     def total_compute_seconds(self) -> float:
         """CPU plus GPU seconds (the scalar the budget constraint uses)."""
@@ -133,6 +151,28 @@ class ParseResult:
     def n_characters(self) -> int:
         return sum(len(t) for t in self.page_texts)
 
+    def to_json_dict(self) -> dict:
+        """Full-fidelity JSON view (page texts included; cache entry format)."""
+        return {
+            "parser_name": self.parser_name,
+            "doc_id": self.doc_id,
+            "page_texts": list(self.page_texts),
+            "usage": self.usage.to_json_dict(),
+            "succeeded": self.succeeded,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ParseResult":
+        return cls(
+            parser_name=payload["parser_name"],
+            doc_id=payload["doc_id"],
+            page_texts=list(payload.get("page_texts", [])),
+            usage=ResourceUsage.from_json_dict(payload.get("usage", {})),
+            succeeded=bool(payload.get("succeeded", True)),
+            error=payload.get("error"),
+        )
+
 
 class Parser(abc.ABC):
     """Abstract base class of all simulated parsers.
@@ -144,6 +184,9 @@ class Parser(abc.ABC):
 
     #: Unique parser name (used by the registry, tables, and seeds).
     name: str = "abstract"
+    #: Parser version, part of the cache-key fingerprint: bump it when the
+    #: parser's output for identical input changes.
+    version: str = "1.0"
     #: Static cost profile.
     cost: ParserCost = ParserCost()
 
@@ -226,6 +269,24 @@ class Parser(abc.ABC):
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def config_fingerprint(self) -> str:
+        """Stable fingerprint of everything that shapes this parser's output.
+
+        The parse cache keys entries by ``(document content hash, parser
+        config fingerprint)``, so the fingerprint must change whenever the
+        parser would produce different output for identical input: class,
+        name, :attr:`version`, and the cost model (whose variability drives
+        the simulated usage sampling).  Engines extend this with α, batch
+        size, and trained model weights.
+        """
+        from dataclasses import astuple
+
+        from repro.utils.hashing import stable_hash_hex
+
+        return stable_hash_hex(
+            "parser-config", type(self).__name__, self.name, self.version, *astuple(self.cost)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 

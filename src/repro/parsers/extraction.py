@@ -25,6 +25,7 @@ class PyMuPDFSim(Parser):
     """
 
     name = "pymupdf"
+    version = "1.24"
     cost = ParserCost(
         cpu_seconds_per_page=0.020,
         cpu_memory_mb=180.0,
@@ -58,6 +59,7 @@ class PyPDFSim(Parser):
     """
 
     name = "pypdf"
+    version = "4.2"
     cost = ParserCost(
         cpu_seconds_per_page=0.26,
         cpu_memory_mb=300.0,

@@ -38,6 +38,7 @@ class TesseractSim(Parser):
     """
 
     name = "tesseract"
+    version = "5.3"
     cost = ParserCost(
         cpu_seconds_per_page=1.35,
         cpu_memory_mb=650.0,
@@ -72,6 +73,7 @@ class GrobidSim(Parser):
     """
 
     name = "grobid"
+    version = "0.8"
     cost = ParserCost(
         cpu_seconds_per_page=0.55,
         cpu_memory_mb=2200.0,

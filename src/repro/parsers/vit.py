@@ -64,6 +64,7 @@ class NougatSim(Parser):
     """
 
     name = "nougat"
+    version = "0.1.17"
     cost = ParserCost(
         cpu_seconds_per_page=0.04,
         gpu_seconds_per_page=0.45,
@@ -111,6 +112,7 @@ class MarkerSim(Parser):
     """
 
     name = "marker"
+    version = "0.2"
     cost = ParserCost(
         cpu_seconds_per_page=0.35,
         gpu_seconds_per_page=0.85,

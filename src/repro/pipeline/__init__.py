@@ -24,13 +24,17 @@ backends) reach every consumer at once.
 
 from __future__ import annotations
 
+from repro.cache import CachePolicy, CacheStats, ParseCache
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, ENGINE_VARIANTS, ParsePipeline
 from repro.pipeline.report import ParseReport
 from repro.pipeline.request import ParseRequest, request_for_documents
 
 __all__ = [
+    "CachePolicy",
+    "CacheStats",
     "DEFAULT_BATCH_SIZE",
     "ENGINE_VARIANTS",
+    "ParseCache",
     "ParsePipeline",
     "ParseReport",
     "ParseRequest",

@@ -10,10 +10,14 @@ facade: a frozen :class:`~repro.pipeline.request.ParseRequest` goes in, a
 * applies per-request α/batch-size overrides without mutating shared
   engines,
 * streams documents through the parser in α-budgeted batches with a
-  bounded in-flight window (``iter_parse`` keeps memory O(batch)), and
+  bounded in-flight window (``iter_parse`` keeps memory O(batch)),
 * fans batches out over a thread pool (``n_jobs``) while preserving
   document order, which is safe because routing telemetry is a return
-  value and engines hold no mutable routing state.
+  value and engines hold no mutable routing state, and
+* consults the content-addressed :class:`repro.cache.ParseCache` when the
+  request carries a cache policy: hits are replayed, misses are parsed
+  once (single-flighted across workers) and optionally stored, and the
+  report's :class:`~repro.cache.CacheStats` block records what happened.
 """
 
 from __future__ import annotations
@@ -24,6 +28,13 @@ from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.cache import (
+    CachePolicy,
+    CacheStats,
+    CacheStatsRecorder,
+    ParseCache,
+    cached_batch_worker,
+)
 from repro.core.engine import AdaParseEngine, RoutingDecision, build_default_engine
 from repro.documents.corpus import build_corpus
 from repro.documents.document import SciDocument
@@ -89,15 +100,22 @@ class ParsePipeline:
         Pre-built engines by name (e.g. ``{"adaparse_ft": engine}``).
         Unknown ``adaparse_*`` names are trained on demand via
         :func:`~repro.core.engine.build_default_engine` and cached here.
+    cache:
+        Parse-result cache consulted when a request carries a cache policy.
+        Pass a :class:`repro.cache.ParseCache` with a directory for
+        cross-process persistence; when omitted, a memory-only cache is
+        created on first cached run.
     """
 
     def __init__(
         self,
         registry: ParserRegistry | None = None,
         engines: dict[str, Parser] | None = None,
+        cache: ParseCache | None = None,
     ) -> None:
         self._registry = registry
         self.engines: dict[str, Parser] = dict(engines or {})
+        self._cache = cache
 
     @property
     def registry(self) -> ParserRegistry:
@@ -105,6 +123,13 @@ class ParsePipeline:
         if self._registry is None:
             self._registry = default_registry()
         return self._registry
+
+    @property
+    def cache(self) -> ParseCache:
+        """The parse cache (a memory-only one is constructed on first use)."""
+        if self._cache is None:
+            self._cache = ParseCache()
+        return self._cache
 
     # ------------------------------------------------------------------ #
     # Resolution
@@ -147,26 +172,45 @@ class ParsePipeline:
     # ------------------------------------------------------------------ #
     # Streaming execution
     # ------------------------------------------------------------------ #
+    def _batch_worker(
+        self,
+        resolved: Parser,
+        cache_policy: CachePolicy,
+        cache_recorder: CacheStatsRecorder | None,
+    ) -> Callable[[list[SciDocument]], BatchOutput]:
+        """The per-batch worker, cache-wrapped when the policy asks for it."""
+        if isinstance(resolved, AdaParseEngine):
+            worker: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
+        else:
+
+            def worker(batch: list[SciDocument], _parser: Parser = resolved) -> BatchOutput:
+                return _parser.parse_with_telemetry(batch)
+
+        if cache_policy is CachePolicy.OFF:
+            return worker
+        return cached_batch_worker(
+            self.cache,
+            cache_policy,
+            resolved.config_fingerprint(),
+            worker,
+            recorder=cache_recorder,
+        )
+
     def _execute_batches(
         self,
         resolved: Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None,
         n_jobs: int,
+        cache_policy: CachePolicy = CachePolicy.OFF,
+        cache_recorder: CacheStatsRecorder | None = None,
     ) -> Iterator[BatchOutput]:
         """Run an already-resolved parser over batched documents."""
         if isinstance(resolved, AdaParseEngine):
-            if n_jobs <= 1:
-                yield from resolved.parse_batches(documents, batch_size)
-                return
             size = batch_size or resolved.config.batch_size
-            worker: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
         else:
             size = batch_size or DEFAULT_BATCH_SIZE
-
-            def worker(batch: list[SciDocument], _parser: Parser = resolved) -> BatchOutput:
-                return _parser.parse_with_telemetry(batch)
-
+        worker = self._batch_worker(resolved, cache_policy, cache_recorder)
         yield from _ordered_map(worker, chunked(documents, size), n_jobs)
 
     def parse_batches(
@@ -175,15 +219,25 @@ class ParsePipeline:
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
         n_jobs: int = 1,
+        cache_policy: CachePolicy | str = CachePolicy.OFF,
+        cache_recorder: CacheStatsRecorder | None = None,
     ) -> Iterator[BatchOutput]:
         """Stream ``(results, decisions)`` per batch, optionally thread-pooled.
 
         Batches are routed independently (the α cap applies within each) and
         yielded in document order; with ``n_jobs > 1`` up to ``2 * n_jobs``
-        batches are in flight at once.
+        batches are in flight at once.  With a cache policy other than
+        ``off``, cached documents are replayed and only the misses are
+        parsed (the α cap then applies to the sub-batch that actually runs);
+        pass a :class:`~repro.cache.CacheStatsRecorder` to observe hits.
         """
         yield from self._execute_batches(
-            self.resolve_parser(parser), documents, batch_size, n_jobs
+            self.resolve_parser(parser),
+            documents,
+            batch_size,
+            n_jobs,
+            cache_policy=CachePolicy.coerce(cache_policy),
+            cache_recorder=cache_recorder,
         )
 
     def iter_parse(
@@ -192,9 +246,18 @@ class ParsePipeline:
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
         n_jobs: int = 1,
+        cache_policy: CachePolicy | str = CachePolicy.OFF,
+        cache_recorder: CacheStatsRecorder | None = None,
     ) -> Iterator[ParseResult]:
         """Stream parse results in document order with O(batch) memory."""
-        for results, _ in self.parse_batches(parser, documents, batch_size, n_jobs):
+        for results, _ in self.parse_batches(
+            parser,
+            documents,
+            batch_size,
+            n_jobs,
+            cache_policy=cache_policy,
+            cache_recorder=cache_recorder,
+        ):
             yield from results
 
     def parse_with_telemetry(
@@ -203,6 +266,8 @@ class ParsePipeline:
         documents: Sequence[SciDocument],
         batch_size: int | None = None,
         n_jobs: int = 1,
+        cache_policy: CachePolicy | str = CachePolicy.OFF,
+        cache_recorder: CacheStatsRecorder | None = None,
     ) -> tuple[list[ParseResult], list[RoutingDecision]]:
         """Parse a collection, returning results plus routing telemetry.
 
@@ -215,7 +280,12 @@ class ParsePipeline:
         results: list[ParseResult] = []
         decisions: list[RoutingDecision] = []
         for batch_results, batch_decisions in self._execute_batches(
-            resolved, documents, batch_size, n_jobs
+            resolved,
+            documents,
+            batch_size,
+            n_jobs,
+            cache_policy=CachePolicy.coerce(cache_policy),
+            cache_recorder=cache_recorder,
         ):
             results.extend(batch_results)
             decisions.extend(batch_decisions)
@@ -230,10 +300,23 @@ class ParsePipeline:
         """Execute a request end to end and report what happened."""
         parser = self.resolve_parser(request.parser, alpha=request.alpha)
         documents = self.resolve_documents(request)
+        cache_policy = request.cache_policy
+        cache_recorder = (
+            CacheStatsRecorder() if cache_policy is not CachePolicy.OFF else None
+        )
         started = perf_counter()
         results, decisions = self.parse_with_telemetry(
-            parser, documents, batch_size=request.batch_size, n_jobs=request.n_jobs
+            parser,
+            documents,
+            batch_size=request.batch_size,
+            n_jobs=request.n_jobs,
+            cache_policy=cache_policy,
+            cache_recorder=cache_recorder,
         )
+        if cache_policy.writes:
+            # Make the run durable before reporting it: buffered shard
+            # writes land with atomic write-then-rename.
+            self.cache.flush()
         wall_time = perf_counter() - started
         if request.alpha is not None:
             # The α override ran on a throwaway sibling; legacy readers hold
@@ -252,4 +335,5 @@ class ParsePipeline:
             decisions=decisions,
             usage=usage,
             wall_time_seconds=wall_time,
+            cache=cache_recorder.snapshot() if cache_recorder is not None else CacheStats(),
         )

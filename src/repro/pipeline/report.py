@@ -12,27 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cache.stats import CacheStats
 from repro.core.engine import RoutingDecision, RoutingSummary
 from repro.parsers.base import ParseResult, ResourceUsage
 from repro.pipeline.request import ParseRequest
-
-
-def _usage_to_json(usage: ResourceUsage) -> dict[str, float]:
-    return {
-        "cpu_seconds": usage.cpu_seconds,
-        "gpu_seconds": usage.gpu_seconds,
-        "cpu_memory_mb": usage.cpu_memory_mb,
-        "gpu_memory_mb": usage.gpu_memory_mb,
-    }
-
-
-def _usage_from_json(payload: dict[str, Any]) -> ResourceUsage:
-    return ResourceUsage(
-        cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
-        gpu_seconds=float(payload.get("gpu_seconds", 0.0)),
-        cpu_memory_mb=float(payload.get("cpu_memory_mb", 0.0)),
-        gpu_memory_mb=float(payload.get("gpu_memory_mb", 0.0)),
-    )
 
 
 @dataclass
@@ -71,6 +54,8 @@ class ParseReport:
     decisions: list[RoutingDecision] = field(default_factory=list)
     usage: ResourceUsage = field(default_factory=ResourceUsage)
     wall_time_seconds: float = 0.0
+    #: What the parse cache did during this run (all zeros for policy off).
+    cache: CacheStats = field(default_factory=CacheStats)
 
     # ------------------------------------------------------------------ #
     # Headline numbers
@@ -111,6 +96,7 @@ class ParseReport:
             "gpu_seconds": round(self.usage.gpu_seconds, 4),
             "fraction_routed": round(self.fraction_routed(), 4),
             "routing_stages": self.counts_by_stage(),
+            "cache": self.cache.to_json_dict() if self.cache.any_activity else None,
         }
 
     # ------------------------------------------------------------------ #
@@ -132,7 +118,7 @@ class ParseReport:
                 "n_characters": result.n_characters,
                 "succeeded": result.succeeded,
                 "error": result.error,
-                "usage": _usage_to_json(result.usage),
+                "usage": result.usage.to_json_dict(),
             }
             if include_text:
                 entry["page_texts"] = list(result.page_texts)
@@ -142,7 +128,8 @@ class ParseReport:
             "parser": self.parser_name,
             "n_documents": self.n_documents,
             "wall_time_seconds": self.wall_time_seconds,
-            "usage": _usage_to_json(self.usage),
+            "usage": self.usage.to_json_dict(),
+            "cache": self.cache.to_json_dict(),
             "summary": self.summary(),
             "decisions": [
                 {
@@ -171,7 +158,7 @@ class ParseReport:
                 parser_name=entry["parser_name"],
                 doc_id=entry["doc_id"],
                 page_texts=list(entry.get("page_texts", [])),
-                usage=_usage_from_json(entry.get("usage", {})),
+                usage=ResourceUsage.from_json_dict(entry.get("usage", {})),
                 succeeded=bool(entry.get("succeeded", True)),
                 error=entry.get("error"),
                 stored_n_pages=entry.get("n_pages"),
@@ -194,6 +181,7 @@ class ParseReport:
             n_documents=int(payload["n_documents"]),
             results=results,
             decisions=decisions,
-            usage=_usage_from_json(payload.get("usage", {})),
+            usage=ResourceUsage.from_json_dict(payload.get("usage", {})),
             wall_time_seconds=float(payload.get("wall_time_seconds", 0.0)),
+            cache=CacheStats.from_json_dict(payload.get("cache", {})),
         )

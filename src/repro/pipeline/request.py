@@ -46,6 +46,11 @@ class ParseRequest:
     seed:
         Corpus seed used by the ``n_documents`` shortcut (and recorded for
         provenance either way).
+    cache:
+        Cache policy for this run: ``"off"`` (default), ``"read"``,
+        ``"write"``, or ``"readwrite"`` — see
+        :class:`repro.cache.CachePolicy`.  Requires the pipeline to carry a
+        :class:`repro.cache.ParseCache` (one is created on demand).
     """
 
     parser: str = "pymupdf"
@@ -56,6 +61,7 @@ class ParseRequest:
     batch_size: int | None = None
     alpha: float | None = None
     n_jobs: int = 1
+    cache: str = "off"
     #: Provenance of an explicit document collection.  Derived from
     #: ``documents`` when present; carried alone after a JSON round trip, in
     #: which case the request is inspectable but refuses to replay (the
@@ -87,6 +93,20 @@ class ParseRequest:
             raise ValueError("batch_size must be positive")
         if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must lie in [0, 1]")
+        # Accept a CachePolicy enum member (a str subclass) or a plain
+        # string; validate through the enum (the single source of truth for
+        # the policy set) but store the plain value so the request stays
+        # JSON-trivial.  Imported here to keep the module graph acyclic.
+        from repro.cache import CachePolicy
+
+        object.__setattr__(self, "cache", CachePolicy.coerce(self.cache).value)
+
+    @property
+    def cache_policy(self):
+        """The request's cache policy as a :class:`repro.cache.CachePolicy`."""
+        from repro.cache import CachePolicy
+
+        return CachePolicy(self.cache)
 
     # ------------------------------------------------------------------ #
     # Document source resolution
@@ -127,6 +147,7 @@ class ParseRequest:
             "batch_size": self.batch_size,
             "alpha": self.alpha,
             "n_jobs": self.n_jobs,
+            "cache": self.cache,
             "corpus": None,
             "doc_ids": None,
         }
@@ -169,6 +190,7 @@ class ParseRequest:
             batch_size=payload.get("batch_size"),
             alpha=payload.get("alpha"),
             n_jobs=payload.get("n_jobs", 1),
+            cache=payload.get("cache", "off"),
             doc_ids=None if doc_ids is None else tuple(doc_ids),
         )
 

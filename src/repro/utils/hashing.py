@@ -40,6 +40,24 @@ def stable_hash(*parts: object, digest_size: int = 8) -> int:
     return stable_hash_bytes(*encoded, digest_size=digest_size)
 
 
+def stable_hash_hex(*parts: object, digest_size: int = 16) -> str:
+    """Hash arbitrary (stringifiable) objects into a fixed-width hex string.
+
+    The hex form is what cache keys and config fingerprints are built from:
+    it is filesystem- and JSON-friendly and sorts lexicographically.
+    """
+    return format(stable_hash(*parts, digest_size=digest_size), f"0{digest_size * 2}x")
+
+
+def hash_buffers(*buffers: bytes, digest_size: int = 16) -> str:
+    """Hex digest over raw byte buffers (e.g. numpy array ``tobytes()``).
+
+    Used to fingerprint trained model weights: pass each array's dtype/shape
+    as part of the surrounding context and its contiguous bytes here.
+    """
+    return format(stable_hash_bytes(*buffers, digest_size=digest_size), f"0{digest_size * 2}x")
+
+
 def bucket(key: object, n_buckets: int, salt: str = "") -> int:
     """Deterministically map ``key`` to a bucket in ``[0, n_buckets)``."""
     if n_buckets <= 0:

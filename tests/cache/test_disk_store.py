@@ -1,0 +1,123 @@
+"""The sharded JSONL disk backend: atomicity and corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.disk import ShardedDiskStore
+
+
+def _payload(key: str, value: str = "v") -> dict:
+    return {"key": key, "value": value}
+
+
+class TestShardedDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=4)
+        for i in range(20):
+            store.put(f"{i:08x}:fp", _payload(f"{i:08x}:fp", f"v{i}"))
+        store.flush()
+        reopened = ShardedDiskStore(tmp_path, n_shards=4)
+        for i in range(20):
+            assert reopened.get(f"{i:08x}:fp") == _payload(f"{i:08x}:fp", f"v{i}")
+        assert len(reopened) == 20
+
+    def test_entries_spread_over_shards(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=4)
+        for i in range(64):
+            store.put(f"{i * 2654435761 % 2**32:08x}:fp", _payload("x"))
+        store.flush()
+        assert len(store.shard_paths()) > 1
+
+    def test_no_temporary_files_survive_flush(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=2)
+        store.put("00000000:fp", _payload("00000000:fp"))
+        store.flush()
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_unflushed_put_still_readable(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=2)
+        store.put("00000000:fp", _payload("00000000:fp"))
+        assert store.get("00000000:fp") is not None
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=1)
+        store.put("00000001:fp", _payload("00000001:fp", "keep"))
+        store.put("00000002:fp", _payload("00000002:fp", "keep-too"))
+        store.flush()
+        path = store.shard_paths()[0]
+        # Simulate a crash mid-write: append half a JSON line.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "00000003:fp", "value": "tor')
+        reopened = ShardedDiskStore(tmp_path, n_shards=1)
+        assert reopened.get("00000001:fp")["value"] == "keep"
+        assert reopened.get("00000002:fp")["value"] == "keep-too"
+        assert reopened.get("00000003:fp") is None
+        assert reopened.corrupt_lines_skipped == 1
+
+    def test_garbage_and_schema_violations_skipped(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=1)
+        store.put("00000001:fp", _payload("00000001:fp"))
+        store.flush()
+        path = store.shard_paths()[0]
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\x00\xfengarbage\n")
+            handle.write(json.dumps(["not", "an", "object"]) + "\n")
+            handle.write(json.dumps({"no_key_field": 1}) + "\n")
+        reopened = ShardedDiskStore(tmp_path, n_shards=1)
+        assert reopened.get("00000001:fp") is not None
+        assert len(reopened) == 1
+        assert reopened.corrupt_lines_skipped == 3
+
+    def test_later_duplicate_line_wins(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=1)
+        store.put("00000001:fp", _payload("00000001:fp", "old"))
+        store.flush()
+        path = store.shard_paths()[0]
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_payload("00000001:fp", "new")) + "\n")
+        reopened = ShardedDiskStore(tmp_path, n_shards=1)
+        assert reopened.get("00000001:fp")["value"] == "new"
+
+    def test_stray_temporaries_ignored_and_own_ones_swept(self, tmp_path):
+        import os
+        import threading
+
+        store = ShardedDiskStore(tmp_path, n_shards=1)
+        store.put("00000001:fp", _payload("00000001:fp"))
+        store.flush()
+        # A foreign process's in-progress temporary must never be touched
+        # (it may be between fsync and rename); our own stragglers are swept.
+        foreign = tmp_path / "shard-000.jsonl.tmp-999-999"
+        foreign.write_text("half-written", encoding="utf-8")
+        own = tmp_path / (
+            f"shard-000.jsonl.tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        own.write_text("ours", encoding="utf-8")
+        reopened = ShardedDiskStore(tmp_path, n_shards=1)
+        assert len(reopened) == 1  # strays are not read as shards
+        reopened.put("00000002:fp", _payload("00000002:fp"))
+        reopened.flush()
+        assert foreign.exists()
+        assert not own.exists()
+
+    def test_delete_and_purge(self, tmp_path):
+        store = ShardedDiskStore(tmp_path, n_shards=2)
+        for i in range(6):
+            store.put(f"{i:08x}:fp", _payload(f"{i:08x}:fp"))
+        store.flush()
+        assert store.delete("00000000:fp")
+        assert not store.delete("00000000:fp")
+        removed = store.purge(lambda payload: payload["key"].startswith("000000"))
+        assert removed == 5
+        assert len(store) == 0
+        # Empty shards are removed from disk.
+        assert store.shard_paths() == []
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedDiskStore(tmp_path, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedDiskStore(tmp_path, flush_every=0)

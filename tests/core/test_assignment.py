@@ -94,6 +94,15 @@ class TestGreedyAssignment:
         assert not plan.feasible
         assert plan.chosen_parsers() == ["parser-0"] * 3
 
+    def test_accuracy_tie_breaks_to_cheaper_parser(self):
+        # Two parsers with identical accuracy: spending more buys nothing,
+        # so the (exact, tiny-instance) plan must pick the cheaper one.
+        accuracy = np.array([[0.9, 0.9, 0.5]])
+        costs = np.array([[100.0, 50.0, 1.0]])
+        plan = greedy_assignment(accuracy, costs, budget=200.0)
+        assert plan.chosen_parsers() == ["parser-1"]
+        assert plan.total_cost == pytest.approx(50.0)
+
     def test_free_upgrade_taken(self):
         # Second parser is both better and no more expensive.
         accuracy = np.array([[0.2, 0.9]])
@@ -166,6 +175,31 @@ class TestAgainstExhaustiveOracle:
         # And never beat it (sanity of the oracle).
         assert greedy.total_accuracy <= optimum.total_accuracy + 1e-9
         assert lagrangian.total_accuracy <= optimum.total_accuracy + 1e-9
+
+    def test_heuristic_paths_with_exact_shortcut_disabled(self, monkeypatch):
+        """The heuristics themselves (not the tiny-instance exact shortcut)
+        must keep their invariants: feasibility, budget respect, never beating
+        the oracle, and never doing worse than the all-cheapest baseline."""
+        from repro.core import assignment as assignment_module
+
+        monkeypatch.setattr(assignment_module, "_EXACT_ENUMERATION_LIMIT", 0)
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            n_docs = int(rng.integers(1, 6))
+            n_parsers = int(rng.integers(2, 4))
+            accuracy = rng.uniform(0.0, 1.0, size=(n_docs, n_parsers))
+            costs = rng.uniform(0.1, 5.0, size=(n_docs, n_parsers))
+            min_cost = costs.min(axis=1).sum()
+            max_cost = costs.max(axis=1).sum()
+            budget = min_cost + float(rng.uniform(0.1, 1.2)) * (max_cost - min_cost)
+            optimum = exhaustive_assignment(accuracy, costs, budget)
+            baseline = accuracy[np.arange(n_docs), np.argmin(costs, axis=1)].sum()
+            for solver in (greedy_assignment, lagrangian_assignment):
+                plan = solver(accuracy, costs, budget)
+                assert plan.feasible
+                assert plan.total_cost <= budget + 1e-9
+                assert plan.total_accuracy <= optimum.total_accuracy + 1e-9
+                assert plan.total_accuracy >= baseline - 1e-9
 
     def test_exhaustive_guard_on_problem_size(self):
         with pytest.raises(ValueError, match="limited"):

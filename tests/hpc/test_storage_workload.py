@@ -57,6 +57,28 @@ class TestNodeLocalStore:
         assert store.stage(60)
         assert store.peak_mb == pytest.approx(90)
 
+    def test_evict_returns_freed_and_counts(self):
+        store = NodeLocalStore(capacity_mb=100)
+        store.stage(50)
+        assert store.evict(20) == pytest.approx(20)
+        assert store.evict(30) == pytest.approx(30)
+        assert store.evictions == 2
+        assert store.used_mb == pytest.approx(0.0)
+
+    def test_over_eviction_warns_instead_of_silently_clamping(self):
+        store = NodeLocalStore(capacity_mb=100)
+        store.stage(10)
+        with pytest.warns(RuntimeWarning, match="over-eviction"):
+            freed = store.evict(25)
+        assert freed == pytest.approx(10)
+        assert store.used_mb == pytest.approx(0.0)
+        assert store.evictions == 1
+
+    def test_negative_eviction_rejected(self):
+        store = NodeLocalStore(capacity_mb=100)
+        with pytest.raises(ValueError):
+            store.evict(-1)
+
 
 class TestWorkloadModel:
     def test_tasks_for_parser(self, registry):
