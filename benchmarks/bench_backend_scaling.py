@@ -1,0 +1,140 @@
+"""Benchmark: execution-backend scaling — serial vs thread vs process.
+
+Runs one corpus through the same ``ParsePipeline`` on three backends and
+compares wall-clock throughput.  The workload is an I/O-flavoured parser
+(a per-document ``time.sleep``, standing in for disk/network-bound PDF
+reads, which releases the GIL) so the thread backend has real headroom:
+the suite asserts **thread ≥ 1.5× serial at ``n_jobs=4``**.  The process
+backend is measured alongside (no floor asserted — fork/pickle overhead
+dominates at smoke scale).
+
+Run under pytest (records a measured table for ``fill-experiments``)::
+
+    pytest benchmarks/bench_backend_scaling.py --benchmark-only
+
+or as a standalone script (the CI smoke invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --documents 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from time import perf_counter
+
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.base import Parser, ParserCost
+from repro.pipeline import ParsePipeline, request_for_documents
+
+N_DOCUMENTS = int(os.environ.get("REPRO_BENCH_BACKEND_DOCS", 48))
+SLEEP_SECONDS = float(os.environ.get("REPRO_BENCH_BACKEND_SLEEP", 0.02))
+BATCH_SIZE = 4
+N_JOBS = 4
+THREAD_SPEEDUP_FLOOR = 1.5
+
+
+class SleepyParser(Parser):
+    """I/O-flavoured parser double: each document blocks off-GIL briefly.
+
+    Module-level (and stateless beyond configuration) so the process
+    backend can pickle it to worker processes.
+    """
+
+    name = "sleepy"
+    version = "1.0"
+    cost = ParserCost(cpu_seconds_per_page=0.01)
+
+    def __init__(self, sleep_seconds: float = SLEEP_SECONDS) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def _parse_pages(self, document, rng):
+        time.sleep(self.sleep_seconds)
+        return [f"{document.doc_id}:page-{i}" for i in range(document.n_pages)]
+
+
+def run_backend_scaling(
+    n_documents: int = N_DOCUMENTS, sleep_seconds: float = SLEEP_SECONDS
+) -> list[dict[str, object]]:
+    """Measure every backend over one corpus; returns one row per backend."""
+    corpus = build_corpus(
+        CorpusConfig(n_documents=n_documents, seed=91, min_pages=1, max_pages=2)
+    )
+    documents = list(corpus)
+    parser = SleepyParser(sleep_seconds)
+    pipeline = ParsePipeline()
+    cases = [
+        ("serial", "serial", {}),
+        ("thread", "thread", {"n_jobs": N_JOBS}),
+        ("process", "process", {"n_jobs": N_JOBS}),
+    ]
+    rows: list[dict[str, object]] = []
+    baseline_text: list[str] | None = None
+    serial_seconds = 0.0
+    for label, backend, options in cases:
+        started = perf_counter()
+        report = pipeline.run(
+            request_for_documents(
+                parser, documents, batch_size=BATCH_SIZE,
+                backend=backend, backend_options=options,
+            )
+        )
+        elapsed = perf_counter() - started
+        texts = [r.text for r in report.results]
+        if baseline_text is None:
+            baseline_text = texts
+            serial_seconds = elapsed
+        else:
+            assert texts == baseline_text, f"{label} output diverged from serial"
+        rows.append(
+            {
+                "backend": label,
+                "workers": report.execution.workers,
+                "docs/s": n_documents / elapsed if elapsed > 0 else float("inf"),
+                "speedup vs serial": serial_seconds / elapsed if elapsed > 0 else float("inf"),
+                "batches": report.execution.batches_dispatched,
+                "in-flight high water": report.execution.in_flight_high_water,
+            }
+        )
+    thread_row = next(r for r in rows if r["backend"] == "thread")
+    assert float(thread_row["speedup vs serial"]) >= THREAD_SPEEDUP_FLOOR, (
+        f"thread backend speedup {thread_row['speedup vs serial']:.2f}x below the "
+        f"{THREAD_SPEEDUP_FLOOR}x floor at n_jobs={N_JOBS}"
+    )
+    return rows
+
+
+def _rows_to_table(rows: list[dict[str, object]], n_documents: int = N_DOCUMENTS):
+    from repro.utils.tables import Table
+
+    table = Table(
+        title=f"Backend scaling ({n_documents} documents, n_jobs={N_JOBS})",
+        columns=list(rows[0].keys()),
+    )
+    for row in rows:
+        table.add_row(row)
+    return table
+
+
+def test_backend_scaling(benchmark, measured_store):
+    rows = benchmark.pedantic(run_backend_scaling, rounds=1, iterations=1)
+    table = _rows_to_table(rows)
+    print()
+    print(table.to_text(precision=2))
+    measured_store.record_table("BACKEND_SCALING", table, precision=2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=N_DOCUMENTS)
+    parser.add_argument("--sleep", type=float, default=SLEEP_SECONDS)
+    args = parser.parse_args()
+    rows = run_backend_scaling(args.documents, args.sleep)
+    print(_rows_to_table(rows, args.documents).to_text(precision=2))
+    print(f"thread >= {THREAD_SPEEDUP_FLOOR}x serial at n_jobs={N_JOBS}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,12 @@ This is the 5-minute tour of the library:
 3. run the held-out split through the unified :class:`repro.pipeline.ParsePipeline`
    — a frozen ``ParseRequest`` in, a ``ParseReport`` (results + routing
    telemetry + throughput) out,
-4. print the paper-style quality table next to the routing statistics,
+4. run the same request on two execution backends (serial vs thread) and
+   diff the reports: identical parses, different ``execution`` telemetry,
 5. replay the split against the content-addressed parse cache: the cold
    pass pays for parsing once, the warm pass serves every document from
-   the cache (byte-identical results, ``report.cache`` tells the story).
+   the cache (byte-identical results, ``report.cache`` tells the story),
+6. print the paper-style quality table next to the routing statistics.
 
 Run with::
 
@@ -18,6 +20,8 @@ Run with::
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.core.training import AdaParseTrainer, TrainerSettings
 from repro.documents.corpus import CorpusConfig, benchmark_splits, build_corpus
@@ -59,9 +63,30 @@ def main() -> None:
     with timer.section("parse via pipeline (2α)"):
         request = request_for_documents(
             engine.name, list(splits["test"]),
-            alpha=2 * engine.config.alpha, batch_size=64, n_jobs=2,
+            alpha=2 * engine.config.alpha, batch_size=64,
+            backend="thread", backend_options={"n_jobs": 2},
         )
         doubled = pipeline.run(request)
+
+    # 4b. Execution backends: the same request on two backends.  Only the
+    #     execution block differs — the parses (and routing decisions) are
+    #     identical, which is the parity guarantee backends are held to.
+    with timer.section("same request, serial vs thread backend"):
+        base = request_for_documents(
+            "pymupdf", list(splits["test"]), batch_size=16, backend="serial"
+        )
+        on_serial = pipeline.run(base)
+        on_thread = pipeline.run(
+            replace(base, backend="thread", backend_options={"n_jobs": 4})
+        )
+    assert [r.text for r in on_serial.results] == [r.text for r in on_thread.results]
+    report_diff = {
+        name: (
+            getattr(on_serial.execution, name),
+            getattr(on_thread.execution, name),
+        )
+        for name in ("backend", "workers", "in_flight_high_water")
+    }
 
     # 5. Warm vs cold: the same documents again, now through the parse
     #    cache.  The cold pass parses and stores; the warm pass is pure
@@ -85,6 +110,7 @@ def main() -> None:
     print(f"at a doubled budget (α = {request.alpha}): "
           f"{doubled.fraction_routed():.3f} routed, "
           f"{doubled.throughput_docs_per_second:.0f} docs/s")
+    print("backend diff (serial vs thread), identical parses:", report_diff)
     print(f"cache: cold {cold.cache.misses} misses / warm {warm.cache.hits} hits "
           f"({warm.throughput_docs_per_second:.0f} docs/s warm vs "
           f"{cold.throughput_docs_per_second:.0f} cold, "

@@ -41,8 +41,6 @@ stays cheap and does not pull in the full ML/HPC stacks.
 
 from __future__ import annotations
 
-from typing import Any
-
 __version__ = "1.0.0"
 
 #: Public name → "module:attribute" map resolved on first access.
@@ -63,6 +61,8 @@ _LAZY_EXPORTS: dict[str, str] = {
     "EvaluationHarness": "repro.evaluation.harness:EvaluationHarness",
     "ParserRegistry": "repro.parsers.registry:ParserRegistry",
     "default_registry": "repro.parsers.registry:default_registry",
+    "ExecutionBackend": "repro.pipeline.backends.base:ExecutionBackend",
+    "ExecutionStats": "repro.pipeline.backends.base:ExecutionStats",
     "ParsePipeline": "repro.pipeline.pipeline:ParsePipeline",
     "ParseReport": "repro.pipeline.report:ParseReport",
     "ParseRequest": "repro.pipeline.request:ParseRequest",
@@ -73,18 +73,11 @@ _LAZY_EXPORTS: dict[str, str] = {
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
 
 
-def __getattr__(name: str) -> Any:
-    """Resolve lazily exported public names."""
-    target = _LAZY_EXPORTS.get(name)
-    if target is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    module_name, _, attribute = target.partition(":")
-    import importlib
+def __getattr__(name: str):
+    """Resolve lazily exported public names (delegates to repro.utils.lazy)."""
+    from repro.utils.lazy import resolve_lazy
 
-    module = importlib.import_module(module_name)
-    value = getattr(module, attribute)
-    globals()[name] = value
-    return value
+    return resolve_lazy(__name__, globals(), _LAZY_EXPORTS, name)
 
 
 def __dir__() -> list[str]:

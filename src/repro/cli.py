@@ -24,7 +24,13 @@ Assemble an LLM-training dataset (parse → filter → dedup → shard)::
 
 Run the unified parsing pipeline and dump the ``ParseReport`` as JSON::
 
-    adaparse-repro pipeline --documents 100 --parser pymupdf --jobs 4
+    adaparse-repro pipeline --documents 100 --parser pymupdf \
+        --backend thread --backend-opt n_jobs=4
+
+Run the same corpus through worker processes or the simulated cluster::
+
+    adaparse-repro pipeline --documents 100 --backend process --backend-opt n_jobs=4
+    adaparse-repro pipeline --documents 100 --backend hpc --backend-opt n_nodes=16
 
 Warm the persistent parse cache, inspect it, and run against it::
 
@@ -47,7 +53,85 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
+
+
+def _coerce_opt_value(raw: str):
+    """Coerce a ``--backend-opt`` value: bool, int, float, then string."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_backend_opts(pairs: list[str] | None) -> dict:
+    """Turn repeated ``--backend-opt key=value`` flags into an options dict."""
+    options: dict = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key.strip():
+            raise SystemExit(
+                f"invalid --backend-opt {pair!r}: expected key=value (e.g. n_jobs=4)"
+            )
+        options[key.strip()] = _coerce_opt_value(raw.strip())
+    return options
+
+
+def _backend_options_with_jobs_alias(args: argparse.Namespace, flag: str = "--jobs") -> dict:
+    """Backend options from the CLI, folding the deprecated jobs flag in.
+
+    Only backends whose spec accepts ``n_jobs`` receive the fold (the
+    registry decides, matching ``normalize_backend_spec``), so the alias is
+    ignored — with the same notice — for serial/hpc instead of failing
+    their option validation.
+    """
+    options = _parse_backend_opts(getattr(args, "backend_opt", None))
+    jobs = getattr(args, "jobs", 1)
+    if jobs != 1:
+        from repro.pipeline.backends.base import backend_accepts_option
+
+        backend = getattr(args, "backend", "auto")
+        accepts = backend_accepts_option(backend, "n_jobs")
+        if accepts:
+            target = "thread" if backend == "auto" else backend
+            message = (
+                f"{flag} is deprecated; use --backend {target} "
+                f"--backend-opt n_jobs={jobs}"
+            )
+        else:
+            message = (
+                f"{flag} is deprecated, and backend {backend!r} takes no "
+                f"n_jobs — the flag is ignored"
+            )
+        # Default warning filters hide non-__main__ DeprecationWarnings from
+        # console-script users, so the migration notice also goes to stderr.
+        print(f"warning: {message}", file=sys.stderr)
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        if accepts:
+            options.setdefault("n_jobs", jobs)
+    return options
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default="auto",
+        help="execution backend: auto, serial, thread, process, hpc",
+    )
+    parser.add_argument(
+        "--backend-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. n_jobs=4, n_nodes=16, mp_context=fork",
+    )
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -150,7 +234,8 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             output_dir=args.output or None,
             quality_threshold=args.quality_threshold,
             min_tokens=args.min_tokens,
-            n_jobs=args.jobs,
+            backend=args.backend,
+            backend_options=_backend_options_with_jobs_alias(args),
             cache=args.cache,
         ),
         pipeline=pipeline,
@@ -170,7 +255,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         alpha=args.alpha,
-        n_jobs=args.jobs,
+        backend=args.backend,
+        backend_options=_backend_options_with_jobs_alias(args),
         cache=args.cache,
     )
     if args.parser in ENGINE_VARIANTS:
@@ -213,12 +299,13 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
     pipeline = ParsePipeline(cache=ParseCache(args.dir))
+    backend_options = {"n_jobs": args.jobs} if args.jobs != 1 else {}
     report = pipeline.run(
         ParseRequest(
             parser=args.parser,
             n_documents=args.documents,
             seed=args.seed,
-            n_jobs=args.jobs,
+            backend_options=backend_options,
             cache="readwrite",
         )
     )
@@ -291,7 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--output", type=str, default="", help="shard output directory")
     dataset.add_argument("--quality-threshold", type=float, default=0.35)
     dataset.add_argument("--min-tokens", type=int, default=50)
-    dataset.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    _add_backend_arguments(dataset)
+    dataset.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="deprecated alias for --backend thread --backend-opt n_jobs=N",
+    )
     dataset.add_argument(
         "--cache",
         type=str,
@@ -319,7 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipe.add_argument("--batch-size", type=int, default=None)
     pipe.add_argument("--alpha", type=float, default=None, help="engine α-budget override")
-    pipe.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    _add_backend_arguments(pipe)
+    pipe.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="deprecated alias for --backend thread --backend-opt n_jobs=N",
+    )
     pipe.add_argument("--include-text", action="store_true", help="embed page texts in the JSON")
     pipe.add_argument("--output", type=str, default="", help="write the report JSON here")
     pipe.add_argument(

@@ -9,14 +9,16 @@ goodput).
 
 Parsing runs through :class:`repro.pipeline.ParsePipeline`: results stream
 in α-budgeted batches (records are built incrementally rather than from a
-fully materialised result list) and ``n_jobs`` parses batches on a thread
-pool.
+fully materialised result list) on a configurable execution backend
+(``DatasetBuildConfig.backend``: serial, thread, process, or the
+simulated-HPC adapter).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.cache import CachePolicy
 from repro.cache.stats import CacheStats, CacheStatsRecorder
@@ -55,8 +57,14 @@ class DatasetBuildConfig:
         When true, each record's quality is the document BLEU against the
         corpus ground truth ("reference"); otherwise records carry no quality
         estimate unless the caller provides predictions.
+    backend:
+        Execution backend of the parse stage by registry name (``serial``,
+        ``thread``, ``process``, ``hpc``), or ``"auto"``.
+    backend_options:
+        Backend construction options (e.g. ``{"n_jobs": 8}``).
     n_jobs:
-        Worker threads the parse stage fans batches out over.
+        Deprecated alias for ``backend_options={"n_jobs": N}``; with
+        ``backend="auto"`` it resolves to the thread backend.
     cache:
         Cache policy of the parse stage (``off``/``read``/``write``/
         ``readwrite``).  With ``readwrite`` a rebuild over the same corpus
@@ -72,6 +80,8 @@ class DatasetBuildConfig:
     max_records_per_shard: int = 50_000
     max_mb_per_shard: float = 64.0
     evaluate_against_ground_truth: bool = True
+    backend: str = "auto"
+    backend_options: dict[str, Any] = field(default_factory=dict)
     n_jobs: int = 1
     cache: str = "off"
 
@@ -84,6 +94,18 @@ class DatasetBuildConfig:
             raise ValueError("dedup_similarity must lie in (0, 1]")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be positive")
+        if self.n_jobs != 1:
+            import warnings
+
+            warnings.warn(
+                "DatasetBuildConfig.n_jobs is deprecated; use backend='thread' "
+                "(or 'process') with backend_options={'n_jobs': N} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        from repro.pipeline.backends.base import validate_backend_spec
+
+        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
         CachePolicy.coerce(self.cache)  # raises on unknown policies
 
 
@@ -168,6 +190,8 @@ class DatasetBuilder:
             n_jobs=self.config.n_jobs,
             cache_policy=self.config.cache,
             cache_recorder=cache_recorder,
+            backend=self.config.backend,
+            backend_options=self.config.backend_options,
         )
         records: list[ParsedRecord] = []
         for document, result in zip(documents, stream):

@@ -13,6 +13,7 @@ engine) instead of being read back off mutable engine attributes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -46,8 +47,15 @@ class HarnessConfig:
         Per-page character cap of the CAR computation (cost control).
     seed:
         Seed of the tournament sampling.
+    backend:
+        Execution backend the parse stage dispatches batches on, by
+        registry name (``serial``, ``thread``, ``process``, ``hpc``) or
+        ``"auto"``.
+    backend_options:
+        Backend construction options (e.g. ``{"n_jobs": 8}``).
     n_jobs:
-        Worker threads the parse stage fans batches out over.
+        Deprecated alias for ``backend_options={"n_jobs": N}``; with
+        ``backend="auto"`` it resolves to the thread backend.
     """
 
     accepted_token_threshold: float = 0.70
@@ -55,7 +63,23 @@ class HarnessConfig:
     win_rate_annotators_per_page: int = 1
     car_max_chars: int = 1600
     seed: int = 1234
+    backend: str = "auto"
+    backend_options: dict[str, Any] = field(default_factory=dict)
     n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_jobs != 1:
+            import warnings
+
+            warnings.warn(
+                "HarnessConfig.n_jobs is deprecated; use backend='thread' "
+                "(or 'process') with backend_options={'n_jobs': N} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        from repro.pipeline.backends.base import validate_backend_spec
+
+        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
 
 
 @dataclass
@@ -152,22 +176,33 @@ class EvaluationHarness:
         compute_win_rate: bool = True,
     ) -> EvaluationReport:
         """Run every parser over the corpus and aggregate metrics."""
+        from repro.pipeline.backends.base import resolve_execution
+
         documents: list[SciDocument] = list(corpus)
         parser_names = [p.name for p in parsers]
         report = EvaluationReport(parser_names=parser_names, doc_ids=[d.doc_id for d in documents])
         gt_pages_by_doc = {d.doc_id: d.ground_truth_pages() for d in documents}
-        for parser in parsers:
-            results, decisions = self.pipeline.parse_with_telemetry(
-                parser, documents, n_jobs=self.config.n_jobs
-            )
-            report.routing[parser.name] = decisions
-            for doc, result in zip(documents, results):
-                report.results[(parser.name, doc.doc_id)] = result
-                report.bundles[(parser.name, doc.doc_id)] = evaluate_parse(
-                    gt_pages_by_doc[doc.doc_id],
-                    result.page_texts,
-                    car_max_chars=self.config.car_max_chars,
+        # One backend for the whole evaluation: resolving per parser would
+        # spin up (and tear down) a fresh pool N times.
+        backend, owned = resolve_execution(
+            self.config.backend, self.config.backend_options, n_jobs=self.config.n_jobs
+        )
+        try:
+            for parser in parsers:
+                results, decisions = self.pipeline.parse_with_telemetry(
+                    parser, documents, backend=backend
                 )
+                report.routing[parser.name] = decisions
+                for doc, result in zip(documents, results):
+                    report.results[(parser.name, doc.doc_id)] = result
+                    report.bundles[(parser.name, doc.doc_id)] = evaluate_parse(
+                        gt_pages_by_doc[doc.doc_id],
+                        result.page_texts,
+                        car_max_chars=self.config.car_max_chars,
+                    )
+        finally:
+            if owned:
+                backend.close()
         if compute_win_rate and len(parsers) >= 2:
             report.win_rates = self._tournament_win_rates(documents, parsers, report)
         self._aggregate(documents, parsers, report)

@@ -1,0 +1,432 @@
+"""The :class:`ExecutionBackend` protocol and the backend registry.
+
+An execution backend answers one question for the pipeline: *given a
+per-batch worker and a stream of batches, how do the batches actually
+run?*  Serial in the calling thread, fanned out over a thread pool,
+shipped to worker processes, or replayed through the simulated HPC
+cluster — the parsing algorithm (routing, α budgets, caching) is
+identical in every case, only the execution policy varies.
+
+The contract every backend implements:
+
+* :meth:`ExecutionBackend.map_ordered` — apply a worker over a stream of
+  work items with a **bounded in-flight window**, yielding results in
+  input order.  Streaming callers keep O(window) memory over arbitrarily
+  long inputs, and abandoning the returned iterator cancels work that
+  has not started.
+* :meth:`ExecutionBackend.wrap_inner` — adapt a *picklable* inner worker
+  for the backend's execution site.  In-process backends return it
+  unchanged; the process backend returns a parent-side stub that ships
+  the call to a worker process.  The pipeline composes its cache layer
+  *around* the wrapped worker, so cache lookups, single-flight leases,
+  and write-backs always run in the parent process.
+* :meth:`ExecutionBackend.stats` — an :class:`ExecutionStats` snapshot:
+  batches dispatched/completed/cancelled, the in-flight and queue-wait
+  high-water marks, and per-batch latency percentiles.  The pipeline
+  embeds this block in :class:`~repro.pipeline.report.ParseReport`.
+* :meth:`ExecutionBackend.close` — release pools/processes.  Idempotent;
+  ``stats()`` keeps working after close.
+
+Backends are constructed by name through the registry
+(:func:`create_backend`), with option dictionaries validated against the
+backend's :class:`BackendSpec`; :func:`normalize_backend_spec` resolves
+the ``"auto"`` name and the deprecated ``n_jobs`` alias.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class BackendError(RuntimeError):
+    """An execution backend could not run the requested work."""
+
+
+# ---------------------------------------------------------------------- #
+# Telemetry
+# ---------------------------------------------------------------------- #
+@dataclass
+class ExecutionStats:
+    """What one backend did during a run (the ``ParseReport.execution`` block).
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend that executed the run.
+    workers:
+        Parallel worker count (1 for serial, ``n_jobs`` for thread/process,
+        node count for the HPC adapter).
+    batches_dispatched / batches_completed / batches_cancelled:
+        Batches submitted, finished, and cancelled before starting (an
+        abandoned streaming iterator cancels its queued batches).
+    in_flight_high_water:
+        Most batches simultaneously submitted-but-unconsumed (bounded by
+        the backend's window).
+    queue_wait_seconds_high_water:
+        Longest a batch sat between submission and a worker picking it up.
+    batch_latency_seconds:
+        Per-batch execution-time percentiles (``mean``/``p50``/``p90``/
+        ``p99``/``max``), excluding queue wait.
+    extra:
+        Backend-specific numbers (e.g. the HPC adapter's simulated
+        cluster time and utilisation).
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    batches_dispatched: int = 0
+    batches_completed: int = 0
+    batches_cancelled: int = 0
+    in_flight_high_water: int = 0
+    queue_wait_seconds_high_water: float = 0.0
+    batch_latency_seconds: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "batches_dispatched": self.batches_dispatched,
+            "batches_completed": self.batches_completed,
+            "batches_cancelled": self.batches_cancelled,
+            "in_flight_high_water": self.in_flight_high_water,
+            "queue_wait_seconds_high_water": self.queue_wait_seconds_high_water,
+            "batch_latency_seconds": dict(self.batch_latency_seconds),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ExecutionStats":
+        return cls(
+            backend=str(payload.get("backend", "serial")),
+            workers=int(payload.get("workers", 1)),
+            batches_dispatched=int(payload.get("batches_dispatched", 0)),
+            batches_completed=int(payload.get("batches_completed", 0)),
+            batches_cancelled=int(payload.get("batches_cancelled", 0)),
+            in_flight_high_water=int(payload.get("in_flight_high_water", 0)),
+            queue_wait_seconds_high_water=float(
+                payload.get("queue_wait_seconds_high_water", 0.0)
+            ),
+            batch_latency_seconds={
+                str(k): float(v)
+                for k, v in dict(payload.get("batch_latency_seconds", {})).items()
+            },
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+class ExecutionRecorder:
+    """Thread-safe accumulator behind :meth:`ExecutionBackend.stats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._queue_wait_high_water = 0.0
+        self._in_flight_high_water = 0
+        self._dispatched = 0
+        self._cancelled = 0
+
+    def record_dispatch(self) -> None:
+        with self._lock:
+            self._dispatched += 1
+
+    def record_in_flight(self, n: int) -> None:
+        with self._lock:
+            if n > self._in_flight_high_water:
+                self._in_flight_high_water = n
+
+    def record_batch(self, queue_wait_seconds: float, latency_seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(latency_seconds)
+            if queue_wait_seconds > self._queue_wait_high_water:
+                self._queue_wait_high_water = queue_wait_seconds
+
+    def record_cancelled(self, n: int) -> None:
+        with self._lock:
+            self._cancelled += n
+
+    def snapshot(self, backend: str, workers: int) -> ExecutionStats:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            stats = ExecutionStats(
+                backend=backend,
+                workers=workers,
+                batches_dispatched=self._dispatched,
+                batches_completed=len(latencies),
+                batches_cancelled=self._cancelled,
+                in_flight_high_water=self._in_flight_high_water,
+                queue_wait_seconds_high_water=self._queue_wait_high_water,
+            )
+        if latencies:
+            n = len(latencies)
+
+            def rank(q: float) -> float:
+                return latencies[min(n - 1, max(0, int(round(q * (n - 1)))))]
+
+            stats.batch_latency_seconds = {
+                "mean": sum(latencies) / n,
+                "p50": rank(0.50),
+                "p90": rank(0.90),
+                "p99": rank(0.99),
+                "max": latencies[-1],
+            }
+        return stats
+
+
+# ---------------------------------------------------------------------- #
+# The protocol
+# ---------------------------------------------------------------------- #
+class ExecutionBackend(abc.ABC):
+    """How the pipeline's batches actually run.
+
+    Subclasses set :attr:`name` (the registry name) and implement
+    :meth:`map_ordered`; :meth:`wrap_inner` defaults to identity and is
+    overridden by backends whose workers execute outside the parent
+    process.  Backends are context managers (``close()`` on exit).
+    """
+
+    #: Registry name of the backend.
+    name: str = "abstract"
+
+    @property
+    def workers(self) -> int:
+        """Parallel worker count reported in :class:`ExecutionStats`."""
+        return 1
+
+    def wrap_inner(self, inner: Callable[[_T], _R]) -> Callable[[_T], _R]:
+        """Adapt a picklable inner worker for this backend's execution site.
+
+        In-process backends run the worker where the orchestration runs and
+        return it unchanged.  Out-of-process backends return a parent-side
+        stub that ships the call to a worker; anything the pipeline wraps
+        *around* the returned callable (cache lookups, single-flight
+        leases, write-backs) therefore stays in the parent.
+        """
+        return inner
+
+    @abc.abstractmethod
+    def map_ordered(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        options: Mapping[str, Any] | None = None,
+    ) -> Iterator[_R]:
+        """Apply ``fn`` over ``items``, yielding results in input order.
+
+        At most a bounded window of items is in flight at once, so
+        streaming callers retain O(window) memory over long inputs.
+        Closing the returned iterator early cancels work that has not
+        started; already-running work drains and is joined by
+        :meth:`close`.
+        """
+
+    @abc.abstractmethod
+    def stats(self) -> ExecutionStats:
+        """Snapshot of this backend's execution telemetry (safe after close)."""
+
+    def close(self) -> None:
+        """Release worker pools.  Idempotent; further maps are refused."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BackendSpec:
+    """Name-based construction recipe of one backend."""
+
+    name: str
+    factory: Callable[..., ExecutionBackend]
+    options: frozenset[str]
+    description: str
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+#: Built-in backend name → defining module.  Names are knowable without
+#: importing any implementation; a module is imported (running its
+#: ``register_backend`` call) only when its backend is actually named, so
+#: e.g. validating a serial request never loads the HPC simulator stack.
+_BUILTIN_BACKEND_MODULES: dict[str, str] = {
+    "serial": "repro.pipeline.backends.serial",
+    "thread": "repro.pipeline.backends.thread",
+    "process": "repro.pipeline.backends.process",
+    "hpc": "repro.pipeline.backends.hpc",
+}
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Register (or replace) a backend spec under its name."""
+    _REGISTRY[spec.name] = spec
+
+
+def _ensure_registered(name: str | None = None) -> None:
+    """Import the module defining ``name`` (or every built-in for ``None``)."""
+    import importlib
+
+    if name is None:
+        for module in _BUILTIN_BACKEND_MODULES.values():
+            importlib.import_module(module)
+        return
+    module = _BUILTIN_BACKEND_MODULES.get(name)
+    if module is not None and name not in _REGISTRY:
+        importlib.import_module(module)
+
+
+def backend_names() -> list[str]:
+    """Known backend names (sorted; built-ins plus runtime registrations)."""
+    return sorted(set(_REGISTRY) | set(_BUILTIN_BACKEND_MODULES))
+
+
+def backend_specs() -> list[BackendSpec]:
+    """Registered backend specs (sorted by name; for docs and CLI help)."""
+    _ensure_registered()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def create_backend(
+    name: str, options: Mapping[str, Any] | None = None
+) -> ExecutionBackend:
+    """Construct a backend by registry name, validating its options."""
+    _ensure_registered(name)
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown execution backend {name!r}; known: {backend_names()}"
+        )
+    options = dict(options or {})
+    unknown = sorted(set(options) - set(spec.options))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for backend {name!r}; "
+            f"known: {sorted(spec.options)}"
+        )
+    return spec.factory(**options)
+
+
+def backend_accepts_option(backend: str, option: str) -> bool:
+    """Whether a backend name (or ``"auto"``) takes a construction option.
+
+    Derived from the registry's :class:`BackendSpec` declarations so the
+    deprecated ``n_jobs`` alias follows new backends automatically;
+    ``"auto"`` accepts ``n_jobs`` because the alias is what steers its
+    serial-vs-thread choice.
+    """
+    if backend == "auto":
+        return option == "n_jobs"
+    _ensure_registered(backend)
+    spec = _REGISTRY.get(backend)
+    return spec is not None and option in spec.options
+
+
+def _validated_n_jobs(value: Any) -> int:
+    """``n_jobs`` as a positive int, rejecting bools and non-integral values.
+
+    A silently dropped ``n_jobs=4.0`` (or ``true``, or ``0``) would run
+    serial while the caller believes they requested workers.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"n_jobs must be an integer, got {value!r}")
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if not isinstance(value, int):
+        raise ValueError(f"n_jobs must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"n_jobs must be positive, got {value}")
+    return value
+
+
+def normalize_backend_spec(
+    backend: str,
+    backend_options: Mapping[str, Any] | None = None,
+    n_jobs: int | None = None,
+) -> tuple[str, dict[str, Any]]:
+    """Resolve ``"auto"`` and the deprecated ``n_jobs`` alias to a concrete spec.
+
+    ``n_jobs`` (when not ``None``/1) is folded into the options of every
+    backend that accepts it; under ``"auto"`` it selects the thread
+    backend, matching the pre-backend behaviour of the pipeline's
+    ``n_jobs`` parameter.  ``"auto"`` without parallelism resolves to the
+    serial backend.
+    """
+    options = dict(backend_options or {})
+    if "n_jobs" in options and backend_accepts_option(backend, "n_jobs"):
+        options["n_jobs"] = _validated_n_jobs(options["n_jobs"])
+    if (
+        n_jobs is not None
+        and n_jobs != 1
+        and "n_jobs" not in options
+        and backend_accepts_option(backend, "n_jobs")
+    ):
+        options["n_jobs"] = _validated_n_jobs(n_jobs)
+    name = backend
+    if name == "auto":
+        name = "thread" if options.get("n_jobs", 1) > 1 else "serial"
+        if name == "serial":
+            options.pop("n_jobs", None)
+            if options:
+                # Leftover options belong to a parallel backend; failing
+                # them against serial would blame a backend the caller
+                # never named.
+                raise ValueError(
+                    f"backend 'auto' resolves to the serial backend without "
+                    f"parallelism, but options {sorted(options)} were given; "
+                    f"name the backend explicitly (e.g. backend='thread')"
+                )
+    return name, options
+
+
+def validate_backend_spec(
+    backend: str,
+    backend_options: Mapping[str, Any] | None = None,
+    n_jobs: int | None = None,
+) -> None:
+    """Fail fast on an invalid backend spec (name, options, values).
+
+    Queued/serialised specs must fail at construction, not hours later
+    when a worker dequeues them; backend constructors are lazy (no pools
+    are spawned), so a construct-and-close round trip is cheap.
+    """
+    if backend != "auto" and backend not in backend_names():
+        raise ValueError(
+            f"unknown execution backend {backend!r}; known: "
+            f"{['auto'] + backend_names()}"
+        )
+    name, options = normalize_backend_spec(backend, backend_options, n_jobs=n_jobs)
+    create_backend(name, options).close()
+
+
+def resolve_execution(
+    backend: "str | ExecutionBackend",
+    backend_options: Mapping[str, Any] | None = None,
+    n_jobs: int | None = None,
+) -> tuple[ExecutionBackend, bool]:
+    """Turn a backend spec (name or instance) into ``(backend, owned)``.
+
+    A caller-supplied instance is passed through and *not* owned (the
+    caller manages its lifecycle); a name is constructed here and owned by
+    the caller of this function, which must :meth:`~ExecutionBackend.close`
+    it when done.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if backend_options:
+            raise ValueError(
+                "backend_options only apply when the backend is given by name; "
+                "configure the instance directly instead"
+            )
+        return backend, False
+    name, options = normalize_backend_spec(backend, backend_options, n_jobs=n_jobs)
+    return create_backend(name, options), True

@@ -1,0 +1,190 @@
+"""The process backend: picklable work units on a process pool.
+
+The parsing simulation is pure-Python CPU work, so threads cannot scale
+it past the GIL; the process backend ships each batch to a worker
+process instead.  The split of responsibilities keeps the cache layer
+correct without any cross-process locking:
+
+* **Children** run only the picklable inner worker (a bound
+  ``route_batch``/``parse_with_telemetry`` method over a list of
+  documents) and return plain ``(results, decisions)`` tuples.
+* **The parent** keeps everything stateful: orchestration threads (one
+  per process-pool slot, inherited from :class:`ThreadBackend`) drive the
+  bounded in-flight window, and because :meth:`ProcessBackend.wrap_inner`
+  is composed *inside* the pipeline's cache wrapper, cache lookups,
+  single-flight leases, and write-backs all execute in these parent
+  threads.  Single-flight therefore degrades gracefully under processes —
+  it simply keeps working at parent scope, deduplicating what this
+  process dispatches — and every child result is merged back into the
+  parent's cache on return (write-back policies included).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, TypeVar
+
+from repro.pipeline.backends.base import BackendError, BackendSpec, register_backend
+from repro.pipeline.backends.thread import ThreadBackend
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Per-child-process registry of unpickled workers (filled by the pool
+#: initializer so a trained engine crosses the IPC pipe once per worker
+#: process, not once per batch).
+_WORKER_REGISTRY: dict[str, Callable[..., object]] = {}
+
+
+def _register_worker(token: str, payload: bytes) -> None:
+    """Pool initializer: install the run's worker in this child process."""
+    _WORKER_REGISTRY[token] = pickle.loads(payload)
+
+
+def _call_registered(token: str, item):
+    """Invoke the pre-registered worker (the per-batch task payload is
+    just the token and the batch)."""
+    return _WORKER_REGISTRY[token](item)
+
+
+def _warmup() -> bool:
+    """No-op task used to force worker processes to spawn eagerly."""
+    return True
+
+
+def _preferred_context(name: str | None) -> multiprocessing.context.BaseContext | None:
+    """The requested start-method context, defaulting to fork when available.
+
+    Fork keeps test- and notebook-defined parsers picklable by reference
+    (the child already has the module loaded); platforms without fork fall
+    back to their default start method.
+    """
+    if name is not None:
+        return multiprocessing.get_context(name)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class ProcessBackend(ThreadBackend):
+    """Execute batches in worker processes behind a thread-orchestrated window.
+
+    ``n_jobs`` worker processes execute the inner worker; the inherited
+    thread pool (same size) only orchestrates — each orchestration thread
+    blocks on its child future, runs the parent-side cache layer, and
+    yields results in order.  Work units must be picklable: documents,
+    base parsers, and trained engines all are; ad-hoc closures are not and
+    raise a :class:`BackendError` explaining the contract.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_jobs: int = 4,
+        window: int | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        super().__init__(n_jobs=n_jobs, window=window)
+        if mp_context is not None and mp_context not in (
+            multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                f"unknown mp_context {mp_context!r}; available: "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self._mp_context_name = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._registered_token: str | None = None
+
+    def _ensure_executor(
+        self, token: str | None = None, payload: bytes | None = None
+    ) -> ProcessPoolExecutor:
+        if self._closed:
+            raise BackendError("process backend is closed")
+        if self._executor is None:
+            initargs = ()
+            initializer = None
+            if token is not None and payload is not None:
+                # Ship the worker once per child via the initializer (it
+                # also re-runs when a crashed worker is replaced); batch
+                # submissions then carry only the token and the documents.
+                initializer = _register_worker
+                initargs = (token, payload)
+                self._registered_token = token
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                mp_context=_preferred_context(self._mp_context_name),
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return self._executor
+
+    def wrap_inner(self, inner: Callable[[_T], _R]) -> Callable[[_T], _R]:
+        # Serialise the worker up front: the pool would otherwise pickle it
+        # on a feeder thread, surfacing a failure per batch as an opaque
+        # exception instead of once with a diagnosis.
+        try:
+            payload = pickle.dumps(inner)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise BackendError(
+                f"process backend requires picklable work units; "
+                f"{inner!r} could not be serialised ({exc}). Pass a "
+                f"module-level parser/engine, or use the thread backend."
+            ) from exc
+        token = hashlib.sha256(payload).hexdigest()[:16]
+        newly_created = self._executor is None
+        executor = self._ensure_executor(token, payload)
+        if newly_created:
+            # Spawn the workers now, from the caller's thread, rather than
+            # lazily from the orchestration threads the thread-pool window
+            # starts later: forking a multi-threaded parent risks inheriting
+            # held locks in the child (and warns on Python 3.12+).  This
+            # also moves pool startup out of the per-batch latency stats.
+            for future in [executor.submit(_warmup) for _ in range(self.n_jobs)]:
+                future.result()
+
+        def remote(item: _T) -> _R:
+            if token == self._registered_token:
+                future = executor.submit(_call_registered, token, item)
+            else:
+                # A second, different worker on a pool initialised for the
+                # first one: correctness over IPC economy — ship it per call.
+                future = executor.submit(inner, item)
+            try:
+                return future.result()
+            except pickle.PicklingError as exc:
+                raise BackendError(
+                    f"process backend requires picklable work units; "
+                    f"{inner!r} or its arguments could not be serialised "
+                    f"({exc}). Pass a module-level parser/engine, or use "
+                    f"the thread backend."
+                ) from exc
+            except BrokenProcessPool as exc:
+                raise BackendError(
+                    "a process-backend worker died; see the traceback above "
+                    "(commonly: unpicklable work units under the spawn start "
+                    "method, or the child was OOM-killed)"
+                ) from exc
+
+        return remote
+
+    def close(self) -> None:
+        super().close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+register_backend(
+    BackendSpec(
+        name="process",
+        factory=ProcessBackend,
+        options=frozenset({"n_jobs", "window", "mp_context"}),
+        description="process pool for GIL-free parsing; cache stays parent-side",
+    )
+)

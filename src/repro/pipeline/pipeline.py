@@ -11,22 +11,24 @@ facade: a frozen :class:`~repro.pipeline.request.ParseRequest` goes in, a
   engines,
 * streams documents through the parser in α-budgeted batches with a
   bounded in-flight window (``iter_parse`` keeps memory O(batch)),
-* fans batches out over a thread pool (``n_jobs``) while preserving
+* dispatches batches through a pluggable
+  :class:`~repro.pipeline.backends.ExecutionBackend` — serial, thread
+  pool, process pool, or the simulated-HPC adapter — while preserving
   document order, which is safe because routing telemetry is a return
   value and engines hold no mutable routing state, and
 * consults the content-addressed :class:`repro.cache.ParseCache` when the
   request carries a cache policy: hits are replayed, misses are parsed
   once (single-flighted across workers) and optionally stored, and the
   report's :class:`~repro.cache.CacheStats` block records what happened.
+  The cache layer always runs in the parent process (backends adapt the
+  *inner* worker via :meth:`~repro.pipeline.backends.ExecutionBackend.
+  wrap_inner`), so policies behave identically on every backend.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.cache import (
     CachePolicy,
@@ -40,6 +42,11 @@ from repro.documents.corpus import build_corpus
 from repro.documents.document import SciDocument
 from repro.parsers.base import Parser, ParseResult, ResourceUsage
 from repro.parsers.registry import ParserRegistry, default_registry
+from repro.pipeline.backends.base import (
+    ExecutionBackend,
+    create_backend,
+    resolve_execution,
+)
 from repro.pipeline.report import ParseReport
 from repro.pipeline.request import ParseRequest
 from repro.utils.batching import chunked
@@ -51,41 +58,25 @@ DEFAULT_BATCH_SIZE = 64
 #: Names the pipeline will train an engine for on first use.
 ENGINE_VARIANTS = {"adaparse_ft": "ft", "adaparse_llm": "llm"}
 
-_T = TypeVar("_T")
-_R = TypeVar("_R")
-
 #: One unit of pipeline work: a batch's results plus its routing decisions.
 BatchOutput = tuple[list[ParseResult], list[RoutingDecision]]
 
 
-def _ordered_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], n_jobs: int
-) -> Iterator[_R]:
-    """Apply ``fn`` over ``items`` with ``n_jobs`` threads, yielding in order.
+class _ParserBatchWorker:
+    """Picklable per-batch worker for base (non-engine) parsers.
 
-    Keeps at most ``2 * n_jobs`` work items in flight, so streaming callers
-    retain bounded memory even over very long inputs.
+    A module-level class instead of a closure so the process backend can
+    ship it to worker processes; state is just the parser, which all base
+    parsers (and trained engines) serialise cleanly.
     """
-    if n_jobs <= 1:
-        for item in items:
-            yield fn(item)
-        return
-    iterator = iter(items)
-    pool = ThreadPoolExecutor(max_workers=n_jobs)
-    try:
-        pending = deque(
-            pool.submit(fn, item) for item in itertools.islice(iterator, 2 * n_jobs)
-        )
-        for item in iterator:
-            yield pending.popleft().result()
-            pending.append(pool.submit(fn, item))
-        while pending:
-            yield pending.popleft().result()
-    finally:
-        # An abandoned generator or a worker error must not stall the caller
-        # on up to 2*n_jobs queued batches: drop what hasn't started and let
-        # already-running batches drain in the background.
-        pool.shutdown(wait=False, cancel_futures=True)
+
+    __slots__ = ("parser",)
+
+    def __init__(self, parser: Parser) -> None:
+        self.parser = parser
+
+    def __call__(self, batch: list[SciDocument]) -> BatchOutput:
+        return self.parser.parse_with_telemetry(batch)
 
 
 class ParsePipeline:
@@ -175,17 +166,23 @@ class ParsePipeline:
     def _batch_worker(
         self,
         resolved: Parser,
+        backend: ExecutionBackend,
         cache_policy: CachePolicy,
         cache_recorder: CacheStatsRecorder | None,
     ) -> Callable[[list[SciDocument]], BatchOutput]:
-        """The per-batch worker, cache-wrapped when the policy asks for it."""
+        """Compose the per-batch worker: inner parse → backend site → cache.
+
+        The *inner* worker (a picklable bound method or
+        :class:`_ParserBatchWorker`) is adapted to the backend's execution
+        site first; the cache wrapper goes around the adapted worker, so
+        lookups, single-flight leases, and write-backs always run in the
+        parent process regardless of where parsing happens.
+        """
         if isinstance(resolved, AdaParseEngine):
-            worker: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
+            inner: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
         else:
-
-            def worker(batch: list[SciDocument], _parser: Parser = resolved) -> BatchOutput:
-                return _parser.parse_with_telemetry(batch)
-
+            inner = _ParserBatchWorker(resolved)
+        worker = backend.wrap_inner(inner)
         if cache_policy is CachePolicy.OFF:
             return worker
         return cached_batch_worker(
@@ -201,53 +198,68 @@ class ParsePipeline:
         resolved: Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None,
-        n_jobs: int,
+        backend: ExecutionBackend,
         cache_policy: CachePolicy = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
     ) -> Iterator[BatchOutput]:
-        """Run an already-resolved parser over batched documents."""
+        """Run an already-resolved parser over batched documents on a backend."""
         if isinstance(resolved, AdaParseEngine):
             size = batch_size or resolved.config.batch_size
         else:
             size = batch_size or DEFAULT_BATCH_SIZE
-        worker = self._batch_worker(resolved, cache_policy, cache_recorder)
-        yield from _ordered_map(worker, chunked(documents, size), n_jobs)
+        worker = self._batch_worker(resolved, backend, cache_policy, cache_recorder)
+        yield from backend.map_ordered(worker, chunked(documents, size))
 
     def parse_batches(
         self,
         parser: str | Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int = 1,
+        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
+        backend: str | ExecutionBackend = "auto",
+        backend_options: Mapping[str, object] | None = None,
     ) -> Iterator[BatchOutput]:
-        """Stream ``(results, decisions)`` per batch, optionally thread-pooled.
+        """Stream ``(results, decisions)`` per batch on an execution backend.
 
         Batches are routed independently (the α cap applies within each) and
-        yielded in document order; with ``n_jobs > 1`` up to ``2 * n_jobs``
-        batches are in flight at once.  With a cache policy other than
-        ``off``, cached documents are replayed and only the misses are
-        parsed (the α cap then applies to the sub-batch that actually runs);
-        pass a :class:`~repro.cache.CacheStatsRecorder` to observe hits.
+        yielded in document order; parallel backends keep a bounded window
+        of batches in flight.  ``backend`` is a registry name (``serial``,
+        ``thread``, ``process``, ``hpc``, or ``auto``) configured through
+        ``backend_options``, or an :class:`~repro.pipeline.backends.
+        ExecutionBackend` instance whose lifecycle the caller manages;
+        ``n_jobs`` survives as an alias that makes ``auto`` pick the thread
+        backend.  With a cache policy other than ``off``, cached documents
+        are replayed and only the misses are parsed (the α cap then applies
+        to the sub-batch that actually runs); pass a
+        :class:`~repro.cache.CacheStatsRecorder` to observe hits.
         """
-        yield from self._execute_batches(
-            self.resolve_parser(parser),
-            documents,
-            batch_size,
-            n_jobs,
-            cache_policy=CachePolicy.coerce(cache_policy),
-            cache_recorder=cache_recorder,
-        )
+        resolved = self.resolve_parser(parser)
+        exec_backend, owned = resolve_execution(backend, backend_options, n_jobs=n_jobs)
+        try:
+            yield from self._execute_batches(
+                resolved,
+                documents,
+                batch_size,
+                exec_backend,
+                cache_policy=CachePolicy.coerce(cache_policy),
+                cache_recorder=cache_recorder,
+            )
+        finally:
+            if owned:
+                exec_backend.close()
 
     def iter_parse(
         self,
         parser: str | Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int = 1,
+        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
+        backend: str | ExecutionBackend = "auto",
+        backend_options: Mapping[str, object] | None = None,
     ) -> Iterator[ParseResult]:
         """Stream parse results in document order with O(batch) memory."""
         for results, _ in self.parse_batches(
@@ -257,6 +269,8 @@ class ParsePipeline:
             n_jobs,
             cache_policy=cache_policy,
             cache_recorder=cache_recorder,
+            backend=backend,
+            backend_options=backend_options,
         ):
             yield from results
 
@@ -265,27 +279,32 @@ class ParsePipeline:
         parser: str | Parser,
         documents: Sequence[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int = 1,
+        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
+        backend: str | ExecutionBackend = "auto",
+        backend_options: Mapping[str, object] | None = None,
     ) -> tuple[list[ParseResult], list[RoutingDecision]]:
         """Parse a collection, returning results plus routing telemetry.
 
         The deprecated ``last_summary`` shim of the engine that ran is
         refreshed once, atomically, after the run completes (legacy readers
         keep working); the authoritative telemetry is the returned decision
-        list.
+        list.  Pass a backend *instance* to read its
+        :meth:`~repro.pipeline.backends.ExecutionBackend.stats` afterwards.
         """
         resolved = self.resolve_parser(parser)
         results: list[ParseResult] = []
         decisions: list[RoutingDecision] = []
-        for batch_results, batch_decisions in self._execute_batches(
+        for batch_results, batch_decisions in self.parse_batches(
             resolved,
             documents,
             batch_size,
             n_jobs,
-            cache_policy=CachePolicy.coerce(cache_policy),
+            cache_policy=cache_policy,
             cache_recorder=cache_recorder,
+            backend=backend,
+            backend_options=backend_options,
         ):
             results.extend(batch_results)
             decisions.extend(batch_decisions)
@@ -304,20 +323,29 @@ class ParsePipeline:
         cache_recorder = (
             CacheStatsRecorder() if cache_policy is not CachePolicy.OFF else None
         )
+        backend_name, backend_options = request.resolved_backend()
+        backend = create_backend(backend_name, backend_options)
         started = perf_counter()
-        results, decisions = self.parse_with_telemetry(
-            parser,
-            documents,
-            batch_size=request.batch_size,
-            n_jobs=request.n_jobs,
-            cache_policy=cache_policy,
-            cache_recorder=cache_recorder,
-        )
-        if cache_policy.writes:
-            # Make the run durable before reporting it: buffered shard
-            # writes land with atomic write-then-rename.
-            self.cache.flush()
-        wall_time = perf_counter() - started
+        try:
+            results, decisions = self.parse_with_telemetry(
+                parser,
+                documents,
+                batch_size=request.batch_size,
+                cache_policy=cache_policy,
+                cache_recorder=cache_recorder,
+                backend=backend,
+            )
+            if cache_policy.writes:
+                # Make the run durable before reporting it: buffered shard
+                # writes land with atomic write-then-rename.
+                self.cache.flush()
+            # Stop the clock before stats(): the HPC backend's snapshot runs
+            # the simulated-campaign replay, which must not deflate the
+            # reported parse throughput.
+            wall_time = perf_counter() - started
+            execution = backend.stats()
+        finally:
+            backend.close()
         if request.alpha is not None:
             # The α override ran on a throwaway sibling; legacy readers hold
             # the cached engine, so mirror the run's telemetry onto it too.
@@ -336,4 +364,5 @@ class ParsePipeline:
             usage=usage,
             wall_time_seconds=wall_time,
             cache=cache_recorder.snapshot() if cache_recorder is not None else CacheStats(),
+            execution=execution,
         )

@@ -15,6 +15,7 @@ from typing import Any
 from repro.cache.stats import CacheStats
 from repro.core.engine import RoutingDecision, RoutingSummary
 from repro.parsers.base import ParseResult, ResourceUsage
+from repro.pipeline.backends.base import ExecutionStats
 from repro.pipeline.request import ParseRequest
 
 
@@ -56,6 +57,9 @@ class ParseReport:
     wall_time_seconds: float = 0.0
     #: What the parse cache did during this run (all zeros for policy off).
     cache: CacheStats = field(default_factory=CacheStats)
+    #: How the run executed: backend name, workers, batches dispatched,
+    #: queue-wait/in-flight high-water marks, per-batch latency percentiles.
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
 
     # ------------------------------------------------------------------ #
     # Headline numbers
@@ -97,6 +101,11 @@ class ParseReport:
             "fraction_routed": round(self.fraction_routed(), 4),
             "routing_stages": self.counts_by_stage(),
             "cache": self.cache.to_json_dict() if self.cache.any_activity else None,
+            "execution": {
+                "backend": self.execution.backend,
+                "workers": self.execution.workers,
+                "batches_dispatched": self.execution.batches_dispatched,
+            },
         }
 
     # ------------------------------------------------------------------ #
@@ -130,6 +139,7 @@ class ParseReport:
             "wall_time_seconds": self.wall_time_seconds,
             "usage": self.usage.to_json_dict(),
             "cache": self.cache.to_json_dict(),
+            "execution": self.execution.to_json_dict(),
             "summary": self.summary(),
             "decisions": [
                 {
@@ -184,4 +194,5 @@ class ParseReport:
             usage=ResourceUsage.from_json_dict(payload.get("usage", {})),
             wall_time_seconds=float(payload.get("wall_time_seconds", 0.0)),
             cache=CacheStats.from_json_dict(payload.get("cache", {})),
+            execution=ExecutionStats.from_json_dict(payload.get("execution", {})),
         )

@@ -9,7 +9,8 @@ compared — the building block a parsing *service* schedules on.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+import warnings
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Sequence
 
 from repro.documents.corpus import CorpusConfig
@@ -41,8 +42,20 @@ class ParseRequest:
     alpha:
         Per-request override of the engine's α routing budget; ignored for
         base parsers.
+    backend:
+        Execution backend by registry name (``serial``, ``thread``,
+        ``process``, ``hpc``) or ``"auto"``, which picks serial — or
+        thread when parallelism is requested via ``backend_options`` or
+        the deprecated ``n_jobs``.
+    backend_options:
+        Backend construction options (e.g. ``{"n_jobs": 8}`` for the
+        thread/process backends, ``{"n_nodes": 16}`` for ``hpc``); see
+        :func:`repro.pipeline.backends.backend_specs`.
     n_jobs:
-        Number of worker threads parsing batches concurrently.
+        Deprecated alias for ``backend_options={"n_jobs": N}`` (with
+        ``backend="auto"`` it resolves to the thread backend, matching the
+        historical thread-pool behaviour).  Values other than 1 emit a
+        :class:`DeprecationWarning`.
     seed:
         Corpus seed used by the ``n_documents`` shortcut (and recorded for
         provenance either way).
@@ -60,6 +73,8 @@ class ParseRequest:
     seed: int = 2025
     batch_size: int | None = None
     alpha: float | None = None
+    backend: str = "auto"
+    backend_options: dict[str, Any] = field(default_factory=dict)
     n_jobs: int = 1
     cache: str = "off"
     #: Provenance of an explicit document collection.  Derived from
@@ -89,10 +104,26 @@ class ParseRequest:
             raise ValueError("n_documents must be positive")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be positive")
+        if self.n_jobs != 1:
+            warnings.warn(
+                "ParseRequest.n_jobs is deprecated; use backend='thread' (or "
+                "'process') with backend_options={'n_jobs': N} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must lie in [0, 1]")
+        # Always copy: sharing the caller's dict would let later mutation of
+        # it bypass the validation below.
+        object.__setattr__(self, "backend_options", dict(self.backend_options))
+        # Validate the backend spec eagerly: a queued/serialised request must
+        # fail at construction, not hours later when a worker dequeues it.
+        # Imported lazily to keep the module graph acyclic.
+        from repro.pipeline.backends.base import validate_backend_spec
+
+        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
         # Accept a CachePolicy enum member (a str subclass) or a plain
         # string; validate through the enum (the single source of truth for
         # the policy set) but store the plain value so the request stays
@@ -107,6 +138,18 @@ class ParseRequest:
         from repro.cache import CachePolicy
 
         return CachePolicy(self.cache)
+
+    def resolved_backend(self) -> tuple[str, dict[str, Any]]:
+        """The concrete ``(backend name, options)`` this request executes on.
+
+        Resolves ``"auto"`` and folds the deprecated ``n_jobs`` alias into
+        the options of the thread/process backends.
+        """
+        from repro.pipeline.backends.base import normalize_backend_spec
+
+        return normalize_backend_spec(
+            self.backend, self.backend_options, n_jobs=self.n_jobs
+        )
 
     # ------------------------------------------------------------------ #
     # Document source resolution
@@ -146,6 +189,8 @@ class ParseRequest:
             "seed": self.seed,
             "batch_size": self.batch_size,
             "alpha": self.alpha,
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
             "n_jobs": self.n_jobs,
             "cache": self.cache,
             "corpus": None,
@@ -189,6 +234,8 @@ class ParseRequest:
             seed=payload.get("seed", 2025),
             batch_size=payload.get("batch_size"),
             alpha=payload.get("alpha"),
+            backend=payload.get("backend", "auto"),
+            backend_options=dict(payload.get("backend_options", {}) or {}),
             n_jobs=payload.get("n_jobs", 1),
             cache=payload.get("cache", "off"),
             doc_ids=None if doc_ids is None else tuple(doc_ids),

@@ -1,0 +1,42 @@
+"""Shared PEP 562 lazy-export machinery for package ``__init__`` modules.
+
+Several packages (:mod:`repro`, :mod:`repro.pipeline`,
+:mod:`repro.pipeline.backends`) expose a flat public API over heavy
+submodules (the ML stack, the HPC simulator) and must stay cheap to
+import.  Each declares a ``{name: "module:attribute"}`` map and a thin
+PEP 562 hook that delegates here::
+
+    _LAZY_EXPORTS = {"ParsePipeline": "repro.pipeline.pipeline:ParsePipeline"}
+    __all__ = sorted(_LAZY_EXPORTS)
+
+    def __getattr__(name):
+        from repro.utils.lazy import resolve_lazy
+        return resolve_lazy(__name__, globals(), _LAZY_EXPORTS, name)
+
+The helper import happens inside the hook (first attribute access, which
+pays for heavy modules anyway), so merely importing the package stays
+free of it.  Resolved names are cached into the module's globals, so each
+attribute pays the import exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def resolve_lazy(
+    module_name: str,
+    module_globals: dict[str, Any],
+    exports: Mapping[str, str],
+    name: str,
+) -> Any:
+    """Resolve one lazily exported name, caching it into the module globals."""
+    target = exports.get(name)
+    if target is None:
+        raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
+    target_module, _, attribute = target.partition(":")
+    import importlib
+
+    value = getattr(importlib.import_module(target_module), attribute)
+    module_globals[name] = value
+    return value

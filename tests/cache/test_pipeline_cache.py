@@ -120,7 +120,8 @@ class TestPipelineCaching:
         pipeline, parser = _counting_pipeline()
         report = pipeline.run(
             request_for_documents(
-                "counting", documents * 3, batch_size=5, n_jobs=4, cache="readwrite"
+                "counting", documents * 3, batch_size=5, cache="readwrite",
+                backend="thread", backend_options={"n_jobs": 4},
             )
         )
         assert all(count == 1 for count in parser.parse_counts.values())
@@ -134,12 +135,14 @@ class TestPipelineCaching:
         pipeline, parser = _counting_pipeline()
         cold = pipeline.run(
             request_for_documents(
-                "counting", documents, batch_size=3, n_jobs=4, cache="readwrite"
+                "counting", documents, batch_size=3, cache="readwrite",
+                backend="thread", backend_options={"n_jobs": 4},
             )
         )
         warm = pipeline.run(
             request_for_documents(
-                "counting", documents, batch_size=3, n_jobs=4, cache="readwrite"
+                "counting", documents, batch_size=3, cache="readwrite",
+                backend="thread", backend_options={"n_jobs": 4},
             )
         )
         assert warm.cache.hits == len(documents)

@@ -1,0 +1,693 @@
+"""Tests of the pluggable execution-backend API.
+
+Covers the backend registry, the ordered-window execution contract (and
+the thread backend's teardown regression), the serial/thread/process
+parity guarantee (byte-identical reports modulo timings, including
+α-budget boundaries and cache ``readwrite``), the HPC adapter, the
+``n_jobs`` deprecation path, and the execution telemetry round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import ParseCache
+from repro.core.config import AdaParseConfig
+from repro.core.engine import AdaParseEngine
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.registry import default_registry
+from repro.pipeline import (
+    ExecutionStats,
+    ParsePipeline,
+    ParseReport,
+    ParseRequest,
+    ThreadBackend,
+    backend_names,
+    create_backend,
+    request_for_documents,
+)
+from repro.pipeline.backends import (
+    BackendError,
+    HPCBackend,
+    SerialBackend,
+    normalize_backend_spec,
+    resolve_execution,
+)
+from repro.pipeline.backends.thread import THREAD_NAME_PREFIX
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Options that make the process backend deterministic in tests: fork keeps
+#: this module's ScriptedEngine picklable by reference.
+PROCESS_OPTIONS = {"n_jobs": 2, "mp_context": "fork"}
+
+
+class ScriptedEngine(AdaParseEngine):
+    """Engine double with deterministic improvement scores (no training)."""
+
+    name = "scripted-backend"
+
+    def improvement_scores(self, documents, extracted_texts) -> np.ndarray:
+        return np.linspace(0.1, 1.0, len(documents))
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def corpus_100():
+    return build_corpus(CorpusConfig(n_documents=100, seed=17, min_pages=2, max_pages=4))
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return build_corpus(CorpusConfig(n_documents=16, seed=19, min_pages=2, max_pages=3))
+
+
+@pytest.fixture()
+def engine(registry):
+    # batch_size=40 over 100 documents puts the α budget on 40/40/20 batch
+    # boundaries, the regression surface of the per-batch cap.
+    return ScriptedEngine(registry, AdaParseConfig(alpha=0.05, batch_size=40))
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+def _triple(x: int) -> int:
+    return 3 * x
+
+
+def _backend_threads() -> list[threading.Thread]:
+    return [
+        t for t in threading.enumerate() if t.name.startswith(THREAD_NAME_PREFIX)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Registry & resolution
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "thread", "process", "hpc"} <= set(backend_names())
+
+    def test_create_by_name(self):
+        backend = create_backend("thread", {"n_jobs": 2})
+        assert isinstance(backend, ThreadBackend)
+        assert backend.workers == 2
+        backend.close()
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="serial"):
+            create_backend("quantum")
+
+    def test_unknown_option_lists_known(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            create_backend("thread", {"bogus": 1})
+
+    def test_invalid_option_value(self):
+        with pytest.raises(ValueError, match="positive"):
+            create_backend("thread", {"n_jobs": 0})
+
+    @pytest.mark.parametrize(
+        "backend,options,n_jobs,expected",
+        [
+            ("auto", None, None, ("serial", {})),
+            ("auto", None, 1, ("serial", {})),
+            ("auto", None, 4, ("thread", {"n_jobs": 4})),
+            ("auto", {"n_jobs": 4}, None, ("thread", {"n_jobs": 4})),
+            ("thread", None, 4, ("thread", {"n_jobs": 4})),
+            ("process", {"n_jobs": 2}, 8, ("process", {"n_jobs": 2})),
+            ("serial", None, 4, ("serial", {})),
+            ("hpc", {"n_nodes": 2}, 4, ("hpc", {"n_nodes": 2})),
+        ],
+    )
+    def test_normalize_spec(self, backend, options, n_jobs, expected):
+        assert normalize_backend_spec(backend, options, n_jobs=n_jobs) == expected
+
+    def test_auto_coerces_integral_float_n_jobs(self):
+        # A CLI-coerced `--backend-opt n_jobs=4.0` must not silently run
+        # serial; integral floats resolve to the thread backend.
+        assert normalize_backend_spec("auto", {"n_jobs": 4.0}) == (
+            "thread",
+            {"n_jobs": 4},
+        )
+
+    @pytest.mark.parametrize("bad", ["four", 2.5, True])
+    def test_non_integral_n_jobs_rejected(self, bad):
+        with pytest.raises(ValueError, match="integer"):
+            normalize_backend_spec("auto", {"n_jobs": bad})
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_n_jobs_rejected_not_silently_serial(self, bad):
+        # Regression: n_jobs=0 under auto used to degrade to serial quietly.
+        with pytest.raises(ValueError, match="positive"):
+            normalize_backend_spec("auto", {"n_jobs": bad})
+        with pytest.raises(ValueError, match="positive"):
+            ParseRequest(parser="pymupdf", backend_options={"n_jobs": bad})
+
+    def test_auto_with_thread_options_but_no_parallelism_names_auto(self):
+        # window is a thread option; failing it against serial would blame a
+        # backend the caller never mentioned.
+        with pytest.raises(ValueError, match="auto.*explicitly"):
+            normalize_backend_spec("auto", {"window": 8})
+
+    def test_bogus_mp_context_fails_at_request_construction(self):
+        with pytest.raises(ValueError, match="mp_context"):
+            ParseRequest(backend="process", backend_options={"mp_context": "bogus"})
+
+    def test_instance_passthrough_is_not_owned(self):
+        backend = SerialBackend()
+        resolved, owned = resolve_execution(backend)
+        assert resolved is backend and not owned
+        with pytest.raises(ValueError, match="instance"):
+            resolve_execution(backend, {"n_jobs": 2})
+
+
+# ---------------------------------------------------------------------- #
+# map_ordered contract
+# ---------------------------------------------------------------------- #
+class TestMapOrdered:
+    def test_serial_order_and_stats(self):
+        backend = SerialBackend()
+        out = list(backend.map_ordered(lambda x: x * x, range(7)))
+        assert out == [x * x for x in range(7)]
+        stats = backend.stats()
+        assert stats.backend == "serial"
+        assert stats.workers == 1
+        assert stats.batches_dispatched == stats.batches_completed == 7
+        assert stats.in_flight_high_water == 1
+        assert stats.queue_wait_seconds_high_water == 0.0
+        assert set(stats.batch_latency_seconds) == {"mean", "p50", "p90", "p99", "max"}
+        backend.close()
+
+    def test_thread_order_preserved_under_jitter(self):
+        backend = ThreadBackend(n_jobs=4)
+
+        def jittery(x: int) -> int:
+            time.sleep(0.001 * (x % 5))
+            return x
+
+        with backend:
+            assert list(backend.map_ordered(jittery, range(40))) == list(range(40))
+        stats = backend.stats()
+        assert stats.batches_completed == 40
+        assert 1 <= stats.in_flight_high_water <= backend.window
+
+    def test_thread_window_bounds_in_flight(self):
+        backend = ThreadBackend(n_jobs=2, window=3)
+        with backend:
+            list(backend.map_ordered(lambda x: x, range(20)))
+        assert backend.stats().in_flight_high_water <= 3
+
+    def test_worker_error_propagates(self):
+        backend = ThreadBackend(n_jobs=2)
+
+        def boom(x: int) -> int:
+            if x == 3:
+                raise RuntimeError("bad batch")
+            return x
+
+        with backend:
+            with pytest.raises(RuntimeError, match="bad batch"):
+                list(backend.map_ordered(boom, range(10)))
+
+    def test_closed_backend_refuses_work(self):
+        backend = ThreadBackend(n_jobs=2)
+        backend.close()
+        with pytest.raises(BackendError, match="closed"):
+            list(backend.map_ordered(lambda x: x, [1]))
+        backend.close()  # idempotent
+
+    def test_early_close_cancels_pending_and_leaks_no_threads(self):
+        """Regression: abandoning the stream used to leave queued batches
+        uncancelled and the pool's threads behind.  Now the iterator's
+        teardown cancels everything that hasn't started and close() joins
+        the workers."""
+        assert _backend_threads() == []
+        backend = ThreadBackend(n_jobs=2, window=6)
+
+        def slow(x: int) -> int:
+            time.sleep(0.05)
+            return x
+
+        stream = backend.map_ordered(slow, range(50))
+        assert next(stream) == 0  # window submitted, first batch consumed
+        stream.close()  # abandon mid-stream
+        backend.close()  # joins workers
+        stats = backend.stats()
+        assert stats.batches_dispatched == 6
+        assert stats.batches_cancelled >= 1
+        # Whatever wasn't cancelled actually ran; nothing is unaccounted for.
+        assert stats.batches_completed + stats.batches_cancelled == stats.batches_dispatched
+        assert stats.batches_completed < 50
+        assert _backend_threads() == []
+
+
+# ---------------------------------------------------------------------- #
+# Request / report plumbing
+# ---------------------------------------------------------------------- #
+class TestRequestBackendFields:
+    def test_json_round_trip(self):
+        request = ParseRequest(
+            parser="pymupdf",
+            n_documents=5,
+            backend="process",
+            backend_options={"n_jobs": 2},
+        )
+        rebuilt = ParseRequest.from_json_dict(json.loads(json.dumps(request.to_json_dict())))
+        assert rebuilt.backend == "process"
+        assert rebuilt.backend_options == {"n_jobs": 2}
+        assert rebuilt == request
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="known"):
+            ParseRequest(backend="quantum")
+
+    def test_unknown_backend_option_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ParseRequest(backend="thread", backend_options={"bogus": 1})
+
+    def test_n_jobs_emits_deprecation_pointing_at_backend_options(self):
+        with pytest.warns(DeprecationWarning, match="backend_options"):
+            request = ParseRequest(parser="pymupdf", n_documents=4, n_jobs=4)
+        assert request.resolved_backend() == ("thread", {"n_jobs": 4})
+
+    def test_auto_resolves_serial_without_parallelism(self):
+        assert ParseRequest(parser="pymupdf").resolved_backend() == ("serial", {})
+
+    def test_execution_stats_round_trip(self):
+        stats = ExecutionStats(
+            backend="thread",
+            workers=4,
+            batches_dispatched=9,
+            batches_completed=9,
+            in_flight_high_water=8,
+            queue_wait_seconds_high_water=0.25,
+            batch_latency_seconds={"mean": 0.1, "p50": 0.1, "p90": 0.2, "p99": 0.2, "max": 0.2},
+            extra={"note": 1},
+        )
+        assert ExecutionStats.from_json_dict(stats.to_json_dict()) == stats
+
+    def test_report_round_trips_execution_block(self, registry, small_corpus):
+        report = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", list(small_corpus), batch_size=4,
+                backend="thread", backend_options={"n_jobs": 2},
+            )
+        )
+        assert report.execution.backend == "thread"
+        assert report.execution.workers == 2
+        assert report.execution.batches_dispatched == 4
+        rebuilt = ParseReport.from_json_dict(report.to_json_dict())
+        assert rebuilt.execution == report.execution
+        assert rebuilt.summary()["execution"]["backend"] == "thread"
+
+
+# ---------------------------------------------------------------------- #
+# Backend parity: identical parse output on every backend
+# ---------------------------------------------------------------------- #
+#: Timing-dependent payload fields (zeroed before byte comparison).
+_TIMING_KEYS = {
+    "wall_time_seconds",
+    "throughput_docs_per_second",
+    "time_saved_seconds",
+    "bytes_read",
+    "bytes_written",
+}
+#: Fields that legitimately describe *how* a run executed, not what it
+#: parsed (dropped before byte comparison).
+_EXECUTION_KEYS = {"execution", "backend", "backend_options", "n_jobs"}
+
+
+def _normalized_bytes(payload: dict) -> bytes:
+    """Report JSON with timings zeroed and execution descriptors dropped."""
+
+    def scrub(node):
+        if isinstance(node, dict):
+            return {
+                key: (0 if key in _TIMING_KEYS else scrub(value))
+                for key, value in node.items()
+                if key not in _EXECUTION_KEYS
+            }
+        if isinstance(node, list):
+            return [scrub(item) for item in node]
+        return node
+
+    return json.dumps(scrub(payload), sort_keys=True).encode("utf-8")
+
+
+def _backend_cases() -> list[tuple[str, dict]]:
+    cases = [("serial", {}), ("thread", {"n_jobs": 3})]
+    if HAVE_FORK:
+        cases.append(("process", dict(PROCESS_OPTIONS)))
+    return cases
+
+
+class TestBackendParity:
+    def _report(self, registry, engine, documents, backend, options, cache=""):
+        pipeline = ParsePipeline(
+            registry, engines={engine.name: engine}, cache=ParseCache()
+        )
+        overrides = {"cache": "readwrite"} if cache else {}
+        request = request_for_documents(
+            engine.name,
+            documents,
+            batch_size=40,
+            backend=backend,
+            backend_options=options,
+            **overrides,
+        )
+        return pipeline.run(request)
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_engine_reports_byte_identical_modulo_timings(
+        self, registry, engine, corpus_100, backend, options
+    ):
+        documents = list(corpus_100)
+        baseline = self._report(registry, engine, documents, "serial", {})
+        candidate = self._report(registry, engine, documents, backend, options)
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+        # The α budget holds per batch on every backend (40/40/20 boundaries).
+        assert candidate.fraction_routed() <= engine.config.alpha + 1e-9
+        assert len(candidate.decisions) == len(documents)
+        assert candidate.execution.backend == backend
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_cache_readwrite_parity(
+        self, registry, engine, small_corpus, backend, options
+    ):
+        documents = list(small_corpus)
+        baseline = self._report(
+            registry, engine, documents, "serial", {}, cache="readwrite"
+        )
+        candidate = self._report(
+            registry, engine, documents, backend, options, cache="readwrite"
+        )
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+        assert candidate.cache.misses == len(documents)
+        assert candidate.cache.stores == len(documents)
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_base_parser_parity(self, registry, corpus_100, backend, options):
+        documents = list(corpus_100)
+        baseline = ParsePipeline(registry).run(
+            request_for_documents("pymupdf", documents, batch_size=16)
+        )
+        candidate = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", documents, batch_size=16,
+                backend=backend, backend_options=options,
+            )
+        )
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Process backend specifics
+# ---------------------------------------------------------------------- #
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestProcessBackend:
+    def test_cache_write_back_merges_into_parent(self, registry, small_corpus):
+        documents = list(small_corpus)
+        pipeline = ParsePipeline(registry, cache=ParseCache())
+        first = pipeline.run(
+            request_for_documents(
+                "pymupdf", documents, cache="readwrite",
+                backend="process", backend_options=dict(PROCESS_OPTIONS),
+            )
+        )
+        # Children parsed everything; the parent merged the results back.
+        assert first.cache.misses == len(documents)
+        assert first.cache.stores == len(documents)
+        # A serial follow-up on the same pipeline is served entirely from
+        # the parent's cache — proof the write-back landed parent-side.
+        second = pipeline.run(
+            request_for_documents("pymupdf", documents, cache="readwrite")
+        )
+        assert second.cache.hits == len(documents)
+        assert second.cache.misses == 0
+        assert [r.text for r in second.results] == [r.text for r in first.results]
+
+    def test_worker_registered_once_then_fallback_for_second_worker(self):
+        # The first worker rides the pool initializer (shipped once per
+        # child); a different second worker on the same pool still runs
+        # correctly via the per-call fallback.
+        from repro.pipeline.backends import ProcessBackend
+
+        backend = ProcessBackend(**PROCESS_OPTIONS)
+        try:
+            first = backend.wrap_inner(_double)
+            assert [first(i) for i in range(4)] == [0, 2, 4, 6]
+            second = backend.wrap_inner(_triple)
+            assert [second(i) for i in range(4)] == [0, 3, 6, 9]
+            # And the registered worker keeps working alongside it.
+            assert first(5) == 10
+        finally:
+            backend.close()
+
+    def test_unpicklable_worker_raises_backend_error(self):
+        class UnpicklableWorker:
+            def __call__(self, batch):  # pragma: no cover - never runs
+                return [], []
+
+            def __reduce__(self):
+                raise TypeError("cannot pickle this worker")
+
+        from repro.pipeline.backends import ProcessBackend
+
+        backend = ProcessBackend(**PROCESS_OPTIONS)
+        try:
+            with pytest.raises(BackendError, match="picklable"):
+                backend.wrap_inner(UnpicklableWorker())
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------- #
+# HPC adapter
+# ---------------------------------------------------------------------- #
+class TestHPCBackend:
+    def test_results_match_serial_and_extra_has_simulation(self, registry, small_corpus):
+        documents = list(small_corpus)
+        baseline = ParsePipeline(registry).run(
+            request_for_documents("pymupdf", documents, batch_size=4)
+        )
+        report = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", documents, batch_size=4,
+                backend="hpc",
+                backend_options={"n_nodes": 2, "docs_per_archive": 8},
+            )
+        )
+        assert [r.text for r in report.results] == [r.text for r in baseline.results]
+        assert report.execution.backend == "hpc"
+        assert report.execution.workers == 2
+        extra = report.execution.extra
+        assert extra["sim_nodes"] == 2
+        assert extra["sim_time_s"] > 0
+        assert extra["sim_docs_per_s"] > 0
+        assert extra["sim_documents_completed"] == len(documents)
+
+    def test_direct_adapter_replay_is_cached_until_new_work(self):
+        backend = HPCBackend(n_nodes=1, docs_per_archive=4)
+        assert backend.stats().extra == {}  # nothing ran, nothing simulated
+        backend.close()
+
+    def test_reused_instance_labels_mixed_parsers(self):
+        from repro.parsers.base import ParseResult
+
+        backend = HPCBackend(n_nodes=1, docs_per_archive=4)
+        batches = [
+            ([ParseResult(parser_name="pymupdf", doc_id="a", page_texts=["x"])], []),
+            ([ParseResult(parser_name="nougat", doc_id="b", page_texts=["y"])], []),
+        ]
+        list(backend.map_ordered(lambda batch: batch, batches))
+        # The aggregated replay is honestly labelled rather than attributed
+        # to whichever parser happened to run first.
+        assert backend._parser_name == "mixed"
+        assert backend.stats().extra["sim_documents_completed"] == 2
+        backend.close()
+
+
+# ---------------------------------------------------------------------- #
+# Consumers accept backend specs
+# ---------------------------------------------------------------------- #
+class TestConsumers:
+    def test_pipeline_accepts_backend_instance_and_reports_stats(
+        self, registry, small_corpus
+    ):
+        backend = ThreadBackend(n_jobs=2)
+        pipeline = ParsePipeline(registry)
+        with backend:
+            results, _ = pipeline.parse_with_telemetry(
+                "pymupdf", list(small_corpus), batch_size=4, backend=backend
+            )
+        assert len(results) == len(small_corpus)
+        assert backend.stats().batches_dispatched == 4
+
+    def test_dataset_builder_backend_spec_matches_serial(self, registry, small_corpus):
+        from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
+
+        parser = registry.get("pymupdf")
+        threaded = DatasetBuilder(
+            parser,
+            DatasetBuildConfig(
+                min_tokens=10, backend="thread", backend_options={"n_jobs": 2}
+            ),
+        ).build(small_corpus)
+        serial = DatasetBuilder(parser, DatasetBuildConfig(min_tokens=10)).build(
+            small_corpus
+        )
+        assert threaded.summary() == serial.summary()
+
+    def test_dataset_builder_rejects_unknown_backend(self):
+        from repro.datasets.assembly import DatasetBuildConfig
+
+        with pytest.raises(ValueError, match="known"):
+            DatasetBuildConfig(backend="quantum")
+
+    def test_dataset_builder_rejects_unknown_backend_option(self):
+        from repro.datasets.assembly import DatasetBuildConfig
+
+        with pytest.raises(ValueError, match="njobs"):
+            DatasetBuildConfig(backend="thread", backend_options={"njobs": 8})
+
+    def test_harness_config_rejects_unknown_backend_option(self):
+        from repro.evaluation.harness import HarnessConfig
+
+        with pytest.raises(ValueError, match="known"):
+            HarnessConfig(backend="quantum")
+        with pytest.raises(ValueError, match="njobs"):
+            HarnessConfig(backend="thread", backend_options={"njobs": 8})
+
+    def test_config_n_jobs_aliases_warn_like_the_request(self):
+        from repro.datasets.assembly import DatasetBuildConfig
+        from repro.evaluation.harness import HarnessConfig
+
+        with pytest.warns(DeprecationWarning, match="backend_options"):
+            DatasetBuildConfig(n_jobs=2)
+        with pytest.warns(DeprecationWarning, match="backend_options"):
+            HarnessConfig(n_jobs=2)
+
+    def test_serial_request_never_imports_hpc_stack(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        code = (
+            "import sys, repro\n"
+            "repro.ParseRequest(parser='pymupdf', n_documents=2, backend='serial')\n"
+            "assert not any(m.startswith('repro.hpc') for m in sys.modules), 'hpc leaked'\n"
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_harness_backend_spec(self, registry, small_corpus):
+        from repro.evaluation.harness import EvaluationHarness, HarnessConfig
+
+        harness = EvaluationHarness(
+            HarnessConfig(backend="thread", backend_options={"n_jobs": 2})
+        )
+        report = harness.evaluate(
+            small_corpus, [registry.get("pymupdf")], compute_win_rate=False
+        )
+        assert "pymupdf" in report.aggregates
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+class TestCli:
+    def test_pipeline_backend_flags(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "pipeline",
+                "--documents", "6",
+                "--seed", "4",
+                "--backend", "thread",
+                "--backend-opt", "n_jobs=2",
+                "--backend-opt", "window=4",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "thread"
+        assert payload["execution"]["workers"] == 2
+        assert payload["request"]["backend"] == "thread"
+        assert payload["request"]["backend_options"] == {"n_jobs": 2, "window": 4}
+
+    def test_pipeline_jobs_flag_warns_and_maps_to_thread(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="--backend thread"):
+            exit_code = main(["pipeline", "--documents", "4", "--jobs", "2"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "thread"
+        assert payload["execution"]["workers"] == 2
+
+    def test_jobs_flag_with_non_thread_backend_is_ignored_not_fatal(self, capsys):
+        # Regression: --jobs used to be folded into the options of every
+        # backend, failing serial/hpc option validation with a traceback.
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            exit_code = main(
+                ["pipeline", "--documents", "4", "--backend", "serial", "--jobs", "2"]
+            )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "serial"
+        assert payload["execution"]["workers"] == 1
+
+    def test_dataset_jobs_flag_warns(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="--backend thread"):
+            exit_code = main(
+                ["dataset", "--documents", "4", "--min-tokens", "5", "--jobs", "2"]
+            )
+        assert exit_code == 0
+        assert '"retention_rate"' in capsys.readouterr().out
+
+    def test_dataset_backend_flags(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "dataset",
+                "--documents", "4",
+                "--min-tokens", "5",
+                "--backend", "serial",
+            ]
+        )
+        assert exit_code == 0
+        assert '"retention_rate"' in capsys.readouterr().out
+
+    def test_malformed_backend_opt_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["pipeline", "--documents", "2", "--backend-opt", "n_jobs"])

@@ -94,13 +94,15 @@ class TestParseRequest:
             ),
             batch_size=3,
             alpha=0.2,
-            n_jobs=2,
+            backend="thread",
+            backend_options={"n_jobs": 2},
         )
         rebuilt = ParseRequest.from_json_dict(request.to_json_dict())
         assert rebuilt.parser == "nougat"
         assert rebuilt.batch_size == 3
         assert rebuilt.alpha == 0.2
-        assert rebuilt.n_jobs == 2
+        assert rebuilt.backend == "thread"
+        assert rebuilt.backend_options == {"n_jobs": 2}
         # The full corpus spec (including nested textgen knobs) is lossless,
         # so a rehydrated request replays over identical documents.
         assert rebuilt.corpus == request.corpus
@@ -148,13 +150,31 @@ class TestPipelineRun:
         assert len(report.decisions) == len(documents)
         assert report.fraction_routed() <= engine.config.alpha + 1e-9
 
-    def test_n_jobs_parity(self, registry, engine, corpus_250):
+    def test_thread_backend_parity(self, registry, engine, corpus_250):
         documents = list(corpus_250)
         pipeline = ParsePipeline(registry, engines={engine.name: engine})
-        serial = pipeline.run(request_for_documents(engine.name, documents, n_jobs=1))
-        threaded = pipeline.run(request_for_documents(engine.name, documents, n_jobs=4))
+        serial = pipeline.run(request_for_documents(engine.name, documents))
+        threaded = pipeline.run(
+            request_for_documents(
+                engine.name, documents,
+                backend="thread", backend_options={"n_jobs": 4},
+            )
+        )
         assert [r.text for r in serial.results] == [r.text for r in threaded.results]
         assert serial.decisions == threaded.decisions
+        assert serial.execution.backend == "serial"
+        assert threaded.execution.backend == "thread"
+
+    def test_deprecated_n_jobs_still_selects_thread_backend(
+        self, registry, engine, small_corpus
+    ):
+        documents = list(small_corpus)
+        pipeline = ParsePipeline(registry, engines={engine.name: engine})
+        with pytest.warns(DeprecationWarning, match="backend_options"):
+            request = request_for_documents(engine.name, documents, n_jobs=4)
+        report = pipeline.run(request)
+        assert report.execution.backend == "thread"
+        assert report.execution.workers == 4
 
     def test_alpha_override_produces_sibling_engine(self, registry, engine, small_corpus):
         pipeline = ParsePipeline(registry, engines={engine.name: engine})
@@ -257,7 +277,13 @@ class TestStreaming:
     def test_threaded_streaming_preserves_order(self, registry, corpus_250):
         pipeline = ParsePipeline(registry)
         streamed = list(
-            pipeline.iter_parse("pymupdf", iter(corpus_250), batch_size=16, n_jobs=4)
+            pipeline.iter_parse(
+                "pymupdf",
+                iter(corpus_250),
+                batch_size=16,
+                backend="thread",
+                backend_options={"n_jobs": 4},
+            )
         )
         assert [r.doc_id for r in streamed] == [d.doc_id for d in corpus_250]
 
@@ -356,7 +382,9 @@ class TestConsumers:
         from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
 
         parser = registry.get("pymupdf")
-        config = DatasetBuildConfig(min_tokens=10, n_jobs=2)
+        config = DatasetBuildConfig(
+            min_tokens=10, backend="thread", backend_options={"n_jobs": 2}
+        )
         built = DatasetBuilder(parser, config).build(small_corpus)
         legacy = DatasetBuilder(parser, config).build_from_results(
             small_corpus, parser.parse_many(list(small_corpus))
@@ -367,7 +395,10 @@ class TestConsumers:
         from repro.evaluation.harness import EvaluationHarness, HarnessConfig
 
         pipeline = ParsePipeline(registry, engines={engine.name: engine})
-        harness = EvaluationHarness(HarnessConfig(n_jobs=2), pipeline=pipeline)
+        harness = EvaluationHarness(
+            HarnessConfig(backend="thread", backend_options={"n_jobs": 2}),
+            pipeline=pipeline,
+        )
         report = harness.evaluate(small_corpus, [registry.get("pymupdf"), engine])
         assert len(report.routing[engine.name]) == len(small_corpus)
         assert report.routing["pymupdf"] == []

@@ -75,12 +75,17 @@ class TestCommands:
 
     def test_pipeline_command_prints_report(self, capsys):
         exit_code = main(
-            ["pipeline", "--documents", "6", "--seed", "4", "--parser", "pymupdf", "--jobs", "2"]
+            [
+                "pipeline", "--documents", "6", "--seed", "4",
+                "--parser", "pymupdf",
+                "--backend", "thread", "--backend-opt", "n_jobs=2",
+            ]
         )
         assert exit_code == 0
         out = capsys.readouterr().out
         assert '"throughput_docs_per_second"' in out
         assert '"n_documents": 6' in out
+        assert '"backend": "thread"' in out
 
     def test_pipeline_command_writes_json(self, tmp_path, capsys):
         import json
