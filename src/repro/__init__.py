@@ -29,6 +29,9 @@ PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
   :class:`~repro.pipeline.ParseReport` (results, routing telemetry,
   resource usage, throughput) out.  The CLI, dataset builder, and
   evaluation harness are all built on this facade.
+* :mod:`repro.serve` — the long-running parse service: many concurrent
+  requests multiplexed onto one shared backend and one shared cache,
+  with priority/fair-share admission and streaming progress events.
 
 The two-line tour::
 
@@ -66,8 +69,11 @@ _LAZY_EXPORTS: dict[str, str] = {
     "ParsePipeline": "repro.pipeline.pipeline:ParsePipeline",
     "ParseReport": "repro.pipeline.report:ParseReport",
     "ParseRequest": "repro.pipeline.request:ParseRequest",
+    "ParseService": "repro.serve.service:ParseService",
     "RoutingDecision": "repro.core.engine:RoutingDecision",
     "RoutingSummary": "repro.core.engine:RoutingSummary",
+    "ServiceConfig": "repro.serve.service:ServiceConfig",
+    "serve": "repro.serve",
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -39,6 +39,14 @@ Warm the persistent parse cache, inspect it, and run against it::
     adaparse-repro pipeline --documents 200 --cache readwrite --cache-dir /tmp/parse-cache
     adaparse-repro cache purge --dir /tmp/parse-cache
 
+Serve many concurrent requests from one backend + one cache (streams
+NDJSON progress events; identical corpora dedup via cross-request
+single-flight), or submit a single request the client-side way::
+
+    adaparse-repro serve --documents 100 --requests 4 --backend async \
+        --backend-opt n_jobs=8 --cache readwrite
+    adaparse-repro submit --documents 50 --parser pymupdf --priority 5
+
 Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
 
     adaparse-repro fill-experiments
@@ -58,7 +66,8 @@ from pathlib import Path
 
 
 def _coerce_opt_value(raw: str):
-    """Coerce a ``--backend-opt`` value: bool, int, float, then string."""
+    """Coerce a ``--backend-opt`` value: bool (``true``/``false``), int,
+    float, then string."""
     lowered = raw.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -81,6 +90,21 @@ def _parse_backend_opts(pairs: list[str] | None) -> dict:
             )
         options[key.strip()] = _coerce_opt_value(raw.strip())
     return options
+
+
+def _validate_backend_spec_or_exit(backend: str, options: dict) -> None:
+    """Fail fast — and cleanly — on a bad backend name or option.
+
+    An unknown ``--backend-opt`` name (or a bad value) used to surface as
+    a ``ValueError`` traceback out of ``ParseRequest``; a CLI user gets
+    the message (which lists the known names/options) without the stack.
+    """
+    from repro.pipeline.backends.base import validate_backend_spec
+
+    try:
+        validate_backend_spec(backend, options)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _backend_options_with_jobs_alias(args: argparse.Namespace, flag: str = "--jobs") -> dict:
@@ -115,22 +139,27 @@ def _backend_options_with_jobs_alias(args: argparse.Namespace, flag: str = "--jo
         warnings.warn(message, DeprecationWarning, stacklevel=2)
         if accepts:
             options.setdefault("n_jobs", jobs)
+    _validate_backend_spec_or_exit(getattr(args, "backend", "auto"), options)
     return options
 
 
-def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_backend_arguments(
+    parser: argparse.ArgumentParser, default: str = "auto"
+) -> None:
     parser.add_argument(
         "--backend",
         type=str,
-        default="auto",
-        help="execution backend: auto, serial, thread, process, hpc",
+        default=default,
+        help=f"execution backend: auto, serial, thread, process, hpc, async "
+        f"(default: {default})",
     )
     parser.add_argument(
         "--backend-opt",
         action="append",
         default=None,
         metavar="KEY=VALUE",
-        help="backend option (repeatable), e.g. n_jobs=4, n_nodes=16, mp_context=fork",
+        help="backend option (repeatable), e.g. n_jobs=4, n_nodes=16, "
+        "mp_context=fork, max_window=32, adaptive=false",
     )
 
 
@@ -314,6 +343,112 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the parse service over N concurrent requests, streaming events.
+
+    The in-process demonstration of :class:`repro.serve.ParseService`:
+    submissions share one backend and one cache, so identical corpora
+    (the default; ``--distinct`` varies the seeds) are parsed exactly
+    once with cross-request single-flight — the summary's
+    ``cache_totals`` block shows the dedup.
+    """
+    import threading
+
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
+    from repro.serve import ParseService, ServiceConfig
+
+    options = _parse_backend_opts(args.backend_opt)
+    _validate_backend_spec_or_exit(args.backend, options)
+    print_lock = threading.Lock()
+
+    def sink(event) -> None:
+        if args.quiet:
+            return
+        with print_lock:
+            print(json.dumps(event.to_json_dict()), flush=True)
+
+    if args.parser in ENGINE_VARIANTS:
+        print("training the AdaParse engine on a small corpus...", flush=True)
+    pipeline = ParsePipeline(cache=_build_cache(args))
+    config = ServiceConfig(
+        backend=args.backend, backend_options=options, max_active=args.max_active
+    )
+    reports = {}
+    with ParseService(pipeline=pipeline, config=config, event_sink=sink) as service:
+        tickets = {}
+        for i in range(args.requests):
+            client = f"client-{i}"
+            request = ParseRequest(
+                parser=args.parser,
+                n_documents=args.documents,
+                seed=args.seed + (i if args.distinct else 0),
+                batch_size=args.batch_size,
+                cache=args.cache,
+            )
+            tickets[client] = service.submit(request, client=client)
+        for client, ticket in tickets.items():
+            reports[client] = ticket.result()
+        summary = {
+            "service": service.describe(),
+            "tickets": {
+                client: {"ticket": tickets[client].id, **report.summary()}
+                for client, report in reports.items()
+            },
+            "cache_totals": {
+                "misses": sum(r.cache.misses for r in reports.values()),
+                "hits": sum(r.cache.hits for r in reports.values()),
+                "coalesced": sum(r.cache.coalesced for r in reports.values()),
+                "stores": sum(r.cache.stores for r in reports.values()),
+            },
+        }
+    print(json.dumps(summary, indent=2, default=str))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one request to a fresh service (the client-side smoke path)."""
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
+    from repro.serve import ParseService, ServiceConfig
+
+    options = _parse_backend_opts(args.backend_opt)
+    _validate_backend_spec_or_exit(args.backend, options)
+    try:
+        if args.request_file:
+            payload = json.loads(Path(args.request_file).read_text(encoding="utf-8"))
+            request = ParseRequest.from_json_dict(payload)
+        else:
+            request = ParseRequest(
+                parser=args.parser,
+                n_documents=args.documents,
+                seed=args.seed,
+                batch_size=args.batch_size,
+                alpha=args.alpha,
+                cache=args.cache,
+            )
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: invalid request: {exc}") from exc
+    if request.parser in ENGINE_VARIANTS:
+        print("training the AdaParse engine on a small corpus...", flush=True)
+    pipeline = ParsePipeline(cache=_build_cache(args))
+    config = ServiceConfig(backend=args.backend, backend_options=options, max_active=1)
+    with ParseService(pipeline=pipeline, config=config) as service:
+        ticket = service.submit(request, priority=args.priority, client=args.client)
+        report = ticket.result()
+        if not args.quiet:
+            for event in ticket.events(timeout=5.0):
+                print(json.dumps(event.to_json_dict()), flush=True)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_json_dict(include_text=args.include_text), indent=2),
+            encoding="utf-8",
+        )
+        print(f"wrote ParseReport to {path}")
+    print(json.dumps(report.summary(), indent=2, default=str))
+    return 0
+
+
 def _cmd_fill_experiments(args: argparse.Namespace) -> int:
     from repro.evaluation.measured import MeasuredStore, fill_experiments_file
 
@@ -467,6 +602,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_warm.add_argument("--jobs", type=int, default=1, help="parse worker threads")
     cache_warm.set_defaults(func=_cmd_cache_warm)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the parse service: N concurrent requests, one shared "
+        "backend and cache, streamed NDJSON progress events",
+    )
+    serve.add_argument("--documents", type=int, default=50, help="documents per request")
+    serve.add_argument("--seed", type=int, default=2025)
+    serve.add_argument("--requests", type=int, default=4, help="concurrent requests to submit")
+    serve.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    serve.add_argument("--batch-size", type=int, default=None)
+    serve.add_argument("--max-active", type=int, default=4, help="requests executing at once")
+    serve.add_argument(
+        "--distinct",
+        action="store_true",
+        help="give each request its own corpus seed (default: identical corpora, "
+        "showcasing cross-request single-flight)",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress the NDJSON event stream")
+    _add_backend_arguments(serve, default="async")
+    serve.add_argument(
+        "--cache",
+        type=str,
+        default="readwrite",
+        choices=["off", "read", "write", "readwrite"],
+        help="parse-result cache policy shared by every request",
+    )
+    serve.add_argument(
+        "--cache-dir", type=str, default="", help="persistent cache directory"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one request to a parse service and print its report "
+        "(client-side smoke path)",
+    )
+    submit.add_argument("--documents", type=int, default=20)
+    submit.add_argument("--seed", type=int, default=2025)
+    submit.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    submit.add_argument("--batch-size", type=int, default=None)
+    submit.add_argument("--alpha", type=float, default=None, help="engine α-budget override")
+    submit.add_argument(
+        "--request-file",
+        type=str,
+        default="",
+        help="JSON file with a serialised ParseRequest (overrides the flags above)",
+    )
+    submit.add_argument("--priority", type=int, default=0, help="admission priority (higher first)")
+    submit.add_argument("--client", type=str, default="cli", help="fair-share client identity")
+    submit.add_argument("--quiet", action="store_true", help="suppress the NDJSON event stream")
+    submit.add_argument("--include-text", action="store_true", help="embed page texts in --output")
+    submit.add_argument("--output", type=str, default="", help="write the full report JSON here")
+    _add_backend_arguments(submit, default="async")
+    submit.add_argument(
+        "--cache",
+        type=str,
+        default="off",
+        choices=["off", "read", "write", "readwrite"],
+        help="parse-result cache policy",
+    )
+    submit.add_argument(
+        "--cache-dir", type=str, default="", help="persistent cache directory"
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     fill = sub.add_parser(
         "fill-experiments",

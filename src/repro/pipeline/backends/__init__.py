@@ -1,6 +1,6 @@
 """Pluggable execution backends of the parsing pipeline.
 
-One :class:`ExecutionBackend` protocol, four implementations:
+One :class:`ExecutionBackend` protocol, five implementations:
 
 ========= ==================================================================
 name      execution
@@ -9,6 +9,7 @@ serial    inline in the calling thread (reference; parity baseline)
 thread    bounded thread-pool window sharing parent memory
 process   worker processes for GIL-free parsing; cache stays parent-side
 hpc       inline parse + measured-usage replay on the simulated cluster
+async     asyncio event loop with an adaptive (AIMD) in-flight window
 ========= ==================================================================
 
 Backends are selected by name through :class:`~repro.pipeline.ParseRequest`
@@ -27,6 +28,8 @@ from __future__ import annotations
 
 #: Public name → "module:attribute", resolved on first access.
 _LAZY_EXPORTS: dict[str, str] = {
+    "AdaptiveWindow": "repro.pipeline.backends.async_:AdaptiveWindow",
+    "AsyncBackend": "repro.pipeline.backends.async_:AsyncBackend",
     "BackendError": "repro.pipeline.backends.base:BackendError",
     "BackendSpec": "repro.pipeline.backends.base:BackendSpec",
     "ExecutionBackend": "repro.pipeline.backends.base:ExecutionBackend",

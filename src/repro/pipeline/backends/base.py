@@ -265,6 +265,7 @@ _BUILTIN_BACKEND_MODULES: dict[str, str] = {
     "thread": "repro.pipeline.backends.thread",
     "process": "repro.pipeline.backends.process",
     "hpc": "repro.pipeline.backends.hpc",
+    "async": "repro.pipeline.backends.async_",
 }
 
 

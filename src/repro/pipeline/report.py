@@ -105,6 +105,7 @@ class ParseReport:
                 "backend": self.execution.backend,
                 "workers": self.execution.workers,
                 "batches_dispatched": self.execution.batches_dispatched,
+                "in_flight_high_water": self.execution.in_flight_high_water,
             },
         }
 

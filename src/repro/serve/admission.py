@@ -1,0 +1,78 @@
+"""Admission policy of the parse service: priorities with fair share.
+
+When the service has a free execution slot it must pick one queued
+ticket.  :class:`FairShareAdmission` implements the scheduling
+discipline the service promises its callers:
+
+1. **Priority first** — only tickets of the highest queued priority are
+   eligible (higher numbers are more urgent; the default is 0).
+2. **Fair share within a priority tier** — among eligible tickets, the
+   client with the least work currently *running* goes first; ties break
+   toward the client that has been *served least* overall, so a chatty
+   client cannot starve a quiet one even between bursts.
+3. **FIFO within a client** — the oldest submission of the chosen
+   client runs first.
+
+The policy is a pure function over queue state (no clocks, no
+randomness), which keeps admission decisions unit-testable and
+replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+
+class AdmissibleTicket(Protocol):
+    """What the policy needs to know about a queued ticket."""
+
+    priority: int
+    client: str
+    seq: int
+
+
+class FairShareAdmission:
+    """Priority tiers with least-active / least-served fair share inside."""
+
+    def select(
+        self,
+        queued: Sequence[AdmissibleTicket],
+        active_by_client: Mapping[str, int],
+        served_by_client: Mapping[str, int],
+    ) -> AdmissibleTicket:
+        """Pick the next ticket to admit from a non-empty queue."""
+        if not queued:
+            raise ValueError("select() requires a non-empty queue")
+        top = max(ticket.priority for ticket in queued)
+        eligible = [ticket for ticket in queued if ticket.priority == top]
+        return min(
+            eligible,
+            key=lambda ticket: (
+                active_by_client.get(ticket.client, 0),
+                served_by_client.get(ticket.client, 0),
+                ticket.seq,
+            ),
+        )
+
+    def order(
+        self,
+        queued: Sequence[AdmissibleTicket],
+        active_by_client: Mapping[str, int] | None = None,
+        served_by_client: Mapping[str, int] | None = None,
+    ) -> list[AdmissibleTicket]:
+        """The full admission order of a queue snapshot (for introspection).
+
+        Simulates repeated :meth:`select` calls, counting each pick as
+        active work for its client — the order real admissions would take
+        if every admitted ticket kept running.
+        """
+        active = dict(active_by_client or {})
+        served = dict(served_by_client or {})
+        remaining = list(queued)
+        ordered: list[AdmissibleTicket] = []
+        while remaining:
+            pick = self.select(remaining, active, served)
+            remaining.remove(pick)
+            active[pick.client] = active.get(pick.client, 0) + 1
+            ordered.append(pick)
+        return ordered

@@ -1,0 +1,83 @@
+"""Progress events streamed by :class:`repro.serve.ParseService`.
+
+A ticket's lifecycle is narrated as an ordered stream of
+:class:`ProgressEvent` values: ``queued`` → ``started`` → ``batch``*
+→ exactly one terminal event (``completed``, ``failed``, or
+``cancelled``).  Events are plain JSON-serialisable records so the CLI
+can stream them as NDJSON and remote clients of a future network
+frontend can consume the same schema.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class EventKind(str, enum.Enum):
+    """What a progress event reports."""
+
+    QUEUED = "queued"
+    STARTED = "started"
+    BATCH = "batch"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether this event ends the ticket's stream."""
+        return self in (EventKind.COMPLETED, EventKind.FAILED, EventKind.CANCELLED)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One step of a ticket's lifecycle.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`EventKind` value (stored as its string).
+    ticket_id:
+        Which submission this event belongs to.
+    seq:
+        Per-ticket sequence number (0-based, gapless) — consumers can
+        detect missed events without timestamps.
+    timestamp:
+        Wall-clock time the event was emitted (``time.time()``).
+    payload:
+        Kind-specific details: ``batch`` events carry
+        ``documents_done``/``n_documents``/``batches_done``; terminal
+        events carry the report summary or the error string.
+    """
+
+    kind: str
+    ticket_id: str
+    seq: int
+    timestamp: float = field(default_factory=time.time)
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return EventKind(self.kind).terminal
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "ticket_id": self.ticket_id,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ProgressEvent":
+        return cls(
+            kind=str(payload["kind"]),
+            ticket_id=str(payload["ticket_id"]),
+            seq=int(payload["seq"]),
+            timestamp=float(payload.get("timestamp", 0.0)),
+            payload=dict(payload.get("payload", {})),
+        )

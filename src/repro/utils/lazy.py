@@ -30,13 +30,20 @@ def resolve_lazy(
     exports: Mapping[str, str],
     name: str,
 ) -> Any:
-    """Resolve one lazily exported name, caching it into the module globals."""
+    """Resolve one lazily exported name, caching it into the module globals.
+
+    A target of ``"module:attribute"`` resolves to the attribute; a bare
+    ``"module"`` target (no colon) resolves to the module object itself,
+    which lets a package lazily re-export a whole subpackage (e.g.
+    ``repro.serve``) without importing it at package-import time.
+    """
     target = exports.get(name)
     if target is None:
         raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
     target_module, _, attribute = target.partition(":")
     import importlib
 
-    value = getattr(importlib.import_module(target_module), attribute)
+    module = importlib.import_module(target_module)
+    value = getattr(module, attribute) if attribute else module
     module_globals[name] = value
     return value

@@ -98,7 +98,7 @@ def _backend_threads() -> list[threading.Thread]:
 # ---------------------------------------------------------------------- #
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"serial", "thread", "process", "hpc"} <= set(backend_names())
+        assert {"serial", "thread", "process", "hpc", "async"} <= set(backend_names())
 
     def test_create_by_name(self):
         backend = create_backend("thread", {"n_jobs": 2})
@@ -347,7 +347,7 @@ def _normalized_bytes(payload: dict) -> bytes:
 
 
 def _backend_cases() -> list[tuple[str, dict]]:
-    cases = [("serial", {}), ("thread", {"n_jobs": 3})]
+    cases = [("serial", {}), ("thread", {"n_jobs": 3}), ("async", {"n_jobs": 3})]
     if HAVE_FORK:
         cases.append(("process", dict(PROCESS_OPTIONS)))
     return cases
@@ -480,6 +480,220 @@ class TestProcessBackend:
 
 
 # ---------------------------------------------------------------------- #
+# Async backend specifics
+# ---------------------------------------------------------------------- #
+class TestAsyncBackend:
+    def _threads(self) -> list[threading.Thread]:
+        from repro.pipeline.backends.async_ import ASYNC_THREAD_PREFIX
+
+        return [
+            t for t in threading.enumerate() if t.name.startswith(ASYNC_THREAD_PREFIX)
+        ]
+
+    def test_order_preserved_under_jitter(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=4)
+
+        def jittery(x: int) -> int:
+            time.sleep(0.001 * (x % 5))
+            return x
+
+        with backend:
+            assert list(backend.map_ordered(jittery, range(40))) == list(range(40))
+            stats = backend.stats()
+        assert stats.backend == "async"
+        assert stats.workers == 4
+        assert stats.batches_completed == 40
+        assert stats.extra["event_loop"] == "asyncio"
+
+    def test_max_window_bounds_in_flight(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2, window=2, max_window=5)
+        with backend:
+            list(backend.map_ordered(lambda x: x, range(50)))
+        stats = backend.stats()
+        assert stats.in_flight_high_water <= 5
+        assert stats.extra["window_high_water"] <= 5
+
+    def test_adaptive_window_grows_on_stable_latency(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2, window=2, max_window=8)
+        with backend:
+            list(backend.map_ordered(lambda x: (time.sleep(0.005), x)[1], range(30)))
+        extra = backend.stats().extra
+        assert extra["window_initial"] == 2
+        assert extra["window_growths"] > 0
+        assert extra["window_high_water"] > 2
+        assert extra["maps_completed"] == 1
+
+    def test_adaptive_disabled_pins_window(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2, window=3, adaptive=False)
+        with backend:
+            list(backend.map_ordered(lambda x: x, range(20)))
+        extra = backend.stats().extra
+        assert extra["window_growths"] == 0
+        assert extra["window_shrinks"] == 0
+        assert extra["window_high_water"] == 3
+
+    def test_worker_error_propagates(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2)
+
+        def boom(x: int) -> int:
+            if x == 3:
+                raise RuntimeError("bad async batch")
+            return x
+
+        with backend:
+            with pytest.raises(RuntimeError, match="bad async batch"):
+                list(backend.map_ordered(boom, range(10)))
+        # The accounting invariant survives errored runs: the batch that
+        # raised still executed, so it counts as completed, and everything
+        # dispatched is accounted for.
+        stats = backend.stats()
+        assert stats.batches_completed + stats.batches_cancelled == stats.batches_dispatched
+
+    def test_closed_backend_refuses_work(self):
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2)
+        backend.close()
+        with pytest.raises(BackendError, match="closed"):
+            list(backend.map_ordered(lambda x: x, [1]))
+        backend.close()  # idempotent
+
+    def test_early_close_cancels_pending_and_leaks_no_threads(self):
+        """Abandoning the stream cancels unstarted batches (judged on the
+        executor future, which cannot lie about already-running work) and
+        close() joins both the loop thread and the executor workers."""
+        from repro.pipeline.backends import AsyncBackend
+
+        assert self._threads() == []
+        backend = AsyncBackend(n_jobs=2, window=6, adaptive=False)
+
+        def slow(x: int) -> int:
+            time.sleep(0.05)
+            return x
+
+        stream = backend.map_ordered(slow, range(50))
+        assert next(stream) == 0
+        stream.close()  # abandon mid-stream
+        backend.close()
+        stats = backend.stats()
+        assert stats.batches_cancelled >= 1
+        assert stats.batches_completed + stats.batches_cancelled == stats.batches_dispatched
+        assert stats.batches_completed < 50
+        assert self._threads() == []
+
+    def test_amap_ordered_runs_on_a_caller_owned_loop(self):
+        """The asyncio-native generator works from any loop (the serve
+        multiplexer's usage); the executor pool is shared either way."""
+        import asyncio
+
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=2)
+
+        async def collect() -> list[int]:
+            out = []
+            async for value in backend.amap_ordered(lambda x: x * x, range(12)):
+                out.append(value)
+            return out
+
+        try:
+            assert asyncio.run(collect()) == [x * x for x in range(12)]
+        finally:
+            backend.close()
+
+    def test_concurrent_maps_share_one_backend(self):
+        """Two threads streaming through one instance interleave safely —
+        the invariant the parse service relies on."""
+        from repro.pipeline.backends import AsyncBackend
+
+        backend = AsyncBackend(n_jobs=4)
+        results: dict[str, list[int]] = {}
+
+        def run(label: str, offset: int) -> None:
+            results[label] = list(
+                backend.map_ordered(
+                    lambda x: (time.sleep(0.002), x + offset)[1], range(20)
+                )
+            )
+
+        threads = [
+            threading.Thread(target=run, args=("a", 0)),
+            threading.Thread(target=run, args=("b", 100)),
+        ]
+        with backend:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results["a"] == list(range(20))
+        assert results["b"] == list(range(100, 120))
+        stats = backend.stats()
+        assert stats.batches_completed == 40
+        assert stats.extra["maps_completed"] == 2
+
+
+class TestAdaptiveWindowController:
+    def test_grows_additively_on_stable_latency(self):
+        from repro.pipeline.backends import AdaptiveWindow
+
+        window = AdaptiveWindow(initial=2, min_size=1, max_size=6)
+        for _ in range(10):
+            window.observe(0.01)
+        assert window.size == 6  # grew to the cap, one step at a time
+        assert window.growths == 4
+        assert window.high_water == 6
+
+    def test_shrinks_multiplicatively_on_latency_spike(self):
+        from repro.pipeline.backends import AdaptiveWindow
+
+        window = AdaptiveWindow(initial=8, min_size=1, max_size=8)
+        window.observe(0.01)  # prime the EWMA
+        window.observe(0.2)  # 20x spike
+        assert window.size == 4  # halved, not decremented
+        assert window.shrinks == 1
+        assert window.low_water == 4
+        window.observe(1.0)
+        assert window.size <= 4
+
+    def test_respects_bounds(self):
+        from repro.pipeline.backends import AdaptiveWindow
+
+        window = AdaptiveWindow(initial=2, min_size=2, max_size=3)
+        window.observe(0.01)
+        for _ in range(5):
+            window.observe(10.0)
+        assert window.size >= 2
+        for _ in range(20):
+            window.observe(0.001)
+        assert window.size <= 3
+
+    def test_disabled_never_moves(self):
+        from repro.pipeline.backends import AdaptiveWindow
+
+        window = AdaptiveWindow(initial=4, min_size=1, max_size=8, enabled=False)
+        for latency in (0.01, 5.0, 0.0001):
+            window.observe(latency)
+        assert window.size == 4
+        assert window.growths == window.shrinks == 0
+
+    def test_initial_clamped_into_bounds(self):
+        from repro.pipeline.backends import AdaptiveWindow
+
+        assert AdaptiveWindow(initial=100, min_size=1, max_size=8).size == 8
+        assert AdaptiveWindow(initial=0, min_size=2, max_size=8).size == 2
+
+
+# ---------------------------------------------------------------------- #
 # HPC adapter
 # ---------------------------------------------------------------------- #
 class TestHPCBackend:
@@ -598,6 +812,8 @@ class TestConsumers:
             "import sys, repro\n"
             "repro.ParseRequest(parser='pymupdf', n_documents=2, backend='serial')\n"
             "assert not any(m.startswith('repro.hpc') for m in sys.modules), 'hpc leaked'\n"
+            "assert 'repro.pipeline.backends.async_' not in sys.modules, 'async leaked'\n"
+            "assert not any(m.startswith('repro.serve') for m in sys.modules), 'serve leaked'\n"
         )
         env = dict(os.environ, PYTHONPATH=src)
         subprocess.run([sys.executable, "-c", code], check=True, env=env)

@@ -17,6 +17,8 @@ class TestArgumentParsing:
             "alignment",
             "dataset",
             "pipeline",
+            "serve",
+            "submit",
             "fill-experiments",
         ):
             args = parser.parse_args([command])
@@ -25,6 +27,70 @@ class TestArgumentParsing:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBackendOptionHandling:
+    """`--backend-opt` value coercion and clear unknown-option failures."""
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("true", True),
+            ("True", True),
+            ("false", False),
+            ("4", 4),
+            ("4.5", 4.5),
+            ("fork", "fork"),
+        ],
+    )
+    def test_value_coercion_covers_bools_ints_floats(self, raw, expected):
+        from repro.cli import _coerce_opt_value
+
+        value = _coerce_opt_value(raw)
+        assert value == expected
+        assert type(value) is type(expected)
+
+    def test_unknown_option_name_exits_with_known_options(self, capsys):
+        # Regression: an unknown option name used to escape as a ValueError
+        # traceback out of ParseRequest; now the CLI exits with the message
+        # (which names the known options) and no stack trace.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="n_jobs"):
+            main(["pipeline", "--documents", "2", "--backend", "thread",
+                  "--backend-opt", "bogus=1"])
+
+    def test_unknown_backend_name_exits_with_known_backends(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="serial"):
+            main(["pipeline", "--documents", "2", "--backend", "quantum"])
+
+    def test_bad_option_value_exits_cleanly(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="positive"):
+            main(["pipeline", "--documents", "2", "--backend", "thread",
+                  "--backend-opt", "n_jobs=0"])
+
+    def test_async_backend_with_bool_option(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "pipeline", "--documents", "6", "--seed", "4",
+                "--backend", "async",
+                "--backend-opt", "n_jobs=2",
+                "--backend-opt", "adaptive=false",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "async"
+        assert payload["request"]["backend_options"] == {"n_jobs": 2, "adaptive": False}
+        assert payload["execution"]["extra"]["window_shrinks"] == 0
 
 
 class TestCommands:
