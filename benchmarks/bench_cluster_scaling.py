@@ -1,0 +1,209 @@
+"""Benchmark: cluster scaling — serial vs 2- and 4-worker local clusters.
+
+Runs one corpus through the same ``ParsePipeline`` inline (serial) and on
+the ``remote`` backend against local :class:`repro.cluster.WorkerDaemon`
+fleets of 2 and 4 workers.  The workload is the same I/O-flavoured
+off-GIL sleep parser the backend-scaling benchmark uses, so worker
+parallelism has real headroom and the measured ratios are
+hardware-portable (wall-clock speedups of the same machine's serial run,
+not absolute docs/s).  Placement is ``balanced`` so the measurement
+reflects worker capacity rather than rendezvous luck.
+
+The suite asserts **2 workers ≥ 1.4× serial** and **4 workers ≥ 2.0×
+serial**, and that every cluster run's output is byte-identical to the
+serial baseline.
+
+Run standalone (the CI smoke + regression-gate invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py --documents 48
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py --json BENCH_cluster.json
+
+The ``--json`` payload carries the ratio metrics under ``metrics``;
+``benchmarks/check_regression.py`` compares them against the committed
+baseline in ``benchmarks/baselines/BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+from time import perf_counter
+
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.base import Parser, ParserCost
+from repro.pipeline import ParsePipeline, request_for_documents
+
+N_DOCUMENTS = int(os.environ.get("REPRO_BENCH_CLUSTER_DOCS", 48))
+SLEEP_SECONDS = float(os.environ.get("REPRO_BENCH_CLUSTER_SLEEP", 0.02))
+BATCH_SIZE = 4
+CLUSTER2_SPEEDUP_FLOOR = 1.4
+CLUSTER4_SPEEDUP_FLOOR = 2.0
+
+
+class SleepyClusterParser(Parser):
+    """Off-GIL I/O stand-in, registered on worker pipelines by name."""
+
+    name = "sleepy-cluster"
+    version = "1.0"
+    cost = ParserCost(cpu_seconds_per_page=0.01)
+
+    def __init__(self, sleep_seconds: float = SLEEP_SECONDS) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def _parse_pages(self, document, rng):
+        time.sleep(self.sleep_seconds)
+        return [f"{document.doc_id}:page-{i}" for i in range(document.n_pages)]
+
+
+def _pipeline(sleep_seconds: float) -> ParsePipeline:
+    pipeline = ParsePipeline()
+    pipeline.engines[SleepyClusterParser.name] = SleepyClusterParser(sleep_seconds)
+    return pipeline
+
+
+def run_cluster_scaling(
+    n_documents: int = N_DOCUMENTS, sleep_seconds: float = SLEEP_SECONDS
+) -> list[dict[str, object]]:
+    """Measure serial vs 2- and 4-worker clusters; one row per case."""
+    from repro.cluster.worker import WorkerDaemon
+
+    corpus = build_corpus(
+        CorpusConfig(n_documents=n_documents, seed=97, min_pages=1, max_pages=2)
+    )
+    documents = list(corpus)
+    rows: list[dict[str, object]] = []
+    baseline_text: list[str] | None = None
+    serial_seconds = 0.0
+    for label, n_workers in (("serial", 0), ("cluster-2", 2), ("cluster-4", 4)):
+        workers: list[WorkerDaemon] = []
+        options: dict[str, object] = {}
+        backend = "serial"
+        if n_workers:
+            workers = [
+                WorkerDaemon(
+                    name=f"bench-worker-{i}", pipeline=_pipeline(sleep_seconds)
+                ).start()
+                for i in range(n_workers)
+            ]
+            backend = "remote"
+            options = {
+                "workers": ",".join(worker.address for worker in workers),
+                "placement": "balanced",
+            }
+        try:
+            started = perf_counter()
+            report = _pipeline(sleep_seconds).run(
+                request_for_documents(
+                    SleepyClusterParser.name,
+                    documents,
+                    batch_size=BATCH_SIZE,
+                    backend=backend,
+                    backend_options=options,
+                )
+            )
+            elapsed = perf_counter() - started
+        finally:
+            for worker in workers:
+                worker.stop()
+        texts = [r.text for r in report.results]
+        if baseline_text is None:
+            baseline_text = texts
+            serial_seconds = elapsed
+        else:
+            assert texts == baseline_text, f"{label} output diverged from serial"
+        extra = report.execution.extra
+        rows.append(
+            {
+                "case": label,
+                "workers": n_workers or 1,
+                "docs/s": n_documents / elapsed if elapsed > 0 else float("inf"),
+                "speedup vs serial": (
+                    serial_seconds / elapsed if elapsed > 0 else float("inf")
+                ),
+                "shards": report.execution.batches_dispatched,
+                "reassigned": extra.get("cluster_shards_reassigned", 0),
+                "payloads sent": extra.get("cluster_doc_payloads_sent", 0),
+                "bytes on wire": extra.get("cluster_bytes_sent", 0)
+                + extra.get("cluster_bytes_received", 0),
+            }
+        )
+    for label, floor in (
+        ("cluster-2", CLUSTER2_SPEEDUP_FLOOR),
+        ("cluster-4", CLUSTER4_SPEEDUP_FLOOR),
+    ):
+        row = next(r for r in rows if r["case"] == label)
+        assert float(row["speedup vs serial"]) >= floor, (
+            f"{label} speedup {row['speedup vs serial']:.2f}x below the "
+            f"{floor}x floor"
+        )
+    return rows
+
+
+def rows_to_metrics(rows: list[dict[str, object]]) -> dict[str, float]:
+    """The machine-portable metrics the CI regression gate compares.
+
+    Ratios only: cluster speedup over the same machine's serial run on an
+    off-GIL sleep workload tracks scheduling/wire efficiency, not runner
+    hardware.  Higher is better for both.
+    """
+    by_case = {str(row["case"]): row for row in rows}
+    return {
+        "cluster2_speedup_vs_serial": float(by_case["cluster-2"]["speedup vs serial"]),
+        "cluster4_speedup_vs_serial": float(by_case["cluster-4"]["speedup vs serial"]),
+    }
+
+
+def _rows_to_table(rows: list[dict[str, object]], n_documents: int = N_DOCUMENTS):
+    from repro.utils.tables import Table
+
+    table = Table(
+        title=f"Cluster scaling ({n_documents} documents, batch={BATCH_SIZE}, "
+        f"balanced placement)",
+        columns=list(rows[0].keys()),
+    )
+    for row in rows:
+        table.add_row(row)
+    return table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=N_DOCUMENTS)
+    parser.add_argument("--sleep", type=float, default=SLEEP_SECONDS)
+    parser.add_argument(
+        "--json",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the regression-gate metrics payload here",
+    )
+    args = parser.parse_args()
+    rows = run_cluster_scaling(args.documents, args.sleep)
+    print(_rows_to_table(rows, args.documents).to_text(precision=2))
+    print(
+        f"cluster-2 >= {CLUSTER2_SPEEDUP_FLOOR}x and cluster-4 >= "
+        f"{CLUSTER4_SPEEDUP_FLOOR}x serial: OK"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "cluster_scaling",
+            "config": {
+                "n_documents": args.documents,
+                "sleep_seconds": args.sleep,
+                "batch_size": BATCH_SIZE,
+            },
+            "metrics": rows_to_metrics(rows),
+            "rows": rows,
+        }
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote metrics to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,15 @@ single-flight), or submit a single request the client-side way::
         --backend-opt n_jobs=8 --cache readwrite
     adaparse-repro submit --documents 50 --parser pymupdf --priority 5
 
+Run a distributed cluster: worker daemons plus a coordinated request
+(``cluster`` spawns local workers, runs end to end, and prints the
+placement/dedup summary; ``worker`` is the long-running daemon mode)::
+
+    adaparse-repro worker --port 9101 --backend thread --backend-opt n_jobs=2
+    adaparse-repro cluster --workers 2 --documents 100 --parser pymupdf
+    adaparse-repro pipeline --documents 100 --backend remote \
+        --backend-opt workers=127.0.0.1:9101,127.0.0.1:9102
+
 Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
 
     adaparse-repro fill-experiments
@@ -150,8 +159,8 @@ def _add_backend_arguments(
         "--backend",
         type=str,
         default=default,
-        help=f"execution backend: auto, serial, thread, process, hpc, async "
-        f"(default: {default})",
+        help=f"execution backend: auto, serial, thread, process, hpc, async, "
+        f"remote (default: {default})",
     )
     parser.add_argument(
         "--backend-opt",
@@ -159,7 +168,8 @@ def _add_backend_arguments(
         default=None,
         metavar="KEY=VALUE",
         help="backend option (repeatable), e.g. n_jobs=4, n_nodes=16, "
-        "mp_context=fork, max_window=32, adaptive=false",
+        "mp_context=fork, max_window=32, adaptive=false, "
+        "workers=127.0.0.1:9101,127.0.0.1:9102",
     )
 
 
@@ -343,6 +353,57 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ndjson_event_sink(quiet: bool = False):
+    """A ProgressEvent sink that prints one NDJSON line per event, live.
+
+    Each line is flushed as it is emitted: a piped consumer (``| jq``,
+    a log shipper) sees events while the run is in progress, not in one
+    burst when the process exits and stdio's block buffering drains.
+    """
+    import threading
+
+    print_lock = threading.Lock()
+
+    def sink(event) -> None:
+        if quiet:
+            return
+        with print_lock:
+            print(json.dumps(event.to_json_dict()), flush=True)
+
+    return sink
+
+
+class _GracefulShutdown:
+    """Route SIGTERM (and keep SIGINT) onto the KeyboardInterrupt path.
+
+    CLI commands that run a service or daemon wrap their main loop in
+    ``try/except KeyboardInterrupt`` for a drain→close shutdown;
+    installing this makes ``kill <pid>`` take the same graceful path a
+    Ctrl-C does instead of dying mid-write with a traceback.
+    """
+
+    def __enter__(self) -> "_GracefulShutdown":
+        import signal
+
+        def _raise(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            self._previous = signal.signal(signal.SIGTERM, _raise)
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            self._previous = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        import signal
+
+        if self._previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._previous)
+            except ValueError:
+                pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the parse service over N concurrent requests, streaming events.
 
@@ -350,63 +411,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     submissions share one backend and one cache, so identical corpora
     (the default; ``--distinct`` varies the seeds) are parsed exactly
     once with cross-request single-flight — the summary's
-    ``cache_totals`` block shows the dedup.
+    ``cache_totals`` block shows the dedup.  SIGINT/SIGTERM drain
+    gracefully: queued tickets are cancelled (their terminal events
+    still stream), running requests finish, workers are joined.
     """
-    import threading
-
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
     from repro.serve import ParseService, ServiceConfig
 
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
-    print_lock = threading.Lock()
-
-    def sink(event) -> None:
-        if args.quiet:
-            return
-        with print_lock:
-            print(json.dumps(event.to_json_dict()), flush=True)
-
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
     pipeline = ParsePipeline(cache=_build_cache(args))
     config = ServiceConfig(
         backend=args.backend, backend_options=options, max_active=args.max_active
     )
+    service = ParseService(
+        pipeline=pipeline, config=config, event_sink=_ndjson_event_sink(args.quiet)
+    )
     reports = {}
-    with ParseService(pipeline=pipeline, config=config, event_sink=sink) as service:
-        tickets = {}
-        for i in range(args.requests):
-            client = f"client-{i}"
-            request = ParseRequest(
-                parser=args.parser,
-                n_documents=args.documents,
-                seed=args.seed + (i if args.distinct else 0),
-                batch_size=args.batch_size,
-                cache=args.cache,
+    with _GracefulShutdown():
+        try:
+            tickets = {}
+            for i in range(args.requests):
+                client = f"client-{i}"
+                request = ParseRequest(
+                    parser=args.parser,
+                    n_documents=args.documents,
+                    seed=args.seed + (i if args.distinct else 0),
+                    batch_size=args.batch_size,
+                    cache=args.cache,
+                )
+                tickets[client] = service.submit(request, client=client)
+            for client, ticket in tickets.items():
+                reports[client] = ticket.result()
+            summary = {
+                "service": service.describe(),
+                "tickets": {
+                    client: {"ticket": tickets[client].id, **report.summary()}
+                    for client, report in reports.items()
+                },
+                "cache_totals": {
+                    "misses": sum(r.cache.misses for r in reports.values()),
+                    "hits": sum(r.cache.hits for r in reports.values()),
+                    "coalesced": sum(r.cache.coalesced for r in reports.values()),
+                    "stores": sum(r.cache.stores for r in reports.values()),
+                },
+            }
+        except KeyboardInterrupt:
+            print(
+                "interrupted: cancelling queued requests, draining running ones...",
+                file=sys.stderr,
+                flush=True,
             )
-            tickets[client] = service.submit(request, client=client)
-        for client, ticket in tickets.items():
-            reports[client] = ticket.result()
-        summary = {
-            "service": service.describe(),
-            "tickets": {
-                client: {"ticket": tickets[client].id, **report.summary()}
-                for client, report in reports.items()
-            },
-            "cache_totals": {
-                "misses": sum(r.cache.misses for r in reports.values()),
-                "hits": sum(r.cache.hits for r in reports.values()),
-                "coalesced": sum(r.cache.coalesced for r in reports.values()),
-                "stores": sum(r.cache.stores for r in reports.values()),
-            },
-        }
+            service.close(drain=False)
+            return 130
+        finally:
+            # Idempotent: a no-op after the interrupt path's close.  Also
+            # covers failure exits (a request error re-raised by
+            # result()), which must still release the backend and flush
+            # the shared cache.
+            service.close()
     print(json.dumps(summary, indent=2, default=str))
     return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    """Submit one request to a fresh service (the client-side smoke path)."""
+    """Submit one request to a fresh service (the client-side smoke path).
+
+    Progress events stream live (one flushed NDJSON line each, as they
+    are emitted) rather than being replayed after the report lands.
+    """
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
     from repro.serve import ParseService, ServiceConfig
 
@@ -431,12 +506,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print("training the AdaParse engine on a small corpus...", flush=True)
     pipeline = ParsePipeline(cache=_build_cache(args))
     config = ServiceConfig(backend=args.backend, backend_options=options, max_active=1)
-    with ParseService(pipeline=pipeline, config=config) as service:
-        ticket = service.submit(request, priority=args.priority, client=args.client)
-        report = ticket.result()
-        if not args.quiet:
-            for event in ticket.events(timeout=5.0):
-                print(json.dumps(event.to_json_dict()), flush=True)
+    service = ParseService(
+        pipeline=pipeline, config=config, event_sink=_ndjson_event_sink(args.quiet)
+    )
+    with _GracefulShutdown():
+        try:
+            ticket = service.submit(request, priority=args.priority, client=args.client)
+            report = ticket.result()
+        except KeyboardInterrupt:
+            print(
+                "interrupted: draining the parse service...", file=sys.stderr, flush=True
+            )
+            service.close(drain=False)
+            return 130
+        finally:
+            service.close()  # idempotent; also runs on failure exits
     if args.output:
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -447,6 +531,172 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"wrote ParseReport to {path}")
     print(json.dumps(report.summary(), indent=2, default=str))
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one cluster worker daemon until SIGINT/SIGTERM (then drain)."""
+    import os
+
+    from repro.cluster.worker import WorkerDaemon
+
+    options = _parse_backend_opts(args.backend_opt)
+    _validate_backend_spec_or_exit(args.backend, options)
+    cache = None
+    if args.cache_dir:
+        from repro.cache import ParseCache
+
+        cache = ParseCache(args.cache_dir)
+    daemon = WorkerDaemon(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        backend_options=options,
+        cache=cache,
+        name=args.name or None,
+        slots=args.slots,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    daemon.start()
+    # The machine-readable ready line: `cluster` (and any spawner) reads
+    # the bound address from here, so --port 0 just works.
+    print(
+        json.dumps(
+            {
+                "event": "listening",
+                "address": daemon.address,
+                "worker_id": daemon.name,
+                "pid": os.getpid(),
+                "backend": args.backend,
+                "cache": bool(cache),
+            }
+        ),
+        flush=True,
+    )
+    with _GracefulShutdown():
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    # Graceful exit for both signals: finish in-flight shards, send BYE,
+    # join slot/reader threads, release the local backend.
+    daemon.stop(drain=True)
+    if cache is not None:
+        cache.flush()
+    print(json.dumps({"event": "stopped", **daemon.describe()}), flush=True)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Spawn local workers (or join existing ones) and run one request.
+
+    The end-to-end demonstration of ``repro.cluster``: N worker
+    processes, rendezvous shard placement, and a ``ParseReport`` whose
+    ``execution.extra`` block carries the wire/dedup/fault telemetry
+    this command summarises.
+    """
+    import os
+    import signal
+    import subprocess
+
+    from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
+
+    procs: list[subprocess.Popen] = []
+    addresses: list[str] = []
+    try:
+        if args.workers_at:
+            addresses = [a.strip() for a in args.workers_at.split(",") if a.strip()]
+        else:
+            import repro
+
+            env = dict(os.environ)
+            src_root = str(Path(repro.__file__).resolve().parent.parent)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+            )
+            for i in range(args.workers):
+                command = [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "worker",
+                    "--port",
+                    "0",
+                    "--name",
+                    f"cluster-worker-{i}",
+                    "--backend",
+                    args.worker_backend,
+                ]
+                if args.worker_jobs > 1:
+                    command += ["--backend-opt", f"n_jobs={args.worker_jobs}"]
+                if args.cache_dir:
+                    command += ["--cache-dir", str(Path(args.cache_dir) / f"worker-{i}")]
+                proc = subprocess.Popen(
+                    command, env=env, stdout=subprocess.PIPE, text=True
+                )
+                procs.append(proc)
+            for i, proc in enumerate(procs):
+                assert proc.stdout is not None
+                line = proc.stdout.readline()
+                try:
+                    ready = json.loads(line)
+                    addresses.append(str(ready["address"]))
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise SystemExit(
+                        f"error: worker {i} did not report a listening address "
+                        f"(got {line!r}): {exc}"
+                    ) from exc
+            print(f"spawned {len(procs)} worker(s): {', '.join(addresses)}", flush=True)
+        options = {
+            "workers": ",".join(addresses),
+            "window": args.window,
+            "placement": args.placement,
+        }
+        _validate_backend_spec_or_exit("remote", options)
+        request = ParseRequest(
+            parser=args.parser,
+            n_documents=args.documents,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            backend="remote",
+            backend_options=options,
+            cache=args.cache,
+        )
+        if args.parser in ENGINE_VARIANTS:
+            print("training the AdaParse engine on a small corpus...", flush=True)
+        from repro.pipeline.backends import BackendError
+
+        with _GracefulShutdown():
+            try:
+                report = ParsePipeline(cache=_build_cache(args)).run(request)
+            except BackendError as exc:
+                raise SystemExit(f"error: {exc}") from exc
+        extra = report.execution.to_json_dict()["extra"]
+        cluster = {
+            key.removeprefix("cluster_"): value
+            for key, value in sorted(extra.items())
+            if key.startswith("cluster_")
+        }
+        summary = {**report.summary(), "cluster": cluster}
+        print(json.dumps(summary, indent=2, default=str))
+        if args.output:
+            path = Path(args.output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(summary, indent=2), encoding="utf-8")
+            print(f"wrote cluster summary to {path}")
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted: stopping workers...", file=sys.stderr, flush=True)
+        return 130
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
 
 
 def _cmd_fill_experiments(args: argparse.Namespace) -> int:
@@ -679,6 +929,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=str, default="", help="persistent cache directory"
     )
     submit.set_defaults(func=_cmd_submit)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one cluster worker daemon (parses shards for a coordinator; "
+        "drains gracefully on SIGINT/SIGTERM)",
+    )
+    worker.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    worker.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free one)"
+    )
+    worker.add_argument(
+        "--name",
+        type=str,
+        default="",
+        help="stable worker identity for rendezvous placement (default: "
+        "derived from the bound address)",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=None, help="concurrent shards (default: backend workers)"
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, help="liveness beacon period (s)"
+    )
+    _add_backend_arguments(worker, default="serial")
+    worker.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        help="local parse-cache directory (a warm cache answers shards "
+        "without re-parsing or re-transfer)",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="spawn N local workers (or join --workers-at), run one request "
+        "on the remote backend, and print the placement/dedup summary",
+    )
+    cluster.add_argument("--workers", type=int, default=2, help="local workers to spawn")
+    cluster.add_argument(
+        "--workers-at",
+        type=str,
+        default="",
+        help="join existing workers at host:port,host:port instead of spawning",
+    )
+    cluster.add_argument("--documents", type=int, default=50)
+    cluster.add_argument("--seed", type=int, default=2025)
+    cluster.add_argument(
+        "--parser",
+        type=str,
+        default="pymupdf",
+        help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
+        "adaparse_ft, adaparse_llm",
+    )
+    cluster.add_argument("--batch-size", type=int, default=None)
+    cluster.add_argument(
+        "--window", type=int, default=2, help="in-flight shards per worker"
+    )
+    cluster.add_argument(
+        "--placement",
+        type=str,
+        default="rendezvous",
+        choices=["rendezvous", "balanced"],
+        help="shard placement: cache-affine rendezvous hashing, or least-"
+        "backlog balancing",
+    )
+    cluster.add_argument(
+        "--worker-backend",
+        type=str,
+        default="serial",
+        help="execution backend of each spawned worker",
+    )
+    cluster.add_argument(
+        "--worker-jobs", type=int, default=1, help="n_jobs of each spawned worker"
+    )
+    cluster.add_argument(
+        "--cache",
+        type=str,
+        default="off",
+        choices=["off", "read", "write", "readwrite"],
+        help="coordinator-side parse-result cache policy",
+    )
+    cluster.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        help="cache root: coordinator cache plus per-worker subdirectories",
+    )
+    cluster.add_argument("--output", type=str, default="", help="write the summary JSON here")
+    cluster.set_defaults(func=_cmd_cluster)
 
     fill = sub.add_parser(
         "fill-experiments",

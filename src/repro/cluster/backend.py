@@ -1,0 +1,240 @@
+"""The ``remote`` execution backend: the cluster behind ``map_ordered``.
+
+:class:`RemoteBackend` makes a worker cluster look like any other
+:class:`~repro.pipeline.backends.ExecutionBackend`: the pipeline (and
+:class:`~repro.serve.ParseService`) compose the parent-side cache layer
+around :meth:`wrap_inner` exactly as they do for the process backend, and
+``map_ordered`` keeps its bounded-window, input-ordered contract.
+
+The split of responsibilities mirrors the process backend, one network
+hop further out:
+
+* **wrap_inner** distils the inner worker into a
+  :class:`~repro.cluster.protocol.WorkerSpec` — the parser/engine's
+  *registry name*, α override, and ``config_fingerprint()`` — instead of
+  pickling it.  Workers rebuild the engine from the spec on their side
+  and refuse shards whose fingerprint they cannot reproduce, so nothing
+  executable ever crosses the wire.
+* The returned stub submits each batch to the
+  :class:`~repro.cluster.coordinator.ClusterCoordinator` (rendezvous
+  placement, per-worker windows, heartbeat fault detection, re-queue on
+  worker loss) and blocks for the shard future.
+* The inherited thread orchestration (window, ordering, cancellation
+  accounting) then guarantees ``completed + cancelled == dispatched``
+  and input-ordered yielding, unchanged.
+
+``ExecutionStats.extra`` carries the cluster telemetry under
+``cluster_*`` keys: workers seen/alive/lost, shards reassigned after
+worker loss, duplicate results dropped by the exactly-once filter, and
+bytes/payload counts on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.cluster.coordinator import ClusterCoordinator, ClusterError
+from repro.cluster.protocol import WorkerSpec
+from repro.pipeline.backends.base import (
+    BackendError,
+    BackendSpec,
+    ExecutionStats,
+    register_backend,
+)
+from repro.pipeline.backends.thread import ThreadBackend
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def worker_spec_for(inner: Callable, cache: str = "readwrite") -> WorkerSpec:
+    """Distil a pipeline inner worker into a wire-shippable spec.
+
+    Accepts the two shapes the pipeline produces — an AdaParse engine's
+    bound ``route_batch`` and a base parser's batch worker (or bound
+    ``parse_with_telemetry``) — and rejects anything else: a remote
+    worker can only rebuild parsers that resolve by name through its own
+    pipeline.
+    """
+    from repro.core.engine import AdaParseEngine
+    from repro.parsers.base import Parser
+
+    owner = getattr(inner, "__self__", None)
+    parser = owner if isinstance(owner, Parser) else getattr(inner, "parser", None)
+    if not isinstance(parser, Parser):
+        raise BackendError(
+            f"remote backend requires a parser/engine work unit that workers "
+            f"can rebuild by name; got {inner!r}. Run registry parsers or "
+            f"engines (or pre-install the parser on the workers' pipelines)."
+        )
+    alpha = parser.config.alpha if isinstance(parser, AdaParseEngine) else None
+    return WorkerSpec(
+        parser=parser.name,
+        fingerprint=parser.config_fingerprint(),
+        alpha=alpha,
+        cache=cache,
+    )
+
+
+def _parse_addresses(workers: "str | Sequence[str] | None") -> list[str]:
+    """Worker endpoints from the option value (comma string or sequence)."""
+    if workers is None:
+        raise ValueError(
+            "remote backend needs worker addresses: pass backend_options="
+            '{"workers": "host:port,host:port"} (start daemons with '
+            "`adaparse-repro worker`, or `adaparse-repro cluster` to spawn "
+            "a local fleet)"
+        )
+    if isinstance(workers, str):
+        addresses = [part.strip() for part in workers.split(",") if part.strip()]
+    else:
+        addresses = [str(part).strip() for part in workers]
+    if not addresses:
+        raise ValueError("remote backend needs at least one worker address")
+    for address in addresses:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"worker address must be host:port, got {address!r}"
+            )
+    return addresses
+
+
+class RemoteBackend(ThreadBackend):
+    """Execute batches on a cluster of worker daemons (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker endpoints, ``"host:port,host:port"`` (or a sequence).
+    window:
+        In-flight shards per worker; the backend's total orchestration
+        window is ``len(workers) * window``.
+    placement:
+        ``"rendezvous"`` (cache-affine; default) or ``"balanced"``.
+    worker_cache:
+        Cache policy workers apply to their local
+        :class:`~repro.cache.ParseCache` (``"off"`` to force re-parses
+        even on cache-carrying workers).
+    connect_timeout / heartbeat_interval / heartbeat_timeout:
+        See :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+
+    Construction is lazy: addresses are validated eagerly (so queued
+    :class:`~repro.pipeline.request.ParseRequest` objects fail fast) but
+    the cluster is dialled on first use.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: "str | Sequence[str] | None" = None,
+        window: int = 2,
+        placement: str = "rendezvous",
+        worker_cache: str = "readwrite",
+        connect_timeout: float = 5.0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 15.0,
+    ) -> None:
+        self.addresses = _parse_addresses(workers)
+        if window < 1:
+            raise ValueError("window must be positive")
+        if placement not in ("rendezvous", "balanced"):
+            raise ValueError(
+                f"unknown placement {placement!r}; known: rendezvous, balanced"
+            )
+        from repro.cache import CachePolicy
+
+        CachePolicy.coerce(worker_cache)  # validate eagerly
+        super().__init__(
+            n_jobs=len(self.addresses) * window,
+            window=len(self.addresses) * window,
+        )
+        self.per_worker_window = window
+        self.placement = placement
+        self.worker_cache = worker_cache
+        self.connect_timeout = connect_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._coordinator: ClusterCoordinator | None = None
+
+    @property
+    def workers(self) -> int:
+        return len(self.addresses)
+
+    # ------------------------------------------------------------------ #
+    def _ensure_coordinator(self) -> ClusterCoordinator:
+        if self._closed:
+            raise BackendError("remote backend is closed")
+        if self._coordinator is None:
+            coordinator = ClusterCoordinator(
+                self.addresses,
+                window=self.per_worker_window,
+                placement=self.placement,
+                connect_timeout=self.connect_timeout,
+                heartbeat_interval=self.heartbeat_interval,
+                heartbeat_timeout=self.heartbeat_timeout,
+            )
+            try:
+                coordinator.connect()
+            except ClusterError as exc:
+                raise BackendError(str(exc)) from exc
+            self._coordinator = coordinator
+        return self._coordinator
+
+    def wrap_inner(self, inner: Callable[[_T], _R]) -> Callable[[_T], _R]:
+        spec = worker_spec_for(inner, cache=self.worker_cache)
+        coordinator = self._ensure_coordinator()
+
+        def remote(batch: _T) -> _R:
+            future = coordinator.submit(spec, batch)  # type: ignore[arg-type]
+            try:
+                return future.result()  # type: ignore[return-value]
+            except ClusterError as exc:
+                raise BackendError(str(exc)) from exc
+
+        return remote
+
+    def stats(self) -> ExecutionStats:
+        stats = super().stats()
+        extra: dict[str, Any] = {
+            "cluster_workers_configured": len(self.addresses),
+            "cluster_placement": self.placement,
+        }
+        if self._coordinator is not None:
+            extra.update(
+                {
+                    f"cluster_{key}": value
+                    for key, value in self._coordinator.stats().items()
+                }
+            )
+        stats.extra.update(extra)
+        return stats
+
+    def close(self) -> None:
+        # The coordinator goes first: it fails any still-pending shard
+        # futures, which unblocks orchestration threads so the inherited
+        # close() can join the pool without deadlocking on them.
+        if self._coordinator is not None:
+            self._coordinator.close()
+        super().close()
+
+
+register_backend(
+    BackendSpec(
+        name="remote",
+        factory=RemoteBackend,
+        options=frozenset(
+            {
+                "workers",
+                "window",
+                "placement",
+                "worker_cache",
+                "connect_timeout",
+                "heartbeat_interval",
+                "heartbeat_timeout",
+            }
+        ),
+        description="distributed execution on repro.cluster worker daemons",
+    )
+)

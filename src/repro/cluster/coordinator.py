@@ -1,0 +1,635 @@
+"""The cluster coordinator: shard planning, dispatch, and fault tolerance.
+
+The coordinator owns the client side of every worker connection.  Its
+contract with the :class:`~repro.cluster.backend.RemoteBackend` is small:
+:meth:`ClusterCoordinator.submit` takes one shard (a
+:class:`~repro.cluster.protocol.WorkerSpec` plus a batch of documents)
+and returns a future; the coordinator guarantees every future eventually
+resolves — with the shard's ordered results, or with a
+:class:`ClusterError`.
+
+Behind that contract it implements the distribution policy:
+
+* **Placement** — shards are placed by rendezvous hashing over the
+  shard's document content hashes (:func:`~repro.cluster.protocol.
+  rank_workers`), so repeated runs over the same corpus land each shard
+  on the same worker — whose document store and parse cache are then
+  warm.  ``placement="balanced"`` trades that affinity for load
+  balancing (least-backlogged worker, rendezvous rank as the tie-break).
+* **Windowing** — at most ``window`` shards are in flight per worker;
+  excess placements wait in that worker's queue, so a slow worker
+  backpressures its own shards without stalling the others.
+* **Transfer economy** — document payloads ship at most once per worker
+  and session; descriptors for previously shipped (or worker-cached)
+  content go hash-only, and the worker's ``shard_need`` reply pulls any
+  payloads it genuinely lacks.
+* **Fault tolerance** — a worker is dead on socket EOF/reset or after
+  ``heartbeat_timeout`` without a beacon.  Its queued and in-flight
+  shards are re-placed on the survivors (**at-least-once** dispatch);
+  results are deduplicated by shard id, first writer wins, so the caller
+  still observes **exactly-once** results.  When the last worker dies,
+  every outstanding future fails with a :class:`ClusterError` rather
+  than hanging.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from time import monotonic
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.cache.keys import document_content_hash
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    MessageChannel,
+    MessageTooLarge,
+    ProtocolError,
+    WorkerSpec,
+    rank_workers,
+    shard_placement_key,
+)
+from repro.core.engine import RoutingDecision
+from repro.documents.document import SciDocument
+from repro.documents.simpdf import document_to_dict
+from repro.parsers.base import ParseResult
+
+#: Thread-name prefix of coordinator-owned threads (readers + monitor).
+COORDINATOR_THREAD_PREFIX = "repro-cluster-coord"
+
+#: One shard's resolved output.
+ShardOutput = tuple[list[ParseResult], list[RoutingDecision]]
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not complete a shard (or could not start at all)."""
+
+
+class ShardFuture:
+    """Minimal thread-safe future for one shard's output."""
+
+    def __init__(self, shard_id: str) -> None:
+        self.shard_id = shard_id
+        self._done = threading.Event()
+        self._output: ShardOutput | None = None
+        self._error: BaseException | None = None
+
+    def set_result(self, output: ShardOutput) -> None:
+        self._output = output
+        self._done.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ShardOutput:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"shard {self.shard_id} not done within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._output is not None
+        return self._output
+
+
+class _Shard:
+    """Coordinator-side state of one dispatched batch."""
+
+    __slots__ = (
+        "shard_id",
+        "spec",
+        "documents",
+        "content_hashes",
+        "placement_key",
+        "future",
+        "attempts",
+        "excluded_workers",
+        "assigned_worker",
+    )
+
+    def __init__(
+        self, shard_id: str, spec: WorkerSpec, documents: list[SciDocument]
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self.documents = documents
+        self.content_hashes = [document_content_hash(doc) for doc in documents]
+        self.placement_key = shard_placement_key(self.content_hashes)
+        self.future = ShardFuture(shard_id)
+        self.attempts = 0
+        self.excluded_workers: set[str] = set()
+        self.assigned_worker: str | None = None
+
+
+class _WorkerLink:
+    """One connected worker: channel, identity, window, and backlog."""
+
+    def __init__(self, address: str, channel: MessageChannel, window: int) -> None:
+        self.address = address
+        self.channel = channel
+        self.window = window
+        self.worker_id = address  # replaced by the hello_ack identity
+        self.capabilities: dict[str, Any] = {}
+        self.alive = True
+        self.last_seen = monotonic()
+        self.in_flight: dict[str, _Shard] = {}
+        self.queued: deque[_Shard] = deque()
+        #: Content hashes already shipped to (or confirmed held by) this
+        #: worker this session — their payloads are skipped on later sends.
+        self.sent_hashes: set[str] = set()
+        self.reader: threading.Thread | None = None
+
+    @property
+    def backlog(self) -> int:
+        return len(self.in_flight) + len(self.queued)
+
+
+class ClusterCoordinator:
+    """Dispatch shards to worker daemons (see the module docstring).
+
+    Parameters
+    ----------
+    addresses:
+        Worker endpoints as ``"host:port"`` strings.
+    window:
+        In-flight shards per worker; further placements queue.
+    placement:
+        ``"rendezvous"`` (cache-affine, the default) or ``"balanced"``
+        (least-backlogged worker first, rendezvous rank as tie-break).
+    connect_timeout:
+        Per-worker TCP connect + handshake budget.  Workers that fail to
+        connect are skipped; the coordinator starts as long as one
+        worker answered, and :meth:`connect` raises otherwise.
+    heartbeat_interval / heartbeat_timeout:
+        Beacon period requested from workers, and the silence after
+        which a worker is declared dead and its shards re-queued.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        *,
+        window: int = 2,
+        placement: str = "rendezvous",
+        connect_timeout: float = 5.0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 15.0,
+    ) -> None:
+        if not addresses:
+            raise ClusterError("remote backend needs at least one worker address")
+        if window < 1:
+            raise ClusterError("window must be positive")
+        if placement not in ("rendezvous", "balanced"):
+            raise ClusterError(
+                f"unknown placement {placement!r}; known: rendezvous, balanced"
+            )
+        self.addresses = list(addresses)
+        self.window = window
+        self.placement = placement
+        self.connect_timeout = connect_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._links: list[_WorkerLink] = []
+        self._shards: dict[str, _Shard] = {}
+        self._next_shard = 0
+        self._closed = False
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+        self.counters: dict[str, int] = {
+            "workers_seen": 0,
+            "workers_lost": 0,
+            "shards_submitted": 0,
+            "shards_completed": 0,
+            "shards_failed": 0,
+            "shards_reassigned": 0,
+            "duplicate_results_ignored": 0,
+            "doc_payloads_sent": 0,
+            "doc_payloads_skipped": 0,
+            "remote_cache_hits": 0,
+            "remote_cache_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ClusterCoordinator":
+        """Dial every worker; start with the ones that answer."""
+        errors: list[str] = []
+        for address in self.addresses:
+            try:
+                self._connect_one(address)
+            except (OSError, ProtocolError, ClusterError) as exc:
+                errors.append(f"{address}: {exc}")
+        if not self._links:
+            raise ClusterError(
+                f"no cluster workers reachable: {'; '.join(errors) or self.addresses}"
+            )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name=f"{COORDINATOR_THREAD_PREFIX}-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        return self
+
+    def _connect_one(self, address: str) -> None:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ClusterError(f"worker address must be host:port, got {address!r}")
+        sock = socket.create_connection((host, int(port)), timeout=self.connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        channel = MessageChannel(sock)
+        link = _WorkerLink(address, channel, self.window)
+        try:
+            channel.send(
+                {
+                    "type": protocol.HELLO,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "heartbeat_interval": self.heartbeat_interval,
+                }
+            )
+            ack = channel.recv()
+        except (OSError, ProtocolError):
+            channel.close()
+            raise
+        if ack is None or ack.get("type") != protocol.HELLO_ACK:
+            channel.close()
+            detail = (ack or {}).get("message", "connection closed during handshake")
+            raise ClusterError(f"worker refused the handshake: {detail}")
+        if int(ack.get("protocol", -1)) != protocol.PROTOCOL_VERSION:
+            channel.close()
+            raise ClusterError(
+                f"protocol version mismatch with worker at {address}: "
+                f"coordinator speaks {protocol.PROTOCOL_VERSION}, worker "
+                f"answered {ack.get('protocol')}"
+            )
+        link.worker_id = str(ack.get("worker_id", address))
+        link.capabilities = dict(ack.get("capabilities", {}))
+        sock.settimeout(None)
+        with self._lock:
+            if any(peer.worker_id == link.worker_id for peer in self._links):
+                channel.close()
+                raise ClusterError(
+                    f"duplicate worker id {link.worker_id!r} at {address}; give "
+                    f"workers distinct --name values for stable placement"
+                )
+            self._links.append(link)
+            self.counters["workers_seen"] += 1
+        link.reader = threading.Thread(
+            target=self._read_loop,
+            args=(link,),
+            name=f"{COORDINATOR_THREAD_PREFIX}-reader-{link.worker_id}",
+            daemon=True,
+        )
+        link.reader.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission and placement
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: WorkerSpec, documents: Iterable[SciDocument]) -> ShardFuture:
+        """Plan one shard onto the cluster; returns its future immediately."""
+        batch = list(documents)
+        with self._lock:
+            if self._closed:
+                raise ClusterError("coordinator is closed")
+            shard = _Shard(f"s{self._next_shard:06d}", spec, batch)
+            self._next_shard += 1
+            self._shards[shard.shard_id] = shard
+            self.counters["shards_submitted"] += 1
+            self._place_locked(shard)
+            sends = self._pump_locked()
+        self._send_planned(sends)
+        return shard.future
+
+    def _alive_links(self) -> list[_WorkerLink]:
+        return [link for link in self._links if link.alive]
+
+    def _fail_shard_locked(self, shard: _Shard, error: BaseException) -> None:
+        """Settle a shard that can no longer run anywhere (lock held)."""
+        self._shards.pop(shard.shard_id, None)
+        self.counters["shards_failed"] += 1
+        shard.future.set_exception(error)
+
+    def _fail_unsendable(
+        self, link: _WorkerLink, shard: _Shard, error: MessageTooLarge
+    ) -> None:
+        """Fail one shard whose message cannot cross the wire."""
+        with self._lock:
+            link.in_flight.pop(shard.shard_id, None)
+            if shard.shard_id in self._shards:
+                self._fail_shard_locked(shard, ClusterError(str(error)))
+            sends = self._pump_locked()
+        self._send_planned(sends)
+
+    def _place_locked(self, shard: _Shard) -> None:
+        """Pick a worker for a shard and queue it there (lock held)."""
+        alive = self._alive_links()
+        if not alive:
+            self._fail_shard_locked(
+                shard, ClusterError("no alive cluster workers to place shards on")
+            )
+            return
+        by_id = {link.worker_id: link for link in alive}
+        candidates = [wid for wid in by_id if wid not in shard.excluded_workers]
+        if not candidates:
+            candidates = list(by_id)  # every survivor already tried: retry anyway
+        ranked = rank_workers(shard.placement_key, candidates)
+        if self.placement == "balanced":
+            rank_index = {wid: i for i, wid in enumerate(ranked)}
+            ranked = sorted(ranked, key=lambda wid: (by_id[wid].backlog, rank_index[wid]))
+        target = by_id[ranked[0]]
+        shard.assigned_worker = target.worker_id
+        shard.attempts += 1
+        target.queued.append(shard)
+
+    def _pump_locked(self) -> list[tuple[_WorkerLink, _Shard]]:
+        """Move queued shards into free windows (lock held); returns sends."""
+        sends: list[tuple[_WorkerLink, _Shard]] = []
+        for link in self._links:
+            if not link.alive:
+                continue
+            while link.queued and len(link.in_flight) < link.window:
+                shard = link.queued.popleft()
+                link.in_flight[shard.shard_id] = shard
+                sends.append((link, shard))
+        return sends
+
+    def _send_planned(self, sends: list[tuple[_WorkerLink, _Shard]]) -> None:
+        """Transmit planned submissions outside the lock.
+
+        Hashes already shipped this session always go hash-only.  For the
+        rest the worker's capabilities decide: a worker *with* a local
+        cache gets hash-only descriptors (it may hold the parse from an
+        earlier run and then needs nothing at all; ``shard_need`` pulls
+        any payloads it genuinely lacks), while a cache-less worker gets
+        payloads inline, saving the guaranteed round trip.
+        """
+        for link, shard in sends:
+            hash_first = bool(link.capabilities.get("cache"))
+            descriptors: list[dict[str, Any]] = []
+            shipped: list[str] = []
+            skipped = 0
+            for document, content_hash in zip(shard.documents, shard.content_hashes):
+                descriptor: dict[str, Any] = {
+                    "doc_id": document.doc_id,
+                    "content_hash": content_hash,
+                }
+                if content_hash in link.sent_hashes or hash_first:
+                    skipped += 1
+                else:
+                    descriptor["payload"] = document_to_dict(document)
+                    shipped.append(content_hash)
+                descriptors.append(descriptor)
+            message = {
+                "type": protocol.SUBMIT_SHARD,
+                "shard_id": shard.shard_id,
+                "spec": shard.spec.to_json_dict(),
+                "docs": descriptors,
+            }
+            try:
+                link.channel.send(message)
+            except MessageTooLarge as exc:
+                # The shard itself is unsendable — fail it alone (nothing
+                # was written, the connection is fine); declaring the
+                # worker dead would just re-bounce the shard around the
+                # cluster until every worker was "lost".
+                self._fail_unsendable(link, shard, exc)
+                continue
+            except (OSError, ProtocolError) as exc:
+                self._on_worker_death(link, f"send failed: {exc}")
+                continue
+            with self._lock:
+                self.counters["doc_payloads_sent"] += len(shipped)
+                self.counters["doc_payloads_skipped"] += skipped
+                link.sent_hashes.update(shipped)
+
+    # ------------------------------------------------------------------ #
+    # Reader / message handling
+    # ------------------------------------------------------------------ #
+    def _read_loop(self, link: _WorkerLink) -> None:
+        reason = "connection closed by worker"
+        try:
+            while True:
+                message = link.channel.recv()
+                if message is None:
+                    break
+                link.last_seen = monotonic()
+                kind = message.get("type")
+                if kind == protocol.BATCH_RESULT:
+                    self._on_batch_result(link, message)
+                elif kind == protocol.SHARD_NEED:
+                    self._on_shard_need(link, message)
+                elif kind == protocol.SHARD_ERROR:
+                    self._on_shard_error(link, message)
+                elif kind == protocol.HEARTBEAT:
+                    pass  # last_seen already refreshed
+                elif kind == protocol.BYE:
+                    reason = f"worker said bye: {message.get('reason')}"
+                    break
+                elif kind == protocol.ERROR:
+                    reason = f"worker error: {message.get('message')}"
+                    break
+                else:
+                    reason = f"unexpected message type {kind!r}"
+                    break
+        except (OSError, ProtocolError) as exc:
+            reason = str(exc)
+        self._on_worker_death(link, reason)
+
+    def _on_batch_result(self, link: _WorkerLink, message: Mapping[str, Any]) -> None:
+        shard_id = str(message.get("shard_id"))
+        with self._lock:
+            shard = self._shards.pop(shard_id, None)
+            link.in_flight.pop(shard_id, None)
+            if shard is None:
+                # A worker we gave up on still answered after the shard was
+                # re-run elsewhere: at-least-once dispatch, exactly-once
+                # results — first writer won, this copy is dropped.
+                self.counters["duplicate_results_ignored"] += 1
+                sends = self._pump_locked()
+            else:
+                self.counters["shards_completed"] += 1
+                self.counters["remote_cache_hits"] += int(message.get("cache_hits", 0))
+                self.counters["remote_cache_misses"] += int(
+                    message.get("cache_misses", 0)
+                )
+                # Everything the shard carried is now materialised worker-side.
+                link.sent_hashes.update(shard.content_hashes)
+                sends = self._pump_locked()
+        self._send_planned(sends)
+        if shard is None:
+            return
+        try:
+            output = protocol.parse_batch_result(message)
+        except (KeyError, TypeError, ValueError) as exc:
+            shard.future.set_exception(
+                ClusterError(f"malformed batch_result for {shard_id}: {exc}")
+            )
+            return
+        if len(output[0]) != len(shard.documents):
+            shard.future.set_exception(
+                ClusterError(
+                    f"worker {link.worker_id} returned {len(output[0])} results "
+                    f"for shard {shard_id} of {len(shard.documents)} documents"
+                )
+            )
+            return
+        shard.future.set_result(output)
+
+    def _on_shard_need(self, link: _WorkerLink, message: Mapping[str, Any]) -> None:
+        shard_id = str(message.get("shard_id"))
+        needed = {str(item) for item in message.get("need", [])}
+        with self._lock:
+            shard = link.in_flight.get(shard_id)
+        if shard is None:
+            return  # re-placed meanwhile; the new worker owns it now
+        docs = []
+        for document, content_hash in zip(shard.documents, shard.content_hashes):
+            if content_hash in needed:
+                docs.append(
+                    {
+                        "doc_id": document.doc_id,
+                        "content_hash": content_hash,
+                        "payload": document_to_dict(document),
+                    }
+                )
+                needed.discard(content_hash)
+        try:
+            link.channel.send(
+                {"type": protocol.DOC_DATA, "shard_id": shard_id, "docs": docs}
+            )
+        except MessageTooLarge as exc:
+            self._fail_unsendable(link, shard, exc)
+            return
+        except (OSError, ProtocolError) as exc:
+            self._on_worker_death(link, f"send failed: {exc}")
+            return
+        with self._lock:
+            self.counters["doc_payloads_sent"] += len(docs)
+            self.counters["doc_payloads_skipped"] -= len(docs)
+            link.sent_hashes.update(doc["content_hash"] for doc in docs)
+
+    def _on_shard_error(self, link: _WorkerLink, message: Mapping[str, Any]) -> None:
+        shard_id = str(message.get("shard_id"))
+        with self._lock:
+            shard = self._shards.pop(shard_id, None)
+            link.in_flight.pop(shard_id, None)
+            if shard is not None:
+                self.counters["shards_failed"] += 1
+            sends = self._pump_locked()
+        self._send_planned(sends)
+        if shard is None:
+            return
+        shard.future.set_exception(
+            ClusterError(
+                f"shard {shard_id} failed on worker {link.worker_id} "
+                f"[{message.get('code', 'error')}]: {message.get('error')}"
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fault handling
+    # ------------------------------------------------------------------ #
+    def _on_worker_death(self, link: _WorkerLink, reason: str) -> None:
+        with self._lock:
+            if not link.alive:
+                return
+            link.alive = False
+            closing = self._closed
+            if not closing:
+                self.counters["workers_lost"] += 1
+            orphans = list(link.in_flight.values()) + list(link.queued)
+            link.in_flight.clear()
+            link.queued.clear()
+            sends: list[tuple[_WorkerLink, _Shard]] = []
+            for shard in orphans:
+                if shard.future.done or shard.shard_id not in self._shards:
+                    continue
+                shard.excluded_workers.add(link.worker_id)
+                if not closing:
+                    self.counters["shards_reassigned"] += 1
+                self._place_locked(shard)
+            if not closing:
+                sends = self._pump_locked()
+        link.channel.close()
+        self._send_planned(sends)
+
+    def _monitor_loop(self) -> None:
+        poll = max(0.05, min(self.heartbeat_interval, self.heartbeat_timeout / 4))
+        while not self._monitor_stop.wait(poll):
+            now = monotonic()
+            for link in list(self._links):
+                if link.alive and now - link.last_seen > self.heartbeat_timeout:
+                    self._on_worker_death(
+                        link,
+                        f"no heartbeat for {self.heartbeat_timeout:.1f}s",
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Cluster telemetry (the ``cluster_*`` block of ``ExecutionStats``)."""
+        with self._lock:
+            stats: dict[str, Any] = dict(self.counters)
+            stats["workers_alive"] = sum(1 for link in self._links if link.alive)
+            stats["bytes_sent"] = sum(link.channel.bytes_sent for link in self._links)
+            stats["bytes_received"] = sum(
+                link.channel.bytes_received for link in self._links
+            )
+        return stats
+
+    def workers(self) -> list[dict[str, Any]]:
+        """Connected workers and their live backlog (CLI summary block)."""
+        with self._lock:
+            return [
+                {
+                    "worker_id": link.worker_id,
+                    "address": link.address,
+                    "alive": link.alive,
+                    "in_flight": len(link.in_flight),
+                    "queued": len(link.queued),
+                    "capabilities": dict(link.capabilities),
+                }
+                for link in self._links
+            ]
+
+    def close(self) -> None:
+        """Fail outstanding shards, say goodbye, and join the threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            outstanding = list(self._shards.values())
+            self._shards.clear()
+            links = list(self._links)
+        for shard in outstanding:
+            if not shard.future.done:
+                shard.future.set_exception(
+                    ClusterError(f"coordinator closed with shard {shard.shard_id} pending")
+                )
+        self._monitor_stop.set()
+        for link in links:
+            if link.alive:
+                try:
+                    link.channel.send({"type": protocol.DRAIN})
+                except (OSError, ProtocolError):
+                    pass
+        for link in links:
+            link.channel.close()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        for link in links:
+            if link.reader is not None and link.reader is not threading.current_thread():
+                link.reader.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.connect() if not self._links else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,331 @@
+"""The cluster wire protocol: length-prefixed NDJSON messages over TCP.
+
+Every message on a cluster connection is one JSON object, encoded as a
+single UTF-8 line and framed by an ASCII decimal byte-length prefix::
+
+    <decimal length of body>\\n
+    {"type": "...", ...}\\n
+
+The prefix makes framing robust (a reader never has to guess where a
+message ends, even mid-recovery), while the NDJSON body keeps the stream
+greppable — ``nc`` into a worker and you can read the conversation.
+
+Message types
+-------------
+``hello`` / ``hello_ack``
+    Version + capability handshake.  The coordinator opens with ``hello``
+    (protocol version, heartbeat interval); the worker answers with its
+    identity, parallel slot count, and whether it runs a local parse
+    cache.  Version mismatches are refused with ``error``.
+``submit_shard``
+    One shard of work: a :class:`WorkerSpec` (parser name, α override,
+    and the coordinator-side ``config_fingerprint()`` the worker must
+    reproduce) plus the documents as **content-hash-addressed
+    descriptors**.  Payloads are only attached for hashes the coordinator
+    has not shipped to this worker before; a cache- or store-warm worker
+    resolves the rest locally and skips the re-transfer entirely.
+``shard_need``
+    The worker's response when descriptors arrived hash-only and it holds
+    neither the document nor a cached parse: the list of content hashes
+    it needs payloads for.
+``doc_data``
+    The coordinator's payload top-up answering ``shard_need``.
+``batch_result``
+    One shard's ordered results and routing decisions, plus worker-side
+    cache counters and timing.
+``shard_error``
+    A shard failed on the worker (bad spec fingerprint, unknown parser,
+    worker-side crash); carries the error text and a machine-checkable
+    ``code``.
+``heartbeat``
+    Worker liveness beacon, sent every ``heartbeat_interval`` seconds.
+    The coordinator declares a silent worker dead after its timeout and
+    re-queues the worker's in-flight shards.
+``drain`` / ``bye``
+    Graceful shutdown: ``drain`` asks the peer to finish in-flight work
+    and reply ``bye``; ``bye`` ends the conversation in either direction.
+``error``
+    Fatal connection-level failure (before/outside any shard).
+
+Documents cross the wire as :func:`repro.documents.simpdf.document_to_dict`
+payloads — the same JSON schema the on-disk SimPDF container uses — so
+the cluster introduces no second serialisation format.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.core.engine import RoutingDecision
+from repro.parsers.base import ParseResult
+
+#: Wire protocol version.  Bump on any incompatible message change; both
+#: sides refuse to talk across versions (the handshake checks it).
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one message body (a guard against garbage prefixes, not
+#: a practical limit: a 64 MiB shard would be ~1000 dense documents).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not valid cluster protocol."""
+
+
+class MessageTooLarge(ProtocolError):
+    """A message exceeds :data:`MAX_MESSAGE_BYTES`.
+
+    Raised at *send* time, before any bytes hit the socket, so the caller
+    can fail just the offending shard — the receiving side would
+    otherwise reject the frame and tear the whole connection down.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# Message type names
+# ---------------------------------------------------------------------- #
+HELLO = "hello"
+HELLO_ACK = "hello_ack"
+SUBMIT_SHARD = "submit_shard"
+SHARD_NEED = "shard_need"
+DOC_DATA = "doc_data"
+BATCH_RESULT = "batch_result"
+SHARD_ERROR = "shard_error"
+HEARTBEAT = "heartbeat"
+DRAIN = "drain"
+BYE = "bye"
+ERROR = "error"
+
+
+# ---------------------------------------------------------------------- #
+# The worker spec
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkerSpec:
+    """What a worker must execute a shard with.
+
+    The worker resolves ``parser`` through its *own*
+    :class:`~repro.pipeline.ParsePipeline` (registry names, engine names,
+    or pre-installed engine instances), applies the α override, and then
+    proves it built the same thing the coordinator holds by comparing
+    ``config_fingerprint()`` output against :attr:`fingerprint` — a
+    mismatched worker (different version, different trained weights)
+    refuses the shard rather than silently parsing differently.
+    """
+
+    parser: str
+    fingerprint: str
+    alpha: float | None = None
+    #: Worker-side cache policy for this shard ("off"/"read"/"write"/
+    #: "readwrite"); applied only when the worker runs a local cache.
+    cache: str = "readwrite"
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "parser": self.parser,
+            "fingerprint": self.fingerprint,
+            "alpha": self.alpha,
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "WorkerSpec":
+        return cls(
+            parser=str(payload["parser"]),
+            fingerprint=str(payload["fingerprint"]),
+            alpha=None if payload.get("alpha") is None else float(payload["alpha"]),
+            cache=str(payload.get("cache", "readwrite")),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Result / decision serialisation (shared with the cache's JSONL schema)
+# ---------------------------------------------------------------------- #
+def decision_to_dict(decision: RoutingDecision) -> dict[str, Any]:
+    return {
+        "doc_id": decision.doc_id,
+        "chosen_parser": decision.chosen_parser,
+        "stage": decision.stage,
+        "predicted_improvement": decision.predicted_improvement,
+    }
+
+
+def decision_from_dict(payload: Mapping[str, Any]) -> RoutingDecision:
+    return RoutingDecision(
+        doc_id=str(payload["doc_id"]),
+        chosen_parser=str(payload["chosen_parser"]),
+        stage=str(payload["stage"]),
+        predicted_improvement=float(payload.get("predicted_improvement", 0.0)),
+    )
+
+
+def batch_result_message(
+    shard_id: str,
+    results: Iterable[ParseResult],
+    decisions: Iterable[RoutingDecision],
+    worker_id: str,
+    elapsed_seconds: float,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+) -> dict[str, Any]:
+    """Build a ``batch_result`` message from worker-side objects."""
+    return {
+        "type": BATCH_RESULT,
+        "shard_id": shard_id,
+        "worker_id": worker_id,
+        "elapsed_seconds": elapsed_seconds,
+        "results": [result.to_json_dict() for result in results],
+        "decisions": [decision_to_dict(decision) for decision in decisions],
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+    }
+
+
+def parse_batch_result(
+    message: Mapping[str, Any],
+) -> tuple[list[ParseResult], list[RoutingDecision]]:
+    """Rehydrate a ``batch_result`` message's payload."""
+    results = [ParseResult.from_json_dict(item) for item in message.get("results", [])]
+    decisions = [decision_from_dict(item) for item in message.get("decisions", [])]
+    return results, decisions
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """Frame one message: decimal length prefix + NDJSON body."""
+    body = json.dumps(message, ensure_ascii=False, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+    return str(len(body)).encode("ascii") + b"\n" + body
+
+
+class MessageChannel:
+    """One cluster connection: thread-safe framed sends, single-reader receives.
+
+    Sends may come from several threads (result slots, the heartbeat
+    timer) and are serialised under a lock; receives must stay on one
+    reader thread.  The channel counts bytes in both directions — that is
+    the ``cluster_bytes_*`` telemetry the backend reports.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: Mapping[str, Any]) -> int:
+        """Send one message; returns the framed byte count.
+
+        Raises :class:`MessageTooLarge` — before writing anything — for a
+        frame the peer's :meth:`recv` would refuse.
+        """
+        frame = encode_message(message)
+        if len(frame) > MAX_MESSAGE_BYTES:
+            raise MessageTooLarge(
+                f"{message.get('type', 'message')} frame is {len(frame)} bytes, "
+                f"over the {MAX_MESSAGE_BYTES}-byte protocol limit; use a "
+                f"smaller batch_size"
+            )
+        with self._send_lock:
+            if self._closed:
+                raise ProtocolError("channel is closed")
+            self._sock.sendall(frame)
+            self.bytes_sent += len(frame)
+        return len(frame)
+
+    def recv(self) -> dict[str, Any] | None:
+        """Read one message; ``None`` on a clean EOF.
+
+        Raises :class:`ProtocolError` on a malformed frame (bad length
+        prefix, truncated body, invalid JSON, or a non-object payload).
+        """
+        prefix = self._reader.readline(32)
+        if not prefix:
+            return None
+        if not prefix.endswith(b"\n"):
+            raise ProtocolError(f"unterminated length prefix {prefix!r}")
+        try:
+            length = int(prefix.strip())
+        except ValueError as exc:
+            raise ProtocolError(f"bad length prefix {prefix!r}") from exc
+        if not 0 < length <= MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"message length {length} out of bounds")
+        body = self._reader.read(length)
+        if len(body) != length:
+            raise ProtocolError(
+                f"truncated message: expected {length} bytes, got {len(body)}"
+            )
+        self.bytes_received += len(prefix) + len(body)
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"message body is not valid JSON: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("message must be a JSON object with a 'type'")
+        return message
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent; unblocks the reader)."""
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# Rendezvous placement
+# ---------------------------------------------------------------------- #
+def shard_placement_key(content_hashes: Iterable[str]) -> str:
+    """Stable placement key of one shard (order-sensitive over its docs).
+
+    Repeated runs over the same corpus chunk into the same batches, so the
+    same key — and therefore, under rendezvous hashing against a stable
+    worker set, the same worker — which is what keeps that worker's local
+    parse cache and document store warm across runs.
+    """
+    from repro.utils.hashing import stable_hash_hex
+
+    return stable_hash_hex("shard-placement", *content_hashes)
+
+
+def rank_workers(placement_key: str, worker_ids: Iterable[str]) -> list[str]:
+    """Rendezvous (highest-random-weight) order of workers for one shard.
+
+    Every (shard, worker) pair gets an independent stable score; the
+    shard prefers workers in descending score order.  Removing a worker
+    only re-places the shards that preferred it — every other shard keeps
+    its worker, which is exactly the cache-friendly property plain modulo
+    hashing lacks.
+    """
+    from repro.utils.hashing import stable_hash
+
+    return sorted(
+        worker_ids,
+        key=lambda worker_id: stable_hash("rendezvous", placement_key, worker_id),
+        reverse=True,
+    )

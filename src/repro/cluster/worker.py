@@ -1,0 +1,744 @@
+"""The cluster worker daemon: a process that parses shards for a coordinator.
+
+A :class:`WorkerDaemon` listens on a TCP port and speaks the
+:mod:`repro.cluster.protocol`.  For every shard it
+
+1. resolves the shard's :class:`~repro.cluster.protocol.WorkerSpec`
+   through its **own** :class:`~repro.pipeline.ParsePipeline` — registry
+   parser names, ``adaparse_*`` engine names (trained locally on first
+   use), or engines pre-installed on the pipeline — and refuses the shard
+   unless the locally built parser reproduces the coordinator's
+   ``config_fingerprint()`` exactly;
+2. resolves the shard's content-hash-addressed document descriptors
+   against its session document store and (when configured) its local
+   :class:`~repro.cache.ParseCache`, asking the coordinator for payloads
+   only for hashes it cannot serve — a warm worker re-parses nothing and
+   re-transfers nothing;
+3. runs the cache misses as **one sub-batch** through a local
+   :class:`~repro.pipeline.backends.ExecutionBackend` (preserving the
+   engine's per-batch α semantics, exactly like the parent-side cache
+   wrapper does), stores fresh parses policy-permitting, and
+4. streams an ordered ``batch_result`` back.
+
+Shards execute on a small slot pool (default: the local backend's worker
+count), so transfer and parse overlap; a heartbeat thread beacons
+liveness so the coordinator can distinguish *slow* from *dead*.
+
+The daemon is embeddable (tests and benchmarks run several in one
+process, each on its own port) and is what ``adaparse-repro worker``
+runs in daemon mode.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+from time import perf_counter
+from typing import Any, Callable, Mapping
+
+from repro.cache import CachePolicy, ParseCache
+from repro.cache.keys import CacheKey
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    MessageChannel,
+    MessageTooLarge,
+    ProtocolError,
+    WorkerSpec,
+)
+from repro.documents.document import SciDocument
+from repro.documents.simpdf import document_from_dict
+from repro.parsers.base import ParseResult
+
+#: Thread-name prefix of daemon-owned threads (accept/reader/slots/heartbeat).
+WORKER_THREAD_PREFIX = "repro-cluster-worker"
+
+
+class SpecError(RuntimeError):
+    """A shard's worker spec could not be satisfied on this daemon."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _ShardJob:
+    """One shard queued for execution on the slot pool."""
+
+    __slots__ = ("shard_id", "spec", "descriptors")
+
+    def __init__(
+        self, shard_id: str, spec: WorkerSpec, descriptors: list[dict[str, Any]]
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self.descriptors = descriptors
+
+
+class WorkerDaemon:
+    """Serve parse shards over TCP (see the module docstring).
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    pipeline:
+        The pipeline shards resolve parsers through.  Pass one with
+        pre-installed ``engines`` to serve custom parsers; by default a
+        fresh pipeline over the default registry is built.
+    backend / backend_options:
+        The local :class:`~repro.pipeline.backends.ExecutionBackend`
+        parsing runs on (registry name; default ``serial``).
+    cache:
+        Optional local :class:`~repro.cache.ParseCache` (or a directory
+        path for a persistent one).  A warm cache lets the worker answer
+        shards without ever receiving the documents.
+    slots:
+        Shards executing concurrently (default: the local backend's
+        worker count).
+    name:
+        Stable worker identity used for rendezvous placement.  Give
+        long-lived workers stable names so repeated runs land shards on
+        the same (cache-warm) worker; the default derives from the bound
+        address.
+    heartbeat_interval:
+        Default liveness beacon period (the coordinator's ``hello`` may
+        override it per connection).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pipeline: Any | None = None,
+        backend: str = "serial",
+        backend_options: Mapping[str, Any] | None = None,
+        cache: "ParseCache | str | None" = None,
+        slots: int | None = None,
+        name: str | None = None,
+        heartbeat_interval: float = 1.0,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._pipeline = pipeline
+        self._backend_name = backend
+        self._backend_options = dict(backend_options or {})
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ParseCache(cache)
+        self.cache = cache
+        self._slots = slots
+        self._name = name
+        self.heartbeat_interval = heartbeat_interval
+
+        self._listener: socket.socket | None = None
+        self._bound_port: int | None = None
+        self._backend = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[_ConnectionHandler] = []
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._started = False
+
+        #: Session document store: content hash → document.  Shared across
+        #: connections so a reconnecting coordinator skips re-transfer too.
+        self._doc_store: dict[str, SciDocument] = {}
+        self._doc_store_lock = threading.Lock()
+        #: Resolved specs: config fingerprint → (parser, batch callable).
+        self._workers_by_fingerprint: dict[str, Callable] = {}
+        self._resolve_lock = threading.Lock()
+        #: Counters exposed in ``describe()`` and CLI logging.  Updated
+        #: from concurrent slot threads, so bumps go through ``_bump``.
+        self.counters = {
+            "shards_completed": 0,
+            "shards_failed": 0,
+            "docs_parsed": 0,
+            "docs_from_cache": 0,
+            "docs_received": 0,
+            "docs_reused": 0,
+        }
+        self._counters_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        if self._bound_port is None:
+            raise RuntimeError("worker is not started")
+        return self._bound_port
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self.port}"
+
+    @property
+    def name(self) -> str:
+        if self._name is not None:
+            return self._name
+        return f"worker-{self.address}"
+
+    @property
+    def pipeline(self):
+        if self._pipeline is None:
+            from repro.pipeline.pipeline import ParsePipeline
+
+            self._pipeline = ParsePipeline()
+        return self._pipeline
+
+    def start(self) -> "WorkerDaemon":
+        """Bind, spin up the local backend, and begin accepting coordinators."""
+        if self._started:
+            raise RuntimeError("worker already started")
+        from repro.pipeline.backends.base import create_backend
+
+        self._backend = create_backend(self._backend_name, self._backend_options)
+        if self._slots is None:
+            self._slots = max(1, self._backend.workers)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(8)
+        self._listener = listener
+        self._bound_port = listener.getsockname()[1]
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"{WORKER_THREAD_PREFIX}-accept-{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()/kill()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = _ConnectionHandler(self, MessageChannel(sock))
+            with self._lock:
+                if self._stopped.is_set():
+                    handler.channel.close()
+                    return
+                self._handlers.append(handler)
+            handler.start()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the CLI daemon mode)."""
+        if not self._started:
+            self.start()
+        self._stopped.wait()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting and shut down; ``drain`` finishes in-flight shards."""
+        if not self._started or self._stopped.is_set():
+            self._stopped.set()
+            return
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.shutdown(drain=drain)
+        if self._backend is not None:
+            self._backend.close()
+
+    def kill(self) -> None:
+        """Die abruptly: sever every connection without drain or goodbye.
+
+        The crash double for fault-tolerance tests — from the
+        coordinator's point of view this is indistinguishable from the
+        worker process being SIGKILLed (immediate EOF on the socket).
+        """
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.channel.close()
+        for handler in handlers:
+            handler.shutdown(drain=False)
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "WorkerDaemon":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _bump(self, counter: str, n: int = 1) -> None:
+        """Increment a counter (slot threads race on plain ``+=``)."""
+        with self._counters_lock:
+            self.counters[counter] += n
+
+    def describe(self) -> dict[str, Any]:
+        """Inventory of this worker (counters, store sizes, backend stats)."""
+        with self._counters_lock:
+            description: dict[str, Any] = dict(self.counters)
+        description.update(
+            {
+                "name": self.name,
+                "address": self.address if self._bound_port is not None else None,
+                "slots": self._slots,
+                "doc_store_entries": len(self._doc_store),
+                "cache": self.cache is not None,
+                "backend": (
+                    self._backend.stats().to_json_dict()
+                    if self._backend is not None
+                    else None
+                ),
+            }
+        )
+        return description
+
+    # ------------------------------------------------------------------ #
+    # Shard execution (called from connection slot threads)
+    # ------------------------------------------------------------------ #
+    def _resolve_spec(self, spec: WorkerSpec) -> Callable:
+        """The batch callable for one spec, fingerprint-checked and memoised."""
+        with self._resolve_lock:
+            worker = self._workers_by_fingerprint.get(spec.fingerprint)
+            if worker is not None:
+                return worker
+            from repro.core.engine import AdaParseEngine
+
+            try:
+                parser = self.pipeline.resolve_parser(spec.parser, alpha=spec.alpha)
+            except KeyError as exc:
+                raise SpecError("unknown_parser", str(exc)) from exc
+            fingerprint = parser.config_fingerprint()
+            if fingerprint != spec.fingerprint:
+                raise SpecError(
+                    "fingerprint_mismatch",
+                    f"worker built {spec.parser!r} with fingerprint {fingerprint}, "
+                    f"but the coordinator expects {spec.fingerprint}; parser "
+                    f"versions or trained weights differ between the hosts",
+                )
+            if isinstance(parser, AdaParseEngine):
+                worker = parser.route_batch
+            else:
+                worker = parser.parse_with_telemetry
+            self._workers_by_fingerprint[spec.fingerprint] = worker
+            return worker
+
+    def _store_documents(self, docs: list[dict[str, Any]]) -> int:
+        """Install payload-bearing descriptors into the session doc store."""
+        received = 0
+        with self._doc_store_lock:
+            for descriptor in docs:
+                payload = descriptor.get("payload")
+                if payload is None:
+                    continue
+                content_hash = str(descriptor["content_hash"])
+                if content_hash not in self._doc_store:
+                    self._doc_store[content_hash] = document_from_dict(payload)
+                    received += 1
+        self._bump("docs_received", received)
+        return received
+
+    def missing_hashes(self, spec: WorkerSpec, docs: list[dict[str, Any]]) -> list[str]:
+        """Content hashes this worker can serve neither from store nor cache."""
+        policy = CachePolicy.coerce(spec.cache)
+        missing: list[str] = []
+        for descriptor in docs:
+            if descriptor.get("payload") is not None:
+                continue
+            content_hash = str(descriptor["content_hash"])
+            with self._doc_store_lock:
+                if content_hash in self._doc_store:
+                    continue
+            if (
+                self.cache is not None
+                and policy.reads
+                and self.cache.lookup(CacheKey(content_hash, spec.fingerprint))
+                is not None
+            ):
+                continue
+            missing.append(content_hash)
+        return missing
+
+    def run_shard(
+        self, spec: WorkerSpec, descriptors: list[dict[str, Any]]
+    ) -> tuple[list[ParseResult], list, int, int]:
+        """Execute one fully resolvable shard.
+
+        Returns ``(results, decisions, cache_hits, cache_misses)`` with
+        results in descriptor order.  Cache hits are replayed from the
+        local cache; the remaining documents run as **one** sub-batch on
+        the local execution backend (matching the parent-side cache
+        wrapper's α semantics), and fresh parses are stored when the
+        spec's policy writes.
+        """
+        worker = self._resolve_spec(spec)
+        policy = CachePolicy.coerce(spec.cache) if self.cache is not None else CachePolicy.OFF
+        n = len(descriptors)
+        slots: list[tuple[ParseResult, Any] | None] = [None] * n
+        to_parse: list[tuple[int, str, SciDocument]] = []
+        hits = 0
+        for i, descriptor in enumerate(descriptors):
+            content_hash = str(descriptor["content_hash"])
+            key = CacheKey(content_hash, spec.fingerprint)
+            if policy.reads:
+                entry = self.cache.lookup(key)  # type: ignore[union-attr]
+                if entry is not None:
+                    slots[i] = (entry.fresh_result(), entry.decision)
+                    hits += 1
+                    continue
+            with self._doc_store_lock:
+                document = self._doc_store.get(content_hash)
+            if document is None:
+                raise SpecError(
+                    "missing_document",
+                    f"document {content_hash} is neither stored nor cached on "
+                    f"this worker (protocol error: submit before doc_data?)",
+                )
+            to_parse.append((i, content_hash, document))
+            if descriptor.get("payload") is None:
+                self._bump("docs_reused")
+        if to_parse:
+            sub_batch = [document for _, _, document in to_parse]
+            started = perf_counter()
+            results, decisions = self._map_on_backend(worker, sub_batch)
+            elapsed = perf_counter() - started
+            if len(results) != len(sub_batch):
+                raise SpecError(
+                    "bad_worker_output",
+                    f"worker returned {len(results)} results for "
+                    f"{len(sub_batch)} documents",
+                )
+            decision_by_doc = {d.doc_id: d for d in decisions}
+            per_doc_seconds = elapsed / len(sub_batch)
+            for (i, content_hash, _), result in zip(to_parse, results):
+                decision = decision_by_doc.get(result.doc_id)
+                if policy.writes:
+                    self.cache.store(  # type: ignore[union-attr]
+                        CacheKey(content_hash, spec.fingerprint),
+                        result,
+                        decision,
+                        compute_seconds=per_doc_seconds,
+                    )
+                slots[i] = (result, decision)
+        results_out: list[ParseResult] = []
+        decisions_out: list = []
+        for slot in slots:
+            assert slot is not None
+            result, decision = slot
+            results_out.append(result)
+            if decision is not None:
+                decisions_out.append(decision)
+        self._bump("docs_parsed", len(to_parse))
+        self._bump("docs_from_cache", hits)
+        return results_out, decisions_out, hits, len(to_parse)
+
+    def _map_on_backend(self, worker: Callable, sub_batch: list[SciDocument]):
+        """Run one sub-batch through the local execution backend."""
+        assert self._backend is not None
+        for output in self._backend.map_ordered(worker, [sub_batch]):
+            return output
+        raise SpecError("backend_closed", "local execution backend yielded nothing")
+
+
+class _ConnectionHandler:
+    """One coordinator connection: reader + slot pool + heartbeat."""
+
+    def __init__(self, daemon: WorkerDaemon, channel: MessageChannel) -> None:
+        self.daemon = daemon
+        self.channel = channel
+        self._queue: "queue.Queue[_ShardJob | None]" = queue.Queue()
+        self._pending: dict[str, _ShardJob] = {}  # awaiting doc_data
+        self._pending_lock = threading.Lock()
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self._idle = threading.Condition(self._in_flight_lock)
+        self._draining = threading.Event()
+        self._closed = threading.Event()
+        self._heartbeat_interval = daemon.heartbeat_interval
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        reader = threading.Thread(
+            target=self._read_loop,
+            name=f"{WORKER_THREAD_PREFIX}-reader",
+            daemon=True,
+        )
+        self._threads.append(reader)
+        reader.start()
+
+    def _start_workers(self) -> None:
+        for index in range(self.daemon._slots or 1):
+            slot = threading.Thread(
+                target=self._slot_loop,
+                name=f"{WORKER_THREAD_PREFIX}-slot-{index}",
+                daemon=True,
+            )
+            self._threads.append(slot)
+            slot.start()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"{WORKER_THREAD_PREFIX}-heartbeat",
+            daemon=True,
+        )
+        self._threads.append(beat)
+        beat.start()
+
+    def shutdown(self, drain: bool = True) -> None:
+        if drain and not self._closed.is_set():
+            self._begin_drain()
+            self._await_drained(timeout=30.0)
+            self._safe_send({"type": protocol.BYE, "reason": "worker stopping"})
+        self._close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+
+    def _close(self) -> None:
+        self._closed.set()
+        self._draining.set()
+        self._queue.put(None)
+        self.channel.close()
+
+    # ------------------------------------------------------------------ #
+    # Reader
+    # ------------------------------------------------------------------ #
+    def _read_loop(self) -> None:
+        try:
+            if not self._handshake():
+                return
+            self._start_workers()
+            while not self._closed.is_set():
+                message = self.channel.recv()
+                if message is None:
+                    return
+                self._dispatch(message)
+        except (ProtocolError, OSError, ValueError) as exc:
+            self._safe_send({"type": protocol.ERROR, "message": str(exc)})
+        finally:
+            self._close()
+            with self.daemon._lock:
+                if self in self.daemon._handlers:
+                    self.daemon._handlers.remove(self)
+
+    def _handshake(self) -> bool:
+        message = self.channel.recv()
+        if message is None:
+            return False
+        if message.get("type") != protocol.HELLO:
+            self._safe_send(
+                {"type": protocol.ERROR, "message": "expected hello first"}
+            )
+            return False
+        version = int(message.get("protocol", -1))
+        if version != protocol.PROTOCOL_VERSION:
+            self._safe_send(
+                {
+                    "type": protocol.ERROR,
+                    "message": f"protocol version mismatch: worker speaks "
+                    f"{protocol.PROTOCOL_VERSION}, coordinator sent {version}",
+                }
+            )
+            return False
+        interval = float(message.get("heartbeat_interval", 0.0))
+        if interval > 0:
+            self._heartbeat_interval = interval
+        self.channel.send(
+            {
+                "type": protocol.HELLO_ACK,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "worker_id": self.daemon.name,
+                "pid": os.getpid(),
+                "capabilities": {
+                    "backend": self.daemon._backend_name,
+                    "slots": self.daemon._slots,
+                    "cache": self.daemon.cache is not None,
+                },
+            }
+        )
+        return True
+
+    def _dispatch(self, message: dict[str, Any]) -> None:
+        kind = message.get("type")
+        if kind == protocol.SUBMIT_SHARD:
+            self._on_submit(message)
+        elif kind == protocol.DOC_DATA:
+            self._on_doc_data(message)
+        elif kind == protocol.DRAIN:
+            self._begin_drain()
+            self._await_drained(timeout=None)
+            self._safe_send({"type": protocol.BYE, "reason": "drained"})
+            self._close()
+        elif kind == protocol.BYE:
+            self._close()
+        elif kind == protocol.HEARTBEAT:
+            pass  # coordinators may echo beacons; nothing to do
+        else:
+            raise ProtocolError(f"unexpected message type {kind!r}")
+
+    def _on_submit(self, message: dict[str, Any]) -> None:
+        if self._draining.is_set():
+            self._safe_send(
+                {
+                    "type": protocol.SHARD_ERROR,
+                    "shard_id": message.get("shard_id"),
+                    "code": "draining",
+                    "error": "worker is draining",
+                }
+            )
+            return
+        shard_id = str(message["shard_id"])
+        spec = WorkerSpec.from_json_dict(message["spec"])
+        docs = list(message.get("docs", []))
+        self.daemon._store_documents(docs)
+        missing = self.daemon.missing_hashes(spec, docs)
+        job = _ShardJob(shard_id, spec, docs)
+        if missing:
+            with self._pending_lock:
+                self._pending[shard_id] = job
+            self.channel.send(
+                {"type": protocol.SHARD_NEED, "shard_id": shard_id, "need": missing}
+            )
+            return
+        self._enqueue(job)
+
+    def _on_doc_data(self, message: dict[str, Any]) -> None:
+        shard_id = str(message["shard_id"])
+        self.daemon._store_documents(list(message.get("docs", [])))
+        with self._pending_lock:
+            job = self._pending.pop(shard_id, None)
+        if job is None:
+            raise ProtocolError(f"doc_data for unknown shard {shard_id!r}")
+        still_missing = self.daemon.missing_hashes(job.spec, job.descriptors)
+        if still_missing:
+            self._safe_send(
+                {
+                    "type": protocol.SHARD_ERROR,
+                    "shard_id": shard_id,
+                    "code": "missing_document",
+                    "error": f"doc_data left {len(still_missing)} hash(es) "
+                    f"unresolved: {still_missing[:3]}",
+                }
+            )
+            return
+        self._enqueue(job)
+
+    def _enqueue(self, job: _ShardJob) -> None:
+        with self._in_flight_lock:
+            self._in_flight += 1
+        self._queue.put(job)
+
+    # ------------------------------------------------------------------ #
+    # Slot pool
+    # ------------------------------------------------------------------ #
+    def _slot_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.put(None)  # release sibling slots
+                return
+            try:
+                self._run_job(job)
+            finally:
+                with self._in_flight_lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+
+    def _run_job(self, job: _ShardJob) -> None:
+        started = perf_counter()
+        try:
+            results, decisions, hits, misses = self.daemon.run_shard(
+                job.spec, job.descriptors
+            )
+        except SpecError as exc:
+            self.daemon._bump("shards_failed")
+            self._safe_send(
+                {
+                    "type": protocol.SHARD_ERROR,
+                    "shard_id": job.shard_id,
+                    "code": exc.code,
+                    "error": str(exc),
+                }
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - shard failures must travel
+            self.daemon._bump("shards_failed")
+            self._safe_send(
+                {
+                    "type": protocol.SHARD_ERROR,
+                    "shard_id": job.shard_id,
+                    "code": "worker_exception",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        self.daemon._bump("shards_completed")
+        message = protocol.batch_result_message(
+            job.shard_id,
+            results,
+            decisions,
+            worker_id=self.daemon.name,
+            elapsed_seconds=perf_counter() - started,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+        try:
+            self.channel.send(message)
+        except MessageTooLarge as exc:
+            # The results cannot cross the wire: report a shard error so
+            # the coordinator fails this shard instead of waiting forever.
+            self._safe_send(
+                {
+                    "type": protocol.SHARD_ERROR,
+                    "shard_id": job.shard_id,
+                    "code": "result_too_large",
+                    "error": str(exc),
+                }
+            )
+        except (ProtocolError, OSError):
+            pass  # connection death; the reader loop handles it
+
+    # ------------------------------------------------------------------ #
+    # Heartbeat / drain
+    # ------------------------------------------------------------------ #
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self._heartbeat_interval):
+            with self._in_flight_lock:
+                in_flight = self._in_flight
+            if not self._safe_send(
+                {
+                    "type": protocol.HEARTBEAT,
+                    "worker_id": self.daemon.name,
+                    "in_flight": in_flight,
+                }
+            ):
+                return
+
+    def _begin_drain(self) -> None:
+        self._draining.set()
+
+    def _await_drained(self, timeout: float | None) -> None:
+        # Queued-but-unstarted jobs already count in ``_in_flight`` (the
+        # counter moves at enqueue time), so this is the whole condition.
+        with self._idle:
+            self._idle.wait_for(lambda: self._in_flight == 0, timeout)
+
+    def _safe_send(self, message: Mapping[str, Any]) -> bool:
+        """Send, swallowing connection failures (the reader handles death)."""
+        try:
+            self.channel.send(message)
+            return True
+        except (ProtocolError, OSError):
+            return False

@@ -1,6 +1,6 @@
 """Pluggable execution backends of the parsing pipeline.
 
-One :class:`ExecutionBackend` protocol, five implementations:
+One :class:`ExecutionBackend` protocol, six implementations:
 
 ========= ==================================================================
 name      execution
@@ -10,6 +10,7 @@ thread    bounded thread-pool window sharing parent memory
 process   worker processes for GIL-free parsing; cache stays parent-side
 hpc       inline parse + measured-usage replay on the simulated cluster
 async     asyncio event loop with an adaptive (AIMD) in-flight window
+remote    repro.cluster worker daemons over TCP (multi-process/multi-host)
 ========= ==================================================================
 
 Backends are selected by name through :class:`~repro.pipeline.ParseRequest`
@@ -37,6 +38,7 @@ _LAZY_EXPORTS: dict[str, str] = {
     "ExecutionStats": "repro.pipeline.backends.base:ExecutionStats",
     "HPCBackend": "repro.pipeline.backends.hpc:HPCBackend",
     "ProcessBackend": "repro.pipeline.backends.process:ProcessBackend",
+    "RemoteBackend": "repro.cluster.backend:RemoteBackend",
     "SerialBackend": "repro.pipeline.backends.serial:SerialBackend",
     "ThreadBackend": "repro.pipeline.backends.thread:ThreadBackend",
     "backend_accepts_option": "repro.pipeline.backends.base:backend_accepts_option",

@@ -266,6 +266,7 @@ _BUILTIN_BACKEND_MODULES: dict[str, str] = {
     "process": "repro.pipeline.backends.process",
     "hpc": "repro.pipeline.backends.hpc",
     "async": "repro.pipeline.backends.async_",
+    "remote": "repro.cluster.backend",
 }
 
 

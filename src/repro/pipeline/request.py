@@ -44,13 +44,14 @@ class ParseRequest:
         base parsers.
     backend:
         Execution backend by registry name (``serial``, ``thread``,
-        ``process``, ``hpc``, ``async``) or ``"auto"``, which picks
-        serial — or thread when parallelism is requested via
+        ``process``, ``hpc``, ``async``, ``remote``) or ``"auto"``, which
+        picks serial — or thread when parallelism is requested via
         ``backend_options`` or the deprecated ``n_jobs``.
     backend_options:
         Backend construction options (e.g. ``{"n_jobs": 8}`` for the
         thread/process/async backends, ``{"n_nodes": 16}`` for ``hpc``,
-        ``{"max_window": 32, "adaptive": True}`` for ``async``); see
+        ``{"max_window": 32, "adaptive": True}`` for ``async``,
+        ``{"workers": "host:port,host:port"}`` for ``remote``); see
         :func:`repro.pipeline.backends.backend_specs`.
     n_jobs:
         Deprecated alias for ``backend_options={"n_jobs": N}`` (with

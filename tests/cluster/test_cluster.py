@@ -1,0 +1,653 @@
+"""Integration tests of repro.cluster: daemons, coordinator, remote backend.
+
+Workers run in-process (each :class:`WorkerDaemon` owns a real TCP
+listener on localhost), so the full wire protocol is exercised without
+subprocess spawn latency — and a "killed" worker is just a daemon whose
+sockets are severed abruptly, which the coordinator sees exactly as a
+SIGKILLed process.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cache import ParseCache
+from repro.cluster.backend import RemoteBackend, worker_spec_for
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.protocol import PROTOCOL_VERSION, MessageChannel, WorkerSpec
+from repro.cluster.worker import WorkerDaemon
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.base import Parser, ParserCost
+from repro.parsers.registry import default_registry
+from repro.pipeline import ParsePipeline, request_for_documents
+from repro.pipeline.backends import BackendError, create_backend, normalize_backend_spec
+
+
+class TortoiseParser(Parser):
+    """Deterministic, slow-enough-to-interrupt parser double."""
+
+    name = "tortoise"
+    version = "1.0"
+    cost = ParserCost(cpu_seconds_per_page=0.001)
+
+    def __init__(self, sleep_seconds: float = 0.03) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def _parse_pages(self, document, rng):
+        time.sleep(self.sleep_seconds)
+        return [f"{document.doc_id}:p{i}" for i in range(document.n_pages)]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def corpus_30():
+    return build_corpus(CorpusConfig(n_documents=30, seed=11, min_pages=1, max_pages=2))
+
+
+def start_workers(n: int, **kwargs) -> list[WorkerDaemon]:
+    return [
+        WorkerDaemon(name=f"test-worker-{i}", **kwargs).start() for i in range(n)
+    ]
+
+
+def addresses_of(workers: list[WorkerDaemon]) -> str:
+    return ",".join(worker.address for worker in workers)
+
+
+def tortoise_pipeline(registry, sleep_seconds: float = 0.03) -> ParsePipeline:
+    pipeline = ParsePipeline(registry)
+    pipeline.engines["tortoise"] = TortoiseParser(sleep_seconds)
+    return pipeline
+
+
+# ---------------------------------------------------------------------- #
+# Registry / resolution / laziness
+# ---------------------------------------------------------------------- #
+class TestRemoteRegistration:
+    def test_resolves_through_create_backend(self):
+        backend = create_backend("remote", {"workers": "127.0.0.1:9101"})
+        assert isinstance(backend, RemoteBackend)
+        assert backend.addresses == ["127.0.0.1:9101"]
+        backend.close()  # never connected; must not raise
+
+    def test_normalize_passes_remote_through(self):
+        name, options = normalize_backend_spec(
+            "remote", {"workers": "127.0.0.1:9101,127.0.0.1:9102", "window": 3}
+        )
+        assert name == "remote"
+        assert options["window"] == 3
+
+    def test_request_validates_remote_spec_eagerly(self):
+        from repro.pipeline import ParseRequest
+
+        request = ParseRequest(
+            backend="remote", backend_options={"workers": "127.0.0.1:9101"}
+        )
+        assert request.resolved_backend()[0] == "remote"
+
+    @pytest.mark.parametrize(
+        "options,match",
+        [
+            ({}, "worker addresses"),
+            ({"workers": ""}, "at least one"),
+            ({"workers": "no-port"}, "host:port"),
+            ({"workers": "127.0.0.1:9101", "window": 0}, "window"),
+            ({"workers": "127.0.0.1:9101", "placement": "modulo"}, "placement"),
+        ],
+    )
+    def test_bad_options_fail_at_construction(self, options, match):
+        with pytest.raises(ValueError, match=match):
+            create_backend("remote", options)
+
+    def test_import_repro_does_not_import_cluster(self):
+        code = (
+            "import sys, repro, repro.pipeline\n"
+            "from repro.pipeline import ParseRequest\n"
+            "ParseRequest()\n"
+            "from repro.pipeline.backends import backend_names\n"
+            "assert 'remote' in backend_names()\n"
+            "bad = [m for m in sys.modules if m.startswith('repro.cluster')]\n"
+            "assert not bad, f'cluster imported on the serial path: {bad}'\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_subprocess_env()
+        )
+
+    def test_closure_work_unit_rejected_with_guidance(self):
+        with pytest.raises(BackendError, match="rebuild by name"):
+            worker_spec_for(lambda batch: batch)
+
+
+def _subprocess_env():
+    import os
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+# ---------------------------------------------------------------------- #
+# Worker daemon protocol behaviour (raw channel)
+# ---------------------------------------------------------------------- #
+def dial(daemon: WorkerDaemon) -> MessageChannel:
+    sock = socket.create_connection(("127.0.0.1", daemon.port), timeout=5)
+    return MessageChannel(sock)
+
+
+def handshake(channel: MessageChannel) -> dict:
+    channel.send(
+        {"type": "hello", "protocol": PROTOCOL_VERSION, "heartbeat_interval": 30.0}
+    )
+    ack = channel.recv()
+    assert ack is not None and ack["type"] == "hello_ack"
+    return ack
+
+
+def recv_skipping_heartbeats(channel: MessageChannel) -> dict:
+    while True:
+        message = channel.recv()
+        assert message is not None, "worker closed the connection unexpectedly"
+        if message["type"] != "heartbeat":
+            return message
+
+
+class TestWorkerDaemon:
+    def test_hello_ack_carries_identity_and_capabilities(self, registry):
+        with WorkerDaemon(name="wd-1", pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            ack = handshake(channel)
+            assert ack["worker_id"] == "wd-1"
+            assert ack["protocol"] == PROTOCOL_VERSION
+            assert ack["capabilities"]["cache"] is False
+            channel.close()
+
+    def test_protocol_version_mismatch_refused(self, registry):
+        with WorkerDaemon(pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            channel.send({"type": "hello", "protocol": 999})
+            reply = channel.recv()
+            assert reply["type"] == "error"
+            assert "version mismatch" in reply["message"]
+            channel.close()
+
+    def test_non_hello_first_message_refused(self, registry):
+        with WorkerDaemon(pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            channel.send({"type": "submit_shard", "shard_id": "s0"})
+            reply = channel.recv()
+            assert reply["type"] == "error"
+            channel.close()
+
+    def test_unknown_parser_yields_shard_error(self, registry, corpus_30):
+        from repro.cluster.coordinator import _Shard  # reuse hash computation
+
+        with WorkerDaemon(pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            handshake(channel)
+            spec = WorkerSpec(parser="no-such-parser", fingerprint="f")
+            shard = _Shard("s0", spec, [corpus_30.documents[0]])
+            channel.send(_submit_message(shard, with_payloads=True))
+            reply = recv_skipping_heartbeats(channel)
+            assert reply["type"] == "shard_error"
+            assert reply["code"] == "unknown_parser"
+            channel.close()
+
+    def test_fingerprint_mismatch_refused(self, registry, corpus_30):
+        from repro.cluster.coordinator import _Shard
+
+        with WorkerDaemon(pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            handshake(channel)
+            spec = WorkerSpec(parser="pymupdf", fingerprint="definitely-wrong")
+            shard = _Shard("s0", spec, [corpus_30.documents[0]])
+            channel.send(_submit_message(shard, with_payloads=True))
+            reply = recv_skipping_heartbeats(channel)
+            assert reply["type"] == "shard_error"
+            assert reply["code"] == "fingerprint_mismatch"
+            channel.close()
+
+    def test_hash_only_shard_triggers_need_then_runs(self, registry, corpus_30):
+        from repro.cluster.coordinator import _Shard
+        from repro.documents.simpdf import document_to_dict
+
+        parser = registry.get("pymupdf")
+        spec = WorkerSpec(parser="pymupdf", fingerprint=parser.config_fingerprint())
+        documents = list(corpus_30.documents[:3])
+        with WorkerDaemon(pipeline=ParsePipeline(registry)) as daemon:
+            channel = dial(daemon)
+            handshake(channel)
+            shard = _Shard("s7", spec, documents)
+            channel.send(_submit_message(shard, with_payloads=False))
+            need = recv_skipping_heartbeats(channel)
+            assert need["type"] == "shard_need"
+            assert sorted(need["need"]) == sorted(shard.content_hashes)
+            channel.send(
+                {
+                    "type": "doc_data",
+                    "shard_id": "s7",
+                    "docs": [
+                        {
+                            "doc_id": document.doc_id,
+                            "content_hash": content_hash,
+                            "payload": document_to_dict(document),
+                        }
+                        for document, content_hash in zip(
+                            documents, shard.content_hashes
+                        )
+                    ],
+                }
+            )
+            result = recv_skipping_heartbeats(channel)
+            assert result["type"] == "batch_result"
+            assert [r["doc_id"] for r in result["results"]] == [
+                document.doc_id for document in documents
+            ]
+            expected = parser.parse_many(documents)
+            assert [r["page_texts"] for r in result["results"]] == [
+                r.page_texts for r in expected
+            ]
+            channel.close()
+
+
+def _submit_message(shard, with_payloads: bool) -> dict:
+    from repro.documents.simpdf import document_to_dict
+
+    docs = []
+    for document, content_hash in zip(shard.documents, shard.content_hashes):
+        descriptor = {"doc_id": document.doc_id, "content_hash": content_hash}
+        if with_payloads:
+            descriptor["payload"] = document_to_dict(document)
+        docs.append(descriptor)
+    return {
+        "type": "submit_shard",
+        "shard_id": shard.shard_id,
+        "spec": shard.spec.to_json_dict(),
+        "docs": docs,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end execution on the remote backend
+# ---------------------------------------------------------------------- #
+class TestRemoteExecution:
+    def test_matches_serial_and_reports_cluster_telemetry(self, registry, corpus_30):
+        documents = list(corpus_30)
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        try:
+            remote = ParsePipeline(registry).run(
+                request_for_documents(
+                    "pymupdf",
+                    documents,
+                    batch_size=5,
+                    backend="remote",
+                    backend_options={"workers": addresses_of(workers)},
+                )
+            )
+        finally:
+            for worker in workers:
+                worker.stop()
+        serial = ParsePipeline(registry).run(
+            request_for_documents("pymupdf", documents, batch_size=5)
+        )
+        assert [r.to_json_dict() for r in remote.results] == [
+            r.to_json_dict() for r in serial.results
+        ]
+        execution = remote.execution
+        assert execution.backend == "remote"
+        assert execution.workers == 2
+        assert execution.batches_completed == execution.batches_dispatched == 6
+        extra = execution.extra
+        assert extra["cluster_workers_seen"] == 2
+        assert extra["cluster_workers_lost"] == 0
+        assert extra["cluster_shards_reassigned"] == 0
+        assert extra["cluster_bytes_sent"] > 0
+        assert extra["cluster_bytes_received"] > 0
+
+    def test_warm_worker_caches_skip_retransfer_and_reparse(
+        self, registry, corpus_30
+    ):
+        documents = list(corpus_30)
+        workers = start_workers(
+            2, pipeline=ParsePipeline(registry), cache=ParseCache()
+        )
+        try:
+            def run():
+                return ParsePipeline(registry).run(
+                    request_for_documents(
+                        "pymupdf",
+                        documents,
+                        batch_size=5,
+                        backend="remote",
+                        backend_options={"workers": addresses_of(workers)},
+                    )
+                )
+
+            cold = run()
+            warm = run()
+        finally:
+            for worker in workers:
+                worker.stop()
+        cold_extra, warm_extra = cold.execution.extra, warm.execution.extra
+        assert cold_extra["cluster_remote_cache_misses"] == len(documents)
+        # Second run: every document is served from the workers' caches and
+        # no payload crosses the wire again.
+        assert warm_extra["cluster_remote_cache_hits"] == len(documents)
+        assert warm_extra["cluster_doc_payloads_sent"] == 0
+        assert warm_extra["cluster_bytes_sent"] < cold_extra["cluster_bytes_sent"] / 10
+        assert [r.to_json_dict() for r in warm.results] == [
+            r.to_json_dict() for r in cold.results
+        ]
+
+    def test_rendezvous_placement_is_stable_across_runs(self, registry, corpus_30):
+        documents = list(corpus_30)
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        try:
+            def run():
+                return ParsePipeline(registry).run(
+                    request_for_documents(
+                        "pymupdf",
+                        documents,
+                        batch_size=5,
+                        backend="remote",
+                        backend_options={"workers": addresses_of(workers)},
+                    )
+                )
+
+            run()
+            first = [worker.counters["docs_parsed"] for worker in workers]
+            assert sum(first) == len(documents)
+            run()
+            second = [
+                worker.counters["docs_parsed"] - parsed
+                for worker, parsed in zip(workers, first)
+            ]
+        finally:
+            for worker in workers:
+                worker.stop()
+        # Same corpus, same batches, same worker identities → every shard
+        # lands on the same worker again.
+        assert second == first
+
+    def test_balanced_placement_completes(self, registry, corpus_30):
+        documents = list(corpus_30)
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        try:
+            report = ParsePipeline(registry).run(
+                request_for_documents(
+                    "pymupdf",
+                    documents,
+                    batch_size=5,
+                    backend="remote",
+                    backend_options={
+                        "workers": addresses_of(workers),
+                        "placement": "balanced",
+                    },
+                )
+            )
+        finally:
+            for worker in workers:
+                worker.stop()
+        assert report.n_succeeded == len(documents)
+        assert report.execution.extra["cluster_placement"] == "balanced"
+
+    def test_oversized_shard_fails_alone_without_killing_workers(
+        self, registry, corpus_30, monkeypatch
+    ):
+        from repro.cluster import protocol
+
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64 * 1024)
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        backend = create_backend("remote", {"workers": addresses_of(workers)})
+        try:
+            stub = backend.wrap_inner(registry.get("pymupdf").parse_with_telemetry)
+            with pytest.raises(BackendError, match="protocol limit"):
+                stub(list(corpus_30)[:20])  # one shard too fat for the wire
+            # The refusal happened before any bytes were written: the
+            # cluster survives and a reasonable shard still runs.
+            results, _ = stub(list(corpus_30)[:1])
+            assert len(results) == 1
+            stats = backend.stats()
+            assert stats.extra["cluster_workers_lost"] == 0
+            assert stats.extra["cluster_shards_failed"] == 1
+        finally:
+            backend.close()
+            for worker in workers:
+                worker.stop()
+
+    def test_no_reachable_workers_raises_backend_error(self, registry, corpus_30):
+        # A port from the dynamic range with nothing listening on it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(BackendError, match="no cluster workers reachable"):
+            ParsePipeline(registry).run(
+                request_for_documents(
+                    "pymupdf",
+                    list(corpus_30)[:4],
+                    backend="remote",
+                    backend_options={
+                        "workers": f"127.0.0.1:{free_port}",
+                        "connect_timeout": 1.0,
+                    },
+                )
+            )
+
+    def test_duplicate_worker_names_rejected(self, registry, corpus_30):
+        workers = [
+            WorkerDaemon(name="twin", pipeline=ParsePipeline(registry)).start()
+            for _ in range(2)
+        ]
+        try:
+            backend = create_backend(
+                "remote", {"workers": addresses_of(workers), "connect_timeout": 2.0}
+            )
+            coordinator = ClusterCoordinator(
+                backend.addresses, connect_timeout=2.0
+            ).connect()
+            try:
+                assert len(coordinator._links) == 1  # the twin was refused
+            finally:
+                coordinator.close()
+                backend.close()
+        finally:
+            for worker in workers:
+                worker.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Fault tolerance
+# ---------------------------------------------------------------------- #
+class TestFaultTolerance:
+    def test_killed_worker_mid_run_loses_and_duplicates_nothing(
+        self, registry, corpus_30
+    ):
+        """The acceptance scenario: kill one worker mid-run.
+
+        The run must complete on the survivor with exactly-once results
+        (no lost documents, no duplicates, input order preserved) and
+        ``completed + cancelled == dispatched`` accounting.  Not timing
+        sensitive: the kill waits until the victim has work in hand, and
+        death is detected by socket EOF, not by heartbeat expiry.
+        """
+        documents = list(corpus_30)
+        workers = start_workers(2, pipeline=tortoise_pipeline(registry))
+        pipeline = tortoise_pipeline(registry)
+        request = request_for_documents(
+            "tortoise",
+            documents,
+            batch_size=3,
+            backend="remote",
+            backend_options={"workers": addresses_of(workers)},
+        )
+        outcome: dict = {}
+
+        def run():
+            outcome["report"] = pipeline.run(request)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        victim = workers[1]
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if victim.counters["docs_received"] or victim.counters["shards_completed"]:
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("the victim worker never received a shard")
+        victim.kill()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "run hung after the worker was killed"
+        workers[0].stop()
+        report = outcome["report"]
+        assert report.n_succeeded == len(documents)
+        assert [r.doc_id for r in report.results] == [d.doc_id for d in documents]
+        execution = report.execution
+        assert (
+            execution.batches_completed + execution.batches_cancelled
+            == execution.batches_dispatched
+        )
+        extra = execution.extra
+        assert extra["cluster_workers_lost"] == 1
+        assert extra["cluster_shards_reassigned"] >= 1
+        # Exactly-once: every shard completed exactly one time from the
+        # caller's point of view (late duplicates, if any, were dropped).
+        assert extra["cluster_shards_completed"] == execution.batches_dispatched
+
+    def test_losing_every_worker_fails_the_run_not_hangs(self, registry, corpus_30):
+        documents = list(corpus_30)[:12]
+        workers = start_workers(1, pipeline=tortoise_pipeline(registry, 0.05))
+        pipeline = tortoise_pipeline(registry, 0.05)
+        request = request_for_documents(
+            "tortoise",
+            documents,
+            batch_size=3,
+            backend="remote",
+            backend_options={"workers": addresses_of(workers)},
+        )
+        outcome: dict = {}
+
+        def run():
+            try:
+                pipeline.run(request)
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if workers[0].counters["docs_received"]:
+                break
+            time.sleep(0.005)
+        workers[0].kill()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "run hung after the last worker died"
+        assert isinstance(outcome.get("error"), BackendError)
+        assert "no alive cluster workers" in str(outcome["error"])
+
+
+# ---------------------------------------------------------------------- #
+# The service and the CLI on top of the cluster
+# ---------------------------------------------------------------------- #
+class TestServiceAndCli:
+    def test_parse_service_runs_on_a_remote_backend(self, registry, corpus_30):
+        from repro.serve import ParseService, ServiceConfig
+
+        documents = tuple(corpus_30)
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        try:
+            config = ServiceConfig(
+                backend="remote",
+                backend_options={"workers": addresses_of(workers)},
+                max_active=3,
+            )
+            with ParseService(
+                pipeline=ParsePipeline(registry, cache=ParseCache()), config=config
+            ) as service:
+                tickets = [
+                    service.submit(
+                        request_for_documents(
+                            "pymupdf", documents, batch_size=5, cache="readwrite"
+                        ),
+                        client=f"client-{i}",
+                    )
+                    for i in range(3)
+                ]
+                reports = [ticket.result(timeout=120) for ticket in tickets]
+        finally:
+            for worker in workers:
+                worker.stop()
+        baseline = [
+            r.to_json_dict() for r in reports[0].results
+        ]
+        for report in reports:
+            assert report.n_succeeded == len(documents)
+            assert [r.to_json_dict() for r in report.results] == baseline
+            assert report.execution.backend == "remote"
+        # One shared cache in front of one shared cluster: the corpus is
+        # parsed once, later requests hit or coalesce.
+        assert sum(r.cache.misses for r in reports) == len(documents)
+
+    def test_cli_cluster_joins_existing_workers(self, registry, capsys):
+        import json
+
+        from repro.cli import main
+
+        workers = start_workers(2, pipeline=ParsePipeline(registry))
+        try:
+            exit_code = main(
+                [
+                    "cluster",
+                    "--workers-at",
+                    addresses_of(workers),
+                    "--documents",
+                    "12",
+                    "--batch-size",
+                    "4",
+                    "--seed",
+                    "9",
+                ]
+            )
+        finally:
+            for worker in workers:
+                worker.stop()
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_succeeded"] == 12
+        assert payload["cluster"]["workers_seen"] == 2
+        assert payload["cluster"]["shards_reassigned"] == 0
+
+    def test_cli_cluster_unreachable_workers_exit_cleanly(self, capsys):
+        from repro.cli import main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(SystemExit, match="no cluster workers reachable"):
+            main(
+                [
+                    "cluster",
+                    "--workers-at",
+                    f"127.0.0.1:{free_port}",
+                    "--documents",
+                    "4",
+                ]
+            )

@@ -1,0 +1,170 @@
+"""Tests of the cluster wire protocol: framing, specs, and placement."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    MessageChannel,
+    ProtocolError,
+    WorkerSpec,
+    encode_message,
+    rank_workers,
+    shard_placement_key,
+)
+from repro.core.engine import RoutingDecision
+from repro.parsers.base import ParseResult
+
+
+@pytest.fixture()
+def channel_pair():
+    left_sock, right_sock = socket.socketpair()
+    left = MessageChannel(left_sock)
+    right = MessageChannel(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, channel_pair):
+        left, right = channel_pair
+        message = {"type": "hello", "protocol": 1, "payload": {"α": "ünïcode"}}
+        left.send(message)
+        assert right.recv() == message
+
+    def test_many_messages_in_order(self, channel_pair):
+        left, right = channel_pair
+        for i in range(50):
+            left.send({"type": "heartbeat", "seq": i})
+        received = [right.recv()["seq"] for _ in range(50)]
+        assert received == list(range(50))
+
+    def test_byte_counters_match(self, channel_pair):
+        left, right = channel_pair
+        left.send({"type": "hello"})
+        right.recv()
+        assert left.bytes_sent == right.bytes_received > 0
+
+    def test_clean_eof_returns_none(self, channel_pair):
+        left, right = channel_pair
+        left.close()
+        assert right.recv() is None
+
+    def test_bad_length_prefix_raises(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b"not-a-number\n{}\n")
+        with pytest.raises(ProtocolError, match="length prefix"):
+            right.recv()
+
+    def test_truncated_body_raises(self, channel_pair):
+        left, right = channel_pair
+        frame = encode_message({"type": "hello", "blob": "x" * 100})
+        left._sock.sendall(frame[:-30])
+        left.close()
+        with pytest.raises(ProtocolError, match="truncated"):
+            right.recv()
+
+    def test_oversized_length_rejected(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b"999999999999\n")
+        with pytest.raises(ProtocolError, match="out of bounds"):
+            right.recv()
+
+    def test_non_object_body_rejected(self, channel_pair):
+        left, right = channel_pair
+        body = b"[1, 2, 3]\n"
+        left._sock.sendall(str(len(body)).encode() + b"\n" + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            right.recv()
+
+    def test_send_after_close_raises(self, channel_pair):
+        left, _ = channel_pair
+        left.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            left.send({"type": "hello"})
+
+    def test_oversized_message_refused_at_send_time(self, channel_pair, monkeypatch):
+        from repro.cluster.protocol import MessageTooLarge
+
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 256)
+        left, right = channel_pair
+        with pytest.raises(MessageTooLarge, match="smaller batch_size"):
+            left.send({"type": "submit_shard", "blob": "x" * 300})
+        # Nothing hit the wire: the connection is still usable.
+        left.send({"type": "heartbeat"})
+        assert right.recv() == {"type": "heartbeat"}
+
+
+class TestSpecAndResults:
+    def test_worker_spec_round_trip(self):
+        spec = WorkerSpec(parser="nougat", fingerprint="abc123", alpha=0.07, cache="read")
+        assert WorkerSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_worker_spec_none_alpha_survives(self):
+        spec = WorkerSpec(parser="pymupdf", fingerprint="f")
+        rebuilt = WorkerSpec.from_json_dict(spec.to_json_dict())
+        assert rebuilt.alpha is None
+
+    def test_batch_result_round_trip(self):
+        results = [
+            ParseResult(parser_name="pymupdf", doc_id="d1", page_texts=["a", "b"]),
+            ParseResult(
+                parser_name="nougat",
+                doc_id="d2",
+                page_texts=[""],
+                succeeded=False,
+                error="boom",
+            ),
+        ]
+        decisions = [
+            RoutingDecision(
+                doc_id="d2",
+                chosen_parser="nougat",
+                stage="routed_high_quality",
+                predicted_improvement=0.4,
+            )
+        ]
+        message = protocol.batch_result_message(
+            "s000001", results, decisions, worker_id="w", elapsed_seconds=0.5
+        )
+        rebuilt_results, rebuilt_decisions = protocol.parse_batch_result(message)
+        assert [r.to_json_dict() for r in rebuilt_results] == [
+            r.to_json_dict() for r in results
+        ]
+        assert rebuilt_decisions == decisions
+
+
+class TestPlacement:
+    def test_placement_key_is_stable_and_order_sensitive(self):
+        key = shard_placement_key(["h1", "h2", "h3"])
+        assert key == shard_placement_key(["h1", "h2", "h3"])
+        assert key != shard_placement_key(["h3", "h2", "h1"])
+
+    def test_rank_workers_deterministic(self):
+        workers = ["alpha", "beta", "gamma"]
+        key = shard_placement_key(["h1"])
+        assert rank_workers(key, workers) == rank_workers(key, list(reversed(workers)))
+
+    def test_rank_workers_spreads_shards(self):
+        workers = ["alpha", "beta", "gamma", "delta"]
+        tops = {
+            rank_workers(shard_placement_key([f"hash-{i}"]), workers)[0]
+            for i in range(64)
+        }
+        assert tops == set(workers)  # no worker is systematically ignored
+
+    def test_removing_a_worker_only_moves_its_own_shards(self):
+        # The rendezvous property the coordinator's cache affinity relies
+        # on: shards whose preferred worker survives keep it.
+        workers = ["alpha", "beta", "gamma", "delta"]
+        survivors = [worker for worker in workers if worker != "delta"]
+        for i in range(64):
+            key = shard_placement_key([f"hash-{i}"])
+            before = rank_workers(key, workers)[0]
+            after = rank_workers(key, survivors)[0]
+            if before != "delta":
+                assert after == before

@@ -418,6 +418,101 @@ class TestBackendParity:
         )
 
 
+class TestRemoteBackendParity:
+    """The backend-parity guarantee extended to a real 2-worker cluster.
+
+    Workers are in-process daemons over localhost TCP whose pipelines
+    carry the same ScriptedEngine instance, so the fingerprint handshake
+    passes and reports must be byte-identical (modulo timings/telemetry)
+    to the thread backend — including α-budget batch boundaries and
+    cache ``readwrite``.
+    """
+
+    @pytest.fixture()
+    def cluster(self, registry, engine):
+        from repro.cluster.worker import WorkerDaemon
+
+        workers = [
+            WorkerDaemon(
+                name=f"parity-{i}",
+                pipeline=ParsePipeline(
+                    registry, engines={engine.name: engine}, cache=ParseCache()
+                ),
+            ).start()
+            for i in range(2)
+        ]
+        yield ",".join(worker.address for worker in workers)
+        for worker in workers:
+            worker.stop()
+
+    def _report(self, registry, engine, documents, backend, options, cache=""):
+        pipeline = ParsePipeline(
+            registry, engines={engine.name: engine}, cache=ParseCache()
+        )
+        overrides = {"cache": "readwrite"} if cache else {}
+        request = request_for_documents(
+            engine.name,
+            documents,
+            batch_size=40,
+            backend=backend,
+            backend_options=options,
+            **overrides,
+        )
+        return pipeline.run(request)
+
+    def test_engine_report_matches_thread_over_alpha_boundaries(
+        self, registry, engine, corpus_100, cluster
+    ):
+        documents = list(corpus_100)
+        baseline = self._report(
+            registry, engine, documents, "thread", {"n_jobs": 3}
+        )
+        candidate = self._report(
+            registry, engine, documents, "remote", {"workers": cluster}
+        )
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+        assert candidate.fraction_routed() <= engine.config.alpha + 1e-9
+        assert len(candidate.decisions) == len(documents)
+        assert candidate.execution.backend == "remote"
+
+    def test_cache_readwrite_parity_with_thread(
+        self, registry, engine, small_corpus, cluster
+    ):
+        documents = list(small_corpus)
+        baseline = self._report(
+            registry, engine, documents, "thread", {"n_jobs": 3}, cache="readwrite"
+        )
+        candidate = self._report(
+            registry, engine, documents, "remote", {"workers": cluster},
+            cache="readwrite",
+        )
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+        assert candidate.cache.misses == len(documents)
+        assert candidate.cache.stores == len(documents)
+
+    def test_base_parser_parity_with_thread(self, registry, corpus_100, cluster):
+        documents = list(corpus_100)
+        baseline = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", documents, batch_size=16,
+                backend="thread", backend_options={"n_jobs": 3},
+            )
+        )
+        candidate = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", documents, batch_size=16,
+                backend="remote", backend_options={"workers": cluster},
+            )
+        )
+        assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
+            _normalized_bytes(baseline.to_json_dict(include_text=True))
+        )
+
+
 # ---------------------------------------------------------------------- #
 # Process backend specifics
 # ---------------------------------------------------------------------- #
