@@ -32,6 +32,9 @@ PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
 * :mod:`repro.serve` — the long-running parse service: many concurrent
   requests multiplexed onto one shared backend and one shared cache,
   with priority/fair-share admission and streaming progress events.
+* :mod:`repro.gateway` — the networked submission frontend: remote
+  clients submit requests over TCP (auth tokens, quotas, backpressure)
+  onto one shared parse service, streaming progress events back live.
 
 The two-line tour::
 
@@ -66,6 +69,9 @@ _LAZY_EXPORTS: dict[str, str] = {
     "default_registry": "repro.parsers.registry:default_registry",
     "ExecutionBackend": "repro.pipeline.backends.base:ExecutionBackend",
     "ExecutionStats": "repro.pipeline.backends.base:ExecutionStats",
+    "GatewayClient": "repro.gateway.client:GatewayClient",
+    "GatewayServer": "repro.gateway.server:GatewayServer",
+    "gateway": "repro.gateway",
     "ParsePipeline": "repro.pipeline.pipeline:ParsePipeline",
     "ParseReport": "repro.pipeline.report:ParseReport",
     "ParseRequest": "repro.pipeline.request:ParseRequest",

@@ -485,8 +485,6 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
     from repro.serve import ParseService, ServiceConfig
 
-    options = _parse_backend_opts(args.backend_opt)
-    _validate_backend_spec_or_exit(args.backend, options)
     try:
         if args.request_file:
             payload = json.loads(Path(args.request_file).read_text(encoding="utf-8"))
@@ -502,6 +500,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             )
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: invalid request: {exc}") from exc
+    if args.host:
+        # Remote mode: the request runs on a `repro gateway` daemon's
+        # shared service; backend/cache flags describe *that* service and
+        # are ignored here.
+        return _submit_remote(args, request)
+    options = _parse_backend_opts(args.backend_opt)
+    _validate_backend_spec_or_exit(args.backend, options)
     if request.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
     pipeline = ParsePipeline(cache=_build_cache(args))
@@ -530,6 +535,107 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         )
         print(f"wrote ParseReport to {path}")
     print(json.dumps(report.summary(), indent=2, default=str))
+    return 0
+
+
+def _submit_remote(args: argparse.Namespace, request) -> int:
+    """Submit one request to a running gateway daemon and stream its events."""
+    from repro.gateway import GatewayClient, GatewayError, GatewayRejected
+    from repro.pipeline.report import ParseReport
+
+    try:
+        with GatewayClient(
+            args.host, args.port, token=args.token or None, client=args.client
+        ) as client:
+            try:
+                ticket = client.submit(request, priority=args.priority)
+            except GatewayRejected as exc:
+                hint = (
+                    f" (retry after {exc.retry_after}s)"
+                    if exc.retry_after is not None
+                    else ""
+                )
+                print(f"rejected: {exc.reason}{hint}", file=sys.stderr, flush=True)
+                return 75  # EX_TEMPFAIL: back off and retry
+            for event in ticket.events():
+                if not args.quiet:
+                    print(json.dumps(event.to_json_dict()), flush=True)
+            payload = client.result(ticket, include_text=args.include_text)
+    except (GatewayError, OSError) as exc:
+        raise SystemExit(f"error: gateway {args.host}:{args.port}: {exc}") from exc
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote ParseReport to {path}")
+    print(json.dumps(ParseReport.from_json_dict(payload).summary(), indent=2, default=str))
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the submission gateway daemon until SIGINT/SIGTERM (then drain)."""
+    import os
+
+    from repro.gateway import AuthRegistry, ClientQuota, GatewayServer
+    from repro.pipeline import ParsePipeline
+    from repro.serve import ParseService, ServiceConfig
+
+    options = _parse_backend_opts(args.backend_opt)
+    _validate_backend_spec_or_exit(args.backend, options)
+    quota = ClientQuota(
+        max_active=args.client_max_active,
+        rate_per_second=args.client_rate,
+        burst=args.client_burst,
+        max_request_bytes=args.max_request_bytes,
+    )
+    auth = AuthRegistry(allow_anonymous=not args.require_token, default_quota=quota)
+    for spec in args.token or []:
+        token, sep, client_id = spec.partition("=")
+        if not sep or not token or not client_id:
+            raise SystemExit(f"error: --token expects TOKEN=CLIENT, got {spec!r}")
+        auth.register(token, client_id, quota)
+    pipeline = ParsePipeline(cache=_build_cache(args))
+    config = ServiceConfig(
+        backend=args.backend, backend_options=options, max_active=args.max_active
+    )
+    service = ParseService(pipeline=pipeline, config=config)
+    gateway = GatewayServer(
+        service,
+        host=args.host,
+        port=args.port,
+        auth=auth,
+        max_queue_depth=args.max_queue_depth,
+        retry_after=args.retry_after,
+    )
+    gateway.start()
+    # The machine-readable ready line: clients (and spawning scripts) read
+    # the bound address from here, so --port 0 just works.
+    print(
+        json.dumps(
+            {
+                "event": "listening",
+                "address": gateway.address,
+                "pid": os.getpid(),
+                "backend": args.backend,
+                "max_active": args.max_active,
+                "max_queue_depth": args.max_queue_depth,
+                "tokens": auth.n_tokens,
+                "anonymous": auth.allow_anonymous,
+            }
+        ),
+        flush=True,
+    )
+    with _GracefulShutdown():
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    # Graceful exit for both signals: stop accepting, let open tickets
+    # settle (their terminal events still stream), then close the service.
+    gateway.stop(drain=True)
+    stats = gateway.stats()
+    service.close()
+    print(json.dumps({"event": "stopped", **stats}), flush=True)
     return 0
 
 
@@ -928,7 +1034,84 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--cache-dir", type=str, default="", help="persistent cache directory"
     )
+    submit.add_argument(
+        "--host",
+        type=str,
+        default="",
+        help="submit to a running `repro gateway` daemon at this address "
+        "instead of a fresh local service",
+    )
+    submit.add_argument("--port", type=int, default=0, help="gateway port (with --host)")
+    submit.add_argument(
+        "--token", type=str, default="", help="gateway auth token (with --host)"
+    )
     submit.set_defaults(func=_cmd_submit)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="run the networked submission gateway: remote clients submit "
+        "requests over TCP onto one shared parse service "
+        "(drains gracefully on SIGINT/SIGTERM)",
+    )
+    gateway.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    gateway.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free one)"
+    )
+    gateway.add_argument(
+        "--max-active", type=int, default=4, help="requests executing at once"
+    )
+    gateway.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=16,
+        help="tickets allowed to wait beyond --max-active before submissions "
+        "are rejected saturated",
+    )
+    gateway.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="backoff hint (s) attached to saturated/quota rejections",
+    )
+    gateway.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN=CLIENT",
+        help="register an auth token for a client id (repeatable)",
+    )
+    gateway.add_argument(
+        "--require-token", action="store_true", help="refuse anonymous clients"
+    )
+    gateway.add_argument(
+        "--client-max-active",
+        type=int,
+        default=4,
+        help="per-client cap on concurrently open tickets",
+    )
+    gateway.add_argument(
+        "--client-rate",
+        type=float,
+        default=0.0,
+        help="per-client sustained submissions/s (0 disables rate limiting)",
+    )
+    gateway.add_argument(
+        "--client-burst", type=int, default=8, help="per-client submission burst"
+    )
+    gateway.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=1024 * 1024,
+        help="largest submit frame accepted from one client",
+    )
+    _add_backend_arguments(gateway, default="async")
+    gateway.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        help="persistent cache directory shared by every client's requests",
+    )
+    gateway.set_defaults(func=_cmd_gateway)
 
     worker = sub.add_parser(
         "worker",

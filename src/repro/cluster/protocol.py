@@ -54,35 +54,27 @@ the cluster introduces no second serialisation format.
 
 from __future__ import annotations
 
-import json
-import socket
-import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from repro.core.engine import RoutingDecision
 from repro.parsers.base import ParseResult
 
+# The framing machinery (length-prefixed NDJSON read/write, oversized-
+# frame refusal, byte counters) lives in repro.utils.wire and is shared
+# with the gateway wire; these names are re-exported unchanged so every
+# historical `from repro.cluster.protocol import ...` keeps working.
+from repro.utils.wire import (  # noqa: F401  (re-exports)
+    MAX_MESSAGE_BYTES,
+    MessageChannel,
+    MessageTooLarge,
+    ProtocolError,
+    encode_message,
+)
+
 #: Wire protocol version.  Bump on any incompatible message change; both
 #: sides refuse to talk across versions (the handshake checks it).
 PROTOCOL_VERSION = 1
-
-#: Upper bound on one message body (a guard against garbage prefixes, not
-#: a practical limit: a 64 MiB shard would be ~1000 dense documents).
-MAX_MESSAGE_BYTES = 64 * 1024 * 1024
-
-
-class ProtocolError(RuntimeError):
-    """The peer sent something that is not valid cluster protocol."""
-
-
-class MessageTooLarge(ProtocolError):
-    """A message exceeds :data:`MAX_MESSAGE_BYTES`.
-
-    Raised at *send* time, before any bytes hit the socket, so the caller
-    can fail just the offending shard — the receiving side would
-    otherwise reject the frame and tear the whole connection down.
-    """
 
 
 # ---------------------------------------------------------------------- #
@@ -192,109 +184,6 @@ def parse_batch_result(
     results = [ParseResult.from_json_dict(item) for item in message.get("results", [])]
     decisions = [decision_from_dict(item) for item in message.get("decisions", [])]
     return results, decisions
-
-
-# ---------------------------------------------------------------------- #
-# Framing
-# ---------------------------------------------------------------------- #
-def encode_message(message: Mapping[str, Any]) -> bytes:
-    """Frame one message: decimal length prefix + NDJSON body."""
-    body = json.dumps(message, ensure_ascii=False, separators=(",", ":")).encode(
-        "utf-8"
-    ) + b"\n"
-    return str(len(body)).encode("ascii") + b"\n" + body
-
-
-class MessageChannel:
-    """One cluster connection: thread-safe framed sends, single-reader receives.
-
-    Sends may come from several threads (result slots, the heartbeat
-    timer) and are serialised under a lock; receives must stay on one
-    reader thread.  The channel counts bytes in both directions — that is
-    the ``cluster_bytes_*`` telemetry the backend reports.
-    """
-
-    def __init__(self, sock: socket.socket) -> None:
-        self._sock = sock
-        self._reader = sock.makefile("rb")
-        self._send_lock = threading.Lock()
-        self._closed = False
-        self.bytes_sent = 0
-        self.bytes_received = 0
-
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    def send(self, message: Mapping[str, Any]) -> int:
-        """Send one message; returns the framed byte count.
-
-        Raises :class:`MessageTooLarge` — before writing anything — for a
-        frame the peer's :meth:`recv` would refuse.
-        """
-        frame = encode_message(message)
-        if len(frame) > MAX_MESSAGE_BYTES:
-            raise MessageTooLarge(
-                f"{message.get('type', 'message')} frame is {len(frame)} bytes, "
-                f"over the {MAX_MESSAGE_BYTES}-byte protocol limit; use a "
-                f"smaller batch_size"
-            )
-        with self._send_lock:
-            if self._closed:
-                raise ProtocolError("channel is closed")
-            self._sock.sendall(frame)
-            self.bytes_sent += len(frame)
-        return len(frame)
-
-    def recv(self) -> dict[str, Any] | None:
-        """Read one message; ``None`` on a clean EOF.
-
-        Raises :class:`ProtocolError` on a malformed frame (bad length
-        prefix, truncated body, invalid JSON, or a non-object payload).
-        """
-        prefix = self._reader.readline(32)
-        if not prefix:
-            return None
-        if not prefix.endswith(b"\n"):
-            raise ProtocolError(f"unterminated length prefix {prefix!r}")
-        try:
-            length = int(prefix.strip())
-        except ValueError as exc:
-            raise ProtocolError(f"bad length prefix {prefix!r}") from exc
-        if not 0 < length <= MAX_MESSAGE_BYTES:
-            raise ProtocolError(f"message length {length} out of bounds")
-        body = self._reader.read(length)
-        if len(body) != length:
-            raise ProtocolError(
-                f"truncated message: expected {length} bytes, got {len(body)}"
-            )
-        self.bytes_received += len(prefix) + len(body)
-        try:
-            message = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(f"message body is not valid JSON: {exc}") from exc
-        if not isinstance(message, dict) or "type" not in message:
-            raise ProtocolError("message must be a JSON object with a 'type'")
-        return message
-
-    def close(self) -> None:
-        """Close the underlying socket (idempotent; unblocks the reader)."""
-        with self._send_lock:
-            if self._closed:
-                return
-            self._closed = True
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self._reader.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
 
 
 # ---------------------------------------------------------------------- #

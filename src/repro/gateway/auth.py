@@ -1,0 +1,166 @@
+"""Gateway authentication and per-client quotas.
+
+The gateway's admission story has two halves: *who* a connection is
+(:class:`AuthRegistry` maps bearer tokens to stable client ids — the
+identity the service's :class:`~repro.serve.admission.FairShareAdmission`
+shares slots by) and *how much* that identity may ask for
+(:class:`ClientQuota`: concurrent tickets, request rate, request size).
+
+Rate limiting is a classic token bucket (:class:`TokenBucket`): clients
+may burst up to ``burst`` requests, then sustain ``rate_per_second``;
+an exhausted bucket reports exactly how long until the next token — the
+``retry_after`` hint the gateway's 429-style ``rejected`` reply carries.
+The bucket takes an injectable clock so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+class AuthError(RuntimeError):
+    """A connection presented a missing, unknown, or disallowed token."""
+
+
+@dataclass(frozen=True)
+class ClientQuota:
+    """What one authenticated client may ask of the gateway.
+
+    Attributes
+    ----------
+    max_active:
+        Non-terminal (queued or running) tickets the client may hold at
+        once; further submissions are rejected ``quota_exceeded``.
+    rate_per_second:
+        Sustained submission rate; ``0`` disables rate limiting.
+    burst:
+        Submissions allowed in a burst before the sustained rate applies.
+    max_request_bytes:
+        Upper bound on one framed ``submit`` message; larger requests are
+        rejected ``too_large`` (the frame is still read — the connection
+        survives, only the request is refused).
+    """
+
+    max_active: int = 4
+    rate_per_second: float = 0.0
+    burst: int = 8
+    max_request_bytes: int = 1024 * 1024
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "max_active": self.max_active,
+            "rate_per_second": self.rate_per_second,
+            "burst": self.burst,
+            "max_request_bytes": self.max_request_bytes,
+        }
+
+
+class TokenBucket:
+    """Thread-safe token bucket with a ``retry_after`` answer.
+
+    ``try_acquire`` never blocks: it either spends one token, or reports
+    how many seconds until one accrues (the client's backoff hint).
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_second < 0:
+            raise ValueError("rate_per_second must be >= 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate_per_second)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> tuple[bool, float]:
+        """Spend one token if available: ``(acquired, retry_after_seconds)``."""
+        if self.rate == 0:
+            return True, 0.0
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class AuthenticatedClient:
+    """The outcome of a successful handshake: identity plus quota."""
+
+    client_id: str
+    quota: ClientQuota
+
+
+class AuthRegistry:
+    """Token → (client id, quota) mapping with an optional anonymous lane.
+
+    ``register`` installs named clients behind bearer tokens; when
+    ``allow_anonymous`` is true, token-less hellos authenticate as the
+    client name they request (or ``anon``) under ``default_quota`` — the
+    mode the CLI daemon and tests run in unless tokens are configured.
+    Anonymous and token lanes compose: a deployment can hand tight
+    quotas to anonymous traffic and generous ones to known tokens.
+    """
+
+    def __init__(
+        self,
+        allow_anonymous: bool = True,
+        default_quota: ClientQuota | None = None,
+    ) -> None:
+        self.allow_anonymous = allow_anonymous
+        self.default_quota = default_quota or ClientQuota()
+        self._by_token: dict[str, AuthenticatedClient] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, token: str, client_id: str, quota: ClientQuota | None = None
+    ) -> None:
+        """Install one bearer token for ``client_id`` (idempotent per token)."""
+        if not token:
+            raise ValueError("token must be non-empty")
+        if not client_id:
+            raise ValueError("client_id must be non-empty")
+        with self._lock:
+            self._by_token[token] = AuthenticatedClient(
+                client_id=client_id, quota=quota or self.default_quota
+            )
+
+    @property
+    def n_tokens(self) -> int:
+        with self._lock:
+            return len(self._by_token)
+
+    def authenticate(
+        self, token: str | None, requested_client: str | None = None
+    ) -> AuthenticatedClient:
+        """Resolve a hello's credentials, or raise :class:`AuthError`.
+
+        A token always wins over the requested client name (identity
+        comes from the credential, not the claim — one client cannot
+        impersonate another by naming it).
+        """
+        if token:
+            with self._lock:
+                client = self._by_token.get(token)
+            if client is None:
+                raise AuthError("unknown auth token")
+            return client
+        if not self.allow_anonymous:
+            raise AuthError("auth token required (anonymous access disabled)")
+        client_id = requested_client or "anon"
+        return AuthenticatedClient(client_id=client_id, quota=self.default_quota)

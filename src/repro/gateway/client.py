@@ -1,0 +1,387 @@
+"""The gateway client SDK: submit, stream, resume — from another process.
+
+:class:`GatewayClient` is the programmatic mirror of the in-process
+:class:`~repro.serve.ParseService` surface, spoken over the gateway
+wire: ``submit()`` returns a :class:`RemoteTicket`, ``ticket.events()``
+iterates the live progress stream, ``result()`` fetches the finished
+:class:`~repro.pipeline.report.ParseReport` JSON.  One background reader
+thread demultiplexes the connection: ``event`` frames fan out to their
+ticket's local buffer, everything else answers the single in-flight
+request (requests/replies are strictly ordered per connection, so no
+correlation ids are needed).
+
+Failure semantics are explicit:
+
+* an admission refusal raises :class:`GatewayRejected` with the
+  machine-checkable ``reason`` and the server's ``retry_after`` hint;
+* a dropped connection raises :class:`GatewayConnectionLost` from any
+  blocked ``events()``/``wait()`` — but the server-side ticket keeps
+  running, so a *new* client connects and calls
+  ``resume(ticket_id, after_seq=ticket.last_seq)`` to pick the stream
+  back up without duplicates (per-ticket ``seq`` is gapless).
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Iterator, Mapping
+
+from repro.gateway import protocol
+from repro.gateway.protocol import MessageChannel, ProtocolError
+from repro.serve.events import ProgressEvent
+
+
+class GatewayError(RuntimeError):
+    """A gateway request failed (error reply, timeout, or protocol fault)."""
+
+
+class GatewayRejected(GatewayError):
+    """Admission refused — the wire's 429.
+
+    Attributes
+    ----------
+    reason:
+        One of the ``REJECT_*`` constants in :mod:`repro.gateway.protocol`.
+    retry_after:
+        Server backoff hint in seconds, when retrying can help.
+    """
+
+    def __init__(
+        self, reason: str, retry_after: float | None = None, detail: str = ""
+    ) -> None:
+        hint = f" (retry after {retry_after}s)" if retry_after is not None else ""
+        super().__init__(f"submission rejected: {reason}{hint}"
+                         + (f" — {detail}" if detail else ""))
+        self.reason = reason
+        self.retry_after = retry_after
+        self.detail = detail
+
+
+class GatewayConnectionLost(GatewayError):
+    """The connection dropped mid-stream; resume by ticket id to continue."""
+
+
+class RemoteTicket:
+    """Client-side handle to one gateway ticket: a buffered event stream.
+
+    The reader thread appends events as they arrive; ``events()`` replays
+    the buffer then blocks for more, ending at the terminal event exactly
+    like the in-process :meth:`ParseTicket.events`.
+    """
+
+    def __init__(self, ticket_id: str) -> None:
+        self.id = ticket_id
+        self._cond = threading.Condition()
+        self._events: list[ProgressEvent] = []
+        self._lost = False
+
+    # -- reader-thread side -------------------------------------------- #
+    def _deliver(self, event: ProgressEvent) -> None:
+        with self._cond:
+            # Resume replays may overlap events already buffered locally;
+            # seq makes the dedup exact.
+            if self._events and event.seq <= self._events[-1].seq:
+                return
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def _mark_lost(self) -> None:
+        with self._cond:
+            self._lost = True
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------- #
+    @property
+    def last_seq(self) -> int:
+        """Highest event seq seen so far (``-1`` before any event) — the
+        value to hand ``resume(after_seq=...)`` after a reconnect."""
+        with self._cond:
+            return self._events[-1].seq if self._events else -1
+
+    @property
+    def terminal_event(self) -> ProgressEvent | None:
+        with self._cond:
+            if self._events and self._events[-1].terminal:
+                return self._events[-1]
+            return None
+
+    @property
+    def done(self) -> bool:
+        return self.terminal_event is not None
+
+    def events(self, timeout: float | None = None) -> Iterator[ProgressEvent]:
+        """Yield events in order, ending at the terminal one.
+
+        Raises :class:`GatewayConnectionLost` if the connection dies
+        before the stream finishes, and :class:`TimeoutError` when no
+        event arrives within ``timeout`` (per event, not per stream).
+        """
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(self._events):
+                    if self._lost:
+                        raise GatewayConnectionLost(
+                            f"connection lost while streaming ticket {self.id}"
+                        )
+                    if not self._cond.wait(timeout):
+                        raise TimeoutError(
+                            f"no event within {timeout}s for ticket {self.id}"
+                        )
+                event = self._events[index]
+            index += 1
+            yield event
+            if event.terminal:
+                return
+
+    def wait(self, timeout: float | None = None) -> ProgressEvent:
+        """Block until the ticket ends; return its terminal event."""
+        deadline_left = timeout
+        for event in self.events(timeout=deadline_left):
+            if event.terminal:
+                return event
+        raise GatewayError(f"ticket {self.id} stream ended without a terminal event")
+
+
+class GatewayClient:
+    """One connection to a :class:`~repro.gateway.server.GatewayServer`.
+
+    Usage::
+
+        with GatewayClient("10.0.0.5", 9100, token="s3cret") as client:
+            ticket = client.submit(request)
+            for event in ticket.events():
+                print(event.kind, event.payload)
+            report = client.result(ticket)
+
+    The client is thread-safe: many threads may submit and stream
+    concurrently over the one connection (requests are serialized, event
+    streams are demultiplexed by ticket id).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: str | None = None,
+        client: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.requested_client = client
+        self.timeout = timeout
+        self.client_id = ""
+        self.quota: dict[str, Any] = {}
+        self._channel: MessageChannel | None = None
+        self._reader: threading.Thread | None = None
+        self._replies: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+        self._rpc_lock = threading.Lock()
+        self._route_lock = threading.Lock()
+        self._tickets: dict[str, RemoteTicket] = {}
+        self._orphan_events: dict[str, list[ProgressEvent]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "GatewayClient":
+        """Dial, handshake, and start the demultiplexing reader."""
+        if self._channel is not None:
+            return self
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        channel = MessageChannel(sock)
+        channel.send(protocol.hello_message(self.token, self.requested_client))
+        reply = channel.recv()
+        if reply is None:
+            channel.close()
+            raise GatewayError("gateway closed the connection during handshake")
+        if reply.get("type") != protocol.HELLO_ACK:
+            channel.close()
+            raise GatewayError(
+                reply.get("message", f"handshake refused: {reply!r}")
+            )
+        self.client_id = str(reply.get("client_id", ""))
+        self.quota = dict(reply.get("quota") or {})
+        self._channel = channel
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-gateway-client-reader", daemon=True
+        )
+        self._reader.start()
+        return self
+
+    def close(self) -> None:
+        """Say goodbye and drop the connection (tickets keep running)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._channel is not None:
+            try:
+                self._channel.send({"type": protocol.BYE})
+            except (ProtocolError, OSError):
+                pass
+            self._channel.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Reader thread: demultiplex events vs request replies
+    # ------------------------------------------------------------------ #
+    def _read_loop(self) -> None:
+        assert self._channel is not None
+        try:
+            while True:
+                message = self._channel.recv()
+                if message is None:
+                    return
+                kind = message.get("type")
+                if kind == protocol.EVENT:
+                    self._route_event(message)
+                elif kind == protocol.BYE:
+                    return
+                else:
+                    self._replies.put(message)
+        except (ProtocolError, OSError):
+            return
+        finally:
+            self._on_connection_end()
+
+    def _route_event(self, message: dict[str, Any]) -> None:
+        event = ProgressEvent.from_json_dict(dict(message.get("event") or {}))
+        with self._route_lock:
+            ticket = self._tickets.get(event.ticket_id)
+            if ticket is None:
+                # The streamer can outrun submit()'s bookkeeping: hold
+                # events until the ticket handle registers.
+                self._orphan_events.setdefault(event.ticket_id, []).append(event)
+                return
+        ticket._deliver(event)
+
+    def _register(self, ticket: RemoteTicket) -> RemoteTicket:
+        with self._route_lock:
+            existing = self._tickets.get(ticket.id)
+            if existing is not None:
+                return existing
+            self._tickets[ticket.id] = ticket
+            orphans = self._orphan_events.pop(ticket.id, [])
+        for event in orphans:
+            ticket._deliver(event)
+        return ticket
+
+    def _on_connection_end(self) -> None:
+        with self._route_lock:
+            tickets = list(self._tickets.values())
+        for ticket in tickets:
+            ticket._mark_lost()
+        self._replies.put(None)  # unblock any in-flight request
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def _rpc(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        if self._channel is None:
+            raise GatewayError("client is not connected (call connect())")
+        with self._rpc_lock:
+            try:
+                self._channel.send(message)
+            except (ProtocolError, OSError) as exc:
+                raise GatewayConnectionLost(str(exc)) from exc
+            try:
+                reply = self._replies.get(timeout=self.timeout)
+            except queue.Empty:
+                raise GatewayError(
+                    f"no reply from gateway within {self.timeout}s"
+                ) from None
+        if reply is None:
+            raise GatewayConnectionLost("connection lost awaiting a reply")
+        return reply
+
+    def submit(
+        self,
+        request: Mapping[str, Any] | Any,
+        priority: int = 0,
+    ) -> RemoteTicket:
+        """Submit one request; returns the live :class:`RemoteTicket`.
+
+        ``request`` is a :class:`~repro.pipeline.request.ParseRequest` or
+        its JSON dict.  Raises :class:`GatewayRejected` on refusal.
+        """
+        payload = (
+            request.to_json_dict()
+            if hasattr(request, "to_json_dict")
+            else dict(request)
+        )
+        reply = self._rpc(protocol.submit_message(payload, priority))
+        return self._accept_ticket(reply)
+
+    def resume(self, ticket_id: str, after_seq: int = -1) -> RemoteTicket:
+        """Re-attach to a ticket after a reconnect, replaying events
+        after ``after_seq`` (use the old handle's ``last_seq``)."""
+        reply = self._rpc(protocol.resume_message(ticket_id, after_seq))
+        return self._accept_ticket(reply)
+
+    def _accept_ticket(self, reply: dict[str, Any]) -> RemoteTicket:
+        kind = reply.get("type")
+        if kind == protocol.SUBMITTED:
+            return self._register(RemoteTicket(str(reply["ticket_id"])))
+        if kind == protocol.REJECTED:
+            raise GatewayRejected(
+                str(reply.get("reason", "unknown")),
+                reply.get("retry_after"),
+                str(reply.get("detail", "")),
+            )
+        raise GatewayError(str(reply.get("message", f"unexpected reply: {reply!r}")))
+
+    def result(
+        self,
+        ticket: RemoteTicket | str,
+        timeout: float | None = None,
+        include_text: bool = False,
+    ) -> dict[str, Any]:
+        """Wait for a ticket to finish and fetch its report JSON.
+
+        Raises :class:`GatewayError` when the ticket failed or was
+        cancelled (the terminal event's payload is in the message).
+        """
+        if isinstance(ticket, RemoteTicket):
+            terminal = ticket.wait(timeout=timeout if timeout is not None else None)
+            if terminal.kind != "completed":
+                raise GatewayError(
+                    f"ticket {ticket.id} ended {terminal.kind}: "
+                    f"{terminal.payload.get('error', '')}"
+                )
+            ticket_id = ticket.id
+        else:
+            ticket_id = ticket
+        reply = self._rpc(
+            {
+                "type": protocol.FETCH_RESULT,
+                "ticket_id": ticket_id,
+                "include_text": include_text,
+            }
+        )
+        if reply.get("type") != protocol.RESULT:
+            raise GatewayError(
+                str(reply.get("message", f"unexpected reply: {reply!r}"))
+            )
+        return dict(reply["report"])
+
+    def stats(self) -> dict[str, Any]:
+        """Fetch the gateway's metrics snapshot (``stats`` round trip)."""
+        reply = self._rpc({"type": protocol.STATS})
+        if reply.get("type") != protocol.STATS:
+            raise GatewayError(
+                str(reply.get("message", f"unexpected reply: {reply!r}"))
+            )
+        reply.pop("type", None)
+        return reply

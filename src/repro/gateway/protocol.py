@@ -1,0 +1,136 @@
+"""The gateway wire protocol: submission and event streaming over TCP.
+
+The gateway speaks the same length-prefixed NDJSON framing as the
+cluster wire (shared via :mod:`repro.utils.wire`), but its vocabulary is
+the *submission* surface: remote clients file
+:class:`~repro.pipeline.request.ParseRequest` JSON and consume live
+:class:`~repro.serve.events.ProgressEvent` streams, while parsing itself
+stays behind one shared :class:`~repro.serve.ParseService`.
+
+Message types
+-------------
+``hello`` / ``hello_ack``
+    Version + auth handshake.  The client opens with ``hello`` (protocol
+    version, optional auth token, optional requested client name); the
+    gateway answers with the resolved client id and its quota, or with
+    ``error`` and a connection close for a bad version or token.
+``submit``
+    One :class:`ParseRequest` as JSON plus an admission priority.  The
+    gateway answers ``submitted`` (ticket id, queue position) and starts
+    streaming the ticket's events on this connection — or ``rejected``.
+``rejected``
+    The 429 of this wire: admission refused *without* queueing.  Carries
+    a machine-checkable ``reason`` (``saturated``, ``rate_limited``,
+    ``quota_exceeded``, ``too_large``, ``bad_request``) and a
+    ``retry_after`` hint in seconds where retrying can help.
+``event``
+    One ticket lifecycle event (``queued`` → ``started`` → ``batch``* →
+    terminal), exactly the :meth:`ProgressEvent.to_json_dict` schema the
+    in-process service emits — per-ticket ``seq`` is gapless, so clients
+    detect missed events and resume without duplicates.
+``resume``
+    Reconnect-and-resume: re-attach to a ticket by id after a dropped
+    connection, replaying events after ``after_seq``.  Tickets belong to
+    the client id that submitted them; the gateway refuses to resume
+    someone else's ticket.
+``fetch_result`` / ``result``
+    Retrieve a completed ticket's full :class:`ParseReport` JSON.
+``stats``
+    Gateway-level metrics: active/queued/rejected per client, bytes
+    in/out, and the event-backlog high-water mark.  Sent as a request
+    (no extra fields) and answered with the counters filled in.
+``error``
+    A failed request/reply exchange (unknown ticket, unauthorized
+    resume, unfinished result) or a fatal connection-level failure.
+``bye``
+    Clean goodbye in either direction.  Closing the connection does
+    **not** cancel the client's running tickets — that is what makes
+    reconnect-and-resume useful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+# Shared framing (length-prefixed NDJSON, oversized-frame refusal, byte
+# counters) — one implementation for the cluster and gateway wires.
+from repro.utils.wire import (  # noqa: F401  (re-exports)
+    MAX_MESSAGE_BYTES,
+    MessageChannel,
+    MessageTooLarge,
+    ProtocolError,
+    encode_message,
+)
+
+#: Gateway wire version.  Bump on any incompatible message change; both
+#: sides refuse to talk across versions (the handshake checks it).
+GATEWAY_PROTOCOL_VERSION = 1
+
+# ---------------------------------------------------------------------- #
+# Message type names
+# ---------------------------------------------------------------------- #
+HELLO = "hello"
+HELLO_ACK = "hello_ack"
+SUBMIT = "submit"
+SUBMITTED = "submitted"
+REJECTED = "rejected"
+EVENT = "event"
+RESUME = "resume"
+FETCH_RESULT = "fetch_result"
+RESULT = "result"
+STATS = "stats"
+ERROR = "error"
+BYE = "bye"
+
+# ---------------------------------------------------------------------- #
+# Rejection reasons (the ``rejected`` message's ``reason`` field)
+# ---------------------------------------------------------------------- #
+REJECT_SATURATED = "saturated"  # max_active + queue depth exhausted
+REJECT_RATE_LIMITED = "rate_limited"  # per-client request rate exceeded
+REJECT_QUOTA_EXCEEDED = "quota_exceeded"  # per-client active-ticket cap hit
+REJECT_TOO_LARGE = "too_large"  # request frame over the client's size quota
+REJECT_BAD_REQUEST = "bad_request"  # unparseable / invalid ParseRequest
+
+
+# ---------------------------------------------------------------------- #
+# Message builders (keep both sides on one schema)
+# ---------------------------------------------------------------------- #
+def hello_message(
+    token: str | None = None, client: str | None = None
+) -> dict[str, Any]:
+    message: dict[str, Any] = {
+        "type": HELLO,
+        "protocol": GATEWAY_PROTOCOL_VERSION,
+    }
+    if token is not None:
+        message["token"] = token
+    if client is not None:
+        message["client"] = client
+    return message
+
+
+def submit_message(request_payload: Mapping[str, Any], priority: int = 0) -> dict[str, Any]:
+    return {"type": SUBMIT, "request": dict(request_payload), "priority": priority}
+
+
+def rejected_message(
+    reason: str, retry_after: float | None = None, detail: str = ""
+) -> dict[str, Any]:
+    message: dict[str, Any] = {"type": REJECTED, "reason": reason}
+    if retry_after is not None:
+        message["retry_after"] = round(float(retry_after), 4)
+    if detail:
+        message["detail"] = detail
+    return message
+
+
+def event_message(event_payload: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "type": EVENT,
+        "ticket_id": event_payload.get("ticket_id"),
+        "event": dict(event_payload),
+    }
+
+
+def resume_message(ticket_id: str, after_seq: int = -1) -> dict[str, Any]:
+    return {"type": RESUME, "ticket_id": ticket_id, "after_seq": int(after_seq)}

@@ -1,0 +1,633 @@
+"""The gateway daemon: many remote clients, one shared :class:`ParseService`.
+
+:class:`GatewayServer` is the network submission frontend the ROADMAP's
+millions-of-users surface asks for.  It listens on a TCP port, speaks
+:mod:`repro.gateway.protocol`, and multiplexes every authenticated
+client's :class:`~repro.pipeline.request.ParseRequest` onto **one**
+:class:`~repro.serve.ParseService` — which is where the serving stack's
+guarantees compose for free: cross-request single-flight on the shared
+cache (two clients submitting overlapping corpora parse each document
+exactly once), fair-share admission keyed by the *authenticated* client
+id, and one shared execution backend (which may itself be
+``backend="remote"`` over a worker cluster — submission tier and
+execution tier stack).
+
+On top of the raw transport the gateway enforces the production
+concerns the in-process service never needed:
+
+* **auth** — bearer tokens resolve to stable client ids and quotas
+  (:mod:`repro.gateway.auth`); the client id is what fair-share slots
+  are split by, so one tenant cannot starve another;
+* **backpressure** — when the service's ``max_active`` plus the
+  gateway's queue depth are exhausted, submissions get an immediate
+  429-style ``rejected`` reply with a ``retry_after`` hint instead of
+  unbounded queueing; per-client rate limits (token bucket) and active
+  -ticket caps reject the same way;
+* **size limits** — a ``submit`` frame over the client's byte quota is
+  refused without tearing the connection down;
+* **observability** — a ``stats`` message reports per-client
+  active/queued/rejected counts, bytes in/out, and the event-backlog
+  high-water mark.
+
+Event streams survive disconnects: a dropped connection does not cancel
+its tickets, and a reconnecting client resumes any of its tickets by id
+with a gapless replay from the last sequence number it saw.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.gateway import protocol
+from repro.gateway.auth import AuthError, AuthRegistry, ClientQuota, TokenBucket
+from repro.gateway.protocol import MessageChannel, ProtocolError
+from repro.serve.service import ParseService, ParseTicket, ServiceError
+
+#: Thread-name prefix of gateway-owned threads (accept/reader/streamers).
+GATEWAY_THREAD_PREFIX = "repro-gateway"
+
+
+class _TicketRecord:
+    """One submitted ticket and the identity that owns it."""
+
+    __slots__ = ("ticket", "client_id")
+
+    def __init__(self, ticket: ParseTicket, client_id: str) -> None:
+        self.ticket = ticket
+        self.client_id = client_id
+
+
+class GatewayServer:
+    """Serve remote parse submissions over TCP (see the module docstring).
+
+    Parameters
+    ----------
+    service:
+        The shared :class:`~repro.serve.ParseService` every admitted
+        request runs on.  Its lifecycle stays with the caller (close the
+        service after stopping the gateway).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    auth:
+        Token registry and quotas; the default allows anonymous clients
+        under :class:`~repro.gateway.auth.ClientQuota` defaults.
+    max_queue_depth:
+        Tickets allowed to *wait* beyond the service's ``max_active``
+        before submissions are rejected ``saturated``.
+    retry_after:
+        The backoff hint (seconds) attached to ``saturated`` and
+        ``quota_exceeded`` rejections.
+    finished_retention:
+        Terminal tickets kept resumable/fetchable before the oldest are
+        evicted (bounds gateway memory under sustained traffic).
+    """
+
+    def __init__(
+        self,
+        service: ParseService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        auth: AuthRegistry | None = None,
+        max_queue_depth: int = 16,
+        retry_after: float = 1.0,
+        finished_retention: int = 256,
+    ) -> None:
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.service = service
+        self.auth = auth or AuthRegistry()
+        self.max_queue_depth = max_queue_depth
+        self.retry_after = retry_after
+        self.finished_retention = finished_retention
+        self._host = host
+        self._requested_port = port
+        self._listener: socket.socket | None = None
+        self._bound_port: int | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: list[_ClientConnection] = []
+        self._stopped = threading.Event()
+        self._started = False
+
+        self._lock = threading.Lock()
+        #: ticket id → record, insertion-ordered (retention evicts oldest
+        #: terminal records first).
+        self._records: dict[str, _TicketRecord] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._submitted_by_client: dict[str, int] = {}
+        self._rejected_by_client: dict[str, int] = {}
+        self._rejected_by_reason: dict[str, int] = {}
+        self._backlog_high_water = 0
+        #: Byte counters of connections that already closed; live
+        #: connections are summed on demand.
+        self._retired_bytes_in = 0
+        self._retired_bytes_out = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        if self._bound_port is None:
+            raise RuntimeError("gateway is not started")
+        return self._bound_port
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self.port}"
+
+    def start(self) -> "GatewayServer":
+        """Bind and begin accepting client connections."""
+        if self._started:
+            raise RuntimeError("gateway already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(128)
+        self._listener = listener
+        self._bound_port = listener.getsockname()[1]
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"{GATEWAY_THREAD_PREFIX}-accept-{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _ClientConnection(self, MessageChannel(sock))
+            with self._lock:
+                if self._stopped.is_set():
+                    connection.channel.close()
+                    return
+                self._connections.append(connection)
+            connection.start()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the CLI daemon mode)."""
+        if not self._started:
+            self.start()
+        self._stopped.wait()
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop accepting; ``drain`` waits for open tickets to settle.
+
+        The shared service stays with its owner: stopping the gateway
+        never closes the service or its backend.
+        """
+        if not self._started or self._stopped.is_set():
+            self._stopped.set()
+            return
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            for record in self._open_records():
+                try:
+                    record.ticket.result(timeout=timeout)
+                except Exception:
+                    pass  # failed/cancelled tickets are settled too
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.say_bye_and_close()
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def _open_records(self) -> list[_TicketRecord]:
+        with self._lock:
+            records = list(self._records.values())
+        return [r for r in records if not r.ticket.state.terminal]
+
+    def _bucket_for(self, client_id: str, quota: ClientQuota) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(quota.rate_per_second, quota.burst)
+                self._buckets[client_id] = bucket
+            return bucket
+
+    def _reject(
+        self, client_id: str, reason: str, retry_after: float | None, detail: str = ""
+    ) -> dict[str, Any]:
+        with self._lock:
+            self._rejected_by_client[client_id] = (
+                self._rejected_by_client.get(client_id, 0) + 1
+            )
+            self._rejected_by_reason[reason] = (
+                self._rejected_by_reason.get(reason, 0) + 1
+            )
+        return protocol.rejected_message(reason, retry_after, detail)
+
+    def _admit(
+        self,
+        connection: "_ClientConnection",
+        message: dict[str, Any],
+        frame_bytes: int,
+    ) -> tuple[dict[str, Any], _TicketRecord | None]:
+        """Decide one ``submit``: a reply message plus the record if admitted."""
+        client_id = connection.client_id
+        quota = connection.quota
+        if frame_bytes > quota.max_request_bytes:
+            return (
+                self._reject(
+                    client_id,
+                    protocol.REJECT_TOO_LARGE,
+                    None,
+                    f"submit frame is {frame_bytes} bytes; the quota is "
+                    f"{quota.max_request_bytes}",
+                ),
+                None,
+            )
+        acquired, retry_after = self._bucket_for(client_id, quota).try_acquire()
+        if not acquired:
+            return (
+                self._reject(
+                    client_id, protocol.REJECT_RATE_LIMITED, retry_after
+                ),
+                None,
+            )
+        open_records = self._open_records()
+        open_for_client = sum(1 for r in open_records if r.client_id == client_id)
+        if open_for_client >= quota.max_active:
+            return (
+                self._reject(
+                    client_id,
+                    protocol.REJECT_QUOTA_EXCEEDED,
+                    self.retry_after,
+                    f"{open_for_client} tickets already open (quota "
+                    f"{quota.max_active})",
+                ),
+                None,
+            )
+        capacity = self.service.config.max_active + self.max_queue_depth
+        if len(open_records) >= capacity:
+            return (
+                self._reject(
+                    client_id,
+                    protocol.REJECT_SATURATED,
+                    self.retry_after,
+                    f"{len(open_records)} tickets in flight (capacity {capacity})",
+                ),
+                None,
+            )
+        from repro.pipeline.request import ParseRequest
+
+        try:
+            request = ParseRequest.from_json_dict(dict(message.get("request") or {}))
+        except Exception as exc:  # noqa: BLE001 - any bad payload is the client's
+            return (
+                self._reject(
+                    client_id, protocol.REJECT_BAD_REQUEST, None, str(exc)
+                ),
+                None,
+            )
+        priority = int(message.get("priority", 0))
+        try:
+            ticket = self.service.submit(request, priority=priority, client=client_id)
+        except ServiceError as exc:
+            return {"type": protocol.ERROR, "code": "service_closed", "message": str(exc)}, None
+        record = _TicketRecord(ticket, client_id)
+        with self._lock:
+            self._records[ticket.id] = record
+            self._submitted_by_client[client_id] = (
+                self._submitted_by_client.get(client_id, 0) + 1
+            )
+        self._evict_finished()
+        reply = {
+            "type": protocol.SUBMITTED,
+            "ticket_id": ticket.id,
+            "state": ticket.state.value,
+        }
+        return reply, record
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest terminal records beyond the retention bound."""
+        with self._lock:
+            terminal = [
+                ticket_id
+                for ticket_id, record in self._records.items()
+                if record.ticket.state.terminal
+            ]
+            for ticket_id in terminal[: max(0, len(terminal) - self.finished_retention)]:
+                del self._records[ticket_id]
+
+    def lookup(self, ticket_id: str) -> _TicketRecord | None:
+        with self._lock:
+            return self._records.get(ticket_id)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _note_backlog(self, backlog: int) -> None:
+        if backlog <= 0:
+            return
+        with self._lock:
+            if backlog > self._backlog_high_water:
+                self._backlog_high_water = backlog
+
+    def _retire_connection(self, connection: "_ClientConnection") -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+            self._retired_bytes_in += connection.channel.bytes_received
+            self._retired_bytes_out += connection.channel.bytes_sent
+
+    def stats(self) -> dict[str, Any]:
+        """The ``stats`` reply: gateway-level counters, JSON-trivial."""
+        open_records = self._open_records()
+        with self._lock:
+            bytes_in = self._retired_bytes_in
+            bytes_out = self._retired_bytes_out
+            for connection in self._connections:
+                bytes_in += connection.channel.bytes_received
+                bytes_out += connection.channel.bytes_sent
+            clients = sorted(
+                set(self._submitted_by_client) | set(self._rejected_by_client)
+            )
+            per_client = {
+                client_id: {
+                    "submitted": self._submitted_by_client.get(client_id, 0),
+                    "rejected": self._rejected_by_client.get(client_id, 0),
+                    "active": sum(
+                        1 for r in open_records if r.client_id == client_id
+                    ),
+                }
+                for client_id in clients
+            }
+            payload = {
+                "tickets_open": len(open_records),
+                "tickets_retained": len(self._records),
+                "submitted": sum(self._submitted_by_client.values()),
+                "rejected": sum(self._rejected_by_client.values()),
+                "rejected_by_reason": dict(sorted(self._rejected_by_reason.items())),
+                "per_client": per_client,
+                "bytes_in": bytes_in,
+                "bytes_out": bytes_out,
+                "event_backlog_high_water": self._backlog_high_water,
+                "connections": len(self._connections),
+            }
+        service = self.service.describe()
+        payload["service"] = {
+            "active": service["active"],
+            "queued": service["queued"],
+            "max_active": service["max_active"],
+            "max_queue_depth": self.max_queue_depth,
+        }
+        return payload
+
+    def describe(self) -> dict[str, Any]:
+        """Inventory for CLI logging (stats plus the bind address)."""
+        description = self.stats()
+        description["address"] = (
+            self.address if self._bound_port is not None else None
+        )
+        return description
+
+
+class _ClientConnection:
+    """One remote client: handshake, sequential requests, event streamers."""
+
+    def __init__(self, server: GatewayServer, channel: MessageChannel) -> None:
+        self.server = server
+        self.channel = channel
+        self.client_id = ""
+        self.quota = ClientQuota()
+        self._closed = threading.Event()
+        self._streamers: list[threading.Thread] = []
+
+    def start(self) -> None:
+        reader = threading.Thread(
+            target=self._read_loop,
+            name=f"{GATEWAY_THREAD_PREFIX}-reader",
+            daemon=True,
+        )
+        reader.start()
+
+    def say_bye_and_close(self) -> None:
+        self._safe_send({"type": protocol.BYE, "reason": "gateway stopping"})
+        self._close()
+
+    def _close(self) -> None:
+        self._closed.set()
+        self.channel.close()
+
+    # ------------------------------------------------------------------ #
+    # Reader
+    # ------------------------------------------------------------------ #
+    def _read_loop(self) -> None:
+        try:
+            if not self._handshake():
+                return
+            while not self._closed.is_set():
+                message = self.channel.recv()
+                if message is None:
+                    return
+                frame_bytes = self.channel.last_frame_bytes
+                if not self._dispatch(message, frame_bytes):
+                    return
+        except (ProtocolError, OSError, ValueError) as exc:
+            self._safe_send({"type": protocol.ERROR, "message": str(exc)})
+        finally:
+            self._close()
+            self.server._retire_connection(self)
+
+    def _handshake(self) -> bool:
+        message = self.channel.recv()
+        if message is None:
+            return False
+        if message.get("type") != protocol.HELLO:
+            self._safe_send(
+                {"type": protocol.ERROR, "message": "expected hello first"}
+            )
+            return False
+        version = int(message.get("protocol", -1))
+        if version != protocol.GATEWAY_PROTOCOL_VERSION:
+            self._safe_send(
+                {
+                    "type": protocol.ERROR,
+                    "message": f"protocol version mismatch: gateway speaks "
+                    f"{protocol.GATEWAY_PROTOCOL_VERSION}, client sent {version}",
+                }
+            )
+            return False
+        try:
+            authenticated = self.server.auth.authenticate(
+                message.get("token"), message.get("client")
+            )
+        except AuthError as exc:
+            self._safe_send(
+                {"type": protocol.ERROR, "code": "unauthorized", "message": str(exc)}
+            )
+            return False
+        self.client_id = authenticated.client_id
+        self.quota = authenticated.quota
+        self.channel.send(
+            {
+                "type": protocol.HELLO_ACK,
+                "protocol": protocol.GATEWAY_PROTOCOL_VERSION,
+                "client_id": self.client_id,
+                "quota": self.quota.to_json_dict(),
+                "server": {
+                    "max_active": self.server.service.config.max_active,
+                    "max_queue_depth": self.server.max_queue_depth,
+                },
+            }
+        )
+        return True
+
+    def _dispatch(self, message: dict[str, Any], frame_bytes: int) -> bool:
+        """Handle one request; returns False to end the conversation."""
+        kind = message.get("type")
+        if kind == protocol.SUBMIT:
+            reply, record = self.server._admit(self, message, frame_bytes)
+            self.channel.send(reply)
+            if record is not None:
+                self._start_streamer(record, after_seq=-1)
+        elif kind == protocol.RESUME:
+            self._on_resume(message)
+        elif kind == protocol.FETCH_RESULT:
+            self._on_fetch_result(message)
+        elif kind == protocol.STATS:
+            self.channel.send({"type": protocol.STATS, **self.server.stats()})
+        elif kind == protocol.BYE:
+            return False
+        else:
+            raise ProtocolError(f"unexpected message type {kind!r}")
+        return True
+
+    def _owned_record(self, message: dict[str, Any]) -> "_TicketRecord | None":
+        """Resolve a ticket id to a record this client owns, else reply error."""
+        ticket_id = str(message.get("ticket_id", ""))
+        record = self.server.lookup(ticket_id)
+        if record is None:
+            self.channel.send(
+                {
+                    "type": protocol.ERROR,
+                    "code": "unknown_ticket",
+                    "ticket_id": ticket_id,
+                    "message": f"no ticket {ticket_id!r} (expired or never submitted)",
+                }
+            )
+            return None
+        if record.client_id != self.client_id:
+            self.channel.send(
+                {
+                    "type": protocol.ERROR,
+                    "code": "forbidden",
+                    "ticket_id": ticket_id,
+                    "message": f"ticket {ticket_id!r} belongs to another client",
+                }
+            )
+            return None
+        return record
+
+    def _on_resume(self, message: dict[str, Any]) -> None:
+        record = self._owned_record(message)
+        if record is None:
+            return
+        after_seq = int(message.get("after_seq", -1))
+        self.channel.send(
+            {
+                "type": protocol.SUBMITTED,
+                "ticket_id": record.ticket.id,
+                "state": record.ticket.state.value,
+                "resumed": True,
+            }
+        )
+        self._start_streamer(record, after_seq=after_seq)
+
+    def _on_fetch_result(self, message: dict[str, Any]) -> None:
+        from repro.serve.service import TicketState
+
+        record = self._owned_record(message)
+        if record is None:
+            return
+        ticket = record.ticket
+        ticket_id = ticket.id
+        if not ticket.state.terminal:
+            self.channel.send(
+                {
+                    "type": protocol.ERROR,
+                    "code": "not_finished",
+                    "ticket_id": ticket_id,
+                    "message": f"ticket {ticket_id!r} is {ticket.state.value}",
+                }
+            )
+            return
+        if ticket.state is not TicketState.COMPLETED:
+            self.channel.send(
+                {
+                    "type": protocol.ERROR,
+                    "code": ticket.state.value,
+                    "ticket_id": ticket_id,
+                    "message": f"ticket {ticket_id!r} ended {ticket.state.value}",
+                }
+            )
+            return
+        report = ticket.result(timeout=0.001)
+        self.channel.send(
+            {
+                "type": protocol.RESULT,
+                "ticket_id": ticket_id,
+                "report": report.to_json_dict(
+                    include_text=bool(message.get("include_text", False))
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event streaming
+    # ------------------------------------------------------------------ #
+    def _start_streamer(self, record: "_TicketRecord", after_seq: int) -> None:
+        streamer = threading.Thread(
+            target=self._stream_events,
+            args=(record, after_seq),
+            name=f"{GATEWAY_THREAD_PREFIX}-stream-{record.ticket.id}",
+            daemon=True,
+        )
+        self._streamers.append(streamer)
+        streamer.start()
+
+    def _stream_events(self, record: "_TicketRecord", after_seq: int) -> None:
+        ticket = record.ticket
+        try:
+            for event in ticket.events(after_seq=after_seq):
+                # Backlog: events already emitted by the service but not
+                # yet on the wire for this consumer.  The high-water mark
+                # is the STATS signal that a slow client (or a flooded
+                # event stream) is falling behind live progress.
+                self.server._note_backlog(ticket.n_events - (event.seq + 1))
+                self.channel.send(protocol.event_message(event.to_json_dict()))
+        except (ProtocolError, OSError):
+            # Connection died mid-stream.  The ticket keeps running; the
+            # client reconnects and resumes from its last seen seq.
+            return
+
+    def _safe_send(self, message: dict[str, Any]) -> bool:
+        try:
+            self.channel.send(message)
+            return True
+        except (ProtocolError, OSError):
+            return False

@@ -61,7 +61,17 @@ class ProgressEvent:
 
     @property
     def terminal(self) -> bool:
-        return EventKind(self.kind).terminal
+        """Whether this event ends the ticket's stream.
+
+        Tolerant of kinds this client does not know (a newer server may
+        stream new intermediate event kinds): unknown kinds are treated
+        as non-terminal rather than raising, so old clients keep reading
+        the stream until a terminal kind they *do* understand arrives.
+        """
+        try:
+            return EventKind(self.kind).terminal
+        except ValueError:
+            return False
 
     def to_json_dict(self) -> dict[str, Any]:
         return {

@@ -165,14 +165,24 @@ class ParseTicket:
     def done(self) -> bool:
         return self.state.terminal
 
-    def events(self, timeout: float | None = None) -> Iterator[ProgressEvent]:
+    @property
+    def n_events(self) -> int:
+        """Events emitted so far (streamers use this for backlog telemetry)."""
+        with self._cond:
+            return len(self._events)
+
+    def events(
+        self, timeout: float | None = None, after_seq: int = -1
+    ) -> Iterator[ProgressEvent]:
         """Yield this ticket's events in order, ending at the terminal one.
 
         Events already emitted are replayed first, so subscribing after
-        completion still sees the full stream.  ``timeout`` bounds each
+        completion still sees the full stream.  ``after_seq`` skips the
+        replay up to and including that sequence number (reconnecting
+        consumers resume without duplicates).  ``timeout`` bounds each
         wait for the *next* event, not the whole stream.
         """
-        index = 0
+        index = max(0, after_seq + 1)
         while True:
             with self._cond:
                 while index >= len(self._events):
@@ -340,7 +350,29 @@ class ParseService:
                 )
                 to_start.append(pick)
         for ticket in to_start:
-            self._runners.submit(self._run_ticket, ticket)
+            try:
+                self._runners.submit(self._run_ticket, ticket)
+            except RuntimeError:
+                # close() won the race: the runner pool shut down between
+                # this ticket leaving the queue and reaching the pool.  It
+                # would otherwise sit in _active forever with no terminal
+                # event — a consumer blocked in events()/result() (or a
+                # drain()) would hang.  Settle it as cancelled instead.
+                self._settle_stranded(ticket)
+
+    def _settle_stranded(self, ticket: ParseTicket) -> None:
+        """Cancel a ticket the closed runner pool refused to execute."""
+        with self._lock:
+            self._active.pop(ticket.id, None)
+            remaining = self._active_by_client.get(ticket.client, 1) - 1
+            if remaining > 0:
+                self._active_by_client[ticket.client] = remaining
+            else:
+                self._active_by_client.pop(ticket.client, None)
+            self._counters["cancelled"] += 1
+            self._idle.notify_all()
+        ticket._set_state(TicketState.CANCELLED)
+        ticket._emit(EventKind.CANCELLED, {"reason": "service closed"})
 
     # ------------------------------------------------------------------ #
     # Execution

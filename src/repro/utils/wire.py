@@ -1,0 +1,163 @@
+"""Length-prefixed NDJSON framing shared by the cluster and gateway wires.
+
+Every message on a repro network connection is one JSON object, encoded
+as a single UTF-8 line and framed by an ASCII decimal byte-length
+prefix::
+
+    <decimal length of body>\\n
+    {"type": "...", ...}\\n
+
+The prefix makes framing robust (a reader never has to guess where a
+message ends, even mid-recovery), while the NDJSON body keeps the stream
+greppable — ``nc`` into a daemon and you can read the conversation.
+
+This module is the single home of the framing machinery:
+:func:`encode_message`, :class:`MessageChannel` (thread-safe framed
+sends, single-reader receives, byte counters in both directions), and
+the oversized-frame refusal (:class:`MessageTooLarge` at send time,
+:class:`ProtocolError` at receive time).  :mod:`repro.cluster.protocol`
+and :mod:`repro.gateway.protocol` both build their message vocabularies
+on top of it, so the two wires cannot drift apart on framing.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Mapping
+
+#: Upper bound on one message body (a guard against garbage prefixes, not
+#: a practical limit: a 64 MiB shard would be ~1000 dense documents).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a valid framed message."""
+
+
+class MessageTooLarge(ProtocolError):
+    """A message exceeds the channel's frame limit.
+
+    Raised at *send* time, before any bytes hit the socket, so the caller
+    can fail just the offending message — the receiving side would
+    otherwise reject the frame and tear the whole connection down.
+    """
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """Frame one message: decimal length prefix + NDJSON body."""
+    body = json.dumps(message, ensure_ascii=False, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+    return str(len(body)).encode("ascii") + b"\n" + body
+
+
+class MessageChannel:
+    """One framed connection: thread-safe sends, single-reader receives.
+
+    Sends may come from several threads (result slots, heartbeat timers,
+    event streamers) and are serialised under a lock; receives must stay
+    on one reader thread.  The channel counts bytes in both directions —
+    that is the ``*_bytes_*`` telemetry the cluster backend and the
+    gateway's ``STATS`` message report.
+
+    ``max_message_bytes`` defaults to the module-level
+    :data:`MAX_MESSAGE_BYTES` **at call time** (so tests may patch the
+    module global); pass an explicit limit to pin a channel down.
+    """
+
+    def __init__(
+        self, sock: socket.socket, max_message_bytes: int | None = None
+    ) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._max_message_bytes = max_message_bytes
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Framed size of the most recently received message; lets a
+        #: server enforce per-request size quotas without re-encoding.
+        self.last_frame_bytes = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def max_message_bytes(self) -> int:
+        if self._max_message_bytes is not None:
+            return self._max_message_bytes
+        return MAX_MESSAGE_BYTES
+
+    def send(self, message: Mapping[str, Any]) -> int:
+        """Send one message; returns the framed byte count.
+
+        Raises :class:`MessageTooLarge` — before writing anything — for a
+        frame the peer's :meth:`recv` would refuse.
+        """
+        frame = encode_message(message)
+        if len(frame) > self.max_message_bytes:
+            raise MessageTooLarge(
+                f"{message.get('type', 'message')} frame is {len(frame)} bytes, "
+                f"over the {self.max_message_bytes}-byte protocol limit; use a "
+                f"smaller batch_size"
+            )
+        with self._send_lock:
+            if self._closed:
+                raise ProtocolError("channel is closed")
+            self._sock.sendall(frame)
+            self.bytes_sent += len(frame)
+        return len(frame)
+
+    def recv(self) -> dict[str, Any] | None:
+        """Read one message; ``None`` on a clean EOF.
+
+        Raises :class:`ProtocolError` on a malformed frame (bad length
+        prefix, truncated body, invalid JSON, or a non-object payload).
+        """
+        prefix = self._reader.readline(32)
+        if not prefix:
+            return None
+        if not prefix.endswith(b"\n"):
+            raise ProtocolError(f"unterminated length prefix {prefix!r}")
+        try:
+            length = int(prefix.strip())
+        except ValueError as exc:
+            raise ProtocolError(f"bad length prefix {prefix!r}") from exc
+        if not 0 < length <= self.max_message_bytes:
+            raise ProtocolError(f"message length {length} out of bounds")
+        body = self._reader.read(length)
+        if len(body) != length:
+            raise ProtocolError(
+                f"truncated message: expected {length} bytes, got {len(body)}"
+            )
+        self.last_frame_bytes = len(prefix) + len(body)
+        self.bytes_received += self.last_frame_bytes
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"message body is not valid JSON: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("message must be a JSON object with a 'type'")
+        return message
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent; unblocks the reader)."""
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

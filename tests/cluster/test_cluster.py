@@ -411,7 +411,9 @@ class TestRemoteExecution:
     ):
         from repro.cluster import protocol
 
-        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64 * 1024)
+        from repro.utils import wire
+
+        monkeypatch.setattr(wire, "MAX_MESSAGE_BYTES", 64 * 1024)
         workers = start_workers(2, pipeline=ParsePipeline(registry))
         backend = create_backend("remote", {"workers": addresses_of(workers)})
         try:

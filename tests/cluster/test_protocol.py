@@ -89,8 +89,11 @@ class TestFraming:
 
     def test_oversized_message_refused_at_send_time(self, channel_pair, monkeypatch):
         from repro.cluster.protocol import MessageTooLarge
+        from repro.utils import wire
 
-        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 256)
+        # The framing lives in repro.utils.wire (cluster.protocol re-exports
+        # it); channels read the module default at call time, so patch there.
+        monkeypatch.setattr(wire, "MAX_MESSAGE_BYTES", 256)
         left, right = channel_pair
         with pytest.raises(MessageTooLarge, match="smaller batch_size"):
             left.send({"type": "submit_shard", "blob": "x" * 300})

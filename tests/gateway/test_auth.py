@@ -1,0 +1,110 @@
+"""Unit tests of gateway auth: tokens, quotas, and the rate bucket."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway.auth import AuthError, AuthRegistry, ClientQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            acquired, retry_after = bucket.try_acquire()
+            assert acquired and retry_after == 0.0
+        acquired, retry_after = bucket.try_acquire()
+        assert not acquired
+        assert retry_after == pytest.approx(0.5)  # 1 token at 2/s
+
+    def test_tokens_accrue_with_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # exactly one token accrues
+        assert bucket.try_acquire()[0]
+
+    def test_accrual_is_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=10.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_zero_rate_never_limits(self):
+        bucket = TokenBucket(rate_per_second=0.0, burst=1)
+        for _ in range(100):
+            assert bucket.try_acquire() == (True, 0.0)
+
+    def test_invalid_parameters_are_refused(self):
+        with pytest.raises(ValueError, match="rate_per_second"):
+            TokenBucket(rate_per_second=-1.0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate_per_second=1.0, burst=0)
+
+
+class TestAuthRegistry:
+    def test_token_resolves_identity_and_quota(self):
+        registry = AuthRegistry()
+        quota = ClientQuota(max_active=2, rate_per_second=1.0)
+        registry.register("s3cret", "alice", quota)
+        client = registry.authenticate("s3cret")
+        assert client.client_id == "alice"
+        assert client.quota == quota
+
+    def test_token_wins_over_requested_client_name(self):
+        registry = AuthRegistry()
+        registry.register("s3cret", "alice")
+        assert registry.authenticate("s3cret", "mallory").client_id == "alice"
+
+    def test_unknown_token_is_refused(self):
+        registry = AuthRegistry()
+        registry.register("s3cret", "alice")
+        with pytest.raises(AuthError, match="unknown"):
+            registry.authenticate("wrong")
+
+    def test_anonymous_lane_uses_requested_name_and_default_quota(self):
+        quota = ClientQuota(max_active=1)
+        registry = AuthRegistry(default_quota=quota)
+        client = registry.authenticate(None, "walk-in")
+        assert client.client_id == "walk-in"
+        assert client.quota == quota
+        assert registry.authenticate(None).client_id == "anon"
+
+    def test_anonymous_lane_can_be_disabled(self):
+        registry = AuthRegistry(allow_anonymous=False)
+        registry.register("s3cret", "alice")
+        with pytest.raises(AuthError, match="required"):
+            registry.authenticate(None, "walk-in")
+        assert registry.authenticate("s3cret").client_id == "alice"
+
+    def test_registration_validates_inputs(self):
+        registry = AuthRegistry()
+        with pytest.raises(ValueError, match="token"):
+            registry.register("", "alice")
+        with pytest.raises(ValueError, match="client_id"):
+            registry.register("s3cret", "")
+        registry.register("s3cret", "alice")
+        assert registry.n_tokens == 1
+
+    def test_quota_serialises_for_the_handshake(self):
+        quota = ClientQuota(max_active=3, rate_per_second=2.5, burst=4)
+        payload = quota.to_json_dict()
+        assert payload["max_active"] == 3
+        assert payload["rate_per_second"] == 2.5
+        assert payload["burst"] == 4
+        assert payload["max_request_bytes"] == 1024 * 1024

@@ -1,0 +1,91 @@
+"""Wire-level tests of ProgressEvent: real-socket JSON round trips.
+
+The gateway streams ``ProgressEvent`` values to remote clients as NDJSON
+frames; these tests pin the schema contract at the byte level — what a
+client's ``from_json_dict`` rebuilds from actual wire bytes — including
+forward compatibility (old clients must survive fields and kinds a newer
+server adds).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.serve.events import EventKind, ProgressEvent
+from repro.utils.wire import MessageChannel
+
+
+@pytest.fixture()
+def channel_pair():
+    left_sock, right_sock = socket.socketpair()
+    left = MessageChannel(left_sock)
+    right = MessageChannel(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestEventWireRoundTrip:
+    def test_event_survives_a_real_socket(self, channel_pair):
+        left, right = channel_pair
+        event = ProgressEvent(
+            kind=EventKind.BATCH.value,
+            ticket_id="t0001",
+            seq=3,
+            timestamp=1723100000.25,
+            payload={"documents_done": 8, "n_documents": 16, "batches_done": 2},
+        )
+        left.send({"type": "event", "event": event.to_json_dict()})
+        message = right.recv()
+        rebuilt = ProgressEvent.from_json_dict(message["event"])
+        assert rebuilt == event
+        assert rebuilt.terminal is False
+
+    def test_terminal_events_round_trip_terminality(self, channel_pair):
+        left, right = channel_pair
+        for kind in ("completed", "failed", "cancelled"):
+            event = ProgressEvent(kind=kind, ticket_id="t0002", seq=9)
+            left.send({"type": "event", "event": event.to_json_dict()})
+            rebuilt = ProgressEvent.from_json_dict(right.recv()["event"])
+            assert rebuilt.terminal is True
+            assert rebuilt.kind == kind
+
+    def test_unknown_top_level_fields_are_tolerated(self, channel_pair):
+        """A newer server may add fields to the event schema; an old
+        client's from_json_dict must ignore them, not crash."""
+        left, right = channel_pair
+        payload = ProgressEvent(
+            kind="completed", ticket_id="t0003", seq=4, payload={"summary": {}}
+        ).to_json_dict()
+        payload["gpu_seconds"] = 1.25  # hypothetical future field
+        payload["shard"] = {"worker": "w-9"}
+        left.send({"type": "event", "event": payload})
+        rebuilt = ProgressEvent.from_json_dict(right.recv()["event"])
+        assert rebuilt.ticket_id == "t0003"
+        assert rebuilt.seq == 4
+        assert rebuilt.terminal is True
+
+    def test_unknown_kind_is_nonterminal_not_fatal(self, channel_pair):
+        """A newer server may stream new intermediate kinds; an old client
+        must keep consuming the stream rather than raising."""
+        left, right = channel_pair
+        payload = {
+            "kind": "checkpointed",  # hypothetical future kind
+            "ticket_id": "t0004",
+            "seq": 5,
+            "timestamp": 0.0,
+            "payload": {"shards_done": 3},
+        }
+        left.send({"type": "event", "event": payload})
+        rebuilt = ProgressEvent.from_json_dict(right.recv()["event"])
+        assert rebuilt.kind == "checkpointed"
+        assert rebuilt.terminal is False
+
+    def test_missing_optional_fields_default(self):
+        rebuilt = ProgressEvent.from_json_dict(
+            {"kind": "queued", "ticket_id": "t0005", "seq": 0}
+        )
+        assert rebuilt.timestamp == 0.0
+        assert rebuilt.payload == {}

@@ -417,3 +417,57 @@ class TestServeFrontends:
         bad.write_text("{not json", encoding="utf-8")
         with pytest.raises(SystemExit, match="invalid request"):
             main(["submit", "--request-file", str(bad)])
+
+
+# ---------------------------------------------------------------------- #
+# Abandoned tickets must always settle (regression: close/dispatch race)
+# ---------------------------------------------------------------------- #
+class TestAbandonedTicketsSettle:
+    def test_close_without_drain_terminates_blocked_event_consumers(
+        self, snail_pipeline, corpus_16
+    ):
+        """A consumer blocked in events() on a queued-then-abandoned ticket
+        must receive a terminal cancelled event, not hang forever."""
+        documents = list(corpus_16)
+        service = ParseService(
+            pipeline=snail_pipeline, config=ServiceConfig(max_active=1)
+        )
+        first = service.submit(request_for_documents("snail", documents))
+        second = service.submit(request_for_documents("snail", documents))
+        seen: list[str] = []
+        consumed = threading.Event()
+
+        def consume() -> None:
+            for event in second.events():  # no timeout: would hang pre-fix
+                seen.append(event.kind)
+            consumed.set()
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        service.close(drain=False)
+        assert consumed.wait(10), "events() consumer hung on the abandoned ticket"
+        assert seen == ["queued", "cancelled"]
+        assert second.state is TicketState.CANCELLED
+        first.result(timeout=60)  # running work always completes
+
+    def test_dispatch_racing_a_closed_pool_settles_the_ticket(self, snail_pipeline):
+        """If close() shuts the runner pool down between a ticket leaving
+        the queue and reaching the pool, the ticket must settle as
+        cancelled (terminal event + counters) instead of sitting in
+        _active forever with consumers hung in events()/result()."""
+        service = ParseService(
+            pipeline=snail_pipeline, config=ServiceConfig(max_active=1)
+        )
+        # Force the race deterministically: the pool is already shut down
+        # when submit()'s dispatch tries to hand the ticket over.
+        service._runners.shutdown(wait=True)
+        ticket = service.submit(ParseRequest(parser="snail", n_documents=2, seed=1))
+        assert [e.kind for e in ticket.events(timeout=5)] == ["queued", "cancelled"]
+        assert ticket.state is TicketState.CANCELLED
+        with pytest.raises(ServiceError, match="cancelled"):
+            ticket.result(timeout=5)
+        description = service.describe()
+        assert description["active"] == 0
+        assert description["cancelled"] == 1
+        service.drain(timeout=5)  # nothing stranded in _active
+        service.close(drain=False)

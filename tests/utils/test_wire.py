@@ -1,0 +1,74 @@
+"""Tests of the shared framing module (repro.utils.wire).
+
+The framing behaviour itself is exhaustively covered through the cluster
+protocol suite (tests/cluster/test_protocol.py); this file pins the
+extraction contract: cluster.protocol re-exports the *same* objects, and
+per-channel frame limits work standalone.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.utils import wire
+from repro.utils.wire import MessageChannel, MessageTooLarge, ProtocolError
+
+
+class TestSharedFraming:
+    def test_cluster_protocol_reexports_are_the_same_objects(self):
+        from repro.cluster import protocol
+
+        assert protocol.MessageChannel is wire.MessageChannel
+        assert protocol.ProtocolError is wire.ProtocolError
+        assert protocol.MessageTooLarge is wire.MessageTooLarge
+        assert protocol.encode_message is wire.encode_message
+        assert protocol.MAX_MESSAGE_BYTES == wire.MAX_MESSAGE_BYTES
+
+    def test_gateway_protocol_shares_the_framing(self):
+        from repro.gateway import protocol as gateway_protocol
+
+        assert gateway_protocol.MessageChannel is wire.MessageChannel
+        assert gateway_protocol.ProtocolError is wire.ProtocolError
+
+    def test_per_channel_limit_overrides_the_module_default(self):
+        left_sock, right_sock = socket.socketpair()
+        left = MessageChannel(left_sock, max_message_bytes=128)
+        right = MessageChannel(right_sock)
+        try:
+            with pytest.raises(MessageTooLarge):
+                left.send({"type": "blob", "data": "x" * 200})
+            # The module default still applies to the unrestricted side.
+            right.send({"type": "blob", "data": "x" * 200})
+        finally:
+            left.close()
+            right.close()
+
+    def test_last_frame_bytes_tracks_the_received_frame(self):
+        left_sock, right_sock = socket.socketpair()
+        left = MessageChannel(left_sock)
+        right = MessageChannel(right_sock)
+        try:
+            small = left.send({"type": "a"})
+            assert right.recv() == {"type": "a"}
+            assert right.last_frame_bytes == small
+            big = left.send({"type": "b", "blob": "y" * 500})
+            assert right.recv()["type"] == "b"
+            assert right.last_frame_bytes == big
+            assert right.bytes_received == small + big
+        finally:
+            left.close()
+            right.close()
+
+    def test_closed_channel_refuses_sends(self):
+        left_sock, right_sock = socket.socketpair()
+        left = MessageChannel(left_sock)
+        right = MessageChannel(right_sock)
+        left.close()
+        try:
+            with pytest.raises(ProtocolError, match="closed"):
+                left.send({"type": "a"})
+            assert right.recv() is None
+        finally:
+            right.close()
