@@ -114,7 +114,11 @@ class AuthRegistry:
     client name they request (or ``anon``) under ``default_quota`` — the
     mode the CLI daemon and tests run in unless tokens are configured.
     Anonymous and token lanes compose: a deployment can hand tight
-    quotas to anonymous traffic and generous ones to known tokens.
+    quotas to anonymous traffic and generous ones to known tokens — but
+    the lanes cannot collide: an anonymous hello claiming a client id
+    that is registered behind any token is refused, so ticket ownership
+    and fair-share accounting for token-holders cannot be hijacked by
+    an unauthenticated peer that merely names them.
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class AuthRegistry:
         self.allow_anonymous = allow_anonymous
         self.default_quota = default_quota or ClientQuota()
         self._by_token: dict[str, AuthenticatedClient] = {}
+        self._registered_ids: set[str] = set()
         self._lock = threading.Lock()
 
     def register(
@@ -139,6 +144,7 @@ class AuthRegistry:
             self._by_token[token] = AuthenticatedClient(
                 client_id=client_id, quota=quota or self.default_quota
             )
+            self._registered_ids.add(client_id)
 
     @property
     def n_tokens(self) -> int:
@@ -152,7 +158,11 @@ class AuthRegistry:
 
         A token always wins over the requested client name (identity
         comes from the credential, not the claim — one client cannot
-        impersonate another by naming it).
+        impersonate another by naming it).  The anonymous lane enforces
+        the same property from the other side: a token-less hello may
+        not claim a client id that any token resolves to, so anonymous
+        peers cannot reach a token-holder's tickets or pollute their
+        quota and fair-share accounting.
         """
         if token:
             with self._lock:
@@ -163,4 +173,11 @@ class AuthRegistry:
         if not self.allow_anonymous:
             raise AuthError("auth token required (anonymous access disabled)")
         client_id = requested_client or "anon"
+        with self._lock:
+            reserved = client_id in self._registered_ids
+        if reserved:
+            raise AuthError(
+                f"client id {client_id!r} is registered to a token; "
+                "present the token to authenticate as it"
+            )
         return AuthenticatedClient(client_id=client_id, quota=self.default_quota)

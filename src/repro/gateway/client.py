@@ -181,6 +181,12 @@ class GatewayClient:
         self._reader: threading.Thread | None = None
         self._replies: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
         self._rpc_lock = threading.Lock()
+        #: True while one request awaits its reply.  The reader uses it to
+        #: tell a reply apart from an unsolicited server frame (e.g. a
+        #: connection-level ``error`` with no RPC in flight) — enqueueing
+        #: the latter would misattribute it to the *next* request.
+        self._rpc_pending = False
+        self._pending_lock = threading.Lock()
         self._route_lock = threading.Lock()
         self._tickets: dict[str, RemoteTicket] = {}
         self._orphan_events: dict[str, list[ProgressEvent]] = {}
@@ -194,11 +200,20 @@ class GatewayClient:
         if self._channel is not None:
             return self
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
-        sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The connect timeout stays on the socket through the handshake —
+        # a server that accepts the TCP connection but never answers the
+        # hello must not hang connect() forever.  Only the established,
+        # event-streaming connection goes blocking (below).
         channel = MessageChannel(sock)
-        channel.send(protocol.hello_message(self.token, self.requested_client))
-        reply = channel.recv()
+        try:
+            channel.send(protocol.hello_message(self.token, self.requested_client))
+            reply = channel.recv()
+        except TimeoutError:
+            channel.close()
+            raise GatewayError(
+                f"no handshake reply from gateway within {self.timeout}s"
+            ) from None
         if reply is None:
             channel.close()
             raise GatewayError("gateway closed the connection during handshake")
@@ -209,6 +224,7 @@ class GatewayClient:
             )
         self.client_id = str(reply.get("client_id", ""))
         self.quota = dict(reply.get("quota") or {})
+        sock.settimeout(None)
         self._channel = channel
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-gateway-client-reader", daemon=True
@@ -250,7 +266,13 @@ class GatewayClient:
                 elif kind == protocol.BYE:
                     return
                 else:
-                    self._replies.put(message)
+                    with self._pending_lock:
+                        pending = self._rpc_pending
+                    if pending:
+                        self._replies.put(message)
+                    # else: an unsolicited frame (connection-level error)
+                    # with no request awaiting it — drop rather than hand
+                    # it to the next unrelated _rpc() as its "reply".
         except (ProtocolError, OSError):
             return
         finally:
@@ -292,16 +314,22 @@ class GatewayClient:
         if self._channel is None:
             raise GatewayError("client is not connected (call connect())")
         with self._rpc_lock:
+            with self._pending_lock:
+                self._rpc_pending = True
             try:
-                self._channel.send(message)
-            except (ProtocolError, OSError) as exc:
-                raise GatewayConnectionLost(str(exc)) from exc
-            try:
-                reply = self._replies.get(timeout=self.timeout)
-            except queue.Empty:
-                raise GatewayError(
-                    f"no reply from gateway within {self.timeout}s"
-                ) from None
+                try:
+                    self._channel.send(message)
+                except (ProtocolError, OSError) as exc:
+                    raise GatewayConnectionLost(str(exc)) from exc
+                try:
+                    reply = self._replies.get(timeout=self.timeout)
+                except queue.Empty:
+                    raise GatewayError(
+                        f"no reply from gateway within {self.timeout}s"
+                    ) from None
+            finally:
+                with self._pending_lock:
+                    self._rpc_pending = False
         if reply is None:
             raise GatewayConnectionLost("connection lost awaiting a reply")
         return reply

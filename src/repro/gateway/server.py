@@ -113,6 +113,11 @@ class GatewayServer:
         self._started = False
 
         self._lock = threading.Lock()
+        #: Serializes the admission decision (quota/capacity checks →
+        #: submit → record insertion) so concurrent submits on separate
+        #: connections cannot all pass the same snapshot and over-admit.
+        #: Always acquired before ``_lock``, never the other way around.
+        self._admission_lock = threading.Lock()
         #: ticket id → record, insertion-ordered (retention evicts oldest
         #: terminal records first).
         self._records: dict[str, _TicketRecord] = {}
@@ -268,30 +273,6 @@ class GatewayServer:
                 ),
                 None,
             )
-        open_records = self._open_records()
-        open_for_client = sum(1 for r in open_records if r.client_id == client_id)
-        if open_for_client >= quota.max_active:
-            return (
-                self._reject(
-                    client_id,
-                    protocol.REJECT_QUOTA_EXCEEDED,
-                    self.retry_after,
-                    f"{open_for_client} tickets already open (quota "
-                    f"{quota.max_active})",
-                ),
-                None,
-            )
-        capacity = self.service.config.max_active + self.max_queue_depth
-        if len(open_records) >= capacity:
-            return (
-                self._reject(
-                    client_id,
-                    protocol.REJECT_SATURATED,
-                    self.retry_after,
-                    f"{len(open_records)} tickets in flight (capacity {capacity})",
-                ),
-                None,
-            )
         from repro.pipeline.request import ParseRequest
 
         try:
@@ -304,16 +285,58 @@ class GatewayServer:
                 None,
             )
         priority = int(message.get("priority", 0))
-        try:
-            ticket = self.service.submit(request, priority=priority, client=client_id)
-        except ServiceError as exc:
-            return {"type": protocol.ERROR, "code": "service_closed", "message": str(exc)}, None
-        record = _TicketRecord(ticket, client_id)
-        with self._lock:
-            self._records[ticket.id] = record
-            self._submitted_by_client[client_id] = (
-                self._submitted_by_client.get(client_id, 0) + 1
+        # One lock spans the capacity snapshot, the submit, and the record
+        # insertion: without it, N concurrent submits could all read the
+        # same snapshot, all pass, and exceed the documented caps.
+        # ``service.submit`` returns immediately (it only enqueues), so
+        # serializing it here costs nothing.
+        with self._admission_lock:
+            open_records = self._open_records()
+            open_for_client = sum(
+                1 for r in open_records if r.client_id == client_id
             )
+            if open_for_client >= quota.max_active:
+                return (
+                    self._reject(
+                        client_id,
+                        protocol.REJECT_QUOTA_EXCEEDED,
+                        self.retry_after,
+                        f"{open_for_client} tickets already open (quota "
+                        f"{quota.max_active})",
+                    ),
+                    None,
+                )
+            capacity = self.service.config.max_active + self.max_queue_depth
+            if len(open_records) >= capacity:
+                return (
+                    self._reject(
+                        client_id,
+                        protocol.REJECT_SATURATED,
+                        self.retry_after,
+                        f"{len(open_records)} tickets in flight "
+                        f"(capacity {capacity})",
+                    ),
+                    None,
+                )
+            try:
+                ticket = self.service.submit(
+                    request, priority=priority, client=client_id
+                )
+            except ServiceError as exc:
+                return (
+                    {
+                        "type": protocol.ERROR,
+                        "code": "service_closed",
+                        "message": str(exc),
+                    },
+                    None,
+                )
+            record = _TicketRecord(ticket, client_id)
+            with self._lock:
+                self._records[ticket.id] = record
+                self._submitted_by_client[client_id] = (
+                    self._submitted_by_client.get(client_id, 0) + 1
+                )
         self._evict_finished()
         reply = {
             "type": protocol.SUBMITTED,
@@ -447,7 +470,10 @@ class _ClientConnection:
                 frame_bytes = self.channel.last_frame_bytes
                 if not self._dispatch(message, frame_bytes):
                     return
-        except (ProtocolError, OSError, ValueError) as exc:
+        except (ProtocolError, OSError, ValueError, TypeError) as exc:
+            # TypeError covers valid-JSON-but-wrong-type fields (null or
+            # array where an int belongs: protocol, after_seq, priority) —
+            # the client still deserves an error reply, not a silent close.
             self._safe_send({"type": protocol.ERROR, "message": str(exc)})
         finally:
             self._close()

@@ -85,6 +85,18 @@ class TestAuthRegistry:
         assert client.quota == quota
         assert registry.authenticate(None).client_id == "anon"
 
+    def test_anonymous_cannot_claim_a_registered_client_id(self):
+        # The docstring's promise — "one client cannot impersonate
+        # another by naming it" — must hold from the anonymous side too:
+        # a token-less hello claiming a token-registered id is refused.
+        registry = AuthRegistry()
+        registry.register("s3cret", "alice")
+        with pytest.raises(AuthError, match="registered to a token"):
+            registry.authenticate(None, "alice")
+        # Non-colliding anonymous names and the token lane still work.
+        assert registry.authenticate(None, "bob").client_id == "bob"
+        assert registry.authenticate("s3cret").client_id == "alice"
+
     def test_anonymous_lane_can_be_disabled(self):
         registry = AuthRegistry(allow_anonymous=False)
         registry.register("s3cret", "alice")

@@ -123,6 +123,36 @@ class TestHandshake:
                 with connect(server, token="s3cret", client="mallory") as client:
                     assert client.client_id == "alice"  # token wins over claim
 
+    def test_anonymous_hello_cannot_impersonate_token_client(self):
+        # With the anonymous lane OPEN (the default), a token-less hello
+        # claiming a token-registered id must be refused at handshake —
+        # otherwise it could resume/fetch that client's tickets and
+        # pollute its quota and fair-share accounting.
+        auth = AuthRegistry()  # allow_anonymous=True
+        auth.register("s3cret", "alice")
+        with make_service() as service:
+            with GatewayServer(service, port=0, auth=auth) as server:
+                with connect(server, token="s3cret") as alice:
+                    ticket = alice.submit(snail_request(n_documents=2))
+                    alice.result(ticket, timeout=30)
+                with pytest.raises(GatewayError, match="registered to a token"):
+                    connect(server, client="alice")
+                # Non-colliding anonymous names are still welcome.
+                with connect(server, client="bob") as bob:
+                    assert bob.client_id == "bob"
+
+    def test_wrong_typed_hello_fields_get_an_error_reply(self, gateway):
+        # protocol: null is valid JSON but int() on it raises TypeError —
+        # the client must still get an error frame, not a silent close.
+        channel = self.raw_channel(gateway)
+        try:
+            channel.send({"type": protocol.HELLO, "protocol": None})
+            reply = channel.recv()
+            assert reply["type"] == protocol.ERROR
+            assert channel.recv() is None  # gateway hung up afterwards
+        finally:
+            channel.close()
+
 
 # ---------------------------------------------------------------------- #
 # Submission and event streaming
@@ -234,6 +264,73 @@ class TestBackpressure:
             # The connection survived: a sane submission still works.
             ticket = client.submit(snail_request(n_documents=2))
             client.result(ticket, timeout=30)
+
+    def test_wrong_typed_request_fields_error_not_silent_close(self, gateway):
+        # A submit whose priority is null (valid JSON, wrong type) must
+        # produce an error reply rather than an unhandled reader-thread
+        # traceback that closes the connection with no explanation.
+        sock = socket.create_connection(("127.0.0.1", gateway.port), timeout=5)
+        channel = MessageChannel(sock)
+        try:
+            channel.send(protocol.hello_message())
+            assert channel.recv()["type"] == protocol.HELLO_ACK
+            channel.send(
+                {
+                    "type": protocol.SUBMIT,
+                    "request": {"parser": "snail", "n_documents": 2},
+                    "priority": None,
+                }
+            )
+            reply = channel.recv()
+            assert reply["type"] == protocol.ERROR
+        finally:
+            channel.close()
+
+    def test_concurrent_submits_cannot_over_admit(self):
+        # The admission decision must be atomic: N submissions racing on
+        # separate connections may not all pass the same capacity
+        # snapshot and exceed max_active + max_queue_depth.
+        n_racers = 12
+        with make_service(max_active=1, sleep_seconds=0.5) as service:
+            with GatewayServer(service, port=0, max_queue_depth=2) as server:
+                server.auth.default_quota = ClientQuota(max_active=100)
+                capacity = 1 + 2
+                barrier = threading.Barrier(n_racers)
+                admitted: list[str] = []
+                rejected: list[int] = []
+                errors: list[BaseException] = []
+                lock = threading.Lock()
+
+                def race(i: int) -> None:
+                    try:
+                        with connect(server, client=f"racer-{i}") as client:
+                            barrier.wait(timeout=10)
+                            try:
+                                ticket = client.submit(
+                                    snail_request(n_documents=4, seed=100 + i)
+                                )
+                                with lock:
+                                    admitted.append(ticket.id)
+                            except GatewayRejected as exc:
+                                assert exc.reason == protocol.REJECT_SATURATED
+                                with lock:
+                                    rejected.append(i)
+                    except BaseException as exc:  # noqa: BLE001 - collected
+                        with lock:
+                            errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=race, args=(i,), daemon=True)
+                    for i in range(n_racers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=60)
+                assert not errors, errors[:3]
+                assert len(admitted) + len(rejected) == n_racers
+                assert len(admitted) <= capacity
+                assert server.stats()["submitted"] == len(admitted)
 
     def test_rejections_are_counted_in_stats(self, gateway):
         gateway.auth.default_quota = ClientQuota(max_active=1)
@@ -365,6 +462,68 @@ class TestManyClientsE2E:
         assert stats["rejected"] == 0
         assert len(stats["per_client"]) == self.N_CLIENTS
         assert service.describe()["completed"] == self.N_CLIENTS
+
+
+# ---------------------------------------------------------------------- #
+# Client robustness against a misbehaving gateway
+# ---------------------------------------------------------------------- #
+class TestClientRobustness:
+    def test_connect_times_out_when_server_never_answers_hello(self):
+        # A server that accepts TCP but never speaks must not hang
+        # connect() forever: the configured timeout covers the handshake.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)  # SYN queue completes the connect; we never accept
+        port = listener.getsockname()[1]
+        try:
+            client = GatewayClient("127.0.0.1", port, timeout=0.5)
+            started = time.monotonic()
+            with pytest.raises(GatewayError, match="handshake"):
+                client.connect()
+            assert time.monotonic() - started < 5.0
+        finally:
+            listener.close()
+
+    def test_unsolicited_error_frame_is_not_mistaken_for_a_reply(self):
+        # A connection-level error frame arriving with no RPC in flight
+        # must be dropped — not enqueued as the "reply" to the next
+        # unrelated request.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def serve() -> None:
+            sock, _ = listener.accept()
+            channel = MessageChannel(sock)
+            assert channel.recv()["type"] == protocol.HELLO
+            channel.send(
+                {
+                    "type": protocol.HELLO_ACK,
+                    "protocol": protocol.GATEWAY_PROTOCOL_VERSION,
+                    "client_id": "c",
+                    "quota": {},
+                }
+            )
+            # Unsolicited: nothing is awaiting a reply yet.
+            channel.send(
+                {"type": protocol.ERROR, "message": "background failure"}
+            )
+            request = channel.recv()
+            assert request["type"] == protocol.STATS
+            channel.send({"type": protocol.STATS, "submitted": 0})
+            channel.recv()  # wait for bye/close
+
+        server_thread = threading.Thread(target=serve, daemon=True)
+        server_thread.start()
+        try:
+            with GatewayClient("127.0.0.1", port, timeout=5) as client:
+                time.sleep(0.3)  # let the unsolicited frame arrive (and drop)
+                stats = client.stats()
+                assert stats["submitted"] == 0  # the real reply, not the error
+        finally:
+            listener.close()
+            server_thread.join(timeout=5)
 
 
 # ---------------------------------------------------------------------- #
