@@ -1,0 +1,162 @@
+"""Micro-benchmark: the cost of ``repro.obs`` on the instrumented hot path.
+
+Two measurements, both reported as higher-is-better ratios:
+
+* **pipeline_relative_throughput** — the same parse-dominated pipeline
+  run (per-batch spans, backend latency histograms, in-flight gauges on
+  every batch) timed with observability enabled vs fully disabled
+  (``metrics.set_enabled(False)`` + ``tracing.set_enabled(False)``).
+  ``disabled_time / enabled_time`` — 1.0 means free, 0.9 means 10%
+  overhead.  The tentpole promise is **< 10% overhead on real parse
+  work**, asserted here.  (A warm-cache pass is deliberately *not* the
+  assertion target: at ~µs/document its denominator is so small that
+  the ratio measures timer noise, not instrumentation cost.)
+* **instrument_relative_throughput** — a tight counter+histogram loop,
+  enabled vs disabled, measuring the primitive cost the registry's
+  ``enabled`` fast path is designed to bound.  Informational (a raw
+  metric update is orders of magnitude cheaper than a parse); gated
+  loosely so a pathological slowdown (e.g. lock on the disabled path)
+  still trips CI.
+
+Standalone (the CI regression-gate invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --json BENCH_obs.json
+
+``benchmarks/check_regression.py`` compares the ``metrics`` block
+against the committed baseline in ``benchmarks/baselines/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from time import perf_counter
+
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.obs import metrics, tracing
+from repro.pipeline import ParsePipeline, request_for_documents
+
+N_DOCUMENTS = 600
+BATCH_SIZE = 50
+ROUNDS = 5
+MAX_PIPELINE_OVERHEAD = 0.10  # the tentpole promise: < 10%
+INSTRUMENT_LOOP = 50_000
+
+
+def _set_obs(enabled: bool) -> None:
+    metrics.set_enabled(enabled)
+    tracing.set_enabled(enabled)
+
+
+def _time_pipeline(pipeline: ParsePipeline, documents, obs_enabled: bool) -> float:
+    _set_obs(obs_enabled)
+    request = request_for_documents(
+        "pymupdf", documents, batch_size=BATCH_SIZE, cache="off"
+    )
+    if obs_enabled:
+        with tracing.activate(tracing.TraceContext.new()):
+            started = perf_counter()
+            pipeline.run(request)
+            return perf_counter() - started
+    started = perf_counter()
+    pipeline.run(request)
+    return perf_counter() - started
+
+
+def _time_instruments(obs_enabled: bool) -> float:
+    registry = metrics.MetricsRegistry(enabled=obs_enabled)
+    counter = registry.counter("bench_ops_total", labelnames=("kind",))
+    histogram = registry.histogram("bench_lat_seconds")
+    started = perf_counter()
+    for i in range(INSTRUMENT_LOOP):
+        counter.inc(kind="a")
+        histogram.observe(0.001 * (i & 7))
+    return perf_counter() - started
+
+
+def run_overhead_sweep(
+    n_documents: int = N_DOCUMENTS, registry=None
+) -> dict[str, float]:
+    """Enabled/disabled passes; best-of-N per mode (and asserts)."""
+    corpus = build_corpus(
+        CorpusConfig(n_documents=n_documents, seed=53, min_pages=4, max_pages=10)
+    )
+    documents = list(corpus)
+    pipeline = ParsePipeline(registry)
+    try:
+        # One warm-up pass so both modes measure the same steady state
+        # (parser registries built, pools spun up).  The timed rounds
+        # *interleave* the two modes and keep the per-mode minimum:
+        # machine-load drift then hits both modes alike instead of
+        # masquerading as instrumentation overhead.
+        _time_pipeline(pipeline, documents, obs_enabled=True)
+
+        enabled_times: list[float] = []
+        disabled_times: list[float] = []
+        for _ in range(ROUNDS):
+            enabled_times.append(_time_pipeline(pipeline, documents, True))
+            disabled_times.append(_time_pipeline(pipeline, documents, False))
+        enabled_s = min(enabled_times)
+        disabled_s = min(disabled_times)
+        instr_enabled_s = min(_time_instruments(True) for _ in range(ROUNDS))
+        instr_disabled_s = min(_time_instruments(False) for _ in range(ROUNDS))
+    finally:
+        _set_obs(True)
+
+    overhead = enabled_s / disabled_s - 1.0
+    assert overhead < MAX_PIPELINE_OVERHEAD, (
+        f"observability adds {overhead:.1%} to the warm pipeline path "
+        f"(enabled {enabled_s:.3f}s vs disabled {disabled_s:.3f}s); "
+        f"the budget is {MAX_PIPELINE_OVERHEAD:.0%}"
+    )
+    return {
+        "enabled_s": enabled_s,
+        "disabled_s": disabled_s,
+        "overhead": overhead,
+        "pipeline_relative_throughput": disabled_s / enabled_s,
+        "instrument_relative_throughput": instr_disabled_s / instr_enabled_s,
+        "instrument_enabled_ops_per_s": 2 * INSTRUMENT_LOOP / instr_enabled_s,
+    }
+
+
+def row_to_metrics(row: dict[str, float]) -> dict[str, float]:
+    """The machine-portable metrics the CI regression gate compares.
+
+    Both are same-machine enabled-vs-disabled ratios (≈ 1.0 when the
+    instrumentation is cheap), higher-is-better by construction.
+    """
+    return {
+        "pipeline_relative_throughput": float(row["pipeline_relative_throughput"]),
+        "instrument_relative_throughput": float(row["instrument_relative_throughput"]),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=N_DOCUMENTS)
+    parser.add_argument(
+        "--json",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write {'benchmark', 'metrics'} JSON for check_regression.py",
+    )
+    args = parser.parse_args()
+    row = run_overhead_sweep(n_documents=args.documents)
+    print(
+        f"pipeline: enabled {row['enabled_s']:.3f}s, "
+        f"disabled {row['disabled_s']:.3f}s "
+        f"(overhead {row['overhead']:+.1%}); "
+        f"instruments {row['instrument_enabled_ops_per_s'] / 1e6:.2f}M ops/s "
+        f"(relative {row['instrument_relative_throughput']:.2f})"
+    )
+    if args.json:
+        payload = {"benchmark": "obs_overhead", "metrics": row_to_metrics(row)}
+        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,10 @@ PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
 * :mod:`repro.gateway` — the networked submission frontend: remote
   clients submit requests over TCP (auth tokens, quotas, backpressure)
   onto one shared parse service, streaming progress events back live.
+* :mod:`repro.obs` — the observability layer: a process-wide metrics
+  registry (Prometheus-style exposition), distributed tracing with span
+  trees across gateway/service/backend/worker, and structured logging
+  for the daemons.
 
 The two-line tour::
 
@@ -72,6 +76,7 @@ _LAZY_EXPORTS: dict[str, str] = {
     "GatewayClient": "repro.gateway.client:GatewayClient",
     "GatewayServer": "repro.gateway.server:GatewayServer",
     "gateway": "repro.gateway",
+    "obs": "repro.obs",
     "ParsePipeline": "repro.pipeline.pipeline:ParsePipeline",
     "ParseReport": "repro.pipeline.report:ParseReport",
     "ParseRequest": "repro.pipeline.request:ParseRequest",

@@ -3,6 +3,9 @@
 Counters are accumulated through a thread-safe :class:`CacheStatsRecorder`
 (the pipeline's worker threads all report into one recorder per run) and
 snapshotted into an immutable-ish :class:`CacheStats` value for the report.
+The same record calls also feed the process-wide :mod:`repro.obs.metrics`
+registry, so per-run report stats and the global ``repro_cache_*`` series
+can never drift apart.
 """
 
 from __future__ import annotations
@@ -10,6 +13,31 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from typing import Any
+
+from repro.obs import metrics as _metrics
+
+_CACHE_HITS = _metrics.counter(
+    "repro_cache_hits_total", "Documents served from the parse cache."
+)
+_CACHE_MISSES = _metrics.counter(
+    "repro_cache_misses_total", "Documents that had to be parsed (cache miss)."
+)
+_CACHE_COALESCED = _metrics.counter(
+    "repro_cache_coalesced_total",
+    "Documents deduplicated by the single-flight guard.",
+)
+_CACHE_STORES = _metrics.counter(
+    "repro_cache_stores_total", "Entries written to the parse cache."
+)
+_CACHE_BYTES = _metrics.counter(
+    "repro_cache_bytes_total",
+    "Serialised entry bytes moved from/to the disk tier.",
+    ("direction",),
+)
+_CACHE_TIME_SAVED = _metrics.counter(
+    "repro_cache_time_saved_seconds_total",
+    "Wall-clock parse cost the cache avoided repeating.",
+)
 
 
 @dataclass
@@ -107,20 +135,32 @@ class CacheStatsRecorder:
             self._stats.hits += 1
             self._stats.time_saved_seconds += time_saved_seconds
             self._stats.bytes_read += bytes_read
+        _CACHE_HITS.inc()
+        if time_saved_seconds:
+            _CACHE_TIME_SAVED.inc(time_saved_seconds)
+        if bytes_read:
+            _CACHE_BYTES.inc(bytes_read, direction="read")
 
     def record_miss(self) -> None:
         with self._lock:
             self._stats.misses += 1
+        _CACHE_MISSES.inc()
 
     def record_coalesced(self, time_saved_seconds: float = 0.0) -> None:
         with self._lock:
             self._stats.coalesced += 1
             self._stats.time_saved_seconds += time_saved_seconds
+        _CACHE_COALESCED.inc()
+        if time_saved_seconds:
+            _CACHE_TIME_SAVED.inc(time_saved_seconds)
 
     def record_store(self, bytes_written: int = 0) -> None:
         with self._lock:
             self._stats.stores += 1
             self._stats.bytes_written += bytes_written
+        _CACHE_STORES.inc()
+        if bytes_written:
+            _CACHE_BYTES.inc(bytes_written, direction="written")
 
     def snapshot(self) -> CacheStats:
         """An independent copy of the counters so far."""

@@ -56,6 +56,16 @@ placement/dedup summary; ``worker`` is the long-running daemon mode)::
     adaparse-repro pipeline --documents 100 --backend remote \
         --backend-opt workers=127.0.0.1:9101,127.0.0.1:9102
 
+Observability: scrape a live gateway's metrics (Prometheus text or JSON)
+and pretty-print one ticket's distributed span tree::
+
+    adaparse-repro obs metrics --host 127.0.0.1 --port 9900
+    adaparse-repro obs trace TICKET-ID --port 9900
+
+The daemon subcommands (``serve``/``gateway``/``worker``/``cluster``)
+accept ``--log-level`` and ``--log-json``; structured logs go to stderr,
+leaving stdout for machine-readable output (the ready line, reports).
+
 Splice the benchmark harness's measured results into ``EXPERIMENTS.md``::
 
     adaparse-repro fill-experiments
@@ -150,6 +160,31 @@ def _backend_options_with_jobs_alias(args: argparse.Namespace, flag: str = "--jo
             options.setdefault("n_jobs", jobs)
     _validate_backend_spec_or_exit(getattr(args, "backend", "auto"), options)
     return options
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """The daemon logging flags (see :mod:`repro.obs.logging`)."""
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default="info",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="structured-log threshold (diagnostics go to stderr)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as NDJSON (one JSON object per line) instead of text",
+    )
+
+
+def _setup_logging(args: argparse.Namespace) -> None:
+    from repro.obs import logging as obs_logging
+
+    obs_logging.setup(
+        level=getattr(args, "log_level", "info"),
+        json_mode=bool(getattr(args, "log_json", False)),
+    )
 
 
 def _add_backend_arguments(
@@ -418,6 +453,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
     from repro.serve import ParseService, ServiceConfig
 
+    _setup_logging(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     if args.parser in ENGINE_VARIANTS:
@@ -577,9 +613,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     import os
 
     from repro.gateway import AuthRegistry, ClientQuota, GatewayServer
+    from repro.obs.logging import get_logger, log_event
     from repro.pipeline import ParsePipeline
     from repro.serve import ParseService, ServiceConfig
 
+    _setup_logging(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     quota = ClientQuota(
@@ -608,25 +646,31 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         retry_after=args.retry_after,
     )
     gateway.start()
-    # The machine-readable ready line: clients (and spawning scripts) read
-    # the bound address from here, so --port 0 just works.
-    print(
-        json.dumps(
-            {
-                "event": "listening",
-                "address": gateway.address,
-                "pid": os.getpid(),
-                "backend": args.backend,
-                "max_active": args.max_active,
-                "max_queue_depth": args.max_queue_depth,
-                "tokens": auth.n_tokens,
-                "anonymous": auth.allow_anonymous,
-            }
-        ),
-        flush=True,
-    )
     with _GracefulShutdown():
         try:
+            # The machine-readable ready line: clients (and spawning
+            # scripts) read the bound address from here, so --port 0 just
+            # works.  It is the ONLY stdout output of the daemon — every
+            # diagnostic (and the final stopped summary) goes to stderr
+            # through the structured logger, so a pipe reader can
+            # readline() stdout without parsing around chatter.  Printed
+            # inside the graceful-shutdown scope: a supervisor may SIGTERM
+            # the instant it sees this line.
+            print(
+                json.dumps(
+                    {
+                        "event": "listening",
+                        "address": gateway.address,
+                        "pid": os.getpid(),
+                        "backend": args.backend,
+                        "max_active": args.max_active,
+                        "max_queue_depth": args.max_queue_depth,
+                        "tokens": auth.n_tokens,
+                        "anonymous": auth.allow_anonymous,
+                    }
+                ),
+                flush=True,
+            )
             gateway.serve_forever()
         except KeyboardInterrupt:
             pass
@@ -635,7 +679,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     gateway.stop(drain=True)
     stats = gateway.stats()
     service.close()
-    print(json.dumps({"event": "stopped", **stats}), flush=True)
+    log_event(get_logger("cli.gateway"), "info", "stopped", **stats)
     return 0
 
 
@@ -644,7 +688,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     import os
 
     from repro.cluster.worker import WorkerDaemon
+    from repro.obs.logging import get_logger, log_event
 
+    _setup_logging(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     cache = None
@@ -663,23 +709,28 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         heartbeat_interval=args.heartbeat_interval,
     )
     daemon.start()
-    # The machine-readable ready line: `cluster` (and any spawner) reads
-    # the bound address from here, so --port 0 just works.
-    print(
-        json.dumps(
-            {
-                "event": "listening",
-                "address": daemon.address,
-                "worker_id": daemon.name,
-                "pid": os.getpid(),
-                "backend": args.backend,
-                "cache": bool(cache),
-            }
-        ),
-        flush=True,
-    )
     with _GracefulShutdown():
         try:
+            # The machine-readable ready line: `cluster` (and any spawner)
+            # reads the bound address from here, so --port 0 just works.
+            # As with the gateway daemon, this line is the only stdout
+            # output — diagnostics (and the final stopped summary) go to
+            # stderr via the logger.  Printed inside the graceful-shutdown
+            # scope so an immediate SIGTERM from the spawner still exits
+            # gracefully.
+            print(
+                json.dumps(
+                    {
+                        "event": "listening",
+                        "address": daemon.address,
+                        "worker_id": daemon.name,
+                        "pid": os.getpid(),
+                        "backend": args.backend,
+                        "cache": bool(cache),
+                    }
+                ),
+                flush=True,
+            )
             daemon.serve_forever()
         except KeyboardInterrupt:
             pass
@@ -688,7 +739,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     daemon.stop(drain=True)
     if cache is not None:
         cache.flush()
-    print(json.dumps({"event": "stopped", **daemon.describe()}), flush=True)
+    log_event(get_logger("cli.worker"), "info", "stopped", **daemon.describe())
     return 0
 
 
@@ -706,6 +757,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
 
+    _setup_logging(args)
     procs: list[subprocess.Popen] = []
     addresses: list[str] = []
     try:
@@ -803,6 +855,85 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait(timeout=5)
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    """Dump a metrics registry: this process's, or a live gateway's.
+
+    Without ``--host`` the local process-default registry is rendered —
+    mostly useful from tests and embedding code; the interesting mode is
+    ``--host/--port``, which scrapes a running ``repro gateway`` daemon
+    over the METRICS protocol message.
+    """
+    if args.host:
+        from repro.gateway import GatewayClient, GatewayError
+
+        try:
+            with GatewayClient(
+                args.host, args.port, token=args.token or None, client=args.client
+            ) as client:
+                payload = client.metrics(format="json" if args.json else "text")
+        except (GatewayError, OSError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(str(payload))
+            sys.stdout.flush()
+        return 0
+    from repro.obs import metrics as obs_metrics
+
+    if args.json:
+        print(json.dumps(obs_metrics.snapshot(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(obs_metrics.render_text())
+        sys.stdout.flush()
+    return 0
+
+
+def _format_span_tree(roots: list, indent: str = "") -> list[str]:
+    """Render ``build_tree`` output as an indented duration-annotated tree."""
+    lines: list[str] = []
+    for node in roots:
+        duration_ms = float(node.get("duration_s") or 0.0) * 1000.0
+        attributes = node.get("attributes") or {}
+        attr_text = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(attributes.items()))
+            if attributes
+            else ""
+        )
+        status = node.get("status", "ok")
+        flag = "" if status == "ok" else f" [{status}]"
+        lines.append(
+            f"{indent}{node.get('name', '?')}  {duration_ms:.1f}ms{flag}{attr_text}"
+        )
+        lines.extend(_format_span_tree(node.get("children") or [], indent + "  "))
+    return lines
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Fetch and pretty-print one ticket's distributed span tree."""
+    from repro.gateway import GatewayClient, GatewayError
+    from repro.obs.tracing import build_tree
+
+    try:
+        with GatewayClient(
+            args.host, args.port, token=args.token or None, client=args.client
+        ) as client:
+            payload = client.trace(args.ticket_id)
+    except (GatewayError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    spans = payload.get("spans") or []
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"ticket {payload.get('ticket_id')}  trace {payload.get('trace_id')}  "
+        f"state {payload.get('state')}  ({len(spans)} span(s))"
+    )
+    for line in _format_span_tree(build_tree(spans)):
+        print(line)
+    return 0
 
 
 def _cmd_fill_experiments(args: argparse.Namespace) -> int:
@@ -983,6 +1114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "showcasing cross-request single-flight)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress the NDJSON event stream")
+    _add_logging_arguments(serve)
     _add_backend_arguments(serve, default="async")
     serve.add_argument(
         "--cache",
@@ -1104,6 +1236,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024 * 1024,
         help="largest submit frame accepted from one client",
     )
+    _add_logging_arguments(gateway)
     _add_backend_arguments(gateway, default="async")
     gateway.add_argument(
         "--cache-dir",
@@ -1135,6 +1268,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--heartbeat-interval", type=float, default=1.0, help="liveness beacon period (s)"
     )
+    _add_logging_arguments(worker)
     _add_backend_arguments(worker, default="serial")
     worker.add_argument(
         "--cache-dir",
@@ -1201,7 +1335,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root: coordinator cache plus per-worker subdirectories",
     )
     cluster.add_argument("--output", type=str, default="", help="write the summary JSON here")
+    _add_logging_arguments(cluster)
     cluster.set_defaults(func=_cmd_cluster)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tools: metrics exposition and distributed trace trees",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_metrics = obs_sub.add_parser(
+        "metrics",
+        help="dump a metrics registry (local process, or a live gateway "
+        "with --host/--port)",
+    )
+    obs_metrics.add_argument(
+        "--host", type=str, default="", help="scrape a running gateway at this address"
+    )
+    obs_metrics.add_argument("--port", type=int, default=0, help="gateway port (with --host)")
+    obs_metrics.add_argument("--token", type=str, default="", help="gateway auth token")
+    obs_metrics.add_argument("--client", type=str, default="obs-cli", help="client identity")
+    obs_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="JSON snapshot instead of Prometheus text exposition",
+    )
+    obs_metrics.set_defaults(func=_cmd_obs_metrics)
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="pretty-print the recorded span tree of one gateway ticket",
+    )
+    obs_trace.add_argument("ticket_id", type=str, help="ticket id (from SUBMITTED/submit output)")
+    obs_trace.add_argument("--host", type=str, default="127.0.0.1", help="gateway address")
+    obs_trace.add_argument("--port", type=int, required=True, help="gateway port")
+    obs_trace.add_argument("--token", type=str, default="", help="gateway auth token")
+    obs_trace.add_argument(
+        "--client",
+        type=str,
+        default="cli",
+        help="client identity (must own the ticket; default matches `repro submit`)",
+    )
+    obs_trace.add_argument("--json", action="store_true", help="raw JSON instead of the tree")
+    obs_trace.set_defaults(func=_cmd_obs_trace)
 
     fill = sub.add_parser(
         "fill-experiments",

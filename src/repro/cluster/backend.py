@@ -35,6 +35,7 @@ from typing import Any, Callable, Sequence, TypeVar
 
 from repro.cluster.coordinator import ClusterCoordinator, ClusterError
 from repro.cluster.protocol import WorkerSpec
+from repro.obs import tracing as _tracing
 from repro.pipeline.backends.base import (
     BackendError,
     BackendSpec,
@@ -187,11 +188,15 @@ class RemoteBackend(ThreadBackend):
         coordinator = self._ensure_coordinator()
 
         def remote(batch: _T) -> _R:
-            future = coordinator.submit(spec, batch)  # type: ignore[arg-type]
-            try:
-                return future.result()  # type: ignore[return-value]
-            except ClusterError as exc:
-                raise BackendError(str(exc)) from exc
+            # submit() adopts the calling thread's active trace, so the
+            # shard frame carries it to the worker; the span here times the
+            # full round trip (queueing, transfer, remote parse, reply).
+            with _tracing.span("cluster.shard", attributes={"backend": self.name}):
+                future = coordinator.submit(spec, batch)  # type: ignore[arg-type]
+                try:
+                    return future.result()  # type: ignore[return-value]
+                except ClusterError as exc:
+                    raise BackendError(str(exc)) from exc
 
         return remote
 

@@ -53,10 +53,32 @@ from repro.cluster.protocol import (
 from repro.core.engine import RoutingDecision
 from repro.documents.document import SciDocument
 from repro.documents.simpdf import document_to_dict
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.logging import get_logger, log_event
+from repro.obs.tracing import TraceContext
 from repro.parsers.base import ParseResult
 
 #: Thread-name prefix of coordinator-owned threads (readers + monitor).
 COORDINATOR_THREAD_PREFIX = "repro-cluster-coord"
+
+_LOG = get_logger("cluster")
+
+_CLUSTER_SHARDS = _metrics.counter(
+    "repro_cluster_shards_total",
+    "Shard outcomes observed by the coordinator "
+    "(completed/failed/reassigned/duplicate).",
+    ("outcome",),
+)
+_CLUSTER_WORKERS_LOST = _metrics.counter(
+    "repro_cluster_workers_lost_total",
+    "Workers declared dead (EOF, reset, or heartbeat timeout).",
+)
+_CLUSTER_BYTES = _metrics.gauge(
+    "repro_cluster_bytes_on_wire",
+    "Total bytes sent/received across all worker links.",
+    ("direction",),
+)
 
 #: One shard's resolved output.
 ShardOutput = tuple[list[ParseResult], list[RoutingDecision]]
@@ -109,10 +131,15 @@ class _Shard:
         "attempts",
         "excluded_workers",
         "assigned_worker",
+        "trace",
     )
 
     def __init__(
-        self, shard_id: str, spec: WorkerSpec, documents: list[SciDocument]
+        self,
+        shard_id: str,
+        spec: WorkerSpec,
+        documents: list[SciDocument],
+        trace: TraceContext | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.spec = spec
@@ -123,6 +150,7 @@ class _Shard:
         self.attempts = 0
         self.excluded_workers: set[str] = set()
         self.assigned_worker: str | None = None
+        self.trace = trace
 
 
 class _WorkerLink:
@@ -291,13 +319,25 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Submission and placement
     # ------------------------------------------------------------------ #
-    def submit(self, spec: WorkerSpec, documents: Iterable[SciDocument]) -> ShardFuture:
-        """Plan one shard onto the cluster; returns its future immediately."""
+    def submit(
+        self,
+        spec: WorkerSpec,
+        documents: Iterable[SciDocument],
+        trace: TraceContext | None = None,
+    ) -> ShardFuture:
+        """Plan one shard onto the cluster; returns its future immediately.
+
+        ``trace`` (default: the caller's active trace) rides the
+        ``submit_shard`` frame so worker-side spans join the submitting
+        request's distributed trace.
+        """
         batch = list(documents)
+        if trace is None:
+            trace = _tracing.current_trace()
         with self._lock:
             if self._closed:
                 raise ClusterError("coordinator is closed")
-            shard = _Shard(f"s{self._next_shard:06d}", spec, batch)
+            shard = _Shard(f"s{self._next_shard:06d}", spec, batch, trace=trace)
             self._next_shard += 1
             self._shards[shard.shard_id] = shard
             self.counters["shards_submitted"] += 1
@@ -391,6 +431,8 @@ class ClusterCoordinator:
                 "spec": shard.spec.to_json_dict(),
                 "docs": descriptors,
             }
+            if shard.trace is not None:
+                message["trace"] = shard.trace.to_json_dict()
             try:
                 link.channel.send(message)
             except MessageTooLarge as exc:
@@ -463,7 +505,15 @@ class ClusterCoordinator:
                 sends = self._pump_locked()
         self._send_planned(sends)
         if shard is None:
+            _CLUSTER_SHARDS.inc(outcome="duplicate")
             return
+        _CLUSTER_SHARDS.inc(outcome="completed")
+        # Worker-side spans ride the result frame; ingesting them into the
+        # coordinator process's recorder is what joins worker execution
+        # into the submitting request's trace tree.
+        worker_spans = message.get("spans")
+        if isinstance(worker_spans, list) and worker_spans:
+            _tracing.default_recorder().ingest(worker_spans)
         try:
             output = protocol.parse_batch_result(message)
         except (KeyError, TypeError, ValueError) as exc:
@@ -525,6 +575,13 @@ class ClusterCoordinator:
         self._send_planned(sends)
         if shard is None:
             return
+        _CLUSTER_SHARDS.inc(outcome="failed")
+        log_event(
+            _LOG, "warning", "shard_failed",
+            shard_id=shard_id, worker=link.worker_id,
+            code=message.get("code", "error"),
+            trace_id=shard.trace.trace_id if shard.trace is not None else None,
+        )
         shard.future.set_exception(
             ClusterError(
                 f"shard {shard_id} failed on worker {link.worker_id} "
@@ -536,6 +593,7 @@ class ClusterCoordinator:
     # Fault handling
     # ------------------------------------------------------------------ #
     def _on_worker_death(self, link: _WorkerLink, reason: str) -> None:
+        reassigned = 0
         with self._lock:
             if not link.alive:
                 return
@@ -553,10 +611,19 @@ class ClusterCoordinator:
                 shard.excluded_workers.add(link.worker_id)
                 if not closing:
                     self.counters["shards_reassigned"] += 1
+                    reassigned += 1
                 self._place_locked(shard)
             if not closing:
                 sends = self._pump_locked()
         link.channel.close()
+        if not closing:
+            _CLUSTER_WORKERS_LOST.inc()
+            if reassigned:
+                _CLUSTER_SHARDS.inc(reassigned, outcome="reassigned")
+            log_event(
+                _LOG, "warning", "worker_lost",
+                worker=link.worker_id, reason=reason, shards_reassigned=reassigned,
+            )
         self._send_planned(sends)
 
     def _monitor_loop(self) -> None:
@@ -582,6 +649,8 @@ class ClusterCoordinator:
             stats["bytes_received"] = sum(
                 link.channel.bytes_received for link in self._links
             )
+        _CLUSTER_BYTES.set(stats["bytes_sent"], direction="sent")
+        _CLUSTER_BYTES.set(stats["bytes_received"], direction="received")
         return stats
 
     def workers(self) -> list[dict[str, Any]]:

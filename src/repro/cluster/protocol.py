@@ -23,7 +23,12 @@ Message types
     reproduce) plus the documents as **content-hash-addressed
     descriptors**.  Payloads are only attached for hashes the coordinator
     has not shipped to this worker before; a cache- or store-warm worker
-    resolves the rest locally and skips the re-transfer entirely.
+    resolves the rest locally and skips the re-transfer entirely.  An
+    optional ``trace`` field carries the submitting request's
+    :class:`~repro.obs.tracing.TraceContext` as JSON so worker-side spans
+    join the same distributed trace; workers that predate tracing ignore
+    it (and coordinators tolerate replies without ``spans``), which is
+    why this needs no protocol version bump.
 ``shard_need``
     The worker's response when descriptors arrived hash-only and it holds
     neither the document nor a cached parse: the list of content hashes
@@ -163,9 +168,17 @@ def batch_result_message(
     elapsed_seconds: float,
     cache_hits: int = 0,
     cache_misses: int = 0,
+    spans: "list[dict[str, Any]] | None" = None,
 ) -> dict[str, Any]:
-    """Build a ``batch_result`` message from worker-side objects."""
-    return {
+    """Build a ``batch_result`` message from worker-side objects.
+
+    ``spans`` optionally ships the worker-side span records of this
+    shard's trace (the :class:`~repro.obs.SpanRecorder` schema) back to
+    the coordinator, which ingests them into its own recorder — that is
+    how one ``obs trace`` tree shows worker execution.  The field is
+    version-tolerant: old coordinators ignore it.
+    """
+    message = {
         "type": BATCH_RESULT,
         "shard_id": shard_id,
         "worker_id": worker_id,
@@ -175,6 +188,9 @@ def batch_result_message(
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
     }
+    if spans:
+        message["spans"] = list(spans)
+    return message
 
 
 def parse_batch_result(

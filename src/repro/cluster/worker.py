@@ -49,10 +49,15 @@ from repro.cluster.protocol import (
 )
 from repro.documents.document import SciDocument
 from repro.documents.simpdf import document_from_dict
+from repro.obs import tracing as _tracing
+from repro.obs.logging import get_logger, log_event
+from repro.obs.tracing import SpanRecorder, TraceContext
 from repro.parsers.base import ParseResult
 
 #: Thread-name prefix of daemon-owned threads (accept/reader/slots/heartbeat).
 WORKER_THREAD_PREFIX = "repro-cluster-worker"
+
+_LOG = get_logger("cluster.worker")
 
 
 class SpecError(RuntimeError):
@@ -66,14 +71,19 @@ class SpecError(RuntimeError):
 class _ShardJob:
     """One shard queued for execution on the slot pool."""
 
-    __slots__ = ("shard_id", "spec", "descriptors")
+    __slots__ = ("shard_id", "spec", "descriptors", "trace")
 
     def __init__(
-        self, shard_id: str, spec: WorkerSpec, descriptors: list[dict[str, Any]]
+        self,
+        shard_id: str,
+        spec: WorkerSpec,
+        descriptors: list[dict[str, Any]],
+        trace: TraceContext | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.spec = spec
         self.descriptors = descriptors
+        self.trace = trace
 
 
 class WorkerDaemon:
@@ -210,6 +220,10 @@ class WorkerDaemon:
             daemon=True,
         )
         self._accept_thread.start()
+        log_event(
+            _LOG, "info", "listening",
+            worker=self.name, host=self._host, port=self.port,
+        )
         return self
 
     def _accept_loop(self) -> None:
@@ -604,7 +618,9 @@ class _ConnectionHandler:
         docs = list(message.get("docs", []))
         self.daemon._store_documents(docs)
         missing = self.daemon.missing_hashes(spec, docs)
-        job = _ShardJob(shard_id, spec, docs)
+        job = _ShardJob(
+            shard_id, spec, docs, trace=TraceContext.from_wire(message.get("trace"))
+        )
         if missing:
             with self._pending_lock:
                 self._pending[shard_id] = job
@@ -658,10 +674,32 @@ class _ConnectionHandler:
 
     def _run_job(self, job: _ShardJob) -> None:
         started = perf_counter()
+        # When the shard carries a trace, record worker-side spans into a
+        # private recorder (not the process default — shards from many
+        # coordinators share this daemon) and ship them with the result.
+        recorder: SpanRecorder | None = None
+        if job.trace is not None and _tracing.enabled():
+            recorder = SpanRecorder()
         try:
-            results, decisions, hits, misses = self.daemon.run_shard(
-                job.spec, job.descriptors
-            )
+            if recorder is not None:
+                assert job.trace is not None
+                with _tracing.use_recorder(recorder):
+                    with _tracing.activate(job.trace):
+                        with _tracing.span(
+                            "worker.shard",
+                            attributes={
+                                "shard_id": job.shard_id,
+                                "worker": self.daemon.name,
+                                "n_documents": len(job.descriptors),
+                            },
+                        ):
+                            results, decisions, hits, misses = self.daemon.run_shard(
+                                job.spec, job.descriptors
+                            )
+            else:
+                results, decisions, hits, misses = self.daemon.run_shard(
+                    job.spec, job.descriptors
+                )
         except SpecError as exc:
             self.daemon._bump("shards_failed")
             self._safe_send(
@@ -685,6 +723,11 @@ class _ConnectionHandler:
             )
             return
         self.daemon._bump("shards_completed")
+        log_event(
+            _LOG, "debug", "shard_completed",
+            shard_id=job.shard_id, cache_hits=hits, cache_misses=misses,
+            trace_id=job.trace.trace_id if job.trace is not None else None,
+        )
         message = protocol.batch_result_message(
             job.shard_id,
             results,
@@ -693,6 +736,11 @@ class _ConnectionHandler:
             elapsed_seconds=perf_counter() - started,
             cache_hits=hits,
             cache_misses=misses,
+            spans=(
+                recorder.spans(job.trace.trace_id)
+                if recorder is not None and job.trace is not None
+                else None
+            ),
         )
         try:
             self.channel.send(message)

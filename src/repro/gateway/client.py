@@ -30,6 +30,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.gateway import protocol
 from repro.gateway.protocol import MessageChannel, ProtocolError
+from repro.obs import tracing as _tracing
 from repro.serve.events import ProgressEvent
 
 
@@ -71,8 +72,11 @@ class RemoteTicket:
     like the in-process :meth:`ParseTicket.events`.
     """
 
-    def __init__(self, ticket_id: str) -> None:
+    def __init__(self, ticket_id: str, trace_id: str | None = None) -> None:
         self.id = ticket_id
+        #: Trace id the gateway assigned (``None`` against a gateway
+        #: predating tracing); also present in every event payload.
+        self.trace_id = trace_id
         self._cond = threading.Condition()
         self._events: list[ProgressEvent] = []
         self._lost = False
@@ -349,7 +353,12 @@ class GatewayClient:
             if hasattr(request, "to_json_dict")
             else dict(request)
         )
-        reply = self._rpc(protocol.submit_message(payload, priority))
+        # Propagate the caller's active trace (if any) so the gateway
+        # continues it instead of minting a new trace id; old gateways
+        # ignore the field.
+        current = _tracing.current_trace()
+        trace = current.to_json_dict() if current is not None else None
+        reply = self._rpc(protocol.submit_message(payload, priority, trace=trace))
         return self._accept_ticket(reply)
 
     def resume(self, ticket_id: str, after_seq: int = -1) -> RemoteTicket:
@@ -361,7 +370,13 @@ class GatewayClient:
     def _accept_ticket(self, reply: dict[str, Any]) -> RemoteTicket:
         kind = reply.get("type")
         if kind == protocol.SUBMITTED:
-            return self._register(RemoteTicket(str(reply["ticket_id"])))
+            trace_id = reply.get("trace_id")
+            return self._register(
+                RemoteTicket(
+                    str(reply["ticket_id"]),
+                    trace_id=str(trace_id) if trace_id is not None else None,
+                )
+            )
         if kind == protocol.REJECTED:
             raise GatewayRejected(
                 str(reply.get("reason", "unknown")),
@@ -413,3 +428,35 @@ class GatewayClient:
             )
         reply.pop("type", None)
         return reply
+
+    def trace(self, ticket: RemoteTicket | str) -> dict[str, Any]:
+        """Fetch the recorded span list of one of this client's tickets.
+
+        Returns ``{"ticket_id", "trace_id", "state", "spans"}`` — render
+        the spans with :func:`repro.obs.tracing.build_tree` or ``repro
+        obs trace``.  Raises :class:`GatewayError` for an unknown or
+        foreign ticket.
+        """
+        ticket_id = ticket.id if isinstance(ticket, RemoteTicket) else ticket
+        reply = self._rpc(protocol.trace_message(ticket_id))
+        if reply.get("type") != protocol.TRACE_RESULT:
+            raise GatewayError(
+                str(reply.get("message", f"unexpected reply: {reply!r}"))
+            )
+        reply.pop("type", None)
+        return reply
+
+    def metrics(self, format: str = "json") -> dict[str, Any] | str:
+        """Scrape the gateway's metrics registry.
+
+        ``format="json"`` returns the snapshot dict; ``format="text"``
+        returns the Prometheus exposition string.
+        """
+        reply = self._rpc(protocol.metrics_message(format))
+        if reply.get("type") != protocol.METRICS_RESULT:
+            raise GatewayError(
+                str(reply.get("message", f"unexpected reply: {reply!r}"))
+            )
+        if format == "text":
+            return str(reply.get("text", ""))
+        return dict(reply.get("metrics") or {})

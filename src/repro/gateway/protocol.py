@@ -39,6 +39,16 @@ Message types
     Gateway-level metrics: active/queued/rejected per client, bytes
     in/out, and the event-backlog high-water mark.  Sent as a request
     (no extra fields) and answered with the counters filled in.
+``trace`` / ``trace_result``
+    Distributed-tracing lookup: the client names a ticket id it owns and
+    the gateway answers with that ticket's recorded span list (the
+    :class:`repro.obs.SpanRecorder` schema) plus its trace id.  ``repro
+    obs trace`` renders the reply as a span tree.
+``metrics`` / ``metrics_result``
+    Dump the gateway process's metrics registry — ``format`` selects
+    Prometheus text exposition (``"text"``) or the JSON snapshot
+    (``"json"``).  This is how ``repro obs metrics --host …`` scrapes a
+    live gateway.
 ``error``
     A failed request/reply exchange (unknown ticket, unauthorized
     resume, unfinished result) or a fatal connection-level failure.
@@ -79,6 +89,10 @@ RESUME = "resume"
 FETCH_RESULT = "fetch_result"
 RESULT = "result"
 STATS = "stats"
+TRACE = "trace"
+TRACE_RESULT = "trace_result"
+METRICS = "metrics"
+METRICS_RESULT = "metrics_result"
 ERROR = "error"
 BYE = "bye"
 
@@ -109,8 +123,31 @@ def hello_message(
     return message
 
 
-def submit_message(request_payload: Mapping[str, Any], priority: int = 0) -> dict[str, Any]:
-    return {"type": SUBMIT, "request": dict(request_payload), "priority": priority}
+def submit_message(
+    request_payload: Mapping[str, Any],
+    priority: int = 0,
+    trace: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """``trace`` optionally carries the submitter's :class:`TraceContext`
+    as JSON (``trace_id``/``span_id``) so the gateway continues the
+    caller's trace instead of starting its own.  The field is
+    version-tolerant: old gateways simply ignore it."""
+    message: dict[str, Any] = {
+        "type": SUBMIT,
+        "request": dict(request_payload),
+        "priority": priority,
+    }
+    if trace is not None:
+        message["trace"] = dict(trace)
+    return message
+
+
+def trace_message(ticket_id: str) -> dict[str, Any]:
+    return {"type": TRACE, "ticket_id": ticket_id}
+
+
+def metrics_message(format: str = "json") -> dict[str, Any]:
+    return {"type": METRICS, "format": format}
 
 
 def rejected_message(

@@ -43,20 +43,36 @@ from typing import Any
 from repro.gateway import protocol
 from repro.gateway.auth import AuthError, AuthRegistry, ClientQuota, TokenBucket
 from repro.gateway.protocol import MessageChannel, ProtocolError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.logging import get_logger, log_event
+from repro.obs.tracing import TraceContext
 from repro.serve.service import ParseService, ParseTicket, ServiceError
 
 #: Thread-name prefix of gateway-owned threads (accept/reader/streamers).
 GATEWAY_THREAD_PREFIX = "repro-gateway"
 
+_LOG = get_logger("gateway")
+
+_GW_SUBMITTED = _metrics.counter(
+    "repro_gateway_submitted_total", "Submissions admitted by the gateway."
+)
+_GW_REJECTED = _metrics.counter(
+    "repro_gateway_rejected_total",
+    "Submissions refused by the gateway, by rejection reason.",
+    ("reason",),
+)
+
 
 class _TicketRecord:
     """One submitted ticket and the identity that owns it."""
 
-    __slots__ = ("ticket", "client_id")
+    __slots__ = ("ticket", "client_id", "trace_id")
 
     def __init__(self, ticket: ParseTicket, client_id: str) -> None:
         self.ticket = ticket
         self.client_id = client_id
+        self.trace_id = ticket.trace_id
 
 
 class GatewayServer:
@@ -161,6 +177,7 @@ class GatewayServer:
             daemon=True,
         )
         self._accept_thread.start()
+        log_event(_LOG, "info", "listening", host=self._host, port=self.port)
         return self
 
     def _accept_loop(self) -> None:
@@ -210,6 +227,7 @@ class GatewayServer:
             connections = list(self._connections)
         for connection in connections:
             connection.say_bye_and_close()
+        log_event(_LOG, "info", "stopping", drained=drain)
 
     def __enter__(self) -> "GatewayServer":
         return self.start() if not self._started else self
@@ -243,6 +261,11 @@ class GatewayServer:
             self._rejected_by_reason[reason] = (
                 self._rejected_by_reason.get(reason, 0) + 1
             )
+        _GW_REJECTED.inc(reason=reason)
+        log_event(
+            _LOG, "warning", "submit_rejected",
+            client=client_id, reason=reason, detail=detail,
+        )
         return protocol.rejected_message(reason, retry_after, detail)
 
     def _admit(
@@ -251,7 +274,29 @@ class GatewayServer:
         message: dict[str, Any],
         frame_bytes: int,
     ) -> tuple[dict[str, Any], _TicketRecord | None]:
-        """Decide one ``submit``: a reply message plus the record if admitted."""
+        """Decide one ``submit``: a reply message plus the record if admitted.
+
+        The whole decision runs under the submission's trace: the client's
+        ``trace`` field (when sent) is adopted as the root, otherwise a
+        fresh trace starts here — either way ``service.submit`` inherits
+        it, so the gateway span is the parent of everything downstream.
+        """
+        if not _tracing.enabled():
+            return self._admit_inner(connection, message, frame_bytes)
+        root = TraceContext.from_wire(message.get("trace")) or TraceContext.new()
+        with _tracing.activate(root):
+            with _tracing.span(
+                "gateway.submit",
+                attributes={"client": connection.client_id},
+            ):
+                return self._admit_inner(connection, message, frame_bytes)
+
+    def _admit_inner(
+        self,
+        connection: "_ClientConnection",
+        message: dict[str, Any],
+        frame_bytes: int,
+    ) -> tuple[dict[str, Any], _TicketRecord | None]:
         client_id = connection.client_id
         quota = connection.quota
         if frame_bytes > quota.max_request_bytes:
@@ -338,11 +383,19 @@ class GatewayServer:
                     self._submitted_by_client.get(client_id, 0) + 1
                 )
         self._evict_finished()
+        _GW_SUBMITTED.inc()
+        log_event(
+            _LOG, "info", "submit_admitted",
+            client=client_id, ticket_id=ticket.id, priority=priority,
+            trace_id=record.trace_id,
+        )
         reply = {
             "type": protocol.SUBMITTED,
             "ticket_id": ticket.id,
             "state": ticket.state.value,
         }
+        if record.trace_id is not None:
+            reply["trace_id"] = record.trace_id
         return reply, record
 
     def _evict_finished(self) -> None:
@@ -509,6 +562,7 @@ class _ClientConnection:
             return False
         self.client_id = authenticated.client_id
         self.quota = authenticated.quota
+        log_event(_LOG, "debug", "client_connected", client=self.client_id)
         self.channel.send(
             {
                 "type": protocol.HELLO_ACK,
@@ -537,11 +591,47 @@ class _ClientConnection:
             self._on_fetch_result(message)
         elif kind == protocol.STATS:
             self.channel.send({"type": protocol.STATS, **self.server.stats()})
+        elif kind == protocol.TRACE:
+            self._on_trace(message)
+        elif kind == protocol.METRICS:
+            self._on_metrics(message)
         elif kind == protocol.BYE:
             return False
         else:
             raise ProtocolError(f"unexpected message type {kind!r}")
         return True
+
+    def _on_trace(self, message: dict[str, Any]) -> None:
+        """Reply with the span list recorded for a ticket this client owns."""
+        record = self._owned_record(message)
+        if record is None:
+            return
+        trace_id = record.trace_id
+        spans = (
+            _tracing.default_recorder().spans(trace_id)
+            if trace_id is not None
+            else []
+        )
+        self.channel.send(
+            {
+                "type": protocol.TRACE_RESULT,
+                "ticket_id": record.ticket.id,
+                "trace_id": trace_id,
+                "state": record.ticket.state.value,
+                "spans": spans,
+            }
+        )
+
+    def _on_metrics(self, message: dict[str, Any]) -> None:
+        """Dump the gateway process's metrics registry (text or JSON)."""
+        format = str(message.get("format", "json"))
+        reply: dict[str, Any] = {"type": protocol.METRICS_RESULT, "format": format}
+        if format == "text":
+            reply["text"] = _metrics.render_text()
+        else:
+            reply["format"] = "json"
+            reply["metrics"] = _metrics.snapshot()
+        self.channel.send(reply)
 
     def _owned_record(self, message: dict[str, Any]) -> "_TicketRecord | None":
         """Resolve a ticket id to a record this client owns, else reply error."""

@@ -1,0 +1,44 @@
+"""repro.obs — the observability layer: metrics, tracing, structured logging.
+
+Three pillars, one import:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  labeled counters / gauges / histograms with a process-wide default
+  registry, Prometheus-style text exposition and a JSON snapshot.  The
+  hot surfaces (cache, backends, service, cluster, gateway) publish
+  into the default registry; their existing ``stats()`` APIs are
+  unchanged and fed from the same call sites.
+* :mod:`repro.obs.tracing` — :class:`TraceContext` (trace id + span id)
+  propagated via contextvars locally and as optional, version-tolerant
+  fields on the gateway and cluster wire frames; :func:`span` records
+  timed spans into a bounded :class:`SpanRecorder` so one request can be
+  followed gateway → service → backend → worker shard.
+* :mod:`repro.obs.logging` — stdlib-``logging`` setup for the daemons:
+  NDJSON or text to stderr, trace ids injected from the active context.
+
+Everything here is stdlib-only and cheap to import, but the package is
+still *lazily* reached: ``import repro`` does not import ``repro.obs``
+(guarded by a test), and every instrument is a near no-op when metrics
+or tracing are disabled (guarded by ``bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs import logging, metrics, tracing
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import SpanRecorder, TraceContext, current_trace, span
+
+__all__ = [
+    "MetricsRegistry",
+    "SpanRecorder",
+    "TraceContext",
+    "current_trace",
+    "default_registry",
+    "get_logger",
+    "log_event",
+    "logging",
+    "metrics",
+    "span",
+    "tracing",
+]

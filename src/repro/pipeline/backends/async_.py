@@ -174,7 +174,7 @@ class AsyncBackend(ExecutionBackend):
         if self.max_window < self.min_window:
             raise ValueError("max_window must be >= min_window")
         self.adaptive = bool(adaptive)
-        self._recorder = ExecutionRecorder()
+        self._recorder = ExecutionRecorder(self.name)
         self._lifecycle_lock = threading.Lock()
         self._window_lock = threading.Lock()
         self._window_telemetry: dict[str, Any] = {}

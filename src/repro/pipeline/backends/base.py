@@ -40,8 +40,41 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
 
+from repro.obs import metrics as _metrics
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_BATCHES_DISPATCHED = _metrics.counter(
+    "repro_backend_batches_dispatched_total",
+    "Batches submitted to an execution backend.",
+    ("backend",),
+)
+_BATCHES_COMPLETED = _metrics.counter(
+    "repro_backend_batches_completed_total",
+    "Batches an execution backend finished.",
+    ("backend",),
+)
+_BATCHES_CANCELLED = _metrics.counter(
+    "repro_backend_batches_cancelled_total",
+    "Batches cancelled before starting (abandoned iterators).",
+    ("backend",),
+)
+_BATCH_LATENCY = _metrics.histogram(
+    "repro_backend_batch_latency_seconds",
+    "Per-batch execution time, excluding queue wait.",
+    ("backend",),
+)
+_QUEUE_WAIT = _metrics.histogram(
+    "repro_backend_queue_wait_seconds",
+    "Time a batch sat between submission and a worker picking it up.",
+    ("backend",),
+)
+_IN_FLIGHT = _metrics.gauge(
+    "repro_backend_in_flight",
+    "Batches currently submitted but not yet consumed.",
+    ("backend",),
+)
 
 
 class BackendError(RuntimeError):
@@ -122,9 +155,15 @@ class ExecutionStats:
 
 
 class ExecutionRecorder:
-    """Thread-safe accumulator behind :meth:`ExecutionBackend.stats`."""
+    """Thread-safe accumulator behind :meth:`ExecutionBackend.stats`.
 
-    def __init__(self) -> None:
+    The same record calls feed the global ``repro_backend_*`` metrics
+    (labeled by backend name), so report-level stats and the process
+    registry always agree.
+    """
+
+    def __init__(self, backend: str = "unknown") -> None:
+        self.backend = backend
         self._lock = threading.Lock()
         self._latencies: list[float] = []
         self._queue_wait_high_water = 0.0
@@ -135,21 +174,28 @@ class ExecutionRecorder:
     def record_dispatch(self) -> None:
         with self._lock:
             self._dispatched += 1
+        _BATCHES_DISPATCHED.inc(backend=self.backend)
 
     def record_in_flight(self, n: int) -> None:
         with self._lock:
             if n > self._in_flight_high_water:
                 self._in_flight_high_water = n
+        _IN_FLIGHT.set(n, backend=self.backend)
 
     def record_batch(self, queue_wait_seconds: float, latency_seconds: float) -> None:
         with self._lock:
             self._latencies.append(latency_seconds)
             if queue_wait_seconds > self._queue_wait_high_water:
                 self._queue_wait_high_water = queue_wait_seconds
+        _BATCHES_COMPLETED.inc(backend=self.backend)
+        _BATCH_LATENCY.observe(latency_seconds, backend=self.backend)
+        _QUEUE_WAIT.observe(queue_wait_seconds, backend=self.backend)
 
     def record_cancelled(self, n: int) -> None:
         with self._lock:
             self._cancelled += n
+        if n:
+            _BATCHES_CANCELLED.inc(n, backend=self.backend)
 
     def snapshot(self, backend: str, workers: int) -> ExecutionStats:
         with self._lock:

@@ -30,7 +30,7 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self) -> None:
-        self._recorder = ExecutionRecorder()
+        self._recorder = ExecutionRecorder(self.name)
         self._closed = False
 
     def _observe(self, output: object) -> None:

@@ -53,7 +53,7 @@ class ThreadBackend(ExecutionBackend):
             raise ValueError("window must be positive")
         self.n_jobs = n_jobs
         self.window = window if window is not None else 2 * n_jobs
-        self._recorder = ExecutionRecorder()
+        self._recorder = ExecutionRecorder(self.name)
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 

@@ -40,6 +40,7 @@ from repro.cache import (
 from repro.core.engine import AdaParseEngine, RoutingDecision, build_default_engine
 from repro.documents.corpus import build_corpus
 from repro.documents.document import SciDocument
+from repro.obs import tracing as _tracing
 from repro.parsers.base import Parser, ParseResult, ResourceUsage
 from repro.parsers.registry import ParserRegistry, default_registry
 from repro.pipeline.backends.base import (
@@ -77,6 +78,33 @@ class _ParserBatchWorker:
 
     def __call__(self, batch: list[SciDocument]) -> BatchOutput:
         return self.parser.parse_with_telemetry(batch)
+
+
+def _traced_batch_worker(
+    worker: Callable[[list[SciDocument]], BatchOutput], backend_name: str
+) -> Callable[[list[SciDocument]], BatchOutput]:
+    """Wrap a composed batch worker with a per-batch ``backend.batch`` span.
+
+    The active :class:`~repro.obs.tracing.TraceContext` is captured *here*
+    (in the thread that set it — the service ticket thread or the caller)
+    and re-activated around every batch invocation, because backend thread
+    pools do not inherit contextvars.  Everything the worker does — cache
+    lookups, remote shard round trips — then nests under the batch span.
+    With no active trace the worker is returned unwrapped: zero overhead.
+    """
+    context = _tracing.current_trace()
+    if context is None or not _tracing.enabled():
+        return worker
+
+    def traced(batch: list[SciDocument]) -> BatchOutput:
+        with _tracing.activate(context):
+            with _tracing.span(
+                "backend.batch",
+                attributes={"backend": backend_name, "n_documents": len(batch)},
+            ):
+                return worker(batch)
+
+    return traced
 
 
 class ParsePipeline:
@@ -208,6 +236,7 @@ class ParsePipeline:
         else:
             size = batch_size or DEFAULT_BATCH_SIZE
         worker = self._batch_worker(resolved, backend, cache_policy, cache_recorder)
+        worker = _traced_batch_worker(worker, backend.name)
         yield from backend.map_ordered(worker, chunked(documents, size))
 
     def parse_batches(
@@ -316,7 +345,20 @@ class ParsePipeline:
     # The request → report entry point
     # ------------------------------------------------------------------ #
     def run(self, request: ParseRequest) -> ParseReport:
-        """Execute a request end to end and report what happened."""
+        """Execute a request end to end and report what happened.
+
+        Each run executes under a :class:`~repro.obs.tracing.TraceContext`
+        — the caller's, when one is active (the parse service propagates
+        its ticket's), or a fresh root trace otherwise — so per-batch and
+        cache spans always have somewhere to hang.
+        """
+        with _tracing.ensure_trace():
+            with _tracing.span(
+                "pipeline.run", attributes={"parser": str(request.parser)}
+            ):
+                return self._run(request)
+
+    def _run(self, request: ParseRequest) -> ParseReport:
         parser = self.resolve_parser(request.parser, alpha=request.alpha)
         documents = self.resolve_documents(request)
         cache_policy = request.cache_policy

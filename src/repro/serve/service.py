@@ -29,11 +29,15 @@ from __future__ import annotations
 import enum
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.cache import CachePolicy, CacheStats, CacheStatsRecorder
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.tracing import TraceContext
 from repro.pipeline.backends.base import ExecutionBackend, resolve_execution
 from repro.pipeline.pipeline import ParsePipeline
 from repro.pipeline.report import ParseReport
@@ -43,6 +47,22 @@ from repro.serve.events import EventKind, ProgressEvent
 
 #: Thread-name prefix of the service's request-runner threads.
 SERVE_THREAD_PREFIX = "repro-serve"
+
+_TICKETS = _metrics.counter(
+    "repro_service_tickets_total",
+    "Ticket lifecycle transitions (submitted/completed/failed/cancelled).",
+    ("state",),
+)
+_QUEUE_DEPTH = _metrics.gauge(
+    "repro_service_queue_depth", "Tickets waiting for an execution slot."
+)
+_ACTIVE = _metrics.gauge(
+    "repro_service_active", "Tickets currently executing."
+)
+_ADMISSION_WAIT = _metrics.histogram(
+    "repro_service_admission_wait_seconds",
+    "Time a ticket waited between submission and starting to run.",
+)
 
 
 class ServiceError(RuntimeError):
@@ -104,6 +124,7 @@ class ParseTicket:
         client: str,
         seq: int,
         sink: Callable[[ProgressEvent], None] | None = None,
+        trace: TraceContext | None = None,
     ) -> None:
         self.id = ticket_id
         self.request = request
@@ -111,6 +132,12 @@ class ParseTicket:
         self.client = client
         self.seq = seq
         self.state = TicketState.QUEUED
+        #: The trace this ticket runs under; every event payload carries
+        #: its trace id so remote consumers can correlate.
+        self.trace = trace
+        #: Monotonic submission instant (admission-wait measurement).
+        self.queued_at = perf_counter()
+        self._started_at: float | None = None
         self._cond = threading.Condition()
         self._events: list[ProgressEvent] = []
         self._next_event_seq = 0
@@ -118,10 +145,23 @@ class ParseTicket:
         self._error: BaseException | None = None
         self._sink = sink
 
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.trace_id if self.trace is not None else None
+
+    def _elapsed_s(self) -> float:
+        """Monotonic seconds since this ticket started running (falls back
+        to time since submission for tickets cancelled before starting)."""
+        origin = self._started_at if self._started_at is not None else self.queued_at
+        return perf_counter() - origin
+
     # ------------------------------------------------------------------ #
     # Service-side transitions
     # ------------------------------------------------------------------ #
     def _emit(self, kind: EventKind, payload: dict[str, Any]) -> ProgressEvent:
+        if self.trace is not None:
+            payload = dict(payload)
+            payload.setdefault("trace_id", self.trace.trace_id)
         with self._cond:
             event = ProgressEvent(
                 kind=kind.value,
@@ -277,6 +317,7 @@ class ParseService:
         *,
         priority: int = 0,
         client: str = "default",
+        trace: TraceContext | None = None,
     ) -> ParseTicket:
         """Queue a request; returns immediately with its ticket.
 
@@ -285,7 +326,14 @@ class ParseService:
         ``max_active`` slots evenly at equal priority.  The request's own
         ``backend`` spec is superseded by the service's shared backend
         (that is the point of a service); its cache policy is honoured.
+
+        ``trace`` carries an upstream :class:`TraceContext` (the gateway
+        passes its submit span); by default the caller's active trace is
+        adopted, or a fresh root trace is started, so every ticket's
+        events and spans share one trace id end to end.
         """
+        if trace is None and _tracing.enabled():
+            trace = _tracing.current_trace() or TraceContext.new()
         with self._lock:
             if self._closed:
                 raise ServiceError("service is closed to new submissions")
@@ -298,9 +346,11 @@ class ParseService:
                 client=client,
                 seq=seq,
                 sink=self._sink,
+                trace=trace,
             )
             self._counters["submitted"] += 1
             queue_position = len(self._queued) + 1
+        _TICKETS.inc(state="submitted")
         # Emit QUEUED before the ticket becomes visible to admission (and
         # without holding the service lock, so a slow or re-entrant sink
         # cannot stall submissions or deadlock on describe()/submit()):
@@ -317,13 +367,23 @@ class ParseService:
                 closed_mid_submit = True
             else:
                 self._queued.append(ticket)
+                self._sync_gauges()
                 closed_mid_submit = False
         if closed_mid_submit:
+            _TICKETS.inc(state="cancelled")
             ticket._set_state(TicketState.CANCELLED)
-            ticket._emit(EventKind.CANCELLED, {"reason": "service closed"})
+            ticket._emit(
+                EventKind.CANCELLED,
+                {"reason": "service closed", "elapsed_s": round(ticket._elapsed_s(), 6)},
+            )
             raise ServiceError("service is closed to new submissions")
         self._maybe_dispatch()
         return ticket
+
+    def _sync_gauges(self) -> None:
+        """Refresh the queue-depth/active gauges; caller holds ``_lock``."""
+        _QUEUE_DEPTH.set(len(self._queued))
+        _ACTIVE.set(len(self._active))
 
     def cancel(self, ticket: ParseTicket) -> bool:
         """Withdraw a ticket that has not started; False once running."""
@@ -332,8 +392,16 @@ class ParseService:
                 return False
             self._queued.remove(ticket)
             self._counters["cancelled"] += 1
+            self._sync_gauges()
+        _TICKETS.inc(state="cancelled")
         ticket._set_state(TicketState.CANCELLED)
-        ticket._emit(EventKind.CANCELLED, {"reason": "cancelled before admission"})
+        ticket._emit(
+            EventKind.CANCELLED,
+            {
+                "reason": "cancelled before admission",
+                "elapsed_s": round(ticket._elapsed_s(), 6),
+            },
+        )
         return True
 
     def _maybe_dispatch(self) -> None:
@@ -349,6 +417,7 @@ class ParseService:
                     self._active_by_client.get(pick.client, 0) + 1
                 )
                 to_start.append(pick)
+            self._sync_gauges()
         for ticket in to_start:
             try:
                 self._runners.submit(self._run_ticket, ticket)
@@ -370,14 +439,31 @@ class ParseService:
             else:
                 self._active_by_client.pop(ticket.client, None)
             self._counters["cancelled"] += 1
+            self._sync_gauges()
             self._idle.notify_all()
+        _TICKETS.inc(state="cancelled")
         ticket._set_state(TicketState.CANCELLED)
-        ticket._emit(EventKind.CANCELLED, {"reason": "service closed"})
+        ticket._emit(
+            EventKind.CANCELLED,
+            {"reason": "service closed", "elapsed_s": round(ticket._elapsed_s(), 6)},
+        )
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def _run_ticket(self, ticket: ParseTicket) -> None:
+        ticket._started_at = perf_counter()
+        admission_wait = ticket._started_at - ticket.queued_at
+        _ADMISSION_WAIT.observe(admission_wait)
+        if ticket.trace is not None:
+            # The wait already happened — record it as an externally-timed
+            # span rather than wrapping code that has finished running.
+            _tracing.record_span(
+                "service.admission",
+                parent=ticket.trace,
+                duration_s=admission_wait,
+                attributes={"ticket_id": ticket.id, "client": ticket.client},
+            )
         ticket._set_state(TicketState.RUNNING)
         ticket._emit(
             EventKind.STARTED,
@@ -385,17 +471,42 @@ class ParseService:
         )
         failed = True
         try:
-            report = self._execute(ticket)
-        except BaseException as exc:  # report *any* failure to the waiters
-            ticket._set_state(TicketState.FAILED, error=exc)
-            ticket._emit(
-                EventKind.FAILED, {"error": str(exc), "error_type": type(exc).__name__}
-            )
-        else:
-            ticket._set_state(TicketState.COMPLETED, report=report)
-            ticket._emit(EventKind.COMPLETED, {"summary": report.summary()})
-            failed = False
+            with ExitStack() as stack:
+                if ticket.trace is not None:
+                    # Runner threads have no inherited contextvars: re-activate
+                    # the submission's trace so pipeline/cache/backend spans
+                    # and cluster shards all attach to this ticket's trace id.
+                    stack.enter_context(_tracing.activate(ticket.trace))
+                    stack.enter_context(
+                        _tracing.span(
+                            "service.ticket",
+                            attributes={"ticket_id": ticket.id, "client": ticket.client},
+                        )
+                    )
+                try:
+                    report = self._execute(ticket)
+                except BaseException as exc:  # report *any* failure to the waiters
+                    ticket._set_state(TicketState.FAILED, error=exc)
+                    ticket._emit(
+                        EventKind.FAILED,
+                        {
+                            "error": str(exc),
+                            "error_type": type(exc).__name__,
+                            "elapsed_s": round(ticket._elapsed_s(), 6),
+                        },
+                    )
+                else:
+                    ticket._set_state(TicketState.COMPLETED, report=report)
+                    ticket._emit(
+                        EventKind.COMPLETED,
+                        {
+                            "summary": report.summary(),
+                            "elapsed_s": round(ticket._elapsed_s(), 6),
+                        },
+                    )
+                    failed = False
         finally:
+            _TICKETS.inc(state="failed" if failed else "completed")
             with self._lock:
                 self._active.pop(ticket.id, None)
                 remaining = self._active_by_client.get(ticket.client, 1) - 1
@@ -407,6 +518,7 @@ class ParseService:
                     self._served_by_client.get(ticket.client, 0) + 1
                 )
                 self._counters["failed" if failed else "completed"] += 1
+                self._sync_gauges()
                 self._idle.notify_all()
             self._maybe_dispatch()
 
@@ -448,6 +560,9 @@ class ParseService:
                     "documents_done": len(results),
                     "n_documents": len(documents),
                     "batches_done": batches_done,
+                    # Monotonic progress clock: wall-clock timestamps on the
+                    # event envelope can step under NTP; elapsed_s cannot.
+                    "elapsed_s": round(perf_counter() - started, 6),
                 },
             )
         if cache_policy.writes:
@@ -526,11 +641,16 @@ class ParseService:
             if not drain:
                 self._queued.clear()
                 self._counters["cancelled"] += len(abandoned)
+                self._sync_gauges()
         if already_torn_down:
             return  # idempotent: the first close() owns the teardown
         for ticket in abandoned:
+            _TICKETS.inc(state="cancelled")
             ticket._set_state(TicketState.CANCELLED)
-            ticket._emit(EventKind.CANCELLED, {"reason": "service closed"})
+            ticket._emit(
+                EventKind.CANCELLED,
+                {"reason": "service closed", "elapsed_s": round(ticket._elapsed_s(), 6)},
+            )
         if drain:
             self.drain(timeout)
         self._runners.shutdown(wait=True)

@@ -1,0 +1,83 @@
+"""Regression tests: daemon CLIs keep stdout machine-readable.
+
+The ``gateway`` and ``worker`` commands promise that the JSON ready line
+is the *only* stdout output — every diagnostic (including the final
+stopped summary) goes to stderr through ``repro.obs.logging``.  Pipe
+readers (the ``cluster`` spawner, CI smoke jobs) depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def spawn(*arguments: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_ROOT] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *arguments],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def run_daemon(*arguments: str) -> tuple[dict, str, str]:
+    """Start a daemon, wait for its ready line, stop it, return the streams."""
+    proc = spawn(*arguments)
+    try:
+        ready_line = proc.stdout.readline()
+        ready = json.loads(ready_line)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    except Exception:
+        proc.kill()
+        proc.communicate(timeout=10)
+        raise
+    assert proc.returncode == 0, err
+    return ready, ready_line + out, err
+
+
+@pytest.mark.parametrize(
+    "arguments, ready_event",
+    [
+        (("gateway", "--port", "0", "--backend", "serial"), "listening"),
+        (("worker", "--port", "0", "--name", "stream-test-worker"), "listening"),
+    ],
+)
+def test_daemon_stdout_is_exactly_the_ready_line(arguments, ready_event):
+    ready, out, err = run_daemon(*arguments, "--log-json")
+    assert ready["event"] == ready_event
+    assert "address" in ready
+    # stdout: exactly one line, and it is the ready JSON.
+    assert out.splitlines() == [json.dumps(ready, separators=(", ", ": "))] or (
+        len(out.splitlines()) == 1
+    )
+    # stderr: NDJSON records, ending with the structured stopped summary.
+    records = [json.loads(line) for line in err.splitlines() if line]
+    assert records, "expected NDJSON logs on stderr"
+    assert all("level" in record and "logger" in record for record in records)
+    assert records[-1]["event"] == "stopped"
+
+
+def test_daemon_stderr_text_mode_has_no_stdout_leak():
+    ready, out, err = run_daemon(
+        "worker", "--port", "0", "--name", "stream-test-worker-text"
+    )
+    assert len(out.splitlines()) == 1
+    assert json.loads(out)["event"] == "listening"
+    assert "stopped" in err

@@ -1,0 +1,254 @@
+"""Integration tests: obs wired through service, gateway, and cluster.
+
+The acceptance centrepiece mirrors the README's observability story: one
+request submitted through a :class:`GatewayClient` over a 2-worker
+cluster must yield a *single* trace id visible in the client's streamed
+event payloads, and an ``obs trace``-shaped span tree that nests
+gateway → service → backend → worker-shard spans.
+"""
+
+from __future__ import annotations
+
+import sys
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.cache import ParseCache
+from repro.cluster.worker import WorkerDaemon
+from repro.gateway import GatewayClient, GatewayServer
+from repro.obs import metrics, tracing
+from repro.obs.tracing import build_tree
+from repro.pipeline import ParsePipeline, ParseRequest
+from repro.serve import ParseService, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh metric series and span storage around every test."""
+    metrics.reset()
+    tracing.default_recorder().clear()
+    yield
+    metrics.reset()
+    tracing.default_recorder().clear()
+
+
+def request_for(n_documents: int = 8, **overrides) -> ParseRequest:
+    options = {"parser": "pymupdf", "n_documents": n_documents, "seed": 11}
+    options.update(overrides)
+    return ParseRequest(**options)
+
+
+# ---------------------------------------------------------------------- #
+# Lazy import
+# ---------------------------------------------------------------------- #
+def test_import_repro_does_not_import_obs():
+    code = textwrap.dedent(
+        """
+        import sys
+        import repro
+        assert "repro.obs" not in sys.modules, "repro.obs imported eagerly"
+        import repro.obs  # the lazy attribute still resolves
+        assert repro.obs.default_registry() is not None
+        """
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+# ---------------------------------------------------------------------- #
+# Service layer
+# ---------------------------------------------------------------------- #
+class TestServiceInstrumentation:
+    def test_events_carry_one_trace_id_and_elapsed(self):
+        with ParseService(pipeline=ParsePipeline()) as service:
+            ticket = service.submit(request_for(batch_size=4))
+            ticket.result(timeout=60)
+            events = list(ticket.events(timeout=1))
+        trace_ids = {e.payload.get("trace_id") for e in events}
+        assert len(trace_ids) == 1 and None not in trace_ids
+        for event in events:
+            if event.kind in ("batch", "completed", "failed", "cancelled"):
+                assert event.payload["elapsed_s"] >= 0.0
+        (trace_id,) = trace_ids
+        names = {s["name"] for s in tracing.default_recorder().spans(trace_id)}
+        assert {"service.admission", "service.ticket", "backend.batch"} <= names
+
+    def test_ticket_lifecycle_counters(self):
+        with ParseService(pipeline=ParsePipeline()) as service:
+            service.submit(request_for()).result(timeout=60)
+        tickets = metrics.default_registry().get("repro_service_tickets_total")
+        assert tickets.value(state="submitted") == 1
+        assert tickets.value(state="completed") == 1
+        admission = metrics.default_registry().get(
+            "repro_service_admission_wait_seconds"
+        )
+        assert admission.value()["count"] == 1
+
+    def test_cancelled_ticket_counted_with_elapsed(self):
+        config = ServiceConfig(max_active=1, backend_options={"n_jobs": 2})
+        with ParseService(pipeline=ParsePipeline(), config=config) as service:
+            running = service.submit(request_for(16))
+            queued = service.submit(request_for(16, seed=99))
+            assert service.cancel(queued)
+            running.result(timeout=60)
+            terminal = list(queued.events(timeout=1))[-1]
+        assert terminal.kind == "cancelled"
+        assert terminal.payload["elapsed_s"] >= 0.0
+        tickets = metrics.default_registry().get("repro_service_tickets_total")
+        assert tickets.value(state="cancelled") == 1
+
+    def test_cache_counters_feed_from_pipeline(self):
+        pipeline = ParsePipeline(cache=ParseCache())
+        with ParseService(pipeline=pipeline) as service:
+            service.submit(request_for(cache="readwrite")).result(timeout=60)
+            service.submit(request_for(cache="readwrite")).result(timeout=60)
+        registry = metrics.default_registry()
+        assert registry.get("repro_cache_misses_total").value() >= 1
+        assert registry.get("repro_cache_hits_total").value() >= 1
+
+
+# ---------------------------------------------------------------------- #
+# Gateway layer
+# ---------------------------------------------------------------------- #
+class TestGatewayInstrumentation:
+    @pytest.fixture()
+    def gateway(self):
+        with ParseService(pipeline=ParsePipeline()) as service:
+            with GatewayServer(service, port=0) as server:
+                yield server
+
+    def connect(self, server: GatewayServer) -> GatewayClient:
+        return GatewayClient("127.0.0.1", server.port, client="obs-test").connect()
+
+    def test_trace_id_on_ticket_events_and_trace_rpc(self, gateway):
+        with self.connect(gateway) as client:
+            ticket = client.submit(request_for())
+            assert ticket.trace_id
+            events = list(ticket.events())
+            assert {e.payload.get("trace_id") for e in events} == {ticket.trace_id}
+            payload = client.trace(ticket)
+        assert payload["trace_id"] == ticket.trace_id
+        names = {s["name"] for s in payload["spans"]}
+        assert "gateway.submit" in names and "service.ticket" in names
+
+    def test_metrics_rpc_text_and_json(self, gateway):
+        with self.connect(gateway) as client:
+            client.submit(request_for()).events()
+            text = client.metrics(format="text")
+            snap = client.metrics(format="json")
+        assert "repro_gateway_submitted_total 1" in text
+        assert isinstance(snap, dict)
+        assert snap["repro_gateway_submitted_total"]["values"][0]["value"] == 1
+
+    def test_rejections_counted_by_reason(self, gateway):
+        with self.connect(gateway) as client:
+            from repro.gateway import protocol
+
+            reply = client._rpc(
+                {"type": protocol.SUBMIT, "request": {"n_documents": -5}}
+            )
+            assert reply.get("type") == protocol.REJECTED
+            text = client.metrics(format="text")
+        assert 'repro_gateway_rejected_total{reason="bad_request"} 1' in text
+
+
+# ---------------------------------------------------------------------- #
+# The acceptance criterion: one trace across gateway + 2-worker cluster
+# ---------------------------------------------------------------------- #
+def test_one_trace_id_across_gateway_service_and_cluster_workers(registry):
+    workers = [
+        WorkerDaemon(name=f"obs-worker-{i}", pipeline=ParsePipeline(registry)).start()
+        for i in range(2)
+    ]
+    addresses = ",".join(f"127.0.0.1:{w.port}" for w in workers)
+    config = ServiceConfig(backend="remote", backend_options={"workers": addresses})
+    try:
+        with ParseService(pipeline=ParsePipeline(registry), config=config) as service:
+            with GatewayServer(service, port=0) as server:
+                with GatewayClient(
+                    "127.0.0.1", server.port, client="obs-e2e"
+                ).connect() as client:
+                    ticket = client.submit(
+                        request_for(8, batch_size=2, cache="off")
+                    )
+                    events = list(ticket.events())
+                    payload = client.trace(ticket)
+    finally:
+        for worker in workers:
+            worker.stop()
+
+    # One trace id, everywhere.
+    assert ticket.trace_id
+    assert {e.payload.get("trace_id") for e in events} == {ticket.trace_id}
+    assert payload["trace_id"] == ticket.trace_id
+
+    # The span tree nests gateway -> service -> backend -> worker shards.
+    (root,) = build_tree(payload["spans"])
+    assert root["name"] == "gateway.submit"
+
+    def walk(node, depth=0):
+        yield node, depth
+        for child in node["children"]:
+            yield from walk(child, depth + 1)
+
+    nodes = list(walk(root))
+    names = {node["name"] for node, _ in nodes}
+    assert {"service.ticket", "backend.batch", "cluster.shard", "worker.shard"} <= names
+    shard_workers = {
+        node["attributes"]["worker"]
+        for node, _ in nodes
+        if node["name"] == "worker.shard"
+    }
+    assert shard_workers == {"obs-worker-0", "obs-worker-1"}
+    # worker.shard spans hang below the cluster.shard round-trip spans.
+    parent_of = {
+        child["span_id"]: parent["name"]
+        for parent, _ in nodes
+        for child in parent["children"]
+    }
+    for node, _ in nodes:
+        if node["name"] == "worker.shard":
+            assert parent_of[node["span_id"]] == "cluster.shard"
+
+    # Cluster metrics counted the shards.
+    shards = metrics.default_registry().get("repro_cluster_shards_total")
+    assert shards.value(outcome="completed") == 4
+
+
+# ---------------------------------------------------------------------- #
+# Satellite: backend `extra` key-family parity
+# ---------------------------------------------------------------------- #
+class TestBackendExtraParity:
+    def extra_for(self, backend: str, registry, **options) -> dict:
+        request = request_for(6, backend=backend, backend_options=options)
+        report = ParsePipeline(registry).run(request)
+        return report.execution.to_json_dict()["extra"]
+
+    def test_async_publishes_window_family(self, registry):
+        extra = self.extra_for("async", registry, n_jobs=2)
+        for key in ("window_initial", "window_final", "window_high_water"):
+            assert key in extra, f"async extra missing {key}"
+
+    def test_hpc_publishes_sim_family(self, registry):
+        extra = self.extra_for("hpc", registry, n_nodes=2)
+        for key in ("sim_nodes", "sim_time_s", "sim_docs_per_s"):
+            assert key in extra, f"hpc extra missing {key}"
+
+    def test_remote_publishes_cluster_family(self, registry):
+        worker = WorkerDaemon(
+            name="parity-worker", pipeline=ParsePipeline(registry)
+        ).start()
+        try:
+            extra = self.extra_for(
+                "remote", registry, workers=f"127.0.0.1:{worker.port}"
+            )
+        finally:
+            worker.stop()
+        cluster_keys = {k for k in extra if k.startswith("cluster_")}
+        for key in (
+            "cluster_workers_configured",
+            "cluster_placement",
+            "cluster_shards_completed",
+        ):
+            assert key in cluster_keys, f"remote extra missing {key}"

@@ -1,0 +1,154 @@
+"""Unit tests of the metrics registry: declaration, series, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("repro_test_total", "help text")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series_are_independent(self, registry):
+        c = registry.counter("repro_labeled_total", labelnames=("kind",))
+        c.inc(kind="a")
+        c.inc(3, kind="b")
+        assert c.value(kind="a") == 1.0
+        assert c.value(kind="b") == 3.0
+
+    def test_label_mismatch_raises(self, registry):
+        c = registry.counter("repro_strict_total", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            c.inc()  # missing label
+        with pytest.raises(MetricError):
+            c.inc(kind="a", extra="b")  # unknown label
+
+    def test_counters_cannot_decrease(self, registry):
+        c = registry.counter("repro_mono_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("repro_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value() == 3.0
+        g.set(-1)  # gauges may go negative
+        assert g.value() == -1.0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self, registry):
+        h = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        series = h.value()
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(56.05)
+        assert series["buckets"]["0.1"] == 1
+        assert series["buckets"]["1"] == 3
+        assert series["buckets"]["10"] == 4
+        assert series["buckets"]["+Inf"] == 5
+
+    def test_exposition_lines(self, registry):
+        h = registry.histogram("repro_h_seconds", "latency", buckets=(1.0,))
+        h.observe(0.5)
+        text = registry.render_text()
+        assert '# TYPE repro_h_seconds histogram' in text
+        assert 'repro_h_seconds_bucket{le="1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_h_seconds_sum 0.5" in text
+        assert "repro_h_seconds_count 1" in text
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self, registry):
+        first = registry.counter("repro_once_total", "h", ("a",))
+        second = registry.counter("repro_once_total", "h", ("a",))
+        assert first is second
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_clash_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_clash_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("repro_lclash_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("repro_lclash_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("bad-name")
+        with pytest.raises(MetricError):
+            registry.counter("repro_ok_total", labelnames=("bad-label",))
+
+    def test_disabled_registry_records_nothing(self, registry):
+        c = registry.counter("repro_off_total")
+        h = registry.histogram("repro_off_seconds")
+        g = registry.gauge("repro_off_depth")
+        registry.set_enabled(False)
+        c.inc()
+        h.observe(1.0)
+        g.set(9)
+        assert c.value() == 0.0
+        assert h.value()["count"] == 0
+        assert g.value() == 0.0
+        registry.set_enabled(True)
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_reset_zeroes_but_keeps_declarations(self, registry):
+        c = registry.counter("repro_reset_total")
+        c.inc(4)
+        registry.reset()
+        assert c.value() == 0.0
+        assert "repro_reset_total" in registry.names()
+        assert registry.counter("repro_reset_total") is c
+
+    def test_render_text_includes_help_and_type(self, registry):
+        registry.counter("repro_doc_total", "documented metric").inc()
+        text = registry.render_text()
+        assert "# HELP repro_doc_total documented metric" in text
+        assert "# TYPE repro_doc_total counter" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self, registry):
+        c = registry.counter("repro_esc_total", labelnames=("path",))
+        c.inc(path='a"b\\c\nd')
+        line = [ln for ln in registry.render_text().splitlines() if ln[0] != "#"][0]
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+    def test_snapshot_is_json_trivial(self, registry):
+        registry.counter("repro_snap_total", "h", ("kind",)).inc(kind="x")
+        registry.histogram("repro_snap_seconds", buckets=(1.0,)).observe(0.2)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must round-trip
+        assert snap["repro_snap_total"]["type"] == "counter"
+        assert snap["repro_snap_total"]["values"] == [
+            {"labels": {"kind": "x"}, "value": 1.0}
+        ]
+        assert snap["repro_snap_seconds"]["values"][0]["count"] == 1
