@@ -1,0 +1,319 @@
+"""Benchmark: elastic churn — membership churn and ledger resume overhead.
+
+Two timed comparisons over the same off-GIL sleep workload the cluster
+benchmarks use, both expressed as hardware-portable ratios of the same
+machine's undisturbed 2-worker run:
+
+* **churn efficiency** — a campaign during which one worker is killed
+  abruptly (socket severed, as SIGKILL leaves it) while a replacement
+  joins through the membership listener, versus the undisturbed run.
+  Measures the cost of death detection, requeue, and mid-run admission.
+* **resume speedup** — a campaign resumed from a ledger seeded with half
+  the corpus, versus a cold run with an empty ledger.  Replayed shards
+  skip the workers entirely, so the resumed run should approach 2x.
+
+Every run's output must be byte-identical to the undisturbed baseline;
+the benchmark asserts this, plus the expected membership/replay counters.
+
+Run standalone (the CI smoke + regression-gate invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_elastic_churn.py
+    PYTHONPATH=src python benchmarks/bench_elastic_churn.py --json BENCH_elastic.json
+
+The ``--json`` payload carries the ratio metrics under ``metrics``;
+``benchmarks/check_regression.py`` compares them against the committed
+baseline in ``benchmarks/baselines/BENCH_elastic.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from time import perf_counter
+
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.parsers.base import Parser, ParserCost
+from repro.pipeline import ParsePipeline, request_for_documents
+
+N_DOCUMENTS = int(os.environ.get("REPRO_BENCH_ELASTIC_DOCS", 40))
+SLEEP_SECONDS = float(os.environ.get("REPRO_BENCH_ELASTIC_SLEEP", 0.05))
+BATCH_SIZE = 4
+#: The churn run pays for death detection + requeue but keeps 2 live
+#: workers throughout (the replacement joins before the kill), so it
+#: should stay within a modest factor of the undisturbed run.
+CHURN_EFFICIENCY_FLOOR = 0.35
+#: Half the shards replay from the ledger, so the resumed run should
+#: comfortably beat the cold run.
+RESUME_SPEEDUP_FLOOR = 1.2
+
+
+class SleepyElasticParser(Parser):
+    """Off-GIL I/O stand-in, registered on worker pipelines by name."""
+
+    name = "sleepy-elastic"
+    version = "1.0"
+    cost = ParserCost(cpu_seconds_per_page=0.01)
+
+    def __init__(self, sleep_seconds: float = SLEEP_SECONDS) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def _parse_pages(self, document, rng):
+        time.sleep(self.sleep_seconds)
+        return [f"{document.doc_id}:page-{i}" for i in range(document.n_pages)]
+
+
+def _pipeline(sleep_seconds: float) -> ParsePipeline:
+    pipeline = ParsePipeline()
+    pipeline.engines[SleepyElasticParser.name] = SleepyElasticParser(sleep_seconds)
+    return pipeline
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _run_remote(documents, workers, sleep_seconds, **options):
+    report = _pipeline(sleep_seconds).run(
+        request_for_documents(
+            SleepyElasticParser.name,
+            documents,
+            batch_size=BATCH_SIZE,
+            backend="remote",
+            backend_options={
+                "workers": ",".join(w.address for w in workers),
+                **options,
+            },
+        )
+    )
+    return report
+
+
+def _spawn_workers(count, sleep_seconds, prefix):
+    from repro.cluster.worker import WorkerDaemon
+
+    return [
+        WorkerDaemon(name=f"{prefix}-{i}", pipeline=_pipeline(sleep_seconds)).start()
+        for i in range(count)
+    ]
+
+
+def _row(case, workers, elapsed, report):
+    extra = report.execution.extra
+    return {
+        "case": case,
+        "workers": workers,
+        "seconds": elapsed,
+        "docs/s": len(report.results) / elapsed if elapsed > 0 else float("inf"),
+        "shards": report.execution.batches_dispatched,
+        "replayed": extra.get("cluster_shards_replayed", 0),
+        "reassigned": extra.get("cluster_shards_reassigned", 0),
+        "workers lost": extra.get("cluster_workers_lost", 0),
+    }
+
+
+def run_elastic_churn(
+    n_documents: int = N_DOCUMENTS,
+    sleep_seconds: float = SLEEP_SECONDS,
+    work_dir: Path | None = None,
+) -> list[dict[str, object]]:
+    """Measure static vs churn vs cold vs resumed runs; one row per case."""
+    import tempfile
+
+    if work_dir is None:
+        work_dir = Path(tempfile.mkdtemp(prefix="bench-elastic-"))
+    documents = list(
+        build_corpus(
+            CorpusConfig(n_documents=n_documents, seed=101, min_pages=1, max_pages=2)
+        )
+    )
+    rows: list[dict[str, object]] = []
+
+    # Case 1: undisturbed 2-worker baseline.
+    workers = _spawn_workers(2, sleep_seconds, "static")
+    try:
+        started = perf_counter()
+        static_report = _run_remote(documents, workers, sleep_seconds)
+        static_seconds = perf_counter() - started
+    finally:
+        for worker in workers:
+            worker.stop()
+    baseline_text = [r.text for r in static_report.results]
+    rows.append(_row("static-2", 2, static_seconds, static_report))
+
+    # Case 2: one worker killed mid-run while a replacement joins.
+    workers = _spawn_workers(2, sleep_seconds, "churn")
+    replacement = _spawn_workers(1, sleep_seconds, "replacement")[0]
+    listen_port = _free_port()
+    outcome: dict = {}
+
+    def run():
+        started = perf_counter()
+        outcome["report"] = _run_remote(
+            documents, workers, sleep_seconds, listen=listen_port
+        )
+        outcome["seconds"] = perf_counter() - started
+
+    thread = threading.Thread(target=run)
+    try:
+        thread.start()
+        victim = workers[1]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if victim.counters["docs_received"]:
+                break
+            time.sleep(0.002)
+        else:
+            raise AssertionError("the victim worker never received a shard")
+        replacement.join(f"127.0.0.1:{listen_port}", retries=40, retry_delay=0.25)
+        victim.kill()
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "churn run hung after kill + join"
+    finally:
+        for worker in workers:
+            worker.stop()
+        replacement.stop()
+    churn_report, churn_seconds = outcome["report"], outcome["seconds"]
+    assert [r.text for r in churn_report.results] == baseline_text, (
+        "churn run diverged from the undisturbed baseline"
+    )
+    extra = churn_report.execution.extra
+    assert extra["cluster_workers_lost"] == 1, extra
+    assert extra["cluster_workers_seen"] == 3, extra
+    rows.append(_row("churn (kill+join)", 3, churn_seconds, churn_report))
+
+    # Case 3: cold run against an empty ledger.
+    workers = _spawn_workers(2, sleep_seconds, "cold")
+    try:
+        started = perf_counter()
+        cold_report = _run_remote(
+            documents, workers, sleep_seconds, ledger_dir=str(work_dir / "cold")
+        )
+        cold_seconds = perf_counter() - started
+    finally:
+        for worker in workers:
+            worker.stop()
+    assert [r.text for r in cold_report.results] == baseline_text
+    rows.append(_row("ledger-cold", 2, cold_seconds, cold_report))
+
+    # Case 4: resume from a ledger seeded with the first half of the
+    # corpus (batching is deterministic, so the prefix's shards are
+    # exactly the full run's first half — the crashed-coordinator case).
+    resume_dir = str(work_dir / "resume")
+    half = (n_documents // (2 * BATCH_SIZE)) * BATCH_SIZE
+    workers = _spawn_workers(2, sleep_seconds, "seed")
+    try:
+        _run_remote(documents[:half], workers, sleep_seconds, ledger_dir=resume_dir)
+    finally:
+        for worker in workers:
+            worker.stop()
+    workers = _spawn_workers(2, sleep_seconds, "resumed")
+    try:
+        started = perf_counter()
+        resumed_report = _run_remote(
+            documents, workers, sleep_seconds, ledger_dir=resume_dir
+        )
+        resumed_seconds = perf_counter() - started
+    finally:
+        for worker in workers:
+            worker.stop()
+    assert [r.text for r in resumed_report.results] == baseline_text, (
+        "resumed run diverged from the undisturbed baseline"
+    )
+    replayed = resumed_report.execution.extra["cluster_shards_replayed"]
+    assert replayed == half // BATCH_SIZE, resumed_report.execution.extra
+    rows.append(_row("ledger-resumed", 2, resumed_seconds, resumed_report))
+
+    metrics = rows_to_metrics(rows)
+    assert metrics["churn_efficiency"] >= CHURN_EFFICIENCY_FLOOR, (
+        f"churn efficiency {metrics['churn_efficiency']:.2f} below the "
+        f"{CHURN_EFFICIENCY_FLOOR} floor"
+    )
+    assert metrics["resume_speedup"] >= RESUME_SPEEDUP_FLOOR, (
+        f"resume speedup {metrics['resume_speedup']:.2f}x below the "
+        f"{RESUME_SPEEDUP_FLOOR}x floor"
+    )
+    return rows
+
+
+def rows_to_metrics(rows: list[dict[str, object]]) -> dict[str, float]:
+    """The machine-portable metrics the CI regression gate compares.
+
+    Ratios only, higher is better: churn efficiency is the undisturbed
+    run's wall clock over the kill+join run's (death detection, requeue,
+    and admission overhead pull it below 1.0); resume speedup is the
+    cold ledger run over the half-replayed resume.
+    """
+    by_case = {str(row["case"]): row for row in rows}
+    return {
+        "churn_efficiency": (
+            float(by_case["static-2"]["seconds"])
+            / float(by_case["churn (kill+join)"]["seconds"])
+        ),
+        "resume_speedup": (
+            float(by_case["ledger-cold"]["seconds"])
+            / float(by_case["ledger-resumed"]["seconds"])
+        ),
+    }
+
+
+def _rows_to_table(rows: list[dict[str, object]], n_documents: int = N_DOCUMENTS):
+    from repro.utils.tables import Table
+
+    table = Table(
+        title=f"Elastic churn ({n_documents} documents, batch={BATCH_SIZE})",
+        columns=list(rows[0].keys()),
+    )
+    for row in rows:
+        table.add_row(row)
+    return table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=N_DOCUMENTS)
+    parser.add_argument("--sleep", type=float, default=SLEEP_SECONDS)
+    parser.add_argument(
+        "--json",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the regression-gate metrics payload here",
+    )
+    args = parser.parse_args()
+    rows = run_elastic_churn(args.documents, args.sleep)
+    metrics = rows_to_metrics(rows)
+    print(_rows_to_table(rows, args.documents).to_text(precision=2))
+    print(
+        f"churn efficiency {metrics['churn_efficiency']:.2f} "
+        f"(floor {CHURN_EFFICIENCY_FLOOR}), resume speedup "
+        f"{metrics['resume_speedup']:.2f}x (floor {RESUME_SPEEDUP_FLOOR}x): OK"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "elastic_churn",
+            "config": {
+                "n_documents": args.documents,
+                "sleep_seconds": args.sleep,
+                "batch_size": BATCH_SIZE,
+            },
+            "metrics": metrics,
+            "rows": rows,
+        }
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote metrics to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -683,6 +683,17 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_worker_tags(pairs: list[str]) -> dict[str, str]:
+    """``--tag key=value`` pairs into a tag dict (values coerced later)."""
+    tags: dict[str, str] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key.strip():
+            raise SystemExit(f"error: --tag expects key=value, got {pair!r}")
+        tags[key.strip()] = value.strip()
+    return tags
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     """Run one cluster worker daemon until SIGINT/SIGTERM (then drain)."""
     import os
@@ -707,6 +718,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         name=args.name or None,
         slots=args.slots,
         heartbeat_interval=args.heartbeat_interval,
+        tags=_parse_worker_tags(args.tag),
     )
     daemon.start()
     with _GracefulShutdown():
@@ -731,11 +743,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 ),
                 flush=True,
             )
+            if args.join:
+                from repro.cluster.protocol import ProtocolError
+
+                try:
+                    daemon.join(args.join)
+                except (ProtocolError, ValueError, RuntimeError) as exc:
+                    print(f"error: {exc}", file=sys.stderr, flush=True)
+                    daemon.stop(drain=False)
+                    return 1
             daemon.serve_forever()
         except KeyboardInterrupt:
             pass
-    # Graceful exit for both signals: finish in-flight shards, send BYE,
-    # join slot/reader threads, release the local backend.
+    # Graceful exit for both signals: announce the departure (so the
+    # coordinator records a leave, not a death), finish in-flight
+    # shards, send BYE, join slot/reader threads, release the backend.
+    if args.join:
+        daemon.leave(args.join)
     daemon.stop(drain=True)
     if cache is not None:
         cache.flush()
@@ -743,13 +767,47 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Query a running campaign's membership listener and print the JSON."""
+    import socket as _socket
+
+    from repro.cluster import protocol as _protocol
+    from repro.cluster.protocol import MessageChannel, ProtocolError
+
+    if not args.at:
+        raise SystemExit(
+            "error: cluster status needs --at HOST:PORT (the --listen "
+            "address of the running campaign)"
+        )
+    host, _, port = args.at.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: --at must be host:port, got {args.at!r}")
+    try:
+        sock = _socket.create_connection((host, int(port)), timeout=5.0)
+        channel = MessageChannel(sock)
+        try:
+            channel.send({"type": _protocol.STATUS})
+            reply = channel.recv()
+        finally:
+            channel.close()
+    except (OSError, ProtocolError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if reply is None or reply.get("type") != _protocol.STATUS_RESULT:
+        raise SystemExit(f"error: unexpected status reply: {reply!r}")
+    reply.pop("type", None)
+    print(json.dumps(reply, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     """Spawn local workers (or join existing ones) and run one request.
 
-    The end-to-end demonstration of ``repro.cluster``: N worker
-    processes, rendezvous shard placement, and a ``ParseReport`` whose
-    ``execution.extra`` block carries the wire/dedup/fault telemetry
-    this command summarises.
+    The end-to-end demonstration of ``repro.cluster`` and
+    ``repro.elastic``: N worker processes, rendezvous shard placement,
+    optional live membership (``--listen``), autoscaling
+    (``--autoscale``), and a checkpoint ledger (``--ledger-dir``) — with
+    a ``ParseReport`` whose ``execution.extra`` block carries the
+    wire/dedup/fault/elastic telemetry this command summarises.
     """
     import os
     import signal
@@ -758,6 +816,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
 
     _setup_logging(args)
+    if args.action == "status":
+        return _cmd_cluster_status(args)
+    if args.resume and not args.ledger_dir:
+        raise SystemExit("error: --resume needs --ledger-dir (the campaign ledger)")
     procs: list[subprocess.Popen] = []
     addresses: list[str] = []
     try:
@@ -804,11 +866,38 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                         f"(got {line!r}): {exc}"
                     ) from exc
             print(f"spawned {len(procs)} worker(s): {', '.join(addresses)}", flush=True)
-        options = {
+        options: dict[str, object] = {
             "workers": ",".join(addresses),
             "window": args.window,
             "placement": args.placement,
         }
+        if args.listen is not None:
+            options["listen"] = args.listen
+        if args.ledger_dir:
+            options["ledger_dir"] = args.ledger_dir
+            from repro.elastic.ledger import ShardLedger
+
+            completed = len(ShardLedger(args.ledger_dir))
+            if completed:
+                print(
+                    f"resuming from ledger {args.ledger_dir}: "
+                    f"{completed} completed shard(s) will replay",
+                    flush=True,
+                )
+            elif args.resume:
+                print(
+                    f"--resume: ledger {args.ledger_dir} is empty, "
+                    f"running the campaign from the start",
+                    flush=True,
+                )
+        if args.autoscale:
+            options["autoscale"] = {
+                "min_workers": args.min_workers,
+                "max_workers": args.max_workers,
+                "worker_backend": args.worker_backend,
+                "worker_jobs": args.worker_jobs,
+                "cache_dir": args.cache_dir or None,
+            }
         _validate_backend_spec_or_exit("remote", options)
         request = ParseRequest(
             parser=args.parser,
@@ -1268,6 +1357,24 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--heartbeat-interval", type=float, default=1.0, help="liveness beacon period (s)"
     )
+    worker.add_argument(
+        "--join",
+        type=str,
+        default="",
+        metavar="HOST:PORT",
+        help="announce this worker to a running campaign's membership "
+        "listener (the coordinator's --listen address); the worker joins "
+        "mid-run and leaves gracefully on shutdown",
+    )
+    worker.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="capability tag advertised to coordinators (repeatable), e.g. "
+        "--tag gpu=true --tag cpu_class=large; heavyweight-parser shards "
+        "prefer workers whose tags satisfy them",
+    )
     _add_logging_arguments(worker)
     _add_backend_arguments(worker, default="serial")
     worker.add_argument(
@@ -1275,14 +1382,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="",
         help="local parse-cache directory (a warm cache answers shards "
-        "without re-parsing or re-transfer)",
+        "without re-parsing or re-transfer); several workers may share "
+        "one directory — the disk store merges additively on flush, so "
+        "concurrent writers are safe",
     )
     worker.set_defaults(func=_cmd_worker)
 
     cluster = sub.add_parser(
         "cluster",
         help="spawn N local workers (or join --workers-at), run one request "
-        "on the remote backend, and print the placement/dedup summary",
+        "on the remote backend, and print the placement/dedup summary; "
+        "`cluster status --at HOST:PORT` queries a live campaign",
+    )
+    cluster.add_argument(
+        "action",
+        nargs="?",
+        choices=["run", "status"],
+        default="run",
+        help="run a campaign (default), or query a live coordinator's "
+        "membership listener with status --at HOST:PORT",
     )
     cluster.add_argument("--workers", type=int, default=2, help="local workers to spawn")
     cluster.add_argument(
@@ -1332,7 +1450,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         type=str,
         default="",
-        help="cache root: coordinator cache plus per-worker subdirectories",
+        help="cache root: coordinator cache plus per-worker subdirectories "
+        "(autoscaled workers share one directory — safe, since the disk "
+        "store merges additively on flush)",
+    )
+    cluster.add_argument(
+        "--at",
+        type=str,
+        default="",
+        metavar="HOST:PORT",
+        help="membership listener of the campaign to query (status action)",
+    )
+    cluster.add_argument(
+        "--listen",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="start a membership listener so `worker --join` daemons can "
+        "join mid-campaign (pass an explicit port to share with joiners; "
+        "0 picks a free one, useful only with --autoscale)",
+    )
+    cluster.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="run the elastic autoscaler: spawn/drain local workers from "
+        "queue-depth and batch-latency telemetry (implies --listen 0)",
+    )
+    cluster.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="autoscaler floor (workers kept alive even when idle)",
+    )
+    cluster.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="autoscaler ceiling (scale-up stops here)",
+    )
+    cluster.add_argument(
+        "--ledger-dir",
+        type=str,
+        default="",
+        help="checkpoint directory: completed shards are durably recorded "
+        "to a shard ledger there, and a re-run with the same directory "
+        "replays them instead of re-parsing (see --resume)",
+    )
+    cluster.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed campaign from --ledger-dir (completed shards "
+        "are skipped exactly-once; requires --ledger-dir)",
     )
     cluster.add_argument("--output", type=str, default="", help="write the summary JSON here")
     _add_logging_arguments(cluster)

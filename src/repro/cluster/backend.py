@@ -119,10 +119,29 @@ class RemoteBackend(ThreadBackend):
         even on cache-carrying workers).
     connect_timeout / heartbeat_interval / heartbeat_timeout:
         See :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+    listen:
+        Membership listener port (0 picks a free one; ``None`` disables).
+        When set, ``worker --join`` daemons can join the running
+        campaign and ``cluster status`` can query it.
+    ledger_dir:
+        Campaign checkpoint directory.  Completed shards are durably
+        recorded to a :class:`~repro.elastic.ledger.ShardLedger` there;
+        re-running with the same directory resumes, replaying completed
+        shards instead of dispatching them.
+    autoscale:
+        Autoscaler configuration dict (``None`` disables).  Policy knobs
+        (``min_workers``, ``max_workers``, ``scale_up_backlog``,
+        ``backlog_sustain_seconds``, ``idle_sustain_seconds``,
+        ``cooldown_seconds``) go to
+        :class:`~repro.elastic.policy.AutoscalerPolicy`; launcher knobs
+        (``worker_backend``, ``worker_jobs``, ``cache_dir``) to
+        :class:`~repro.elastic.autoscaler.SubprocessLauncher`.  Implies
+        a membership listener.
 
     Construction is lazy: addresses are validated eagerly (so queued
     :class:`~repro.pipeline.request.ParseRequest` objects fail fast) but
-    the cluster is dialled on first use.
+    the cluster is dialled — and any listener/autoscaler started — on
+    first use.
     """
 
     name = "remote"
@@ -136,6 +155,9 @@ class RemoteBackend(ThreadBackend):
         connect_timeout: float = 5.0,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 15.0,
+        listen: "int | None" = None,
+        ledger_dir: "str | None" = None,
+        autoscale: "dict[str, Any] | None" = None,
     ) -> None:
         self.addresses = _parse_addresses(workers)
         if window < 1:
@@ -157,7 +179,18 @@ class RemoteBackend(ThreadBackend):
         self.connect_timeout = connect_timeout
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        if listen is not None and (not isinstance(listen, int) or listen < 0):
+            raise ValueError("listen must be a port number (0 picks a free one)")
+        if autoscale is not None and not isinstance(autoscale, dict):
+            raise ValueError("autoscale must be a dict of policy/launcher options")
+        self.listen = listen
+        self.ledger_dir = ledger_dir
+        self.autoscale = dict(autoscale) if autoscale else None
+        if self.autoscale is not None and self.listen is None:
+            self.listen = 0  # autoscaled campaigns accept joins by default
         self._coordinator: ClusterCoordinator | None = None
+        self._listener = None
+        self._autoscaler = None
 
     @property
     def workers(self) -> int:
@@ -168,6 +201,11 @@ class RemoteBackend(ThreadBackend):
         if self._closed:
             raise BackendError("remote backend is closed")
         if self._coordinator is None:
+            ledger = None
+            if self.ledger_dir:
+                from repro.elastic.ledger import ShardLedger
+
+                ledger = ShardLedger(self.ledger_dir)
             coordinator = ClusterCoordinator(
                 self.addresses,
                 window=self.per_worker_window,
@@ -175,16 +213,56 @@ class RemoteBackend(ThreadBackend):
                 connect_timeout=self.connect_timeout,
                 heartbeat_interval=self.heartbeat_interval,
                 heartbeat_timeout=self.heartbeat_timeout,
+                ledger=ledger,
             )
             try:
                 coordinator.connect()
             except ClusterError as exc:
                 raise BackendError(str(exc)) from exc
             self._coordinator = coordinator
+            if self.listen is not None:
+                from repro.elastic.membership import MembershipListener
+
+                self._listener = MembershipListener(
+                    coordinator, port=self.listen
+                ).start()
+            if self.autoscale is not None:
+                self._start_autoscaler(coordinator)
         return self._coordinator
 
+    def _start_autoscaler(self, coordinator: ClusterCoordinator) -> None:
+        from repro.elastic.autoscaler import (
+            Autoscaler,
+            SubprocessLauncher,
+            signals_from_coordinator,
+        )
+        from repro.elastic.policy import AutoscalerPolicy
+
+        options = dict(self.autoscale or {})
+        launcher = SubprocessLauncher(
+            coordinator,
+            worker_backend=str(options.pop("worker_backend", "serial")),
+            worker_jobs=int(options.pop("worker_jobs", 1)),
+            cache_dir=options.pop("cache_dir", None) or None,
+        )
+        try:
+            policy = AutoscalerPolicy(**options)
+        except TypeError as exc:
+            raise BackendError(f"bad autoscale options: {exc}") from exc
+        self._autoscaler = Autoscaler(
+            policy, lambda: signals_from_coordinator(coordinator), launcher
+        ).start()
+
+    @property
+    def membership_address(self) -> "str | None":
+        """The live membership listener endpoint (``None`` until dialled)."""
+        return self._listener.address if self._listener is not None else None
+
     def wrap_inner(self, inner: Callable[[_T], _R]) -> Callable[[_T], _R]:
+        from repro.elastic.policy import constraints_for_parser
+
         spec = worker_spec_for(inner, cache=self.worker_cache)
+        constraints = constraints_for_parser(spec.parser)
         coordinator = self._ensure_coordinator()
 
         def remote(batch: _T) -> _R:
@@ -192,7 +270,11 @@ class RemoteBackend(ThreadBackend):
             # shard frame carries it to the worker; the span here times the
             # full round trip (queueing, transfer, remote parse, reply).
             with _tracing.span("cluster.shard", attributes={"backend": self.name}):
-                future = coordinator.submit(spec, batch)  # type: ignore[arg-type]
+                future = coordinator.submit(
+                    spec,
+                    batch,  # type: ignore[arg-type]
+                    constraints=constraints,
+                )
                 try:
                     return future.result()  # type: ignore[return-value]
                 except ClusterError as exc:
@@ -213,13 +295,25 @@ class RemoteBackend(ThreadBackend):
                     for key, value in self._coordinator.stats().items()
                 }
             )
+        if self._autoscaler is not None:
+            autoscaler_stats = self._autoscaler.stats()
+            autoscaler_stats.pop("events", None)  # counters only in extra
+            extra.update(
+                {f"cluster_autoscaler_{k}": v for k, v in autoscaler_stats.items()}
+            )
         stats.extra.update(extra)
         return stats
 
     def close(self) -> None:
-        # The coordinator goes first: it fails any still-pending shard
+        # The autoscaler goes first (it spawns/drains workers and must
+        # stop mutating the membership), then the listener (no more
+        # joins), then the coordinator: it fails any still-pending shard
         # futures, which unblocks orchestration threads so the inherited
         # close() can join the pool without deadlocking on them.
+        if self._autoscaler is not None:
+            self._autoscaler.stop()
+        if self._listener is not None:
+            self._listener.stop()
         if self._coordinator is not None:
             self._coordinator.close()
         super().close()
@@ -238,6 +332,9 @@ register_backend(
                 "connect_timeout",
                 "heartbeat_interval",
                 "heartbeat_timeout",
+                "listen",
+                "ledger_dir",
+                "autoscale",
             }
         ),
         description="distributed execution on repro.cluster worker daemons",

@@ -24,12 +24,27 @@ Behind that contract it implements the distribution policy:
   content go hash-only, and the worker's ``shard_need`` reply pulls any
   payloads it genuinely lacks.
 * **Fault tolerance** — a worker is dead on socket EOF/reset or after
-  ``heartbeat_timeout`` without a beacon.  Its queued and in-flight
-  shards are re-placed on the survivors (**at-least-once** dispatch);
-  results are deduplicated by shard id, first writer wins, so the caller
-  still observes **exactly-once** results.  When the last worker dies,
-  every outstanding future fails with a :class:`ClusterError` rather
-  than hanging.
+  ``heartbeat_timeout`` without a beacon.  Both detection paths converge
+  on one reap-and-requeue code path (:meth:`ClusterCoordinator.
+  _on_worker_death`), idempotent under the link's ``alive`` flag — a
+  worker dying *between* a heartbeat timeout and the EOF landing is
+  reaped exactly once, never double-requeued.  Orphaned queued and
+  in-flight shards are re-placed on the survivors (**at-least-once**
+  dispatch); results are deduplicated by shard id, first writer wins, so
+  the caller still observes **exactly-once** results.  When the last
+  worker dies, every outstanding future fails with a
+  :class:`ClusterError` rather than hanging.
+
+Elastic extensions (:mod:`repro.elastic`) build on the same machinery:
+a :class:`~repro.elastic.membership.MembershipRegistry` records every
+admission and departure, :meth:`ClusterCoordinator.add_worker` admits a
+worker to a *running* coordinator (re-placing only the queued shards
+whose rendezvous preference moved — in-flight and completed shards never
+move), :meth:`ClusterCoordinator.remove_worker` drains one gracefully,
+capability tags route constrained shards to capable nodes, and an
+optional :class:`~repro.elastic.ledger.ShardLedger` checkpoints every
+completed shard so a killed campaign resumes with completed work
+replayed, not re-parsed.
 """
 
 from __future__ import annotations
@@ -38,7 +53,7 @@ import socket
 import threading
 from collections import deque
 from time import monotonic
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.cache.keys import document_content_hash
 from repro.cluster import protocol
@@ -53,11 +68,16 @@ from repro.cluster.protocol import (
 from repro.core.engine import RoutingDecision
 from repro.documents.document import SciDocument
 from repro.documents.simpdf import document_to_dict
+from repro.elastic.membership import MembershipRegistry
+from repro.elastic.policy import satisfies, tags_from_capabilities
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.obs.logging import get_logger, log_event
 from repro.obs.tracing import TraceContext
 from repro.parsers.base import ParseResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.elastic.ledger import ShardLedger
 
 #: Thread-name prefix of coordinator-owned threads (readers + monitor).
 COORDINATOR_THREAD_PREFIX = "repro-cluster-coord"
@@ -132,6 +152,7 @@ class _Shard:
         "excluded_workers",
         "assigned_worker",
         "trace",
+        "constraints",
     )
 
     def __init__(
@@ -140,6 +161,7 @@ class _Shard:
         spec: WorkerSpec,
         documents: list[SciDocument],
         trace: TraceContext | None = None,
+        constraints: Mapping[str, Any] | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.spec = spec
@@ -151,6 +173,10 @@ class _Shard:
         self.excluded_workers: set[str] = set()
         self.assigned_worker: str | None = None
         self.trace = trace
+        #: Capability constraints (e.g. ``{"gpu": True}`` for heavyweight
+        #: parsers); matched against worker tags, relaxed when no alive
+        #: worker satisfies them.
+        self.constraints = dict(constraints or {})
 
 
 class _WorkerLink:
@@ -162,7 +188,16 @@ class _WorkerLink:
         self.window = window
         self.worker_id = address  # replaced by the hello_ack identity
         self.capabilities: dict[str, Any] = {}
+        #: Effective capability tags (explicit ``tags`` plus the implicit
+        #: cache/slots capabilities) used for constrained placement.
+        self.tags: dict[str, Any] = {}
+        #: How the worker arrived: "fixed" list, mid-run "join", or
+        #: "autoscaler".
+        self.source = "fixed"
         self.alive = True
+        #: Draining workers finish their in-flight shards but receive no
+        #: new placements; set by graceful removal (leave/scale-down).
+        self.draining = False
         self.last_seen = monotonic()
         self.in_flight: dict[str, _Shard] = {}
         self.queued: deque[_Shard] = deque()
@@ -195,6 +230,12 @@ class ClusterCoordinator:
     heartbeat_interval / heartbeat_timeout:
         Beacon period requested from workers, and the silence after
         which a worker is declared dead and its shards re-queued.
+    ledger:
+        Optional :class:`~repro.elastic.ledger.ShardLedger`.  Completed
+        shards are durably recorded before their futures resolve, and
+        submissions whose (placement key × fingerprint) the ledger
+        already holds are replayed without dispatch — the
+        checkpoint/resume path of ``cluster --ledger-dir``.
     """
 
     def __init__(
@@ -206,6 +247,7 @@ class ClusterCoordinator:
         connect_timeout: float = 5.0,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 15.0,
+        ledger: "ShardLedger | None" = None,
     ) -> None:
         if not addresses:
             raise ClusterError("remote backend needs at least one worker address")
@@ -221,6 +263,7 @@ class ClusterCoordinator:
         self.connect_timeout = connect_timeout
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.ledger = ledger
         self._lock = threading.Lock()
         self._links: list[_WorkerLink] = []
         self._shards: dict[str, _Shard] = {}
@@ -228,18 +271,28 @@ class ClusterCoordinator:
         self._closed = False
         self._monitor: threading.Thread | None = None
         self._monitor_stop = threading.Event()
+        #: Membership history: every admission/departure this coordinator
+        #: ever saw, including workers that joined and left mid-campaign.
+        self.membership = MembershipRegistry()
+        #: Seconds the most recent completed shard spent on its worker —
+        #: the per-batch latency signal the autoscaler samples.
+        self.last_batch_seconds = 0.0
         self.counters: dict[str, int] = {
             "workers_seen": 0,
             "workers_lost": 0,
+            "workers_left": 0,
             "shards_submitted": 0,
             "shards_completed": 0,
             "shards_failed": 0,
             "shards_reassigned": 0,
+            "shards_rebalanced": 0,
+            "shards_replayed": 0,
             "duplicate_results_ignored": 0,
             "doc_payloads_sent": 0,
             "doc_payloads_skipped": 0,
             "remote_cache_hits": 0,
             "remote_cache_misses": 0,
+            "placement_relaxed": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -265,7 +318,7 @@ class ClusterCoordinator:
         self._monitor.start()
         return self
 
-    def _connect_one(self, address: str) -> None:
+    def _connect_one(self, address: str, source: str = "fixed") -> _WorkerLink:
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ClusterError(f"worker address must be host:port, got {address!r}")
@@ -273,12 +326,16 @@ class ClusterCoordinator:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         channel = MessageChannel(sock)
         link = _WorkerLink(address, channel, self.window)
+        link.source = source
         try:
             channel.send(
                 {
                     "type": protocol.HELLO,
                     "protocol": protocol.PROTOCOL_VERSION,
                     "heartbeat_interval": self.heartbeat_interval,
+                    # Capability flag, not a version bump: v1 workers
+                    # ignore it and keep working as fixed-list members.
+                    "capabilities": {"membership": True},
                 }
             )
             ack = channel.recv()
@@ -298,6 +355,7 @@ class ClusterCoordinator:
             )
         link.worker_id = str(ack.get("worker_id", address))
         link.capabilities = dict(ack.get("capabilities", {}))
+        link.tags = tags_from_capabilities(link.capabilities)
         sock.settimeout(None)
         with self._lock:
             if any(peer.worker_id == link.worker_id for peer in self._links):
@@ -308,6 +366,9 @@ class ClusterCoordinator:
                 )
             self._links.append(link)
             self.counters["workers_seen"] += 1
+        self.membership.record_join(
+            link.worker_id, address, source=source, tags=link.tags
+        )
         link.reader = threading.Thread(
             target=self._read_loop,
             args=(link,),
@@ -315,6 +376,122 @@ class ClusterCoordinator:
             daemon=True,
         )
         link.reader.start()
+        return link
+
+    # ------------------------------------------------------------------ #
+    # Live membership (repro.elastic)
+    # ------------------------------------------------------------------ #
+    def add_worker(self, address: str, *, source: str = "join") -> str:
+        """Admit a worker to a *running* coordinator; returns its id.
+
+        The new worker goes through the ordinary handshake and then only
+        the **queued** shards whose rendezvous preference moved to it are
+        re-placed (:meth:`_rebalance_after_join`) — in-flight shards stay
+        where they are and completed shards are gone, so a join disrupts
+        the minimal shard set.
+        """
+        with self._lock:
+            if self._closed:
+                raise ClusterError("coordinator is closed")
+        link = self._connect_one(address, source=source)
+        self._rebalance_after_join(link)
+        log_event(
+            _LOG, "info", "worker_added",
+            worker=link.worker_id, address=address, source=source,
+        )
+        return link.worker_id
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Gracefully drain one worker out of the cluster.
+
+        The link stops receiving placements immediately, its queued
+        shards re-place onto the other workers, and a ``drain`` asks it
+        to finish in-flight work and say ``bye`` — at which point the
+        departure is recorded as a *leave*, not a death.
+        """
+        with self._lock:
+            link = next(
+                (
+                    peer
+                    for peer in self._links
+                    if peer.worker_id == worker_id and peer.alive
+                ),
+                None,
+            )
+            if link is None:
+                raise ClusterError(f"no alive worker {worker_id!r} to remove")
+            if link.draining:
+                return  # removal already underway
+            link.draining = True
+            requeued = list(link.queued)
+            link.queued.clear()
+            for shard in requeued:
+                self._place_locked(shard)
+            sends = self._pump_locked()
+        self.membership.mark_draining(worker_id)
+        self._send_planned(sends)
+        try:
+            link.channel.send({"type": protocol.DRAIN})
+        except (OSError, ProtocolError) as exc:
+            self._on_worker_death(link, f"send failed during drain: {exc}")
+
+    def _rebalance_after_join(self, link: _WorkerLink) -> None:
+        """Move queued shards that now rendezvous-prefer the new worker.
+
+        Only queued (never dispatched) shards move, and only those whose
+        top-ranked worker *is* the newcomer — the minimal-disruption
+        property of rendezvous hashing, applied to a join.  Balanced
+        placement skips this: its queues drain least-backlogged-first
+        and the newcomer's empty backlog attracts new work naturally.
+        """
+        if self.placement != "rendezvous":
+            return
+        moved = 0
+        with self._lock:
+            if not link.alive or self._closed:
+                return
+            alive_ids = [
+                peer.worker_id
+                for peer in self._links
+                if peer.alive and not peer.draining
+            ]
+            for peer in self._links:
+                if peer is link or not peer.alive:
+                    continue
+                kept: deque[_Shard] = deque()
+                for shard in peer.queued:
+                    candidates = [
+                        wid for wid in alive_ids if wid not in shard.excluded_workers
+                    ] or alive_ids
+                    if shard.constraints:
+                        tagged = [
+                            wid
+                            for wid in candidates
+                            if satisfies(self._tags_of_locked(wid), shard.constraints)
+                        ]
+                        candidates = tagged or candidates
+                    ranked = rank_workers(shard.placement_key, candidates)
+                    if ranked and ranked[0] == link.worker_id:
+                        shard.assigned_worker = link.worker_id
+                        link.queued.append(shard)
+                        moved += 1
+                    else:
+                        kept.append(shard)
+                peer.queued = kept
+            self.counters["shards_rebalanced"] += moved
+            sends = self._pump_locked()
+        self._send_planned(sends)
+        if moved:
+            log_event(
+                _LOG, "info", "shards_rebalanced",
+                worker=link.worker_id, moved=moved,
+            )
+
+    def _tags_of_locked(self, worker_id: str) -> dict[str, Any]:
+        for peer in self._links:
+            if peer.worker_id == worker_id:
+                return peer.tags
+        return {}
 
     # ------------------------------------------------------------------ #
     # Submission and placement
@@ -324,12 +501,17 @@ class ClusterCoordinator:
         spec: WorkerSpec,
         documents: Iterable[SciDocument],
         trace: TraceContext | None = None,
+        constraints: Mapping[str, Any] | None = None,
     ) -> ShardFuture:
         """Plan one shard onto the cluster; returns its future immediately.
 
         ``trace`` (default: the caller's active trace) rides the
         ``submit_shard`` frame so worker-side spans join the submitting
-        request's distributed trace.
+        request's distributed trace.  ``constraints`` are capability
+        requirements matched against worker tags (relaxed when no alive
+        worker satisfies them).  With a ledger attached, a shard the
+        ledger already holds resolves immediately from the checkpoint —
+        the resume path — and is never dispatched.
         """
         batch = list(documents)
         if trace is None:
@@ -337,10 +519,27 @@ class ClusterCoordinator:
         with self._lock:
             if self._closed:
                 raise ClusterError("coordinator is closed")
-            shard = _Shard(f"s{self._next_shard:06d}", spec, batch, trace=trace)
+            shard = _Shard(
+                f"s{self._next_shard:06d}",
+                spec,
+                batch,
+                trace=trace,
+                constraints=constraints,
+            )
             self._next_shard += 1
-            self._shards[shard.shard_id] = shard
             self.counters["shards_submitted"] += 1
+        if self.ledger is not None:
+            replay = self.ledger.completed_output(shard.placement_key, spec.fingerprint)
+            if replay is not None:
+                with self._lock:
+                    self.counters["shards_replayed"] += 1
+                _CLUSTER_SHARDS.inc(outcome="replayed")
+                shard.future.set_result(replay)
+                return shard.future
+        with self._lock:
+            if self._closed:
+                raise ClusterError("coordinator is closed")
+            self._shards[shard.shard_id] = shard
             self._place_locked(shard)
             sends = self._pump_locked()
         self._send_planned(sends)
@@ -366,9 +565,13 @@ class ClusterCoordinator:
             sends = self._pump_locked()
         self._send_planned(sends)
 
+    def _placeable_links(self) -> list[_WorkerLink]:
+        """Links that may receive *new* shards (alive and not draining)."""
+        return [link for link in self._links if link.alive and not link.draining]
+
     def _place_locked(self, shard: _Shard) -> None:
         """Pick a worker for a shard and queue it there (lock held)."""
-        alive = self._alive_links()
+        alive = self._placeable_links()
         if not alive:
             self._fail_shard_locked(
                 shard, ClusterError("no alive cluster workers to place shards on")
@@ -378,6 +581,19 @@ class ClusterCoordinator:
         candidates = [wid for wid in by_id if wid not in shard.excluded_workers]
         if not candidates:
             candidates = list(by_id)  # every survivor already tried: retry anyway
+        if shard.constraints:
+            # Capability-tagged placement: prefer workers whose tags
+            # satisfy the shard's constraints; when none do, relax — any
+            # worker *can* run a heavyweight parser, just more slowly.
+            tagged = [
+                wid
+                for wid in candidates
+                if satisfies(by_id[wid].tags, shard.constraints)
+            ]
+            if tagged:
+                candidates = tagged
+            else:
+                self.counters["placement_relaxed"] += 1
         ranked = rank_workers(shard.placement_key, candidates)
         if self.placement == "balanced":
             rank_index = {wid: i for i, wid in enumerate(ranked)}
@@ -391,7 +607,7 @@ class ClusterCoordinator:
         """Move queued shards into free windows (lock held); returns sends."""
         sends: list[tuple[_WorkerLink, _Shard]] = []
         for link in self._links:
-            if not link.alive:
+            if not link.alive or link.draining:
                 continue
             while link.queued and len(link.in_flight) < link.window:
                 shard = link.queued.popleft()
@@ -500,6 +716,7 @@ class ClusterCoordinator:
                 self.counters["remote_cache_misses"] += int(
                     message.get("cache_misses", 0)
                 )
+                self.last_batch_seconds = float(message.get("elapsed_seconds", 0.0))
                 # Everything the shard carried is now materialised worker-side.
                 link.sent_hashes.update(shard.content_hashes)
                 sends = self._pump_locked()
@@ -529,6 +746,23 @@ class ClusterCoordinator:
                 )
             )
             return
+        if self.ledger is not None:
+            # Checkpoint *before* resolving the future: once the caller
+            # observes the shard complete, a coordinator kill cannot
+            # un-complete it on resume.
+            try:
+                self.ledger.record(
+                    shard.placement_key,
+                    shard.spec.fingerprint,
+                    message.get("results", []),
+                    message.get("decisions", []),
+                    worker_id=link.worker_id,
+                )
+            except OSError as exc:
+                log_event(
+                    _LOG, "warning", "ledger_record_failed",
+                    shard_id=shard_id, reason=str(exc),
+                )
         shard.future.set_result(output)
 
     def _on_shard_need(self, link: _WorkerLink, message: Mapping[str, Any]) -> None:
@@ -592,38 +826,78 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Fault handling
     # ------------------------------------------------------------------ #
-    def _on_worker_death(self, link: _WorkerLink, reason: str) -> None:
+    def _reap_link_locked(
+        self, link: _WorkerLink
+    ) -> "tuple[int, list[tuple[_WorkerLink, _Shard]], bool] | None":
+        """Mark one link dead and requeue its orphans (lock held).
+
+        **The single dedup/requeue code path** for every way a worker
+        leaves: socket EOF/reset (reader loop), heartbeat timeout
+        (monitor loop), a failed send, and graceful drains all land
+        here.  The ``link.alive`` flip under the coordinator lock is the
+        double-requeue guard — when a worker dies *between* a heartbeat
+        timeout and the EOF landing, whichever path arrives second
+        observes ``alive == False`` and returns ``None`` without
+        touching a single shard.  The per-shard ``future.done`` /
+        ``not in self._shards`` checks additionally skip shards that
+        already completed or were re-placed, so a completed shard never
+        moves.
+
+        Returns ``(reassigned, sends, closing)``; ``None`` if the link
+        was already reaped.
+        """
+        if not link.alive:
+            return None
+        link.alive = False
+        closing = self._closed
         reassigned = 0
-        with self._lock:
-            if not link.alive:
-                return
-            link.alive = False
-            closing = self._closed
-            if not closing:
+        if not closing:
+            if link.draining:
+                self.counters["workers_left"] += 1
+            else:
                 self.counters["workers_lost"] += 1
-            orphans = list(link.in_flight.values()) + list(link.queued)
-            link.in_flight.clear()
-            link.queued.clear()
-            sends: list[tuple[_WorkerLink, _Shard]] = []
-            for shard in orphans:
-                if shard.future.done or shard.shard_id not in self._shards:
-                    continue
-                shard.excluded_workers.add(link.worker_id)
-                if not closing:
-                    self.counters["shards_reassigned"] += 1
-                    reassigned += 1
-                self._place_locked(shard)
+        orphans = list(link.in_flight.values()) + list(link.queued)
+        link.in_flight.clear()
+        link.queued.clear()
+        sends: list[tuple[_WorkerLink, _Shard]] = []
+        for shard in orphans:
+            if shard.future.done or shard.shard_id not in self._shards:
+                continue  # completed or already re-placed: never moved twice
+            shard.excluded_workers.add(link.worker_id)
             if not closing:
-                sends = self._pump_locked()
+                self.counters["shards_reassigned"] += 1
+                reassigned += 1
+            self._place_locked(shard)
+        if not closing:
+            sends = self._pump_locked()
+        return reassigned, sends, closing
+
+    def _on_worker_death(self, link: _WorkerLink, reason: str) -> None:
+        with self._lock:
+            reaped = self._reap_link_locked(link)
+        if reaped is None:
+            return  # another detection path won the race; nothing to redo
+        reassigned, sends, closing = reaped
+        graceful = link.draining
         link.channel.close()
         if not closing:
-            _CLUSTER_WORKERS_LOST.inc()
+            if graceful:
+                self.membership.record_leave(link.worker_id)
+                log_event(
+                    _LOG, "info", "worker_left",
+                    worker=link.worker_id, reason=reason,
+                    shards_reassigned=reassigned,
+                )
+            else:
+                self.membership.record_death(link.worker_id)
+                _CLUSTER_WORKERS_LOST.inc()
+                log_event(
+                    _LOG, "warning", "worker_lost",
+                    worker=link.worker_id, reason=reason,
+                    shards_reassigned=reassigned,
+                )
             if reassigned:
                 _CLUSTER_SHARDS.inc(reassigned, outcome="reassigned")
-            log_event(
-                _LOG, "warning", "worker_lost",
-                worker=link.worker_id, reason=reason, shards_reassigned=reassigned,
-            )
         self._send_planned(sends)
 
     def _monitor_loop(self) -> None:
@@ -645,10 +919,15 @@ class ClusterCoordinator:
         with self._lock:
             stats: dict[str, Any] = dict(self.counters)
             stats["workers_alive"] = sum(1 for link in self._links if link.alive)
+            stats["workers_draining"] = sum(
+                1 for link in self._links if link.alive and link.draining
+            )
             stats["bytes_sent"] = sum(link.channel.bytes_sent for link in self._links)
             stats["bytes_received"] = sum(
                 link.channel.bytes_received for link in self._links
             )
+        if self.ledger is not None:
+            stats["ledger_entries"] = len(self.ledger)
         _CLUSTER_BYTES.set(stats["bytes_sent"], direction="sent")
         _CLUSTER_BYTES.set(stats["bytes_received"], direction="received")
         return stats
@@ -661,12 +940,24 @@ class ClusterCoordinator:
                     "worker_id": link.worker_id,
                     "address": link.address,
                     "alive": link.alive,
+                    "draining": link.draining,
+                    "source": link.source,
                     "in_flight": len(link.in_flight),
                     "queued": len(link.queued),
                     "capabilities": dict(link.capabilities),
+                    "tags": dict(link.tags),
                 }
                 for link in self._links
             ]
+
+    def status(self) -> dict[str, Any]:
+        """The full membership/counters snapshot (``cluster status``)."""
+        return {
+            "counters": self.stats(),
+            "workers": self.workers(),
+            "membership": self.membership.snapshot(),
+            "membership_counters": dict(self.membership.counters),
+        }
 
     def close(self) -> None:
         """Fail outstanding shards, say goodbye, and join the threads."""

@@ -49,6 +49,18 @@ Message types
 ``drain`` / ``bye``
     Graceful shutdown: ``drain`` asks the peer to finish in-flight work
     and reply ``bye``; ``bye`` ends the conversation in either direction.
+``join`` / ``join_ack`` / ``leave`` / ``leave_ack``
+    Live-membership announcements (``repro.elastic``): a starting worker
+    sends ``join`` (identity, listen address, capability tags) to a
+    coordinator's membership listener, which dials the worker back over
+    the ordinary ``hello`` path and answers ``join_ack``; ``leave`` asks
+    the coordinator to drain one worker gracefully.  Membership support
+    is advertised as a ``capabilities: {"membership": true}`` flag in
+    ``hello``/``hello_ack`` — v1 peers ignore the unknown key and keep
+    working as a fixed-list cluster, so no version bump.
+``status`` / ``status_result``
+    Membership-listener introspection: current workers, their states and
+    tags, and the coordinator counters (``cluster status``).
 ``error``
     Fatal connection-level failure (before/outside any shard).
 
@@ -96,6 +108,14 @@ HEARTBEAT = "heartbeat"
 DRAIN = "drain"
 BYE = "bye"
 ERROR = "error"
+# Live-membership messages (repro.elastic); capability-flagged, so the
+# protocol version stays 1 — v1 peers never see or send these.
+JOIN = "join"
+JOIN_ACK = "join_ack"
+LEAVE = "leave"
+LEAVE_ACK = "leave_ack"
+STATUS = "status"
+STATUS_RESULT = "status_result"
 
 
 # ---------------------------------------------------------------------- #

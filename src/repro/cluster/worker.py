@@ -116,6 +116,12 @@ class WorkerDaemon:
     heartbeat_interval:
         Default liveness beacon period (the coordinator's ``hello`` may
         override it per connection).
+    tags:
+        Capability tags advertised in the ``hello_ack`` handshake
+        (``{"gpu": True, "cpu_class": "large"}``); coordinators route
+        constrained (heavyweight-parser) shards to workers whose tags
+        satisfy them.  Values are normalised from CLI strings
+        (``"true"`` → ``True``, ``"8"`` → ``8``).
     """
 
     def __init__(
@@ -130,6 +136,7 @@ class WorkerDaemon:
         slots: int | None = None,
         name: str | None = None,
         heartbeat_interval: float = 1.0,
+        tags: Mapping[str, Any] | None = None,
     ) -> None:
         self._host = host
         self._requested_port = port
@@ -142,6 +149,9 @@ class WorkerDaemon:
         self._slots = slots
         self._name = name
         self.heartbeat_interval = heartbeat_interval
+        from repro.elastic.policy import coerce_tags
+
+        self.tags = coerce_tags(tags)
 
         self._listener: socket.socket | None = None
         self._bound_port: int | None = None
@@ -294,6 +304,121 @@ class WorkerDaemon:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    # ------------------------------------------------------------------ #
+    # Live membership (repro.elastic)
+    # ------------------------------------------------------------------ #
+    def _announce(
+        self,
+        coordinator_address: str,
+        message: Mapping[str, Any],
+        *,
+        timeout: float,
+        retries: int,
+        retry_delay: float,
+    ) -> dict[str, Any]:
+        """One request-response on a coordinator's membership listener."""
+        from time import sleep
+
+        host, _, port = coordinator_address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"coordinator address must be host:port, got {coordinator_address!r}"
+            )
+        last_error: Exception | None = None
+        for attempt in range(max(1, retries)):
+            if attempt:
+                sleep(retry_delay)
+            try:
+                sock = socket.create_connection((host, int(port)), timeout=timeout)
+            except OSError as exc:
+                # The membership listener may start moments after us
+                # (the coordinator dials lazily); keep knocking.
+                last_error = exc
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            channel = MessageChannel(sock)
+            try:
+                channel.send(dict(message))
+                reply = channel.recv()
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                continue
+            finally:
+                channel.close()
+            if reply is None:
+                last_error = ProtocolError("membership listener closed mid-reply")
+                continue
+            return reply
+        raise ProtocolError(
+            f"could not announce to coordinator at {coordinator_address}: "
+            f"{last_error}"
+        )
+
+    def join(
+        self,
+        coordinator_address: str,
+        *,
+        timeout: float = 5.0,
+        retries: int = 20,
+        retry_delay: float = 0.5,
+    ) -> str:
+        """Announce this (started) worker to a running coordinator.
+
+        Sends a ``join`` to the coordinator's membership listener; the
+        coordinator dials back through the ordinary handshake, so after
+        this returns the worker is a full cluster member receiving
+        shards.  Retries while the listener is still coming up.
+        """
+        if not self._started:
+            raise RuntimeError("start the worker before joining a coordinator")
+        reply = self._announce(
+            coordinator_address,
+            {
+                "type": protocol.JOIN,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "worker_id": self.name,
+                "address": self.address,
+                "tags": dict(self.tags),
+            },
+            timeout=timeout,
+            retries=retries,
+            retry_delay=retry_delay,
+        )
+        if reply.get("type") != protocol.JOIN_ACK or not reply.get("accepted"):
+            raise ProtocolError(
+                f"coordinator refused the join: {reply.get('message', reply)}"
+            )
+        log_event(
+            _LOG, "info", "joined_coordinator",
+            worker=self.name, coordinator=coordinator_address,
+        )
+        return str(reply.get("worker_id", self.name))
+
+    def leave(
+        self,
+        coordinator_address: str,
+        *,
+        timeout: float = 5.0,
+    ) -> bool:
+        """Ask the coordinator to drain this worker out gracefully.
+
+        Best-effort: returns ``False`` (never raises on wire errors)
+        when the coordinator is unreachable — it will then observe the
+        departure as an EOF/timeout death instead, which is safe, just
+        noisier.
+        """
+        try:
+            reply = self._announce(
+                coordinator_address,
+                {"type": protocol.LEAVE, "worker_id": self.name},
+                timeout=timeout,
+                retries=1,
+                retry_delay=0.0,
+            )
+        except (OSError, ProtocolError, ValueError):
+            return False
+        return bool(reply.get("accepted"))
+
     def _bump(self, counter: str, n: int = 1) -> None:
         """Increment a counter (slot threads race on plain ``+=``)."""
         with self._counters_lock:
@@ -308,6 +433,7 @@ class WorkerDaemon:
                 "name": self.name,
                 "address": self.address if self._bound_port is not None else None,
                 "slots": self._slots,
+                "tags": dict(self.tags),
                 "doc_store_entries": len(self._doc_store),
                 "cache": self.cache is not None,
                 "backend": (
@@ -579,6 +705,10 @@ class _ConnectionHandler:
                     "backend": self.daemon._backend_name,
                     "slots": self.daemon._slots,
                     "cache": self.daemon.cache is not None,
+                    # Elastic-era capability flags: v1 coordinators
+                    # ignore unknown keys, so no protocol version bump.
+                    "membership": True,
+                    "tags": dict(self.daemon.tags),
                 },
             }
         )

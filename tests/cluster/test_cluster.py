@@ -532,6 +532,51 @@ class TestFaultTolerance:
         # caller's point of view (late duplicates, if any, were dropped).
         assert extra["cluster_shards_completed"] == execution.batches_dispatched
 
+    def test_death_detected_twice_requeues_once(self, registry, corpus_30):
+        """Regression: a worker dying *between* heartbeat timeout and EOF.
+
+        Both detection paths call ``_on_worker_death``; the ``link.alive``
+        flip inside ``_reap_link_locked`` must make the second (and any
+        later, e.g. the reader's EOF) a no-op — the orphaned shards are
+        re-placed exactly once, never double-requeued.
+        """
+        pipeline = tortoise_pipeline(registry, 0.05)
+        workers = start_workers(2, pipeline=tortoise_pipeline(registry, 0.05))
+        spec = worker_spec_for(pipeline.engines["tortoise"].parse_with_telemetry)
+        coordinator = ClusterCoordinator(
+            [w.address for w in workers], window=1
+        ).connect()
+        try:
+            documents = list(corpus_30)[:16]
+            futures = [
+                coordinator.submit(spec, documents[i : i + 2])
+                for i in range(0, len(documents), 2)
+            ]
+            victim_link = next(
+                link
+                for link in coordinator._links
+                if link.backlog  # it holds shards to orphan
+            )
+            # Simulate the race: heartbeat-timeout path fires, then the
+            # EOF path lands for the same link a moment later.
+            coordinator._on_worker_death(victim_link, "no heartbeat for 15.0s")
+            after_first = coordinator.counters["shards_reassigned"]
+            assert after_first >= 1
+            coordinator._on_worker_death(victim_link, "connection closed by worker")
+            assert coordinator.counters["shards_reassigned"] == after_first
+            assert coordinator.counters["workers_lost"] == 1
+            # Every future still resolves exactly once on the survivor.
+            outputs = [future.result(timeout=60) for future in futures]
+            assert all(len(results) == 2 for results, _ in outputs)
+            assert (
+                coordinator.counters["shards_completed"]
+                == coordinator.counters["shards_submitted"]
+            )
+        finally:
+            coordinator.close()
+            for worker in workers:
+                worker.stop()
+
     def test_losing_every_worker_fails_the_run_not_hangs(self, registry, corpus_30):
         documents = list(corpus_30)[:12]
         workers = start_workers(1, pipeline=tortoise_pipeline(registry, 0.05))
@@ -563,6 +608,74 @@ class TestFaultTolerance:
         assert not thread.is_alive(), "run hung after the last worker died"
         assert isinstance(outcome.get("error"), BackendError)
         assert "no alive cluster workers" in str(outcome["error"])
+
+
+# ---------------------------------------------------------------------- #
+# Shared cache directories
+# ---------------------------------------------------------------------- #
+class TestSharedCacheDir:
+    def test_workers_sharing_one_cache_dir_merge_additively(
+        self, registry, corpus_30, tmp_path
+    ):
+        """Several workers on one ``--cache-dir`` are safe (merge-on-flush).
+
+        Two workers parse disjoint halves of the corpus into caches backed
+        by the *same* directory; both flush.  If a flush clobbered the
+        other writer's entries, the warm re-run below would miss — instead
+        every document must hit, from fresh worker processes with fresh
+        cache instances over the same directory.
+        """
+        shared = tmp_path / "shared-cache"
+        documents = list(corpus_30)
+
+        def run(workers):
+            return ParsePipeline(registry).run(
+                request_for_documents(
+                    "pymupdf",
+                    documents,
+                    batch_size=5,
+                    backend="remote",
+                    backend_options={"workers": addresses_of(workers)},
+                )
+            )
+
+        cold_caches = [ParseCache(shared) for _ in range(2)]
+        workers = [
+            WorkerDaemon(
+                name=f"shared-{i}", pipeline=ParsePipeline(registry), cache=cache
+            ).start()
+            for i, cache in enumerate(cold_caches)
+        ]
+        try:
+            cold = run(workers)
+        finally:
+            for worker in workers:
+                worker.stop()
+        # Both parsed a share of the corpus...
+        parsed = [worker.counters["docs_parsed"] for worker in workers]
+        assert sum(parsed) == len(documents)
+        assert all(count > 0 for count in parsed)
+        # ...and both flush into the same directory without clobbering.
+        for cache in cold_caches:
+            cache.flush()
+
+        warm_caches = [ParseCache(shared) for _ in range(2)]
+        workers = [
+            WorkerDaemon(
+                name=f"shared-{i}", pipeline=ParsePipeline(registry), cache=cache
+            ).start()
+            for i, cache in enumerate(warm_caches)
+        ]
+        try:
+            warm = run(workers)
+        finally:
+            for worker in workers:
+                worker.stop()
+        assert warm.execution.extra["cluster_remote_cache_hits"] == len(documents)
+        assert warm.execution.extra["cluster_remote_cache_misses"] == 0
+        assert [r.to_json_dict() for r in warm.results] == [
+            r.to_json_dict() for r in cold.results
+        ]
 
 
 # ---------------------------------------------------------------------- #

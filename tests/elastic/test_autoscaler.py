@@ -1,0 +1,171 @@
+"""Autoscaler loop tests: fake launcher, injected clock, no real processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.autoscaler import Autoscaler, signals_from_coordinator
+from repro.elastic.policy import AutoscalerPolicy, ScalingSignals
+
+
+class FakeLauncher:
+    """Records spawn/drain/close calls; optionally fails on demand."""
+
+    def __init__(self, fail_spawn: bool = False) -> None:
+        self.fail_spawn = fail_spawn
+        self.spawned: list[str] = []
+        self.drained: list[str] = []
+        self.closed = False
+
+    def spawn(self) -> str:
+        if self.fail_spawn:
+            raise OSError("spawn refused")
+        worker_id = f"fake-{len(self.spawned)}"
+        self.spawned.append(worker_id)
+        return worker_id
+
+    def drain(self, worker_id: str) -> None:
+        self.drained.append(worker_id)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def autoscaler(launcher=None, signal_holder=None, **policy_kwargs):
+    defaults = dict(
+        min_workers=1,
+        max_workers=4,
+        scale_up_backlog=2.0,
+        backlog_sustain_seconds=2.0,
+        idle_sustain_seconds=5.0,
+        cooldown_seconds=0.0,
+    )
+    defaults.update(policy_kwargs)
+    holder = signal_holder if signal_holder is not None else {}
+    holder.setdefault(
+        "signals", ScalingSignals(queue_depth=0, in_flight=0, workers_alive=1)
+    )
+    return Autoscaler(
+        AutoscalerPolicy(**defaults),
+        lambda: holder["signals"],
+        launcher if launcher is not None else FakeLauncher(),
+    )
+
+
+def backlogged(alive=1):
+    return ScalingSignals(queue_depth=10 * alive, in_flight=0, workers_alive=alive)
+
+
+def idle(alive=2):
+    return ScalingSignals(queue_depth=0, in_flight=0, workers_alive=alive)
+
+
+class TestTick:
+    def test_sustained_backlog_spawns_a_worker(self):
+        launcher = FakeLauncher()
+        holder = {"signals": backlogged()}
+        scaler = autoscaler(launcher, holder)
+        assert scaler.tick(now=0.0) == "hold"
+        assert scaler.tick(now=2.5) == "up"
+        assert launcher.spawned == ["fake-0"]
+        assert scaler.managed == ["fake-0"]
+        assert scaler.counters["scale_up"] == 1
+        assert scaler.stats()["managed_workers"] == 1
+
+    def test_sustained_idle_drains_most_recent_managed_worker(self):
+        launcher = FakeLauncher()
+        holder = {"signals": backlogged()}
+        scaler = autoscaler(launcher, holder)
+        scaler.tick(now=0.0)
+        scaler.tick(now=2.5)  # up → fake-0
+        scaler.tick(now=3.0)
+        scaler.tick(now=5.5)  # up → fake-1
+        holder["signals"] = idle(alive=3)
+        assert scaler.tick(now=6.0) == "hold"
+        assert scaler.tick(now=11.5) == "down"
+        # LIFO: the newest spawn goes first.
+        assert launcher.drained == ["fake-1"]
+        assert scaler.managed == ["fake-0"]
+        assert scaler.counters["scale_down"] == 1
+
+    def test_down_with_nothing_managed_becomes_hold(self):
+        # Fixed-list and --join workers are somebody else's capacity: the
+        # autoscaler only ever drains workers it launched.
+        launcher = FakeLauncher()
+        holder = {"signals": idle(alive=3)}
+        scaler = autoscaler(launcher, holder)
+        scaler.tick(now=0.0)
+        assert scaler.tick(now=6.0) == "hold"
+        assert launcher.drained == []
+
+    def test_spawn_failure_counts_and_does_not_raise(self):
+        launcher = FakeLauncher(fail_spawn=True)
+        holder = {"signals": backlogged()}
+        scaler = autoscaler(launcher, holder)
+        scaler.tick(now=0.0)
+        assert scaler.tick(now=2.5) == "up"  # decided up; the act failed
+        assert scaler.managed == []
+        assert scaler.counters["scale_errors"] == 1
+
+    def test_events_record_direction_and_telemetry(self):
+        launcher = FakeLauncher()
+        holder = {"signals": backlogged()}
+        scaler = autoscaler(launcher, holder)
+        scaler.tick(now=0.0)
+        scaler.tick(now=2.5)
+        (event,) = scaler.stats()["events"]
+        assert event["direction"] == "up"
+        assert event["worker_id"] == "fake-0"
+        assert event["queue_depth"] == 10
+
+    def test_stop_closes_the_launcher(self):
+        launcher = FakeLauncher()
+        scaler = autoscaler(launcher)
+        scaler.start()
+        scaler.stop()
+        assert launcher.closed
+
+    def test_stop_can_keep_managed_workers(self):
+        launcher = FakeLauncher()
+        scaler = autoscaler(launcher)
+        scaler.start()
+        scaler.stop(drain_managed=False)
+        assert not launcher.closed
+
+    def test_double_start_refused(self):
+        scaler = autoscaler()
+        scaler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                scaler.start()
+        finally:
+            scaler.stop()
+
+
+class FakeCoordinator:
+    """Duck-typed coordinator surface `signals_from_coordinator` samples."""
+
+    def __init__(self, workers, last_batch_seconds=0.0):
+        self._workers = workers
+        self.last_batch_seconds = last_batch_seconds
+
+    def workers(self):
+        return self._workers
+
+
+class TestSignalsFromCoordinator:
+    def test_sums_over_alive_non_draining_workers(self):
+        coordinator = FakeCoordinator(
+            [
+                {"alive": True, "draining": False, "queued": 3, "in_flight": 1},
+                {"alive": True, "draining": True, "queued": 9, "in_flight": 2},
+                {"alive": False, "draining": False, "queued": 7, "in_flight": 7},
+                {"alive": True, "draining": False, "queued": 2, "in_flight": 0},
+            ],
+            last_batch_seconds=1.25,
+        )
+        sampled = signals_from_coordinator(coordinator)
+        assert sampled.workers_alive == 2
+        assert sampled.queue_depth == 5
+        assert sampled.in_flight == 1
+        assert sampled.batch_latency_seconds == 1.25

@@ -1,0 +1,142 @@
+"""Unit tests of the shard ledger: durability, replay, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.protocol import decision_to_dict, shard_placement_key
+from repro.core.engine import RoutingDecision
+from repro.documents.corpus import CorpusConfig, build_corpus
+from repro.elastic.ledger import ShardLedger, ledger_key
+from repro.parsers.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def shard_output():
+    """One real shard's wire-shaped output (results + decisions)."""
+    registry = default_registry()
+    parser = registry.get("pymupdf")
+    corpus = build_corpus(CorpusConfig(n_documents=3, seed=7, min_pages=1, max_pages=2))
+    documents = list(corpus)
+    results = [r.to_json_dict() for r in parser.parse_many(documents)]
+    decisions = [
+        decision_to_dict(
+            RoutingDecision(
+                doc_id=d.doc_id, chosen_parser="pymupdf", stage="fixed"
+            )
+        )
+        for d in documents
+    ]
+    from repro.cache.keys import document_content_hash
+
+    placement_key = shard_placement_key(
+        [document_content_hash(d) for d in documents]
+    )
+    return placement_key, parser.config_fingerprint(), results, decisions
+
+
+class TestLedgerKey:
+    def test_combines_placement_and_fingerprint(self):
+        assert ledger_key("abc", "f1") == "abc:f1"
+
+    def test_distinct_configs_distinct_keys(self):
+        assert ledger_key("abc", "f1") != ledger_key("abc", "f2")
+
+
+class TestRecordAndReplay:
+    def test_roundtrip_rehydrates_results_and_decisions(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        assert ledger.completed_output(placement_key, fingerprint) is None
+        ledger.record(placement_key, fingerprint, results, decisions, worker_id="w0")
+        replay = ledger.completed_output(placement_key, fingerprint)
+        assert replay is not None
+        replayed_results, replayed_decisions = replay
+        assert [r.to_json_dict() for r in replayed_results] == results
+        assert [decision_to_dict(d) for d in replayed_decisions] == decisions
+
+    def test_persists_across_instances(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ShardLedger(tmp_path).record(placement_key, fingerprint, results, decisions)
+        reopened = ShardLedger(tmp_path)
+        assert reopened.loaded_entries == 1
+        assert len(reopened) == 1
+        assert ledger_key(placement_key, fingerprint) in reopened
+        assert reopened.completed_output(placement_key, fingerprint) is not None
+
+    def test_different_fingerprint_misses(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        ledger.record(placement_key, fingerprint, results, decisions)
+        # A changed parser config must re-run, never replay stale output.
+        assert ledger.completed_output(placement_key, "other-config") is None
+        assert ledger.completed_output("other-batch", fingerprint) is None
+
+    def test_empty_directory_is_empty_ledger(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "never-created")
+        assert len(ledger) == 0
+        assert ledger.loaded_entries == 0
+        assert ledger.keys() == []
+
+
+class TestCorruptionTolerance:
+    def test_torn_final_line_is_skipped_not_fatal(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        ledger.record(placement_key, fingerprint, results, decisions)
+        # A kill mid-append leaves a torn line at the tail.
+        with ledger.path.open("ab") as handle:
+            handle.write(b'{"key": "half-written...')
+        reopened = ShardLedger(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.completed_output(placement_key, fingerprint) is not None
+
+    def test_garbage_and_schema_less_lines_are_skipped(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        path = tmp_path / "ledger.jsonl"
+        path.write_bytes(
+            b"not json at all\n"
+            + json.dumps({"key": "k", "no_results": True}).encode() + b"\n"
+        )
+        ledger = ShardLedger(tmp_path)
+        assert len(ledger) == 0
+        # The file stays appendable after skipping bad lines.
+        ledger.record(placement_key, fingerprint, results, decisions)
+        assert len(ShardLedger(tmp_path)) == 1
+
+
+class TestCompaction:
+    def test_compact_drops_superseded_duplicates(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        ledger.record(placement_key, fingerprint, results, decisions, worker_id="w0")
+        ledger.record(placement_key, fingerprint, results, decisions, worker_id="w1")
+        assert len(ledger.path.read_bytes().splitlines()) == 2
+        written = ledger.compact()
+        assert written == 1
+        lines = ledger.path.read_bytes().splitlines()
+        assert len(lines) == 1
+        # Last writer won.
+        assert json.loads(lines[0])["worker_id"] == "w1"
+        assert ShardLedger(tmp_path).completed_output(
+            placement_key, fingerprint
+        ) is not None
+
+    def test_compact_leaves_no_temporaries(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        ledger.record(placement_key, fingerprint, results, decisions)
+        ledger.compact()
+        strays = [p for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert strays == []
+
+    def test_stats_shape(self, tmp_path, shard_output):
+        placement_key, fingerprint, results, decisions = shard_output
+        ledger = ShardLedger(tmp_path)
+        ledger.record(placement_key, fingerprint, results, decisions)
+        stats = ledger.stats()
+        assert stats["entries"] == 1
+        assert stats["loaded_entries"] == 0  # recorded this session, not loaded
+        assert stats["path"].endswith("ledger.jsonl")
