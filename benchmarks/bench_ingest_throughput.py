@@ -1,0 +1,228 @@
+"""Micro-benchmark: web-corpus ingestion throughput of the document sources.
+
+Materialises a synthetic crawl dump (per-domain directories of HTML and
+Markdown pages, with a fraction of pages mirrored across domains) and runs
+it through :class:`repro.pipeline.ParsePipeline` via
+:class:`repro.documents.sources.CrawlDumpSource`:
+
+* **extract** — source streaming alone (HTML/Markdown extraction, dedup);
+* **cold** — full pipeline pass with ``cache=readwrite`` on an empty cache;
+* **warm** — the same request again (every surviving page a cache hit).
+
+Asserts the ingestion acceptance criteria: planted cross-domain mirrors are
+fully deduplicated, the warm pass serves every document from the cache, and
+no document routes to a PDF-only parser.
+
+Run under pytest (records a measured table for ``fill-experiments``)::
+
+    pytest benchmarks/bench_ingest_throughput.py --benchmark-only
+
+or standalone (the CI regression-gate invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py --json BENCH_ingest.json
+
+The ``--json`` payload carries machine-portable ratios under ``metrics``;
+``benchmarks/check_regression.py`` compares them against the committed
+baseline in ``benchmarks/baselines/BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.cache import ParseCache
+from repro.documents.sources import CrawlDumpSource
+from repro.pipeline import ParsePipeline, ParseRequest
+from repro.utils.tables import Table
+
+N_DOMAINS = 6
+PAGES_PER_DOMAIN = 25
+MIRROR_EVERY = 5  # every 5th page of a domain mirrors domain 0's page
+BATCH_SIZE = 25
+
+_HTML_PAGE = """<html>
+<head><title>{title}</title><style>p {{ margin: 0; }}</style></head>
+<body>
+<h1>{title}</h1>
+<p>Paragraph one of page {index} discusses adaptive parser selection over
+web-scale scientific corpora, with enough prose to exercise extraction.</p>
+<h2>Methods</h2>
+<p>Paragraph two describes the evaluation protocol of run {index} in a few
+more sentences so each page carries a realistic amount of text.</p>
+<ul><li>first finding of page {index}</li><li>second finding</li></ul>
+</body>
+</html>
+"""
+
+_MD_PAGE = """# {title}
+
+Opening paragraph of Markdown page {index}, mirroring the HTML prose volume.
+
+## Results
+
+- observation one of page {index}
+- observation two
+
+Closing paragraph with a sentence of filler so token counts stay realistic.
+"""
+
+
+def build_crawl_dump(root: Path, n_domains: int, pages_per_domain: int) -> int:
+    """Write the synthetic dump; returns the number of planted mirror pages."""
+    mirrors = 0
+    for d in range(n_domains):
+        domain = root / f"site-{d}.example"
+        domain.mkdir(parents=True, exist_ok=True)
+        for p in range(pages_per_domain):
+            mirrored = d > 0 and p % MIRROR_EVERY == 0
+            # Mirrored pages reuse domain 0's content verbatim (the same
+            # page crawled under several domains); the rest are unique.
+            origin_d, origin_p = (0, p) if mirrored else (d, p)
+            mirrors += mirrored
+            title = f"Domain {origin_d} Page {origin_p}"
+            index = origin_d * pages_per_domain + origin_p
+            if p % 3 == 2:
+                page = _MD_PAGE.format(title=title, index=index)
+                (domain / f"page-{p}.md").write_text(page, encoding="utf-8")
+            else:
+                page = _HTML_PAGE.format(title=title, index=index)
+                (domain / f"page-{p}.html").write_text(page, encoding="utf-8")
+    return mirrors
+
+
+def run_ingest_sweep(
+    work_dir: str | Path,
+    n_domains: int = N_DOMAINS,
+    pages_per_domain: int = PAGES_PER_DOMAIN,
+    batch_size: int = BATCH_SIZE,
+    registry=None,
+) -> dict[str, object]:
+    """Extract → cold → warm sweep over a synthetic crawl dump (and asserts)."""
+    work_dir = Path(work_dir)
+    dump = work_dir / "crawl"
+    mirrors = build_crawl_dump(dump, n_domains, pages_per_domain)
+    n_files = n_domains * pages_per_domain
+    source = CrawlDumpSource(dump)
+
+    started = perf_counter()
+    documents = list(source.iter_documents())
+    extract_s = perf_counter() - started
+    n_unique = len(documents)
+    # Every planted cross-domain mirror must be dropped, nothing else.
+    assert n_unique == n_files - mirrors, (
+        f"dedup kept {n_unique} of {n_files} pages; expected "
+        f"{n_files - mirrors} ({mirrors} mirrors planted)"
+    )
+
+    pipeline = ParsePipeline(registry, cache=ParseCache(work_dir / "parse-cache"))
+
+    def run(policy: str):
+        request = ParseRequest(
+            parser="pymupdf", source=source, batch_size=batch_size, cache=policy
+        )
+        started = perf_counter()
+        report = pipeline.run(request)
+        return report, perf_counter() - started
+
+    cold, cold_s = run("readwrite")
+    warm, warm_s = run("readwrite")
+
+    assert cold.n_documents == n_unique
+    assert all(result.succeeded for result in cold.results)
+    assert warm.cache.hits == n_unique and warm.cache.misses == 0
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "files on disk": n_files,
+        "unique documents": n_unique,
+        "mirrors dropped": n_files - n_unique,
+        "extract docs/s": n_unique / extract_s,
+        "cold (readwrite) docs/s": n_unique / cold_s,
+        "warm (readwrite) docs/s": n_unique / warm_s,
+        "warm speedup vs cold": speedup,
+        "warm hit rate": warm.cache.hit_rate,
+        "dedup rate": (n_files - n_unique) / mirrors if mirrors else 1.0,
+    }
+
+
+def row_to_metrics(row: dict[str, object]) -> dict[str, float]:
+    """The machine-portable metrics the CI regression gate compares.
+
+    ``warm_speedup_vs_cold`` is a same-machine ratio; ``warm_hit_rate`` and
+    ``crawl_dedup_rate`` are exact correctness ratios (1.0 unless the cache
+    or the mirror dedup is broken).  All metrics are higher-is-better.
+    """
+    return {
+        "warm_speedup_vs_cold": float(row["warm speedup vs cold"]),
+        "warm_hit_rate": float(row["warm hit rate"]),
+        "crawl_dedup_rate": float(row["dedup rate"]),
+    }
+
+
+def _row_to_table(row: dict[str, object], n_domains: int, pages: int) -> Table:
+    table = Table(
+        title=f"Ingest throughput ({n_domains} domains x {pages} pages)",
+        columns=list(row),
+    )
+    table.add_row(row)
+    return table
+
+
+def test_ingest_throughput(benchmark, registry, measured_store, tmp_path):
+    row = benchmark.pedantic(
+        run_ingest_sweep,
+        args=(tmp_path,),
+        kwargs={"registry": registry},
+        rounds=1,
+        iterations=1,
+    )
+    table = _row_to_table(row, N_DOMAINS, PAGES_PER_DOMAIN)
+    print()
+    print(table.to_text(precision=1))
+    measured_store.record_table("INGEST_THROUGHPUT", table, precision=1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=N_DOMAINS)
+    parser.add_argument("--pages", type=int, default=PAGES_PER_DOMAIN)
+    parser.add_argument("--batch-size", type=int, default=BATCH_SIZE)
+    parser.add_argument(
+        "--json",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the regression-gate metrics payload here",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as work_dir:
+        row = run_ingest_sweep(
+            work_dir,
+            n_domains=args.domains,
+            pages_per_domain=args.pages,
+            batch_size=args.batch_size,
+        )
+    print(_row_to_table(row, args.domains, args.pages).to_text(precision=1))
+    if args.json:
+        payload = {
+            "benchmark": "ingest_throughput",
+            "config": {
+                "n_domains": args.domains,
+                "pages_per_domain": args.pages,
+                "batch_size": args.batch_size,
+            },
+            "metrics": row_to_metrics(row),
+            "row": row,
+        }
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote metrics to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

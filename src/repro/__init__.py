@@ -43,7 +43,7 @@ PDF Parsing and Resource Scaling Engine* (MLSys 2025).  It provides:
 The two-line tour::
 
     import repro
-    report = repro.ParsePipeline().run(repro.ParseRequest(parser="pymupdf", n_documents=50))
+    report = repro.ParsePipeline().run(repro.ParseRequest(parser="pymupdf", source="synthetic:50"))
 
 Top-level names are resolved lazily (PEP 562) so that importing :mod:`repro`
 stays cheap and does not pull in the full ML/HPC stacks.

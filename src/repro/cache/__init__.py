@@ -24,8 +24,8 @@ Quick tour::
     from repro.pipeline import ParsePipeline, ParseRequest
 
     pipeline = ParsePipeline(cache=ParseCache("/tmp/parse-cache"))
-    cold = pipeline.run(ParseRequest(parser="pymupdf", n_documents=50, cache="readwrite"))
-    warm = pipeline.run(ParseRequest(parser="pymupdf", n_documents=50, cache="readwrite"))
+    cold = pipeline.run(ParseRequest(parser="pymupdf", source="synthetic:50", cache="readwrite"))
+    warm = pipeline.run(ParseRequest(parser="pymupdf", source="synthetic:50", cache="readwrite"))
     assert warm.cache.hits == 50
 """
 

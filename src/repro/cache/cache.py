@@ -125,6 +125,7 @@ class CacheEntry:
                 "chosen_parser": self.decision.chosen_parser,
                 "stage": self.decision.stage,
                 "predicted_improvement": self.decision.predicted_improvement,
+                "doc_type": self.decision.doc_type,
             }
         return payload
 
@@ -141,6 +142,7 @@ class CacheEntry:
                 predicted_improvement=float(
                     decision_payload.get("predicted_improvement", 0.0)
                 ),
+                doc_type=str(decision_payload.get("doc_type", "pdf")),
             )
         return cls(
             key=payload["key"],

@@ -72,6 +72,9 @@ def _compute_content_hash(document: SciDocument) -> str:
         "parse-content",
         document.doc_id,
         document.seed,
+        # Format family: routing eligibility (and thus engine output) depends
+        # on it, so the same bytes under a different type must key apart.
+        document.doc_type,
         # Normalised fingerprint: ties the cache to the dedup hashing scheme.
         content_fingerprint(text.text()),
         # Exact channels: two texts that normalise alike still key apart.

@@ -27,6 +27,12 @@ Run the unified parsing pipeline and dump the ``ParseReport`` as JSON::
     adaparse-repro pipeline --documents 100 --parser pymupdf \
         --backend thread --backend-opt n_jobs=4
 
+Parse a real document tree instead of the synthetic corpus — any
+registered document source works (``--source KIND:VALUE``)::
+
+    adaparse-repro pipeline --source html-dir:docs/site --parser pymupdf
+    adaparse-repro dataset --source crawl-dump:/data/crawl --output /tmp/webset
+
 Run the same corpus through worker processes or the simulated cluster::
 
     adaparse-repro pipeline --documents 100 --backend process --backend-opt n_jobs=4
@@ -80,7 +86,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import warnings
 from pathlib import Path
 
 
@@ -126,38 +131,21 @@ def _validate_backend_spec_or_exit(backend: str, options: dict) -> None:
         raise SystemExit(f"error: {exc}") from exc
 
 
-def _backend_options_with_jobs_alias(args: argparse.Namespace, flag: str = "--jobs") -> dict:
-    """Backend options from the CLI, folding the deprecated jobs flag in.
+def _backend_options_or_exit(args: argparse.Namespace) -> dict:
+    """Backend options from the CLI flags, rejecting the removed ``--jobs``.
 
-    Only backends whose spec accepts ``n_jobs`` receive the fold (the
-    registry decides, matching ``normalize_backend_spec``), so the alias is
-    ignored — with the same notice — for serial/hpc instead of failing
-    their option validation.
+    ``--jobs`` finished its deprecation cycle: it now fails fast with the
+    exact replacement spelling instead of folding into the options.
     """
-    options = _parse_backend_opts(getattr(args, "backend_opt", None))
-    jobs = getattr(args, "jobs", 1)
-    if jobs != 1:
-        from repro.pipeline.backends.base import backend_accepts_option
-
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
         backend = getattr(args, "backend", "auto")
-        accepts = backend_accepts_option(backend, "n_jobs")
-        if accepts:
-            target = "thread" if backend == "auto" else backend
-            message = (
-                f"{flag} is deprecated; use --backend {target} "
-                f"--backend-opt n_jobs={jobs}"
-            )
-        else:
-            message = (
-                f"{flag} is deprecated, and backend {backend!r} takes no "
-                f"n_jobs — the flag is ignored"
-            )
-        # Default warning filters hide non-__main__ DeprecationWarnings from
-        # console-script users, so the migration notice also goes to stderr.
-        print(f"warning: {message}", file=sys.stderr)
-        warnings.warn(message, DeprecationWarning, stacklevel=2)
-        if accepts:
-            options.setdefault("n_jobs", jobs)
+        target = "thread" if backend in ("auto", "serial") else backend
+        raise SystemExit(
+            f"error: --jobs was removed; use --backend {target} "
+            f"--backend-opt n_jobs={jobs}"
+        )
+    options = _parse_backend_opts(getattr(args, "backend_opt", None))
     _validate_backend_spec_or_exit(getattr(args, "backend", "auto"), options)
     return options
 
@@ -283,22 +271,76 @@ def _cmd_alignment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_cache(args: argparse.Namespace):
-    """A ParseCache over ``--cache-dir`` (or None for the pipeline default)."""
-    if getattr(args, "cache_dir", ""):
+def _add_cache_arguments(
+    parser: argparse.ArgumentParser,
+    policy_default: str | None = "off",
+    dir_help: str = "persistent cache directory",
+) -> None:
+    """The shared cache flags: ``--cache`` (policy) and ``--cache-dir``.
+
+    ``policy_default=None`` omits the policy flag for commands whose policy
+    is fixed (``cache warm``) or carried by each submitted request
+    (``gateway``, ``worker``).
+    """
+    if policy_default is not None:
+        parser.add_argument(
+            "--cache",
+            type=str,
+            default=policy_default,
+            choices=["off", "read", "write", "readwrite"],
+            help=f"parse-result cache policy (default: {policy_default})",
+        )
+    parser.add_argument("--cache-dir", type=str, default="", help=dir_help)
+
+
+def resolve_cache_config(args: argparse.Namespace):
+    """``(policy, cache)`` from the shared cache flags.
+
+    ``cache`` is a :class:`~repro.cache.ParseCache` over the directory flag,
+    or ``None`` for the pipeline's in-memory default.  Accepts both
+    directory spellings (``--cache-dir``, and the ``cache`` subcommands'
+    ``--dir``) so every subcommand resolves through this one helper.
+    """
+    policy = getattr(args, "cache", "off")
+    directory = getattr(args, "cache_dir", "") or getattr(args, "dir", "")
+    if directory:
         from repro.cache import ParseCache
 
-        return ParseCache(args.cache_dir)
-    return None
+        return policy, ParseCache(directory)
+    return policy, None
+
+
+def _add_source_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--source",
+        type=str,
+        default="",
+        metavar="KIND:VALUE",
+        help="document source, e.g. synthetic:200?seed=7, html-dir:docs/, "
+        "markdown-dir:notes/, simpdf-dir:corpus/, crawl-dump:dump/ "
+        "(overrides --documents/--seed)",
+    )
+
+
+def _cli_source(args: argparse.Namespace) -> str:
+    """The request's source string: ``--source``, or the synthetic default."""
+    return (
+        getattr(args, "source", "")
+        or f"synthetic:{args.documents}?seed={args.seed}"
+    )
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.datasets.assembly import DatasetBuildConfig, DatasetBuilder
-    from repro.documents.corpus import CorpusConfig, build_corpus
+    from repro.documents.sources import create_source, parse_source_arg
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline
 
-    pipeline = ParsePipeline(cache=_build_cache(args))
-    corpus = build_corpus(CorpusConfig(n_documents=args.documents, seed=args.seed))
+    cache_policy, cache = resolve_cache_config(args)
+    pipeline = ParsePipeline(cache=cache)
+    try:
+        source = create_source(parse_source_arg(_cli_source(args)))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
     parser = pipeline.resolve_parser(args.parser)
@@ -309,13 +351,20 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             quality_threshold=args.quality_threshold,
             min_tokens=args.min_tokens,
             backend=args.backend,
-            backend_options=_backend_options_with_jobs_alias(args),
-            cache=args.cache,
+            backend_options=_backend_options_or_exit(args),
+            cache=cache_policy,
         ),
         pipeline=pipeline,
     )
-    print(f"assembling dataset from {len(corpus)} documents with {parser.name}...", flush=True)
-    report = builder.build(corpus)
+    info = source.describe()
+    count = info.get("n_documents")
+    print(
+        f"assembling dataset from {info.get('kind')} source"
+        f"{f' ({count} documents)' if count is not None else ''}"
+        f" with {parser.name}...",
+        flush=True,
+    )
+    report = builder.build(source)
     print(json.dumps(report.summary(), indent=2, default=str))
     return 0
 
@@ -323,19 +372,22 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
 
-    request = ParseRequest(
-        parser=args.parser,
-        n_documents=args.documents,
-        seed=args.seed,
-        batch_size=args.batch_size,
-        alpha=args.alpha,
-        backend=args.backend,
-        backend_options=_backend_options_with_jobs_alias(args),
-        cache=args.cache,
-    )
+    cache_policy, cache = resolve_cache_config(args)
+    try:
+        request = ParseRequest(
+            parser=args.parser,
+            source=_cli_source(args),
+            batch_size=args.batch_size,
+            alpha=args.alpha,
+            backend=args.backend,
+            backend_options=_backend_options_or_exit(args),
+            cache=cache_policy,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-    report = ParsePipeline(cache=_build_cache(args)).run(request)
+    report = ParsePipeline(cache=cache).run(request)
     payload = report.to_json_dict(include_text=args.include_text)
     if args.output:
         path = Path(args.output)
@@ -373,16 +425,18 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
     pipeline = ParsePipeline(cache=ParseCache(args.dir))
-    backend_options = {"n_jobs": args.jobs} if args.jobs != 1 else {}
-    report = pipeline.run(
-        ParseRequest(
-            parser=args.parser,
-            n_documents=args.documents,
-            seed=args.seed,
-            backend_options=backend_options,
-            cache="readwrite",
+    try:
+        report = pipeline.run(
+            ParseRequest(
+                parser=args.parser,
+                source=_cli_source(args),
+                backend=args.backend,
+                backend_options=_backend_options_or_exit(args),
+                cache="readwrite",
+            )
         )
-    )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     print(json.dumps(report.summary(), indent=2))
     print(json.dumps(pipeline.cache.describe(), indent=2))
     return 0
@@ -458,7 +512,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _validate_backend_spec_or_exit(args.backend, options)
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-    pipeline = ParsePipeline(cache=_build_cache(args))
+    cache_policy, cache = resolve_cache_config(args)
+    pipeline = ParsePipeline(cache=cache)
     config = ServiceConfig(
         backend=args.backend, backend_options=options, max_active=args.max_active
     )
@@ -471,12 +526,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tickets = {}
             for i in range(args.requests):
                 client = f"client-{i}"
+                seed = args.seed + (i if args.distinct else 0)
                 request = ParseRequest(
                     parser=args.parser,
-                    n_documents=args.documents,
-                    seed=args.seed + (i if args.distinct else 0),
+                    source=args.source or f"synthetic:{args.documents}?seed={seed}",
                     batch_size=args.batch_size,
-                    cache=args.cache,
+                    cache=cache_policy,
                 )
                 tickets[client] = service.submit(request, client=client)
             for client, ticket in tickets.items():
@@ -521,6 +576,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.pipeline import ENGINE_VARIANTS, ParsePipeline, ParseRequest
     from repro.serve import ParseService, ServiceConfig
 
+    cache_policy, cache = resolve_cache_config(args)
     try:
         if args.request_file:
             payload = json.loads(Path(args.request_file).read_text(encoding="utf-8"))
@@ -528,11 +584,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         else:
             request = ParseRequest(
                 parser=args.parser,
-                n_documents=args.documents,
-                seed=args.seed,
+                source=_cli_source(args),
                 batch_size=args.batch_size,
                 alpha=args.alpha,
-                cache=args.cache,
+                cache=cache_policy,
             )
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: invalid request: {exc}") from exc
@@ -545,7 +600,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     _validate_backend_spec_or_exit(args.backend, options)
     if request.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-    pipeline = ParsePipeline(cache=_build_cache(args))
+    pipeline = ParsePipeline(cache=cache)
     config = ServiceConfig(backend=args.backend, backend_options=options, max_active=1)
     service = ParseService(
         pipeline=pipeline, config=config, event_sink=_ndjson_event_sink(args.quiet)
@@ -632,7 +687,8 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         if not sep or not token or not client_id:
             raise SystemExit(f"error: --token expects TOKEN=CLIENT, got {spec!r}")
         auth.register(token, client_id, quota)
-    pipeline = ParsePipeline(cache=_build_cache(args))
+    _, cache = resolve_cache_config(args)
+    pipeline = ParsePipeline(cache=cache)
     config = ServiceConfig(
         backend=args.backend, backend_options=options, max_active=args.max_active
     )
@@ -704,11 +760,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     _setup_logging(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
-    cache = None
-    if args.cache_dir:
-        from repro.cache import ParseCache
-
-        cache = ParseCache(args.cache_dir)
+    _, cache = resolve_cache_config(args)
     daemon = WorkerDaemon(
         host=args.host,
         port=args.port,
@@ -899,22 +951,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 "cache_dir": args.cache_dir or None,
             }
         _validate_backend_spec_or_exit("remote", options)
-        request = ParseRequest(
-            parser=args.parser,
-            n_documents=args.documents,
-            seed=args.seed,
-            batch_size=args.batch_size,
-            backend="remote",
-            backend_options=options,
-            cache=args.cache,
-        )
+        cache_policy, cache = resolve_cache_config(args)
+        try:
+            request = ParseRequest(
+                parser=args.parser,
+                source=_cli_source(args),
+                batch_size=args.batch_size,
+                backend="remote",
+                backend_options=options,
+                cache=cache_policy,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
         if args.parser in ENGINE_VARIANTS:
             print("training the AdaParse engine on a small corpus...", flush=True)
         from repro.pipeline.backends import BackendError
 
         with _GracefulShutdown():
             try:
-                report = ParsePipeline(cache=_build_cache(args)).run(request)
+                report = ParsePipeline(cache=cache).run(request)
             except BackendError as exc:
                 raise SystemExit(f"error: {exc}") from exc
         extra = report.execution.to_json_dict()["extra"]
@@ -1089,23 +1144,15 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--output", type=str, default="", help="shard output directory")
     dataset.add_argument("--quality-threshold", type=float, default=0.35)
     dataset.add_argument("--min-tokens", type=int, default=50)
+    _add_source_argument(dataset)
     _add_backend_arguments(dataset)
     dataset.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="deprecated alias for --backend thread --backend-opt n_jobs=N",
+        default=None,
+        help="removed; use --backend thread --backend-opt n_jobs=N",
     )
-    dataset.add_argument(
-        "--cache",
-        type=str,
-        default="off",
-        choices=["off", "read", "write", "readwrite"],
-        help="parse-result cache policy for the parse stage",
-    )
-    dataset.add_argument(
-        "--cache-dir", type=str, default="", help="persistent cache directory"
-    )
+    _add_cache_arguments(dataset)
     dataset.set_defaults(func=_cmd_dataset)
 
     pipe = sub.add_parser(
@@ -1123,25 +1170,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipe.add_argument("--batch-size", type=int, default=None)
     pipe.add_argument("--alpha", type=float, default=None, help="engine α-budget override")
+    _add_source_argument(pipe)
     _add_backend_arguments(pipe)
     pipe.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="deprecated alias for --backend thread --backend-opt n_jobs=N",
+        default=None,
+        help="removed; use --backend thread --backend-opt n_jobs=N",
     )
     pipe.add_argument("--include-text", action="store_true", help="embed page texts in the JSON")
     pipe.add_argument("--output", type=str, default="", help="write the report JSON here")
-    pipe.add_argument(
-        "--cache",
-        type=str,
-        default="off",
-        choices=["off", "read", "write", "readwrite"],
-        help="parse-result cache policy",
-    )
-    pipe.add_argument(
-        "--cache-dir", type=str, default="", help="persistent cache directory"
-    )
+    _add_cache_arguments(pipe)
     pipe.set_defaults(func=_cmd_pipeline)
 
     cache = sub.add_parser(
@@ -1176,7 +1215,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="parser or engine: pymupdf, pypdf, tesseract, grobid, nougat, marker, "
         "adaparse_ft, adaparse_llm",
     )
-    cache_warm.add_argument("--jobs", type=int, default=1, help="parse worker threads")
+    _add_source_argument(cache_warm)
+    _add_backend_arguments(cache_warm)
+    cache_warm.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="removed; use --backend thread --backend-opt n_jobs=N",
+    )
     cache_warm.set_defaults(func=_cmd_cache_warm)
 
     serve = sub.add_parser(
@@ -1203,18 +1249,10 @@ def build_parser() -> argparse.ArgumentParser:
         "showcasing cross-request single-flight)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress the NDJSON event stream")
+    _add_source_argument(serve)
     _add_logging_arguments(serve)
     _add_backend_arguments(serve, default="async")
-    serve.add_argument(
-        "--cache",
-        type=str,
-        default="readwrite",
-        choices=["off", "read", "write", "readwrite"],
-        help="parse-result cache policy shared by every request",
-    )
-    serve.add_argument(
-        "--cache-dir", type=str, default="", help="persistent cache directory"
-    )
+    _add_cache_arguments(serve, policy_default="readwrite")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1244,17 +1282,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--quiet", action="store_true", help="suppress the NDJSON event stream")
     submit.add_argument("--include-text", action="store_true", help="embed page texts in --output")
     submit.add_argument("--output", type=str, default="", help="write the full report JSON here")
+    _add_source_argument(submit)
     _add_backend_arguments(submit, default="async")
-    submit.add_argument(
-        "--cache",
-        type=str,
-        default="off",
-        choices=["off", "read", "write", "readwrite"],
-        help="parse-result cache policy",
-    )
-    submit.add_argument(
-        "--cache-dir", type=str, default="", help="persistent cache directory"
-    )
+    _add_cache_arguments(submit)
     submit.add_argument(
         "--host",
         type=str,
@@ -1327,11 +1357,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_logging_arguments(gateway)
     _add_backend_arguments(gateway, default="async")
-    gateway.add_argument(
-        "--cache-dir",
-        type=str,
-        default="",
-        help="persistent cache directory shared by every client's requests",
+    _add_cache_arguments(
+        gateway,
+        policy_default=None,
+        dir_help="persistent cache directory shared by every client's requests",
     )
     gateway.set_defaults(func=_cmd_gateway)
 
@@ -1377,11 +1406,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_logging_arguments(worker)
     _add_backend_arguments(worker, default="serial")
-    worker.add_argument(
-        "--cache-dir",
-        type=str,
-        default="",
-        help="local parse-cache directory (a warm cache answers shards "
+    _add_cache_arguments(
+        worker,
+        policy_default=None,
+        dir_help="local parse-cache directory (a warm cache answers shards "
         "without re-parsing or re-transfer); several workers may share "
         "one directory — the disk store merges additively on flush, so "
         "concurrent writers are safe",
@@ -1439,18 +1467,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--worker-jobs", type=int, default=1, help="n_jobs of each spawned worker"
     )
-    cluster.add_argument(
-        "--cache",
-        type=str,
-        default="off",
-        choices=["off", "read", "write", "readwrite"],
-        help="coordinator-side parse-result cache policy",
-    )
-    cluster.add_argument(
-        "--cache-dir",
-        type=str,
-        default="",
-        help="cache root: coordinator cache plus per-worker subdirectories "
+    _add_source_argument(cluster)
+    _add_cache_arguments(
+        cluster,
+        dir_help="cache root: coordinator cache plus per-worker subdirectories "
         "(autoscaled workers share one directory — safe, since the disk "
         "store merges additively on flush)",
     )

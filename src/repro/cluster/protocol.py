@@ -168,6 +168,7 @@ def decision_to_dict(decision: RoutingDecision) -> dict[str, Any]:
         "chosen_parser": decision.chosen_parser,
         "stage": decision.stage,
         "predicted_improvement": decision.predicted_improvement,
+        "doc_type": decision.doc_type,
     }
 
 
@@ -177,6 +178,7 @@ def decision_from_dict(payload: Mapping[str, Any]) -> RoutingDecision:
         chosen_parser=str(payload["chosen_parser"]),
         stage=str(payload["stage"]),
         predicted_improvement=float(payload.get("predicted_improvement", 0.0)),
+        doc_type=str(payload.get("doc_type", "pdf")),
     )
 
 

@@ -17,21 +17,27 @@ the fine-tuned (and DPO post-trained) Transformer selector.  Both expose the
 standard :class:`repro.parsers.base.Parser` interface so the evaluation
 harness and the HPC simulator treat them like any other parser.
 
+Routing is **format-aware**: a document whose
+:attr:`~repro.documents.document.SciDocument.doc_type` the high-quality
+parser does not support (HTML/Markdown against an image-bound ViT parser,
+for example) is never a candidate for the budgeted slots — it keeps the
+default extraction and its decision records the ``type_ineligible`` stage
+when routing would otherwise have been warranted.
+
 Routing telemetry is a *return value*: :meth:`AdaParseEngine.parse_batches`
 streams ``(results, decisions)`` per α-budgeted batch and
 :meth:`AdaParseEngine.parse_with_telemetry` aggregates them, so engines hold
 no mutable routing state on the hot path and are safe to share between
-concurrent callers.  The legacy ``last_summary`` attribute survives as a
-deprecated shim; new code should consume telemetry through
+concurrent callers.  Consume telemetry through
 :class:`repro.pipeline.ParsePipeline`, whose ``ParseReport`` carries the
-decisions, aggregate resource usage, and throughput.
+decisions, aggregate resource usage, and throughput (the pre-PR-1
+``last_summary`` attribute was removed after its deprecation cycle).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -46,14 +52,28 @@ from repro.parsers.registry import ParserRegistry
 from repro.utils.batching import chunked
 
 
+#: Stages a routing decision can record.  ``type_ineligible`` marks a
+#: document that *wanted* the high-quality parser (invalid extraction or a
+#: score above the margin) but whose type that parser does not support.
+ROUTING_STAGES: tuple[str, ...] = (
+    "cls1_invalid",
+    "accepted_default",
+    "routed_high_quality",
+    "budget_exhausted",
+    "type_ineligible",
+)
+
+
 @dataclass(frozen=True)
 class RoutingDecision:
     """Why one document was routed the way it was."""
 
     doc_id: str
     chosen_parser: str
-    stage: str  # "cls1_invalid", "accepted_default", "routed_high_quality", "budget_exhausted"
+    stage: str  # one of ROUTING_STAGES
     predicted_improvement: float = 0.0
+    #: Format family of the document (drives per-type eligibility).
+    doc_type: str = "pdf"
 
 
 @dataclass
@@ -76,6 +96,29 @@ class RoutingSummary:
             counts[decision.stage] = counts.get(decision.stage, 0) + 1
         return counts
 
+    def counts_by_doc_type(self) -> dict[str, dict[str, int]]:
+        """Routing-stage counts split by document type.
+
+        The per-type view is what format-aware routing is judged on: e.g.
+        an HTML corpus must show zero ``routed_high_quality``/
+        ``cls1_invalid`` entries when the high-quality parser is PDF-only.
+        """
+        by_type: dict[str, dict[str, int]] = {}
+        for decision in self.decisions:
+            stage_counts = by_type.setdefault(decision.doc_type, {})
+            stage_counts[decision.stage] = stage_counts.get(decision.stage, 0) + 1
+        return by_type
+
+    def fraction_routed_by_doc_type(self) -> dict[str, float]:
+        """Per-type fraction of documents sent to the high-quality parser."""
+        totals: dict[str, int] = {}
+        routed: dict[str, int] = {}
+        for decision in self.decisions:
+            totals[decision.doc_type] = totals.get(decision.doc_type, 0) + 1
+            if decision.stage in ("cls1_invalid", "routed_high_quality"):
+                routed[decision.doc_type] = routed.get(decision.doc_type, 0) + 1
+        return {t: routed.get(t, 0) / n for t, n in totals.items() if n}
+
 
 class AdaParseEngine(Parser):
     """Shared routing logic of the two AdaParse variants."""
@@ -97,7 +140,6 @@ class AdaParseEngine(Parser):
             raise KeyError(f"default parser {self.config.default_parser!r} not registered")
         if self.config.high_quality_parser not in registry:
             raise KeyError(f"high-quality parser {self.config.high_quality_parser!r} not registered")
-        self._last_summary = RoutingSummary()
         # The engine's *static* cost profile approximates the expected mix:
         # default parse + selection on every document, high-quality parse on an
         # α fraction.  Used by schedulers that need a cost estimate up front.
@@ -162,9 +204,17 @@ class AdaParseEngine(Parser):
                 [doc.metadata for doc in documents]
             )
             scores = scores * likely
-        # Invalid extractions take priority for the budgeted slots.
+        # Invalid extractions take priority for the budgeted slots...
         forced = np.asarray([not v.is_valid for v in verdicts], dtype=bool)
+        # ...but only documents whose type the high-quality parser supports
+        # are candidates at all: format eligibility masks the predictor's
+        # scores before the budget optimiser sees them.
+        eligible = np.asarray(
+            [expensive_parser.supports_doc_type(doc.doc_type) for doc in documents],
+            dtype=bool,
+        )
         effective = np.where(forced, np.inf, scores)
+        effective = np.where(eligible, effective, -np.inf)
         plan: BudgetPlan = select_within_budget(
             effective, cfg.alpha, batch_size=None, margin=cfg.improvement_margin
         )
@@ -193,10 +243,17 @@ class AdaParseEngine(Parser):
                         chosen_parser=cfg.high_quality_parser,
                         stage=stage,
                         predicted_improvement=float(scores[i]),
+                        doc_type=doc.doc_type,
                     )
                 )
             else:
-                stage = "budget_exhausted" if forced[i] else "accepted_default"
+                wanted_routing = forced[i] or float(scores[i]) > cfg.improvement_margin
+                if not eligible[i] and wanted_routing:
+                    stage = "type_ineligible"
+                elif forced[i]:
+                    stage = "budget_exhausted"
+                else:
+                    stage = "accepted_default"
                 results.append(
                     ParseResult(
                         parser_name=self.name,
@@ -213,6 +270,7 @@ class AdaParseEngine(Parser):
                         chosen_parser=cfg.default_parser,
                         stage=stage,
                         predicted_improvement=float(scores[i]),
+                        doc_type=doc.doc_type,
                     )
                 )
         return results, decisions
@@ -269,42 +327,22 @@ class AdaParseEngine(Parser):
         )
 
     # ------------------------------------------------------------------ #
-    # Telemetry: returned by the new API, mirrored by a deprecated shim
+    # Telemetry: a return value of the parse APIs (the old shim is gone)
     # ------------------------------------------------------------------ #
     @property
-    def last_summary(self) -> RoutingSummary:
-        """Deprecated: routing summary of the most recent ``parse``/``parse_many``.
-
-        The attribute is kept as a thin shim over the telemetry the new API
-        *returns*: prefer :meth:`parse_with_telemetry`,
-        :meth:`parse_batches`, or :meth:`repro.pipeline.ParsePipeline.run`
-        (whose :class:`~repro.pipeline.ParseReport` carries the decisions).
-        The shim reflects only the most recent non-streaming call on this
-        instance and is not meaningful under concurrent use.
-        """
-        warnings.warn(
-            "AdaParseEngine.last_summary is deprecated; use the telemetry returned "
-            "by parse_with_telemetry()/parse_batches() or the ParseReport produced "
-            "by repro.pipeline.ParsePipeline instead",
-            DeprecationWarning,
-            stacklevel=2,
+    def last_summary(self) -> "RoutingSummary":
+        raise AttributeError(
+            "AdaParseEngine.last_summary was removed after its deprecation cycle; "
+            "routing telemetry is returned by parse_with_telemetry()/parse_batches() "
+            "and carried in ParseReport.decisions (repro.pipeline.ParsePipeline.run)"
         )
-        return self._last_summary
 
     @last_summary.setter
-    def last_summary(self, summary: RoutingSummary) -> None:
-        warnings.warn(
-            "assigning AdaParseEngine.last_summary is deprecated; routing telemetry "
-            "is now a return value of the parse APIs",
-            DeprecationWarning,
-            stacklevel=2,
+    def last_summary(self, summary: "RoutingSummary") -> None:
+        raise AttributeError(
+            "AdaParseEngine.last_summary was removed after its deprecation cycle; "
+            "routing telemetry is a return value of the parse APIs and cannot be assigned"
         )
-        self._last_summary = summary
-
-    def _record_last_summary(self, decisions: Iterable[RoutingDecision]) -> None:
-        # Atomic replace: the shim never exposes a half-populated summary,
-        # and single-document and batch calls record through the same path.
-        self._last_summary = RoutingSummary(decisions=list(decisions))
 
     # ------------------------------------------------------------------ #
     # Batch parsing
@@ -334,16 +372,14 @@ class AdaParseEngine(Parser):
     ) -> tuple[list[ParseResult], list[RoutingDecision]]:
         """Parse a collection, returning results *and* routing decisions.
 
-        Telemetry is a return value rather than instance state; the
-        deprecated ``last_summary`` shim is updated once, atomically, after
-        the run completes.
+        Telemetry is a return value rather than instance state: the engine
+        holds no mutable routing state, so concurrent callers can share it.
         """
         results: list[ParseResult] = []
         decisions: list[RoutingDecision] = []
         for batch_results, batch_decisions in self.parse_batches(documents, batch_size):
             results.extend(batch_results)
             decisions.extend(batch_decisions)
-        self._record_last_summary(decisions)
         return results, decisions
 
     def parse_many(self, documents: list[SciDocument]) -> list[ParseResult]:
@@ -389,8 +425,7 @@ class AdaParseEngine(Parser):
         use :meth:`parse_with_telemetry` (or the pipeline), which enforces
         the budget.
         """
-        result, decisions = self._route_single(document)
-        self._record_last_summary(decisions)
+        result, _ = self._route_single(document)
         return result
 
     def _route_single(self, document: SciDocument) -> tuple[ParseResult, list[RoutingDecision]]:
@@ -400,7 +435,11 @@ class AdaParseEngine(Parser):
         first_page = default_result.page_texts[0] if default_result.page_texts else ""
         verdict = self.validator.validate(text, n_pages=document.n_pages)
         score = float(self.improvement_scores([document], [first_page])[0])
-        route = (not verdict.is_valid) or score > cfg.improvement_margin
+        wanted_routing = (not verdict.is_valid) or score > cfg.improvement_margin
+        eligible = self.registry.get(cfg.high_quality_parser).supports_doc_type(
+            document.doc_type
+        )
+        route = wanted_routing and eligible
         selection_usage = default_result.usage + self._selection_usage()
         if route:
             expensive = self.registry.get(cfg.high_quality_parser).parse(document)
@@ -423,13 +462,14 @@ class AdaParseEngine(Parser):
                 succeeded=default_result.succeeded,
                 error=default_result.error,
             )
-            stage = "accepted_default"
+            stage = "type_ineligible" if wanted_routing else "accepted_default"
             chosen = cfg.default_parser
         decision = RoutingDecision(
             doc_id=document.doc_id,
             chosen_parser=chosen,
             stage=stage,
             predicted_improvement=score,
+            doc_type=document.doc_type,
         )
         return result, [decision]
 

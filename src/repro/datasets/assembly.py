@@ -16,9 +16,9 @@ simulated-HPC adapter).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.cache import CachePolicy
 from repro.cache.stats import CacheStats, CacheStatsRecorder
@@ -28,6 +28,8 @@ from repro.datasets.quality import FilterPipeline, FilterReport
 from repro.datasets.records import ParsedRecord, record_from_parse
 from repro.datasets.tokens import TokenAccount, account_records
 from repro.documents.corpus import Corpus
+from repro.documents.document import SciDocument
+from repro.documents.sources import DocumentSource
 from repro.metrics.accepted_tokens import DEFAULT_BLEU_THRESHOLD
 from repro.metrics.bundle import evaluate_parse
 from repro.parsers.base import Parser, ParseResult
@@ -61,10 +63,8 @@ class DatasetBuildConfig:
         Execution backend of the parse stage by registry name (``serial``,
         ``thread``, ``process``, ``hpc``), or ``"auto"``.
     backend_options:
-        Backend construction options (e.g. ``{"n_jobs": 8}``).
-    n_jobs:
-        Deprecated alias for ``backend_options={"n_jobs": N}``; with
-        ``backend="auto"`` it resolves to the thread backend.
+        Backend construction options (e.g. ``{"n_jobs": 8}``; with
+        ``backend="auto"`` that option resolves to the thread backend).
     cache:
         Cache policy of the parse stage (``off``/``read``/``write``/
         ``readwrite``).  With ``readwrite`` a rebuild over the same corpus
@@ -82,30 +82,26 @@ class DatasetBuildConfig:
     evaluate_against_ground_truth: bool = True
     backend: str = "auto"
     backend_options: dict[str, Any] = field(default_factory=dict)
-    n_jobs: int = 1
     cache: str = "off"
+    #: Removed field (hard error): parallelism now lives in
+    #: ``backend_options={"n_jobs": N}``.
+    n_jobs: InitVar[Any] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, n_jobs: Any) -> None:
+        if n_jobs is not None:
+            raise TypeError(
+                "DatasetBuildConfig.n_jobs was removed; request parallelism with "
+                "backend='thread' (or 'process') and backend_options={'n_jobs': N}"
+            )
         if not 0.0 <= self.quality_threshold <= 1.0:
             raise ValueError("quality_threshold must lie in [0, 1]")
         if self.min_tokens < 0:
             raise ValueError("min_tokens must be non-negative")
         if not 0.0 < self.dedup_similarity <= 1.0:
             raise ValueError("dedup_similarity must lie in (0, 1]")
-        if self.n_jobs < 1:
-            raise ValueError("n_jobs must be positive")
-        if self.n_jobs != 1:
-            import warnings
-
-            warnings.warn(
-                "DatasetBuildConfig.n_jobs is deprecated; use backend='thread' "
-                "(or 'process') with backend_options={'n_jobs': N} instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
         from repro.pipeline.backends.base import validate_backend_spec
 
-        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
+        validate_backend_spec(self.backend, self.backend_options)
         CachePolicy.coerce(self.cache)  # raises on unknown policies
 
 
@@ -176,18 +172,26 @@ class DatasetBuilder:
     # ------------------------------------------------------------------ #
     # Record construction
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _materialise(corpus: "Corpus | DocumentSource | Iterable[SciDocument]") -> list[SciDocument]:
+        """Documents of a corpus, a document source, or a plain iterable."""
+        if isinstance(corpus, DocumentSource):
+            return list(corpus.iter_documents())
+        return list(corpus)
+
     def _records_from_corpus(
-        self, corpus: Corpus, cache_recorder: CacheStatsRecorder
+        self,
+        corpus: "Corpus | DocumentSource | Iterable[SciDocument]",
+        cache_recorder: CacheStatsRecorder,
     ) -> list[ParsedRecord]:
         # Streamed: results arrive one α-budgeted batch at a time, so the
         # full ParseResult list is never materialised alongside the records.
         # The documents are materialised once so one-shot iterables cannot be
         # consumed by the parse stream and the pairing loop interleaved.
-        documents = list(corpus)
+        documents = self._materialise(corpus)
         stream = self.pipeline.iter_parse(
             self.parser,
             iter(documents),
-            n_jobs=self.config.n_jobs,
             cache_policy=self.config.cache,
             cache_recorder=cache_recorder,
             backend=self.config.backend,
@@ -219,10 +223,15 @@ class DatasetBuilder:
     # ------------------------------------------------------------------ #
     # Assembly
     # ------------------------------------------------------------------ #
-    def build(self, corpus: Corpus) -> DatasetReport:
-        """Parse the corpus and assemble the dataset.
+    def build(
+        self, corpus: "Corpus | DocumentSource | Iterable[SciDocument]"
+    ) -> DatasetReport:
+        """Parse the documents and assemble the dataset.
 
-        With ``config.cache != "off"`` the parse stage runs through the
+        Accepts a :class:`~repro.documents.corpus.Corpus`, any
+        :class:`~repro.documents.sources.DocumentSource` (an HTML
+        directory, a crawl dump, …), or a plain document iterable.  With
+        ``config.cache != "off"`` the parse stage runs through the
         pipeline's content-addressed cache, so rebuilding over an unchanged
         corpus (tweaked filters, different shard sizes, …) skips parsing
         entirely; the report's ``cache_stats`` records the reuse.

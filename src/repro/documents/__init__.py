@@ -18,6 +18,7 @@ problem actually depends on:
 from __future__ import annotations
 
 from repro.documents.document import (
+    DocumentType,
     ImageLayer,
     PageContent,
     PageElement,
@@ -33,8 +34,26 @@ from repro.documents.augment import (
     replace_text_layers_with_ocr,
 )
 from repro.documents.simpdf import SimPdfReader, SimPdfWriter
+from repro.documents.sources import (
+    CrawlDumpSource,
+    DocumentSource,
+    ExplicitSource,
+    HtmlDirSource,
+    MarkdownDirSource,
+    SimPdfDirSource,
+    SourceKind,
+    SourceSpec,
+    SyntheticSource,
+    create_source,
+    parse_source_arg,
+    register_source,
+    source_kinds,
+    source_names,
+    validate_source_spec,
+)
 
 __all__ = [
+    "DocumentType",
     "ImageLayer",
     "PageContent",
     "PageElement",
@@ -50,4 +69,19 @@ __all__ = [
     "replace_text_layers_with_ocr",
     "SimPdfReader",
     "SimPdfWriter",
+    "DocumentSource",
+    "SourceKind",
+    "SourceSpec",
+    "SyntheticSource",
+    "ExplicitSource",
+    "SimPdfDirSource",
+    "HtmlDirSource",
+    "MarkdownDirSource",
+    "CrawlDumpSource",
+    "create_source",
+    "parse_source_arg",
+    "register_source",
+    "source_kinds",
+    "source_names",
+    "validate_source_spec",
 ]

@@ -1,0 +1,617 @@
+"""Pluggable document sources: where a parsing run's documents come from.
+
+A :class:`DocumentSource` answers three questions for the pipeline:
+
+* :meth:`~DocumentSource.iter_documents` — stream the documents (O(1)
+  memory for directory-backed sources);
+* :meth:`~DocumentSource.fingerprint` — a stable identity of the backing
+  content, recorded in reports for provenance (per-document parse caching
+  keys on *content*, so two sources yielding byte-identical documents
+  share cache entries regardless of their fingerprints);
+* :attr:`~DocumentSource.doc_type` — the declared
+  :class:`~repro.documents.document.DocumentType` its documents carry
+  (``None`` for mixed-format sources such as crawl dumps), which feeds
+  format-aware routing.
+
+Sources are constructed either directly (``HtmlDirSource("corpus/html")``)
+or declaratively through a :class:`SourceSpec` — a JSON-round-trippable
+``(kind, options)`` pair resolved against a registry, mirroring how
+execution backends are named (:mod:`repro.pipeline.backends.base`).  The
+spec form is what travels in ``ParseRequest`` JSON, gateway request files,
+and the CLI's ``--source kind:path`` shorthand; option typos fail loudly
+at construction with a did-you-mean suggestion.
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.documents.corpus import CorpusConfig, build_document
+from repro.documents.document import DocumentType, SciDocument
+from repro.documents.simpdf import deserialize_document
+from repro.documents.webtext import (
+    WebTextRecord,
+    html_to_blocks,
+    markdown_to_blocks,
+    record_to_document,
+)
+from repro.utils.hashing import stable_hash_hex
+
+
+def _suggest(name: str, known: list[str]) -> str:
+    """``"; did you mean 'x'?"`` when a close match exists, else ``""``."""
+    matches = difflib.get_close_matches(name, known, n=1, cutoff=0.6)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+# ---------------------------------------------------------------------- #
+# The protocol
+# ---------------------------------------------------------------------- #
+class DocumentSource(abc.ABC):
+    """Where documents come from.  Implementations must be cheap to build.
+
+    Constructors only record configuration (paths, globs, corpus specs) —
+    existence and readability are checked at iteration time, so a spec can
+    be validated on a submitting client whose filesystem differs from the
+    executing service's.
+    """
+
+    #: Registry kind of the source (``"synthetic"``, ``"html-dir"``, …).
+    kind: str = "abstract"
+
+    @property
+    def doc_type(self) -> DocumentType | None:
+        """Declared type of every yielded document; ``None`` when mixed."""
+        return None
+
+    @abc.abstractmethod
+    def iter_documents(self) -> Iterator[SciDocument]:
+        """Stream the documents in a stable, deterministic order."""
+
+    @abc.abstractmethod
+    def fingerprint(self) -> str:
+        """Stable hex identity of the backing content.
+
+        Changes when the underlying files change (size/mtime for
+        directory sources) or the generation spec changes (synthetic).
+        """
+
+    def spec(self) -> "SourceSpec | None":
+        """The declarative spec that rebuilds this source, when one exists.
+
+        ``None`` means the source is not JSON-replayable (e.g. an
+        in-memory document collection); requests carrying it serialise as
+        provenance only and refuse replay after a round trip.
+        """
+        return None
+
+    def count_hint(self) -> int | None:
+        """Document count when knowable without reading content, else ``None``."""
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        """Human-oriented summary (CLI listings, service logs)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        if self.doc_type is not None:
+            payload["doc_type"] = self.doc_type.value
+        hint = self.count_hint()
+        if hint is not None:
+            payload["n_documents"] = hint
+        return payload
+
+    # Value semantics: sources with the same kind and fingerprint will
+    # yield identical documents, which is what request comparison needs.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DocumentSource):
+            return NotImplemented
+        return self.kind == other.kind and self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.fingerprint()))
+
+
+# ---------------------------------------------------------------------- #
+# Concrete sources
+# ---------------------------------------------------------------------- #
+class SyntheticSource(DocumentSource):
+    """Today's corpus builder behind the source protocol.
+
+    Streams documents one at a time through
+    :func:`~repro.documents.corpus.build_document` instead of
+    materialising the whole corpus, so arbitrarily large synthetic runs
+    keep O(1) source-side memory.
+    """
+
+    kind = "synthetic"
+
+    def __init__(self, config: CorpusConfig | None = None) -> None:
+        self.config = config or CorpusConfig()
+
+    @property
+    def doc_type(self) -> DocumentType:
+        return DocumentType.PDF
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        for index in range(self.config.n_documents):
+            yield build_document(index, self.config)
+
+    def fingerprint(self) -> str:
+        from dataclasses import asdict
+
+        cfg = asdict(self.config)
+        return stable_hash_hex(
+            "source-synthetic", *(f"{k}={cfg[k]}" for k in sorted(cfg))
+        )
+
+    def spec(self) -> "SourceSpec":
+        from dataclasses import asdict
+
+        cfg = self.config
+        options: dict[str, Any] = {"n_documents": cfg.n_documents, "seed": cfg.seed}
+        defaults = CorpusConfig(n_documents=cfg.n_documents, seed=cfg.seed)
+        for name in ("min_pages", "max_pages", "scanned_fraction", "name"):
+            if getattr(cfg, name) != getattr(defaults, name):
+                options[name] = getattr(cfg, name)
+        # Nested text-generation knobs ride as a mapping so the spec stays
+        # lossless for fully customised corpora.
+        if cfg.textgen != defaults.textgen:
+            options["textgen"] = asdict(cfg.textgen)
+        return SourceSpec(kind=self.kind, options=options)
+
+    def count_hint(self) -> int:
+        return self.config.n_documents
+
+
+class ExplicitSource(DocumentSource):
+    """An in-memory document collection (the old ``documents=`` field).
+
+    Not JSON-replayable: :meth:`spec` is ``None``, so a request built on it
+    serialises its ``doc_ids`` for provenance and refuses replay after a
+    round trip — exactly the legacy explicit-documents contract.
+    """
+
+    kind = "explicit"
+
+    def __init__(self, documents: Any) -> None:
+        self.documents: tuple[SciDocument, ...] = tuple(documents)
+        if not self.documents:
+            raise ValueError("documents must not be empty")
+
+    @property
+    def doc_type(self) -> DocumentType | None:
+        types = {doc.doc_type for doc in self.documents}
+        return DocumentType(next(iter(types))) if len(types) == 1 else None
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        return iter(self.documents)
+
+    def fingerprint(self) -> str:
+        from repro.cache.keys import document_content_hash
+
+        return stable_hash_hex(
+            "source-explicit", *(document_content_hash(d) for d in self.documents)
+        )
+
+    def count_hint(self) -> int:
+        return len(self.documents)
+
+
+class _FileSource(DocumentSource):
+    """Shared machinery of directory-backed sources."""
+
+    def __init__(self, directory: str | Path, glob: str) -> None:
+        self.directory = Path(directory)
+        self.glob = glob
+
+    def paths(self) -> list[Path]:
+        if not self.directory.is_dir():
+            raise FileNotFoundError(
+                f"{self.kind} source directory {str(self.directory)!r} does not "
+                f"exist (or is not a directory)"
+            )
+        return sorted(p for p in self.directory.glob(self.glob) if p.is_file())
+
+    def fingerprint(self) -> str:
+        entries = []
+        for path in self.paths():
+            stat = path.stat()
+            entries.append(
+                f"{path.relative_to(self.directory)}:{stat.st_size}:{stat.st_mtime_ns}"
+            )
+        return stable_hash_hex("source-files", self.kind, self.glob, *entries)
+
+    def count_hint(self) -> int | None:
+        try:
+            return len(self.paths())
+        except FileNotFoundError:
+            return None
+
+    def spec(self) -> "SourceSpec":
+        options: dict[str, Any] = {"path": str(self.directory)}
+        default_glob = _SOURCE_REGISTRY[self.kind].defaults.get("glob")
+        if self.glob != default_glob:
+            options["glob"] = self.glob
+        return SourceSpec(kind=self.kind, options=options)
+
+
+class SimPdfDirSource(_FileSource):
+    """A directory of ``*.simpdf`` files (the existing on-disk format)."""
+
+    kind = "simpdf-dir"
+
+    def __init__(self, directory: str | Path, glob: str = "*.simpdf") -> None:
+        super().__init__(directory, glob)
+
+    @property
+    def doc_type(self) -> DocumentType:
+        return DocumentType.PDF
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        for path in self.paths():
+            yield deserialize_document(path.read_bytes())
+
+
+class HtmlDirSource(_FileSource):
+    """A directory of HTML files, extracted to structured text."""
+
+    kind = "html-dir"
+
+    def __init__(self, directory: str | Path, glob: str = "**/*.html") -> None:
+        super().__init__(directory, glob)
+
+    @property
+    def doc_type(self) -> DocumentType:
+        return DocumentType.HTML
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        for path in self.paths():
+            blocks, title = html_to_blocks(path.read_text(encoding="utf-8", errors="replace"))
+            yield record_to_document(
+                WebTextRecord(
+                    doc_id=_doc_id_for(path, self.directory),
+                    doc_type=DocumentType.HTML,
+                    blocks=tuple(blocks),
+                    title=title,
+                    origin=self.directory.name or "html",
+                )
+            )
+
+
+class MarkdownDirSource(_FileSource):
+    """A directory of Markdown files, extracted to structured text."""
+
+    kind = "markdown-dir"
+
+    def __init__(self, directory: str | Path, glob: str = "**/*.md") -> None:
+        super().__init__(directory, glob)
+
+    @property
+    def doc_type(self) -> DocumentType:
+        return DocumentType.MARKDOWN
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        for path in self.paths():
+            blocks, title = markdown_to_blocks(
+                path.read_text(encoding="utf-8", errors="replace")
+            )
+            yield record_to_document(
+                WebTextRecord(
+                    doc_id=_doc_id_for(path, self.directory),
+                    doc_type=DocumentType.MARKDOWN,
+                    blocks=tuple(blocks),
+                    title=title,
+                    origin=self.directory.name or "markdown",
+                )
+            )
+
+
+class CrawlDumpSource(_FileSource):
+    """A per-domain crawl dump: ``root/<domain>/*.{html,md}``.
+
+    The layout produced by site crawlers — one subdirectory per crawled
+    domain holding that domain's pages.  Mixed HTML/Markdown content is
+    routed to the right extractor per file, the domain becomes the
+    document's publisher, and exact near-duplicate mirrors (the same page
+    crawled under several domains) are dropped via the dataset layer's
+    :func:`~repro.datasets.dedup.content_fingerprint`.
+    """
+
+    kind = "crawl-dump"
+
+    def __init__(
+        self, directory: str | Path, glob: str = "**/*", dedup: bool = True
+    ) -> None:
+        super().__init__(directory, glob)
+        self.dedup = bool(dedup)
+
+    @property
+    def doc_type(self) -> DocumentType | None:
+        return None  # mixed per-file types
+
+    def paths(self) -> list[Path]:
+        return [
+            p
+            for p in super().paths()
+            if p.suffix.lower() in (".html", ".htm", ".md", ".markdown")
+        ]
+
+    def spec(self) -> "SourceSpec":
+        base = super().spec()
+        options = dict(base.options)
+        if not self.dedup:
+            options["dedup"] = False
+        return SourceSpec(kind=self.kind, options=options)
+
+    def iter_documents(self) -> Iterator[SciDocument]:
+        # Imported lazily: repro.datasets builds on the pipeline, which
+        # builds on this module; deferring keeps the graph acyclic.
+        from repro.datasets.dedup import content_fingerprint
+
+        seen: set[int] = set()
+        for path in self.paths():
+            relative = path.relative_to(self.directory)
+            domain = relative.parts[0] if len(relative.parts) > 1 else self.directory.name
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            if path.suffix.lower() in (".md", ".markdown"):
+                blocks, title = markdown_to_blocks(raw)
+                doc_type = DocumentType.MARKDOWN
+            else:
+                blocks, title = html_to_blocks(raw)
+                doc_type = DocumentType.HTML
+            text = "\n".join(text for _, text in blocks)
+            if self.dedup:
+                fp = content_fingerprint(text)
+                if fp in seen:
+                    continue
+                seen.add(fp)
+            yield record_to_document(
+                WebTextRecord(
+                    doc_id=str(relative.with_suffix("")).replace("\\", "/"),
+                    doc_type=doc_type,
+                    blocks=tuple(blocks),
+                    title=title,
+                    origin=domain,
+                )
+            )
+
+
+def _doc_id_for(path: Path, root: Path) -> str:
+    return str(path.relative_to(root).with_suffix("")).replace("\\", "/")
+
+
+# ---------------------------------------------------------------------- #
+# Declarative specs and the registry
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SourceSpec:
+    """JSON-round-trippable ``(kind, options)`` description of a source."""
+
+    kind: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "options": dict(self.options)}
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "SourceSpec":
+        unknown = sorted(set(payload) - {"kind", "options"})
+        if unknown:
+            raise ValueError(
+                f"unknown source-spec field(s) {unknown}; expected 'kind' and "
+                f"'options'"
+            )
+        if "kind" not in payload:
+            raise ValueError("source spec is missing its 'kind'")
+        return cls(
+            kind=str(payload["kind"]), options=dict(payload.get("options") or {})
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceSpec):
+            return NotImplemented
+        return self.kind == other.kind and self.options == other.options
+
+    def __hash__(self) -> int:
+        return hash((self.kind, tuple(sorted(self.options.items()))))
+
+
+@dataclass(frozen=True)
+class SourceKind:
+    """Name-based construction recipe of one source kind.
+
+    ``path_option`` names the option the CLI's ``kind:value`` shorthand
+    binds to; ``defaults`` records option defaults so specs stay minimal.
+    """
+
+    name: str
+    factory: Callable[..., DocumentSource]
+    options: frozenset[str]
+    description: str
+    path_option: str | None = None
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _make_synthetic(**options: Any) -> SyntheticSource:
+    known = {"n_documents", "seed", "min_pages", "max_pages", "scanned_fraction", "name"}
+    config_kwargs = {k: v for k, v in options.items() if k in known}
+    for name in ("n_documents", "seed", "min_pages", "max_pages"):
+        if name in config_kwargs:
+            config_kwargs[name] = int(config_kwargs[name])
+    textgen = options.get("textgen")
+    if textgen is not None:
+        from dataclasses import fields as dc_fields
+
+        from repro.documents.textgen import TextGenConfig
+
+        tg_known = {f.name for f in dc_fields(TextGenConfig)}
+        config_kwargs["textgen"] = TextGenConfig(
+            **{k: v for k, v in dict(textgen).items() if k in tg_known}
+        )
+    return SyntheticSource(CorpusConfig(**config_kwargs))
+
+
+_SOURCE_REGISTRY: dict[str, SourceKind] = {}
+
+
+def register_source(spec: SourceKind) -> None:
+    """Register (or replace) a source kind under its name."""
+    _SOURCE_REGISTRY[spec.name] = spec
+
+
+for _kind in (
+    SourceKind(
+        name="synthetic",
+        factory=_make_synthetic,
+        options=frozenset(
+            {
+                "n_documents",
+                "seed",
+                "min_pages",
+                "max_pages",
+                "scanned_fraction",
+                "name",
+                "textgen",
+            }
+        ),
+        description="generated synthetic corpus (the existing corpus builder)",
+        path_option="n_documents",
+    ),
+    SourceKind(
+        name="simpdf-dir",
+        factory=SimPdfDirSource,
+        options=frozenset({"directory", "path", "glob"}),
+        description="directory of *.simpdf files",
+        path_option="path",
+        defaults={"glob": "*.simpdf"},
+    ),
+    SourceKind(
+        name="html-dir",
+        factory=HtmlDirSource,
+        options=frozenset({"directory", "path", "glob"}),
+        description="directory of HTML files (structure-preserving extraction)",
+        path_option="path",
+        defaults={"glob": "**/*.html"},
+    ),
+    SourceKind(
+        name="markdown-dir",
+        factory=MarkdownDirSource,
+        options=frozenset({"directory", "path", "glob"}),
+        description="directory of Markdown files",
+        path_option="path",
+        defaults={"glob": "**/*.md"},
+    ),
+    SourceKind(
+        name="crawl-dump",
+        factory=CrawlDumpSource,
+        options=frozenset({"directory", "path", "glob", "dedup"}),
+        description="per-domain crawl dump (mixed HTML/Markdown, deduplicated)",
+        path_option="path",
+        defaults={"glob": "**/*", "dedup": True},
+    ),
+):
+    register_source(_kind)
+
+
+def source_names() -> list[str]:
+    """Known source kinds (sorted)."""
+    return sorted(_SOURCE_REGISTRY)
+
+
+def source_kinds() -> list[SourceKind]:
+    """Registered source kinds (sorted by name; for docs and CLI help)."""
+    return [_SOURCE_REGISTRY[name] for name in source_names()]
+
+
+def validate_source_spec(spec: SourceSpec) -> None:
+    """Fail fast on an unknown kind or misspelled options.
+
+    Filesystem state is deliberately *not* checked: a spec may be
+    validated on a submitting client whose paths only exist on the
+    executing service.
+    """
+    kind = _SOURCE_REGISTRY.get(spec.kind)
+    if kind is None:
+        raise ValueError(
+            f"unknown document source {spec.kind!r}"
+            f"{_suggest(spec.kind, source_names())}; known: {source_names()}"
+        )
+    for option in spec.options:
+        if option not in kind.options:
+            raise ValueError(
+                f"unknown option {option!r} for source {spec.kind!r}"
+                f"{_suggest(option, sorted(kind.options))}; "
+                f"known: {sorted(kind.options)}"
+            )
+
+
+def create_source(spec: SourceSpec | DocumentSource) -> DocumentSource:
+    """Resolve a spec (or pass an instance through) into a source."""
+    if isinstance(spec, DocumentSource):
+        return spec
+    validate_source_spec(spec)
+    kind = _SOURCE_REGISTRY[spec.kind]
+    options = dict(spec.options)
+    # ``path`` is the spec-facing spelling of the factories' ``directory``.
+    if "path" in options:
+        options.setdefault("directory", options.pop("path"))
+    return kind.factory(**options)
+
+
+def _coerce_option_value(value: str) -> Any:
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def parse_source_arg(raw: str) -> SourceSpec:
+    """Parse the CLI's ``--source`` shorthand into a validated spec.
+
+    ``kind:value`` binds ``value`` to the kind's primary option (the
+    directory for file sources, the document count for ``synthetic``);
+    further options ride as ``?key=value&key=value``::
+
+        html-dir:corpus/html
+        crawl-dump:dumps/2024-07?dedup=false
+        synthetic:500?seed=7
+    """
+    raw = raw.strip()
+    if not raw:
+        raise ValueError("empty --source value")
+    head, _, query = raw.partition("?")
+    kind_name, _, primary = head.partition(":")
+    kind = _SOURCE_REGISTRY.get(kind_name)
+    if kind is None:
+        raise ValueError(
+            f"unknown document source {kind_name!r}"
+            f"{_suggest(kind_name, source_names())}; known: {source_names()}"
+        )
+    options: dict[str, Any] = {}
+    if primary:
+        if kind.path_option is None:
+            raise ValueError(f"source {kind_name!r} takes no positional value")
+        options[kind.path_option] = (
+            _coerce_option_value(primary) if kind.path_option != "path" else primary
+        )
+    for pair in filter(None, query.split("&")):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"malformed --source option {pair!r}; expected key=value")
+        options[key.strip()] = _coerce_option_value(value.strip())
+    spec = SourceSpec(kind=kind_name, options=options)
+    validate_source_spec(spec)
+    return spec

@@ -1,0 +1,347 @@
+"""HTML and Markdown → structured text extraction for web-text sources.
+
+The ingestion path mirrors what the document generator produces for
+synthetic PDFs: a list of typed blocks (headings, paragraphs, tables,
+boilerplate) that become :class:`~repro.documents.document.PageElement`
+rows.  Web documents are born-digital — the text layer *is* the ground
+truth (quality ``clean``), there is no scanned image layer — so extraction
+parsers read them faithfully while recognition parsers, which transcribe
+rendered page images, have nothing to work on (see
+:class:`~repro.documents.document.DocumentType`).
+
+The HTML extractor is structure-preserving where the markup allows
+(``<h*>`` → headings, ``<table>`` rows → table blocks, ``<nav>``/
+``<footer>`` → boilerplate) and falls back gracefully on tag soup: when no
+block structure survives parsing, the stripped text is split on blank
+lines into plain paragraphs so no content is silently dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from html import unescape
+from html.parser import HTMLParser
+
+from repro.documents.document import (
+    DocumentType,
+    ImageLayer,
+    PageContent,
+    PageElement,
+    SciDocument,
+    TextLayer,
+    TextLayerQuality,
+)
+from repro.documents.metadata import DocumentMetadata
+
+#: Blocks per synthesised page.  Web documents have no physical pages; the
+#: extractor paginates so batch/α accounting sees realistic page counts.
+BLOCKS_PER_PAGE = 12
+
+#: One extracted block: an ``ELEMENT_KINDS`` member plus its plain text.
+Block = tuple[str, str]
+
+_HEADING_TAGS = frozenset({"h1", "h2", "h3", "h4", "h5", "h6"})
+_SKIP_TAGS = frozenset({"script", "style", "noscript", "template", "svg"})
+_BOILERPLATE_TAGS = frozenset({"nav", "footer", "aside"})
+_BLOCK_TAGS = frozenset({"p", "li", "pre", "blockquote", "dd", "dt", "figcaption"})
+
+
+class _HtmlBlockParser(HTMLParser):
+    """Collect (kind, text) blocks from an HTML byte stream."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.blocks: list[Block] = []
+        self.title: str | None = None
+        self._text: list[str] = []
+        self._kind_stack: list[str] = []
+        self._skip_depth = 0
+        self._boilerplate_depth = 0
+        self._in_title = False
+        self._table_depth = 0
+        self._table_rows: list[list[str]] = []
+        self._cell: list[str] | None = None
+
+    # -- helpers ------------------------------------------------------- #
+    def _flush(self, kind: str | None = None) -> None:
+        text = _normalise_whitespace(" ".join(self._text))
+        self._text = []
+        if not text:
+            return
+        block_kind = kind or (self._kind_stack[-1] if self._kind_stack else "paragraph")
+        if self._boilerplate_depth > 0:
+            block_kind = "boilerplate"
+        self.blocks.append((block_kind, text))
+
+    # -- HTMLParser hooks ---------------------------------------------- #
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        if tag in _SKIP_TAGS:
+            self._skip_depth += 1
+            return
+        if self._skip_depth:
+            return
+        if tag == "title":
+            self._in_title = True
+            return
+        if tag in _BOILERPLATE_TAGS or tag == "header":
+            self._flush()
+            self._boilerplate_depth += 1
+            return
+        if tag == "table":
+            self._flush()
+            self._table_depth += 1
+            return
+        if self._table_depth:
+            if tag == "tr":
+                self._table_rows.append([])
+            elif tag in ("td", "th"):
+                self._cell = []
+            return
+        if tag in _HEADING_TAGS:
+            self._flush()
+            self._kind_stack.append("heading")
+        elif tag in _BLOCK_TAGS:
+            self._flush()
+            self._kind_stack.append("paragraph")
+        elif tag in ("br", "div", "section", "article", "ul", "ol", "tr"):
+            self._flush()
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in _SKIP_TAGS:
+            self._skip_depth = max(0, self._skip_depth - 1)
+            return
+        if self._skip_depth:
+            return
+        if tag == "title":
+            self._in_title = False
+            return
+        if tag in _BOILERPLATE_TAGS or tag == "header":
+            self._flush()
+            self._boilerplate_depth = max(0, self._boilerplate_depth - 1)
+            return
+        if tag == "table":
+            self._table_depth = max(0, self._table_depth - 1)
+            if self._table_depth == 0:
+                rows = [
+                    " | ".join(cell for cell in row if cell)
+                    for row in self._table_rows
+                    if any(row)
+                ]
+                self._table_rows = []
+                if rows:
+                    self.blocks.append(("table", "\n".join(rows)))
+            return
+        if self._table_depth:
+            if tag in ("td", "th") and self._cell is not None:
+                if not self._table_rows:
+                    self._table_rows.append([])
+                self._table_rows[-1].append(_normalise_whitespace(" ".join(self._cell)))
+                self._cell = None
+            return
+        if tag in _HEADING_TAGS and self._kind_stack and self._kind_stack[-1] == "heading":
+            self._flush("heading")
+            self._kind_stack.pop()
+        elif tag in _BLOCK_TAGS and self._kind_stack and self._kind_stack[-1] == "paragraph":
+            self._flush("paragraph")
+            self._kind_stack.pop()
+
+    def handle_data(self, data: str) -> None:
+        if self._skip_depth:
+            return
+        if self._in_title:
+            self.title = (self.title or "") + data
+            return
+        if self._table_depth:
+            if self._cell is not None:
+                self._cell.append(data)
+            return
+        self._text.append(data)
+
+    def close(self) -> None:  # flush trailing text
+        super().close()
+        self._flush()
+
+
+def _normalise_whitespace(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+_TAG_RE = re.compile(r"<[^>]+>")
+
+
+def _fallback_blocks(raw: str) -> list[Block]:
+    """Tag-soup fallback: strip markup, split on blank lines into paragraphs."""
+    stripped = _TAG_RE.sub("\n", unescape(raw))
+    blocks: list[Block] = []
+    for chunk in re.split(r"\n\s*\n", stripped):
+        text = _normalise_whitespace(chunk)
+        if text:
+            blocks.append(("paragraph", text))
+    return blocks
+
+
+def html_to_blocks(raw: str) -> tuple[list[Block], str | None]:
+    """Extract ``(blocks, title)`` from HTML, falling back on tag soup."""
+    parser = _HtmlBlockParser()
+    try:
+        parser.feed(raw)
+        parser.close()
+        blocks, title = parser.blocks, parser.title
+    except Exception:
+        blocks, title = [], None
+    if not blocks:
+        blocks = _fallback_blocks(raw)
+    if title is not None:
+        title = _normalise_whitespace(title) or None
+    return blocks, title
+
+
+_MD_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_MD_TABLE_ROW_RE = re.compile(r"^\s*\|.*\|\s*$")
+_MD_TABLE_RULE_RE = re.compile(r"^\s*\|?[\s:|-]+\|?\s*$")
+_MD_LIST_RE = re.compile(r"^\s*(?:[-*+]|\d+\.)\s+(.*)$")
+_MD_LINK_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def _strip_inline_markdown(text: str) -> str:
+    text = _MD_LINK_RE.sub(r"\1", text)
+    return _normalise_whitespace(text.replace("**", "").replace("`", ""))
+
+
+def markdown_to_blocks(raw: str) -> tuple[list[Block], str | None]:
+    """Extract ``(blocks, title)`` from Markdown text.
+
+    Line-oriented: ATX headings, pipe tables, list items, fenced code (kept
+    verbatim as paragraphs), and blank-line-separated paragraphs.  The first
+    heading becomes the title.
+    """
+    blocks: list[Block] = []
+    title: str | None = None
+    paragraph: list[str] = []
+    table_rows: list[str] = []
+    in_fence = False
+    fence_lines: list[str] = []
+
+    def flush_paragraph() -> None:
+        nonlocal paragraph
+        text = _strip_inline_markdown(" ".join(paragraph))
+        paragraph = []
+        if text:
+            blocks.append(("paragraph", text))
+
+    def flush_table() -> None:
+        nonlocal table_rows
+        rows = [
+            " | ".join(
+                cell.strip() for cell in row.strip().strip("|").split("|")
+            )
+            for row in table_rows
+            if not _MD_TABLE_RULE_RE.match(row)
+        ]
+        table_rows = []
+        rows = [r for r in rows if r.strip(" |")]
+        if rows:
+            blocks.append(("table", "\n".join(rows)))
+
+    for line in raw.splitlines():
+        if line.strip().startswith("```"):
+            if in_fence:
+                text = "\n".join(fence_lines).strip()
+                fence_lines = []
+                if text:
+                    blocks.append(("paragraph", text))
+            else:
+                flush_paragraph()
+                flush_table()
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            fence_lines.append(line)
+            continue
+        heading = _MD_HEADING_RE.match(line)
+        if heading:
+            flush_paragraph()
+            flush_table()
+            text = _strip_inline_markdown(heading.group(2))
+            if text:
+                blocks.append(("heading", text))
+                if title is None:
+                    title = text
+            continue
+        if _MD_TABLE_ROW_RE.match(line):
+            flush_paragraph()
+            table_rows.append(line)
+            continue
+        if table_rows:
+            flush_table()
+        listed = _MD_LIST_RE.match(line)
+        if listed:
+            flush_paragraph()
+            text = _strip_inline_markdown(listed.group(1))
+            if text:
+                blocks.append(("paragraph", text))
+            continue
+        if not line.strip():
+            flush_paragraph()
+            continue
+        paragraph.append(line.strip())
+    flush_paragraph()
+    flush_table()
+    return blocks, title
+
+
+@dataclass(frozen=True)
+class WebTextRecord:
+    """One extracted web document before conversion to :class:`SciDocument`."""
+
+    doc_id: str
+    doc_type: DocumentType
+    blocks: tuple[Block, ...]
+    title: str | None = None
+    origin: str = "web"
+
+
+def record_to_document(
+    record: WebTextRecord, blocks_per_page: int = BLOCKS_PER_PAGE
+) -> SciDocument:
+    """Build a born-digital :class:`SciDocument` from extracted blocks.
+
+    The text layer equals the ground truth (quality ``clean``): web text has
+    no lossy PDF production step, so extraction parsers read it faithfully.
+    """
+    blocks = list(record.blocks) or [("paragraph", "(empty document)")]
+    pages: list[PageContent] = []
+    for start in range(0, len(blocks), max(1, blocks_per_page)):
+        chunk = blocks[start : start + max(1, blocks_per_page)]
+        pages.append(
+            PageContent(
+                index=len(pages),
+                elements=tuple(PageElement(kind=k, text=t) for k, t in chunk),
+            )
+        )
+    page_texts = [page.ground_truth_text() for page in pages]
+    metadata = DocumentMetadata(
+        title=record.title or record.doc_id,
+        publisher=record.origin,
+        domain="web",
+        subcategory=record.doc_type.value,
+        year=2024,
+        pdf_format="none",
+        producer=f"{record.doc_type.value}-extract",
+        n_pages=len(pages),
+        keywords=(),
+    )
+    return SciDocument(
+        doc_id=record.doc_id,
+        metadata=metadata,
+        pages=pages,
+        text_layer=TextLayer(
+            quality=TextLayerQuality.CLEAN,
+            page_texts=page_texts,
+            producer=f"{record.doc_type.value}-extract",
+        ),
+        image_layer=ImageLayer(is_scanned=False),
+        seed=0,
+        doc_type=record.doc_type.value,
+    )

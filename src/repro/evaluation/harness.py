@@ -12,7 +12,7 @@ engine) instead of being read back off mutable engine attributes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Any
 
 import numpy as np
@@ -52,10 +52,8 @@ class HarnessConfig:
         registry name (``serial``, ``thread``, ``process``, ``hpc``) or
         ``"auto"``.
     backend_options:
-        Backend construction options (e.g. ``{"n_jobs": 8}``).
-    n_jobs:
-        Deprecated alias for ``backend_options={"n_jobs": N}``; with
-        ``backend="auto"`` it resolves to the thread backend.
+        Backend construction options (e.g. ``{"n_jobs": 8}``; with
+        ``backend="auto"`` that option resolves to the thread backend).
     """
 
     accepted_token_threshold: float = 0.70
@@ -65,21 +63,19 @@ class HarnessConfig:
     seed: int = 1234
     backend: str = "auto"
     backend_options: dict[str, Any] = field(default_factory=dict)
-    n_jobs: int = 1
+    #: Removed field (hard error): parallelism now lives in
+    #: ``backend_options={"n_jobs": N}``.
+    n_jobs: InitVar[Any] = None
 
-    def __post_init__(self) -> None:
-        if self.n_jobs != 1:
-            import warnings
-
-            warnings.warn(
-                "HarnessConfig.n_jobs is deprecated; use backend='thread' "
-                "(or 'process') with backend_options={'n_jobs': N} instead",
-                DeprecationWarning,
-                stacklevel=3,
+    def __post_init__(self, n_jobs: Any) -> None:
+        if n_jobs is not None:
+            raise TypeError(
+                "HarnessConfig.n_jobs was removed; request parallelism with "
+                "backend='thread' (or 'process') and backend_options={'n_jobs': N}"
             )
         from repro.pipeline.backends.base import validate_backend_spec
 
-        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
+        validate_backend_spec(self.backend, self.backend_options)
 
 
 @dataclass
@@ -185,7 +181,7 @@ class EvaluationHarness:
         # One backend for the whole evaluation: resolving per parser would
         # spin up (and tear down) a fresh pool N times.
         backend, owned = resolve_execution(
-            self.config.backend, self.config.backend_options, n_jobs=self.config.n_jobs
+            self.config.backend, self.config.backend_options
         )
         try:
             for parser in parsers:

@@ -20,7 +20,7 @@ Example (client, possibly another machine)
 ------------------------------------------
 >>> from repro.gateway import GatewayClient  # doctest: +SKIP
 >>> with GatewayClient("127.0.0.1", 9100) as client:  # doctest: +SKIP
-...     ticket = client.submit({"parser": "pymupdf", "n_documents": 8, "seed": 3})
+...     ticket = client.submit({"parser": "pymupdf", "source": "synthetic:8?seed=3"})
 ...     for event in ticket.events():
 ...         print(event.kind)
 ...     report = client.result(ticket)

@@ -189,6 +189,17 @@ class Parser(abc.ABC):
     version: str = "1.0"
     #: Static cost profile.
     cost: ParserCost = ParserCost()
+    #: Document types (:class:`~repro.documents.document.DocumentType`
+    #: values) this parser can process.  Extraction parsers read the text
+    #: layer and accept every type; recognition parsers (OCR/ViT) transcribe
+    #: rendered page images, which only PDF-family documents have, and
+    #: restrict this to ``{"pdf"}``.  The routing layer never sends a
+    #: document to a parser that does not support its type.
+    supported_doc_types: frozenset[str] = frozenset({"pdf", "html", "markdown"})
+
+    def supports_doc_type(self, doc_type: str) -> bool:
+        """Whether this parser can process documents of ``doc_type``."""
+        return doc_type in self.supported_doc_types
 
     def document_rng(self, document: SciDocument, salt: str = "") -> np.random.Generator:
         """Deterministic random stream for (parser, document)."""
@@ -258,10 +269,9 @@ class Parser(abc.ABC):
 
         Base parsers make no routing decisions, so the telemetry list is
         empty; AdaParse engines return one
-        :class:`~repro.core.engine.RoutingDecision` per document.  This is
-        the stateless counterpart of the deprecated ``last_summary``
-        attribute; :class:`repro.pipeline.ParsePipeline` calls it per batch
-        for non-engine parsers, so subclasses that override ``parse_many``
+        :class:`~repro.core.engine.RoutingDecision` per document.
+        :class:`repro.pipeline.ParsePipeline` calls it per batch for
+        non-engine parsers, so subclasses that override ``parse_many``
         (or this method) keep their behaviour under the pipeline.
         """
         return self.parse_many(list(documents)), []
@@ -284,7 +294,12 @@ class Parser(abc.ABC):
         from repro.utils.hashing import stable_hash_hex
 
         return stable_hash_hex(
-            "parser-config", type(self).__name__, self.name, self.version, *astuple(self.cost)
+            "parser-config",
+            type(self).__name__,
+            self.name,
+            self.version,
+            *astuple(self.cost),
+            *sorted(self.supported_doc_types),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

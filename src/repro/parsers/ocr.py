@@ -39,6 +39,8 @@ class TesseractSim(Parser):
 
     name = "tesseract"
     version = "5.3"
+    #: OCR transcribes rendered page images — PDF-family only.
+    supported_doc_types = frozenset({"pdf"})
     cost = ParserCost(
         cpu_seconds_per_page=1.35,
         cpu_memory_mb=650.0,
@@ -74,6 +76,8 @@ class GrobidSim(Parser):
 
     name = "grobid"
     version = "0.8"
+    #: GROBID segments PDF page structure (with an OCR fallback) — PDF only.
+    supported_doc_types = frozenset({"pdf"})
     cost = ParserCost(
         cpu_seconds_per_page=0.55,
         cpu_memory_mb=2200.0,

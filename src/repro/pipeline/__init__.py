@@ -10,7 +10,7 @@ decisions, aggregate resource usage, wall time, throughput) comes out.
 Example
 -------
 >>> from repro.pipeline import ParsePipeline, ParseRequest
->>> report = ParsePipeline().run(ParseRequest(parser="pymupdf", n_documents=20, seed=7))
+>>> report = ParsePipeline().run(ParseRequest(parser="pymupdf", source="synthetic:20?seed=7"))
 >>> report.n_documents
 20
 >>> report.summary()["parser"]

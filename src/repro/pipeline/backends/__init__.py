@@ -16,8 +16,8 @@ remote    repro.cluster worker daemons over TCP (multi-process/multi-host)
 Backends are selected by name through :class:`~repro.pipeline.ParseRequest`
 (``backend="process"``, ``backend_options={"n_jobs": 8}``), resolved via
 the registry (:func:`create_backend`), or passed as instances to the
-pipeline's methods.  ``"auto"`` picks serial, or thread when parallelism
-is requested through the deprecated ``n_jobs`` alias.
+pipeline's methods.  ``"auto"`` picks serial, or thread when an
+``{"n_jobs": N}`` option asks for parallelism.
 
 Public names resolve lazily (PEP 562) so that importing this package — or
 :mod:`repro.pipeline.backends.base` beneath it — does not pull in the

@@ -30,7 +30,8 @@ The contract every backend implements:
 Backends are constructed by name through the registry
 (:func:`create_backend`), with option dictionaries validated against the
 backend's :class:`BackendSpec`; :func:`normalize_backend_spec` resolves
-the ``"auto"`` name and the deprecated ``n_jobs`` alias.
+the ``"auto"`` name (an ``{"n_jobs": N}`` option steers it to the thread
+backend).
 """
 
 from __future__ import annotations
@@ -368,9 +369,8 @@ def create_backend(
 def backend_accepts_option(backend: str, option: str) -> bool:
     """Whether a backend name (or ``"auto"``) takes a construction option.
 
-    Derived from the registry's :class:`BackendSpec` declarations so the
-    deprecated ``n_jobs`` alias follows new backends automatically;
-    ``"auto"`` accepts ``n_jobs`` because the alias is what steers its
+    Derived from the registry's :class:`BackendSpec` declarations;
+    ``"auto"`` accepts ``n_jobs`` because that option is what steers its
     serial-vs-thread choice.
     """
     if backend == "auto":
@@ -400,26 +400,16 @@ def _validated_n_jobs(value: Any) -> int:
 def normalize_backend_spec(
     backend: str,
     backend_options: Mapping[str, Any] | None = None,
-    n_jobs: int | None = None,
 ) -> tuple[str, dict[str, Any]]:
-    """Resolve ``"auto"`` and the deprecated ``n_jobs`` alias to a concrete spec.
+    """Resolve ``"auto"`` to a concrete backend spec.
 
-    ``n_jobs`` (when not ``None``/1) is folded into the options of every
-    backend that accepts it; under ``"auto"`` it selects the thread
-    backend, matching the pre-backend behaviour of the pipeline's
-    ``n_jobs`` parameter.  ``"auto"`` without parallelism resolves to the
+    An ``{"n_jobs": N}`` option with N > 1 selects the thread backend
+    under ``"auto"``; ``"auto"`` without parallelism resolves to the
     serial backend.
     """
     options = dict(backend_options or {})
     if "n_jobs" in options and backend_accepts_option(backend, "n_jobs"):
         options["n_jobs"] = _validated_n_jobs(options["n_jobs"])
-    if (
-        n_jobs is not None
-        and n_jobs != 1
-        and "n_jobs" not in options
-        and backend_accepts_option(backend, "n_jobs")
-    ):
-        options["n_jobs"] = _validated_n_jobs(n_jobs)
     name = backend
     if name == "auto":
         name = "thread" if options.get("n_jobs", 1) > 1 else "serial"
@@ -440,7 +430,6 @@ def normalize_backend_spec(
 def validate_backend_spec(
     backend: str,
     backend_options: Mapping[str, Any] | None = None,
-    n_jobs: int | None = None,
 ) -> None:
     """Fail fast on an invalid backend spec (name, options, values).
 
@@ -453,14 +442,13 @@ def validate_backend_spec(
             f"unknown execution backend {backend!r}; known: "
             f"{['auto'] + backend_names()}"
         )
-    name, options = normalize_backend_spec(backend, backend_options, n_jobs=n_jobs)
+    name, options = normalize_backend_spec(backend, backend_options)
     create_backend(name, options).close()
 
 
 def resolve_execution(
     backend: "str | ExecutionBackend",
     backend_options: Mapping[str, Any] | None = None,
-    n_jobs: int | None = None,
 ) -> tuple[ExecutionBackend, bool]:
     """Turn a backend spec (name or instance) into ``(backend, owned)``.
 
@@ -476,5 +464,5 @@ def resolve_execution(
                 "configure the instance directly instead"
             )
         return backend, False
-    name, options = normalize_backend_spec(backend, backend_options, n_jobs=n_jobs)
+    name, options = normalize_backend_spec(backend, backend_options)
     return create_backend(name, options), True

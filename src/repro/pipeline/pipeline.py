@@ -38,7 +38,6 @@ from repro.cache import (
     cached_batch_worker,
 )
 from repro.core.engine import AdaParseEngine, RoutingDecision, build_default_engine
-from repro.documents.corpus import build_corpus
 from repro.documents.document import SciDocument
 from repro.obs import tracing as _tracing
 from repro.parsers.base import Parser, ParseResult, ResourceUsage
@@ -182,11 +181,29 @@ class ParsePipeline:
 
     def resolve_documents(self, request: ParseRequest) -> list[SciDocument]:
         """Materialise the request's document source."""
-        if request.documents is not None:
-            return list(request.documents)
-        config = request.corpus_config()
-        assert config is not None  # corpus_config() only returns None for explicit docs
-        return list(build_corpus(config))
+        return list(request.resolve_source().iter_documents())
+
+    @staticmethod
+    def check_doc_type_eligibility(
+        parser: Parser, documents: Iterable[SciDocument]
+    ) -> Iterator[SciDocument]:
+        """Stream ``documents``, failing fast on a type the parser can't take.
+
+        Engines route around ineligible formats internally (their default
+        extractor accepts every type), so this guard matters for *base*
+        parser requests: sending an HTML corpus straight to a PDF-only
+        recognition parser is a configuration error, not a degraded run.
+        """
+        for document in documents:
+            if not parser.supports_doc_type(document.doc_type):
+                supported = sorted(parser.supported_doc_types)
+                raise ValueError(
+                    f"parser {parser.name!r} does not support document type "
+                    f"{document.doc_type!r} (document {document.doc_id!r}); "
+                    f"supported types: {supported}. Pick an extraction parser "
+                    f"or an AdaParse engine for this source"
+                )
+            yield document
 
     # ------------------------------------------------------------------ #
     # Streaming execution
@@ -235,6 +252,7 @@ class ParsePipeline:
             size = batch_size or resolved.config.batch_size
         else:
             size = batch_size or DEFAULT_BATCH_SIZE
+        documents = self.check_doc_type_eligibility(resolved, documents)
         worker = self._batch_worker(resolved, backend, cache_policy, cache_recorder)
         worker = _traced_batch_worker(worker, backend.name)
         yield from backend.map_ordered(worker, chunked(documents, size))
@@ -244,7 +262,6 @@ class ParsePipeline:
         parser: str | Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
         backend: str | ExecutionBackend = "auto",
@@ -256,16 +273,16 @@ class ParsePipeline:
         yielded in document order; parallel backends keep a bounded window
         of batches in flight.  ``backend`` is a registry name (``serial``,
         ``thread``, ``process``, ``hpc``, or ``auto``) configured through
-        ``backend_options``, or an :class:`~repro.pipeline.backends.
-        ExecutionBackend` instance whose lifecycle the caller manages;
-        ``n_jobs`` survives as an alias that makes ``auto`` pick the thread
-        backend.  With a cache policy other than ``off``, cached documents
-        are replayed and only the misses are parsed (the α cap then applies
+        ``backend_options`` (``{"n_jobs": N}`` makes ``auto`` pick the
+        thread backend), or an :class:`~repro.pipeline.backends.
+        ExecutionBackend` instance whose lifecycle the caller manages.
+        With a cache policy other than ``off``, cached documents are
+        replayed and only the misses are parsed (the α cap then applies
         to the sub-batch that actually runs); pass a
         :class:`~repro.cache.CacheStatsRecorder` to observe hits.
         """
         resolved = self.resolve_parser(parser)
-        exec_backend, owned = resolve_execution(backend, backend_options, n_jobs=n_jobs)
+        exec_backend, owned = resolve_execution(backend, backend_options)
         try:
             yield from self._execute_batches(
                 resolved,
@@ -284,7 +301,6 @@ class ParsePipeline:
         parser: str | Parser,
         documents: Iterable[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
         backend: str | ExecutionBackend = "auto",
@@ -295,7 +311,6 @@ class ParsePipeline:
             parser,
             documents,
             batch_size,
-            n_jobs,
             cache_policy=cache_policy,
             cache_recorder=cache_recorder,
             backend=backend,
@@ -308,7 +323,6 @@ class ParsePipeline:
         parser: str | Parser,
         documents: Sequence[SciDocument],
         batch_size: int | None = None,
-        n_jobs: int | None = None,
         cache_policy: CachePolicy | str = CachePolicy.OFF,
         cache_recorder: CacheStatsRecorder | None = None,
         backend: str | ExecutionBackend = "auto",
@@ -316,10 +330,9 @@ class ParsePipeline:
     ) -> tuple[list[ParseResult], list[RoutingDecision]]:
         """Parse a collection, returning results plus routing telemetry.
 
-        The deprecated ``last_summary`` shim of the engine that ran is
-        refreshed once, atomically, after the run completes (legacy readers
-        keep working); the authoritative telemetry is the returned decision
-        list.  Pass a backend *instance* to read its
+        The returned decision list is the authoritative telemetry (the
+        engine holds no mutable routing state).  Pass a backend *instance*
+        to read its
         :meth:`~repro.pipeline.backends.ExecutionBackend.stats` afterwards.
         """
         resolved = self.resolve_parser(parser)
@@ -329,7 +342,6 @@ class ParsePipeline:
             resolved,
             documents,
             batch_size,
-            n_jobs,
             cache_policy=cache_policy,
             cache_recorder=cache_recorder,
             backend=backend,
@@ -337,8 +349,6 @@ class ParsePipeline:
         ):
             results.extend(batch_results)
             decisions.extend(batch_decisions)
-        if isinstance(resolved, AdaParseEngine):
-            resolved._record_last_summary(decisions)
         return results, decisions
 
     # ------------------------------------------------------------------ #
@@ -388,12 +398,6 @@ class ParsePipeline:
             execution = backend.stats()
         finally:
             backend.close()
-        if request.alpha is not None:
-            # The α override ran on a throwaway sibling; legacy readers hold
-            # the cached engine, so mirror the run's telemetry onto it too.
-            base = self.resolve_parser(request.parser)
-            if isinstance(base, AdaParseEngine) and base is not parser:
-                base._record_last_summary(decisions)
         usage = ResourceUsage()
         for result in results:
             usage = usage + result.usage

@@ -88,6 +88,10 @@ class ParseReport:
         """Documents per routing stage (empty for base parsers)."""
         return self.routing_summary().counts_by_stage()
 
+    def counts_by_doc_type(self) -> dict[str, dict[str, int]]:
+        """Routing-stage counts split by document type (empty for base parsers)."""
+        return self.routing_summary().counts_by_doc_type()
+
     def summary(self) -> dict[str, Any]:
         """Compact dictionary of the run's headline numbers."""
         return {
@@ -100,6 +104,7 @@ class ParseReport:
             "gpu_seconds": round(self.usage.gpu_seconds, 4),
             "fraction_routed": round(self.fraction_routed(), 4),
             "routing_stages": self.counts_by_stage(),
+            "routing_by_doc_type": self.counts_by_doc_type(),
             "cache": self.cache.to_json_dict() if self.cache.any_activity else None,
             "execution": {
                 "backend": self.execution.backend,
@@ -148,6 +153,7 @@ class ParseReport:
                     "chosen_parser": d.chosen_parser,
                     "stage": d.stage,
                     "predicted_improvement": d.predicted_improvement,
+                    "doc_type": d.doc_type,
                 }
                 for d in self.decisions
             ],
@@ -183,6 +189,7 @@ class ParseReport:
                 chosen_parser=entry["chosen_parser"],
                 stage=entry["stage"],
                 predicted_improvement=float(entry.get("predicted_improvement", 0.0)),
+                doc_type=str(entry.get("doc_type", "pdf")),
             )
             for entry in payload.get("decisions", [])
         ]

@@ -1,40 +1,84 @@
 """The typed request object of the parsing pipeline.
 
 A :class:`ParseRequest` is a frozen, self-contained description of one
-parsing run: which documents, which parser (or AdaParse engine), and the
-execution knobs (batch size, α override, worker count).  Because it is
-immutable and JSON-serialisable it can be logged, queued, replayed, and
-compared — the building block a parsing *service* schedules on.
+parsing run: where the documents come from (a
+:class:`~repro.documents.sources.DocumentSource`), which parser (or
+AdaParse engine) processes them, and the execution knobs (batch size, α
+override, backend spec).  Because it is immutable and JSON-serialisable it
+can be logged, queued, replayed, and compared — the building block a
+parsing *service* schedules on.
+
+The canonical way to say "which documents" is the ``source`` field::
+
+    ParseRequest(parser="pymupdf", source=HtmlDirSource("corpus/html"))
+    ParseRequest(parser="pymupdf", source="html-dir:corpus/html")
+    ParseRequest(parser="pymupdf", source=SourceSpec("synthetic", {"n_documents": 50}))
+
+The pre-source fields (``documents=``, ``corpus=``, an explicit
+``n_documents=``) still construct working requests but emit a
+:class:`DeprecationWarning` and are normalised onto ``source``.
 """
 
 from __future__ import annotations
 
+import difflib
 import warnings
-from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Sequence
+from dataclasses import InitVar, dataclass, field, fields
+from typing import Any, Mapping, Sequence
 
 from repro.documents.corpus import CorpusConfig
 from repro.documents.document import SciDocument
+from repro.documents.sources import (
+    DocumentSource,
+    ExplicitSource,
+    SourceSpec,
+    SyntheticSource,
+    create_source,
+    parse_source_arg,
+)
 from repro.documents.textgen import TextGenConfig
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"ParseRequest.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
 
 
 @dataclass(frozen=True)
 class ParseRequest:
     """Immutable description of one parsing run.
 
-    Exactly one document source applies, in order of precedence:
-
-    1. ``documents`` — an explicit document collection (stored as a tuple);
-    2. ``corpus`` — a :class:`~repro.documents.corpus.CorpusConfig` built
-       lazily by the pipeline;
-    3. the ``n_documents``/``seed`` shortcut, which builds a synthetic
-       corpus with default knobs.
-
     Attributes
     ----------
     parser:
         Registry parser name (``pymupdf``, ``nougat``, …) or an engine name
         (``adaparse_ft``, ``adaparse_llm``).
+    source:
+        Where the documents come from.  Accepts a
+        :class:`~repro.documents.sources.DocumentSource` instance, a
+        declarative :class:`~repro.documents.sources.SourceSpec` (or its
+        mapping form ``{"kind": ..., "options": {...}}``), or the CLI
+        shorthand string ``"kind:value?opt=val"``.  Specs are validated and
+        resolved at construction; after ``__init__`` the field always holds
+        a ``DocumentSource`` (or ``None`` for a provenance-only request
+        rehydrated from JSON, which refuses replay).  When nothing is
+        passed, a default synthetic source (100 documents under ``seed``)
+        is used.
+    documents:
+        Deprecated: an explicit document collection.  Normalised onto an
+        :class:`~repro.documents.sources.ExplicitSource`; the field remains
+        populated (as a tuple) for provenance.
+    corpus:
+        Deprecated: a :class:`~repro.documents.corpus.CorpusConfig`.
+        Normalised onto a :class:`~repro.documents.sources.SyntheticSource`.
+    n_documents:
+        Deprecated as an *input* (use a synthetic source); always populated
+        after construction with the resolved document count when it is
+        knowable without reading content (``None`` otherwise, e.g. a
+        directory source whose path only exists on the executing service).
     batch_size:
         Documents per scheduling batch; ``None`` uses the parser's own
         default (the engine's configured batch size, or the pipeline
@@ -46,20 +90,15 @@ class ParseRequest:
         Execution backend by registry name (``serial``, ``thread``,
         ``process``, ``hpc``, ``async``, ``remote``) or ``"auto"``, which
         picks serial — or thread when parallelism is requested via
-        ``backend_options`` or the deprecated ``n_jobs``.
+        ``backend_options``.
     backend_options:
         Backend construction options (e.g. ``{"n_jobs": 8}`` for the
         thread/process/async backends, ``{"n_nodes": 16}`` for ``hpc``,
         ``{"max_window": 32, "adaptive": True}`` for ``async``,
         ``{"workers": "host:port,host:port"}`` for ``remote``); see
         :func:`repro.pipeline.backends.backend_specs`.
-    n_jobs:
-        Deprecated alias for ``backend_options={"n_jobs": N}`` (with
-        ``backend="auto"`` it resolves to the thread backend, matching the
-        historical thread-pool behaviour).  Values other than 1 emit a
-        :class:`DeprecationWarning`.
     seed:
-        Corpus seed used by the ``n_documents`` shortcut (and recorded for
+        Corpus seed used by the synthetic-source shortcut (and recorded for
         provenance either way).
     cache:
         Cache policy for this run: ``"off"`` (default), ``"read"``,
@@ -69,50 +108,117 @@ class ParseRequest:
     """
 
     parser: str = "pymupdf"
+    source: Any = None
     documents: tuple[SciDocument, ...] | None = None
     corpus: CorpusConfig | None = None
-    n_documents: int = 100
+    n_documents: int | None = None
     seed: int = 2025
     batch_size: int | None = None
     alpha: float | None = None
     backend: str = "auto"
     backend_options: dict[str, Any] = field(default_factory=dict)
-    n_jobs: int = 1
     cache: str = "off"
-    #: Provenance of an explicit document collection.  Derived from
-    #: ``documents`` when present; carried alone after a JSON round trip, in
-    #: which case the request is inspectable but refuses to replay (the
-    #: documents themselves were not serialised).
+    #: Provenance of an explicit document collection.  Derived from the
+    #: source when it is an ``ExplicitSource``; carried alone after a JSON
+    #: round trip, in which case the request is inspectable but refuses to
+    #: replay (the documents themselves were not serialised).  An *empty*
+    #: tuple marks a custom source that could not be serialised at all.
     doc_ids: tuple[str, ...] | None = None
+    #: Removed field (hard error): parallelism now lives in
+    #: ``backend_options={"n_jobs": N}``.
+    n_jobs: InitVar[Any] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, n_jobs: Any) -> None:
+        if n_jobs is not None:
+            raise TypeError(
+                "ParseRequest.n_jobs was removed; request parallelism with "
+                "backend='thread' (or 'process') and backend_options={'n_jobs': N}"
+            )
         if self.documents is not None:
             if not isinstance(self.documents, tuple):
                 object.__setattr__(self, "documents", tuple(self.documents))
             if not self.documents:
                 raise ValueError("documents must not be empty")
-            # Keep the provenance truthful for explicit collections.
-            object.__setattr__(self, "n_documents", len(self.documents))
-            object.__setattr__(self, "doc_ids", tuple(d.doc_id for d in self.documents))
-        elif self.doc_ids is not None:
-            if not isinstance(self.doc_ids, tuple):
-                object.__setattr__(self, "doc_ids", tuple(self.doc_ids))
-            object.__setattr__(self, "n_documents", max(1, len(self.doc_ids)))
-        elif self.corpus is not None:
-            # Keep the headline provenance in sync with the corpus spec.
-            object.__setattr__(self, "n_documents", self.corpus.n_documents)
-            object.__setattr__(self, "seed", self.corpus.seed)
-        if self.n_documents < 1:
-            raise ValueError("n_documents must be positive")
-        if self.n_jobs < 1:
-            raise ValueError("n_jobs must be positive")
-        if self.n_jobs != 1:
-            warnings.warn(
-                "ParseRequest.n_jobs is deprecated; use backend='thread' (or "
-                "'process') with backend_options={'n_jobs': N} instead",
-                DeprecationWarning,
-                stacklevel=3,
+        if self.doc_ids is not None and not isinstance(self.doc_ids, tuple):
+            object.__setattr__(self, "doc_ids", tuple(self.doc_ids))
+
+        # ------------------------------------------------------------- #
+        # Normalise the source: string shorthand -> spec -> instance.
+        # ------------------------------------------------------------- #
+        source = self.source
+        if isinstance(source, str):
+            source = parse_source_arg(source)
+        if isinstance(source, Mapping):
+            source = SourceSpec.from_json_dict(source)
+        if isinstance(source, SourceSpec):
+            source = create_source(source)
+        if source is not None and not isinstance(source, DocumentSource):
+            raise TypeError(
+                "source must be a DocumentSource, SourceSpec, mapping, or "
+                f"'kind:...' string, not {type(source).__name__}"
             )
+
+        if source is None:
+            if self.documents is not None:
+                _warn_legacy(
+                    "documents",
+                    "source=ExplicitSource(documents) (or request_for_documents)",
+                )
+                source = ExplicitSource(self.documents)
+            elif self.corpus is not None:
+                _warn_legacy("corpus", "source=SyntheticSource(corpus_config)")
+                source = SyntheticSource(self.corpus)
+            elif self.doc_ids is not None:
+                source = None  # provenance-only rehydration; refuses replay
+            else:
+                if self.n_documents is not None:
+                    _warn_legacy(
+                        "n_documents",
+                        "source=SyntheticSource(CorpusConfig(...)) or "
+                        "source='synthetic:N?seed=S'",
+                    )
+                count = 100 if self.n_documents is None else int(self.n_documents)
+                if count < 1:
+                    raise ValueError("n_documents must be positive")
+                source = SyntheticSource(CorpusConfig(n_documents=count, seed=self.seed))
+        else:
+            # Legacy fields may ride along (dataclasses.replace re-passes
+            # every field) but only when they agree with the source.
+            if self.documents is not None and not (
+                isinstance(source, ExplicitSource)
+                and source.documents == self.documents
+            ):
+                raise ValueError(
+                    "pass either source= or the deprecated documents=, not both"
+                )
+            if self.corpus is not None and not (
+                isinstance(source, SyntheticSource) and source.config == self.corpus
+            ):
+                raise ValueError(
+                    "pass either source= or the deprecated corpus=, not both"
+                )
+        object.__setattr__(self, "source", source)
+
+        # Provenance fields, kept truthful against the resolved source.
+        if isinstance(source, SyntheticSource):
+            object.__setattr__(self, "n_documents", source.config.n_documents)
+            object.__setattr__(self, "seed", source.config.seed)
+            object.__setattr__(self, "corpus", source.config)
+        elif isinstance(source, ExplicitSource):
+            object.__setattr__(self, "documents", source.documents)
+            object.__setattr__(
+                self, "doc_ids", tuple(d.doc_id for d in source.documents)
+            )
+            object.__setattr__(self, "n_documents", len(source.documents))
+        elif source is not None:
+            object.__setattr__(self, "n_documents", source.count_hint())
+        elif self.doc_ids is not None:
+            object.__setattr__(
+                self, "n_documents", len(self.doc_ids) if self.doc_ids else None
+            )
+
+        if self.n_documents is not None and self.n_documents < 1:
+            raise ValueError("n_documents must be positive")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
@@ -125,7 +231,7 @@ class ParseRequest:
         # Imported lazily to keep the module graph acyclic.
         from repro.pipeline.backends.base import validate_backend_spec
 
-        validate_backend_spec(self.backend, self.backend_options, n_jobs=self.n_jobs)
+        validate_backend_spec(self.backend, self.backend_options)
         # Accept a CachePolicy enum member (a str subclass) or a plain
         # string; validate through the enum (the single source of truth for
         # the policy set) but store the plain value so the request stays
@@ -142,38 +248,45 @@ class ParseRequest:
         return CachePolicy(self.cache)
 
     def resolved_backend(self) -> tuple[str, dict[str, Any]]:
-        """The concrete ``(backend name, options)`` this request executes on.
-
-        Resolves ``"auto"`` and folds the deprecated ``n_jobs`` alias into
-        the options of the thread/process backends.
-        """
+        """The concrete ``(backend name, options)`` this request executes on."""
         from repro.pipeline.backends.base import normalize_backend_spec
 
-        return normalize_backend_spec(
-            self.backend, self.backend_options, n_jobs=self.n_jobs
-        )
+        return normalize_backend_spec(self.backend, self.backend_options)
 
     # ------------------------------------------------------------------ #
     # Document source resolution
     # ------------------------------------------------------------------ #
-    def corpus_config(self) -> CorpusConfig | None:
-        """The corpus configuration to build, or ``None`` for explicit docs.
+    def resolve_source(self) -> DocumentSource:
+        """The request's document source, ready to stream.
 
-        A request rehydrated from JSON that referenced explicit documents
-        refuses to fall back to a synthetic corpus: replaying it against
-        freshly generated documents would produce a same-shaped report over
-        the wrong data.
+        A request rehydrated from JSON that referenced unserialised
+        documents (an explicit collection or a spec-less custom source)
+        refuses to resolve: replaying it against different data would
+        produce a same-shaped report over the wrong documents.
         """
-        if self.documents is not None:
-            return None
-        if self.doc_ids is not None:
-            raise ValueError(
-                "request references explicit documents that were not serialised; "
-                "supply the documents to a fresh request to replay it"
-            )
-        if self.corpus is not None:
-            return self.corpus
-        return CorpusConfig(n_documents=self.n_documents, seed=self.seed)
+        if self.source is not None:
+            return self.source
+        raise ValueError(
+            "request references documents that were not serialised; "
+            "supply the documents (or a declarative source) to a fresh "
+            "request to replay it"
+        )
+
+    def source_spec(self) -> SourceSpec | None:
+        """The declarative spec of the source, when it has one."""
+        return self.source.spec() if self.source is not None else None
+
+    def corpus_config(self) -> CorpusConfig | None:
+        """The synthetic corpus configuration, or ``None`` for other sources.
+
+        Raises for a provenance-only rehydrated request, exactly like
+        :meth:`resolve_source`.
+        """
+        if self.source is None:
+            self.resolve_source()  # raises the refuse-replay error
+        if isinstance(self.source, SyntheticSource):
+            return self.source.config
+        return None
 
     # ------------------------------------------------------------------ #
     # Serialisation
@@ -181,47 +294,82 @@ class ParseRequest:
     def to_json_dict(self) -> dict[str, Any]:
         """JSON-compatible view of the request.
 
-        Explicit documents are recorded by id only (for provenance); a
-        request built from a corpus spec round-trips losslessly through
-        :meth:`from_json_dict`.
+        Declarative sources round-trip losslessly through their spec;
+        explicit documents are recorded by id only (provenance) and a
+        custom spec-less source serialises as an empty ``doc_ids`` list —
+        both rehydrate into requests that refuse replay.
         """
+        spec = self.source_spec()
         payload: dict[str, Any] = {
             "parser": self.parser,
+            "source": None if spec is None else spec.to_json_dict(),
             "n_documents": self.n_documents,
             "seed": self.seed,
             "batch_size": self.batch_size,
             "alpha": self.alpha,
             "backend": self.backend,
             "backend_options": dict(self.backend_options),
-            "n_jobs": self.n_jobs,
             "cache": self.cache,
-            "corpus": None,
             "doc_ids": None,
         }
-        if self.corpus is not None:
-            # asdict recurses into the nested textgen knobs, so the corpus
-            # spec is lossless and a rehydrated request replays over
-            # identical documents.
-            payload["corpus"] = asdict(self.corpus)
-        if self.doc_ids is not None:
-            payload["doc_ids"] = list(self.doc_ids)
+        if spec is None:
+            payload["doc_ids"] = list(self.doc_ids) if self.doc_ids else []
         return payload
+
+    #: JSON keys :meth:`from_json_dict` understands.  ``corpus`` and
+    #: ``n_jobs`` are legacy keys: the former still rehydrates (through the
+    #: deprecated constructor path), the latter is rejected unless it holds
+    #: its old default.
+    _JSON_KEYS = frozenset(
+        {
+            "parser",
+            "source",
+            "n_documents",
+            "seed",
+            "batch_size",
+            "alpha",
+            "backend",
+            "backend_options",
+            "cache",
+            "doc_ids",
+            "corpus",
+            "n_jobs",
+        }
+    )
 
     @classmethod
     def from_json_dict(cls, payload: dict[str, Any]) -> "ParseRequest":
         """Rebuild a request from :meth:`to_json_dict` output.
 
-        A request that carried explicit documents rebuilds with its
-        ``doc_ids`` provenance only — it can be inspected and compared, but
-        :meth:`corpus_config` (and therefore the pipeline) refuses to replay
-        it, because the documents themselves were not serialised.
+        Unknown keys are rejected with a did-you-mean suggestion, so a typo
+        in a request file (``"sorce"``, a misspelled source option) fails
+        loudly at submit time instead of being silently dropped.  A request
+        that carried unserialised documents rebuilds with its ``doc_ids``
+        provenance only — it can be inspected and compared, but
+        :meth:`resolve_source` (and therefore the pipeline) refuses to
+        replay it.
         """
+        unknown = sorted(set(payload) - cls._JSON_KEYS)
+        if unknown:
+            known = sorted(cls._JSON_KEYS - {"n_jobs"})
+            hints = []
+            for name in unknown:
+                match = difflib.get_close_matches(name, known, n=1, cutoff=0.6)
+                hints.append(f"{name!r}" + (f" (did you mean {match[0]!r}?)" if match else ""))
+            raise ValueError(
+                f"unknown ParseRequest field(s) {', '.join(hints)}; known: {known}"
+            )
+        if payload.get("n_jobs") not in (None, 1):
+            raise ValueError(
+                "request field 'n_jobs' was removed; use backend_options="
+                "{'n_jobs': N} with backend 'thread' or 'process'"
+            )
         corpus = None
         if payload.get("corpus") is not None:
             corpus_payload = dict(payload["corpus"])
             textgen_payload = corpus_payload.pop("textgen", None)
-            known = {f.name for f in fields(CorpusConfig)}
-            kwargs = {k: v for k, v in corpus_payload.items() if k in known}
+            known_fields = {f.name for f in fields(CorpusConfig)}
+            kwargs = {k: v for k, v in corpus_payload.items() if k in known_fields}
             if textgen_payload is not None:
                 textgen_known = {f.name for f in fields(TextGenConfig)}
                 kwargs["textgen"] = TextGenConfig(
@@ -229,23 +377,29 @@ class ParseRequest:
                 )
             corpus = CorpusConfig(**kwargs)
         doc_ids = payload.get("doc_ids")
-        return cls(
+        source = payload.get("source")
+        common: dict[str, Any] = dict(
             parser=payload.get("parser", "pymupdf"),
-            corpus=corpus,
-            n_documents=payload.get("n_documents", 100),
             seed=payload.get("seed", 2025),
             batch_size=payload.get("batch_size"),
             alpha=payload.get("alpha"),
             backend=payload.get("backend", "auto"),
             backend_options=dict(payload.get("backend_options", {}) or {}),
-            n_jobs=payload.get("n_jobs", 1),
             cache=payload.get("cache", "off"),
-            doc_ids=None if doc_ids is None else tuple(doc_ids),
         )
+        if source is not None:
+            return cls(source=source, n_documents=None, **common)
+        if doc_ids is not None:
+            return cls(doc_ids=tuple(doc_ids), **common)
+        if corpus is not None:
+            return cls(corpus=corpus, **common)
+        return cls(n_documents=payload.get("n_documents"), **common)
 
 
 def request_for_documents(
     parser: str, documents: Sequence[SciDocument], **overrides: Any
 ) -> ParseRequest:
     """Convenience constructor for a request over an explicit collection."""
-    return ParseRequest(parser=parser, documents=tuple(documents), **overrides)
+    return ParseRequest(
+        parser=parser, source=ExplicitSource(tuple(documents)), **overrides
+    )

@@ -13,7 +13,7 @@ Example
 >>> from repro.pipeline import ParseRequest
 >>> from repro.serve import ParseService
 >>> with ParseService() as service:
-...     ticket = service.submit(ParseRequest(parser="pymupdf", n_documents=8, seed=3))
+...     ticket = service.submit(ParseRequest(parser="pymupdf", source="synthetic:8?seed=3"))
 ...     report = ticket.result()
 >>> report.n_documents
 8

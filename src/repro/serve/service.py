@@ -524,7 +524,6 @@ class ParseService:
 
     def _execute(self, ticket: ParseTicket) -> ParseReport:
         """Run one admitted request on the shared backend, emitting progress."""
-        from repro.core.engine import AdaParseEngine
         from repro.parsers.base import ResourceUsage
 
         request = ticket.request
@@ -572,17 +571,6 @@ class ParseService:
         # The backend is shared across tickets, so the execution block is
         # service-scoped telemetry, not this request's alone — say so.
         execution.extra["shared_backend"] = True
-        # Deprecated-shim parity with ParsePipeline.run(): refresh
-        # last_summary on the engine that ran, and — when an α override ran
-        # on a throwaway sibling — mirror onto the cached base engine that
-        # legacy readers hold.  Keep this block in step with run().
-        if isinstance(parser, AdaParseEngine):
-            parser._record_last_summary(decisions)
-        if request.alpha is not None:
-            with self._resolve_lock:
-                base = pipeline.resolve_parser(request.parser)
-            if isinstance(base, AdaParseEngine) and base is not parser:
-                base._record_last_summary(decisions)
         usage = ResourceUsage()
         for result in results:
             usage = usage + result.usage

@@ -89,11 +89,11 @@ class TestEngineRouting:
         # parse_with_telemetry, whose per-batch cap floor(α·1) would be 0.
         stripped = strip_text_layers(training_corpus, fraction=1.0)
         doc = stripped[0]
-        result = trained_ft.parse(doc)
-        with pytest.warns(DeprecationWarning):
-            summary = trained_ft.last_summary
-        assert summary.decisions[0].stage == "cls1_invalid"
-        assert summary.decisions[0].chosen_parser == "nougat"
+        # parse() returns no telemetry since last_summary's removal; the
+        # single-document routing path is asserted through _route_single.
+        result, (decision,) = trained_ft._route_single(doc)
+        assert decision.stage == "cls1_invalid"
+        assert decision.chosen_parser == "nougat"
         assert result.text.strip()  # Nougat recovers text despite the missing layer
 
     def test_usage_includes_selection_overhead(self, trained_ft, training_corpus):

@@ -1,0 +1,237 @@
+"""Tests of the pluggable document-source protocol and its registry."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.documents.corpus import CorpusConfig
+from repro.documents.document import DocumentType
+from repro.documents.sources import (
+    CrawlDumpSource,
+    DocumentSource,
+    ExplicitSource,
+    HtmlDirSource,
+    MarkdownDirSource,
+    SourceSpec,
+    SyntheticSource,
+    create_source,
+    parse_source_arg,
+    source_kinds,
+    source_names,
+    validate_source_spec,
+)
+from repro.documents.textgen import TextGenConfig
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "ingest"
+
+
+class TestHtmlDirSource:
+    def test_streams_in_stable_order_with_relative_doc_ids(self):
+        source = HtmlDirSource(FIXTURES / "html")
+        docs = list(source.iter_documents())
+        assert [d.doc_id for d in docs] == ["alpha", "sub/beta"]
+        assert [d.doc_id for d in source.iter_documents()] == [d.doc_id for d in docs]
+        assert all(d.doc_type == DocumentType.HTML.value for d in docs)
+        assert source.doc_type is DocumentType.HTML
+        assert source.count_hint() == 2
+
+    def test_extraction_keeps_structure_and_drops_script_style(self):
+        (doc,) = [
+            d
+            for d in HtmlDirSource(FIXTURES / "html").iter_documents()
+            if d.doc_id == "alpha"
+        ]
+        text = doc.text_layer.text()
+        assert "Adaptive Parsing of Web Corpora" in text
+        assert "Headings become section markers." in text
+        assert "should never appear" not in text
+        assert "font-family" not in text
+        assert doc.metadata.title == "Adaptive Parsing of Web Corpora"
+
+    def test_missing_directory_fails_at_iteration_not_construction(self, tmp_path):
+        source = HtmlDirSource(tmp_path / "nowhere")
+        assert source.count_hint() is None
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            list(source.iter_documents())
+
+    def test_fingerprint_tracks_file_edits(self, tmp_path):
+        shutil.copytree(FIXTURES / "html", tmp_path / "html")
+        source = HtmlDirSource(tmp_path / "html")
+        before = source.fingerprint()
+        assert before == source.fingerprint()  # stable while untouched
+        page = tmp_path / "html" / "alpha.html"
+        page.write_text(page.read_text() + "<p>appended paragraph</p>\n")
+        assert source.fingerprint() != before
+
+    def test_spec_round_trip_rebuilds_an_equal_source(self):
+        source = HtmlDirSource(FIXTURES / "html")
+        spec = source.spec()
+        assert spec.kind == "html-dir"
+        assert spec.options == {"path": str(FIXTURES / "html")}  # default glob elided
+        rebuilt = create_source(SourceSpec.from_json_dict(spec.to_json_dict()))
+        assert rebuilt == source
+        assert hash(rebuilt) == hash(source)
+
+    def test_non_default_glob_survives_the_spec(self):
+        source = HtmlDirSource(FIXTURES / "html", glob="*.html")
+        spec = source.spec()
+        assert spec.options["glob"] == "*.html"
+        rebuilt = create_source(spec)
+        assert [d.doc_id for d in rebuilt.iter_documents()] == ["alpha"]
+
+
+class TestMarkdownDirSource:
+    def test_streams_markdown_documents(self):
+        source = MarkdownDirSource(FIXTURES / "markdown")
+        docs = list(source.iter_documents())
+        assert [d.doc_id for d in docs] == ["appendix", "notes"]
+        assert all(d.doc_type == DocumentType.MARKDOWN.value for d in docs)
+        assert source.doc_type is DocumentType.MARKDOWN
+        (notes,) = [d for d in docs if d.doc_id == "notes"]
+        assert notes.metadata.title == "Ingestion Notes"
+        assert "one list item" in notes.text_layer.text()
+
+
+class TestCrawlDumpSource:
+    def test_mirrored_page_deduplicated_across_domains(self):
+        source = CrawlDumpSource(FIXTURES / "crawl")
+        docs = list(source.iter_documents())
+        # Three files on disk, but the site-b mirror of site-a's page drops.
+        assert len(source.paths()) == 3
+        assert [d.doc_id for d in docs] == [
+            "site-a.example/page1",
+            "site-b.example/unique",
+        ]
+
+    def test_dedup_false_keeps_the_mirror(self):
+        source = CrawlDumpSource(FIXTURES / "crawl", dedup=False)
+        assert [d.doc_id for d in source.iter_documents()] == [
+            "site-a.example/page1",
+            "site-b.example/mirror",
+            "site-b.example/unique",
+        ]
+
+    def test_domain_becomes_publisher_and_types_are_per_file(self):
+        docs = {
+            d.doc_id: d
+            for d in CrawlDumpSource(FIXTURES / "crawl", dedup=False).iter_documents()
+        }
+        assert docs["site-a.example/page1"].metadata.publisher == "site-a.example"
+        assert docs["site-b.example/unique"].metadata.publisher == "site-b.example"
+        assert docs["site-a.example/page1"].doc_type == DocumentType.HTML.value
+        assert docs["site-b.example/unique"].doc_type == DocumentType.MARKDOWN.value
+        # Mixed formats: the source declares no single doc_type.
+        assert CrawlDumpSource(FIXTURES / "crawl").doc_type is None
+
+    def test_spec_records_only_non_default_options(self):
+        assert "dedup" not in CrawlDumpSource(FIXTURES / "crawl").spec().options
+        spec = CrawlDumpSource(FIXTURES / "crawl", dedup=False).spec()
+        assert spec.options["dedup"] is False
+        rebuilt = create_source(spec)
+        assert isinstance(rebuilt, CrawlDumpSource) and rebuilt.dedup is False
+
+
+class TestSyntheticAndExplicit:
+    def test_synthetic_spec_is_lossless_including_textgen(self):
+        config = CorpusConfig(
+            n_documents=6,
+            seed=9,
+            min_pages=2,
+            max_pages=3,
+            scanned_fraction=0.5,
+            textgen=TextGenConfig(min_words_per_sentence=4),
+        )
+        source = SyntheticSource(config)
+        rebuilt = create_source(SourceSpec.from_json_dict(source.spec().to_json_dict()))
+        assert isinstance(rebuilt, SyntheticSource)
+        assert rebuilt.config == config
+        assert rebuilt == source
+        assert source.doc_type is DocumentType.PDF
+        assert source.count_hint() == 6
+
+    def test_synthetic_defaults_keep_the_spec_minimal(self):
+        spec = SyntheticSource(CorpusConfig(n_documents=5, seed=3)).spec()
+        assert spec.options == {"n_documents": 5, "seed": 3}
+
+    def test_explicit_source_has_no_spec_and_infers_doc_type(self):
+        pdfs = list(SyntheticSource(CorpusConfig(n_documents=2)).iter_documents())
+        html = list(HtmlDirSource(FIXTURES / "html").iter_documents())
+        assert ExplicitSource(pdfs).doc_type is DocumentType.PDF
+        assert ExplicitSource(html).doc_type is DocumentType.HTML
+        assert ExplicitSource(pdfs + html).doc_type is None  # mixed
+        assert ExplicitSource(pdfs).spec() is None
+        assert ExplicitSource(pdfs).count_hint() == 2
+        with pytest.raises(ValueError, match="must not be empty"):
+            ExplicitSource(())
+
+
+class TestRegistryAndShorthand:
+    def test_registry_lists_the_builtin_kinds(self):
+        assert source_names() == [
+            "crawl-dump",
+            "html-dir",
+            "markdown-dir",
+            "simpdf-dir",
+            "synthetic",
+        ]
+        assert [k.name for k in source_kinds()] == source_names()
+
+    def test_shorthand_binds_the_primary_option(self):
+        spec = parse_source_arg("synthetic:8?seed=3")
+        assert spec == SourceSpec("synthetic", {"n_documents": 8, "seed": 3})
+        source = create_source(spec)
+        assert isinstance(source, SyntheticSource)
+        assert (source.config.n_documents, source.config.seed) == (8, 3)
+
+    def test_shorthand_coerces_booleans_but_keeps_paths_verbatim(self):
+        spec = parse_source_arg("crawl-dump:dumps/2024?dedup=false")
+        assert spec.options == {"path": "dumps/2024", "dedup": False}
+        source = create_source(spec)
+        assert isinstance(source, CrawlDumpSource) and source.dedup is False
+        assert str(source.directory) == "dumps/2024"
+
+    def test_shorthand_errors(self):
+        with pytest.raises(ValueError, match="empty --source"):
+            parse_source_arg("  ")
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_source_arg("html-dir:x?glob")
+        with pytest.raises(ValueError, match="did you mean 'html-dir'"):
+            parse_source_arg("html-dri:x")
+
+    def test_validate_suggests_close_option_names(self):
+        with pytest.raises(ValueError, match="did you mean 'glob'"):
+            validate_source_spec(SourceSpec("html-dir", {"glbo": "*.html"}))
+        with pytest.raises(ValueError, match="known:"):
+            validate_source_spec(SourceSpec("no-such-kind", {}))
+
+    def test_source_spec_json_is_strict(self):
+        with pytest.raises(ValueError, match="unknown source-spec field"):
+            SourceSpec.from_json_dict({"kind": "synthetic", "option": {}})
+        with pytest.raises(ValueError, match="missing its 'kind'"):
+            SourceSpec.from_json_dict({"options": {}})
+
+    def test_create_source_passes_instances_through(self):
+        source = HtmlDirSource(FIXTURES / "html")
+        assert create_source(source) is source
+
+
+class TestValueSemantics:
+    def test_equality_is_kind_plus_fingerprint(self):
+        a = HtmlDirSource(FIXTURES / "html")
+        b = HtmlDirSource(FIXTURES / "html")
+        assert a == b and hash(a) == hash(b)
+        assert a != MarkdownDirSource(FIXTURES / "markdown")
+        assert a.__eq__(object()) is NotImplemented
+
+    def test_describe_reports_kind_type_and_count(self):
+        info = HtmlDirSource(FIXTURES / "html").describe()
+        assert info == {"kind": "html-dir", "doc_type": "html", "n_documents": 2}
+        mixed = CrawlDumpSource(FIXTURES / "crawl").describe()
+        assert "doc_type" not in mixed  # mixed-format source declares none
+
+    def test_abstract_base_is_not_instantiable(self):
+        with pytest.raises(TypeError):
+            DocumentSource()  # iter_documents/fingerprint are abstract

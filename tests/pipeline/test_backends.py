@@ -119,20 +119,23 @@ class TestRegistry:
             create_backend("thread", {"n_jobs": 0})
 
     @pytest.mark.parametrize(
-        "backend,options,n_jobs,expected",
+        "backend,options,expected",
         [
-            ("auto", None, None, ("serial", {})),
-            ("auto", None, 1, ("serial", {})),
-            ("auto", None, 4, ("thread", {"n_jobs": 4})),
-            ("auto", {"n_jobs": 4}, None, ("thread", {"n_jobs": 4})),
-            ("thread", None, 4, ("thread", {"n_jobs": 4})),
-            ("process", {"n_jobs": 2}, 8, ("process", {"n_jobs": 2})),
-            ("serial", None, 4, ("serial", {})),
-            ("hpc", {"n_nodes": 2}, 4, ("hpc", {"n_nodes": 2})),
+            ("auto", None, ("serial", {})),
+            ("auto", {"n_jobs": 1}, ("serial", {})),
+            ("auto", {"n_jobs": 4}, ("thread", {"n_jobs": 4})),
+            ("thread", {"n_jobs": 4}, ("thread", {"n_jobs": 4})),
+            ("process", {"n_jobs": 2}, ("process", {"n_jobs": 2})),
+            ("serial", None, ("serial", {})),
+            ("hpc", {"n_nodes": 2}, ("hpc", {"n_nodes": 2})),
         ],
     )
-    def test_normalize_spec(self, backend, options, n_jobs, expected):
-        assert normalize_backend_spec(backend, options, n_jobs=n_jobs) == expected
+    def test_normalize_spec(self, backend, options, expected):
+        assert normalize_backend_spec(backend, options) == expected
+
+    def test_normalize_spec_n_jobs_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            normalize_backend_spec("auto", None, n_jobs=4)
 
     def test_auto_coerces_integral_float_n_jobs(self):
         # A CLI-coerced `--backend-opt n_jobs=4.0` must not silently run
@@ -277,9 +280,10 @@ class TestRequestBackendFields:
         with pytest.raises(ValueError, match="n_jobs"):
             ParseRequest(backend="thread", backend_options={"bogus": 1})
 
-    def test_n_jobs_emits_deprecation_pointing_at_backend_options(self):
-        with pytest.warns(DeprecationWarning, match="backend_options"):
-            request = ParseRequest(parser="pymupdf", n_documents=4, n_jobs=4)
+    def test_removed_n_jobs_raises_pointing_at_backend_options(self):
+        with pytest.raises(TypeError, match="backend_options"):
+            ParseRequest(parser="pymupdf", n_jobs=4)
+        request = ParseRequest(parser="pymupdf", backend_options={"n_jobs": 4})
         assert request.resolved_backend() == ("thread", {"n_jobs": 4})
 
     def test_auto_resolves_serial_without_parallelism(self):
@@ -885,13 +889,13 @@ class TestConsumers:
         with pytest.raises(ValueError, match="njobs"):
             HarnessConfig(backend="thread", backend_options={"njobs": 8})
 
-    def test_config_n_jobs_aliases_warn_like_the_request(self):
+    def test_config_n_jobs_aliases_raise_like_the_request(self):
         from repro.datasets.assembly import DatasetBuildConfig
         from repro.evaluation.harness import HarnessConfig
 
-        with pytest.warns(DeprecationWarning, match="backend_options"):
+        with pytest.raises(TypeError, match="backend_options"):
             DatasetBuildConfig(n_jobs=2)
-        with pytest.warns(DeprecationWarning, match="backend_options"):
+        with pytest.raises(TypeError, match="backend_options"):
             HarnessConfig(n_jobs=2)
 
     def test_serial_request_never_imports_hpc_stack(self):
@@ -949,39 +953,17 @@ class TestCli:
         assert payload["request"]["backend"] == "thread"
         assert payload["request"]["backend_options"] == {"n_jobs": 2, "window": 4}
 
-    def test_pipeline_jobs_flag_warns_and_maps_to_thread(self, capsys):
+    def test_pipeline_jobs_flag_is_a_hard_error_with_the_fix(self):
         from repro.cli import main
 
-        with pytest.warns(DeprecationWarning, match="--backend thread"):
-            exit_code = main(["pipeline", "--documents", "4", "--jobs", "2"])
-        assert exit_code == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["execution"]["backend"] == "thread"
-        assert payload["execution"]["workers"] == 2
+        with pytest.raises(SystemExit, match="--backend thread --backend-opt n_jobs=2"):
+            main(["pipeline", "--documents", "4", "--jobs", "2"])
 
-    def test_jobs_flag_with_non_thread_backend_is_ignored_not_fatal(self, capsys):
-        # Regression: --jobs used to be folded into the options of every
-        # backend, failing serial/hpc option validation with a traceback.
+    def test_dataset_jobs_flag_is_a_hard_error(self):
         from repro.cli import main
 
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            exit_code = main(
-                ["pipeline", "--documents", "4", "--backend", "serial", "--jobs", "2"]
-            )
-        assert exit_code == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["execution"]["backend"] == "serial"
-        assert payload["execution"]["workers"] == 1
-
-    def test_dataset_jobs_flag_warns(self, tmp_path, capsys):
-        from repro.cli import main
-
-        with pytest.warns(DeprecationWarning, match="--backend thread"):
-            exit_code = main(
-                ["dataset", "--documents", "4", "--min-tokens", "5", "--jobs", "2"]
-            )
-        assert exit_code == 0
-        assert '"retention_rate"' in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="--jobs was removed"):
+            main(["dataset", "--documents", "4", "--min-tokens", "5", "--jobs", "2"])
 
     def test_dataset_backend_flags(self, capsys):
         from repro.cli import main

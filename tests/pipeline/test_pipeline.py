@@ -55,8 +55,8 @@ class TestParseRequest:
     def test_validation(self):
         with pytest.raises(ValueError):
             ParseRequest(n_documents=0)
-        with pytest.raises(ValueError):
-            ParseRequest(n_jobs=0)
+        with pytest.raises(TypeError, match="n_jobs was removed"):
+            ParseRequest(n_jobs=4)
         with pytest.raises(ValueError):
             ParseRequest(batch_size=0)
         with pytest.raises(ValueError):
@@ -165,14 +165,21 @@ class TestPipelineRun:
         assert serial.execution.backend == "serial"
         assert threaded.execution.backend == "thread"
 
-    def test_deprecated_n_jobs_still_selects_thread_backend(
+    def test_removed_n_jobs_raises_and_backend_options_replace_it(
         self, registry, engine, small_corpus
     ):
         documents = list(small_corpus)
-        pipeline = ParsePipeline(registry, engines={engine.name: engine})
-        with pytest.warns(DeprecationWarning, match="backend_options"):
-            request = request_for_documents(engine.name, documents, n_jobs=4)
-        report = pipeline.run(request)
+        with pytest.raises(TypeError, match="backend_options"):
+            request_for_documents(engine.name, documents, n_jobs=4)
+        # The replacement spelling reaches the thread backend.
+        report = ParsePipeline(registry, engines={engine.name: engine}).run(
+            request_for_documents(
+                engine.name,
+                documents,
+                backend="thread",
+                backend_options={"n_jobs": 4},
+            )
+        )
         assert report.execution.backend == "thread"
         assert report.execution.workers == 4
 
@@ -182,12 +189,10 @@ class TestPipelineRun:
             request_for_documents(engine.name, list(small_corpus), alpha=0.0)
         )
         assert report.fraction_routed() == 0.0
-        # The cached engine keeps its original budget...
+        # The cached engine keeps its original budget; the run's telemetry
+        # travels in the report, not on the engine.
         assert engine.config.alpha == 0.05
-        # ...but its deprecated shim still mirrors the run that just happened.
-        with pytest.warns(DeprecationWarning):
-            summary = engine.last_summary
-        assert summary.decisions == report.decisions
+        assert len(report.decisions) == len(small_corpus)
 
     def test_unknown_parser_lists_known_names(self, registry):
         with pytest.raises(KeyError, match="adaparse_ft"):
@@ -293,58 +298,29 @@ class TestStreaming:
         assert len(batches) == math.ceil(len(small_corpus) / DEFAULT_BATCH_SIZE)
 
 
-class TestTelemetryShim:
-    def test_last_summary_is_deprecated(self, engine, small_corpus):
+class TestTelemetryRemoval:
+    """``last_summary`` finished its deprecation cycle: access now fails."""
+
+    def test_last_summary_reads_raise_with_pointer(self, engine, small_corpus):
         engine.parse_many(list(small_corpus))
-        with pytest.warns(DeprecationWarning):
-            summary = engine.last_summary
-        assert len(summary.decisions) == len(small_corpus)
+        with pytest.raises(AttributeError, match="parse_with_telemetry"):
+            engine.last_summary
 
-    def test_parse_and_parse_many_record_consistently(self, engine, small_corpus):
-        documents = list(small_corpus)
-        engine.parse_many(documents)
-        # A follow-up single-document parse atomically replaces the shim with
-        # telemetry describing exactly that call — no partial mixtures.
-        engine.parse(documents[0])
-        with pytest.warns(DeprecationWarning):
-            summary = engine.last_summary
-        assert len(summary.decisions) == 1
-        assert summary.decisions[0].doc_id == documents[0].doc_id
+    def test_last_summary_writes_raise(self, engine):
+        with pytest.raises(AttributeError, match="removed"):
+            engine.last_summary = None
 
-    def test_pipeline_refreshes_shim_atomically(self, registry, engine, small_corpus):
+    def test_no_hidden_telemetry_state_accumulates(
+        self, registry, engine, small_corpus
+    ):
         documents = list(small_corpus)
         pipeline = ParsePipeline(registry, engines={engine.name: engine})
         _, decisions = pipeline.parse_with_telemetry(engine, documents)
-        with pytest.warns(DeprecationWarning):
-            summary = engine.last_summary
-        assert summary.decisions == decisions
-
-    def test_batch_size_override_still_refreshes_callers_engine(
-        self, registry, engine, small_corpus
-    ):
-        # A batch-size override is an execution argument, not a sibling
-        # engine: legacy readers of the registered engine must still see the
-        # run's telemetry.
-        documents = list(small_corpus)
-        pipeline = ParsePipeline(registry, engines={engine.name: engine})
-        report = pipeline.run(
-            request_for_documents(engine.name, documents, batch_size=8)
-        )
-        with pytest.warns(DeprecationWarning):
-            summary = engine.last_summary
-        assert summary.decisions == report.decisions
-        assert len(summary.decisions) == len(documents)
-
-    def test_streaming_paths_touch_no_state(self, registry, engine, small_corpus):
-        documents = list(small_corpus)
+        assert len(decisions) == len(documents)
         engine.parse(documents[0])
-        with pytest.warns(DeprecationWarning):
-            before = engine.last_summary.decisions
         list(engine.iter_parse(documents))
         list(engine.parse_batches(documents))
-        with pytest.warns(DeprecationWarning):
-            after = engine.last_summary.decisions
-        assert before == after
+        assert not hasattr(engine, "_last_summary")
 
 
 class TestReportRoundTrip:
