@@ -40,6 +40,7 @@ from repro.cache.singleflight import Flight, SingleFlight
 from repro.cache.stats import CacheStatsRecorder
 from repro.core.engine import RoutingDecision
 from repro.documents.document import SciDocument
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.parsers.base import ParseResult, ResourceUsage
 
@@ -410,6 +411,14 @@ def cached_batch_worker(
         owned: deque[tuple[int, str, Flight]] = deque()  # begun, not yet settled
         owned_by_key: dict[str, int] = {}
         duplicates: list[tuple[int, int]] = []  # (slot, slot of owning occurrence)
+        # Phase attribution accumulators: one leaf record per batch for
+        # each of key hashing / lookup / store, instead of a (costlier)
+        # nested phase bracket around every per-document operation.
+        key_seconds = 0.0
+        lookup_seconds = 0.0
+        lookup_calls = 0
+        store_seconds = 0.0
+        store_calls = 0
 
         # Any exception while we hold unsettled flights must fail them, or
         # every other worker coalescing on those keys blocks forever.
@@ -420,9 +429,14 @@ def cached_batch_worker(
             lookup_attrs: dict[str, int] = {"n_documents": n}
             with _tracing.span("cache.lookup", attributes=lookup_attrs):
                 for i, document in enumerate(documents):
+                    tick = perf_counter()
                     raw = str(parse_cache_key(document, config_fingerprint))
+                    key_seconds += perf_counter() - tick
                     if policy.reads:
+                        tick = perf_counter()
                         entry = cache.lookup(raw, recorder)
+                        lookup_seconds += perf_counter() - tick
+                        lookup_calls += 1
                         if entry is not None:
                             entries[i] = entry
                             continue
@@ -441,7 +455,10 @@ def cached_batch_worker(
                     if policy.reads:
                         # Double-check: a previous owner may have completed (and
                         # stored) between our miss and our taking ownership.
+                        tick = perf_counter()
                         entry = cache.lookup(raw, recorder)
+                        lookup_seconds += perf_counter() - tick
+                        lookup_calls += 1
                         if entry is not None:
                             owned.pop()
                             del owned_by_key[raw]
@@ -472,6 +489,7 @@ def cached_batch_worker(
                     recorder.record_miss()
                     decision = decision_by_doc.get(result.doc_id)
                     if policy.writes:
+                        tick = perf_counter()
                         entry = cache.store(
                             raw,
                             result,
@@ -479,6 +497,8 @@ def cached_batch_worker(
                             compute_seconds=per_doc_seconds,
                             recorder=recorder,
                         )
+                        store_seconds += perf_counter() - tick
+                        store_calls += 1
                     else:
                         entry = CacheEntry(
                             key=raw,
@@ -507,6 +527,26 @@ def cached_batch_worker(
             assert entry is not None
             recorder.record_coalesced(time_saved_seconds=entry.compute_seconds)
             entries[i] = entry
+
+        timer = _profiling.current_timer() if _profiling.phases_enabled() else None
+        if timer is not None:
+            timer.record(
+                "cache.key", key_seconds, cpu_seconds=key_seconds, calls=n
+            )
+            if lookup_calls:
+                timer.record(
+                    "cache.lookup",
+                    lookup_seconds,
+                    cpu_seconds=lookup_seconds,
+                    calls=lookup_calls,
+                )
+            if store_calls:
+                timer.record(
+                    "cache.store",
+                    store_seconds,
+                    cpu_seconds=store_seconds,
+                    calls=store_calls,
+                )
 
         results_out: list[ParseResult] = []
         decisions_out: list[RoutingDecision] = []

@@ -62,11 +62,22 @@ placement/dedup summary; ``worker`` is the long-running daemon mode)::
     adaparse-repro pipeline --documents 100 --backend remote \
         --backend-opt workers=127.0.0.1:9101,127.0.0.1:9102
 
-Observability: scrape a live gateway's metrics (Prometheus text or JSON)
-and pretty-print one ticket's distributed span tree::
+Observability: scrape a live gateway's metrics (Prometheus text or JSON,
+one-shot or watched), pretty-print one ticket's distributed span tree or
+sampled stack profile, and keep a live top view of the whole service::
 
     adaparse-repro obs metrics --host 127.0.0.1 --port 9900
+    adaparse-repro obs metrics --host 127.0.0.1 --port 9900 --watch
     adaparse-repro obs trace TICKET-ID --port 9900
+    adaparse-repro obs profile TICKET-ID --port 9900 --top 10
+    adaparse-repro obs top --port 9900
+
+Profile any run directly with ``--profile`` (collapsed stacks on
+stderr; on ``serve``/``gateway``/``worker`` it samples per ticket/shard
+instead, feeding the PROFILE RPC)::
+
+    adaparse-repro pipeline --documents 100 --profile
+    adaparse-repro cluster --workers 2 --documents 100 --profile
 
 The daemon subcommands (``serve``/``gateway``/``worker``/``cluster``)
 accept ``--log-level`` and ``--log-json``; structured logs go to stderr,
@@ -173,6 +184,56 @@ def _setup_logging(args: argparse.Namespace) -> None:
         level=getattr(args, "log_level", "info"),
         json_mode=bool(getattr(args, "log_json", False)),
     )
+
+
+def _add_profile_argument(
+    parser: argparse.ArgumentParser, help: str | None = None
+) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=help
+        or "run the sampling profiler and print collapsed stacks to stderr",
+    )
+
+
+def _start_profile_sampler(args: argparse.Namespace):
+    """``--profile`` on a one-shot command: sample this process for the
+    whole run.  Returns the running sampler, or ``None`` without the flag."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs import profiling as _profiling
+
+    _profiling.set_profiling_enabled(True)
+    return _profiling.StackSampler().start()
+
+
+def _print_profile(profile, key: str = "") -> None:
+    """One collapsed-stack profile to stderr (stdout stays machine-readable)."""
+    label = f" {key}" if key else ""
+    print(
+        f"# profile{label}: {profile.n_samples} sample(s) at "
+        f"{profile.interval * 1000:.0f}ms",
+        file=sys.stderr,
+    )
+    collapsed = profile.collapsed()
+    if collapsed:
+        print(collapsed, file=sys.stderr)
+    sys.stderr.flush()
+
+
+def _finish_profile_sampler(sampler) -> None:
+    if sampler is not None:
+        _print_profile(sampler.stop())
+
+
+def _enable_service_profiling(args: argparse.Namespace) -> None:
+    """``--profile`` on a daemon/service command: sample per ticket into the
+    process :class:`~repro.obs.profiling.ProfileStore` (the PROFILE RPC)."""
+    if getattr(args, "profile", False):
+        from repro.obs import profiling as _profiling
+
+        _profiling.set_profiling_enabled(True)
 
 
 def _add_backend_arguments(
@@ -364,7 +425,11 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         f" with {parser.name}...",
         flush=True,
     )
-    report = builder.build(source)
+    sampler = _start_profile_sampler(args)
+    try:
+        report = builder.build(source)
+    finally:
+        _finish_profile_sampler(sampler)
     print(json.dumps(report.summary(), indent=2, default=str))
     return 0
 
@@ -387,7 +452,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}") from exc
     if args.parser in ENGINE_VARIANTS:
         print("training the AdaParse engine on a small corpus...", flush=True)
-    report = ParsePipeline(cache=cache).run(request)
+    sampler = _start_profile_sampler(args)
+    try:
+        report = ParsePipeline(cache=cache).run(request)
+    finally:
+        _finish_profile_sampler(sampler)
     payload = report.to_json_dict(include_text=args.include_text)
     if args.output:
         path = Path(args.output)
@@ -508,6 +577,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ParseService, ServiceConfig
 
     _setup_logging(args)
+    _enable_service_profiling(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     if args.parser in ENGINE_VARIANTS:
@@ -563,6 +633,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # result()), which must still release the backend and flush
             # the shared cache.
             service.close()
+    if args.profile:
+        # One profile per ticket, keyed the same way the gateway PROFILE
+        # RPC keys them — collapsed stacks go to stderr, summary to stdout.
+        from repro.obs import profiling as _profiling
+
+        store = _profiling.default_store()
+        for client, ticket in tickets.items():
+            profile = store.get(ticket.id)
+            if profile is not None:
+                _print_profile(profile, key=f"{client}/{ticket.id}")
     print(json.dumps(summary, indent=2, default=str))
     return 0
 
@@ -673,6 +753,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     from repro.serve import ParseService, ServiceConfig
 
     _setup_logging(args)
+    _enable_service_profiling(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     quota = ClientQuota(
@@ -723,6 +804,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                         "max_queue_depth": args.max_queue_depth,
                         "tokens": auth.n_tokens,
                         "anonymous": auth.allow_anonymous,
+                        "profiling": bool(args.profile),
                     }
                 ),
                 flush=True,
@@ -758,6 +840,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.obs.logging import get_logger, log_event
 
     _setup_logging(args)
+    _enable_service_profiling(args)
     options = _parse_backend_opts(args.backend_opt)
     _validate_backend_spec_or_exit(args.backend, options)
     _, cache = resolve_cache_config(args)
@@ -902,6 +985,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     command += ["--backend-opt", f"n_jobs={args.worker_jobs}"]
                 if args.cache_dir:
                     command += ["--cache-dir", str(Path(args.cache_dir) / f"worker-{i}")]
+                if args.profile:
+                    command += ["--profile"]
                 proc = subprocess.Popen(
                     command, env=env, stdout=subprocess.PIPE, text=True
                 )
@@ -967,11 +1052,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print("training the AdaParse engine on a small corpus...", flush=True)
         from repro.pipeline.backends import BackendError
 
+        sampler = _start_profile_sampler(args)
         with _GracefulShutdown():
             try:
                 report = ParsePipeline(cache=cache).run(request)
             except BackendError as exc:
                 raise SystemExit(f"error: {exc}") from exc
+            finally:
+                _finish_profile_sampler(sampler)
+        if args.profile:
+            # Workers ship their sampled profiles inside batch_result
+            # frames; the coordinator merged them per shard.
+            from repro.obs import profiling as _profiling
+
+            store = _profiling.default_store()
+            for key in sorted(store.keys()):
+                shard_profile = store.get(key)
+                if shard_profile is not None:
+                    _print_profile(shard_profile, key=key)
         extra = report.execution.to_json_dict()["extra"]
         cluster = {
             key.removeprefix("cluster_"): value
@@ -1007,8 +1105,11 @@ def _cmd_obs_metrics(args: argparse.Namespace) -> int:
     Without ``--host`` the local process-default registry is rendered —
     mostly useful from tests and embedding code; the interesting mode is
     ``--host/--port``, which scrapes a running ``repro gateway`` daemon
-    over the METRICS protocol message.
+    over the METRICS protocol message.  ``--watch`` polls instead of
+    dumping once and prints per-interval deltas.
     """
+    if args.watch:
+        return _watch_metrics(args)
     if args.host:
         from repro.gateway import GatewayClient, GatewayError
 
@@ -1033,6 +1134,79 @@ def _cmd_obs_metrics(args: argparse.Namespace) -> int:
         sys.stdout.write(obs_metrics.render_text())
         sys.stdout.flush()
     return 0
+
+
+def _format_number(value: float) -> str:
+    """Compact numeric rendering for delta/rate tables (ints stay ints)."""
+    if float(value) == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _watch_loop(history, args: argparse.Namespace) -> int:
+    """The ``obs metrics --watch`` poll-and-print loop.
+
+    Each tick samples the registry into the :class:`MetricsHistory` ring
+    buffer and prints the non-zero per-interval deltas (with per-second
+    rates).  Runs until ``--count`` ticks, or forever until Ctrl-C.
+    """
+    import time as _time
+
+    history.sample()
+    ticks = 0
+    try:
+        while args.count <= 0 or ticks < args.count:
+            _time.sleep(args.interval)
+            history.sample()
+            ticks += 1
+            delta = {k: v for k, v in history.delta().items() if v}
+            rate = history.rate()
+            if args.json:
+                print(
+                    json.dumps(
+                        {"tick": ticks, "delta": delta}, sort_keys=True
+                    ),
+                    flush=True,
+                )
+                continue
+            stamp = _time.strftime("%H:%M:%S")
+            print(f"-- {stamp}  ({len(delta)} changed series)")
+            for key in sorted(delta):
+                print(
+                    f"  {key}  +{_format_number(delta[key])}"
+                    f"  ({_format_number(rate.get(key, 0.0))}/s)"
+                )
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _watch_metrics(args: argparse.Namespace) -> int:
+    """``obs metrics --watch``: per-interval deltas of a live registry."""
+    from repro.obs.history import MetricsHistory
+
+    if args.host:
+        from repro.gateway import GatewayClient, GatewayError
+
+        try:
+            with GatewayClient(
+                args.host, args.port, token=args.token or None, client=args.client
+            ) as client:
+
+                class _RemoteRegistry:
+                    """Duck-typed registry: snapshot() scrapes the gateway."""
+
+                    def snapshot(self) -> dict:
+                        payload = client.metrics(format="json")
+                        return payload if isinstance(payload, dict) else {}
+
+                return _watch_loop(
+                    MetricsHistory(registry=_RemoteRegistry()), args
+                )
+        except (GatewayError, OSError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+    return _watch_loop(MetricsHistory(), args)
 
 
 def _format_span_tree(roots: list, indent: str = "") -> list[str]:
@@ -1071,12 +1245,236 @@ def _cmd_obs_trace(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
+    if not spans:
+        # An owned-but-untraced ticket used to print a bare header and
+        # exit 0, indistinguishable from success in scripts.
+        print(
+            f"error: no spans recorded for ticket {args.ticket_id} "
+            f"(state {payload.get('state')})",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"ticket {payload.get('ticket_id')}  trace {payload.get('trace_id')}  "
         f"state {payload.get('state')}  ({len(spans)} span(s))"
     )
     for line in _format_span_tree(build_tree(spans)):
         print(line)
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    """Fetch and render one gateway ticket's sampled stack profile."""
+    from repro.gateway import GatewayClient, GatewayError
+    from repro.obs.profiling import Profile
+
+    try:
+        with GatewayClient(
+            args.host, args.port, token=args.token or None, client=args.client
+        ) as client:
+            payload = client.profile(args.ticket_id)
+    except (GatewayError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    raw = payload.get("profile")
+    profile = Profile.from_dict(raw) if raw else None
+    if profile is None or not profile.counts:
+        # Same contract as `obs trace`: an owned ticket with nothing
+        # recorded is a failure, not a silent empty success.
+        print(
+            f"error: no profile recorded for ticket {args.ticket_id} "
+            f"(state {payload.get('state')}; was the gateway started "
+            f"with --profile?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ticket {payload.get('ticket_id')}  state {payload.get('state')}  "
+        f"({profile.n_samples} sample(s) at {profile.interval * 1000:.0f}ms)"
+    )
+    if args.top:
+        width = max(len(frame) for frame, _ in profile.top(args.top))
+        for frame, count in profile.top(args.top):
+            share = 100.0 * count / max(1, profile.n_samples)
+            print(f"  {frame:<{width}}  {count:>7}  {share:5.1f}%")
+    else:
+        print(profile.collapsed())
+    return 0
+
+
+def _gauge_total(snapshot: dict, name: str) -> "float | None":
+    """Sum a counter/gauge over all its label sets; None when absent."""
+    body = snapshot.get(name)
+    if not body:
+        return None
+    return sum(float(s.get("value", 0.0)) for s in body.get("values", ()))
+
+
+def _histogram_quantile(snapshot: dict, name: str, q: float) -> "float | None":
+    """A quantile upper bound from a snapshot histogram's buckets.
+
+    Aggregates cumulative bucket counts across label sets and returns
+    the smallest bucket boundary covering quantile ``q`` — the standard
+    Prometheus-style estimate (an upper bound, not an interpolation).
+    """
+    body = snapshot.get(name)
+    if not body:
+        return None
+    merged: dict[float, float] = {}
+    total = 0.0
+    for series in body.get("values", ()):
+        total += float(series.get("count", 0))
+        for le, cumulative in (series.get("buckets") or {}).items():
+            bound = float("inf") if le == "+Inf" else float(le)
+            merged[bound] = merged.get(bound, 0.0) + float(cumulative)
+    if total <= 0:
+        return None
+    target = q * total
+    for bound in sorted(merged):
+        if merged[bound] >= target:
+            return bound
+    return None
+
+
+def _phase_shares(snapshot: dict) -> list[tuple[str, float, float]]:
+    """``(phase, share, seconds)`` rows from the phase-duration histogram."""
+    body = snapshot.get("repro_phase_duration_seconds")
+    if not body:
+        return []
+    sums: dict[str, float] = {}
+    for series in body.get("values", ()):
+        phase_name = str((series.get("labels") or {}).get("phase", "?"))
+        sums[phase_name] = sums.get(phase_name, 0.0) + float(
+            series.get("sum", 0.0)
+        )
+    total = sum(sums.values())
+    if total <= 0:
+        return []
+    rows = [(name, seconds / total, seconds) for name, seconds in sums.items()]
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def _render_top(
+    address: str,
+    snapshot: dict,
+    flat: dict,
+    previous: "dict | None",
+    elapsed: float,
+) -> str:
+    """One ``obs top`` frame as plain text (the caller adds ANSI)."""
+    import time as _time
+
+    def _rate(series: str) -> "float | None":
+        if previous is None:
+            return None
+        # Sum across label sets: flattened keys are `name` or `name{...}`.
+        keys = [k for k in flat if k == series or k.startswith(series + "{")]
+        if not keys:
+            return None
+        delta = sum(max(0.0, flat[k] - previous.get(k, 0.0)) for k in keys)
+        return delta / max(1e-9, elapsed)
+
+    def _cell(value: "float | None", fmt: str = "{:.1f}") -> str:
+        return "-" if value is None else fmt.format(value)
+
+    lines = [
+        f"repro obs top — {address} — {_time.strftime('%H:%M:%S')}"
+        f"  (interval {elapsed:.1f}s)",
+        "",
+    ]
+    workers = _gauge_total(snapshot, "repro_elastic_workers")
+    queue = _gauge_total(snapshot, "repro_service_queue_depth")
+    active = _gauge_total(snapshot, "repro_service_active")
+    in_flight = _gauge_total(snapshot, "repro_backend_in_flight")
+    lines.append(
+        f"  workers alive  {_cell(workers, '{:.0f}'):>8}"
+        f"   queue depth  {_cell(queue, '{:.0f}'):>6}"
+        f"   active  {_cell(active, '{:.0f}'):>4}"
+        f"   batches in flight  {_cell(in_flight, '{:.0f}'):>4}"
+    )
+    docs_rate = _rate("repro_pipeline_documents_total")
+    docs_total = _gauge_total(snapshot, "repro_pipeline_documents_total")
+    lines.append(
+        f"  docs/sec       {_cell(docs_rate):>8}"
+        f"   docs total   {_cell(docs_total, '{:.0f}'):>6}"
+    )
+    hits = _gauge_total(snapshot, "repro_cache_hits_total")
+    misses = _gauge_total(snapshot, "repro_cache_misses_total")
+    if hits is not None or misses is not None:
+        lookups = (hits or 0.0) + (misses or 0.0)
+        ratio = 100.0 * (hits or 0.0) / lookups if lookups else None
+        lines.append(
+            f"  cache hit rate {_cell(ratio):>7}%"
+            f"   (hits {_cell(hits, '{:.0f}')} / lookups"
+            f" {_cell(lookups, '{:.0f}')})"
+        )
+    p95 = _histogram_quantile(
+        snapshot, "repro_backend_batch_latency_seconds", 0.95
+    )
+    batch_rate = _rate("repro_backend_batches_completed_total")
+    lines.append(
+        f"  batch p95      {_cell(p95, '≤{:.3g}s'):>8}"
+        f"   batches/sec  {_cell(batch_rate):>6}"
+    )
+    shares = _phase_shares(snapshot)
+    if shares:
+        lines.append("")
+        lines.append(f"  {'phase':<20} {'share':>7} {'time(s)':>9}")
+        for phase_name, share, seconds in shares:
+            lines.append(
+                f"  {phase_name:<20} {100.0 * share:>6.1f}% {seconds:>9.2f}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """A live text view of a gateway's service/cluster health (obs top).
+
+    Curses-free: each frame repaints with ANSI clear-screen when stdout
+    is a terminal, and appends frames sequentially when piped — so the
+    output stays greppable from scripts and CI.
+    """
+    import time as _time
+
+    from repro.gateway import GatewayClient, GatewayError
+    from repro.obs.history import flatten_snapshot
+
+    address = f"{args.host}:{args.port}"
+    is_tty = sys.stdout.isatty()
+    previous: "dict | None" = None
+    previous_ts: "float | None" = None
+    frames = 0
+    try:
+        with GatewayClient(
+            args.host, args.port, token=args.token or None, client=args.client
+        ) as client:
+            while args.count <= 0 or frames < args.count:
+                if frames:
+                    _time.sleep(args.interval)
+                snapshot = client.metrics(format="json")
+                if not isinstance(snapshot, dict):
+                    snapshot = {}
+                flat = flatten_snapshot(snapshot)
+                now = _time.time()
+                elapsed = (
+                    now - previous_ts if previous_ts is not None else args.interval
+                )
+                frame = _render_top(address, snapshot, flat, previous, elapsed)
+                if is_tty:
+                    sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                else:
+                    print(frame)
+                    print()
+                sys.stdout.flush()
+                previous, previous_ts = flat, now
+                frames += 1
+    except KeyboardInterrupt:
+        return 0
+    except (GatewayError, OSError) as exc:
+        raise SystemExit(f"error: gateway {address}: {exc}") from exc
     return 0
 
 
@@ -1153,6 +1551,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="removed; use --backend thread --backend-opt n_jobs=N",
     )
     _add_cache_arguments(dataset)
+    _add_profile_argument(dataset)
     dataset.set_defaults(func=_cmd_dataset)
 
     pipe = sub.add_parser(
@@ -1181,6 +1580,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--include-text", action="store_true", help="embed page texts in the JSON")
     pipe.add_argument("--output", type=str, default="", help="write the report JSON here")
     _add_cache_arguments(pipe)
+    _add_profile_argument(pipe)
     pipe.set_defaults(func=_cmd_pipeline)
 
     cache = sub.add_parser(
@@ -1253,6 +1653,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_arguments(serve)
     _add_backend_arguments(serve, default="async")
     _add_cache_arguments(serve, policy_default="readwrite")
+    _add_profile_argument(
+        serve,
+        help="sample each ticket's execution and print per-ticket collapsed "
+        "stacks to stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1362,6 +1767,11 @@ def build_parser() -> argparse.ArgumentParser:
         policy_default=None,
         dir_help="persistent cache directory shared by every client's requests",
     )
+    _add_profile_argument(
+        gateway,
+        help="sample each ticket's execution; profiles are served back over "
+        "the PROFILE RPC (`repro obs profile TICKET-ID`)",
+    )
     gateway.set_defaults(func=_cmd_gateway)
 
     worker = sub.add_parser(
@@ -1413,6 +1823,11 @@ def build_parser() -> argparse.ArgumentParser:
         "without re-parsing or re-transfer); several workers may share "
         "one directory — the disk store merges additively on flush, so "
         "concurrent writers are safe",
+    )
+    _add_profile_argument(
+        worker,
+        help="sample each shard's execution and ship the profile back to the "
+        "coordinator inside batch_result",
     )
     worker.set_defaults(func=_cmd_worker)
 
@@ -1524,17 +1939,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--output", type=str, default="", help="write the summary JSON here")
     _add_logging_arguments(cluster)
+    _add_profile_argument(
+        cluster,
+        help="sample the coordinator and every spawned worker; collapsed "
+        "stacks (local run + per-shard worker profiles) go to stderr",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     obs = sub.add_parser(
         "obs",
-        help="observability tools: metrics exposition and distributed trace trees",
+        help="observability tools: metrics exposition, trace trees, stack "
+        "profiles, and a live top view",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_metrics = obs_sub.add_parser(
         "metrics",
         help="dump a metrics registry (local process, or a live gateway "
-        "with --host/--port)",
+        "with --host/--port); --watch polls and prints deltas",
     )
     obs_metrics.add_argument(
         "--host", type=str, default="", help="scrape a running gateway at this address"
@@ -1545,7 +1966,23 @@ def build_parser() -> argparse.ArgumentParser:
     obs_metrics.add_argument(
         "--json",
         action="store_true",
-        help="JSON snapshot instead of Prometheus text exposition",
+        help="JSON snapshot instead of Prometheus text exposition "
+        "(with --watch: one JSON delta object per tick)",
+    )
+    obs_metrics.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll the registry and print per-interval deltas instead of "
+        "dumping once",
+    )
+    obs_metrics.add_argument(
+        "--interval", type=float, default=2.0, help="--watch poll period (s)"
+    )
+    obs_metrics.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="--watch ticks before exiting (0 = until Ctrl-C)",
     )
     obs_metrics.set_defaults(func=_cmd_obs_metrics)
     obs_trace = obs_sub.add_parser(
@@ -1564,6 +2001,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_trace.add_argument("--json", action="store_true", help="raw JSON instead of the tree")
     obs_trace.set_defaults(func=_cmd_obs_trace)
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help="fetch one gateway ticket's sampled stack profile "
+        "(collapsed flamegraph lines, or --top N hottest frames)",
+    )
+    obs_profile.add_argument(
+        "ticket_id", type=str, help="ticket id (from SUBMITTED/submit output)"
+    )
+    obs_profile.add_argument("--host", type=str, default="127.0.0.1", help="gateway address")
+    obs_profile.add_argument("--port", type=int, required=True, help="gateway port")
+    obs_profile.add_argument("--token", type=str, default="", help="gateway auth token")
+    obs_profile.add_argument(
+        "--client",
+        type=str,
+        default="cli",
+        help="client identity (must own the ticket; default matches `repro submit`)",
+    )
+    obs_profile.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N hottest leaf frames instead of collapsed stacks",
+    )
+    obs_profile.add_argument(
+        "--json", action="store_true", help="raw JSON instead of text"
+    )
+    obs_profile.set_defaults(func=_cmd_obs_profile)
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="live service/cluster view of a running gateway (workers, "
+        "queue depth, docs/sec, cache hit rate, p95 latency, phase shares)",
+    )
+    obs_top.add_argument("--host", type=str, default="127.0.0.1", help="gateway address")
+    obs_top.add_argument("--port", type=int, required=True, help="gateway port")
+    obs_top.add_argument("--token", type=str, default="", help="gateway auth token")
+    obs_top.add_argument("--client", type=str, default="obs-cli", help="client identity")
+    obs_top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (s)"
+    )
+    obs_top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="frames before exiting (0 = until Ctrl-C)",
+    )
+    obs_top.set_defaults(func=_cmd_obs_top)
 
     fill = sub.add_parser(
         "fill-experiments",

@@ -35,6 +35,7 @@ from typing import Any, Callable, Sequence, TypeVar
 
 from repro.cluster.coordinator import ClusterCoordinator, ClusterError
 from repro.cluster.protocol import WorkerSpec
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.pipeline.backends.base import (
     BackendError,
@@ -276,9 +277,17 @@ class RemoteBackend(ThreadBackend):
                     constraints=constraints,
                 )
                 try:
-                    return future.result()  # type: ignore[return-value]
+                    output = future.result()
                 except ClusterError as exc:
                     raise BackendError(str(exc)) from exc
+                # The worker's phase table rode the result frame; merging
+                # it here — inside the orchestration thread's open `parse`
+                # phase — attributes remote work under its own phase keys
+                # while the round-trip overhead stays in `parse` self time.
+                timer = _profiling.current_timer()
+                if timer is not None and future.phases:
+                    timer.merge_table(future.phases)
+                return output  # type: ignore[return-value]
 
         return remote
 

@@ -71,6 +71,7 @@ from repro.documents.simpdf import document_to_dict
 from repro.elastic.membership import MembershipRegistry
 from repro.elastic.policy import satisfies, tags_from_capabilities
 from repro.obs import metrics as _metrics
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.obs.logging import get_logger, log_event
 from repro.obs.tracing import TraceContext
@@ -116,6 +117,10 @@ class ShardFuture:
         self._done = threading.Event()
         self._output: ShardOutput | None = None
         self._error: BaseException | None = None
+        #: The worker-side phase table that rode the batch_result frame
+        #: (set before the result resolves); the remote backend merges it
+        #: into the submitting request's ambient timer.
+        self.phases: "dict[str, Any] | None" = None
 
     def set_result(self, output: ShardOutput) -> None:
         self._output = output
@@ -731,6 +736,23 @@ class ClusterCoordinator:
         worker_spans = message.get("spans")
         if isinstance(worker_spans, list) and worker_spans:
             _tracing.default_recorder().ingest(worker_spans)
+        # Worker-side phase tables and profiles ride the same frame.  The
+        # table is stashed on the future (the submitting thread merges it
+        # into its run's timer when the result resolves); the profile is
+        # filed in the process profile store under the shard id, where
+        # ``obs profile`` / the gateway PROFILE RPC can find it.
+        worker_phases = message.get("phases")
+        if isinstance(worker_phases, Mapping) and worker_phases:
+            shard.future.phases = dict(worker_phases)
+        worker_profile = message.get("profile")
+        if isinstance(worker_profile, Mapping) and worker_profile:
+            try:
+                _profiling.default_store().merge_into(
+                    f"shard:{shard_id}",
+                    _profiling.Profile.from_dict(worker_profile),
+                )
+            except (TypeError, ValueError):
+                pass  # malformed profile payloads must not fail the shard
         try:
             output = protocol.parse_batch_result(message)
         except (KeyError, TypeError, ValueError) as exc:

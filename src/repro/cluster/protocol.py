@@ -191,14 +191,20 @@ def batch_result_message(
     cache_hits: int = 0,
     cache_misses: int = 0,
     spans: "list[dict[str, Any]] | None" = None,
+    phases: "Mapping[str, Any] | None" = None,
+    profile: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Build a ``batch_result`` message from worker-side objects.
 
     ``spans`` optionally ships the worker-side span records of this
     shard's trace (the :class:`~repro.obs.SpanRecorder` schema) back to
     the coordinator, which ingests them into its own recorder — that is
-    how one ``obs trace`` tree shows worker execution.  The field is
-    version-tolerant: old coordinators ignore it.
+    how one ``obs trace`` tree shows worker execution.  ``phases``
+    (a :meth:`~repro.obs.PhaseTimer.snapshot` table) and ``profile``
+    (a :meth:`~repro.obs.Profile.to_dict` payload) ride the same way:
+    the coordinator merges the phase table into the submitting request's
+    timer and files the profile under the shard id.  All three fields
+    are version-tolerant: old coordinators ignore them.
     """
     message = {
         "type": BATCH_RESULT,
@@ -212,6 +218,10 @@ def batch_result_message(
     }
     if spans:
         message["spans"] = list(spans)
+    if phases:
+        message["phases"] = dict(phases)
+    if profile:
+        message["profile"] = dict(profile)
     return message
 
 

@@ -35,6 +35,7 @@ import os
 import queue
 import socket
 import threading
+from contextlib import ExitStack
 from time import perf_counter
 from typing import Any, Callable, Mapping
 
@@ -49,6 +50,7 @@ from repro.cluster.protocol import (
 )
 from repro.documents.document import SciDocument
 from repro.documents.simpdf import document_from_dict
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.obs.logging import get_logger, log_event
 from repro.obs.tracing import SpanRecorder, TraceContext
@@ -525,15 +527,23 @@ class WorkerDaemon:
         """
         worker = self._resolve_spec(spec)
         policy = CachePolicy.coerce(spec.cache) if self.cache is not None else CachePolicy.OFF
+        timer = _profiling.current_timer() if _profiling.phases_enabled() else None
         n = len(descriptors)
         slots: list[tuple[ParseResult, Any] | None] = [None] * n
         to_parse: list[tuple[int, str, SciDocument]] = []
         hits = 0
+        lookup_seconds = 0.0
+        lookup_calls = 0
+        store_seconds = 0.0
+        store_calls = 0
         for i, descriptor in enumerate(descriptors):
             content_hash = str(descriptor["content_hash"])
             key = CacheKey(content_hash, spec.fingerprint)
             if policy.reads:
+                tick = perf_counter()
                 entry = self.cache.lookup(key)  # type: ignore[union-attr]
+                lookup_seconds += perf_counter() - tick
+                lookup_calls += 1
                 if entry is not None:
                     slots[i] = (entry.fresh_result(), entry.decision)
                     hits += 1
@@ -552,7 +562,21 @@ class WorkerDaemon:
         if to_parse:
             sub_batch = [document for _, _, document in to_parse]
             started = perf_counter()
-            results, decisions = self._map_on_backend(worker, sub_batch)
+            if timer is not None:
+                # Capture the parse's phase table through the local backend
+                # exactly as the pipeline does for its own pools — a fresh
+                # child timer whose table merges back, so the shipped table
+                # carries the same engine-internal keys on every worker
+                # backend (pool threads do not inherit contextvars).
+                from repro.pipeline.pipeline import _ChildPhasedWorker
+
+                output, table = self._map_on_backend(
+                    _ChildPhasedWorker(worker), sub_batch
+                )
+                results, decisions = output
+                timer.merge_table(table)
+            else:
+                results, decisions = self._map_on_backend(worker, sub_batch)
             elapsed = perf_counter() - started
             if len(results) != len(sub_batch):
                 raise SpecError(
@@ -565,12 +589,15 @@ class WorkerDaemon:
             for (i, content_hash, _), result in zip(to_parse, results):
                 decision = decision_by_doc.get(result.doc_id)
                 if policy.writes:
+                    tick = perf_counter()
                     self.cache.store(  # type: ignore[union-attr]
                         CacheKey(content_hash, spec.fingerprint),
                         result,
                         decision,
                         compute_seconds=per_doc_seconds,
                     )
+                    store_seconds += perf_counter() - tick
+                    store_calls += 1
                 slots[i] = (result, decision)
         results_out: list[ParseResult] = []
         decisions_out: list = []
@@ -580,6 +607,21 @@ class WorkerDaemon:
             results_out.append(result)
             if decision is not None:
                 decisions_out.append(decision)
+        if timer is not None:
+            if lookup_calls:
+                timer.record(
+                    "cache.lookup",
+                    lookup_seconds,
+                    cpu_seconds=lookup_seconds,
+                    calls=lookup_calls,
+                )
+            if store_calls:
+                timer.record(
+                    "cache.store",
+                    store_seconds,
+                    cpu_seconds=store_seconds,
+                    calls=store_calls,
+                )
         self._bump("docs_parsed", len(to_parse))
         self._bump("docs_from_cache", hits)
         return results_out, decisions_out, hits, len(to_parse)
@@ -810,23 +852,36 @@ class _ConnectionHandler:
         recorder: SpanRecorder | None = None
         if job.trace is not None and _tracing.enabled():
             recorder = SpanRecorder()
+        # Phase attribution mirrors the span pattern: a private per-shard
+        # timer (never the daemon's ambient state) whose table rides the
+        # batch_result frame back to the coordinator.  The sampler is the
+        # same shape again, for the collapsed-stack profile.
+        timer: "_profiling.PhaseTimer | None" = (
+            _profiling.PhaseTimer() if _profiling.phases_enabled() else None
+        )
+        sampler: "_profiling.StackSampler | None" = (
+            _profiling.StackSampler() if _profiling.profiling_enabled() else None
+        )
         try:
-            if recorder is not None:
-                assert job.trace is not None
-                with _tracing.use_recorder(recorder):
-                    with _tracing.activate(job.trace):
-                        with _tracing.span(
+            with ExitStack() as stack:
+                if timer is not None:
+                    stack.enter_context(_profiling.use_timer(timer))
+                if sampler is not None:
+                    stack.enter_context(sampler)
+                if recorder is not None:
+                    assert job.trace is not None
+                    stack.enter_context(_tracing.use_recorder(recorder))
+                    stack.enter_context(_tracing.activate(job.trace))
+                    stack.enter_context(
+                        _tracing.span(
                             "worker.shard",
                             attributes={
                                 "shard_id": job.shard_id,
                                 "worker": self.daemon.name,
                                 "n_documents": len(job.descriptors),
                             },
-                        ):
-                            results, decisions, hits, misses = self.daemon.run_shard(
-                                job.spec, job.descriptors
-                            )
-            else:
+                        )
+                    )
                 results, decisions, hits, misses = self.daemon.run_shard(
                     job.spec, job.descriptors
                 )
@@ -858,6 +913,7 @@ class _ConnectionHandler:
             shard_id=job.shard_id, cache_hits=hits, cache_misses=misses,
             trace_id=job.trace.trace_id if job.trace is not None else None,
         )
+        serialize_started = perf_counter()
         message = protocol.batch_result_message(
             job.shard_id,
             results,
@@ -871,7 +927,17 @@ class _ConnectionHandler:
                 if recorder is not None and job.trace is not None
                 else None
             ),
+            phases=timer.snapshot() if timer is not None else None,
+            profile=sampler.profile.to_dict() if sampler is not None else None,
         )
+        if timer is not None:
+            # Result serialization is a wire-path cost, not a parse phase:
+            # it lands in the shared duration histogram (where the
+            # raw-speed work will read it), keeping `phases` keys
+            # identical across backends that never serialize.
+            _profiling.phase_seconds_histogram().observe(
+                perf_counter() - serialize_started, phase="serialize.result"
+            )
         try:
             self.channel.send(message)
         except MessageTooLarge as exc:

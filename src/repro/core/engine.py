@@ -47,6 +47,7 @@ from repro.core.cls2 import ImprovementClassifier
 from repro.core.cls3 import ParserSelector
 from repro.core.config import AdaParseConfig
 from repro.documents.document import SciDocument
+from repro.obs import profiling as _profiling
 from repro.parsers.base import Parser, ParseResult, ParserCost, ResourceUsage
 from repro.parsers.registry import ParserRegistry
 from repro.utils.batching import chunked
@@ -190,41 +191,45 @@ class AdaParseEngine(Parser):
         cfg = self.config
         default_parser = self.registry.get(cfg.default_parser)
         expensive_parser = self.registry.get(cfg.high_quality_parser)
-        default_results = [default_parser.parse(doc) for doc in documents]
+        with _profiling.phase("parse.default"):
+            default_results = [default_parser.parse(doc) for doc in documents]
         extracted_texts = [r.text for r in default_results]
         first_pages = [r.page_texts[0] if r.page_texts else "" for r in default_results]
 
-        verdicts = [
-            self.validator.validate(text, n_pages=doc.n_pages)
-            for text, doc in zip(extracted_texts, documents)
-        ]
-        scores = self.improvement_scores(documents, first_pages)
-        if self.improvement_classifier is not None:
-            likely = self.improvement_classifier.improvement_probability(
-                [doc.metadata for doc in documents]
+        with _profiling.phase("route.validate"):
+            verdicts = [
+                self.validator.validate(text, n_pages=doc.n_pages)
+                for text, doc in zip(extracted_texts, documents)
+            ]
+        with _profiling.phase("route.score"):
+            scores = self.improvement_scores(documents, first_pages)
+            if self.improvement_classifier is not None:
+                likely = self.improvement_classifier.improvement_probability(
+                    [doc.metadata for doc in documents]
+                )
+                scores = scores * likely
+            # Invalid extractions take priority for the budgeted slots...
+            forced = np.asarray([not v.is_valid for v in verdicts], dtype=bool)
+            # ...but only documents whose type the high-quality parser
+            # supports are candidates at all: format eligibility masks the
+            # predictor's scores before the budget optimiser sees them.
+            eligible = np.asarray(
+                [expensive_parser.supports_doc_type(doc.doc_type) for doc in documents],
+                dtype=bool,
             )
-            scores = scores * likely
-        # Invalid extractions take priority for the budgeted slots...
-        forced = np.asarray([not v.is_valid for v in verdicts], dtype=bool)
-        # ...but only documents whose type the high-quality parser supports
-        # are candidates at all: format eligibility masks the predictor's
-        # scores before the budget optimiser sees them.
-        eligible = np.asarray(
-            [expensive_parser.supports_doc_type(doc.doc_type) for doc in documents],
-            dtype=bool,
-        )
-        effective = np.where(forced, np.inf, scores)
-        effective = np.where(eligible, effective, -np.inf)
-        plan: BudgetPlan = select_within_budget(
-            effective, cfg.alpha, batch_size=None, margin=cfg.improvement_margin
-        )
+            effective = np.where(forced, np.inf, scores)
+            effective = np.where(eligible, effective, -np.inf)
+            plan: BudgetPlan = select_within_budget(
+                effective, cfg.alpha, batch_size=None, margin=cfg.improvement_margin
+            )
 
         results: list[ParseResult] = []
         decisions: list[RoutingDecision] = []
         for i, doc in enumerate(documents):
             selection_usage = default_results[i].usage + self._selection_usage()
             if plan.route_expensive[i]:
-                expensive_result = expensive_parser.parse(doc)
+                with _profiling.phase("parse.high_quality"):
+                    expensive_result = expensive_parser.parse(doc)
                 usage = selection_usage + expensive_result.usage
                 results.append(
                     ParseResult(

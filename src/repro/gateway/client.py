@@ -446,6 +446,26 @@ class GatewayClient:
         reply.pop("type", None)
         return reply
 
+    def profile(self, ticket: RemoteTicket | str) -> dict[str, Any]:
+        """Fetch the sampled collapsed-stack profile of one of this
+        client's tickets.
+
+        Returns ``{"ticket_id", "state", "profile"}`` where ``profile``
+        is the :meth:`repro.obs.Profile.to_dict` payload, or ``None``
+        when the gateway ran without profiling enabled.  Raises
+        :class:`GatewayError` for an unknown or foreign ticket — and for
+        gateways predating the PROFILE RPC, which answer with a protocol
+        error (capability tolerance, like :meth:`trace`).
+        """
+        ticket_id = ticket.id if isinstance(ticket, RemoteTicket) else ticket
+        reply = self._rpc(protocol.profile_message(ticket_id))
+        if reply.get("type") != protocol.PROFILE_RESULT:
+            raise GatewayError(
+                str(reply.get("message", f"unexpected reply: {reply!r}"))
+            )
+        reply.pop("type", None)
+        return reply
+
     def metrics(self, format: str = "json") -> dict[str, Any] | str:
         """Scrape the gateway's metrics registry.
 

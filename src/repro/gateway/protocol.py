@@ -44,6 +44,13 @@ Message types
     the gateway answers with that ticket's recorded span list (the
     :class:`repro.obs.SpanRecorder` schema) plus its trace id.  ``repro
     obs trace`` renders the reply as a span tree.
+``profile`` / ``profile_result``
+    Sampling-profiler lookup: the client names a ticket id it owns and
+    the gateway answers with the collapsed-stack profile captured while
+    that ticket ran (the :meth:`repro.obs.Profile.to_dict` schema) —
+    empty when the gateway was not started with profiling enabled.
+    ``repro obs profile`` renders the reply.  Like ``trace``, the RPC is
+    capability-tolerant: older gateways answer with a protocol error.
 ``metrics`` / ``metrics_result``
     Dump the gateway process's metrics registry — ``format`` selects
     Prometheus text exposition (``"text"``) or the JSON snapshot
@@ -91,6 +98,8 @@ RESULT = "result"
 STATS = "stats"
 TRACE = "trace"
 TRACE_RESULT = "trace_result"
+PROFILE = "profile"
+PROFILE_RESULT = "profile_result"
 METRICS = "metrics"
 METRICS_RESULT = "metrics_result"
 ERROR = "error"
@@ -144,6 +153,13 @@ def submit_message(
 
 def trace_message(ticket_id: str) -> dict[str, Any]:
     return {"type": TRACE, "ticket_id": ticket_id}
+
+
+def profile_message(ticket_id: str) -> dict[str, Any]:
+    """Fetch a ticket's collapsed-stack profile (capability-tolerant:
+    servers predating the PROFILE RPC answer with a protocol error the
+    client surfaces as a :class:`GatewayError`, like TRACE)."""
+    return {"type": PROFILE, "ticket_id": ticket_id}
 
 
 def metrics_message(format: str = "json") -> dict[str, Any]:

@@ -44,6 +44,7 @@ from repro.gateway import protocol
 from repro.gateway.auth import AuthError, AuthRegistry, ClientQuota, TokenBucket
 from repro.gateway.protocol import MessageChannel, ProtocolError
 from repro.obs import metrics as _metrics
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.obs.logging import get_logger, log_event
 from repro.obs.tracing import TraceContext
@@ -593,6 +594,8 @@ class _ClientConnection:
             self.channel.send({"type": protocol.STATS, **self.server.stats()})
         elif kind == protocol.TRACE:
             self._on_trace(message)
+        elif kind == protocol.PROFILE:
+            self._on_profile(message)
         elif kind == protocol.METRICS:
             self._on_metrics(message)
         elif kind == protocol.BYE:
@@ -619,6 +622,21 @@ class _ClientConnection:
                 "trace_id": trace_id,
                 "state": record.ticket.state.value,
                 "spans": spans,
+            }
+        )
+
+    def _on_profile(self, message: dict[str, Any]) -> None:
+        """Reply with the sampled profile captured for a ticket this client owns."""
+        record = self._owned_record(message)
+        if record is None:
+            return
+        profile = _profiling.default_store().get(record.ticket.id)
+        self.channel.send(
+            {
+                "type": protocol.PROFILE_RESULT,
+                "ticket_id": record.ticket.id,
+                "state": record.ticket.state.value,
+                "profile": profile.to_dict() if profile is not None else None,
             }
         )
 

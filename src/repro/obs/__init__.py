@@ -1,6 +1,6 @@
-"""repro.obs — the observability layer: metrics, tracing, structured logging.
+"""repro.obs — observability: metrics, tracing, logging, profiling, history.
 
-Three pillars, one import:
+Five pillars, one import:
 
 * :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
   labeled counters / gauges / histograms with a process-wide default
@@ -15,30 +15,47 @@ Three pillars, one import:
   followed gateway → service → backend → worker shard.
 * :mod:`repro.obs.logging` — stdlib-``logging`` setup for the daemons:
   NDJSON or text to stderr, trace ids injected from the active context.
+* :mod:`repro.obs.profiling` — :class:`PhaseTimer` phase attribution for
+  the pipeline hot path (``ParseReport.phases``, merged across all
+  backends including remote shards) and an opt-in :class:`StackSampler`
+  whose collapsed-stack :class:`Profile` output backs ``obs profile``
+  and the gateway ``PROFILE`` RPC.
+* :mod:`repro.obs.history` — a bounded :class:`MetricsHistory` ring
+  buffer over the default registry: timestamped flattened samples with
+  delta/rate readouts, behind ``obs metrics --watch`` and ``obs top``.
 
 Everything here is stdlib-only and cheap to import, but the package is
 still *lazily* reached: ``import repro`` does not import ``repro.obs``
-(guarded by a test), and every instrument is a near no-op when metrics
-or tracing are disabled (guarded by ``bench_obs_overhead.py``).
+(guarded by a test), and every instrument is a near no-op when metrics,
+tracing or phase attribution are disabled (guarded by
+``bench_obs_overhead.py`` / ``bench_profile_overhead.py``).
 """
 
 from __future__ import annotations
 
-from repro.obs import logging, metrics, tracing
+from repro.obs import history, logging, metrics, profiling, tracing
+from repro.obs.history import MetricsHistory
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.profiling import PhaseTimer, Profile, StackSampler
 from repro.obs.tracing import SpanRecorder, TraceContext, current_trace, span
 
 __all__ = [
+    "MetricsHistory",
     "MetricsRegistry",
+    "PhaseTimer",
+    "Profile",
     "SpanRecorder",
+    "StackSampler",
     "TraceContext",
     "current_trace",
     "default_registry",
     "get_logger",
+    "history",
     "log_event",
     "logging",
     "metrics",
+    "profiling",
     "span",
     "tracing",
 ]

@@ -1,0 +1,165 @@
+"""Bounded in-process metrics history: the data behind ``obs metrics --watch``.
+
+:class:`MetricsHistory` periodically snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` into a fixed-capacity ring
+buffer of *flattened* samples (``"metric{label=value,...}" -> number``),
+so memory is O(capacity × series) regardless of uptime.  From any two
+samples it derives deltas and per-second rates, clamping negative deltas
+to zero so a :meth:`~repro.obs.metrics.MetricsRegistry.reset` (or a
+process restart behind the same scrape endpoint) reads as a fresh start
+rather than a huge negative rate.
+
+Sampling can be driven manually (:meth:`MetricsHistory.sample`, which
+the ``--watch`` loop does per tick) or by a background daemon thread
+(:meth:`start` / :meth:`stop`) for long-lived daemons that want history
+available on demand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["MetricsHistory", "flatten_snapshot"]
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    """A registry snapshot as a flat ``series-key -> number`` map.
+
+    Counters and gauges flatten to their value; histograms flatten to
+    ``_count`` and ``_sum`` series (bucket detail stays in the full
+    snapshot — history tracks trends, not distributions).
+    """
+    flat: dict[str, float] = {}
+    for name, body in snapshot.items():
+        kind = body.get("type")
+        for series in body.get("values", ()):
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                flat[_series_key(f"{name}_count", labels)] = float(
+                    series.get("count", 0)
+                )
+                flat[_series_key(f"{name}_sum", labels)] = float(
+                    series.get("sum", 0.0)
+                )
+            else:
+                flat[_series_key(name, labels)] = float(series.get("value", 0.0))
+    return flat
+
+
+class MetricsHistory:
+    """A ring buffer of timestamped flattened registry samples."""
+
+    def __init__(
+        self,
+        registry: "_metrics.MetricsRegistry | None" = None,
+        capacity: int = 256,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("history needs capacity >= 2 to compute deltas")
+        self.registry = registry if registry is not None else _metrics.default_registry()
+        self._lock = threading.Lock()
+        self._samples: "deque[tuple[float, dict[str, float]]]" = deque(
+            maxlen=capacity
+        )
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # -- sampling ------------------------------------------------------- #
+    def sample(self) -> dict[str, float]:
+        """Take one sample now; returns the flattened snapshot."""
+        flat = flatten_snapshot(self.registry.snapshot())
+        with self._lock:
+            self._samples.append((time.time(), flat))
+        return flat
+
+    def start(self, interval: float = 5.0) -> "MetricsHistory":
+        """Start a background sampler thread at ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if self._thread is not None:
+            raise RuntimeError("history sampler already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            self.sample()
+            while not self._stop.wait(interval):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-obs-history", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHistory":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- reading -------------------------------------------------------- #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def latest(self) -> "tuple[float, dict[str, float]] | None":
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def samples(self) -> list[tuple[float, dict[str, float]]]:
+        with self._lock:
+            return list(self._samples)
+
+    def delta(self, span: int = 1) -> dict[str, float]:
+        """Per-series change between the latest sample and ``span`` back.
+
+        Negative deltas (registry reset, counter restart) clamp to zero.
+        Series present only in the newer sample count from zero; series
+        that vanished (reset dropped them) are omitted rather than
+        reported as negative.
+        """
+        with self._lock:
+            if len(self._samples) < 2:
+                return {}
+            span = max(1, min(span, len(self._samples) - 1))
+            _, old = self._samples[-1 - span]
+            _, new = self._samples[-1]
+        return {
+            key: max(0.0, value - old.get(key, 0.0)) for key, value in new.items()
+        }
+
+    def rate(self, span: int = 1) -> dict[str, float]:
+        """Per-second :meth:`delta` over the sampled wall interval."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return {}
+            span = max(1, min(span, len(self._samples) - 1))
+            old_ts, old = self._samples[-1 - span]
+            new_ts, new = self._samples[-1]
+        elapsed = max(1e-9, new_ts - old_ts)
+        return {
+            key: max(0.0, value - old.get(key, 0.0)) / elapsed
+            for key, value in new.items()
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()

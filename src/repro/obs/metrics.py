@@ -289,7 +289,16 @@ class MetricsRegistry:
                         f"metric {name!r} already declared as {existing.kind} "
                         f"with labels {existing.labelnames}"
                     )
+                if kwargs.get("buckets") is not None:
+                    declared = tuple(sorted(float(b) for b in kwargs["buckets"]))
+                    if declared != existing.buckets:
+                        raise MetricError(
+                            f"histogram {name!r} already declared with buckets "
+                            f"{existing.buckets}, redeclared with {declared}"
+                        )
                 return existing
+            if kwargs.get("buckets", ...) is None:
+                del kwargs["buckets"]  # None means "family default"
             metric = cls(self, name, help, labelnames, **kwargs)
             self._metrics[name] = metric
             return metric
@@ -307,8 +316,17 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         labelnames: Sequence[str] = (),
-        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        buckets: "Sequence[float] | None" = None,
     ) -> Histogram:
+        """Declare (or fetch) a histogram.
+
+        ``buckets`` set the upper bounds at declaration time;  ``None``
+        means "whatever the metric was (or will be) declared with" —
+        :data:`DEFAULT_BUCKETS` on first declaration.  Passing explicit
+        buckets that disagree with an earlier declaration raises
+        :class:`MetricError` (silently splitting a family across bucket
+        layouts would corrupt the exposition).
+        """
         return self._declare(Histogram, name, help, labelnames, buckets=buckets)
 
     # -- control -------------------------------------------------------- #
@@ -383,7 +401,7 @@ def histogram(
     name: str,
     help: str = "",
     labelnames: Sequence[str] = (),
-    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    buckets: "Sequence[float] | None" = None,
 ) -> Histogram:
     return _DEFAULT_REGISTRY.histogram(name, help, labelnames, buckets)
 

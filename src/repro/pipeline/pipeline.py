@@ -27,6 +27,7 @@ facade: a frozen :class:`~repro.pipeline.request.ParseRequest` goes in, a
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from time import perf_counter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -39,6 +40,8 @@ from repro.cache import (
 )
 from repro.core.engine import AdaParseEngine, RoutingDecision, build_default_engine
 from repro.documents.document import SciDocument
+from repro.obs import metrics as _metrics
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.parsers.base import Parser, ParseResult, ResourceUsage
 from repro.parsers.registry import ParserRegistry, default_registry
@@ -82,28 +85,96 @@ class _ParserBatchWorker:
 def _traced_batch_worker(
     worker: Callable[[list[SciDocument]], BatchOutput], backend_name: str
 ) -> Callable[[list[SciDocument]], BatchOutput]:
-    """Wrap a composed batch worker with a per-batch ``backend.batch`` span.
+    """Wrap a composed batch worker with the caller's ambient observability.
 
-    The active :class:`~repro.obs.tracing.TraceContext` is captured *here*
-    (in the thread that set it — the service ticket thread or the caller)
-    and re-activated around every batch invocation, because backend thread
+    The active :class:`~repro.obs.tracing.TraceContext` *and* the ambient
+    :class:`~repro.obs.profiling.PhaseTimer` are captured *here* (in the
+    thread that set them — the service ticket thread or the caller) and
+    re-activated around every batch invocation, because backend thread
     pools do not inherit contextvars.  Everything the worker does — cache
-    lookups, remote shard round trips — then nests under the batch span.
-    With no active trace the worker is returned unwrapped: zero overhead.
+    lookups, phase brackets, remote shard round trips — then nests under
+    the batch span and accumulates into the run's timer.  With no active
+    trace and no timer the worker is returned unwrapped: zero overhead.
     """
     context = _tracing.current_trace()
     if context is None or not _tracing.enabled():
+        context = None
+    timer = _profiling.current_timer() if _profiling.phases_enabled() else None
+    if context is None and timer is None:
         return worker
 
     def traced(batch: list[SciDocument]) -> BatchOutput:
-        with _tracing.activate(context):
-            with _tracing.span(
-                "backend.batch",
-                attributes={"backend": backend_name, "n_documents": len(batch)},
-            ):
-                return worker(batch)
+        with ExitStack() as stack:
+            if timer is not None:
+                stack.enter_context(_profiling.use_timer(timer))
+            if context is not None:
+                stack.enter_context(_tracing.activate(context))
+                stack.enter_context(
+                    _tracing.span(
+                        "backend.batch",
+                        attributes={
+                            "backend": backend_name,
+                            "n_documents": len(batch),
+                        },
+                    )
+                )
+            return worker(batch)
 
     return traced
+
+
+class _ChildPhasedWorker:
+    """Run the inner worker under a fresh :class:`PhaseTimer`.
+
+    Returns ``(output, phase_table)`` so the parent-side merge adapter can
+    fold the child's attribution into the run's timer.  A module-level
+    class (like :class:`_ParserBatchWorker`) so the process backend can
+    pickle it into worker processes — the fresh-timer-per-call design is
+    what makes phase capture work identically in-process and out: the
+    child never needs the parent's timer object, only its table crosses
+    back.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Callable[[list[SciDocument]], BatchOutput]) -> None:
+        self.inner = inner
+
+    def __call__(
+        self, batch: list[SciDocument]
+    ) -> "tuple[BatchOutput, dict[str, dict[str, float]]]":
+        timer = _profiling.PhaseTimer()
+        with _profiling.use_timer(timer):
+            output = self.inner(batch)
+        return output, timer.snapshot()
+
+
+def _merge_phased_worker(site: Callable) -> Callable[[list[SciDocument]], BatchOutput]:
+    """Unwrap a :class:`_ChildPhasedWorker` result, merging its phase table."""
+
+    def merged(batch: list[SciDocument]) -> BatchOutput:
+        output, table = site(batch)
+        timer = _profiling.current_timer()
+        if timer is not None and table:
+            timer.merge_table(table)
+        return output
+
+    return merged
+
+
+def _parse_phased_worker(site: Callable) -> Callable[[list[SciDocument]], BatchOutput]:
+    """Bracket the execution site in the ``parse`` phase.
+
+    Child phase tables merge *inside* the bracket, so ``parse`` self time
+    is what the backend added on top of attributed work — dispatch,
+    transfer, queueing — on every backend.
+    """
+
+    def phased(batch: list[SciDocument]) -> BatchOutput:
+        with _profiling.phase("parse"):
+            return site(batch)
+
+    return phased
 
 
 class ParsePipeline:
@@ -181,7 +252,8 @@ class ParsePipeline:
 
     def resolve_documents(self, request: ParseRequest) -> list[SciDocument]:
         """Materialise the request's document source."""
-        return list(request.resolve_source().iter_documents())
+        with _profiling.phase("source.iter"):
+            return list(request.resolve_source().iter_documents())
 
     @staticmethod
     def check_doc_type_eligibility(
@@ -205,6 +277,35 @@ class ParsePipeline:
                 )
             yield document
 
+    def _timed_type_check(
+        self, resolved: Parser, documents: Iterable[SciDocument]
+    ) -> Iterator[SciDocument]:
+        """:meth:`check_doc_type_eligibility` with ``validate.type`` attribution.
+
+        The check streams interleaved with batch dispatch, so per-item
+        time is accumulated across ``__next__`` calls and recorded once
+        at exhaustion as a leaf phase — one record per run, not per
+        document.
+        """
+        source = self.check_doc_type_eligibility(resolved, documents)
+        timer = _profiling.current_timer() if _profiling.phases_enabled() else None
+        if timer is None:
+            yield from source
+            return
+        total = 0.0
+        count = 0
+        while True:
+            started = perf_counter()
+            try:
+                document = next(source)
+            except StopIteration:
+                total += perf_counter() - started
+                break
+            total += perf_counter() - started
+            count += 1
+            yield document
+        timer.record("validate.type", total, cpu_seconds=total, calls=max(count, 1))
+
     # ------------------------------------------------------------------ #
     # Streaming execution
     # ------------------------------------------------------------------ #
@@ -227,7 +328,22 @@ class ParsePipeline:
             inner: Callable[[list[SciDocument]], BatchOutput] = resolved.route_batch
         else:
             inner = _ParserBatchWorker(resolved)
+        # Phase capture wraps the *inner* worker so the child's attribution
+        # crosses thread/process boundaries as a plain table.  The remote
+        # backend is the exception: its wrap_inner introspects the inner
+        # callable to build a WorkerSpec, and its workers capture and ship
+        # their own tables inside batch_result frames instead.
+        capture = (
+            _profiling.phases_enabled()
+            and _profiling.current_timer() is not None
+            and backend.name != "remote"
+        )
+        if capture:
+            inner = _ChildPhasedWorker(inner)
         worker = backend.wrap_inner(inner)
+        if capture:
+            worker = _merge_phased_worker(worker)
+        worker = _parse_phased_worker(worker)
         if cache_policy is CachePolicy.OFF:
             return worker
         return cached_batch_worker(
@@ -252,7 +368,7 @@ class ParsePipeline:
             size = batch_size or resolved.config.batch_size
         else:
             size = batch_size or DEFAULT_BATCH_SIZE
-        documents = self.check_doc_type_eligibility(resolved, documents)
+        documents = self._timed_type_check(resolved, documents)
         worker = self._batch_worker(resolved, backend, cache_policy, cache_recorder)
         worker = _traced_batch_worker(worker, backend.name)
         yield from backend.map_ordered(worker, chunked(documents, size))
@@ -369,6 +485,27 @@ class ParsePipeline:
                 return self._run(request)
 
     def _run(self, request: ParseRequest) -> ParseReport:
+        # The timer goes ambient before document resolution so source
+        # iteration is attributed too; an existing ambient timer (a serve
+        # ticket's) is reused so the service sees one merged table.
+        timer = _profiling.current_timer() if _profiling.phases_enabled() else None
+        owns_timer = timer is None and _profiling.phases_enabled()
+        if owns_timer:
+            timer = _profiling.PhaseTimer()
+        with _profiling.use_timer(timer):
+            report = self._run_timed(request)
+        if timer is not None:
+            report.phases = timer.snapshot()
+            histogram = _profiling.phase_seconds_histogram()
+            for name, row in report.phases.items():
+                histogram.observe(row["total_s"], phase=name)
+        _metrics.counter(
+            "repro_pipeline_documents_total",
+            "Documents parsed by completed pipeline runs",
+        ).inc(report.n_documents)
+        return report
+
+    def _run_timed(self, request: ParseRequest) -> ParseReport:
         parser = self.resolve_parser(request.parser, alpha=request.alpha)
         documents = self.resolve_documents(request)
         cache_policy = request.cache_policy

@@ -60,6 +60,12 @@ class ParseReport:
     #: How the run executed: backend name, workers, batches dispatched,
     #: queue-wait/in-flight high-water marks, per-batch latency percentiles.
     execution: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Where the time went: phase name → ``{total_s, self_s, cpu_s,
+    #: calls, bytes}`` from the run's :class:`~repro.obs.PhaseTimer`
+    #: (empty when phase attribution is disabled).  Child-worker tables
+    #: — thread/process/async pools and remote shards alike — are merged
+    #: in, so the same phase keys appear on every backend.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Headline numbers
@@ -92,6 +98,22 @@ class ParseReport:
         """Routing-stage counts split by document type (empty for base parsers)."""
         return self.routing_summary().counts_by_doc_type()
 
+    def phase_summary(self) -> dict[str, dict[str, float]]:
+        """The phase table rounded for display, sorted by total seconds."""
+        ordered = sorted(
+            self.phases.items(), key=lambda kv: (-kv[1].get("total_s", 0.0), kv[0])
+        )
+        return {
+            name: {
+                "total_s": round(row.get("total_s", 0.0), 4),
+                "self_s": round(row.get("self_s", 0.0), 4),
+                "cpu_s": round(row.get("cpu_s", 0.0), 4),
+                "calls": int(row.get("calls", 0)),
+                "bytes": int(row.get("bytes", 0)),
+            }
+            for name, row in ordered
+        }
+
     def summary(self) -> dict[str, Any]:
         """Compact dictionary of the run's headline numbers."""
         return {
@@ -106,6 +128,7 @@ class ParseReport:
             "routing_stages": self.counts_by_stage(),
             "routing_by_doc_type": self.counts_by_doc_type(),
             "cache": self.cache.to_json_dict() if self.cache.any_activity else None,
+            "phases": self.phase_summary(),
             "execution": {
                 "backend": self.execution.backend,
                 "workers": self.execution.workers,
@@ -145,6 +168,7 @@ class ParseReport:
             "wall_time_seconds": self.wall_time_seconds,
             "usage": self.usage.to_json_dict(),
             "cache": self.cache.to_json_dict(),
+            "phases": {name: dict(row) for name, row in self.phases.items()},
             "execution": self.execution.to_json_dict(),
             "summary": self.summary(),
             "decisions": [
@@ -203,4 +227,8 @@ class ParseReport:
             wall_time_seconds=float(payload.get("wall_time_seconds", 0.0)),
             cache=CacheStats.from_json_dict(payload.get("cache", {})),
             execution=ExecutionStats.from_json_dict(payload.get("execution", {})),
+            phases={
+                str(name): {str(k): float(v) for k, v in row.items()}
+                for name, row in (payload.get("phases") or {}).items()
+            },
         )

@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterator, Mapping
 
 from repro.cache import CachePolicy, CacheStats, CacheStatsRecorder
 from repro.obs import metrics as _metrics
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
 from repro.obs.tracing import TraceContext
 from repro.pipeline.backends.base import ExecutionBackend, resolve_execution
@@ -470,6 +471,12 @@ class ParseService:
             {"backend": self._backend.name, "workers": self._backend.workers},
         )
         failed = True
+        # Opt-in per-ticket sampling: the profile is filed under the
+        # ticket id as soon as sampling stops, so `obs profile TICKET-ID`
+        # (via the gateway PROFILE RPC) can fetch it after completion.
+        sampler = (
+            _profiling.StackSampler() if _profiling.profiling_enabled() else None
+        )
         try:
             with ExitStack() as stack:
                 if ticket.trace is not None:
@@ -484,7 +491,19 @@ class ParseService:
                         )
                     )
                 try:
-                    report = self._execute(ticket)
+                    with ExitStack() as sampling:
+                        if sampler is not None:
+                            # The profile must land in the store *before*
+                            # the terminal event is emitted — a client that
+                            # reacts to "completed" with a PROFILE RPC must
+                            # never race the store write.
+                            sampling.callback(
+                                lambda: _profiling.default_store().put(
+                                    ticket.id, sampler.profile
+                                )
+                            )
+                            sampling.enter_context(sampler)
+                        report = self._execute(ticket)
                 except BaseException as exc:  # report *any* failure to the waiters
                     ticket._set_state(TicketState.FAILED, error=exc)
                     ticket._emit(
@@ -523,7 +542,29 @@ class ParseService:
             self._maybe_dispatch()
 
     def _execute(self, ticket: ParseTicket) -> ParseReport:
-        """Run one admitted request on the shared backend, emitting progress."""
+        """Run one admitted request on the shared backend, emitting progress.
+
+        The ticket gets its own :class:`~repro.obs.PhaseTimer` (ambient
+        for the duration, so pipeline, cache, and backend instrumentation
+        all accumulate into it) and the report carries the merged table.
+        """
+        timer = _profiling.PhaseTimer() if _profiling.phases_enabled() else None
+        with _profiling.use_timer(timer):
+            report = self._execute_timed(ticket)
+        if timer is not None:
+            report.phases = timer.snapshot()
+            histogram = _profiling.phase_seconds_histogram()
+            for name, row in report.phases.items():
+                histogram.observe(row["total_s"], phase=name)
+        # The service path bypasses ParsePipeline.run(), so it publishes
+        # the same throughput counter itself (obs top's docs/sec).
+        _metrics.counter(
+            "repro_pipeline_documents_total",
+            "Documents parsed by completed pipeline runs",
+        ).inc(report.n_documents)
+        return report
+
+    def _execute_timed(self, ticket: ParseTicket) -> ParseReport:
         from repro.parsers.base import ResourceUsage
 
         request = ticket.request

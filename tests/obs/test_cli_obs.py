@@ -1,0 +1,131 @@
+"""Regression tests: `obs trace` / `obs profile` exit codes and rendering.
+
+An owned ticket with *nothing recorded* used to print an empty tree and
+exit 0 — indistinguishable from success in scripts.  Both commands now
+share the contract: human mode prints an error to stderr and exits 1,
+``--json`` still emits the raw payload and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gateway import GatewayClient, GatewayServer
+from repro.obs import profiling, tracing
+from repro.pipeline import ParsePipeline, ParseRequest
+from repro.serve import ParseService
+
+
+@pytest.fixture()
+def gateway():
+    profiling.default_store().clear()
+    with ParseService(pipeline=ParsePipeline()) as service:
+        with GatewayServer(service, port=0) as server:
+            yield server
+    profiling.default_store().clear()
+
+
+def submit_and_finish(server: GatewayServer, client: str = "cli") -> str:
+    with GatewayClient("127.0.0.1", server.port, client=client).connect() as conn:
+        ticket = conn.submit(ParseRequest(parser="pymupdf", n_documents=4, seed=3))
+        list(ticket.events())
+        return ticket.id
+
+
+class TestObsTraceExitCode:
+    def test_spanless_ticket_exits_1_with_stderr_message(self, gateway, capsys):
+        tracing.set_enabled(False)
+        try:
+            ticket_id = submit_and_finish(gateway)
+            code = main(
+                ["obs", "trace", ticket_id, "--port", str(gateway.port)]
+            )
+        finally:
+            tracing.set_enabled(True)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no spans recorded" in captured.err
+        assert ticket_id in captured.err
+
+    def test_spanless_ticket_json_mode_still_exits_0(self, gateway, capsys):
+        tracing.set_enabled(False)
+        try:
+            ticket_id = submit_and_finish(gateway)
+            code = main(
+                ["obs", "trace", ticket_id, "--port", str(gateway.port), "--json"]
+            )
+        finally:
+            tracing.set_enabled(True)
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["spans"] == []
+
+    def test_traced_ticket_prints_tree_and_exits_0(self, gateway, capsys):
+        ticket_id = submit_and_finish(gateway)
+        code = main(["obs", "trace", ticket_id, "--port", str(gateway.port)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "gateway.submit" in captured.out
+
+    def test_unknown_ticket_is_a_hard_error(self, gateway):
+        with pytest.raises(SystemExit, match="error"):
+            main(["obs", "trace", "TICKET-missing", "--port", str(gateway.port)])
+
+
+class TestObsProfileExitCode:
+    def test_profileless_ticket_exits_1_with_stderr_message(self, gateway, capsys):
+        assert not profiling.profiling_enabled()
+        ticket_id = submit_and_finish(gateway)
+        code = main(["obs", "profile", ticket_id, "--port", str(gateway.port)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no profile recorded" in captured.err
+        assert "--profile" in captured.err  # the fix hint
+
+    def test_profileless_ticket_json_mode_still_exits_0(self, gateway, capsys):
+        ticket_id = submit_and_finish(gateway)
+        code = main(
+            ["obs", "profile", ticket_id, "--port", str(gateway.port), "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["profile"] is None
+
+    def test_profiled_ticket_prints_collapsed_stacks(self, gateway, capsys):
+        profiling.set_profiling_enabled(True)
+        try:
+            ticket_id = submit_and_finish(gateway)
+            code = main(
+                ["obs", "profile", ticket_id, "--port", str(gateway.port)]
+            )
+        finally:
+            profiling.set_profiling_enabled(False)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sample(s)" in captured.out
+        # collapsed format: "frame;frame;... count" lines
+        body = captured.out.splitlines()[1:]
+        assert body and all(line.rsplit(" ", 1)[1].isdigit() for line in body)
+
+    def test_profiled_ticket_top_table(self, gateway, capsys):
+        profiling.set_profiling_enabled(True)
+        try:
+            ticket_id = submit_and_finish(gateway)
+            code = main(
+                [
+                    "obs", "profile", ticket_id,
+                    "--port", str(gateway.port), "--top", "3",
+                ]
+            )
+        finally:
+            profiling.set_profiling_enabled(False)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "%" in captured.out
+
+    def test_unknown_ticket_is_a_hard_error(self, gateway):
+        with pytest.raises(SystemExit, match="error"):
+            main(["obs", "profile", "TICKET-missing", "--port", str(gateway.port)])

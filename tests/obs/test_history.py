@@ -1,0 +1,141 @@
+"""Unit tests of the metrics history ring buffer (obs metrics --watch)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.history import MetricsHistory, flatten_snapshot
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestFlattenSnapshot:
+    def test_counters_gauges_and_labels(self, registry):
+        registry.counter("repro_flat_total", labelnames=("kind",)).inc(2, kind="a")
+        registry.gauge("repro_flat_depth").set(7)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["repro_flat_total{kind=a}"] == 2.0
+        assert flat["repro_flat_depth"] == 7.0
+
+    def test_histograms_flatten_to_count_and_sum(self, registry):
+        h = registry.histogram("repro_flat_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["repro_flat_seconds_count"] == 2.0
+        assert flat["repro_flat_seconds_sum"] == pytest.approx(2.5)
+        # bucket detail stays out of the flattened view
+        assert not any("bucket" in key for key in flat)
+
+    def test_label_keys_sorted_deterministically(self, registry):
+        c = registry.counter("repro_sorted_total", labelnames=("b", "a"))
+        c.inc(a="1", b="2")
+        flat = flatten_snapshot(registry.snapshot())
+        assert "repro_sorted_total{a=1,b=2}" in flat
+
+
+class TestMetricsHistory:
+    def test_capacity_must_allow_deltas(self, registry):
+        with pytest.raises(ValueError):
+            MetricsHistory(registry=registry, capacity=1)
+
+    def test_sample_and_len(self, registry):
+        history = MetricsHistory(registry=registry, capacity=4)
+        assert len(history) == 0
+        registry.counter("repro_h_total").inc()
+        flat = history.sample()
+        assert flat["repro_h_total"] == 1.0
+        assert len(history) == 1
+        assert history.latest()[1] == flat
+
+    def test_capacity_is_a_ring(self, registry):
+        history = MetricsHistory(registry=registry, capacity=2)
+        for _ in range(5):
+            history.sample()
+        assert len(history) == 2
+
+    def test_delta_and_rate(self, registry):
+        counter = registry.counter("repro_d_total")
+        history = MetricsHistory(registry=registry)
+        counter.inc(3)
+        history.sample()
+        counter.inc(4)
+        history.sample()
+        assert history.delta()["repro_d_total"] == pytest.approx(4.0)
+        assert history.rate()["repro_d_total"] > 0
+        assert history.delta(span=99)["repro_d_total"] == pytest.approx(4.0)
+
+    def test_delta_needs_two_samples(self, registry):
+        history = MetricsHistory(registry=registry)
+        assert history.delta() == {}
+        history.sample()
+        assert history.delta() == {}
+        assert history.rate() == {}
+
+    def test_new_series_counts_from_zero(self, registry):
+        history = MetricsHistory(registry=registry)
+        history.sample()
+        registry.counter("repro_new_total").inc(5)
+        history.sample()
+        assert history.delta()["repro_new_total"] == pytest.approx(5.0)
+
+    def test_reset_reads_as_fresh_start_not_negative(self, registry):
+        """MetricsRegistry.reset() × history: clamp, don't resurrect."""
+        counter = registry.counter("repro_r_total")
+        counter.inc(10)
+        history = MetricsHistory(registry=registry)
+        history.sample()
+        registry.reset()
+        history.sample()
+        delta = history.delta()
+        # the series vanished from the registry: omitted, not negative
+        assert "repro_r_total" not in delta
+        assert all(value >= 0.0 for value in delta.values())
+        # counting resumes from zero — no stale pre-reset value leaks in
+        counter.inc(2)
+        history.sample()
+        assert history.delta()["repro_r_total"] == pytest.approx(2.0)
+
+    def test_counter_restart_clamps_to_zero(self, registry):
+        history = MetricsHistory(registry=registry)
+        # simulate a process restart behind the same endpoint: the newer
+        # sample's cumulative value is below the older one's
+        history._samples.append((time.time() - 1, {"repro_c_total": 9.0}))
+        history._samples.append((time.time(), {"repro_c_total": 3.0}))
+        assert history.delta() == {"repro_c_total": 0.0}
+
+    def test_background_sampler_thread(self, registry):
+        registry.counter("repro_bg_total").inc()
+        history = MetricsHistory(registry=registry)
+        history.start(interval=0.01)
+        try:
+            deadline = time.time() + 2.0
+            while len(history) < 3 and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            history.stop()
+        assert len(history) >= 3
+        with pytest.raises(ValueError):
+            history.start(interval=0.0)
+
+    def test_double_start_raises(self, registry):
+        history = MetricsHistory(registry=registry)
+        history.start(interval=5.0)
+        try:
+            with pytest.raises(RuntimeError):
+                history.start(interval=5.0)
+        finally:
+            history.stop()
+
+    def test_clear(self, registry):
+        history = MetricsHistory(registry=registry)
+        history.sample()
+        history.clear()
+        assert len(history) == 0
+        assert history.latest() is None

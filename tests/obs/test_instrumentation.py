@@ -17,8 +17,8 @@ import pytest
 
 from repro.cache import ParseCache
 from repro.cluster.worker import WorkerDaemon
-from repro.gateway import GatewayClient, GatewayServer
-from repro.obs import metrics, tracing
+from repro.gateway import GatewayClient, GatewayError, GatewayServer
+from repro.obs import metrics, profiling, tracing
 from repro.obs.tracing import build_tree
 from repro.pipeline import ParsePipeline, ParseRequest
 from repro.serve import ParseService, ServiceConfig
@@ -154,6 +154,64 @@ class TestGatewayInstrumentation:
 
 
 # ---------------------------------------------------------------------- #
+# Gateway PROFILE RPC
+# ---------------------------------------------------------------------- #
+class TestGatewayProfiling:
+    @pytest.fixture()
+    def gateway(self):
+        profiling.default_store().clear()
+        with ParseService(pipeline=ParsePipeline()) as service:
+            with GatewayServer(service, port=0) as server:
+                yield server
+        profiling.default_store().clear()
+
+    def connect(self, server: GatewayServer) -> GatewayClient:
+        return GatewayClient("127.0.0.1", server.port, client="obs-test").connect()
+
+    def test_profile_rpc_returns_sampled_stacks(self, gateway):
+        profiling.set_profiling_enabled(True)
+        try:
+            with self.connect(gateway) as client:
+                ticket = client.submit(request_for(16, batch_size=2))
+                list(ticket.events())
+                payload = client.profile(ticket)
+        finally:
+            profiling.set_profiling_enabled(False)
+        assert payload["ticket_id"] == ticket.id
+        assert payload["state"] == "completed"
+        profile = payload["profile"]
+        assert profile is not None
+        assert profile["n_samples"] > 0
+        assert profile["counts"]  # flamegraph-collapsible stacks present
+        assert all(";" in stack or stack for stack in profile["counts"])
+
+    def test_profile_is_none_when_profiling_disabled(self, gateway):
+        assert not profiling.profiling_enabled()
+        with self.connect(gateway) as client:
+            ticket = client.submit(request_for())
+            list(ticket.events())
+            payload = client.profile(ticket)
+        assert payload["state"] == "completed"
+        assert payload["profile"] is None
+
+    def test_profile_unknown_ticket_raises(self, gateway):
+        with self.connect(gateway) as client:
+            with pytest.raises(GatewayError):
+                client.profile("TICKET-does-not-exist")
+
+    def test_profile_accepts_ticket_id_string(self, gateway):
+        profiling.set_profiling_enabled(True)
+        try:
+            with self.connect(gateway) as client:
+                ticket = client.submit(request_for(16, batch_size=2))
+                list(ticket.events())
+                payload = client.profile(ticket.id)
+        finally:
+            profiling.set_profiling_enabled(False)
+        assert payload["ticket_id"] == ticket.id
+
+
+# ---------------------------------------------------------------------- #
 # The acceptance criterion: one trace across gateway + 2-worker cluster
 # ---------------------------------------------------------------------- #
 def test_one_trace_id_across_gateway_service_and_cluster_workers(registry):
@@ -214,6 +272,49 @@ def test_one_trace_id_across_gateway_service_and_cluster_workers(registry):
     # Cluster metrics counted the shards.
     shards = metrics.default_registry().get("repro_cluster_shards_total")
     assert shards.value(outcome="completed") == 4
+
+
+def test_profiled_submit_over_cluster_merges_phases_and_profiles(registry):
+    """The PR's acceptance path: a profiled submit through the gateway over
+    a 2-worker cluster yields a merged phase table in the report AND a
+    retrievable sampled profile for the ticket."""
+    profiling.default_store().clear()
+    profiling.set_profiling_enabled(True)
+    workers = [
+        WorkerDaemon(
+            name=f"prof-worker-{i}", pipeline=ParsePipeline(registry)
+        ).start()
+        for i in range(2)
+    ]
+    addresses = ",".join(f"127.0.0.1:{w.port}" for w in workers)
+    config = ServiceConfig(backend="remote", backend_options={"workers": addresses})
+    try:
+        with ParseService(pipeline=ParsePipeline(registry), config=config) as service:
+            with GatewayServer(service, port=0) as server:
+                with GatewayClient(
+                    "127.0.0.1", server.port, client="prof-e2e"
+                ).connect() as client:
+                    ticket = client.submit(
+                        request_for(8, batch_size=2, cache="off")
+                    )
+                    report = client.result(ticket, timeout=60)
+                    payload = client.profile(ticket)
+    finally:
+        profiling.set_profiling_enabled(False)
+        for worker in workers:
+            worker.stop()
+
+    # Worker phase tables crossed the wire and merged into the report.
+    phases = report["phases"]
+    assert {"source.iter", "validate.type", "parse"} <= set(phases)
+    assert phases["parse"]["total_s"] > 0
+    # The ticket's sampled profile is retrievable over the PROFILE RPC.
+    assert payload["profile"] is not None
+    assert payload["profile"]["n_samples"] > 0
+    # Worker-side profiles shipped in batch_result frames and merged into
+    # the coordinator's store under their shard keys.
+    assert any(key.startswith("shard:") for key in profiling.default_store().keys())
+    profiling.default_store().clear()
 
 
 # ---------------------------------------------------------------------- #

@@ -83,6 +83,76 @@ class TestHistogram:
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_omitted_buckets_use_family_default(self, registry):
+        h = registry.histogram("repro_defb_seconds")
+        assert h.buckets == tuple(DEFAULT_BUCKETS)
+
+    def test_declaration_buckets_are_sorted_on_the_way_in(self, registry):
+        h = registry.histogram("repro_unsorted_seconds", buckets=(5.0, 0.5, 1.0))
+        assert h.buckets == (0.5, 1.0, 5.0)
+
+
+class TestCustomBuckets:
+    """Per-declaration histogram buckets (phase-duration families)."""
+
+    def test_value_on_boundary_lands_in_that_bucket(self, registry):
+        # bisect_left semantics: the bucket bound is inclusive (`le`),
+        # so an observation exactly on a boundary counts in that bucket.
+        h = registry.histogram("repro_edge_seconds", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        series = h.value()
+        assert series["buckets"]["0.1"] == 1
+        assert series["buckets"]["1"] == 1
+        assert series["buckets"]["+Inf"] == 1
+
+    def test_value_above_every_bound_only_counts_inf(self, registry):
+        h = registry.histogram("repro_over_seconds", buckets=(0.1, 1.0))
+        h.observe(99.0)
+        series = h.value()
+        assert series["buckets"]["0.1"] == 0
+        assert series["buckets"]["1"] == 0
+        assert series["buckets"]["+Inf"] == 1
+
+    def test_custom_buckets_in_prometheus_exposition(self, registry):
+        h = registry.histogram(
+            "repro_custom_seconds",
+            "custom-bucket family",
+            buckets=(0.0001, 0.025, 2.5),
+        )
+        h.observe(0.0001)
+        h.observe(0.01)
+        h.observe(10.0)
+        text = registry.render_text()
+        assert 'repro_custom_seconds_bucket{le="0.0001"} 1' in text
+        assert 'repro_custom_seconds_bucket{le="0.025"} 2' in text
+        assert 'repro_custom_seconds_bucket{le="2.5"} 2' in text
+        assert 'repro_custom_seconds_bucket{le="+Inf"} 3' in text
+        # none of the family-default bounds leak into the exposition
+        assert 'le="5"' not in text
+
+    def test_refetch_without_buckets_returns_same_metric(self, registry):
+        declared = registry.histogram("repro_refetch_seconds", buckets=(1.0, 2.0))
+        fetched = registry.histogram("repro_refetch_seconds")
+        assert fetched is declared
+        assert fetched.buckets == (1.0, 2.0)
+
+    def test_redeclare_same_buckets_is_idempotent(self, registry):
+        first = registry.histogram("repro_same_seconds", buckets=(1.0, 2.0))
+        second = registry.histogram("repro_same_seconds", buckets=(2.0, 1.0))
+        assert second is first
+
+    def test_redeclare_conflicting_buckets_raises(self, registry):
+        registry.histogram("repro_conflict_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError, match="buckets"):
+            registry.histogram("repro_conflict_seconds", buckets=(1.0, 3.0))
+
+    def test_phase_histogram_uses_its_family_buckets(self):
+        from repro.obs.profiling import PHASE_SECONDS_BUCKETS, phase_seconds_histogram
+
+        h = phase_seconds_histogram()
+        assert h.buckets == tuple(sorted(PHASE_SECONDS_BUCKETS))
+        assert phase_seconds_histogram() is h  # re-fetch, not redeclare
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_metric(self, registry):
@@ -141,6 +211,54 @@ class TestRegistry:
         c.inc(path='a"b\\c\nd')
         line = [ln for ln in registry.render_text().splitlines() if ln[0] != "#"][0]
         assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'quo"ted',
+            "back\\slash",
+            "new\nline",
+            'all\\of"them\nat\\once"',
+            "\\n",  # a literal backslash-n must NOT collide with newline
+            "plain",
+        ],
+    )
+    def test_label_value_escaping_round_trips(self, registry, value):
+        """Unescaping the exposition recovers the exact original value."""
+        c = registry.counter("repro_rt_total", labelnames=("v",))
+        c.inc(v=value)
+        line = [
+            ln for ln in registry.render_text().splitlines() if ln[0] != "#"
+        ][0]
+        start = line.index('v="') + 3
+        end = line.rindex('"')
+        escaped = line[start:end]
+        # the escaped form is a single physical line
+        assert "\n" not in escaped
+        # standard Prometheus unescaping: walk escape pairs left to right
+        out, i = [], 0
+        while i < len(escaped):
+            if escaped[i] == "\\":
+                nxt = escaped[i + 1]
+                out.append({"n": "\n", '"': '"', "\\": "\\"}[nxt])
+                i += 2
+            else:
+                out.append(escaped[i])
+                i += 1
+        assert "".join(out) == value
+
+    def test_distinct_raw_values_stay_distinct_escaped(self, registry):
+        # "\n" (backslash, n) and a real newline must not alias to the
+        # same series in the exposition
+        c = registry.counter("repro_alias_total", labelnames=("v",))
+        c.inc(v="\\n")
+        c.inc(v="\n")
+        lines = [
+            ln for ln in registry.render_text().splitlines() if ln[0] != "#"
+        ]
+        assert len(lines) == 2
+        assert 'v="\\\\n"' in "\n".join(lines)
+        assert 'v="\\n"' in "\n".join(lines)
 
     def test_snapshot_is_json_trivial(self, registry):
         registry.counter("repro_snap_total", "h", ("kind",)).inc(kind="x")

@@ -1,0 +1,291 @@
+"""Unit tests of phase attribution and the sampling profiler."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiling
+from repro.obs.profiling import (
+    PHASE_SECONDS_BUCKETS,
+    PhaseTimer,
+    Profile,
+    ProfileStore,
+    StackSampler,
+)
+
+
+class TestPhaseTimer:
+    def test_single_phase_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("work", n_bytes=128):
+            time.sleep(0.01)
+        table = timer.snapshot()
+        assert set(table) == {"work"}
+        row = table["work"]
+        assert row["total_s"] >= 0.01
+        assert row["self_s"] == pytest.approx(row["total_s"])
+        assert row["calls"] == 1
+        assert row["bytes"] == 128
+
+    def test_nested_phase_subtracts_from_parent_self_time(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            time.sleep(0.005)
+            with timer.phase("inner"):
+                time.sleep(0.02)
+        table = timer.snapshot()
+        outer, inner = table["outer"], table["inner"]
+        assert outer["total_s"] >= inner["total_s"]
+        # outer's self time excludes inner's wall time entirely
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"], abs=1e-6
+        )
+        assert outer["self_s"] < inner["total_s"]
+
+    def test_self_seconds_sum_to_wall_without_double_counting(self):
+        timer = PhaseTimer()
+        started = time.perf_counter()
+        with timer.phase("a"):
+            time.sleep(0.005)
+            with timer.phase("b"):
+                time.sleep(0.005)
+        with timer.phase("c"):
+            time.sleep(0.005)
+        wall = time.perf_counter() - started
+        attributed = sum(row["self_s"] for row in timer.snapshot().values())
+        assert attributed <= wall + 1e-6
+
+    def test_record_charges_enclosing_phase(self):
+        timer = PhaseTimer()
+        with timer.phase("parse"):
+            time.sleep(0.005)
+            timer.record("cache.lookup", 0.004, calls=3)
+        table = timer.snapshot()
+        assert table["cache.lookup"]["calls"] == 3
+        assert table["cache.lookup"]["self_s"] == pytest.approx(0.004)
+        # the recorded leaf time is excluded from parse's self time
+        assert table["parse"]["self_s"] == pytest.approx(
+            table["parse"]["total_s"] - 0.004, abs=1e-6
+        )
+
+    def test_merge_table_folds_child_rows_and_charges_open_phase(self):
+        child = PhaseTimer()
+        with child.phase("parse.default"):
+            time.sleep(0.005)
+        parent = PhaseTimer()
+        with parent.phase("parse"):
+            time.sleep(0.02)
+            parent.merge_table(child.snapshot())
+        table = parent.snapshot()
+        assert "parse.default" in table
+        child_self = table["parse.default"]["self_s"]
+        assert table["parse"]["self_s"] == pytest.approx(
+            table["parse"]["total_s"] - child_self, abs=1e-6
+        )
+
+    def test_merge_table_accumulates_onto_existing_rows(self):
+        timer = PhaseTimer()
+        timer.record("x", 1.0, calls=2, n_bytes=10)
+        timer.merge_table({"x": {"total_s": 2.0, "self_s": 2.0, "cpu_s": 0.5,
+                                 "calls": 3, "bytes": 5}})
+        row = timer.snapshot()["x"]
+        assert row["total_s"] == pytest.approx(3.0)
+        assert row["calls"] == 5
+        assert row["bytes"] == 15
+
+    def test_merge_empty_table_is_noop(self):
+        timer = PhaseTimer()
+        timer.merge_table({})
+        assert timer.snapshot() == {}
+
+    def test_threads_accumulate_into_one_table(self):
+        timer = PhaseTimer()
+
+        def work(name: str) -> None:
+            with timer.phase(name):
+                time.sleep(0.005)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i % 2}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        table = timer.snapshot()
+        assert set(table) == {"t0", "t1"}
+        assert table["t0"]["calls"] + table["t1"]["calls"] == 8
+
+    def test_snapshot_is_sorted_and_json_trivial(self):
+        timer = PhaseTimer()
+        timer.record("zeta", 0.1)
+        timer.record("alpha", 0.1)
+        table = timer.snapshot()
+        assert list(table) == ["alpha", "zeta"]
+        json.dumps(table)
+
+    def test_clear(self):
+        timer = PhaseTimer()
+        timer.record("x", 1.0)
+        timer.clear()
+        assert timer.snapshot() == {}
+
+
+class TestAmbientTimer:
+    def test_module_phase_is_noop_without_timer(self):
+        assert profiling.current_timer() is None
+        with profiling.phase("anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_use_timer_binds_and_restores(self):
+        timer = PhaseTimer()
+        with profiling.use_timer(timer):
+            assert profiling.current_timer() is timer
+            with profiling.phase("work"):
+                pass
+            profiling.record("leaf", 0.01)
+        assert profiling.current_timer() is None
+        assert set(timer.snapshot()) == {"work", "leaf"}
+
+    def test_phases_disabled_suppresses_recording(self):
+        timer = PhaseTimer()
+        profiling.set_phases_enabled(False)
+        try:
+            with profiling.use_timer(timer):
+                with profiling.phase("work"):
+                    pass
+                profiling.record("leaf", 0.01)
+        finally:
+            profiling.set_phases_enabled(True)
+        assert timer.snapshot() == {}
+
+    def test_phase_buckets_are_sorted(self):
+        assert list(PHASE_SECONDS_BUCKETS) == sorted(PHASE_SECONDS_BUCKETS)
+
+
+class TestProfile:
+    def test_add_merge_and_counts(self):
+        p = Profile()
+        p.add_stack("a;b;c")
+        p.add_stack("a;b;c", 2)
+        other = Profile(counts={"a;b;c": 1, "x;y": 4})
+        p.merge(other)
+        assert p.counts == {"a;b;c": 4, "x;y": 4}
+        assert p.n_samples == 8
+
+    def test_collapsed_output_busiest_first(self):
+        p = Profile(counts={"cold;path": 1, "hot;path": 9})
+        assert p.collapsed().splitlines() == ["hot;path 9", "cold;path 1"]
+
+    def test_top_aggregates_by_leaf_frame(self):
+        p = Profile(counts={"a;leaf": 3, "b;c;leaf": 2, "d;other": 4})
+        assert p.top(2) == [("leaf", 5), ("other", 4)]
+
+    def test_round_trips_through_dict(self):
+        p = Profile(counts={"a;b": 2}, interval=0.005)
+        clone = Profile.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert clone.counts == p.counts
+        assert clone.interval == p.interval
+        assert clone.n_samples == 2
+
+
+class TestStackSampler:
+    def test_captures_stacks_of_other_threads(self):
+        stop = threading.Event()
+
+        def busy_wait_for_sampler() -> None:
+            stop.wait(2.0)
+
+        worker = threading.Thread(target=busy_wait_for_sampler)
+        worker.start()
+        try:
+            with StackSampler(interval=0.002) as sampler:
+                time.sleep(0.05)
+        finally:
+            stop.set()
+            worker.join()
+        profile = sampler.profile
+        assert profile.n_samples > 0
+        # our worker's distinctive frame was sampled
+        assert any("busy_wait_for_sampler" in stack for stack in profile.counts)
+        # the sampler never samples its own loop
+        assert not any("_sample_once" in stack for stack in profile.counts)
+
+    def test_stop_returns_profile_and_is_restartable(self):
+        sampler = StackSampler(interval=0.005)
+        sampler.start()
+        profile = sampler.stop()
+        assert profile is sampler.profile
+        sampler.start()  # a stopped sampler may start again
+        sampler.stop()
+
+    def test_double_start_raises(self):
+        sampler = StackSampler(interval=0.005).start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StackSampler(interval=0.0)
+
+    def test_max_samples_bounds_collection(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=lambda: stop.wait(2.0))
+        worker.start()
+        try:
+            sampler = StackSampler(interval=0.001, max_samples=3).start()
+            time.sleep(0.1)
+            profile = sampler.stop()
+        finally:
+            stop.set()
+            worker.join()
+        # one _sample_once pass may record several threads, so allow the
+        # final pass to overshoot by the thread count, not run unbounded
+        assert profile.n_samples <= 3 + threading.active_count() + 1
+
+
+class TestProfileStore:
+    def test_put_get_and_keys(self):
+        store = ProfileStore()
+        p = Profile(counts={"a": 1})
+        store.put("t1", p)
+        assert store.get("t1") is p
+        assert store.get("absent") is None
+        assert store.keys() == ["t1"]
+
+    def test_eviction_drops_oldest(self):
+        store = ProfileStore(max_profiles=2)
+        store.put("a", Profile())
+        store.put("b", Profile())
+        store.put("c", Profile())
+        assert store.get("a") is None
+        assert store.keys() == ["b", "c"]
+
+    def test_reput_refreshes_recency(self):
+        store = ProfileStore(max_profiles=2)
+        store.put("a", Profile())
+        store.put("b", Profile())
+        store.put("a", Profile())  # a is now newest
+        store.put("c", Profile())
+        assert store.get("b") is None
+        assert store.get("a") is not None
+
+    def test_merge_into_accumulates(self):
+        store = ProfileStore()
+        store.merge_into("shard:0", Profile(counts={"x": 1}))
+        store.merge_into("shard:0", Profile(counts={"x": 2, "y": 1}))
+        merged = store.get("shard:0")
+        assert merged.counts == {"x": 3, "y": 1}
+
+    def test_clear(self):
+        store = ProfileStore()
+        store.put("a", Profile())
+        store.clear()
+        assert store.keys() == []

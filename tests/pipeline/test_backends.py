@@ -329,8 +329,10 @@ _TIMING_KEYS = {
     "bytes_written",
 }
 #: Fields that legitimately describe *how* a run executed, not what it
-#: parsed (dropped before byte comparison).
-_EXECUTION_KEYS = {"execution", "backend", "backend_options", "n_jobs"}
+#: parsed (dropped before byte comparison).  ``phases`` is wall-clock
+#: attribution — pure timing telemetry, pinned separately by
+#: :class:`TestPhaseAttributionParity`.
+_EXECUTION_KEYS = {"execution", "backend", "backend_options", "n_jobs", "phases"}
 
 
 def _normalized_bytes(payload: dict) -> bytes:
@@ -515,6 +517,156 @@ class TestRemoteBackendParity:
         assert _normalized_bytes(candidate.to_json_dict(include_text=True)) == (
             _normalized_bytes(baseline.to_json_dict(include_text=True))
         )
+
+
+# ---------------------------------------------------------------------- #
+# Phase attribution parity: identical phase keys on every backend
+# ---------------------------------------------------------------------- #
+#: The pinned ``ParseReport.phases`` key sets.  Every backend must produce
+#: exactly these keys for a given pipeline shape — a new phase (or a phase
+#: that only shows up on some backends) is an API change and must be
+#: pinned here deliberately.
+BASE_PHASE_KEYS = {"source.iter", "validate.type", "parse"}
+ENGINE_PHASE_KEYS = BASE_PHASE_KEYS | {
+    "parse.default",
+    "route.validate",
+    "route.score",
+    "parse.high_quality",
+}
+CACHE_PHASE_KEYS = {"cache.key", "cache.lookup", "cache.store"}
+
+_PHASE_ROW_KEYS = {"total_s", "self_s", "cpu_s", "calls", "bytes"}
+
+
+def _assert_phase_rows_well_formed(report: ParseReport) -> None:
+    for name, row in report.phases.items():
+        assert set(row) == _PHASE_ROW_KEYS, name
+        assert row["total_s"] >= 0 and row["calls"] >= 1, name
+
+
+class TestPhaseAttributionParity:
+    """``ParseReport.phases`` carries the same key set on every backend.
+
+    The timings differ (that's the point of the attribution), but the
+    *shape* of the table is part of the backend contract: a dashboard
+    built against the serial backend must read identically against a
+    process pool or a remote cluster.
+    """
+
+    def _report(self, registry, engine, documents, backend, options, cache=""):
+        pipeline = ParsePipeline(
+            registry, engines={engine.name: engine}, cache=ParseCache()
+        )
+        overrides = {"cache": "readwrite"} if cache else {}
+        request = request_for_documents(
+            engine.name,
+            documents,
+            batch_size=40,
+            backend=backend,
+            backend_options=options,
+            **overrides,
+        )
+        return pipeline.run(request)
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_base_parser_phase_keys(self, registry, small_corpus, backend, options):
+        report = ParsePipeline(registry).run(
+            request_for_documents(
+                "pymupdf", list(small_corpus), batch_size=4,
+                backend=backend, backend_options=options,
+            )
+        )
+        assert set(report.phases) == BASE_PHASE_KEYS
+        _assert_phase_rows_well_formed(report)
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_engine_phase_keys(
+        self, registry, engine, corpus_100, backend, options
+    ):
+        # corpus_100 guarantees the α budget routes documents in every
+        # batch, so ``parse.high_quality`` must appear on every backend.
+        report = self._report(registry, engine, list(corpus_100), backend, options)
+        assert set(report.phases) == ENGINE_PHASE_KEYS
+        _assert_phase_rows_well_formed(report)
+        # attribution is meaningful, not just present
+        assert report.phases["parse"]["total_s"] > 0
+
+    @pytest.mark.parametrize("backend,options", _backend_cases())
+    def test_engine_cache_phase_keys(
+        self, registry, engine, corpus_100, backend, options
+    ):
+        report = self._report(
+            registry, engine, list(corpus_100), backend, options, cache="readwrite"
+        )
+        assert set(report.phases) == ENGINE_PHASE_KEYS | CACHE_PHASE_KEYS
+        _assert_phase_rows_well_formed(report)
+
+    def test_phases_survive_json_round_trip(self, registry, engine, corpus_100):
+        report = self._report(registry, engine, list(corpus_100), "serial", {})
+        rebuilt = ParseReport.from_json_dict(report.to_json_dict())
+        assert rebuilt.phases == report.phases
+        assert set(rebuilt.summary()["phases"]) == ENGINE_PHASE_KEYS
+
+
+class TestRemotePhaseAttributionParity:
+    """The phase-key contract extends to a real 2-worker cluster: worker
+    tables ship back over the wire and merge into the coordinator's
+    timer, so the merged report pins the exact same key sets."""
+
+    @pytest.fixture()
+    def cluster(self, registry, engine):
+        from repro.cluster.worker import WorkerDaemon
+
+        workers = [
+            WorkerDaemon(
+                name=f"phase-parity-{i}",
+                pipeline=ParsePipeline(
+                    registry, engines={engine.name: engine}, cache=ParseCache()
+                ),
+            ).start()
+            for i in range(2)
+        ]
+        yield ",".join(worker.address for worker in workers)
+        for worker in workers:
+            worker.stop()
+
+    def _report(self, registry, engine, documents, options, cache=""):
+        pipeline = ParsePipeline(
+            registry, engines={engine.name: engine}, cache=ParseCache()
+        )
+        overrides = {"cache": "readwrite"} if cache else {}
+        request = request_for_documents(
+            engine.name,
+            documents,
+            batch_size=40,
+            backend="remote",
+            backend_options=options,
+            **overrides,
+        )
+        return pipeline.run(request)
+
+    def test_engine_phase_keys_match_local_backends(
+        self, registry, engine, corpus_100, cluster
+    ):
+        # worker_cache must mirror the request's (off) cache policy or the
+        # workers' own cache phases would leak extra keys into the table.
+        report = self._report(
+            registry, engine, list(corpus_100),
+            {"workers": cluster, "worker_cache": "off"},
+        )
+        assert set(report.phases) == ENGINE_PHASE_KEYS
+        _assert_phase_rows_well_formed(report)
+        assert report.phases["parse.default"]["total_s"] > 0
+
+    def test_engine_cache_phase_keys_match_local_backends(
+        self, registry, engine, corpus_100, cluster
+    ):
+        report = self._report(
+            registry, engine, list(corpus_100),
+            {"workers": cluster}, cache="readwrite",
+        )
+        assert set(report.phases) == ENGINE_PHASE_KEYS | CACHE_PHASE_KEYS
+        _assert_phase_rows_well_formed(report)
 
 
 # ---------------------------------------------------------------------- #

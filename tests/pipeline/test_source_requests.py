@@ -42,7 +42,8 @@ _TIMING_KEYS = {
     "bytes_read",
     "bytes_written",
 }
-_EXECUTION_KEYS = {"execution", "backend", "backend_options"}
+#: ``phases`` is wall-clock attribution — timing telemetry, not parse output.
+_EXECUTION_KEYS = {"execution", "backend", "backend_options", "phases"}
 
 
 def _normalized_bytes(payload: dict) -> bytes:
